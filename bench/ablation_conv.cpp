@@ -1,0 +1,59 @@
+// Ablation of the convolution operator: the paper's spectral Chebyshev
+// filters (at the chosen K and at K=1, which degenerates to a per-node
+// MLP) versus a GraphSAGE-style mean aggregator (the spatial family the
+// paper cites via Hamilton et al. [7]).
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace gana;
+
+int main() {
+  bench::print_header("Ablation: convolution operator",
+                      "§III-A (spectral filters) vs. spatial aggregation");
+
+  const int epochs = bench::quick_mode() ? 8 : 20;
+
+  datagen::DatasetOptions ota_opt;
+  ota_opt.circuits = bench::scaled(200, 40);
+  ota_opt.seed = 1;
+  const auto ota = datagen::make_ota_dataset(ota_opt);
+
+  datagen::DatasetOptions rf_opt;
+  rf_opt.circuits = bench::scaled(200, 40);
+  rf_opt.seed = 2;
+  const auto rf = datagen::make_rf_dataset(rf_opt);
+
+  struct Case {
+    const char* name;
+    gcn::ConvKind kind;
+    int k;
+  };
+  const Case cases[] = {
+      {"ChebConv K=8 (paper)", gcn::ConvKind::Chebyshev, 8},
+      {"ChebConv K=2", gcn::ConvKind::Chebyshev, 2},
+      {"ChebConv K=1 (per-node MLP)", gcn::ConvKind::Chebyshev, 1},
+      {"SAGE mean aggregator", gcn::ConvKind::SageMean, 1},
+  };
+
+  TextTable table({"Operator", "OTA val acc", "RF val acc", "Train time"});
+  for (const auto& c : cases) {
+    double accs[2];
+    double seconds = 0.0;
+    const std::vector<datagen::LabeledCircuit>* sets[2] = {&ota, &rf};
+    const std::size_t classes[2] = {2, 3};
+    for (int i = 0; i < 2; ++i) {
+      auto cfg = bench::paper_model_config(classes[i], c.k);
+      cfg.conv_kind = c.kind;
+      auto trained = bench::train_on(*sets[i], cfg, epochs);
+      accs[i] = trained.result.best_val_acc;
+      seconds += trained.result.train_seconds;
+    }
+    table.add_row({c.name, fmt_pct(accs[0]), fmt_pct(accs[1]),
+                   fmt(seconds, 1) + "s"});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: graph-aware operators (Cheb K>1, SAGE) beat "
+              "the per-node\nMLP; the paper's ChebConv at its tuned K is the "
+              "strongest or tied.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation of the paper's 18-feature input design (§V-A): zero out each
+// feature group and retrain, measuring how much of the classification
+// signal each group carries. Groups follow the paper's description:
+// 12 element-type features, 5 net-type features, 1 terminal-edge feature.
+#include "bench_common.hpp"
+#include "core/features.hpp"
+#include "util/table.hpp"
+
+using namespace gana;
+
+namespace {
+
+/// Zeroes the given feature columns in every sample.
+std::vector<gcn::GraphSample> drop_features(
+    std::vector<gcn::GraphSample> samples,
+    const std::vector<std::size_t>& columns) {
+  for (auto& s : samples) {
+    for (std::size_t r = 0; r < s.features.rows(); ++r) {
+      for (std::size_t c : columns) s.features(r, c) = 0.0;
+    }
+  }
+  return samples;
+}
+
+std::vector<std::size_t> range_cols(std::size_t from, std::size_t to) {
+  std::vector<std::size_t> out;
+  for (std::size_t c = from; c <= to; ++c) out.push_back(c);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: the 18 input features by group",
+                      "§V-A feature list (12 element + 5 net + 1 edge)");
+
+  datagen::DatasetOptions opt;
+  opt.circuits = bench::scaled(200, 40);
+  opt.seed = 1;
+  const auto dataset = datagen::make_ota_dataset(opt);
+  const int epochs = bench::quick_mode() ? 8 : 20;
+
+  const auto base_samples = core::make_gcn_samples(dataset, 0, 11);
+
+  struct Case {
+    const char* name;
+    std::vector<std::size_t> dropped;
+  };
+  const Case cases[] = {
+      {"all 18 features", {}},
+      {"- device type one-hot",
+       range_cols(core::kFeatNmos, core::kFeatHierBlock)},
+      {"- value buckets",
+       range_cols(core::kFeatValueLow, core::kFeatValueHigh)},
+      {"- net roles (in/out/bias/rails)",
+       range_cols(core::kFeatNetInput, core::kFeatNetGround)},
+      {"- terminal-edge feature", {core::kFeatEdgeMerged}},
+      {"structure only (no features)",
+       range_cols(0, core::kNumFeatures - 1)},
+  };
+
+  TextTable table({"Feature set", "Val accuracy"});
+  for (const auto& c : cases) {
+    auto samples = drop_features(base_samples, c.dropped);
+    auto [train_set, val_set] =
+        gcn::split_dataset(std::move(samples), 0.8, 13);
+    gcn::GcnModel model(bench::paper_model_config(2));
+    gcn::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.patience = 8;
+    const auto result = gcn::train(model, train_set, val_set, tc);
+    table.add_row({c.name, fmt_pct(result.best_val_acc)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape: the full feature set is best; device-type and "
+              "net-role\nfeatures carry most of the signal; pure structure "
+              "still beats chance\n(the GCN sees mirrors/pairs through the "
+              "labeled edges).\n");
+  return 0;
+}

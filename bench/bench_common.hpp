@@ -1,0 +1,112 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gana.hpp"
+#include "util/timer.hpp"
+
+namespace gana::bench {
+
+/// Scale knob: set GANA_BENCH_QUICK=1 to shrink dataset sizes and epochs
+/// (useful on slow machines; the full scale matches the paper's Table I).
+inline bool quick_mode() {
+  const char* env = std::getenv("GANA_BENCH_QUICK");
+  return env != nullptr && env[0] == '1';
+}
+
+inline std::size_t scaled(std::size_t full, std::size_t quick) {
+  return quick_mode() ? quick : full;
+}
+
+/// Paper-faithful model configuration (§III-B: two Chebyshev stages, a
+/// 512-wide fully connected layer, softmax head).
+inline gcn::ModelConfig paper_model_config(std::size_t num_classes, int k = 8,
+                                           std::size_t conv_layers = 2,
+                                           bool pooling = false) {
+  gcn::ModelConfig cfg;
+  cfg.in_features = core::kNumFeatures;
+  cfg.num_classes = num_classes;
+  cfg.conv_channels.assign(conv_layers, 32);
+  if (conv_layers >= 2) cfg.conv_channels.back() = 64;
+  cfg.cheb_k = k;
+  cfg.fc_hidden = 512;
+  cfg.use_pooling = pooling;
+  cfg.seed = 7;
+  return cfg;
+}
+
+struct TrainedModel {
+  std::unique_ptr<gcn::GcnModel> model;
+  gcn::TrainResult result;
+  std::size_t train_nodes = 0;
+};
+
+/// Trains a model on labeled circuits with the paper's 80/20 split.
+inline TrainedModel train_on(const std::vector<datagen::LabeledCircuit>& data,
+                             gcn::ModelConfig cfg, int epochs,
+                             std::uint64_t seed = 11, bool verbose = false) {
+  TrainedModel out;
+  auto samples =
+      core::make_gcn_samples(data, cfg.required_pool_levels(), seed);
+  for (const auto& s : samples) out.train_nodes += s.nodes();
+  auto [train_set, val_set] =
+      gcn::split_dataset(std::move(samples), 0.8, seed + 1);
+  out.model = std::make_unique<gcn::GcnModel>(cfg);
+  gcn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.patience = 10;
+  tc.verbose = verbose;
+  out.result = gcn::train(*out.model, train_set, val_set, tc);
+  return out;
+}
+
+/// Aggregated per-stage accuracy of the full pipeline over a test set.
+struct StageAccuracy {
+  std::size_t circuits = 0;
+  std::size_t nodes = 0;    ///< graph vertices (devices + nets)
+  std::size_t counted = 0;  ///< vertices with ground truth
+  double gcn = 0.0, post1 = 0.0, post2 = 0.0;
+  double seconds = 0.0;
+};
+
+inline StageAccuracy evaluate_pipeline(
+    core::Annotator& annotator,
+    const std::vector<datagen::LabeledCircuit>& test_set) {
+  StageAccuracy acc;
+  double gcn_correct = 0.0, p1_correct = 0.0, p2_correct = 0.0;
+  Timer timer;
+  for (const auto& c : test_set) {
+    const auto r = annotator.annotate(c);
+    std::size_t counted = 0;
+    for (int l : r.prepared.labels) {
+      if (l >= 0) ++counted;
+    }
+    acc.circuits += 1;
+    acc.nodes += r.prepared.graph.vertex_count();
+    acc.counted += counted;
+    gcn_correct += r.acc_gcn * static_cast<double>(counted);
+    p1_correct += r.acc_post1 * static_cast<double>(counted);
+    p2_correct += r.acc_post2 * static_cast<double>(counted);
+  }
+  acc.seconds = timer.seconds();
+  if (acc.counted > 0) {
+    acc.gcn = gcn_correct / static_cast<double>(acc.counted);
+    acc.post1 = p1_correct / static_cast<double>(acc.counted);
+    acc.post2 = p2_correct / static_cast<double>(acc.counted);
+  }
+  return acc;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  if (quick_mode()) std::printf("(GANA_BENCH_QUICK=1: reduced scale)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace gana::bench

@@ -1,0 +1,37 @@
+// Reproduces paper Fig. 5: "Two-layer GCN accuracy as a function of
+// filter size." Sweeps the Chebyshev order K and reports training and
+// validation accuracy plus runtime; the paper's curve rises with K and
+// flattens out beyond K ~ 30 while runtime keeps growing.
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace gana;
+
+int main() {
+  bench::print_header("Fig. 5: accuracy vs. Chebyshev filter size K",
+                      "Figure 5 (paper p.5)");
+
+  datagen::DatasetOptions opt;
+  opt.circuits = bench::scaled(200, 40);
+  opt.seed = 1;
+  const auto dataset = datagen::make_ota_dataset(opt);
+  const int epochs = bench::quick_mode() ? 10 : 25;
+
+  const int ks[] = {1, 2, 4, 8, 16, 24, 32, 48};
+  TextTable table({"Filter size K", "Train acc", "Val acc", "Train time"});
+  double prev_val = 0.0;
+  for (int k : ks) {
+    auto trained =
+        bench::train_on(dataset, bench::paper_model_config(2, k), epochs);
+    table.add_row({std::to_string(k),
+                   fmt_pct(trained.result.final_train_acc),
+                   fmt_pct(trained.result.best_val_acc),
+                   fmt(trained.result.train_seconds, 1) + "s"});
+    prev_val = trained.result.best_val_acc;
+  }
+  (void)prev_val;
+  std::printf("%s\n", table.str().c_str());
+  std::printf("expected shape (paper): accuracy rises with K, flattens for "
+              "large K;\nruntime grows roughly linearly in K.\n");
+  return 0;
+}

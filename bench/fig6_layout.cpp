@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 6: "Layout of the filter based on the extracted
+// hierarchy." Runs the switched-capacitor filter through the full
+// annotation pipeline, places it with the constraint-aware hierarchical
+// placer, emits the SVG, and quantifies the benefit of the extracted
+// hierarchy by comparing against a constraint-blind flat placement.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace gana;
+
+namespace {
+
+/// Constraint-blind baseline: same tiles, packed row-major on a grid with
+/// no hierarchy, symmetry, or clustering information.
+layout::Placement flat_grid_placement(const layout::Placement& reference) {
+  layout::Placement flat = reference;
+  double area = 0.0;
+  for (const auto& t : flat.tiles) area += t.rect.area();
+  const double target_w = std::sqrt(area) * 1.4;
+  double x = 0.0, y = 0.0, row_h = 0.0;
+  for (auto& t : flat.tiles) {
+    if (x > 0.0 && x + t.rect.w > target_w) {
+      y += row_h + 0.4;
+      x = 0.0;
+      row_h = 0.0;
+    }
+    t.rect.x = x;
+    t.rect.y = y;
+    x += t.rect.w + 0.4;
+    row_h = std::max(row_h, t.rect.h);
+  }
+  return flat;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 6: SC-filter layout from the extracted hierarchy",
+                      "Figure 6 (paper p.5)");
+
+  Rng rng(42);
+  const auto circuit = datagen::generate_sc_filter({}, rng);
+  core::Annotator annotator(nullptr, {"ota", "bias"});
+  const auto result = annotator.annotate(circuit);
+
+  std::printf("extracted hierarchy:\n%s\n",
+              core::to_string(result.hierarchy).c_str());
+
+  const auto placement =
+      layout::place_hierarchy(result.hierarchy, result.prepared.flat);
+  const auto flat = flat_grid_placement(placement);
+
+  const auto sym_h = layout::check_symmetry(placement, result.hierarchy);
+  const auto sym_f = layout::check_symmetry(flat, result.hierarchy);
+
+  TextTable table({"Placement", "Tiles", "Area (um^2)", "HPWL (um)",
+                   "Overlaps", "Symmetry violations"});
+  table.add_row(
+      {"hierarchy + constraints", std::to_string(placement.tiles.size()),
+       fmt(placement.area(), 1),
+       fmt(layout::half_perimeter_wirelength(placement, result.prepared.flat),
+           1),
+       std::to_string(placement.overlap_count()),
+       std::to_string(sym_h.violations) + "/" + std::to_string(sym_h.checked)});
+  table.add_row(
+      {"flat grid (no hierarchy)", std::to_string(flat.tiles.size()),
+       fmt(flat.area(), 1),
+       fmt(layout::half_perimeter_wirelength(flat, result.prepared.flat), 1),
+       std::to_string(flat.overlap_count()),
+       std::to_string(sym_f.violations) + "/" + std::to_string(sym_f.checked)});
+  std::printf("%s\n", table.str().c_str());
+
+  layout::write_svg(placement, "fig6_sc_filter_layout.svg");
+  std::printf("layout SVG written to fig6_sc_filter_layout.svg\n");
+  std::printf("expected shape: the hierarchical placement clusters the OTA, "
+              "honors every\nsymmetry constraint, and its wirelength is "
+              "competitive with the flat packing.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Full annotation CLI: reads a SPICE file, optionally trains a quick GCN
+// on the matching synthetic dataset, and prints the hierarchy tree,
+// primitives, and constraints.
+//
+//   ./annotate_netlist my_circuit.sp [--domain ota|rf] [--train]
+//                      [--circuits 150] [--epochs 25] [--svg out.svg]
+//                      [--save-model m.ckpt] [--load-model m.ckpt]
+//
+// Without --train the pipeline runs model-free (cluster classes come from
+// the uniform vote), which still exercises primitive annotation and
+// hierarchy extraction.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "gana.hpp"
+#include "gcn/serialize.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+std::unique_ptr<gana::gcn::GcnModel> train_quick_model(
+    const std::string& domain, std::size_t circuits, int epochs) {
+  gana::datagen::DatasetOptions dopt;
+  dopt.circuits = circuits;
+  dopt.seed = 1;
+  std::vector<gana::datagen::LabeledCircuit> dataset;
+  std::size_t classes = 2;
+  if (domain == "rf") {
+    dataset = gana::datagen::make_rf_dataset(dopt);
+    classes = 3;
+  } else {
+    dataset = gana::datagen::make_ota_dataset(dopt);
+  }
+  gana::gcn::ModelConfig cfg;
+  cfg.in_features = gana::core::kNumFeatures;
+  cfg.num_classes = classes;
+  cfg.conv_channels = {32, 64};
+  cfg.cheb_k = 8;
+  cfg.fc_hidden = 512;
+  cfg.seed = 7;
+  auto model = std::make_unique<gana::gcn::GcnModel>(cfg);
+
+  auto samples = gana::core::make_gcn_samples(dataset, 0, 11);
+  auto [train_set, val_set] =
+      gana::gcn::split_dataset(std::move(samples), 0.8, 13);
+  gana::gcn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.patience = 8;
+  const auto result = gana::gcn::train(*model, train_set, val_set, tc);
+  std::printf("trained %s model: val accuracy %.2f%%\n", domain.c_str(),
+              result.best_val_acc * 100.0);
+  return model;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gana::Args args(argc, argv);
+  if (args.positional().empty()) {
+    std::printf(
+        "usage: annotate_netlist <file.sp> [--domain ota|rf] [--train]\n"
+        "                        [--circuits 150] [--epochs 25]\n"
+        "                        [--svg layout.svg]\n");
+    return 1;
+  }
+  const std::string path = args.positional()[0];
+  const std::string domain = args.get("domain", "ota");
+
+  gana::spice::Netlist netlist;
+  try {
+    netlist = gana::spice::parse_netlist_file(path);
+  } catch (const gana::spice::NetlistError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  std::unique_ptr<gana::gcn::GcnModel> model;
+  if (args.has("load-model")) {
+    model = std::make_unique<gana::gcn::GcnModel>(
+        gana::gcn::load_model_file(args.get("load-model")));
+    std::printf("loaded model from %s (%zu parameters)\n",
+                args.get("load-model").c_str(), model->parameter_count());
+  } else if (args.has("train")) {
+    model = train_quick_model(
+        domain, static_cast<std::size_t>(args.get_int("circuits", 150)),
+        args.get_int("epochs", 25));
+  }
+  if (model && args.has("save-model")) {
+    gana::gcn::save_model_file(*model, args.get("save-model"));
+    std::printf("model saved to %s\n", args.get("save-model").c_str());
+  }
+
+  const std::vector<std::string> classes =
+      domain == "rf" ? gana::datagen::rf_class_names()
+                     : std::vector<std::string>{"ota", "bias"};
+  gana::core::Annotator annotator(model.get(), classes);
+  const auto result = annotator.annotate(netlist, path);
+
+  std::printf("\n== %s ==\n", path.c_str());
+  std::printf("devices %zu  nets %zu  CCCs %zu  primitives %zu\n",
+              result.prepared.flat.devices.size(),
+              result.prepared.flat.nets().size(), result.ccc.count,
+              result.post.primitives.size());
+  std::printf("preprocessing removed %zu cards (parallel %zu, series %zu, "
+              "dummies %zu, decaps %zu)\n",
+              result.prepared.preprocess_report.total_removed(),
+              result.prepared.preprocess_report.merged_parallel,
+              result.prepared.preprocess_report.merged_series,
+              result.prepared.preprocess_report.removed_dummies,
+              result.prepared.preprocess_report.removed_decaps);
+
+  std::printf("\n%s\n", gana::core::to_string(result.hierarchy).c_str());
+
+  if (args.has("svg")) {
+    const auto placement =
+        gana::layout::place_hierarchy(result.hierarchy, result.prepared.flat);
+    gana::layout::write_svg(placement, args.get("svg"));
+    std::printf("layout written to %s (area %.1f um^2, HPWL %.1f um)\n",
+                args.get("svg").c_str(), placement.area(),
+                gana::layout::half_perimeter_wirelength(
+                    placement, result.prepared.flat));
+  }
+  if (args.has("json")) {
+    std::ofstream f(args.get("json"));
+    f << gana::core::annotation_to_json(result, classes);
+    std::printf("annotation JSON written to %s\n", args.get("json").c_str());
+  }
+  if (args.has("dot")) {
+    std::ofstream f(args.get("dot"));
+    f << gana::core::graph_to_dot(result.prepared.graph, result.final_class,
+                                  classes);
+    std::printf("graphviz DOT written to %s\n", args.get("dot").c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "core/constraints.hpp"
+
+#include "core/hierarchy.hpp"
+
+namespace gana::core {
+
+using constraints::Constraint;
+using constraints::Kind;
+
+void attach_block_constraints(HierarchyNode& block) {
+  const std::string axis = "axis:" + block.name;
+
+  // Collect the symmetric pairs of child primitives and re-tag their axes
+  // so every pair in this block shares one axis.
+  std::vector<std::string> mirrored;
+  bool has_pair = false;
+  for (auto& prim : block.children) {
+    for (auto& c : prim.constraints) {
+      if (c.kind == Kind::Symmetry) {
+        c.tag = axis;
+        has_pair = true;
+        for (const auto& m : c.members) mirrored.push_back(m);
+      }
+    }
+  }
+  if (has_pair) {
+    // Matching groups in a block with a symmetry axis become
+    // common-centroid groups about that axis (paper §IV-B: the CM and DP
+    // of stage 1 combine to a common symmetry axis).
+    for (auto& prim : block.children) {
+      for (auto& c : prim.constraints) {
+        if (c.kind == Kind::Matching && c.members.size() >= 2) {
+          Constraint cc;
+          cc.kind = Kind::CommonCentroid;
+          cc.members = c.members;
+          cc.tag = axis;
+          prim.constraints.push_back(std::move(cc));
+        }
+      }
+    }
+    Constraint sym;
+    sym.kind = Kind::Symmetry;
+    sym.members = mirrored;
+    sym.tag = axis;
+    block.constraints.push_back(std::move(sym));
+  }
+
+  // Class-driven constraints.
+  const std::string& cls = block.type;
+  const bool rf = cls == "lna" || cls == "mixer" || cls == "osc" ||
+                  cls == "bpf" || cls == "buf" || cls == "invamp";
+  if (cls == "lna") {
+    Constraint p;
+    p.kind = Kind::Proximity;
+    p.members = {block.name};
+    p.tag = "antenna";
+    block.constraints.push_back(std::move(p));
+  }
+  if (cls == "lna" || cls == "mixer") {
+    Constraint gr;
+    gr.kind = Kind::GuardRing;
+    gr.members = {block.name};
+    block.constraints.push_back(std::move(gr));
+  }
+  if (rf) {
+    Constraint wl;
+    wl.kind = Kind::MinWireLength;
+    wl.members = {block.name};
+    block.constraints.push_back(std::move(wl));
+  }
+}
+
+std::vector<Constraint> collect_constraints(const HierarchyNode& node) {
+  std::vector<Constraint> out = node.constraints;
+  for (const auto& child : node.children) {
+    const auto sub = collect_constraints(child);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+}  // namespace gana::core

@@ -1,0 +1,34 @@
+// Sub-block constraint annotation and propagation (paper §III-C, §IV-B).
+//
+// "For every known category of blocks, it is possible to associate the
+// recognized block with a set of layout constraints based on its
+// functionality." Primitive-level symmetry/matching constraints are
+// attached at match time (primitives module); this module derives the
+// class-driven block constraints and propagates symmetry axes up the
+// hierarchy ("these two may be combined to ensure a common symmetry axis
+// for both structures").
+#pragma once
+
+#include <vector>
+
+#include "primitives/constraint.hpp"
+
+namespace gana::core {
+
+struct HierarchyNode;
+
+/// Attaches class-driven constraints to a sub-block node and merges the
+/// symmetry axes of its primitives:
+///   * any differential/cross-coupled pair inside promotes a block-level
+///     symmetry axis shared by all such pairs and by current-mirror
+///     matching groups (re-tagged CommonCentroid about the same axis);
+///   * OTA blocks get the axis constraint; LNA blocks get antenna
+///     Proximity; LNA/mixer blocks get GuardRing; all RF classes get
+///     MinWireLength.
+void attach_block_constraints(HierarchyNode& block);
+
+/// Flattens every constraint in the subtree (block + primitives).
+std::vector<constraints::Constraint> collect_constraints(
+    const HierarchyNode& node);
+
+}  // namespace gana::core

@@ -1,0 +1,130 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+
+namespace gana::core {
+namespace {
+
+using graph::NetRole;
+using graph::VertexKind;
+using spice::DeviceType;
+
+/// Value bucket (low=0, med=1, high=2) given per-type thresholds.
+int value_bucket(DeviceType t, double value, double w_param) {
+  switch (t) {
+    case DeviceType::Resistor:
+      return value < 2e3 ? 0 : (value < 50e3 ? 1 : 2);
+    case DeviceType::Capacitor:
+      return value < 500e-15 ? 0 : (value < 5e-12 ? 1 : 2);
+    case DeviceType::Inductor:
+      return value < 2e-9 ? 0 : (value < 8e-9 ? 1 : 2);
+    case DeviceType::ISource:
+      return value < 10e-6 ? 0 : (value < 100e-6 ? 1 : 2);
+    case DeviceType::VSource:
+      return value < 0.5 ? 0 : (value < 1.2 ? 1 : 2);
+    case DeviceType::Nmos:
+    case DeviceType::Pmos:
+      // MOS devices bucket by width.
+      return w_param < 2e-6 ? 0 : (w_param < 8e-6 ? 1 : 2);
+  }
+  return 1;
+}
+
+std::size_t type_column(DeviceType t) {
+  switch (t) {
+    case DeviceType::Nmos: return kFeatNmos;
+    case DeviceType::Pmos: return kFeatPmos;
+    case DeviceType::Resistor: return kFeatResistor;
+    case DeviceType::Capacitor: return kFeatCapacitor;
+    case DeviceType::Inductor: return kFeatInductor;
+    case DeviceType::VSource: return kFeatVRef;
+    case DeviceType::ISource: return kFeatIRef;
+  }
+  return kFeatNmos;
+}
+
+}  // namespace
+
+Matrix build_features(const graph::CircuitGraph& g) {
+  Matrix x(g.vertex_count(), kNumFeatures);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind == VertexKind::Element) {
+      x(v, type_column(vert.dtype)) = 1.0;
+      x(v, kFeatHierLevel) =
+          std::min(1.0, static_cast<double>(vert.hier_depth) / 8.0);
+      // For MOS vertices `value` is the device width (set by the builder).
+      const int bucket = value_bucket(vert.dtype, vert.value, vert.value);
+      x(v, kFeatValueLow + static_cast<std::size_t>(bucket)) = 1.0;
+      // Merged-terminal signature: any incident edge with two or more
+      // label bits set (diode connections and the like).
+      for (std::size_t eid : g.incident(v)) {
+        const std::uint8_t label = g.edge(eid).label;
+        const int bits = (label & 1) + ((label >> 1) & 1) + ((label >> 2) & 1);
+        if (bits >= 2) {
+          x(v, kFeatEdgeMerged) = 1.0;
+          break;
+        }
+      }
+    } else {
+      switch (vert.role) {
+        case NetRole::Input:
+        case NetRole::Antenna:
+        case NetRole::LocalOsc:
+        case NetRole::Clock:
+          x(v, kFeatNetInput) = 1.0;
+          break;
+        case NetRole::Output:
+          x(v, kFeatNetOutput) = 1.0;
+          break;
+        case NetRole::Bias:
+          x(v, kFeatNetBias) = 1.0;
+          break;
+        case NetRole::Supply:
+          x(v, kFeatNetSupply) = 1.0;
+          break;
+        case NetRole::Ground:
+          x(v, kFeatNetGround) = 1.0;
+          break;
+        case NetRole::Internal:
+          break;
+      }
+    }
+  }
+  return x;
+}
+
+std::vector<int> vertex_labels(
+    const graph::CircuitGraph& g,
+    const std::map<std::string, int>& device_labels) {
+  std::vector<int> labels(g.vertex_count(), -1);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind != VertexKind::Element) continue;
+    auto it = device_labels.find(vert.name);
+    if (it != device_labels.end()) labels[v] = it->second;
+  }
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind != VertexKind::Net) continue;
+    if (vert.role == NetRole::Supply || vert.role == NetRole::Ground) {
+      continue;  // rails stay -1: they belong to every block
+    }
+    std::map<int, int> votes;
+    for (std::size_t eid : g.incident(v)) {
+      const int c = labels[g.edge(eid).element];
+      if (c >= 0) ++votes[c];
+    }
+    int best = -1, best_votes = 0;
+    for (auto [c, cnt] : votes) {  // map order => ties pick smaller id
+      if (cnt > best_votes) {
+        best = c;
+        best_votes = cnt;
+      }
+    }
+    labels[v] = best;
+  }
+  return labels;
+}
+
+}  // namespace gana::core

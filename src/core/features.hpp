@@ -1,0 +1,54 @@
+// The 18 per-vertex input features of the GCN (paper §V-A):
+//   * 12 element-type features: device one-hot (NMOS, PMOS, R, C, L,
+//     voltage reference, current reference, hierarchical block), the
+//     hierarchy level, and a low/medium/high value bucket;
+//   * 5 net-type features: input, output, bias, supply, ground;
+//   * 1 feature describing the labeled edges incident on a transistor
+//     vertex (set when any terminal pair is merged, e.g. diode-connected
+//     gate-drain ties -- the signature of mirror inputs).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+#include "linalg/dense.hpp"
+
+namespace gana::core {
+
+inline constexpr std::size_t kNumFeatures = 18;
+
+/// Feature column indices (documented layout; tests rely on it).
+enum Feature : std::size_t {
+  kFeatNmos = 0,
+  kFeatPmos,
+  kFeatResistor,
+  kFeatCapacitor,
+  kFeatInductor,
+  kFeatVRef,
+  kFeatIRef,
+  kFeatHierBlock,
+  kFeatHierLevel,
+  kFeatValueLow,
+  kFeatValueMed,
+  kFeatValueHigh,
+  kFeatNetInput,
+  kFeatNetOutput,
+  kFeatNetBias,
+  kFeatNetSupply,
+  kFeatNetGround,
+  kFeatEdgeMerged,
+};
+
+/// Builds the n x 18 feature matrix for a circuit graph.
+Matrix build_features(const graph::CircuitGraph& g);
+
+/// Ground-truth class per vertex: elements take their device label; nets
+/// take the majority label of adjacent elements (ties break toward the
+/// smaller class id); supply/ground rails and unlabeled vertices get -1.
+std::vector<int> vertex_labels(
+    const graph::CircuitGraph& g,
+    const std::map<std::string, int>& device_labels);
+
+}  // namespace gana::core

@@ -1,0 +1,239 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "core/constraints.hpp"
+
+namespace gana::core {
+
+using graph::CircuitGraph;
+using graph::VertexKind;
+
+std::size_t HierarchyNode::element_count() const {
+  if (kind == Kind::Element) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children) n += c.element_count();
+  return n;
+}
+
+std::size_t HierarchyNode::depth() const {
+  std::size_t d = 0;
+  for (const auto& c : children) d = std::max(d, c.depth());
+  return d + 1;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+HierarchyNode build_hierarchy(const CircuitGraph& g,
+                              const graph::CccResult& ccc,
+                              const PostprocessResult& post,
+                              const std::vector<std::string>& class_names,
+                              const std::string& circuit_name) {
+  HierarchyNode root;
+  root.kind = HierarchyNode::Kind::System;
+  root.name = circuit_name;
+  root.type = "system";
+
+  const std::set<std::size_t> standalone_prims(post.standalone.begin(),
+                                               post.standalone.end());
+
+  // Merge same-class CCCs that share a (non-rail) net into one sub-block.
+  UnionFind uf(ccc.count);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind != VertexKind::Net) continue;
+    if (vert.role == graph::NetRole::Supply ||
+        vert.role == graph::NetRole::Ground) {
+      continue;
+    }
+    std::vector<int> comps;
+    for (std::size_t eid : g.incident(v)) {
+      const int c = ccc.of(g.edge(eid).element);
+      if (c >= 0) comps.push_back(c);
+    }
+    for (std::size_t i = 1; i < comps.size(); ++i) {
+      const auto a = static_cast<std::size_t>(comps[0]);
+      const auto b = static_cast<std::size_t>(comps[i]);
+      if (post.cluster_class[a] == post.cluster_class[b]) uf.unite(a, b);
+    }
+  }
+
+  // Group element vertices per merged sub-block.
+  std::map<std::size_t, std::vector<std::size_t>> members_of_block;
+  for (std::size_t c = 0; c < ccc.count; ++c) {
+    const std::size_t root_c = uf.find(c);
+    auto& m = members_of_block[root_c];
+    m.insert(m.end(), ccc.members[c].begin(), ccc.members[c].end());
+  }
+
+  // Elements covered by a stand-alone primitive are pulled out of their
+  // sub-block and emitted as top-level primitive nodes.
+  std::set<std::size_t> standalone_elements;
+  for (std::size_t pi : standalone_prims) {
+    const auto& inst = post.primitives[pi];
+    standalone_elements.insert(inst.elements.begin(), inst.elements.end());
+  }
+
+  // Primitive -> owning merged block (by its first element). A primitive
+  // may span blocks (e.g. a current mirror whose diode lives in the bias
+  // network and whose output device is an OTA tail -- the situation that
+  // motivates flattening in §II-B); it is emitted once, in the block of
+  // its first element, and its elements never reappear as loose leaves.
+  std::map<std::size_t, std::vector<std::size_t>> prims_of_block;
+  std::set<std::size_t> claimed_by_primitive;
+  for (std::size_t pi = 0; pi < post.primitives.size(); ++pi) {
+    if (standalone_prims.count(pi)) continue;
+    const auto& inst = post.primitives[pi];
+    if (inst.elements.empty()) continue;
+    claimed_by_primitive.insert(inst.elements.begin(), inst.elements.end());
+    const int c = ccc.of(inst.elements.front());
+    if (c >= 0) {
+      prims_of_block[uf.find(static_cast<std::size_t>(c))].push_back(pi);
+    }
+  }
+
+  auto element_node = [&](std::size_t v) {
+    HierarchyNode leaf;
+    leaf.kind = HierarchyNode::Kind::Element;
+    leaf.name = g.vertex(v).name;
+    leaf.type = spice::to_string(g.vertex(v).dtype);
+    return leaf;
+  };
+
+  auto primitive_node = [&](std::size_t pi) {
+    const auto& inst = post.primitives[pi];
+    HierarchyNode node;
+    node.kind = HierarchyNode::Kind::Primitive;
+    node.name = inst.type + "_" + std::to_string(pi);
+    node.type = inst.display_name;
+    node.constraints = inst.constraints;
+    for (std::size_t v : inst.elements) node.children.push_back(element_node(v));
+    return node;
+  };
+
+  std::map<std::string, int> type_counter;
+  for (auto& [block_root, elements] : members_of_block) {
+    // Skip blocks whose elements are all stand-alone (emitted below).
+    std::vector<std::size_t> own;
+    for (std::size_t v : elements) {
+      if (!standalone_elements.count(v)) own.push_back(v);
+    }
+    if (own.empty()) continue;
+    const int cls = post.cluster_class[block_root];
+    const std::string cls_name =
+        cls >= 0 && static_cast<std::size_t>(cls) < class_names.size()
+            ? class_names[static_cast<std::size_t>(cls)]
+            : "unknown";
+
+    HierarchyNode block;
+    block.kind = HierarchyNode::Kind::SubBlock;
+    block.name = cls_name + std::to_string(type_counter[cls_name]++);
+    block.type = cls_name;
+
+    // Constituent CCCs of this merged block: when a block was stitched
+    // together from several channel-connected components (e.g. the two
+    // stages of a Miller OTA), each becomes a nested stage node -- the
+    // paper's hierarchy trees likewise nest "STAGE 1"/"STAGE 2" inside
+    // the big OTA (Fig. 1(c)).
+    std::map<int, std::vector<std::size_t>> prims_of_stage;
+    for (std::size_t pi : prims_of_block[block_root]) {
+      const auto& inst = post.primitives[pi];
+      prims_of_stage[ccc.of(inst.elements.front())].push_back(pi);
+    }
+    std::map<int, std::vector<std::size_t>> loose_of_stage;
+    for (std::size_t v : own) {
+      if (!claimed_by_primitive.count(v)) {
+        loose_of_stage[ccc.of(v)].push_back(v);
+      }
+    }
+    std::set<int> stage_ids;
+    for (const auto& [c, p] : prims_of_stage) {
+      (void)p;
+      stage_ids.insert(c);
+    }
+    for (const auto& [c, e] : loose_of_stage) {
+      (void)e;
+      stage_ids.insert(c);
+    }
+
+    const bool nest_stages = stage_ids.size() > 1;
+    int stage_index = 0;
+    for (int c : stage_ids) {
+      HierarchyNode* sink = &block;
+      HierarchyNode stage;
+      if (nest_stages) {
+        stage.kind = HierarchyNode::Kind::SubBlock;
+        stage.name = block.name + "/stage" + std::to_string(stage_index++);
+        stage.type = cls_name + "-stage";
+        sink = &stage;
+      }
+      for (std::size_t pi : prims_of_stage[c]) {
+        sink->children.push_back(primitive_node(pi));
+      }
+      for (std::size_t v : loose_of_stage[c]) {
+        sink->children.push_back(element_node(v));
+      }
+      if (nest_stages) {
+        attach_block_constraints(stage);
+        block.children.push_back(std::move(stage));
+      }
+    }
+    attach_block_constraints(block);
+    root.children.push_back(std::move(block));
+  }
+
+  // Stand-alone primitives at the top level (paper: "a primitive that can
+  // be considered a stand-alone unit is separated and listed as a
+  // stand-alone primitive in the hierarchy tree").
+  for (std::size_t pi : standalone_prims) {
+    root.children.push_back(primitive_node(pi));
+  }
+  return root;
+}
+
+std::string to_string(const HierarchyNode& node, int indent) {
+  std::string out(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (node.kind) {
+    case HierarchyNode::Kind::System: out += "[system] "; break;
+    case HierarchyNode::Kind::SubBlock: out += "[sub-block] "; break;
+    case HierarchyNode::Kind::Primitive: out += "[primitive] "; break;
+    case HierarchyNode::Kind::Element: out += "[element] "; break;
+  }
+  out += node.name;
+  if (!node.type.empty() && node.type != node.name) {
+    out += " (" + node.type + ")";
+  }
+  for (const auto& c : node.constraints) {
+    out += "  {" + constraints::to_string(c) + "}";
+  }
+  out += "\n";
+  for (const auto& child : node.children) {
+    out += to_string(child, indent + 1);
+  }
+  return out;
+}
+
+}  // namespace gana::core

@@ -1,0 +1,45 @@
+// Hierarchy-tree construction (paper §II-A, Fig. 1(b)).
+//
+// The annotated circuit becomes a tree: the system at the root, sub-block
+// nodes (merged same-class clusters), primitive nodes inside sub-blocks,
+// and element leaves. Stand-alone primitives (buffers, inverter amps)
+// hang directly under the root.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/postprocess.hpp"
+#include "graph/ccc.hpp"
+#include "graph/circuit_graph.hpp"
+#include "primitives/constraint.hpp"
+
+namespace gana::core {
+
+struct HierarchyNode {
+  enum class Kind { System, SubBlock, Primitive, Element };
+  Kind kind = Kind::System;
+  std::string name;  ///< instance name, e.g. "ota0" or device name
+  std::string type;  ///< class or primitive display name, e.g. "OTA", "DP-N"
+  std::vector<HierarchyNode> children;
+  std::vector<constraints::Constraint> constraints;
+
+  /// Number of element leaves underneath.
+  [[nodiscard]] std::size_t element_count() const;
+  /// Depth of the tree (1 for a leaf).
+  [[nodiscard]] std::size_t depth() const;
+};
+
+/// Builds the hierarchy tree from postprocessed cluster classes.
+/// Adjacent CCCs with the same final class merge into one sub-block;
+/// sub-blocks own the primitives whose elements they contain.
+HierarchyNode build_hierarchy(const graph::CircuitGraph& g,
+                              const graph::CccResult& ccc,
+                              const PostprocessResult& post,
+                              const std::vector<std::string>& class_names,
+                              const std::string& circuit_name);
+
+/// Pretty-prints the tree, e.g. for the examples and benches.
+std::string to_string(const HierarchyNode& node, int indent = 0);
+
+}  // namespace gana::core

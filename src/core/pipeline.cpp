@@ -1,0 +1,159 @@
+#include "core/pipeline.hpp"
+
+#include <utility>
+
+#include "gcn/trainer.hpp"
+#include "graph/builder.hpp"
+#include "graph/laplacian.hpp"
+#include "spice/flatten.hpp"
+#include "util/timer.hpp"
+
+namespace gana::core {
+
+PreparedCircuit prepare_circuit(const datagen::LabeledCircuit& input,
+                                const PrepareOptions& options) {
+  PreparedCircuit out;
+  out.name = input.name;
+  out.class_names = input.class_names;
+  out.flat = spice::flatten(input.netlist);
+
+  // Transfer labels across preprocessing: removed devices alias to their
+  // surviving representative (or vanish).
+  std::map<std::string, int> device_labels = input.device_labels;
+  if (options.preprocess) {
+    out.preprocess_report =
+        spice::preprocess(out.flat, options.preprocess_options);
+    for (const auto& [removed, kept] : out.preprocess_report.alias) {
+      device_labels.erase(removed);
+      (void)kept;  // the representative keeps its own label
+    }
+  }
+  out.graph = graph::build_graph(out.flat);
+  out.labels = vertex_labels(out.graph, device_labels);
+  return out;
+}
+
+PreparedCircuit prepare_netlist(const spice::Netlist& netlist,
+                                std::vector<std::string> class_names,
+                                const std::string& name,
+                                const PrepareOptions& options) {
+  datagen::LabeledCircuit lc;
+  lc.name = name;
+  lc.netlist = netlist;
+  lc.class_names = std::move(class_names);
+  return prepare_circuit(lc, options);
+}
+
+gcn::GraphSample make_gcn_sample(const PreparedCircuit& prepared,
+                                 int pool_levels, Rng& rng) {
+  return gcn::make_sample(graph::adjacency(prepared.graph),
+                          build_features(prepared.graph), prepared.labels,
+                          pool_levels, rng, prepared.name);
+}
+
+std::vector<gcn::GraphSample> make_gcn_samples(
+    const std::vector<datagen::LabeledCircuit>& circuits, int pool_levels,
+    std::uint64_t seed, const PrepareOptions& options) {
+  Rng rng(seed);
+  std::vector<gcn::GraphSample> out;
+  out.reserve(circuits.size());
+  for (const auto& c : circuits) {
+    out.push_back(
+        make_gcn_sample(prepare_circuit(c, options), pool_levels, rng));
+  }
+  return out;
+}
+
+Annotator::Annotator(gcn::GcnModel* model,
+                     std::vector<std::string> class_names,
+                     primitives::PrimitiveLibrary library,
+                     PrepareOptions prepare)
+    : model_(model),
+      class_names_(std::move(class_names)),
+      library_(std::move(library)),
+      prepare_(prepare) {}
+
+AnnotateResult Annotator::annotate(const datagen::LabeledCircuit& input) {
+  return run(prepare_circuit(input, prepare_));
+}
+
+AnnotateResult Annotator::annotate(const spice::Netlist& netlist,
+                                   const std::string& name) {
+  return run(prepare_netlist(netlist, class_names_, name, prepare_));
+}
+
+AnnotateResult Annotator::annotate_oracle(
+    const datagen::LabeledCircuit& input, std::size_t oracle_classes) {
+  PreparedCircuit prepared = prepare_circuit(input, prepare_);
+  const std::size_t n = prepared.graph.vertex_count();
+  Matrix probs(n, oracle_classes, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const int t = prepared.labels[v];
+    if (t >= 0 && t < static_cast<int>(oracle_classes)) {
+      probs(v, static_cast<std::size_t>(t)) = 1.0;
+    } else {
+      for (std::size_t k = 0; k < oracle_classes; ++k) {
+        probs(v, k) = 1.0 / static_cast<double>(oracle_classes);
+      }
+    }
+  }
+  return run(std::move(prepared), &probs);
+}
+
+AnnotateResult Annotator::run(PreparedCircuit prepared,
+                              const Matrix* oracle_probs) {
+  AnnotateResult r;
+  r.prepared = std::move(prepared);
+
+  // --- GCN classification.
+  Timer gcn_timer;
+  const std::size_t n = r.prepared.graph.vertex_count();
+  if (oracle_probs != nullptr) {
+    r.probabilities = *oracle_probs;
+  } else if (model_ != nullptr) {
+    Rng rng(0xc0ffee);
+    const gcn::GraphSample sample = make_gcn_sample(
+        r.prepared, model_->config().required_pool_levels(), rng);
+    r.probabilities = gcn::predict_probabilities(*model_, sample);
+  } else {
+    // No model: uniform probabilities over the first class only, so the
+    // graph-based stages can still be exercised in isolation.
+    const std::size_t k = std::max<std::size_t>(1, class_names_.size());
+    r.probabilities = Matrix(n, k, 1.0 / static_cast<double>(k));
+  }
+  r.gcn_class.assign(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < r.probabilities.cols(); ++c) {
+      if (r.probabilities(v, c) > r.probabilities(v, best)) best = c;
+    }
+    r.gcn_class[v] = static_cast<int>(best);
+  }
+  r.seconds_gcn = gcn_timer.seconds();
+
+  // --- Postprocessing I.
+  Timer post_timer;
+  r.ccc = graph::channel_connected_components(r.prepared.graph);
+  r.post = postprocess_stage1(r.prepared.graph, r.ccc, r.probabilities,
+                              class_names_, library_);
+  r.post1_class = vertex_classes(r.prepared.graph, r.ccc,
+                                 r.post.cluster_class);
+
+  // --- Postprocessing II.
+  postprocess_stage2(r.prepared.graph, r.ccc, class_names_, r.post);
+  r.final_class =
+      vertex_classes(r.prepared.graph, r.ccc, r.post.cluster_class);
+
+  // --- Hierarchy + constraints.
+  r.hierarchy = build_hierarchy(r.prepared.graph, r.ccc, r.post,
+                                class_names_, r.prepared.name);
+  r.seconds_post = post_timer.seconds();
+
+  // --- Accuracy vs. ground truth (when present).
+  r.acc_gcn = accuracy(r.gcn_class, r.prepared.labels);
+  r.acc_post1 = accuracy(r.post1_class, r.prepared.labels);
+  r.acc_post2 = accuracy(r.final_class, r.prepared.labels);
+  return r;
+}
+
+}  // namespace gana::core

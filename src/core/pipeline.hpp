@@ -1,0 +1,117 @@
+// The end-to-end GANA pipeline (paper §II-B):
+//   SPICE netlist -> flatten -> preprocess -> bipartite graph ->
+//   18 features -> GCN classification -> Postprocessing I (CCC majority,
+//   primitive extraction, stand-alone separation) -> Postprocessing II
+//   (port knowledge) -> hierarchy tree + constraints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/hierarchy.hpp"
+#include "core/postprocess.hpp"
+#include "datagen/sizing.hpp"
+#include "gcn/model.hpp"
+#include "gcn/sample.hpp"
+#include "graph/ccc.hpp"
+#include "primitives/library.hpp"
+#include "spice/preprocess.hpp"
+
+namespace gana::core {
+
+/// A circuit after the front end: flat, preprocessed, graphed, featurized,
+/// with ground-truth labels transferred when available.
+struct PreparedCircuit {
+  std::string name;
+  spice::Netlist flat;
+  spice::PreprocessReport preprocess_report;
+  graph::CircuitGraph graph;
+  std::vector<int> labels;  ///< truth per vertex, -1 unknown
+  std::vector<std::string> class_names;
+};
+
+struct PrepareOptions {
+  bool preprocess = true;
+  spice::PreprocessOptions preprocess_options;
+};
+
+/// Front end on a labeled circuit (labels survive preprocessing through
+/// the alias map).
+PreparedCircuit prepare_circuit(const datagen::LabeledCircuit& input,
+                                const PrepareOptions& options = {});
+
+/// Front end on a bare netlist (no ground truth).
+PreparedCircuit prepare_netlist(const spice::Netlist& netlist,
+                                std::vector<std::string> class_names,
+                                const std::string& name,
+                                const PrepareOptions& options = {});
+
+/// GCN sample from a prepared circuit.
+gcn::GraphSample make_gcn_sample(const PreparedCircuit& prepared,
+                                 int pool_levels, Rng& rng);
+
+/// Batch conversion of labeled circuits into GCN samples.
+std::vector<gcn::GraphSample> make_gcn_samples(
+    const std::vector<datagen::LabeledCircuit>& circuits, int pool_levels,
+    std::uint64_t seed, const PrepareOptions& options = {});
+
+/// Full annotation result with per-stage classifications and accuracies.
+struct AnnotateResult {
+  PreparedCircuit prepared;
+  Matrix probabilities;             ///< per-vertex GCN class probabilities
+  graph::CccResult ccc;
+  std::vector<int> gcn_class;       ///< raw GCN argmax per vertex
+  std::vector<int> post1_class;     ///< after Postprocessing I
+  std::vector<int> final_class;     ///< after Postprocessing II
+  PostprocessResult post;           ///< final cluster classes + primitives
+  HierarchyNode hierarchy;
+  double acc_gcn = 0.0;    ///< vs. truth, when labels are present
+  double acc_post1 = 0.0;
+  double acc_post2 = 0.0;
+  double seconds_gcn = 0.0;
+  double seconds_post = 0.0;
+};
+
+/// Ties a trained model, its class vocabulary, and the primitive library
+/// into a reusable annotator.
+class Annotator {
+ public:
+  Annotator(gcn::GcnModel* model, std::vector<std::string> class_names,
+            primitives::PrimitiveLibrary library =
+                primitives::PrimitiveLibrary::standard(),
+            PrepareOptions prepare = {});
+
+  /// Runs the full pipeline. Ground-truth labels in `input` are used only
+  /// to fill the accuracy fields.
+  AnnotateResult annotate(const datagen::LabeledCircuit& input);
+
+  /// Pipeline on an unlabeled netlist.
+  AnnotateResult annotate(const spice::Netlist& netlist,
+                          const std::string& name);
+
+  /// Runs the pipeline with an ORACLE classifier: probabilities are
+  /// one-hot on the ground-truth labels (uniform for labels outside the
+  /// first `oracle_classes` entries). Isolates the graph-based stages
+  /// from GCN quality -- used by tests and postprocessing audits.
+  AnnotateResult annotate_oracle(const datagen::LabeledCircuit& input,
+                                 std::size_t oracle_classes);
+
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return class_names_;
+  }
+  [[nodiscard]] const primitives::PrimitiveLibrary& library() const {
+    return library_;
+  }
+
+ private:
+  AnnotateResult run(PreparedCircuit prepared,
+                     const Matrix* oracle_probs = nullptr);
+
+  gcn::GcnModel* model_;  ///< not owned; may be null (uniform probabilities)
+  std::vector<std::string> class_names_;
+  primitives::PrimitiveLibrary library_;
+  PrepareOptions prepare_;
+};
+
+}  // namespace gana::core

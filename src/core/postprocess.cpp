@@ -1,0 +1,496 @@
+#include "core/postprocess.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace gana::core {
+
+using graph::CircuitGraph;
+using graph::NetRole;
+using graph::VertexKind;
+
+std::optional<int> class_id(const std::vector<std::string>& class_names,
+                            const std::string& name) {
+  for (std::size_t i = 0; i < class_names.size(); ++i) {
+    if (class_names[i] == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+bool is_rail_net(const graph::Vertex& v) {
+  return v.kind == VertexKind::Net &&
+         (v.role == NetRole::Supply || v.role == NetRole::Ground);
+}
+
+/// True if the net has an adjacent diode-connected MOS (gate+drain edge),
+/// i.e. it is a mirror/bias feed rather than a signal injection.
+bool net_has_diode_neighbor(const CircuitGraph& g, std::size_t net) {
+  for (std::size_t eid : g.incident(net)) {
+    const auto& e = g.edge(eid);
+    const int bits = (e.label & 1) + ((e.label >> 1) & 1) + ((e.label >> 2) & 1);
+    if (bits >= 2) return true;
+  }
+  return false;
+}
+
+/// True if a resistor connects nets `a` and `b`.
+bool has_resistor_between(const CircuitGraph& g, std::size_t a,
+                          std::size_t b) {
+  for (std::size_t eid : g.incident(a)) {
+    const auto& e = g.edge(eid);
+    if (g.vertex(e.element).dtype != spice::DeviceType::Resistor) continue;
+    for (std::size_t eid2 : g.incident(e.element)) {
+      if (g.edge(eid2).net == b) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+PostprocessResult postprocess_stage1(
+    const CircuitGraph& g, const graph::CccResult& ccc, const Matrix& probs,
+    const std::vector<std::string>& class_names,
+    const primitives::PrimitiveLibrary& library) {
+  PostprocessResult result;
+  const std::size_t k = probs.cols();
+
+  // --- Probability-weighted majority vote per CCC.
+  result.cluster_class.assign(ccc.count, 0);
+  for (std::size_t c = 0; c < ccc.count; ++c) {
+    std::vector<double> score(k, 0.0);
+    for (std::size_t v : ccc.members[c]) {
+      for (std::size_t j = 0; j < k; ++j) score[j] += probs(v, j);
+    }
+    result.cluster_class[c] = static_cast<int>(
+        std::max_element(score.begin(), score.end()) - score.begin());
+  }
+
+  // --- Primitive extraction over the whole graph.
+  result.primitives = primitives::annotate_primitives(g, library);
+
+  // Primitive instances grouped by CCC (an instance belongs to the CCC of
+  // its elements; library patterns never straddle CCCs except through
+  // gate-only nets, so the first element decides).
+  std::vector<std::vector<std::size_t>> prims_of_ccc(ccc.count);
+  for (std::size_t pi = 0; pi < result.primitives.size(); ++pi) {
+    const auto& inst = result.primitives[pi];
+    if (inst.elements.empty()) continue;
+    const int c = ccc.of(inst.elements.front());
+    if (c >= 0) prims_of_ccc[static_cast<std::size_t>(c)].push_back(pi);
+  }
+
+  // --- Stand-alone separation of inverter chains. A CMOS inverter is its
+  // own CCC (gates do not merge components), so buffers, inverter
+  // amplifiers, and ring oscillators span several CCCs connected only by
+  // gate nets. We build a chain graph over "pure" inverter CCCs (all MOS
+  // devices covered by an INV primitive) and classify each weakly
+  // connected chain: a directed cycle is a ring oscillator, a feedback
+  // resistor marks an inverter amplifier, anything else is a buffer.
+  const auto buf_id = class_id(class_names, "buf");
+  const auto inv_id = class_id(class_names, "invamp");
+  const auto osc_id = class_id(class_names, "osc");
+  if (buf_id || inv_id) {
+    struct InvNode {
+      std::size_t prim_index;       ///< into result.primitives
+      std::size_t in_net, out_net;  ///< net vertex ids
+      std::set<std::size_t> cccs;   ///< components its elements live in
+    };
+    // Collect inverter-family instances (a 4T buffer is one "buf"
+    // instance; a lone CMOS inverter is an "inv" instance) and the set of
+    // elements they cover per CCC.
+    std::vector<InvNode> candidates;
+    std::map<std::size_t, std::set<std::size_t>> covered_of_ccc;
+    for (std::size_t pi = 0; pi < result.primitives.size(); ++pi) {
+      const auto& inst = result.primitives[pi];
+      if (inst.type != "inv" && inst.type != "buf") continue;
+      auto in_it = inst.net_binding.find("in");
+      auto out_it = inst.net_binding.find("out");
+      if (in_it == inst.net_binding.end() ||
+          out_it == inst.net_binding.end()) {
+        continue;
+      }
+      InvNode node;
+      node.prim_index = pi;
+      node.in_net = in_it->second;
+      node.out_net = out_it->second;
+      for (std::size_t v : inst.elements) {
+        const int c = ccc.of(v);
+        if (c < 0) continue;
+        node.cccs.insert(static_cast<std::size_t>(c));
+        covered_of_ccc[static_cast<std::size_t>(c)].insert(v);
+      }
+      candidates.push_back(std::move(node));
+    }
+    // Eligible = every touched CCC is "pure": all its MOS devices belong
+    // to inverter-family primitives (a push-pull OTA output stage never
+    // qualifies because its neighbors are not inverters).
+    auto ccc_pure = [&](std::size_t c) {
+      auto it = covered_of_ccc.find(c);
+      if (it == covered_of_ccc.end()) return false;
+      for (std::size_t v : ccc.members[c]) {
+        if (spice::is_mos(g.vertex(v).dtype) && !it->second.count(v)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::vector<InvNode> chain;
+    for (auto& node : candidates) {
+      bool ok = !node.cccs.empty();
+      for (std::size_t c : node.cccs) ok = ok && ccc_pure(c);
+      if (ok) chain.push_back(std::move(node));
+    }
+    // Union inverters sharing a net (weak connectivity).
+    std::vector<std::size_t> group(chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) group[i] = i;
+    std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+      while (group[x] != x) {
+        group[x] = group[group[x]];
+        x = group[x];
+      }
+      return x;
+    };
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      for (std::size_t j = i + 1; j < chain.size(); ++j) {
+        if (chain[i].out_net == chain[j].in_net ||
+            chain[j].out_net == chain[i].in_net) {
+          group[find(i)] = find(j);
+        }
+      }
+    }
+    std::map<std::size_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      groups[find(i)].push_back(i);
+    }
+    for (const auto& [root, members] : groups) {
+      (void)root;
+      // Directed cycle: follow out -> in links up to |members| hops.
+      bool cycle = false;
+      for (std::size_t start : members) {
+        std::size_t cur = start;
+        for (std::size_t hop = 0; hop <= members.size(); ++hop) {
+          bool advanced = false;
+          for (std::size_t j : members) {
+            if (chain[j].in_net == chain[cur].out_net) {
+              cur = j;
+              advanced = true;
+              break;
+            }
+          }
+          if (!advanced) break;
+          if (cur == start) {
+            cycle = true;
+            break;
+          }
+        }
+        if (cycle) break;
+      }
+      bool feedback = false;
+      for (std::size_t i : members) {
+        if (has_resistor_between(g, chain[i].in_net, chain[i].out_net)) {
+          feedback = true;
+          break;
+        }
+      }
+      std::optional<int> id;
+      if (cycle) {
+        id = osc_id;
+      } else if (feedback) {
+        id = inv_id;
+      } else {
+        id = buf_id;
+      }
+      if (!id) continue;
+      for (std::size_t i : members) {
+        for (std::size_t c : chain[i].cccs) {
+          result.cluster_class[c] = *id;
+          result.structural.insert(c);
+        }
+        if (!cycle) result.standalone.push_back(chain[i].prim_index);
+      }
+    }
+  }
+
+  // --- LC-oscillator / BPF structural rule. A CCC containing a
+  // cross-coupled pair together with a tank inductor is an LC oscillator
+  // regardless of the GCN's vote; if it additionally has >= 2 injection
+  // transistors whose gates are driven from outside the component, it is
+  // the paper's BPF ("a combination of an oscillator with two input
+  // transistors", §V-B).
+  const auto bpf_id = class_id(class_names, "bpf");
+  if (osc_id) {
+    for (std::size_t c = 0; c < ccc.count; ++c) {
+      std::set<std::size_t> cp_elements;
+      for (std::size_t pi : prims_of_ccc[c]) {
+        const auto& inst = result.primitives[pi];
+        if (inst.type == "cp_n" || inst.type == "cp_p") {
+          cp_elements.insert(inst.elements.begin(), inst.elements.end());
+        }
+      }
+      if (cp_elements.empty()) continue;
+      bool has_inductor = false;
+      for (std::size_t v : ccc.members[c]) {
+        if (g.vertex(v).dtype == spice::DeviceType::Inductor) {
+          has_inductor = true;
+          break;
+        }
+      }
+      if (!has_inductor) continue;
+      result.cluster_class[c] = *osc_id;
+      result.structural.insert(c);
+      // Channel nets of this CCC: nets touched by a member's source or
+      // drain. A gate on anything else is driven from outside the
+      // component (an injection input), unless it is a bias/diode feed.
+      std::set<std::size_t> channel_nets;
+      for (std::size_t v : ccc.members[c]) {
+        if (!spice::is_mos(g.vertex(v).dtype)) continue;
+        for (std::size_t eid : g.incident(v)) {
+          const auto& e = g.edge(eid);
+          if (e.label & (graph::kLabelSource | graph::kLabelDrain)) {
+            channel_nets.insert(e.net);
+          }
+        }
+      }
+      int injections = 0;
+      for (std::size_t v : ccc.members[c]) {
+        if (!spice::is_mos(g.vertex(v).dtype) || cp_elements.count(v)) {
+          continue;
+        }
+        for (std::size_t eid : g.incident(v)) {
+          const auto& e = g.edge(eid);
+          if ((e.label & graph::kLabelGate) == 0) continue;
+          const auto& net = g.vertex(e.net);
+          if (is_rail_net(net) || net.role == NetRole::Bias) continue;
+          if (net_has_diode_neighbor(g, e.net)) continue;
+          if (!channel_nets.count(e.net)) ++injections;
+        }
+      }
+      if (bpf_id && injections >= 2) result.cluster_class[c] = *bpf_id;
+    }
+  }
+
+  inherit_bias_branches(g, ccc, class_names, result);
+  return result;
+}
+
+// Bias-branch inheritance. In vocabularies without a dedicated "bias"
+// class (the RF sets), a CCC made of diode-connected references plus
+// sources/passives exists only to bias another block: it adopts the
+// majority class of the devices *gated* by its nets (the paper's
+// hierarchies likewise keep a block's bias devices with the block).
+// Idempotent; re-run after any rule that changes cluster classes.
+void inherit_bias_branches(const CircuitGraph& g,
+                           const graph::CccResult& ccc,
+                           const std::vector<std::string>& class_names,
+                           PostprocessResult& result) {
+  if (class_id(class_names, "bias")) return;
+  for (std::size_t c = 0; c < ccc.count; ++c) {
+    bool has_diode = false, bias_like = true;
+    for (std::size_t v : ccc.members[c]) {
+      if (!spice::is_mos(g.vertex(v).dtype)) continue;
+      bool diode = false;
+      for (std::size_t eid : g.incident(v)) {
+        const auto label = g.edge(eid).label;
+        if ((label & graph::kLabelGate) &&
+            (label & (graph::kLabelSource | graph::kLabelDrain))) {
+          diode = true;
+        }
+      }
+      if (diode) {
+        has_diode = true;
+      } else {
+        bias_like = false;
+        break;
+      }
+    }
+    if (!has_diode || !bias_like) continue;
+    // Vote over the cluster classes of externally gated devices.
+    std::map<int, int> votes;
+    for (std::size_t v : ccc.members[c]) {
+      for (std::size_t eid : g.incident(v)) {
+        const std::size_t net = g.edge(eid).net;
+        for (std::size_t eid2 : g.incident(net)) {
+          const auto& e2 = g.edge(eid2);
+          if ((e2.label & graph::kLabelGate) == 0) continue;
+          const int other_c = ccc.of(e2.element);
+          if (other_c < 0 || other_c == static_cast<int>(c)) continue;
+          ++votes[result.cluster_class[static_cast<std::size_t>(other_c)]];
+        }
+      }
+    }
+    int best = -1, best_votes = 0;
+    for (auto [cls, cnt] : votes) {
+      if (cnt > best_votes) {
+        best = cls;
+        best_votes = cnt;
+      }
+    }
+    if (best >= 0) {
+      result.cluster_class[c] = best;
+      result.structural.insert(c);
+    }
+  }
+}
+
+void postprocess_stage2(const CircuitGraph& g, const graph::CccResult& ccc,
+                        const std::vector<std::string>& class_names,
+                        PostprocessResult& result) {
+  const auto lna_id = class_id(class_names, "lna");
+  const auto mixer_id = class_id(class_names, "mixer");
+  const auto osc_id = class_id(class_names, "osc");
+  if (!lna_id || !mixer_id || !osc_id) return;  // no RF knowledge applies
+
+  auto is_core_rf = [&](int cls) {
+    return cls == *lna_id || cls == *mixer_id || cls == *osc_id;
+  };
+
+  // Classes of the clusters *driving* a net through a short passive chain
+  // (gate inductors, AC-coupling caps): BFS from `net` over R/L/C
+  // elements, collecting the classes of clusters whose MOS devices put a
+  // channel terminal on a reached net.
+  auto driving_classes = [&](std::size_t start_net,
+                             std::size_t self) -> std::set<int> {
+    std::set<int> classes;
+    std::set<std::size_t> seen{start_net};
+    std::vector<std::size_t> frontier{start_net};
+    for (int depth = 0; depth < 3 && !frontier.empty(); ++depth) {
+      std::vector<std::size_t> next;
+      for (std::size_t net : frontier) {
+        for (std::size_t eid : g.incident(net)) {
+          const auto& e = g.edge(eid);
+          const auto& el = g.vertex(e.element);
+          if (spice::is_mos(el.dtype)) {
+            if ((e.label & (graph::kLabelSource | graph::kLabelDrain)) == 0) {
+              continue;
+            }
+            const int oc = ccc.of(e.element);
+            if (oc >= 0 && oc != static_cast<int>(self)) {
+              classes.insert(
+                  result.cluster_class[static_cast<std::size_t>(oc)]);
+            }
+          } else if (spice::is_passive(el.dtype)) {
+            for (std::size_t eid2 : g.incident(e.element)) {
+              const std::size_t other = g.edge(eid2).net;
+              if (seen.insert(other).second) next.push_back(other);
+            }
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    return classes;
+  };
+
+  // Port rules + signal-chain propagation, iterated to a fixpoint so a
+  // corrected LNA stage can pull the next cascade stage with it.
+  for (int iter = 0; iter < 4; ++iter) {
+    bool changed = false;
+    for (std::size_t c = 0; c < ccc.count; ++c) {
+      if (!is_core_rf(result.cluster_class[c])) continue;
+      if (result.structural.count(c)) continue;
+      bool touches_antenna = false;
+      bool drives_lo = false;  // source/drain on an oscillating net
+      bool gated_by_lo = false;
+      for (std::size_t v : ccc.members[c]) {
+        for (std::size_t eid : g.incident(v)) {
+          const auto& e = g.edge(eid);
+          const auto& net = g.vertex(e.net);
+          if (net.role == NetRole::Antenna) touches_antenna = true;
+          if (net.role == NetRole::LocalOsc) {
+            if (e.label & (graph::kLabelSource | graph::kLabelDrain)) {
+              drives_lo = true;
+            }
+            if (e.label & graph::kLabelGate) gated_by_lo = true;
+          }
+        }
+      }
+      int cls = result.cluster_class[c];
+      if (touches_antenna) {
+        cls = *lna_id;
+      } else if (drives_lo) {
+        cls = *osc_id;
+      } else if (gated_by_lo) {
+        cls = *mixer_id;
+      } else if (cls == *osc_id) {
+        // "An LNA has an antenna input, while a mixer has an oscillating
+        // input" -- and a free-running oscillator has no signal input at
+        // all. An osc-classified cluster that is not structurally an
+        // oscillator and whose gates are fed through passives from an
+        // LNA-classified cluster is another gain stage of the front end.
+        bool fed_by_lna = false;
+        for (std::size_t v : ccc.members[c]) {
+          if (!spice::is_mos(g.vertex(v).dtype)) continue;
+          for (std::size_t eid : g.incident(v)) {
+            const auto& e = g.edge(eid);
+            if ((e.label & graph::kLabelGate) == 0) continue;
+            if (e.label &
+                (graph::kLabelSource | graph::kLabelDrain)) {
+              continue;  // diode-connected: a bias node, not an input
+            }
+            const auto drivers = driving_classes(e.net, c);
+            if (drivers.count(*lna_id)) fed_by_lna = true;
+          }
+        }
+        if (fed_by_lna) cls = *lna_id;
+      }
+      if (cls != result.cluster_class[c]) {
+        result.cluster_class[c] = cls;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // Bias branches follow the blocks they bias after any reassignment.
+  inherit_bias_branches(g, ccc, class_names, result);
+}
+
+std::vector<int> vertex_classes(const CircuitGraph& g,
+                                const graph::CccResult& ccc,
+                                const std::vector<int>& cluster_class) {
+  std::vector<int> out(g.vertex_count(), -1);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind == VertexKind::Element) {
+      const int c = ccc.of(v);
+      if (c >= 0) out[v] = cluster_class[static_cast<std::size_t>(c)];
+    }
+  }
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind != VertexKind::Net || is_rail_net(vert)) continue;
+    std::map<int, int> votes;
+    for (std::size_t eid : g.incident(v)) {
+      const int c = out[g.edge(eid).element];
+      if (c >= 0) ++votes[c];
+    }
+    int best = -1, best_votes = 0;
+    for (auto [cls, cnt] : votes) {
+      if (cnt > best_votes) {
+        best = cls;
+        best_votes = cnt;
+      }
+    }
+    out[v] = best;
+  }
+  return out;
+}
+
+double accuracy(const std::vector<int>& prediction,
+                const std::vector<int>& truth) {
+  std::size_t correct = 0, counted = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] < 0) continue;
+    ++counted;
+    if (i < prediction.size() && prediction[i] == truth[i]) ++correct;
+  }
+  return counted > 0
+             ? static_cast<double>(correct) / static_cast<double>(counted)
+             : 1.0;
+}
+
+}  // namespace gana::core

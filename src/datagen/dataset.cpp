@@ -1,0 +1,126 @@
+#include "datagen/dataset.hpp"
+
+#include <set>
+
+namespace gana::datagen {
+namespace {
+
+/// Deterministically cycles through OTA variation space, skipping the
+/// held-out telescopic topology.
+OtaOptions ota_variant(std::size_t index, Rng& rng, double label_fraction) {
+  // Heavier topologies appear twice so the node-count distribution
+  // approaches the paper's ~51 nodes/circuit.
+  static constexpr OtaTopology kTrainTopologies[] = {
+      OtaTopology::FiveT,           OtaTopology::FoldedCascode,
+      OtaTopology::TwoStageMiller,  OtaTopology::FullyDifferential,
+      OtaTopology::Symmetrical,     OtaTopology::ClassAb,
+      OtaTopology::TwoStageMiller,  OtaTopology::FullyDifferential,
+  };
+  OtaOptions opt;
+  opt.topology = kTrainTopologies[index % std::size(kTrainTopologies)];
+  opt.bias = kAllBiasStyles[(index / 8) % std::size(kAllBiasStyles)];
+  opt.pmos_input = rng.chance(0.3) &&
+                   (opt.topology == OtaTopology::FiveT ||
+                    opt.topology == OtaTopology::Symmetrical);
+  opt.cascode_tail = rng.chance(0.45);
+  opt.output_buffer = rng.chance(0.45);
+  opt.with_dummies = rng.chance(0.35);
+  opt.with_stacking = rng.chance(0.3);
+  opt.bias_decap = rng.chance(0.5);
+  opt.sc_input = rng.chance(0.35);
+  opt.load_caps = rng.chance(0.8);
+  opt.input_coupling = rng.chance(0.55);
+  opt.bias_startup = rng.chance(0.5);
+  opt.port_labels = rng.chance(label_fraction);
+  return opt;
+}
+
+}  // namespace
+
+std::vector<LabeledCircuit> make_ota_dataset(const DatasetOptions& options) {
+  std::vector<LabeledCircuit> out;
+  out.reserve(options.circuits);
+  Rng rng(options.seed * 0x5851f42d4c957f2dull + 0x14057b7ef767814full);
+  for (std::size_t i = 0; i < options.circuits; ++i) {
+    const OtaOptions opt = ota_variant(i, rng, options.port_label_fraction);
+    out.push_back(
+        generate_ota(opt, rng, "ota_" + std::to_string(options.seed) + "_" +
+                                   std::to_string(i)));
+  }
+  return out;
+}
+
+std::vector<LabeledCircuit> make_rf_dataset(const DatasetOptions& options) {
+  std::vector<LabeledCircuit> out;
+  out.reserve(options.circuits);
+  Rng rng(options.seed * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull);
+  for (std::size_t i = 0; i < options.circuits; ++i) {
+    const std::string name =
+        "rf_" + std::to_string(options.seed) + "_" + std::to_string(i);
+    // Alternate stand-alone blocks (only the three trained classes) and
+    // receivers so the GCN sees both isolated and composed structures.
+    if (i % 2 == 0) {
+      RfBlockOptions opt;
+      const int which = static_cast<int>(i / 2) % 3;
+      opt.block = static_cast<RfClass>(which);
+      opt.lna = kAllLnaKinds[rng.index(std::size(kAllLnaKinds))];
+      opt.mixer = kAllMixerKinds[rng.index(std::size(kAllMixerKinds))];
+      opt.osc = kAllOscKinds[rng.index(std::size(kAllOscKinds))];
+      opt.port_labels = rng.chance(options.port_label_fraction);
+      out.push_back(generate_rf_block(opt, rng, name));
+    } else {
+      ReceiverOptions opt;
+      opt.lna = kAllLnaKinds[rng.index(std::size(kAllLnaKinds))];
+      opt.mixer = kAllMixerKinds[rng.index(std::size(kAllMixerKinds))];
+      opt.osc = kAllOscKinds[rng.index(std::size(kAllOscKinds))];
+      opt.lna_stages = rng.range(1, 3);  // cascaded front ends occur too
+      opt.iq = rng.chance(0.2);
+      opt.lo_buffer = false;  // buffers are not a training class
+      opt.port_labels = rng.chance(options.port_label_fraction);
+      out.push_back(generate_receiver(opt, rng, name));
+    }
+  }
+  return out;
+}
+
+std::vector<LabeledCircuit> make_rf_test_receivers(
+    const DatasetOptions& options) {
+  std::vector<LabeledCircuit> out;
+  out.reserve(options.circuits);
+  Rng rng(options.seed * 0xbf58476d1ce4e5b9ull + 0x94d049bb133111ebull);
+  for (std::size_t i = 0; i < options.circuits; ++i) {
+    ReceiverOptions opt;
+    // Cycle through all architecture combinations (4 x 3 x 5 = 60), so the
+    // 105 test receivers cover every combination at least once with
+    // different sizing.
+    opt.lna = kAllLnaKinds[i % std::size(kAllLnaKinds)];
+    opt.mixer = kAllMixerKinds[(i / 4) % std::size(kAllMixerKinds)];
+    opt.osc = kAllOscKinds[(i / 12) % std::size(kAllOscKinds)];
+    opt.lna_stages = 1 + static_cast<int>(i % 2);
+    opt.iq = rng.chance(0.4);
+    opt.lo_buffer = false;
+    opt.port_labels = true;  // test benches provide antenna/LO labels
+    out.push_back(generate_receiver(
+        opt, rng,
+        "rftest_" + std::to_string(options.seed) + "_" + std::to_string(i)));
+  }
+  return out;
+}
+
+DatasetStats dataset_stats(const std::vector<LabeledCircuit>& circuits) {
+  DatasetStats stats;
+  stats.circuits = circuits.size();
+  std::set<int> classes;
+  for (const auto& c : circuits) {
+    stats.devices += c.netlist.devices.size();
+    stats.nets += c.netlist.nets().size();
+    for (const auto& [dev, cls] : c.device_labels) {
+      (void)dev;
+      classes.insert(cls);
+    }
+  }
+  stats.labels = classes.size();
+  return stats;
+}
+
+}  // namespace gana::datagen

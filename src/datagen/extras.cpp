@@ -1,0 +1,98 @@
+#include "datagen/extras.hpp"
+
+namespace gana::datagen {
+
+LabeledCircuit generate_strongarm_comparator(Rng& rng) {
+  CircuitBuilder b("strongarm", {"comparator"}, rng);
+  Sizing& sz = b.sizing();
+  b.set_label(0);
+
+  // Clocked tail.
+  b.nmos("tail", "clk", "gnd!");
+  // Input pair.
+  b.nmos("di", "vinp", "tail");
+  b.nmos("dib", "vinn", "tail");
+  // NMOS cross-coupled latch on the integration nodes.
+  b.nmos("outp", "outn", "di");
+  b.nmos("outn", "outp", "dib");
+  // PMOS cross-coupled latch.
+  b.pmos("outp", "outn", "vdd!");
+  b.pmos("outn", "outp", "vdd!");
+  // Precharge (reset) switches on both output and integration nodes.
+  b.pmos("outp", "clk", "vdd!");
+  b.pmos("outn", "clk", "vdd!");
+  b.pmos("di", "clk", "vdd!");
+  b.pmos("dib", "clk", "vdd!");
+  // Load caps.
+  b.cap("outp", "gnd!", sz.capacitance(10e-15, 100e-15));
+  b.cap("outn", "gnd!", sz.capacitance(10e-15, 100e-15));
+
+  b.port("clk", spice::PortLabel::Clock);
+  b.port("vinp", spice::PortLabel::Input);
+  b.port("vinn", spice::PortLabel::Input);
+  b.port("outp", spice::PortLabel::Output);
+  b.port("outn", spice::PortLabel::Output);
+  return b.finish();
+}
+
+LabeledCircuit generate_bandgap_reference(Rng& rng) {
+  CircuitBuilder b("bandgap", {"core", "bias"}, rng);
+  Sizing& sz = b.sizing();
+
+  // Mirrored PMOS current sources (class bias).
+  b.set_label(1);
+  b.pmos("n1", "pg", "vdd!");
+  b.pmos("n2", "pg", "vdd!");
+  b.pmos("vref", "pg", "vdd!");
+  b.pmos("pg", "pg", "vdd!");  // diode that defines the gate rail
+  b.isrc("pg", "gnd!", sz.bias_current());
+
+  // Core: diode-connected "BJT stand-ins" and the PTAT resistor network
+  // (class core).
+  b.set_label(0);
+  b.nmos("n1", "n1", "gnd!");       // diode branch 1
+  const std::string x = b.fresh_net("x");
+  b.res("n2", x, sz.resistance(1e3, 20e3));  // PTAT resistor
+  b.nmos(x, x, "gnd!");             // diode branch 2 (scaled)
+  b.res("vref", "fb", sz.resistance(20e3, 200e3));
+  b.nmos("fb", "fb", "gnd!");       // output branch diode
+  b.cap("vref", "gnd!", sz.capacitance(1e-12, 10e-12));
+
+  b.port("vref", spice::PortLabel::Output);
+  return b.finish();
+}
+
+LabeledCircuit generate_cap_dac(const DacOptions& opt, Rng& rng) {
+  CircuitBuilder b("cap_dac", {"array", "switches"}, rng);
+  Sizing& sz = b.sizing();
+  const double unit = sz.capacitance(50e-15, 200e-15);
+
+  for (int bit = 0; bit < opt.bits; ++bit) {
+    const std::string bot = b.fresh_net("bot");
+    const std::string ctl = "d" + std::to_string(bit);
+    // Binary-weighted capacitor from the shared top plate (class array).
+    b.set_label(0);
+    b.cap("top", bot, unit * static_cast<double>(1 << bit));
+    // Switch pair steering the bottom plate to vrefp or ground (class
+    // switches -- "the passives should be grouped together in a
+    // common-centroid layout, separately from the noisy switches").
+    b.set_label(1);
+    b.nmos(bot, ctl, "vrefp");
+    b.nmos(bot, ctl + "b", "gnd!");
+    if (opt.port_labels) {
+      b.port(ctl, spice::PortLabel::Clock);
+      b.port(ctl + "b", spice::PortLabel::Clock);
+    }
+  }
+  // Termination cap.
+  b.set_label(0);
+  b.cap("top", "gnd!", unit);
+
+  if (opt.port_labels) {
+    b.port("top", spice::PortLabel::Output);
+    b.port("vrefp", spice::PortLabel::Bias);
+  }
+  return b.finish();
+}
+
+}  // namespace gana::datagen

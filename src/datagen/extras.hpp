@@ -1,0 +1,30 @@
+// Additional circuit families beyond the paper's two datasets, used by
+// the examples and tests to exercise primitive annotation and the
+// common-centroid constraint path on structures the paper's introduction
+// mentions (DAC switch/passive separation, §II-B) and on dynamic
+// comparators.
+#pragma once
+
+#include "datagen/sizing.hpp"
+
+namespace gana::datagen {
+
+/// StrongARM latched comparator: clocked tail, input differential pair,
+/// cross-coupled latch (both polarities), and precharge switches.
+/// Classes: {"comparator"} (single-class; used for primitive tests).
+LabeledCircuit generate_strongarm_comparator(Rng& rng);
+
+/// Bandgap-style reference: resistor-defined core with mirrored branches
+/// and diode-connected references. Classes: {"core", "bias"}.
+LabeledCircuit generate_bandgap_reference(Rng& rng);
+
+/// Binary-weighted capacitor DAC with NMOS switches: the capacitors form
+/// a common-centroid array candidate, the switches a separate noisy
+/// cluster (the paper's §II-B DAC grouping example).
+struct DacOptions {
+  int bits = 4;
+  bool port_labels = true;
+};
+LabeledCircuit generate_cap_dac(const DacOptions& options, Rng& rng);
+
+}  // namespace gana::datagen

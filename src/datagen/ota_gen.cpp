@@ -1,0 +1,357 @@
+#include "datagen/ota_gen.hpp"
+
+#include <set>
+
+namespace gana::datagen {
+
+const char* to_string(OtaTopology t) {
+  switch (t) {
+    case OtaTopology::FiveT: return "5t";
+    case OtaTopology::Telescopic: return "telescopic";
+    case OtaTopology::FoldedCascode: return "folded-cascode";
+    case OtaTopology::TwoStageMiller: return "two-stage-miller";
+    case OtaTopology::FullyDifferential: return "fully-differential";
+    case OtaTopology::Symmetrical: return "symmetrical";
+    case OtaTopology::ClassAb: return "class-ab";
+  }
+  return "?";
+}
+
+const char* to_string(BiasStyle b) {
+  switch (b) {
+    case BiasStyle::SimpleMirror: return "simple-mirror";
+    case BiasStyle::ResistorRef: return "resistor-ref";
+    case BiasStyle::CascodeBias: return "cascode-bias";
+    case BiasStyle::WideSwing: return "wide-swing";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Which bias rails a topology consumes.
+struct BiasNeeds {
+  bool vbn = false;   ///< NMOS current-source gate
+  bool vbp = false;   ///< PMOS current-source gate
+  bool vbcn = false;  ///< NMOS cascode gate
+  bool vbcp = false;  ///< PMOS cascode gate
+};
+
+/// Emits the bias network (class kOtaBias) that produces the requested
+/// rails. Every style starts from a reference branch and mirrors it out.
+void emit_bias(CircuitBuilder& b, const BiasNeeds& needs,
+               const OtaOptions& opt) {
+  b.set_label(kOtaBias);
+  b.set_prefix("bias/");
+  Sizing& sz = b.sizing();
+
+  // Reference current into the NMOS diode that defines vbn.
+  const std::string nref = "vbn";
+  if (opt.bias == BiasStyle::ResistorRef) {
+    const std::string mid = b.fresh_net();
+    b.res("vdd!", mid, sz.resistance(10e3, 100e3));
+    b.res(mid, nref, sz.resistance(1e3, 10e3));
+  } else {
+    b.isrc("vdd!", nref, sz.bias_current());
+  }
+  b.nmos(nref, nref, "gnd!");  // diode: vbn
+
+  if (opt.bias == BiasStyle::CascodeBias || opt.bias == BiasStyle::WideSwing ||
+      needs.vbcn) {
+    // Stacked diode ladder for the NMOS cascode gate.
+    const std::string lad = b.fresh_net();
+    b.isrc("vdd!", "vbcn", sz.bias_current());
+    b.nmos("vbcn", "vbcn", lad);
+    b.nmos(lad, lad, "gnd!");
+  }
+  if (needs.vbp || opt.bias == BiasStyle::WideSwing) {
+    // Mirror the reference up into a PMOS diode: vbp.
+    b.nmos("pb0", "vbn", "gnd!");
+    b.pmos("pb0", "pb0", "vdd!");  // diode at net pb0 == vbp
+    // Use pb0 directly as vbp by aliasing through a named net.
+    // (The diode's drain/gate net is the PMOS bias rail.)
+  }
+  if (needs.vbcp) {
+    const std::string lad = b.fresh_net();
+    b.nmos("vbcp", "vbn", "gnd!");
+    b.pmos("vbcp", "vbcp", lad);
+    b.pmos(lad, lad, "vdd!");
+  }
+  if (opt.bias_decap) {
+    b.cap("vbn", "gnd!", sz.capacitance(1e-12, 5e-12));
+    if (needs.vbp) b.cap("pb0", "vdd!", sz.capacitance(1e-12, 5e-12));
+  }
+  if (opt.bias_startup) {
+    // Start-up branch: a leaker resistor kicks the reference via a switch
+    // device whose gate watches the bias rail.
+    const std::string kick = b.fresh_net("kick");
+    b.res("vdd!", kick, sz.resistance(100e3, 500e3));
+    b.nmos(kick, "vbn", "gnd!");
+    b.nmos("vbn", kick, "gnd!");
+  }
+  if (opt.with_dummies) b.add_dummy();
+
+  if (opt.port_labels) {
+    b.port("vbn", spice::PortLabel::Bias);
+    if (needs.vbcn) b.port("vbcn", spice::PortLabel::Bias);
+    if (needs.vbp) b.port("pb0", spice::PortLabel::Bias);
+    if (needs.vbcp) b.port("vbcp", spice::PortLabel::Bias);
+  }
+  b.set_prefix("");
+  b.set_label(kOtaSignal);
+}
+
+/// Tail current source (possibly cascoded); returns the tail net.
+std::string emit_tail(CircuitBuilder& b, bool pmos_side, bool cascode) {
+  const std::string tail = b.fresh_net("tail");
+  if (pmos_side) {
+    if (cascode) {
+      const std::string mid = b.fresh_net();
+      b.pmos(tail, "vbcp", mid);
+      b.pmos(mid, "pb0", "vdd!");
+    } else {
+      b.pmos(tail, "pb0", "vdd!");
+    }
+  } else {
+    if (cascode) {
+      const std::string mid = b.fresh_net();
+      b.nmos(tail, "vbcn", mid);
+      b.nmos(mid, "vbn", "gnd!");
+    } else {
+      b.nmos(tail, "vbn", "gnd!");
+    }
+  }
+  return tail;
+}
+
+void emit_five_t(CircuitBuilder& b, const OtaOptions& opt) {
+  const bool p = opt.pmos_input;
+  const std::string tail = emit_tail(b, p, opt.cascode_tail);
+  const std::string x = b.fresh_net("x");
+  auto in_dev = [&](const std::string& d, const std::string& g,
+                    const std::string& s) {
+    return p ? b.pmos(d, g, s) : b.nmos(d, g, s);
+  };
+  auto load_dev = [&](const std::string& d, const std::string& g,
+                      const std::string& s) {
+    return p ? b.nmos(d, g, s) : b.pmos(d, g, s);
+  };
+  const std::string load_rail = p ? "gnd!" : "vdd!";
+  in_dev(x, "vinp", tail);
+  in_dev("vout", "vinn", tail);
+  if (opt.with_stacking) b.stack_parallel(1);
+  load_dev(x, x, load_rail);
+  load_dev("vout", x, load_rail);
+}
+
+void emit_telescopic(CircuitBuilder& b, const OtaOptions& opt) {
+  const std::string tail = emit_tail(b, false, opt.cascode_tail);
+  const std::string y1 = b.fresh_net("y"), y2 = b.fresh_net("y");
+  const std::string z1 = b.fresh_net("z"), z2 = b.fresh_net("z");
+  b.nmos(y1, "vinp", tail);
+  b.nmos(y2, "vinn", tail);
+  b.nmos("voutn", "vbcn", y1);
+  b.nmos("voutp", "vbcn", y2);
+  b.pmos("voutn", "vbcp", z1);
+  b.pmos("voutp", "vbcp", z2);
+  b.pmos(z1, "pb0", "vdd!");
+  b.pmos(z2, "pb0", "vdd!");
+  if (opt.with_dummies) b.add_dummy();
+}
+
+void emit_folded_cascode(CircuitBuilder& b, const OtaOptions& opt) {
+  const std::string tail = emit_tail(b, true, opt.cascode_tail);
+  const std::string f1 = b.fresh_net("f"), f2 = b.fresh_net("f");
+  const std::string c1 = b.fresh_net("c"), c2 = b.fresh_net("c");
+  b.pmos(f1, "vinp", tail);
+  b.pmos(f2, "vinn", tail);
+  // Folding current sinks.
+  b.nmos(f1, "vbn", "gnd!");
+  b.nmos(f2, "vbn", "gnd!");
+  // NMOS cascodes up to the outputs.
+  b.nmos("voutn", "vbcn", f1);
+  b.nmos("voutp", "vbcn", f2);
+  // PMOS cascoded loads.
+  b.pmos("voutn", "vbcp", c1);
+  b.pmos("voutp", "vbcp", c2);
+  b.pmos(c1, "pb0", "vdd!");
+  b.pmos(c2, "pb0", "vdd!");
+  if (opt.with_stacking) b.stack_parallel(1);
+}
+
+void emit_two_stage(CircuitBuilder& b, const OtaOptions& opt,
+                    bool class_ab) {
+  // First stage: 5T with internal output o1.
+  const std::string tail = emit_tail(b, false, opt.cascode_tail);
+  const std::string x = b.fresh_net("x");
+  const std::string o1 = b.fresh_net("o1");
+  b.nmos(x, "vinp", tail);
+  b.nmos(o1, "vinn", tail);
+  b.pmos(x, x, "vdd!");
+  b.pmos(o1, x, "vdd!");
+  // Second stage.
+  if (class_ab) {
+    // Push-pull: PMOS driven by o1, NMOS driven via a level-shift diode.
+    const std::string sh = b.fresh_net("sh");
+    b.pmos("vout", o1, "vdd!");
+    b.nmos("vout", sh, "gnd!");
+    b.nmos(sh, o1, "gnd!");
+    b.isrc("vdd!", sh, b.sizing().bias_current());
+  } else {
+    b.pmos("vout", o1, "vdd!");
+    b.nmos("vout", "vbn", "gnd!");
+  }
+  // Miller compensation RC across the second stage.
+  const std::string mid = b.fresh_net("cc");
+  b.res(o1, mid, b.sizing().resistance(1e3, 20e3));
+  b.cap(mid, "vout", b.sizing().capacitance(0.5e-12, 5e-12));
+  if (opt.with_dummies) b.add_dummy();
+}
+
+void emit_fully_differential(CircuitBuilder& b, const OtaOptions& opt) {
+  const std::string tail = emit_tail(b, false, opt.cascode_tail);
+  b.nmos("voutn", "vinp", tail);
+  b.nmos("voutp", "vinn", tail);
+  // PMOS loads controlled by the common-mode feedback voltage.
+  b.pmos("voutn", "vcmfb", "vdd!");
+  b.pmos("voutp", "vcmfb", "vdd!");
+  // Resistive common-mode sense into an error amplifier.
+  const std::string vcm = b.fresh_net("vcm");
+  b.res("voutp", vcm, b.sizing().resistance(50e3, 200e3));
+  b.res("voutn", vcm, b.sizing().resistance(50e3, 200e3));
+  const std::string ctail = b.fresh_net("ctail");
+  const std::string cx = b.fresh_net("cx");
+  b.nmos(ctail, "vbn", "gnd!");
+  b.nmos(cx, vcm, ctail);
+  b.nmos("vcmfb", "vref", ctail);
+  b.pmos(cx, cx, "vdd!");
+  b.pmos("vcmfb", cx, "vdd!");
+  if (opt.port_labels) b.port("vref", spice::PortLabel::Bias);
+}
+
+void emit_symmetrical(CircuitBuilder& b, const OtaOptions& opt) {
+  const std::string tail = emit_tail(b, false, opt.cascode_tail);
+  const std::string x1 = b.fresh_net("x"), x2 = b.fresh_net("x");
+  const std::string o3 = b.fresh_net("o");
+  b.nmos(x1, "vinp", tail);
+  b.nmos(x2, "vinn", tail);
+  // Diode-connected PMOS loads.
+  b.pmos(x1, x1, "vdd!");
+  b.pmos(x2, x2, "vdd!");
+  // Mirror branches to the single-ended output.
+  b.pmos(o3, x1, "vdd!");
+  b.pmos("vout", x2, "vdd!");
+  b.nmos(o3, o3, "gnd!");
+  b.nmos("vout", o3, "gnd!");
+  if (opt.with_stacking) b.stack_parallel(1);
+}
+
+}  // namespace
+
+LabeledCircuit generate_ota(const OtaOptions& opt, Rng& rng,
+                            const std::string& name) {
+  CircuitBuilder b(name, {"ota", "bias"}, rng);
+  b.set_label(kOtaSignal);
+
+  BiasNeeds needs;
+  needs.vbn = true;  // every topology has an NMOS-referred tail or sink
+  switch (opt.topology) {
+    case OtaTopology::Telescopic:
+      needs.vbcn = needs.vbcp = needs.vbp = true;
+      break;
+    case OtaTopology::FoldedCascode:
+      needs.vbcn = needs.vbcp = needs.vbp = true;
+      break;
+    default:
+      needs.vbp = opt.pmos_input;
+      needs.vbcn = opt.cascode_tail && !opt.pmos_input;
+      needs.vbcp = opt.cascode_tail && opt.pmos_input;
+      break;
+  }
+  emit_bias(b, needs, opt);
+
+  switch (opt.topology) {
+    case OtaTopology::FiveT: emit_five_t(b, opt); break;
+    case OtaTopology::Telescopic: emit_telescopic(b, opt); break;
+    case OtaTopology::FoldedCascode: emit_folded_cascode(b, opt); break;
+    case OtaTopology::TwoStageMiller: emit_two_stage(b, opt, false); break;
+    case OtaTopology::ClassAb: emit_two_stage(b, opt, true); break;
+    case OtaTopology::FullyDifferential:
+      emit_fully_differential(b, opt);
+      break;
+    case OtaTopology::Symmetrical: emit_symmetrical(b, opt); break;
+  }
+
+  const bool differential = opt.topology == OtaTopology::Telescopic ||
+                            opt.topology == OtaTopology::FoldedCascode ||
+                            opt.topology == OtaTopology::FullyDifferential;
+  if (opt.output_buffer) {
+    b.set_label(kOtaSignal);
+    if (differential) {
+      b.nmos("voutbufp", "voutp", "obufp");
+      b.nmos("obufp", "vbn", "gnd!");
+    } else {
+      // NMOS source follower + current sink on the single-ended output.
+      b.nmos("vdd!", "vout", "obuf");
+      b.nmos("obuf", "vbn", "gnd!");
+    }
+  }
+
+  if (opt.load_caps) {
+    b.set_label(kOtaSignal);
+    if (differential) {
+      b.cap("voutp", "gnd!", b.sizing().capacitance(0.5e-12, 5e-12));
+      b.cap("voutn", "gnd!", b.sizing().capacitance(0.5e-12, 5e-12));
+    } else {
+      b.cap("vout", "gnd!", b.sizing().capacitance(0.5e-12, 5e-12));
+    }
+  }
+
+  if (opt.input_coupling) {
+    // Series resistor + AC-coupling capacitor in front of each input.
+    b.set_label(kOtaSignal);
+    b.set_prefix("inrc/");
+    for (const char* in : {"vinp", "vinn"}) {
+      const std::string pad = std::string("pad_") + in;
+      const std::string mid = b.fresh_net("m");
+      b.res(pad, mid, b.sizing().resistance(100, 2e3));
+      b.cap(mid, in, b.sizing().capacitance(1e-12, 10e-12));
+      if (opt.port_labels) b.port(pad, spice::PortLabel::Input);
+    }
+    b.set_prefix("");
+  }
+
+  if (opt.sc_input) {
+    // Switched-capacitor sampling network ahead of each input.
+    b.set_label(kOtaSignal);
+    b.set_prefix("sc/");
+    for (const char* in : {"vinp", "vinn"}) {
+      const std::string src = std::string("s") + in;
+      const std::string top = b.fresh_net("t");
+      b.nmos(top, "ck1", src);
+      b.cap(top, in, b.sizing().capacitance(0.2e-12, 2e-12));
+      b.nmos(in, "ck2", "gnd!");
+    }
+    b.set_prefix("");
+    if (opt.port_labels) {
+      b.port("ck1", spice::PortLabel::Clock);
+      b.port("ck2", spice::PortLabel::Clock);
+      b.port("svinp", spice::PortLabel::Input);
+      b.port("svinn", spice::PortLabel::Input);
+    }
+  }
+
+  if (opt.port_labels) {
+    b.port("vinp", spice::PortLabel::Input);
+    b.port("vinn", spice::PortLabel::Input);
+    if (differential) {
+      b.port("voutp", spice::PortLabel::Output);
+      b.port("voutn", spice::PortLabel::Output);
+    } else {
+      b.port("vout", spice::PortLabel::Output);
+    }
+  }
+  return b.finish();
+}
+
+}  // namespace gana::datagen

@@ -1,0 +1,73 @@
+// OTA-family circuit generator (DESIGN.md substitution for the paper's
+// "OTA bias" dataset: 624 training circuits with signal/bias labels).
+//
+// Covers the topology families the paper's introduction names (telescopic,
+// folded cascode, Miller-compensated, plus 5T, symmetrical, fully
+// differential with CMFB, and class-AB output stages), each combinable
+// with several bias-network styles and design-style variations.
+#pragma once
+
+#include <string>
+
+#include "datagen/sizing.hpp"
+
+namespace gana::datagen {
+
+/// Class ids of the OTA dataset (2 labels, paper Table I).
+enum OtaClass : int { kOtaSignal = 0, kOtaBias = 1 };
+
+enum class OtaTopology {
+  FiveT,             ///< 5-transistor single-ended OTA
+  Telescopic,        ///< telescopic cascode (held out of training)
+  FoldedCascode,     ///< folded cascode, PMOS input
+  TwoStageMiller,    ///< 5T + common-source stage + RC compensation
+  FullyDifferential, ///< fully differential with resistive CMFB
+  Symmetrical,       ///< current-mirror (symmetrical) OTA
+  ClassAb,           ///< two-stage with push-pull output
+};
+
+enum class BiasStyle {
+  SimpleMirror,  ///< current reference + diode mirrors
+  ResistorRef,   ///< resistor-defined reference current
+  CascodeBias,   ///< stacked diode bias for cascode rails
+  WideSwing,     ///< wide-swing cascode bias network
+};
+
+inline constexpr OtaTopology kAllOtaTopologies[] = {
+    OtaTopology::FiveT,          OtaTopology::Telescopic,
+    OtaTopology::FoldedCascode,  OtaTopology::TwoStageMiller,
+    OtaTopology::FullyDifferential, OtaTopology::Symmetrical,
+    OtaTopology::ClassAb,
+};
+inline constexpr BiasStyle kAllBiasStyles[] = {
+    BiasStyle::SimpleMirror, BiasStyle::ResistorRef, BiasStyle::CascodeBias,
+    BiasStyle::WideSwing,
+};
+
+[[nodiscard]] const char* to_string(OtaTopology t);
+[[nodiscard]] const char* to_string(BiasStyle b);
+
+struct OtaOptions {
+  OtaTopology topology = OtaTopology::FiveT;
+  BiasStyle bias = BiasStyle::SimpleMirror;
+  bool pmos_input = false;     ///< complementary variant
+  bool cascode_tail = false;   ///< stack the tail current source
+  bool output_buffer = false;  ///< source-follower output buffer
+  bool with_dummies = false;   ///< sprinkle layout dummies
+  bool with_stacking = false;  ///< emit parallel device fingers
+  bool bias_decap = false;     ///< decoupling caps on bias nets
+  /// Switched-capacitor input sampling network (the paper's training OTAs
+  /// include switched-cap structures, e.g. the CMF[SC] of Fig. 1).
+  bool sc_input = false;
+  bool load_caps = false;       ///< capacitive loads on the outputs
+  bool input_coupling = false;  ///< series R + AC-coupling C at the inputs
+  bool bias_startup = false;    ///< start-up branch in the bias network
+  /// Emit .portlabel annotations (designers do not always provide them).
+  bool port_labels = true;
+};
+
+/// Generates one labeled OTA circuit. Deterministic given the rng state.
+LabeledCircuit generate_ota(const OtaOptions& options, Rng& rng,
+                            const std::string& name);
+
+}  // namespace gana::datagen

@@ -1,0 +1,90 @@
+#include "datagen/phased_array.hpp"
+
+#include "datagen/rf_gen.hpp"
+
+namespace gana::datagen {
+
+LabeledCircuit generate_phased_array(const PhasedArrayOptions& opt,
+                                     Rng& rng) {
+  CircuitBuilder b("phased_array", rf_class_names(), rng);
+  Sizing& sz = b.sizing();
+
+  // --- Shared wideband differential LNA, possibly multi-stage.
+  RfBlockPorts lna =
+      emit_lna(b, LnaKind::Differential, "lna0/");
+  const std::string antp = lna.in1, antn = lna.in2;
+  for (int s = 1; s < opt.lna_stages; ++s) {
+    const RfBlockPorts next =
+        emit_lna(b, LnaKind::Differential, "lna" + std::to_string(s) + "/");
+    b.set_label(kRfLna);
+    b.cap(lna.out1, next.in1, sz.capacitance(100e-15, 1e-12));
+    b.cap(lna.out2, next.in2, sz.capacitance(100e-15, 1e-12));
+    lna.out1 = next.out1;
+    lna.out2 = next.out2;
+  }
+
+  std::vector<std::string> lo_ports;
+  std::vector<std::string> if_ports;
+
+  for (int ch = 0; ch < opt.channels; ++ch) {
+    const std::string cp = "ch" + std::to_string(ch) + "/";
+
+    // Channel band-select filter driven by the shared LNA. Coupling caps
+    // take the class of the block whose channel nets they hang off (the
+    // CCC-attachment convention).
+    const RfBlockPorts bpf = emit_bpf(b, cp + "bpf/");
+    b.set_label(kRfLna);
+    b.cap(lna.out1, bpf.in1, sz.capacitance(100e-15, 1e-12));
+    b.cap(lna.out2, bpf.in2, sz.capacitance(100e-15, 1e-12));
+
+    // Sub-harmonic channel oscillator with an *input buffer* on its
+    // injection port (the stand-alone primitive case of Postprocessing I)
+    // and an output buffer driving the mixer LO.
+    const RfBlockPorts inbuf = emit_buffer(b, cp + "ibuf/");
+    const RfBlockPorts osc =
+        emit_oscillator(b, OscKind::CrossCoupledLc, cp + "osc/");
+    b.set_label(kRfOsc);  // injection cap hangs off the tank
+    b.cap(inbuf.out1, osc.out2, sz.capacitance(50e-15, 500e-15));
+    const RfBlockPorts lobuf = emit_buffer(b, cp + "lobuf/");
+    b.set_label(kRfOsc);  // hangs off the oscillator tank
+    b.cap(osc.out1, lobuf.in1, sz.capacitance(100e-15, 1e-12));
+
+    // Gilbert mixer(s): RF from the BPF, LO from the buffered oscillator
+    // (I/Q downconversion uses a second quadrature mixer).
+    auto hook_mixer = [&](const std::string& prefix) {
+      const RfBlockPorts mix = emit_mixer(b, MixerKind::Gilbert, prefix);
+      b.set_label(kRfBpf);
+      b.cap(bpf.out1, mix.in1, sz.capacitance(100e-15, 1e-12));
+      b.set_label(kRfBuf);
+      b.cap(lobuf.out1, mix.in2, sz.capacitance(100e-15, 1e-12));
+      return mix;
+    };
+    const RfBlockPorts mix = hook_mixer(cp + "mixi/");
+    if (opt.iq_mixers) hook_mixer(cp + "mixq/");
+
+    // IF chain: inverter-based amplifiers.
+    std::string if_net = mix.out1;
+    for (int a = 0; a < opt.if_amps; ++a) {
+      const RfBlockPorts amp =
+          emit_inv_amp(b, cp + "ifamp" + std::to_string(a) + "/");
+      // The first coupling cap hangs off the mixer's IF net; later ones
+      // off the previous amplifier's output.
+      b.set_label(a == 0 ? kRfMixer : kRfInvAmp);
+      b.cap(if_net, amp.in1, sz.capacitance(0.5e-12, 2e-12));
+      if_net = amp.out1;
+    }
+    lo_ports.push_back(osc.out1);
+    lo_ports.push_back(inbuf.in1);
+    if_ports.push_back(if_net);
+  }
+
+  if (opt.port_labels) {
+    b.port(antp, spice::PortLabel::Antenna);
+    b.port(antn, spice::PortLabel::Antenna);
+    for (const auto& lo : lo_ports) b.port(lo, spice::PortLabel::LocalOsc);
+    for (const auto& ifo : if_ports) b.port(ifo, spice::PortLabel::Output);
+  }
+  return b.finish();
+}
+
+}  // namespace gana::datagen

@@ -1,0 +1,32 @@
+// Phased-array receiver testcase (paper §V-B, fourth test set; after
+// Meng & Harjani, ESSCIRC 2018 [25]).
+//
+// "The fourth and largest testcase consists of a phased array system
+// containing a mixer, LNA, BPF, oscillator, VCO buffer (BUF) and
+// inverter-based amplifier (INV) sub-blocks. The graph for the input
+// netlist has 902 vertices (522 devices + 380 nets)."
+//
+// Channelized architecture: a shared wideband differential LNA feeds N
+// channels; each channel band-pass filters the RF, mixes with a
+// sub-harmonic injection-locked oscillator (buffered), and amplifies the
+// IF with inverter-based amplifiers.
+#pragma once
+
+#include "datagen/sizing.hpp"
+
+namespace gana::datagen {
+
+struct PhasedArrayOptions {
+  int channels = 7;        ///< frequency channels
+  int lna_stages = 4;      ///< cascaded LNA gain stages
+  int if_amps = 2;         ///< inverter amplifiers per channel IF
+  bool iq_mixers = true;   ///< I/Q downconversion (two mixers per channel)
+  bool port_labels = true; ///< antenna + LO annotations (Postprocessing II)
+};
+
+/// Builds the phased-array system with RF ground-truth classes
+/// (lna/mixer/osc/bpf/buf/invamp).
+LabeledCircuit generate_phased_array(const PhasedArrayOptions& options,
+                                     Rng& rng);
+
+}  // namespace gana::datagen

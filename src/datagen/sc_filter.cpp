@@ -1,0 +1,84 @@
+#include "datagen/sc_filter.hpp"
+
+#include "datagen/ota_gen.hpp"
+
+namespace gana::datagen {
+
+LabeledCircuit generate_sc_filter(const ScFilterOptions& opt, Rng& rng) {
+  CircuitBuilder b("sc_filter", {"ota", "bias"}, rng);
+  Sizing& sz = b.sizing();
+
+  // --- Bias network (class bias): reference + diodes for the telescopic
+  // rails vbn, vbcn, vbcp, pb0.
+  b.set_label(kOtaBias);
+  b.set_prefix("bias/");
+  b.isrc("vdd!", "vbn", sz.bias_current());
+  b.nmos("vbn", "vbn", "gnd!");
+  const std::string lad = b.fresh_net();
+  b.isrc("vdd!", "vbcn", sz.bias_current());
+  b.nmos("vbcn", "vbcn", lad);
+  b.nmos(lad, lad, "gnd!");
+  b.nmos("pb0", "vbn", "gnd!");
+  b.pmos("pb0", "pb0", "vdd!");
+  const std::string lad2 = b.fresh_net();
+  b.nmos("vbcp", "vbn", "gnd!");
+  b.pmos("vbcp", "vbcp", lad2);
+  b.pmos(lad2, lad2, "vdd!");
+  b.set_prefix("");
+
+  // --- Telescopic OTA (class ota), held out of the training set.
+  b.set_label(kOtaSignal);
+  b.set_prefix("ota/");
+  const std::string tail = b.fresh_net("tail");
+  const std::string y1 = b.fresh_net("y"), y2 = b.fresh_net("y");
+  const std::string z1 = b.fresh_net("z"), z2 = b.fresh_net("z");
+  b.nmos(tail, "vbn", "gnd!");
+  b.nmos(y1, "vinp", tail);
+  b.nmos(y2, "vinn", tail);
+  b.nmos("voutn", "vbcn", y1);
+  b.nmos("voutp", "vbcn", y2);
+  b.pmos("voutn", "vbcp", z1);
+  b.pmos("voutp", "vbcp", z2);
+  b.pmos(z1, "pb0", "vdd!");
+  b.pmos(z2, "pb0", "vdd!");
+  b.set_prefix("");
+
+  // --- Switched-capacitor network (class ota: signal path). Per side and
+  // per bank: input switch -> sampling cap -> transfer switch into the
+  // OTA virtual ground, plus an integrating cap around the OTA.
+  auto sc_branch = [&](const std::string& side_in, const std::string& vg,
+                       const std::string& prefix) {
+    b.set_prefix(prefix);
+    for (int k = 0; k < opt.cap_banks; ++k) {
+      const std::string top = b.fresh_net("t");
+      const std::string bot = b.fresh_net("b");
+      b.nmos(top, "ck1", side_in);               // sampling switch
+      b.cap(top, bot, sz.capacitance(0.2e-12, 2e-12));
+      b.nmos(bot, "ck1", "gnd!");                // reset switch
+      b.nmos(bot, "ck2", vg);                    // transfer switch
+    }
+    b.set_prefix("");
+  };
+  b.set_label(kOtaSignal);
+  sc_branch("sinp", "vinp", "scp/");
+  sc_branch("sinn", "vinn", "scn/");
+  // Integrating caps across the OTA.
+  b.cap("vinp", "voutn", sz.capacitance(0.5e-12, 4e-12));
+  b.cap("vinn", "voutp", sz.capacitance(0.5e-12, 4e-12));
+
+  if (opt.port_labels) {
+    b.port("sinp", spice::PortLabel::Input);
+    b.port("sinn", spice::PortLabel::Input);
+    b.port("voutp", spice::PortLabel::Output);
+    b.port("voutn", spice::PortLabel::Output);
+    b.port("ck1", spice::PortLabel::Clock);
+    b.port("ck2", spice::PortLabel::Clock);
+    b.port("vbn", spice::PortLabel::Bias);
+    b.port("vbcn", spice::PortLabel::Bias);
+    b.port("vbcp", spice::PortLabel::Bias);
+    b.port("pb0", spice::PortLabel::Bias);
+  }
+  return b.finish();
+}
+
+}  // namespace gana::datagen

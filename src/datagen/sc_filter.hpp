@@ -1,0 +1,24 @@
+// Switched-capacitor filter testcase (paper §V-B, second test set).
+//
+// "The second testcase consists of a composite circuit, a switched
+// capacitor filter, with an OTA. This is similar to the sample and hold
+// circuit in Fig. 1(a) and contains 32 devices and 25 nets, including an
+// OTA sub-block and switched capacitors. The telescopic OTA subcircuit
+// used in this circuit is not seen by the training set."
+#pragma once
+
+#include "datagen/sizing.hpp"
+
+namespace gana::datagen {
+
+struct ScFilterOptions {
+  int cap_banks = 2;       ///< switched-capacitor branches per side
+  bool port_labels = true; ///< clock/input/output .portlabel annotations
+};
+
+/// Builds the SC filter around a telescopic OTA. Labels use the OTA
+/// dataset classes: switches/caps and the OTA signal path are class
+/// `ota` (0); the bias network is class `bias` (1).
+LabeledCircuit generate_sc_filter(const ScFilterOptions& options, Rng& rng);
+
+}  // namespace gana::datagen

@@ -1,0 +1,146 @@
+#include "datagen/sizing.hpp"
+
+#include <cmath>
+
+namespace gana::datagen {
+
+double Sizing::log_uniform(double lo, double hi) {
+  const double u = rng_->uniform(std::log(lo), std::log(hi));
+  return std::exp(u);
+}
+
+double Sizing::mos_w(double lo, double hi) { return log_uniform(lo, hi); }
+double Sizing::mos_l(double lo, double hi) { return log_uniform(lo, hi); }
+double Sizing::resistance(double lo, double hi) {
+  return log_uniform(lo, hi);
+}
+double Sizing::capacitance(double lo, double hi) {
+  return log_uniform(lo, hi);
+}
+double Sizing::big_capacitance(double lo, double hi) {
+  return log_uniform(lo, hi);
+}
+double Sizing::inductance(double lo, double hi) {
+  return log_uniform(lo, hi);
+}
+double Sizing::bias_current(double lo, double hi) {
+  return log_uniform(lo, hi);
+}
+
+CircuitBuilder::CircuitBuilder(std::string circuit_name,
+                               std::vector<std::string> classes, Rng& rng)
+    : rng_(&rng), sizing_(rng) {
+  result_.name = std::move(circuit_name);
+  result_.class_names = std::move(classes);
+  result_.netlist.title = "* " + result_.name;
+}
+
+std::string CircuitBuilder::next_name(char letter) {
+  const int id = counters_[letter]++;
+  return prefix_ + std::string(1, letter) + std::to_string(id);
+}
+
+std::string CircuitBuilder::add_mos(spice::DeviceType type,
+                                    const std::string& d,
+                                    const std::string& g,
+                                    const std::string& s, double w,
+                                    double l) {
+  spice::Device dev;
+  dev.name = next_name('m');
+  dev.type = type;
+  dev.model = type == spice::DeviceType::Nmos ? "nmos" : "pmos";
+  const std::string body =
+      type == spice::DeviceType::Nmos ? "gnd!" : "vdd!";
+  dev.pins = {d, g, s, body};
+  dev.params["w"] = w > 0.0 ? w : sizing_.mos_w();
+  dev.params["l"] = l > 0.0 ? l : sizing_.mos_l();
+  result_.device_labels[dev.name] = label_;
+  result_.netlist.devices.push_back(std::move(dev));
+  return result_.netlist.devices.back().name;
+}
+
+std::string CircuitBuilder::nmos(const std::string& d, const std::string& g,
+                                 const std::string& s, double w, double l) {
+  return add_mos(spice::DeviceType::Nmos, d, g, s, w, l);
+}
+
+std::string CircuitBuilder::pmos(const std::string& d, const std::string& g,
+                                 const std::string& s, double w, double l) {
+  return add_mos(spice::DeviceType::Pmos, d, g, s, w, l);
+}
+
+std::string CircuitBuilder::add_two_pin(spice::DeviceType type, char letter,
+                                        const std::string& a,
+                                        const std::string& b, double value) {
+  spice::Device dev;
+  dev.name = next_name(letter);
+  dev.type = type;
+  dev.pins = {a, b};
+  dev.value = value;
+  result_.device_labels[dev.name] = label_;
+  result_.netlist.devices.push_back(std::move(dev));
+  return result_.netlist.devices.back().name;
+}
+
+std::string CircuitBuilder::res(const std::string& a, const std::string& b,
+                                double value) {
+  return add_two_pin(spice::DeviceType::Resistor, 'r', a, b, value);
+}
+std::string CircuitBuilder::cap(const std::string& a, const std::string& b,
+                                double value) {
+  return add_two_pin(spice::DeviceType::Capacitor, 'c', a, b, value);
+}
+std::string CircuitBuilder::ind(const std::string& a, const std::string& b,
+                                double value) {
+  return add_two_pin(spice::DeviceType::Inductor, 'l', a, b, value);
+}
+std::string CircuitBuilder::isrc(const std::string& p, const std::string& n,
+                                 double value) {
+  return add_two_pin(spice::DeviceType::ISource, 'i', p, n, value);
+}
+std::string CircuitBuilder::vsrc(const std::string& p, const std::string& n,
+                                 double value) {
+  return add_two_pin(spice::DeviceType::VSource, 'v', p, n, value);
+}
+
+void CircuitBuilder::port(const std::string& net, spice::PortLabel label) {
+  result_.netlist.port_labels[net] = label;
+}
+
+std::string CircuitBuilder::fresh_net(const std::string& hint) {
+  return prefix_ + hint + std::to_string(net_counter_++);
+}
+
+void CircuitBuilder::stack_parallel(int copies) {
+  if (result_.netlist.devices.empty()) return;
+  const spice::Device last = result_.netlist.devices.back();
+  for (int i = 0; i < copies; ++i) {
+    spice::Device dup = last;
+    dup.name = last.name + "p" + std::to_string(i);
+    result_.device_labels[dup.name] = result_.device_labels.at(last.name);
+    result_.netlist.devices.push_back(std::move(dup));
+  }
+}
+
+void CircuitBuilder::add_dummy() {
+  // Find the most recent MOS card to mimic.
+  for (auto it = result_.netlist.devices.rbegin();
+       it != result_.netlist.devices.rend(); ++it) {
+    if (!spice::is_mos(it->type)) continue;
+    const bool n = it->type == spice::DeviceType::Nmos;
+    const std::string rail = n ? "gnd!" : "vdd!";
+    spice::Device dummy = *it;
+    dummy.name = it->name + "d";
+    dummy.pins = {rail, rail, rail, rail};
+    result_.device_labels[dummy.name] = result_.device_labels.at(it->name);
+    result_.netlist.devices.push_back(std::move(dummy));
+    return;
+  }
+}
+
+LabeledCircuit CircuitBuilder::finish() {
+  result_.netlist.validate();
+  return std::move(result_);
+}
+
+}  // namespace gana::datagen

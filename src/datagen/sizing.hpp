@@ -1,0 +1,117 @@
+// Labeled-circuit construction helpers for the synthetic dataset
+// generators (DESIGN.md substitution: the paper's textbook/literature
+// training circuits are reproduced by parameterized generators).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace gana::datagen {
+
+/// A circuit with per-device ground-truth sub-block labels.
+struct LabeledCircuit {
+  std::string name;
+  spice::Netlist netlist;  ///< flat
+  /// device name -> class id (indexes class_names).
+  std::map<std::string, int> device_labels;
+  std::vector<std::string> class_names;
+};
+
+/// Randomized-but-plausible device sizing; drives the "value low/med/high"
+/// input features and adds the sizing diversity of real design data.
+struct Sizing {
+  explicit Sizing(Rng& rng) : rng_(&rng) {}
+
+  /// MOS width in meters, log-uniform in [w_lo, w_hi].
+  double mos_w(double lo = 0.5e-6, double hi = 20e-6);
+  /// MOS length in meters.
+  double mos_l(double lo = 45e-9, double hi = 500e-9);
+  /// Resistance in ohms, log-uniform.
+  double resistance(double lo = 500.0, double hi = 200e3);
+  /// Capacitance in farads, log-uniform.
+  double capacitance(double lo = 10e-15, double hi = 10e-12);
+  /// Large capacitance (DC-DC/decap scale).
+  double big_capacitance(double lo = 100e-12, double hi = 10e-9);
+  /// Inductance in henries.
+  double inductance(double lo = 0.5e-9, double hi = 20e-9);
+  /// Bias current in amperes.
+  double bias_current(double lo = 1e-6, double hi = 500e-6);
+
+ private:
+  double log_uniform(double lo, double hi);
+  Rng* rng_;
+};
+
+/// Incrementally builds a flat labeled netlist. Devices are auto-named
+/// (m0, m1, ..., r0, c0, ...) with an optional prefix per block; every
+/// added device is tagged with the builder's current class label.
+class CircuitBuilder {
+ public:
+  CircuitBuilder(std::string circuit_name, std::vector<std::string> classes,
+                 Rng& rng);
+
+  /// Sets the class label attached to subsequently added devices.
+  void set_label(int class_id) { label_ = class_id; }
+  [[nodiscard]] int label() const { return label_; }
+
+  /// Sets the name prefix of subsequently added devices ("lna0/").
+  void set_prefix(std::string prefix) { prefix_ = std::move(prefix); }
+
+  // Device factories; all return the created device's name.
+  std::string nmos(const std::string& d, const std::string& g,
+                   const std::string& s, double w = 0.0, double l = 0.0);
+  std::string pmos(const std::string& d, const std::string& g,
+                   const std::string& s, double w = 0.0, double l = 0.0);
+  std::string res(const std::string& a, const std::string& b, double value);
+  std::string cap(const std::string& a, const std::string& b, double value);
+  std::string ind(const std::string& a, const std::string& b, double value);
+  std::string isrc(const std::string& p, const std::string& n, double value);
+  std::string vsrc(const std::string& p, const std::string& n, double value);
+
+  /// Marks a net with a designer port label (.portlabel).
+  void port(const std::string& net, spice::PortLabel label);
+
+  /// Fresh unique internal net name ("n12" with the current prefix).
+  std::string fresh_net(const std::string& hint = "n");
+
+  /// Inserts `copies` extra parallel duplicates of the most recent device
+  /// (exercises the preprocessing parallel-merge pass).
+  void stack_parallel(int copies);
+
+  /// Adds a dummy transistor parked on the rails next to the most recent
+  /// MOS device (exercises dummy removal).
+  void add_dummy();
+
+  [[nodiscard]] Sizing& sizing() { return sizing_; }
+  [[nodiscard]] Rng& rng() { return *rng_; }
+
+  /// Finalizes: validates and returns the labeled circuit.
+  LabeledCircuit finish();
+
+  [[nodiscard]] std::size_t device_count() const {
+    return result_.netlist.devices.size();
+  }
+
+ private:
+  std::string add_mos(spice::DeviceType type, const std::string& d,
+                      const std::string& g, const std::string& s, double w,
+                      double l);
+  std::string add_two_pin(spice::DeviceType type, char letter,
+                          const std::string& a, const std::string& b,
+                          double value);
+  std::string next_name(char letter);
+
+  LabeledCircuit result_;
+  Rng* rng_;
+  Sizing sizing_;
+  int label_ = 0;
+  std::string prefix_;
+  std::map<char, int> counters_;
+  int net_counter_ = 0;
+};
+
+}  // namespace gana::datagen

@@ -1,0 +1,45 @@
+// GANA: Graph Convolutional Network Based Automated Netlist Annotation
+// for Analog Circuits -- umbrella header.
+//
+// Reproduction of Kunal et al., DATE 2020. See README.md / DESIGN.md.
+//
+// Typical usage:
+//
+//   auto circuits = gana::datagen::make_ota_dataset({.circuits = 624});
+//   auto samples  = gana::core::make_gcn_samples(circuits, 0, 1);
+//   gana::gcn::GcnModel model({.num_classes = 2});
+//   gana::gcn::train(model, train, val, {});
+//   gana::core::Annotator annotator(&model, {"ota", "bias"});
+//   auto result = annotator.annotate(some_netlist, "my_circuit");
+//   std::cout << gana::core::to_string(result.hierarchy);
+#pragma once
+
+#include "core/constraints.hpp"   // IWYU pragma: export
+#include "core/export.hpp"        // IWYU pragma: export
+#include "core/features.hpp"      // IWYU pragma: export
+#include "core/hierarchy.hpp"     // IWYU pragma: export
+#include "core/pipeline.hpp"      // IWYU pragma: export
+#include "core/postprocess.hpp"   // IWYU pragma: export
+#include "datagen/dataset.hpp"    // IWYU pragma: export
+#include "datagen/extras.hpp"     // IWYU pragma: export
+#include "datagen/ota_gen.hpp"    // IWYU pragma: export
+#include "datagen/phased_array.hpp"  // IWYU pragma: export
+#include "datagen/rf_gen.hpp"     // IWYU pragma: export
+#include "datagen/sc_filter.hpp"  // IWYU pragma: export
+#include "gcn/metrics.hpp"        // IWYU pragma: export
+#include "gcn/model.hpp"          // IWYU pragma: export
+#include "gcn/serialize.hpp"      // IWYU pragma: export
+#include "gcn/trainer.hpp"        // IWYU pragma: export
+#include "graph/builder.hpp"      // IWYU pragma: export
+#include "graph/ccc.hpp"          // IWYU pragma: export
+#include "graph/laplacian.hpp"    // IWYU pragma: export
+#include "isomorph/equivalence.hpp"  // IWYU pragma: export
+#include "isomorph/vf2.hpp"       // IWYU pragma: export
+#include "layout/placer.hpp"      // IWYU pragma: export
+#include "layout/svg.hpp"         // IWYU pragma: export
+#include "primitives/annotator.hpp"  // IWYU pragma: export
+#include "primitives/library.hpp"    // IWYU pragma: export
+#include "spice/flatten.hpp"      // IWYU pragma: export
+#include "spice/parser.hpp"       // IWYU pragma: export
+#include "spice/preprocess.hpp"   // IWYU pragma: export
+#include "spice/writer.hpp"       // IWYU pragma: export

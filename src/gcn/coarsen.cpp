@@ -1,0 +1,84 @@
+#include "gcn/coarsen.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace gana::gcn {
+namespace {
+
+/// One level of greedy Graclus matching. Returns the cluster map and the
+/// coarse adjacency.
+std::pair<std::vector<std::size_t>, SparseMatrix> coarsen_once(
+    const SparseMatrix& adj, Rng& rng) {
+  const std::size_t n = adj.rows();
+  const std::vector<double> degree = adj.row_sums();
+
+  std::vector<std::size_t> visit(n);
+  std::iota(visit.begin(), visit.end(), 0);
+  rng.shuffle(visit);
+
+  constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> cluster(n, kUnmatched);
+  std::size_t next_cluster = 0;
+
+  const auto& rp = adj.row_ptr();
+  const auto& ci = adj.col_idx();
+  const auto& vals = adj.values();
+
+  for (std::size_t v : visit) {
+    if (cluster[v] != kUnmatched) continue;
+    // Best unmatched neighbor by normalized-cut gain w_ij (1/d_i + 1/d_j).
+    std::size_t best = kUnmatched;
+    double best_gain = -1.0;
+    for (std::size_t k = rp[v]; k < rp[v + 1]; ++k) {
+      const std::size_t u = ci[k];
+      if (u == v || cluster[u] != kUnmatched) continue;
+      const double di = degree[v] > 0 ? 1.0 / degree[v] : 0.0;
+      const double dj = degree[u] > 0 ? 1.0 / degree[u] : 0.0;
+      const double gain = vals[k] * (di + dj);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = u;
+      }
+    }
+    cluster[v] = next_cluster;
+    if (best != kUnmatched) cluster[best] = next_cluster;
+    ++next_cluster;
+  }
+
+  // Coarse adjacency: sum fine weights between clusters; drop self-loops.
+  std::vector<Triplet> t;
+  t.reserve(adj.nnz());
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::size_t cr = cluster[r];
+      const std::size_t cc = cluster[ci[k]];
+      if (cr == cc) continue;
+      t.push_back({cr, cc, vals[k]});
+    }
+  }
+  return {std::move(cluster),
+          SparseMatrix::from_triplets(next_cluster, next_cluster,
+                                      std::move(t))};
+}
+
+}  // namespace
+
+Coarsening graclus_coarsen(const SparseMatrix& adjacency, int levels,
+                           Rng& rng) {
+  Coarsening out;
+  SparseMatrix current = adjacency;
+  for (int l = 0; l < levels; ++l) {
+    auto [map, coarse] = coarsen_once(current, rng);
+    out.cluster_maps.push_back(std::move(map));
+    out.adjacency.push_back(coarse);
+    current = std::move(coarse);
+    if (current.rows() <= 1) break;
+  }
+  return out;
+}
+
+}  // namespace gana::gcn

@@ -1,0 +1,46 @@
+// Greedy Graclus-style graph coarsening (paper §III-B).
+//
+// "The GCN used in this work uses the greedy Graclus heuristic, built on
+// top of the Metis algorithm for multilevel clustering. The pooling
+// operator is based on a balanced binary tree that represents each
+// cluster."
+//
+// Each level pairs every vertex with an unmatched neighbor maximizing the
+// normalized cut weight w_ij (1/d_i + 1/d_j); unmatched leftovers become
+// singleton clusters (the "fake node" of the balanced binary tree is
+// implicit: pooling treats singletons as clusters of size one).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+
+namespace gana {
+class Rng;
+}
+
+namespace gana::gcn {
+
+/// Multilevel coarsening of a weighted adjacency matrix.
+struct Coarsening {
+  /// cluster_maps[l][v] = cluster (coarse vertex) of fine vertex v at
+  /// level l; level 0 maps original vertices to level-1 vertices.
+  std::vector<std::vector<std::size_t>> cluster_maps;
+  /// adjacency[l] = weighted adjacency of the level-(l+1) coarse graph.
+  std::vector<SparseMatrix> adjacency;
+
+  [[nodiscard]] std::size_t levels() const { return cluster_maps.size(); }
+
+  /// Vertex count of the coarse graph after `level`+1 coarsenings.
+  [[nodiscard]] std::size_t coarse_size(std::size_t level) const {
+    return adjacency[level].rows();
+  }
+};
+
+/// Runs `levels` rounds of greedy matching. Deterministic given the rng
+/// state. Self-loops produced by merging are dropped.
+Coarsening graclus_coarsen(const SparseMatrix& adjacency, int levels,
+                           Rng& rng);
+
+}  // namespace gana::gcn

@@ -1,0 +1,156 @@
+#include "gcn/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "gcn/trainer.hpp"
+
+namespace gana::gcn {
+
+std::string MetricsReport::str(
+    const std::vector<std::string>& class_names) const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof line, "%-12s %8s %10s %8s %8s\n", "class",
+                "support", "precision", "recall", "f1");
+  out += line;
+  for (std::size_t c = 0; c < per_class.size(); ++c) {
+    const std::string name =
+        c < class_names.size() ? class_names[c] : "class" + std::to_string(c);
+    const auto& m = per_class[c];
+    std::snprintf(line, sizeof line, "%-12s %8zu %9.2f%% %7.2f%% %7.2f%%\n",
+                  name.c_str(), m.support, m.precision * 100.0,
+                  m.recall * 100.0, m.f1 * 100.0);
+    out += line;
+  }
+  std::snprintf(line, sizeof line,
+                "accuracy %.2f%%  macro-F1 %.2f%%  (n=%zu)\n",
+                accuracy * 100.0, macro_f1 * 100.0, counted);
+  out += line;
+  return out;
+}
+
+MetricsReport metrics_from_confusion(
+    const std::vector<std::vector<std::size_t>>& confusion) {
+  MetricsReport report;
+  const std::size_t k = confusion.size();
+  report.per_class.resize(k);
+
+  std::vector<std::size_t> pred_total(k, 0);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t t = 0; t < k; ++t) {
+    for (std::size_t p = 0; p < k; ++p) {
+      pred_total[p] += confusion[t][p];
+      total += confusion[t][p];
+      if (t == p) correct += confusion[t][p];
+    }
+  }
+  double f1_sum = 0.0;
+  std::size_t f1_classes = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    ClassMetrics& m = report.per_class[c];
+    std::size_t truth_total = 0;
+    for (std::size_t p = 0; p < k; ++p) truth_total += confusion[c][p];
+    m.support = truth_total;
+    const std::size_t tp = confusion[c][c];
+    m.precision = pred_total[c] > 0
+                      ? static_cast<double>(tp) /
+                            static_cast<double>(pred_total[c])
+                      : 0.0;
+    m.recall = truth_total > 0 ? static_cast<double>(tp) /
+                                     static_cast<double>(truth_total)
+                               : 0.0;
+    m.f1 = (m.precision + m.recall) > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    if (truth_total > 0) {
+      f1_sum += m.f1;
+      ++f1_classes;
+    }
+  }
+  report.counted = total;
+  report.accuracy =
+      total > 0 ? static_cast<double>(correct) / static_cast<double>(total)
+                : 0.0;
+  report.macro_f1 =
+      f1_classes > 0 ? f1_sum / static_cast<double>(f1_classes) : 0.0;
+  return report;
+}
+
+MetricsReport evaluate_metrics(GcnModel& model,
+                               const std::vector<GraphSample>& samples,
+                               std::size_t num_classes) {
+  return metrics_from_confusion(
+      confusion_matrix(model, samples, num_classes));
+}
+
+std::vector<double> inverse_frequency_weights(
+    const std::vector<GraphSample>& samples, std::size_t num_classes) {
+  std::vector<double> counts(num_classes, 0.0);
+  double total = 0.0;
+  for (const auto& s : samples) {
+    for (int l : s.labels) {
+      if (l >= 0 && static_cast<std::size_t>(l) < num_classes) {
+        counts[static_cast<std::size_t>(l)] += 1.0;
+        total += 1.0;
+      }
+    }
+  }
+  std::vector<double> weights(num_classes, 1.0);
+  if (total <= 0.0) return weights;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    weights[c] = counts[c] > 0.0
+                     ? total / (static_cast<double>(num_classes) * counts[c])
+                     : 1.0;
+  }
+  // Normalize to mean 1 over the present classes.
+  double sum = 0.0;
+  for (double w : weights) sum += w;
+  const double scale = static_cast<double>(num_classes) / sum;
+  for (double& w : weights) w *= scale;
+  return weights;
+}
+
+LossResult weighted_softmax_cross_entropy(const Matrix& logits,
+                                          const std::vector<int>& labels,
+                                          const std::vector<double>& weights) {
+  assert(labels.size() == logits.rows());
+  assert(weights.size() == logits.cols());
+  LossResult res;
+  res.grad = Matrix(logits.rows(), logits.cols());
+  const Matrix p = softmax(logits);
+
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int y = labels[r];
+    if (y < 0) continue;
+    ++res.counted;
+    weight_sum += weights[static_cast<std::size_t>(y)];
+  }
+  if (res.counted == 0) return res;
+  const double inv = 1.0 / weight_sum;
+
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const int y = labels[r];
+    if (y < 0) continue;
+    const double w = weights[static_cast<std::size_t>(y)];
+    res.loss -= w * std::log(std::max(
+                        p(r, static_cast<std::size_t>(y)), 1e-300));
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < p.cols(); ++c) {
+      if (p(r, c) > p(r, best)) best = c;
+    }
+    if (best == static_cast<std::size_t>(y)) ++res.correct;
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      res.grad(r, c) =
+          w * (p(r, c) - (c == static_cast<std::size_t>(y) ? 1.0 : 0.0)) *
+          inv;
+    }
+  }
+  res.loss *= inv;
+  return res;
+}
+
+}  // namespace gana::gcn

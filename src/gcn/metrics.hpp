@@ -1,0 +1,55 @@
+// Evaluation metrics beyond plain accuracy: per-class precision/recall/F1
+// and macro-F1, plus class-weighted cross-entropy for the imbalanced
+// node-classification tasks (bias devices are a minority of an OTA's
+// nodes; LNA devices a minority of a receiver's).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gcn/layers.hpp"
+#include "gcn/model.hpp"
+#include "gcn/sample.hpp"
+
+namespace gana::gcn {
+
+struct ClassMetrics {
+  std::size_t support = 0;  ///< ground-truth count
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct MetricsReport {
+  std::vector<ClassMetrics> per_class;
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  std::size_t counted = 0;
+
+  /// Renders an aligned report, one line per class.
+  [[nodiscard]] std::string str(
+      const std::vector<std::string>& class_names = {}) const;
+};
+
+/// Computes metrics from a confusion matrix (rows = truth, cols = pred).
+MetricsReport metrics_from_confusion(
+    const std::vector<std::vector<std::size_t>>& confusion);
+
+/// Evaluates `model` over `samples`, returning the full report.
+MetricsReport evaluate_metrics(GcnModel& model,
+                               const std::vector<GraphSample>& samples,
+                               std::size_t num_classes);
+
+/// Inverse-frequency class weights over the labeled vertices of a
+/// dataset, normalized to mean 1 (uniform weights if a class is absent).
+std::vector<double> inverse_frequency_weights(
+    const std::vector<GraphSample>& samples, std::size_t num_classes);
+
+/// Class-weighted softmax cross-entropy; `weights` has one entry per
+/// class. Equivalent to softmax_cross_entropy when all weights are 1.
+LossResult weighted_softmax_cross_entropy(const Matrix& logits,
+                                          const std::vector<int>& labels,
+                                          const std::vector<double>& weights);
+
+}  // namespace gana::gcn

@@ -1,0 +1,77 @@
+// The circuit-recognition GCN (paper §III-B, Fig. 4).
+//
+// Default topology: two Chebyshev convolution stages (with batch norm,
+// ReLU, and optional Graclus pooling) followed by a 512-wide fully
+// connected layer and a softmax classifier over sub-block classes.
+// Without pooling the network is a per-node ChebNet classifier; with
+// pooling enabled, convolutions after the i-th pool operate on the i-th
+// coarsened graph and the logits are broadcast back to the original
+// vertices through unpooling layers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gcn/layers.hpp"
+
+namespace gana::gcn {
+
+/// Which graph convolution the model uses.
+enum class ConvKind {
+  Chebyshev,  ///< spectral ChebNet (the paper's choice, Eq. 3-5)
+  SageMean,   ///< GraphSAGE mean aggregator (ablation alternative)
+};
+
+struct ModelConfig {
+  std::size_t in_features = 18;
+  std::size_t num_classes = 2;
+  ConvKind conv_kind = ConvKind::Chebyshev;
+  /// Output channels of each Chebyshev convolution stage; the paper uses
+  /// two stages (one to three explored in the layer ablation).
+  std::vector<std::size_t> conv_channels = {32, 64};
+  /// Chebyshev filter size K (paper Fig. 5 sweeps this).
+  int cheb_k = 8;
+  /// Width of the fully connected layer ("of size 512" in the paper).
+  std::size_t fc_hidden = 512;
+  bool use_pooling = false;
+  GraclusPool::Mode pool_mode = GraclusPool::Mode::Max;
+  double dropout = 0.5;
+  bool batch_norm = true;
+  std::uint64_t seed = 1;
+
+  /// Number of Graclus levels a GraphSample must be prepared with.
+  [[nodiscard]] int required_pool_levels() const {
+    return use_pooling ? static_cast<int>(conv_channels.size()) : 0;
+  }
+};
+
+/// A feed-forward stack of layers with explicit backprop.
+class GcnModel {
+ public:
+  explicit GcnModel(const ModelConfig& config);
+
+  /// Per-node logits, shape nodes x num_classes.
+  Matrix forward(const GraphSample& sample, bool training);
+
+  /// Backpropagates dLoss/dLogits, accumulating parameter gradients.
+  void backward(const Matrix& grad_logits);
+
+  [[nodiscard]] std::vector<Matrix*> params();
+  [[nodiscard]] std::vector<Matrix*> grads();
+  /// Non-trainable persistent state (batch-norm running statistics).
+  [[nodiscard]] std::vector<Matrix*> buffers();
+  void zero_grads();
+
+  /// Total number of trainable scalars.
+  [[nodiscard]] std::size_t parameter_count();
+
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  ModelConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace gana::gcn

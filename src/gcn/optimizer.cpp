@@ -1,0 +1,42 @@
+#include "gcn/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gana::gcn {
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+           const AdamConfig& config)
+    : params_(std::move(params)), grads_(std::move(grads)), config_(config) {
+  assert(params_.size() == grads_.size());
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Matrix* p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i]->data();
+    const auto& g = grads_[i]->data();
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    assert(p.size() == g.size());
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      // L2 weight decay folded into the gradient.
+      const double grad = g[j] + config_.weight_decay * p[j];
+      m[j] = config_.beta1 * m[j] + (1.0 - config_.beta1) * grad;
+      v[j] = config_.beta2 * v[j] + (1.0 - config_.beta2) * grad * grad;
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace gana::gcn

@@ -1,0 +1,40 @@
+// Adam optimizer with decoupled L2 weight decay.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace gana::gcn {
+
+struct AdamConfig {
+  double lr = 0.01;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 5e-4;
+};
+
+/// Standard Adam over a fixed set of parameter matrices. The parameter
+/// and gradient pointers must remain stable for the optimizer's lifetime.
+class Adam {
+ public:
+  Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads,
+       const AdamConfig& config = {});
+
+  /// Applies one update from the accumulated gradients.
+  void step();
+
+  void set_lr(double lr) { config_.lr = lr; }
+  [[nodiscard]] double lr() const { return config_.lr; }
+  [[nodiscard]] long steps_taken() const { return t_; }
+
+ private:
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+  std::vector<Matrix> m_, v_;
+  AdamConfig config_;
+  long t_ = 0;
+};
+
+}  // namespace gana::gcn

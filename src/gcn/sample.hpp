@@ -1,0 +1,45 @@
+// A training/inference sample for the GCN: one circuit graph with its
+// multilevel spectral operators precomputed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+
+namespace gana {
+class Rng;
+}
+
+namespace gana::gcn {
+
+/// One circuit, ready for the network. `lhat[0]` is the scaled Laplacian
+/// L̂ = 2L/λ_max - I of the original graph (paper Eq. 3); `lhat[l]` for
+/// l > 0 are the operators of the Graclus-coarsened graphs used below
+/// each pooling layer; `cluster_maps[l]` maps level-l vertices to their
+/// level-(l+1) cluster.
+struct GraphSample {
+  std::string name;
+  Matrix features;         ///< n x d input features
+  std::vector<int> labels; ///< per-node class id; -1 = excluded from loss
+  std::vector<SparseMatrix> lhat;
+  std::vector<std::vector<std::size_t>> cluster_maps;
+  /// Row-normalized propagation operators P = D^{-1} A per level (and
+  /// their transposes, needed by backprop), used by the GraphSAGE-mean
+  /// alternative convolution.
+  std::vector<SparseMatrix> prop;
+  std::vector<SparseMatrix> prop_t;
+
+  [[nodiscard]] std::size_t nodes() const { return features.rows(); }
+};
+
+/// Builds a GraphSample from an adjacency matrix: normalized Laplacian,
+/// Lanczos λ_max (with a Gershgorin fallback for tiny graphs), scaling,
+/// and `pool_levels` rounds of Graclus coarsening with the corresponding
+/// coarse operators.
+GraphSample make_sample(const SparseMatrix& adjacency, Matrix features,
+                        std::vector<int> labels, int pool_levels, Rng& rng,
+                        std::string name = {});
+
+}  // namespace gana::gcn

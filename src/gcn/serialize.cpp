@@ -1,0 +1,132 @@
+#include "gcn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace gana::gcn {
+
+namespace {
+constexpr const char* kMagic = "gana-gcn-v1";
+}  // namespace
+
+void save_model(const GcnModel& model, std::ostream& out) {
+  const ModelConfig& cfg = model.config();
+  out << kMagic << "\n";
+  out << "in_features " << cfg.in_features << "\n";
+  out << "num_classes " << cfg.num_classes << "\n";
+  out << "conv_channels";
+  for (std::size_t c : cfg.conv_channels) out << " " << c;
+  out << "\n";
+  out << "cheb_k " << cfg.cheb_k << "\n";
+  out << "fc_hidden " << cfg.fc_hidden << "\n";
+  out << "use_pooling " << (cfg.use_pooling ? 1 : 0) << "\n";
+  out << "pool_mode "
+      << (cfg.pool_mode == GraclusPool::Mode::Max ? "max" : "mean") << "\n";
+  out << "dropout " << cfg.dropout << "\n";
+  out << "batch_norm " << (cfg.batch_norm ? 1 : 0) << "\n";
+  out << "seed " << cfg.seed << "\n";
+
+  // GcnModel::params() is non-const by design (the optimizer mutates
+  // through it); serialization only reads.
+  auto& mutable_model = const_cast<GcnModel&>(model);
+  auto params = mutable_model.params();
+  auto buffers = mutable_model.buffers();
+  params.insert(params.end(), buffers.begin(), buffers.end());
+  out << "tensors " << params.size() << "\n";
+  out << std::setprecision(17);
+  for (const Matrix* p : params) {
+    out << p->rows() << " " << p->cols() << "\n";
+    for (double v : p->data()) out << v << " ";
+    out << "\n";
+  }
+}
+
+void save_model_file(const GcnModel& model, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  save_model(model, f);
+}
+
+GcnModel load_model(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    throw std::runtime_error("not a gana-gcn checkpoint (bad magic)");
+  }
+  ModelConfig cfg;
+  std::string key;
+  // Fixed key order as written by save_model.
+  auto expect = [&](const char* want) {
+    in >> key;
+    if (key != want) {
+      throw std::runtime_error("checkpoint: expected key '" +
+                               std::string(want) + "', got '" + key + "'");
+    }
+  };
+  expect("in_features");
+  in >> cfg.in_features;
+  expect("num_classes");
+  in >> cfg.num_classes;
+  expect("conv_channels");
+  cfg.conv_channels.clear();
+  // Channels run until the next key ("cheb_k").
+  while (in >> key && key != "cheb_k") {
+    cfg.conv_channels.push_back(std::stoul(key));
+  }
+  in >> cfg.cheb_k;
+  expect("fc_hidden");
+  in >> cfg.fc_hidden;
+  expect("use_pooling");
+  int flag = 0;
+  in >> flag;
+  cfg.use_pooling = flag != 0;
+  expect("pool_mode");
+  std::string mode;
+  in >> mode;
+  cfg.pool_mode =
+      mode == "max" ? GraclusPool::Mode::Max : GraclusPool::Mode::Mean;
+  expect("dropout");
+  in >> cfg.dropout;
+  expect("batch_norm");
+  in >> flag;
+  cfg.batch_norm = flag != 0;
+  expect("seed");
+  in >> cfg.seed;
+  expect("tensors");
+  std::size_t tensor_count = 0;
+  in >> tensor_count;
+
+  GcnModel model(cfg);
+  auto params = model.params();
+  auto buffers = model.buffers();
+  params.insert(params.end(), buffers.begin(), buffers.end());
+  if (params.size() != tensor_count) {
+    throw std::runtime_error(
+        "checkpoint: tensor count mismatch (file " +
+        std::to_string(tensor_count) + ", model " +
+        std::to_string(params.size()) + ")");
+  }
+  for (Matrix* p : params) {
+    std::size_t rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (rows != p->rows() || cols != p->cols()) {
+      throw std::runtime_error("checkpoint: tensor shape mismatch");
+    }
+    for (double& v : p->data()) {
+      if (!(in >> v)) {
+        throw std::runtime_error("checkpoint: truncated tensor data");
+      }
+    }
+  }
+  return model;
+}
+
+GcnModel load_model_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot read " + path);
+  return load_model(f);
+}
+
+}  // namespace gana::gcn

@@ -1,0 +1,22 @@
+// Model checkpointing: save/load a trained GcnModel to a portable text
+// format (config header + parameter tensors), so annotation flows can
+// reuse a model without retraining.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gcn/model.hpp"
+
+namespace gana::gcn {
+
+/// Writes the model config and all parameter tensors.
+void save_model(const GcnModel& model, std::ostream& out);
+void save_model_file(const GcnModel& model, const std::string& path);
+
+/// Reads a model saved by save_model. Throws std::runtime_error on
+/// malformed input or config/parameter shape mismatch.
+GcnModel load_model(std::istream& in);
+GcnModel load_model_file(const std::string& path);
+
+}  // namespace gana::gcn

@@ -1,0 +1,145 @@
+#include "gcn/trainer.hpp"
+
+#include "gcn/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace gana::gcn {
+
+double evaluate_accuracy(GcnModel& model,
+                         const std::vector<GraphSample>& samples) {
+  std::size_t correct = 0, counted = 0;
+  for (const auto& s : samples) {
+    const Matrix logits = model.forward(s, /*training=*/false);
+    const LossResult r = softmax_cross_entropy(logits, s.labels);
+    correct += r.correct;
+    counted += r.counted;
+  }
+  return counted > 0 ? static_cast<double>(correct) /
+                           static_cast<double>(counted)
+                     : 0.0;
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    GcnModel& model, const std::vector<GraphSample>& samples,
+    std::size_t num_classes) {
+  std::vector<std::vector<std::size_t>> confusion(
+      num_classes, std::vector<std::size_t>(num_classes, 0));
+  for (const auto& s : samples) {
+    const Matrix p = predict_probabilities(model, s);
+    for (std::size_t r = 0; r < p.rows(); ++r) {
+      const int y = s.labels[r];
+      if (y < 0) continue;
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < p.cols(); ++c) {
+        if (p(r, c) > p(r, best)) best = c;
+      }
+      ++confusion[static_cast<std::size_t>(y)][best];
+    }
+  }
+  return confusion;
+}
+
+Matrix predict_probabilities(GcnModel& model, const GraphSample& sample) {
+  return softmax(model.forward(sample, /*training=*/false));
+}
+
+TrainResult train(GcnModel& model, const std::vector<GraphSample>& train_set,
+                  const std::vector<GraphSample>& val_set,
+                  const TrainConfig& config) {
+  Timer timer;
+  TrainResult result;
+  Adam adam(model.params(), model.grads(), config.adam);
+  Rng shuffle_rng(config.shuffle_seed);
+
+  std::vector<std::size_t> order(train_set.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  int since_best = 0;
+  for (int epoch = 1; epoch <= config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::size_t correct = 0, counted = 0, in_batch = 0;
+    model.zero_grads();
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const GraphSample& s = train_set[order[oi]];
+      const Matrix logits = model.forward(s, /*training=*/true);
+      LossResult r =
+          config.class_weights.empty()
+              ? softmax_cross_entropy(logits, s.labels)
+              : weighted_softmax_cross_entropy(logits, s.labels,
+                                               config.class_weights);
+      if (r.counted > 0) {
+        model.backward(r.grad);
+        loss_sum += r.loss;
+        correct += r.correct;
+        counted += r.counted;
+      }
+      if (++in_batch >= static_cast<std::size_t>(config.batch_size) ||
+          oi + 1 == order.size()) {
+        // Average accumulated gradients over the batch.
+        const double inv = 1.0 / static_cast<double>(in_batch);
+        for (Matrix* g : model.grads()) (*g) *= inv;
+        adam.step();
+        model.zero_grads();
+        in_batch = 0;
+      }
+    }
+    if (config.lr_decay_every > 0 && epoch % config.lr_decay_every == 0) {
+      adam.set_lr(adam.lr() * config.lr_decay);
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss =
+        train_set.empty() ? 0.0
+                          : loss_sum / static_cast<double>(train_set.size());
+    stats.train_acc = counted > 0 ? static_cast<double>(correct) /
+                                        static_cast<double>(counted)
+                                  : 0.0;
+    stats.val_acc =
+        val_set.empty() ? stats.train_acc : evaluate_accuracy(model, val_set);
+    result.history.push_back(stats);
+    result.final_train_acc = stats.train_acc;
+
+    if (stats.val_acc > result.best_val_acc) {
+      result.best_val_acc = stats.val_acc;
+      result.best_epoch = epoch;
+      since_best = 0;
+    } else {
+      ++since_best;
+    }
+    if (config.verbose) {
+      std::printf("epoch %3d  loss %.4f  train %.4f  val %.4f\n", epoch,
+                  stats.train_loss, stats.train_acc, stats.val_acc);
+    }
+    if (config.patience > 0 && since_best >= config.patience) break;
+  }
+  result.train_seconds = timer.seconds();
+  return result;
+}
+
+std::pair<std::vector<GraphSample>, std::vector<GraphSample>> split_dataset(
+    std::vector<GraphSample> samples, double train_fraction,
+    std::uint64_t seed) {
+  Rng rng(seed);
+  rng.shuffle(samples);
+  const std::size_t n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(samples.size()));
+  std::vector<GraphSample> train_set(
+      std::make_move_iterator(samples.begin()),
+      std::make_move_iterator(samples.begin() +
+                              static_cast<std::ptrdiff_t>(n_train)));
+  std::vector<GraphSample> val_set(
+      std::make_move_iterator(samples.begin() +
+                              static_cast<std::ptrdiff_t>(n_train)),
+      std::make_move_iterator(samples.end()));
+  return {std::move(train_set), std::move(val_set)};
+}
+
+}  // namespace gana::gcn

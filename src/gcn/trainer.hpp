@@ -1,0 +1,72 @@
+// Training loop: mini-batched Adam with validation-based early stopping
+// (paper §V-A: 80/20 train/validation split, batch norm + dropout
+// regularization).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gcn/model.hpp"
+#include "gcn/optimizer.hpp"
+#include "gcn/sample.hpp"
+
+namespace gana::gcn {
+
+struct TrainConfig {
+  int epochs = 120;
+  /// Circuits per gradient step (gradients accumulate over the batch).
+  int batch_size = 8;
+  AdamConfig adam;
+  /// Stop after this many epochs without validation improvement
+  /// (<= 0 disables early stopping).
+  int patience = 20;
+  /// Multiply the learning rate by `lr_decay` every `lr_decay_every`
+  /// epochs (decay rate is one of the paper's tuned hyperparameters).
+  double lr_decay = 0.95;
+  int lr_decay_every = 10;
+  /// Per-class loss weights (empty = unweighted). Use
+  /// inverse_frequency_weights() for imbalanced node populations.
+  std::vector<double> class_weights;
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double train_acc = 0.0;
+  double val_acc = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double best_val_acc = 0.0;
+  int best_epoch = -1;
+  double final_train_acc = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Node-level accuracy of `model` over `samples` (evaluation mode).
+double evaluate_accuracy(GcnModel& model,
+                         const std::vector<GraphSample>& samples);
+
+/// Per-class confusion counts: confusion[truth][prediction].
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    GcnModel& model, const std::vector<GraphSample>& samples,
+    std::size_t num_classes);
+
+/// Per-node class probabilities for one sample (evaluation mode).
+Matrix predict_probabilities(GcnModel& model, const GraphSample& sample);
+
+/// Trains `model` in place.
+TrainResult train(GcnModel& model, const std::vector<GraphSample>& train_set,
+                  const std::vector<GraphSample>& val_set,
+                  const TrainConfig& config = {});
+
+/// Splits samples into train/val by the given fraction (shuffled).
+std::pair<std::vector<GraphSample>, std::vector<GraphSample>> split_dataset(
+    std::vector<GraphSample> samples, double train_fraction,
+    std::uint64_t seed);
+
+}  // namespace gana::gcn

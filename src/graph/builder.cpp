@@ -1,0 +1,87 @@
+#include "graph/builder.hpp"
+
+#include <map>
+
+namespace gana::graph {
+
+NetRole classify_net(const std::string& name, const spice::Netlist& netlist) {
+  if (spice::is_supply_net(name)) return NetRole::Supply;
+  if (spice::is_ground_net(name)) return NetRole::Ground;
+  auto it = netlist.port_labels.find(name);
+  if (it != netlist.port_labels.end()) {
+    switch (it->second) {
+      case spice::PortLabel::Input: return NetRole::Input;
+      case spice::PortLabel::Output: return NetRole::Output;
+      case spice::PortLabel::Bias: return NetRole::Bias;
+      case spice::PortLabel::Clock: return NetRole::Clock;
+      case spice::PortLabel::Antenna: return NetRole::Antenna;
+      case spice::PortLabel::LocalOsc: return NetRole::LocalOsc;
+      case spice::PortLabel::None: break;
+    }
+  }
+  return NetRole::Internal;
+}
+
+CircuitGraph build_graph(const spice::Netlist& netlist,
+                         const BuildOptions& options) {
+  if (!netlist.is_flat()) {
+    throw spice::NetlistError("build_graph requires a flattened netlist");
+  }
+  CircuitGraph g;
+  // Element vertices, in device order.
+  for (std::size_t di = 0; di < netlist.devices.size(); ++di) {
+    const auto& d = netlist.devices[di];
+    Vertex v;
+    v.name = d.name;
+    v.dtype = d.type;
+    v.value = d.value;
+    if (spice::is_mos(d.type)) {
+      // MOS devices carry their width as the characteristic value (drives
+      // the low/medium/high feature bucket).
+      auto w = d.params.find("w");
+      if (w != d.params.end()) v.value = w->second;
+    }
+    v.hier_depth = d.hier_depth;
+    v.device_index = di;
+    g.add_element(std::move(v));
+  }
+  // Net vertices, created on demand.
+  std::map<std::string, std::size_t> net_id;
+  auto net_vertex = [&](const std::string& name) -> std::size_t {
+    auto it = net_id.find(name);
+    if (it != net_id.end()) return it->second;
+    Vertex v;
+    v.name = name;
+    v.role = classify_net(name, netlist);
+    const std::size_t id = g.add_net(std::move(v));
+    net_id.emplace(name, id);
+    return id;
+  };
+
+  for (std::size_t di = 0; di < netlist.devices.size(); ++di) {
+    const auto& d = netlist.devices[di];
+    if (spice::is_mos(d.type)) {
+      const std::uint8_t bits[4] = {kLabelDrain, kLabelGate, kLabelSource, 0};
+      for (std::size_t pi = 0; pi < 4; ++pi) {
+        const std::string& net = d.pins[pi];
+        const bool rail =
+            spice::is_supply_net(net) || spice::is_ground_net(net);
+        if (pi == spice::kBody) {
+          if (rail || !options.include_floating_body) continue;
+        }
+        if (rail && !options.include_rails) continue;
+        g.connect(di, net_vertex(net), bits[pi]);
+      }
+    } else {
+      for (const std::string& net : d.pins) {
+        const bool rail =
+            spice::is_supply_net(net) || spice::is_ground_net(net);
+        if (rail && !options.include_rails) continue;
+        g.connect(di, net_vertex(net), 0);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace gana::graph

@@ -1,0 +1,27 @@
+// Construction of the bipartite circuit graph from a flat netlist.
+#pragma once
+
+#include "graph/circuit_graph.hpp"
+#include "spice/netlist.hpp"
+
+namespace gana::graph {
+
+struct BuildOptions {
+  /// Include a (label-0) edge for a MOS body terminal when the body is not
+  /// tied to a supply/ground rail (body-driven circuits). Rail-tied bodies
+  /// are skipped, matching the paper's figures which omit body connections.
+  bool include_floating_body = true;
+  /// Include supply/ground net vertices (and the edges into them). The
+  /// recognition flow keeps them; CCC computation ignores them anyway.
+  bool include_rails = true;
+};
+
+/// Builds the bipartite graph; element vertex ids appear in netlist device
+/// order first, followed by net vertices. Requires a flat netlist.
+CircuitGraph build_graph(const spice::Netlist& netlist,
+                         const BuildOptions& options = {});
+
+/// Net role from rail naming plus the netlist's port labels.
+NetRole classify_net(const std::string& name, const spice::Netlist& netlist);
+
+}  // namespace gana::graph

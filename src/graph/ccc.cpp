@@ -1,0 +1,162 @@
+#include "graph/ccc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace gana::graph {
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+bool is_rail(const Vertex& v) {
+  return v.role == NetRole::Supply || v.role == NetRole::Ground;
+}
+
+}  // namespace
+
+CccResult channel_connected_components(const CircuitGraph& g) {
+  const std::size_t n = g.vertex_count();
+  UnionFind uf(n);
+
+  // Union MOS devices that share a non-rail net through a channel terminal.
+  for (std::size_t v = 0; v < n; ++v) {
+    const Vertex& net = g.vertex(v);
+    if (net.kind != VertexKind::Net || is_rail(net)) continue;
+    std::size_t first = CircuitGraph::npos;
+    for (std::size_t eid : g.incident(v)) {
+      const Edge& e = g.edge(eid);
+      const Vertex& el = g.vertex(e.element);
+      if (!spice::is_mos(el.dtype)) continue;
+      if ((e.label & (kLabelSource | kLabelDrain)) == 0) continue;
+      if (first == CircuitGraph::npos) {
+        first = e.element;
+      } else {
+        uf.unite(first, e.element);
+      }
+    }
+  }
+
+  CccResult result;
+  result.component_of.assign(n, -1);
+
+  // Number the components over MOS elements.
+  std::map<std::size_t, int> id_of_root;
+  for (std::size_t v = 0; v < n; ++v) {
+    const Vertex& vert = g.vertex(v);
+    if (vert.kind != VertexKind::Element || !spice::is_mos(vert.dtype)) {
+      continue;
+    }
+    const std::size_t root = uf.find(v);
+    auto [it, inserted] =
+        id_of_root.emplace(root, static_cast<int>(id_of_root.size()));
+    result.component_of[v] = it->second;
+    (void)inserted;
+  }
+
+  // Attach non-MOS elements to the component most represented among the
+  // neighbors sharing a (non-rail) net with them. Neighbors reached
+  // through a MOS *channel* terminal (or through another passive) vote
+  // with priority; gate-only neighbors are a fallback -- a bias current
+  // source on a mirror rail must join the mirror's component, not the
+  // component of the many devices merely gated by that rail.
+  auto neighbor_component = [&](std::size_t elem) -> int {
+    std::map<int, int> strong, weak;
+    for (std::size_t eid : g.incident(elem)) {
+      const Edge& e = g.edge(eid);
+      const Vertex& net = g.vertex(e.net);
+      if (is_rail(net)) continue;
+      for (std::size_t eid2 : g.incident(e.net)) {
+        const Edge& e2 = g.edge(eid2);
+        const std::size_t other = e2.element;
+        if (other == elem) continue;
+        const int c = result.component_of[other];
+        if (c < 0) continue;
+        const bool channel =
+            !spice::is_mos(g.vertex(other).dtype) ||
+            (e2.label & (kLabelSource | kLabelDrain)) != 0;
+        ++(channel ? strong : weak)[c];
+      }
+    }
+    auto best_of = [](const std::map<int, int>& votes) {
+      int best = -1, best_votes = 0;
+      for (auto [c, cnt] : votes) {
+        if (cnt > best_votes) {
+          best = c;
+          best_votes = cnt;
+        }
+      }
+      return best;
+    };
+    const int strong_best = best_of(strong);
+    return strong_best >= 0 ? strong_best : best_of(weak);
+  };
+
+  // Two sweeps: a passive adjacent only to other passives can pick up the
+  // component its neighbor acquired in the first sweep.
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const Vertex& vert = g.vertex(v);
+      if (vert.kind != VertexKind::Element) continue;
+      if (result.component_of[v] >= 0) continue;
+      const int c = neighbor_component(v);
+      if (c >= 0) result.component_of[v] = c;
+    }
+  }
+  // Leftover isolated elements each get a fresh component.
+  int next_id = static_cast<int>(id_of_root.size());
+  for (std::size_t v = 0; v < n; ++v) {
+    const Vertex& vert = g.vertex(v);
+    if (vert.kind == VertexKind::Element && result.component_of[v] < 0) {
+      result.component_of[v] = next_id++;
+    }
+  }
+
+  // Nets inherit the majority component of adjacent elements (rails stay
+  // unassigned).
+  for (std::size_t v = 0; v < n; ++v) {
+    const Vertex& vert = g.vertex(v);
+    if (vert.kind != VertexKind::Net || is_rail(vert)) continue;
+    std::map<int, int> votes;
+    for (std::size_t eid : g.incident(v)) {
+      const int c = result.component_of[g.edge(eid).element];
+      if (c >= 0) ++votes[c];
+    }
+    int best = -1, best_votes = 0;
+    for (auto [c, cnt] : votes) {
+      if (cnt > best_votes) {
+        best = c;
+        best_votes = cnt;
+      }
+    }
+    result.component_of[v] = best;
+  }
+
+  result.count = static_cast<std::size_t>(next_id);
+  result.members.assign(result.count, {});
+  for (std::size_t v = 0; v < n; ++v) {
+    if (g.vertex(v).kind == VertexKind::Element) {
+      result.members[static_cast<std::size_t>(result.component_of[v])]
+          .push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace gana::graph

@@ -1,0 +1,37 @@
+// Channel-connected components (paper §V-A, Postprocessing I).
+//
+// "A channel-connected component is a cluster of transistors connected at
+// the sources and drains (not counting connections to supply and ground
+// nodes). It can be identified using simple linear-time graph traversal
+// schemes."
+//
+// Gate connections and rail nets never merge components; passives do not
+// conduct channel current and are attached to a neighboring component
+// afterwards (or form stand-alone components, e.g. capacitor arrays).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace gana::graph {
+
+struct CccResult {
+  /// Component id per vertex; -1 for supply/ground nets and nets with no
+  /// classified neighbor.
+  std::vector<int> component_of;
+  /// Number of components.
+  std::size_t count = 0;
+  /// Element vertex ids per component.
+  std::vector<std::vector<std::size_t>> members;
+
+  [[nodiscard]] int of(std::size_t vertex_id) const {
+    return component_of[vertex_id];
+  }
+};
+
+/// Computes CCCs in O(V + E α(V)).
+CccResult channel_connected_components(const CircuitGraph& g);
+
+}  // namespace gana::graph

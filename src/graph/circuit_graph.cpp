@@ -1,0 +1,84 @@
+#include "graph/circuit_graph.hpp"
+
+#include <cassert>
+
+namespace gana::graph {
+
+const char* to_string(NetRole r) {
+  switch (r) {
+    case NetRole::Internal: return "internal";
+    case NetRole::Input: return "input";
+    case NetRole::Output: return "output";
+    case NetRole::Bias: return "bias";
+    case NetRole::Supply: return "supply";
+    case NetRole::Ground: return "ground";
+    case NetRole::Clock: return "clock";
+    case NetRole::Antenna: return "antenna";
+    case NetRole::LocalOsc: return "lo";
+  }
+  return "?";
+}
+
+std::size_t CircuitGraph::add_element(Vertex v) {
+  v.kind = VertexKind::Element;
+  vertices_.push_back(std::move(v));
+  incident_.emplace_back();
+  ++element_count_;
+  return vertices_.size() - 1;
+}
+
+std::size_t CircuitGraph::add_net(Vertex v) {
+  v.kind = VertexKind::Net;
+  vertices_.push_back(std::move(v));
+  incident_.emplace_back();
+  return vertices_.size() - 1;
+}
+
+std::size_t CircuitGraph::connect(std::size_t element, std::size_t net,
+                                  std::uint8_t label) {
+  assert(element < vertices_.size() && net < vertices_.size());
+  assert(vertices_[element].kind == VertexKind::Element);
+  assert(vertices_[net].kind == VertexKind::Net);
+  // Merge into an existing (element, net) edge if present; element degree
+  // is at most 4, so the scan is O(1).
+  for (std::size_t eid : incident_[element]) {
+    if (edges_[eid].net == net) {
+      edges_[eid].label |= label;
+      return eid;
+    }
+  }
+  edges_.push_back({element, net, label});
+  const std::size_t eid = edges_.size() - 1;
+  incident_[element].push_back(eid);
+  incident_[net].push_back(eid);
+  return eid;
+}
+
+std::vector<std::size_t> CircuitGraph::element_ids() const {
+  std::vector<std::size_t> out;
+  out.reserve(element_count_);
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].kind == VertexKind::Element) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> CircuitGraph::net_ids() const {
+  std::vector<std::size_t> out;
+  out.reserve(net_count());
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].kind == VertexKind::Net) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t CircuitGraph::find_net(const std::string& name) const {
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    if (vertices_[i].kind == VertexKind::Net && vertices_[i].name == name) {
+      return i;
+    }
+  }
+  return npos;
+}
+
+}  // namespace gana::graph

@@ -1,0 +1,133 @@
+// Bipartite circuit-graph representation (paper §II-C).
+//
+// Vertices are partitioned into elements (transistors/passives/sources)
+// and nets; an edge joins an element to each net touched by its terminals
+// and carries the 3-bit label l_g l_s l_d for MOS terminals (Fig. 2). A
+// diode-connected transistor whose gate and drain share a net contributes
+// a single edge labeled 101.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/netlist.hpp"
+
+namespace gana::graph {
+
+enum class VertexKind : std::uint8_t { Element, Net };
+
+/// Semantic role of a net vertex, derived from rail names and from the
+/// designer port labels (drives 5 of the 18 GCN input features).
+enum class NetRole : std::uint8_t {
+  Internal,
+  Input,
+  Output,
+  Bias,
+  Supply,
+  Ground,
+  Clock,
+  Antenna,   ///< RF input port (Postprocessing II)
+  LocalOsc,  ///< oscillating input port (Postprocessing II)
+};
+
+[[nodiscard]] const char* to_string(NetRole r);
+
+/// Edge label bits; a MOS edge label is the OR of the bits of every
+/// terminal connecting the device to that net.
+enum EdgeLabelBit : std::uint8_t {
+  kLabelDrain = 1u << 0,
+  kLabelSource = 1u << 1,
+  kLabelGate = 1u << 2,
+};
+
+struct Vertex {
+  VertexKind kind = VertexKind::Net;
+  std::string name;
+  // Element-only fields.
+  spice::DeviceType dtype = spice::DeviceType::Nmos;
+  double value = 0.0;      ///< principal value for passives/sources
+  int hier_depth = 0;      ///< original hierarchy depth
+  std::size_t device_index = 0;  ///< index into the source netlist
+  // Net-only field.
+  NetRole role = NetRole::Internal;
+};
+
+struct Edge {
+  std::size_t element = 0;  ///< vertex id of the element endpoint
+  std::size_t net = 0;      ///< vertex id of the net endpoint
+  std::uint8_t label = 0;   ///< l_g l_s l_d bits; 0 for passives/sources
+};
+
+/// Undirected bipartite graph of a circuit.
+///
+/// Invariants: every edge joins an Element vertex to a Net vertex; at most
+/// one edge exists per (element, net) pair (labels are OR-merged).
+class CircuitGraph {
+ public:
+  /// Adds an element vertex; returns its id.
+  std::size_t add_element(Vertex v);
+
+  /// Adds a net vertex; returns its id.
+  std::size_t add_net(Vertex v);
+
+  /// Connects an element to a net, OR-merging the label into an existing
+  /// edge if the pair is already connected. Returns the edge index.
+  std::size_t connect(std::size_t element, std::size_t net,
+                      std::uint8_t label);
+
+  [[nodiscard]] std::size_t vertex_count() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t element_count() const { return element_count_; }
+  [[nodiscard]] std::size_t net_count() const {
+    return vertices_.size() - element_count_;
+  }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const Vertex& vertex(std::size_t id) const {
+    return vertices_[id];
+  }
+  [[nodiscard]] Vertex& vertex(std::size_t id) { return vertices_[id]; }
+  [[nodiscard]] const Edge& edge(std::size_t id) const { return edges_[id]; }
+
+  [[nodiscard]] const std::vector<Vertex>& vertices() const {
+    return vertices_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids incident on a vertex (element or net).
+  [[nodiscard]] const std::vector<std::size_t>& incident(
+      std::size_t vertex_id) const {
+    return incident_[vertex_id];
+  }
+
+  /// Number of incident edges.
+  [[nodiscard]] std::size_t degree(std::size_t vertex_id) const {
+    return incident_[vertex_id].size();
+  }
+
+  /// Other endpoint of edge `e` as seen from vertex `v`.
+  [[nodiscard]] std::size_t opposite(std::size_t edge_id,
+                                     std::size_t vertex_id) const {
+    const Edge& e = edges_[edge_id];
+    return e.element == vertex_id ? e.net : e.element;
+  }
+
+  /// Vertex ids of all element vertices.
+  [[nodiscard]] std::vector<std::size_t> element_ids() const;
+
+  /// Vertex ids of all net vertices.
+  [[nodiscard]] std::vector<std::size_t> net_ids() const;
+
+  /// Id of the net vertex with the given name, or npos.
+  [[nodiscard]] std::size_t find_net(const std::string& name) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> incident_;
+  std::size_t element_count_ = 0;
+};
+
+}  // namespace gana::graph

@@ -1,0 +1,84 @@
+#include "isomorph/equivalence.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/builder.hpp"
+#include "isomorph/vf2.hpp"
+#include "spice/flatten.hpp"
+
+namespace gana::iso {
+
+using graph::CircuitGraph;
+using graph::VertexKind;
+
+namespace {
+
+/// Multiset signature of a graph: counts per (kind, dtype/role, degree).
+/// A cheap necessary condition checked before running VF2.
+std::map<std::tuple<int, int, std::size_t>, int> signature(
+    const CircuitGraph& g) {
+  std::map<std::tuple<int, int, std::size_t>, int> sig;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    const int kind = static_cast<int>(vert.kind);
+    const int sub = vert.kind == VertexKind::Element
+                        ? static_cast<int>(vert.dtype)
+                        : static_cast<int>(vert.role);
+    ++sig[{kind, sub, g.degree(v)}];
+  }
+  return sig;
+}
+
+}  // namespace
+
+EquivalenceResult graphs_equivalent(const CircuitGraph& a,
+                                    const CircuitGraph& b) {
+  EquivalenceResult r;
+  if (a.element_count() != b.element_count()) {
+    r.reason = "element count differs (" +
+               std::to_string(a.element_count()) + " vs " +
+               std::to_string(b.element_count()) + ")";
+    return r;
+  }
+  if (a.net_count() != b.net_count()) {
+    r.reason = "net count differs (" + std::to_string(a.net_count()) +
+               " vs " + std::to_string(b.net_count()) + ")";
+    return r;
+  }
+  if (a.edge_count() != b.edge_count()) {
+    r.reason = "edge count differs (" + std::to_string(a.edge_count()) +
+               " vs " + std::to_string(b.edge_count()) + ")";
+    return r;
+  }
+  if (signature(a) != signature(b)) {
+    r.reason = "vertex type/degree signature differs";
+    return r;
+  }
+  // Exact isomorphism: use VF2 with strict degrees on every net vertex of
+  // the pattern. Since vertex counts match and degrees must agree, any
+  // monomorphism found is an isomorphism.
+  Pattern p;
+  p.graph = &a;
+  p.strict_degree.assign(a.vertex_count(), false);
+  for (std::size_t v = 0; v < a.vertex_count(); ++v) {
+    if (a.vertex(v).kind == VertexKind::Net) p.strict_degree[v] = true;
+  }
+  MatchOptions opt;
+  opt.max_matches = 1;
+  const auto matches = find_subgraph_matches(p, b, opt);
+  if (matches.empty()) {
+    r.reason = "no isomorphism found";
+    return r;
+  }
+  r.equivalent = true;
+  return r;
+}
+
+EquivalenceResult netlists_equivalent(const spice::Netlist& a,
+                                      const spice::Netlist& b) {
+  return graphs_equivalent(graph::build_graph(spice::flatten(a)),
+                           graph::build_graph(spice::flatten(b)));
+}
+
+}  // namespace gana::iso

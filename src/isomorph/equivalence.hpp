@@ -1,0 +1,32 @@
+// Full-netlist structural equivalence checking.
+//
+// Two netlists are structurally equivalent when their bipartite circuit
+// graphs are isomorphic under the same compatibility rules used for
+// primitive matching (device types, terminal labels with source/drain
+// symmetry, rail roles). Device and net *names* are ignored -- this is
+// the check a layout or migration flow uses to confirm that a rewritten
+// netlist still implements the same circuit.
+#pragma once
+
+#include "graph/circuit_graph.hpp"
+#include "spice/netlist.hpp"
+
+namespace gana::iso {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// Human-readable reason when not equivalent ("device count differs",
+  /// "no isomorphism found", ...).
+  std::string reason;
+};
+
+/// Checks graph isomorphism between two circuit graphs (exact: every
+/// vertex of `a` maps to a distinct vertex of `b`, degrees equal).
+EquivalenceResult graphs_equivalent(const graph::CircuitGraph& a,
+                                    const graph::CircuitGraph& b);
+
+/// Convenience: flattens both netlists and compares their graphs.
+EquivalenceResult netlists_equivalent(const spice::Netlist& a,
+                                      const spice::Netlist& b);
+
+}  // namespace gana::iso

@@ -1,0 +1,286 @@
+#include "isomorph/vf2.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace gana::iso {
+
+using graph::CircuitGraph;
+using graph::Edge;
+using graph::NetRole;
+using graph::Vertex;
+using graph::VertexKind;
+
+namespace {
+
+constexpr std::size_t kNone = CircuitGraph::npos;
+
+/// Swaps the source and drain bits of an edge label.
+std::uint8_t swap_sd(std::uint8_t label) {
+  const std::uint8_t gate = label & graph::kLabelGate;
+  const std::uint8_t s = (label & graph::kLabelSource) ? graph::kLabelDrain : 0;
+  const std::uint8_t d = (label & graph::kLabelDrain) ? graph::kLabelSource : 0;
+  return static_cast<std::uint8_t>(gate | s | d);
+}
+
+/// Static vertex compatibility (ignores edges).
+bool vertex_compatible(const Vertex& p, const Vertex& t) {
+  if (p.kind != t.kind) return false;
+  if (p.kind == VertexKind::Element) {
+    return p.dtype == t.dtype;
+  }
+  // Net roles: a pattern rail must match the same rail in the target; a
+  // generic pattern net may match any target net (including rails, so a
+  // grounded current-mirror source port can bind to gnd!).
+  if (p.role == NetRole::Supply) return t.role == NetRole::Supply;
+  if (p.role == NetRole::Ground) return t.role == NetRole::Ground;
+  return true;
+}
+
+class Vf2State {
+ public:
+  Vf2State(const Pattern& pattern, const CircuitGraph& target,
+           const MatchOptions& options)
+      : p_(*pattern.graph),
+        t_(target),
+        strict_(pattern.strict_degree),
+        forbid_rail_(pattern.forbid_rail),
+        options_(options) {
+    core_p_.assign(p_.vertex_count(), kNone);
+    core_t_.assign(t_.vertex_count(), kNone);
+    flip_.assign(p_.vertex_count(), false);
+    order_ = search_order();
+  }
+
+  std::vector<Match> run() {
+    if (order_.empty()) return {};
+    recurse(0);
+    return std::move(matches_);
+  }
+
+ private:
+  /// A connected search order over pattern vertices: start from the
+  /// highest-degree element, grow by edges. (Primitives are connected.)
+  std::vector<std::size_t> search_order() const {
+    const std::size_t n = p_.vertex_count();
+    if (n == 0) return {};
+    std::size_t root = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const bool better =
+          (p_.vertex(v).kind == VertexKind::Element &&
+           p_.vertex(root).kind != VertexKind::Element) ||
+          (p_.vertex(v).kind == p_.vertex(root).kind &&
+           p_.degree(v) > p_.degree(root));
+      if (better) root = v;
+    }
+    std::vector<std::size_t> order;
+    std::vector<bool> seen(n, false);
+    order.push_back(root);
+    seen[root] = true;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      // Among frontier vertices adjacent to the ordered prefix, prefer
+      // elements and high degree: they constrain the search most.
+      std::size_t best = kNone;
+      auto consider = [&](std::size_t v) {
+        if (seen[v]) return;
+        if (best == kNone) {
+          best = v;
+          return;
+        }
+        const Vertex& a = p_.vertex(v);
+        const Vertex& b = p_.vertex(best);
+        if (a.kind == VertexKind::Element && b.kind != VertexKind::Element) {
+          best = v;
+        } else if (a.kind == b.kind && p_.degree(v) > p_.degree(best)) {
+          best = v;
+        }
+      };
+      for (std::size_t u : order) {
+        for (std::size_t eid : p_.incident(u)) {
+          consider(p_.opposite(eid, u));
+        }
+      }
+      if (best != kNone) {
+        seen[best] = true;
+        order.push_back(best);
+      } else if (order.size() < n) {
+        // Disconnected pattern: pick any unseen vertex (rare; supported
+        // for completeness).
+        for (std::size_t v = 0; v < n; ++v) {
+          if (!seen[v]) {
+            seen[v] = true;
+            order.push_back(v);
+            break;
+          }
+        }
+      }
+    }
+    return order;
+  }
+
+  /// Expected target label of pattern edge `label` on element `pe` given
+  /// its orientation flip.
+  std::uint8_t expected_label(std::size_t pe, std::uint8_t label) const {
+    return flip_[pe] ? swap_sd(label) : label;
+  }
+
+  /// Checks all pattern edges from `pu` into already-mapped neighbors.
+  bool edges_consistent(std::size_t pu, std::size_t tv) const {
+    for (std::size_t eid : p_.incident(pu)) {
+      const Edge& pe = p_.edge(eid);
+      const std::size_t pw = (pe.element == pu) ? pe.net : pe.element;
+      const std::size_t tw = core_p_[pw];
+      if (tw == kNone) continue;
+      // Locate the target edge (tv, tw); vertex degrees are tiny on the
+      // element side, so scan the element endpoint.
+      const std::size_t t_elem = (pe.element == pu) ? tv : tw;
+      const std::size_t t_net = (pe.element == pu) ? tw : tv;
+      const std::size_t p_elem_vertex = pe.element;
+      bool found = false;
+      for (std::size_t teid : t_.incident(t_elem)) {
+        const Edge& te = t_.edge(teid);
+        if (te.net != t_net) continue;
+        const std::uint8_t want = expected_label(p_elem_vertex, pe.label);
+        if (te.label == want) found = true;
+        break;  // at most one (element, net) edge exists
+      }
+      if (!found) return false;
+    }
+    return true;
+  }
+
+  bool feasible(std::size_t pu, std::size_t tv) const {
+    if (core_t_[tv] != kNone) return false;
+    const Vertex& pv = p_.vertex(pu);
+    const Vertex& tvert = t_.vertex(tv);
+    if (!vertex_compatible(pv, tvert)) return false;
+    // Degree: monomorphism needs >=; strict (internal) nets need ==.
+    const std::size_t pd = p_.degree(pu);
+    const std::size_t td = t_.degree(tv);
+    if (td < pd) return false;
+    if (pv.kind == VertexKind::Net && pu < strict_.size() && strict_[pu] &&
+        td != pd) {
+      return false;
+    }
+    if (pv.kind == VertexKind::Net && pu < forbid_rail_.size() &&
+        forbid_rail_[pu] &&
+        (tvert.role == NetRole::Supply || tvert.role == NetRole::Ground)) {
+      return false;
+    }
+    return true;
+  }
+
+  /// Candidate targets for pattern vertex `pu`: neighbors (in the target)
+  /// of the image of a mapped pattern-neighbor, or every compatible target
+  /// vertex for the root.
+  std::vector<std::size_t> candidates(std::size_t pu) const {
+    for (std::size_t eid : p_.incident(pu)) {
+      const std::size_t pw = p_.opposite(eid, pu);
+      const std::size_t tw = core_p_[pw];
+      if (tw == kNone) continue;
+      std::vector<std::size_t> out;
+      out.reserve(t_.degree(tw));
+      for (std::size_t teid : t_.incident(tw)) {
+        out.push_back(t_.opposite(teid, tw));
+      }
+      return out;
+    }
+    // Root (or disconnected component start): all target vertices.
+    std::vector<std::size_t> out;
+    out.reserve(t_.vertex_count());
+    for (std::size_t v = 0; v < t_.vertex_count(); ++v) out.push_back(v);
+    return out;
+  }
+
+  void record_match() {
+    Match m;
+    m.map = core_p_;
+    if (options_.dedup_by_elements) {
+      auto key = m.element_key(p_);
+      if (!seen_keys_.insert(std::move(key)).second) return;
+    }
+    matches_.push_back(std::move(m));
+  }
+
+  void recurse(std::size_t depth) {
+    if (matches_.size() >= options_.max_matches) return;
+    if (++states_ > options_.max_states) return;
+    if (depth == order_.size()) {
+      record_match();
+      return;
+    }
+    const std::size_t pu = order_[depth];
+    const bool is_sym_mos = p_.vertex(pu).kind == VertexKind::Element &&
+                            spice::is_mos(p_.vertex(pu).dtype);
+    for (std::size_t tv : candidates(pu)) {
+      if (!feasible(pu, tv)) continue;
+      core_p_[pu] = tv;
+      core_t_[tv] = pu;
+      // For MOS elements try both source/drain orientations; for anything
+      // else a single pass with flip=false.
+      const int flips = is_sym_mos ? 2 : 1;
+      for (int f = 0; f < flips; ++f) {
+        flip_[pu] = (f == 1);
+        if (edges_consistent(pu, tv)) {
+          recurse(depth + 1);
+          if (matches_.size() >= options_.max_matches ||
+              states_ > options_.max_states) {
+            break;
+          }
+        }
+      }
+      flip_[pu] = false;
+      core_p_[pu] = kNone;
+      core_t_[tv] = kNone;
+      if (matches_.size() >= options_.max_matches ||
+          states_ > options_.max_states) {
+        return;
+      }
+    }
+  }
+
+  const CircuitGraph& p_;
+  const CircuitGraph& t_;
+  std::vector<bool> strict_;
+  std::vector<bool> forbid_rail_;
+  const MatchOptions& options_;
+
+  std::vector<std::size_t> core_p_;  // pattern -> target
+  std::vector<std::size_t> core_t_;  // target -> pattern
+  std::vector<bool> flip_;           // per pattern element: s/d swapped
+  std::vector<std::size_t> order_;
+  std::vector<Match> matches_;
+  std::set<std::vector<std::size_t>> seen_keys_;
+  std::size_t states_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::size_t> Match::element_key(
+    const CircuitGraph& pattern) const {
+  std::vector<std::size_t> key;
+  for (std::size_t pv = 0; pv < map.size(); ++pv) {
+    if (pattern.vertex(pv).kind == VertexKind::Element) {
+      key.push_back(map[pv]);
+    }
+  }
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+std::vector<Match> find_subgraph_matches(const Pattern& pattern,
+                                         const graph::CircuitGraph& target,
+                                         const MatchOptions& options) {
+  assert(pattern.graph != nullptr);
+  return Vf2State(pattern, target, options).run();
+}
+
+bool contains_subgraph(const Pattern& pattern,
+                       const graph::CircuitGraph& target) {
+  MatchOptions options;
+  options.max_matches = 1;
+  return !find_subgraph_matches(pattern, target, options).empty();
+}
+
+}  // namespace gana::iso

@@ -1,0 +1,73 @@
+// VF2-style labeled subgraph isomorphism for bipartite circuit graphs
+// (paper §IV-A).
+//
+// The matcher finds monomorphic embeddings of a small primitive pattern
+// into a circuit graph:
+//  * element vertices must agree on device type (NMOS != PMOS != R != C);
+//  * MOS source/drain interchangeability is handled by branching on a
+//    per-device orientation flip that swaps the l_s/l_d bits consistently
+//    across all edges of that device;
+//  * edge labels must match exactly (under the chosen flip), so a
+//    diode-connected device (101) never matches a plain gate edge (100);
+//  * pattern nets marked `strict_degree` (a primitive's internal nets)
+//    must match a target net of identical degree; port nets may have
+//    extra fanout in the target;
+//  * the mapping is injective on elements and on nets.
+//
+// For patterns of O(1) size and O(1) degree the search runs in O(n) per
+// root candidate, matching the complexity argument in the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace gana::iso {
+
+/// A pattern to search for: a small circuit graph plus per-vertex
+/// strictness flags for its net vertices.
+struct Pattern {
+  const graph::CircuitGraph* graph = nullptr;
+  /// Per pattern-vertex: true for net vertices that must match a target
+  /// net of identical degree (primitive-internal nets). Ignored for
+  /// element vertices.
+  std::vector<bool> strict_degree;
+  /// Per pattern-vertex: true for net vertices that must NOT bind to a
+  /// supply/ground rail (e.g. the signal input of a common-gate stage,
+  /// which would otherwise subsume every common-source device). May be
+  /// empty (no restriction).
+  std::vector<bool> forbid_rail;
+};
+
+/// One embedding: pattern vertex id -> target vertex id.
+struct Match {
+  std::vector<std::size_t> map;
+
+  /// Sorted target vertex ids of the matched elements; two matches with
+  /// the same element set are the same physical instance.
+  [[nodiscard]] std::vector<std::size_t> element_key(
+      const graph::CircuitGraph& pattern) const;
+};
+
+struct MatchOptions {
+  /// Stop after this many distinct (post-dedup) matches.
+  std::size_t max_matches = 100000;
+  /// Abort the search after this many explored states (safety valve; the
+  /// bound is never hit for O(1)-diameter library patterns).
+  std::size_t max_states = 50000000;
+  /// Deduplicate matches that cover the same element set (automorphic
+  /// images, e.g. the two orderings of a differential pair).
+  bool dedup_by_elements = true;
+};
+
+/// Enumerates embeddings of `pattern` into `target`.
+std::vector<Match> find_subgraph_matches(const Pattern& pattern,
+                                         const graph::CircuitGraph& target,
+                                         const MatchOptions& options = {});
+
+/// Convenience: true if at least one embedding exists.
+bool contains_subgraph(const Pattern& pattern,
+                       const graph::CircuitGraph& target);
+
+}  // namespace gana::iso

@@ -1,0 +1,272 @@
+#include "layout/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace gana::layout {
+
+using core::HierarchyNode;
+
+namespace {
+
+struct DeviceInfo {
+  spice::DeviceType type = spice::DeviceType::Nmos;
+  double value = 0.0;
+};
+
+std::map<std::string, DeviceInfo> device_info(const spice::Netlist& flat) {
+  std::map<std::string, DeviceInfo> info;
+  for (const auto& d : flat.devices) {
+    DeviceInfo di;
+    di.type = d.type;
+    di.value = d.value;
+    if (spice::is_mos(d.type)) {
+      auto w = d.params.find("w");
+      if (w != d.params.end()) di.value = w->second;
+    }
+    info[d.name] = di;
+  }
+  return info;
+}
+
+/// Recursive placer: returns the subtree's tiles placed in a local frame
+/// with the lower-left corner at (0, 0).
+class HierPlacer {
+ public:
+  HierPlacer(const std::map<std::string, DeviceInfo>& info,
+             const PlacerOptions& opt)
+      : info_(info), opt_(opt) {}
+
+  std::vector<Tile> place(const HierarchyNode& node,
+                          const std::string& block_name) {
+    switch (node.kind) {
+      case HierarchyNode::Kind::Element:
+        return {element_tile(node, block_name)};
+      case HierarchyNode::Kind::Primitive:
+        return place_primitive(node, block_name);
+      case HierarchyNode::Kind::SubBlock:
+        return place_rows(node, node.name);
+      case HierarchyNode::Kind::System:
+        return place_system(node);
+    }
+    return {};
+  }
+
+ private:
+  Tile element_tile(const HierarchyNode& node,
+                    const std::string& block_name) const {
+    Tile t;
+    t.name = node.name;
+    t.type = node.type;
+    t.block = block_name;
+    auto it = info_.find(node.name);
+    if (it != info_.end()) {
+      t.rect = device_footprint(it->second.type, it->second.value);
+    } else {
+      t.rect = {0, 0, 1.0, 1.0};
+    }
+    return t;
+  }
+
+  /// Lay tiles left-to-right; symmetric pairs (from a Symmetry constraint)
+  /// are emitted as the outermost mirrored pair of the row so that the
+  /// pair is exactly symmetric about the row center.
+  std::vector<Tile> place_primitive(const HierarchyNode& node,
+                                    const std::string& block_name) {
+    std::vector<Tile> tiles;
+    tiles.reserve(node.children.size());
+    for (const auto& child : node.children) {
+      tiles.push_back(element_tile(child, block_name));
+    }
+    // Mirrored pair first and last (if constrained).
+    std::vector<std::string> pair;
+    for (const auto& c : node.constraints) {
+      if (c.kind == constraints::Kind::Symmetry && c.members.size() >= 2) {
+        pair = {c.members[0], c.members[1]};
+        break;
+      }
+    }
+    if (!pair.empty()) {
+      auto by_name = [&](const std::string& n) {
+        return std::find_if(tiles.begin(), tiles.end(),
+                            [&](const Tile& t) { return t.name == n; });
+      };
+      auto a = by_name(pair[0]);
+      if (a != tiles.end()) std::iter_swap(tiles.begin(), a);
+      auto b = by_name(pair[1]);
+      if (b != tiles.end()) std::iter_swap(tiles.end() - 1, b);
+      // Matched pair gets identical outlines (Matching constraint).
+      tiles.back().rect.w = tiles.front().rect.w;
+      tiles.back().rect.h = tiles.front().rect.h;
+    }
+    double x = 0.0;
+    for (auto& t : tiles) {
+      t.rect.x = x;
+      t.rect.y = 0.0;
+      x += t.rect.w + opt_.spacing;
+    }
+    return tiles;
+  }
+
+  /// Stack each child's row bottom-up, centering rows about a common
+  /// vertical axis.
+  std::vector<Tile> place_rows(const HierarchyNode& node,
+                               const std::string& block_name) {
+    std::vector<std::vector<Tile>> rows;
+    double max_width = 0.0;
+    for (const auto& child : node.children) {
+      auto row = place(child, block_name);
+      if (row.empty()) continue;
+      double w = 0.0, x0 = 1e300;
+      for (const auto& t : row) {
+        x0 = std::min(x0, t.rect.x);
+        w = std::max(w, t.rect.x + t.rect.w);
+      }
+      max_width = std::max(max_width, w - x0);
+      rows.push_back(std::move(row));
+    }
+    std::vector<Tile> out;
+    double y = 0.0;
+    const double axis = max_width / 2.0;
+    for (auto& row : rows) {
+      double x0 = 1e300, x1 = -1e300, h = 0.0;
+      for (const auto& t : row) {
+        x0 = std::min(x0, t.rect.x);
+        x1 = std::max(x1, t.rect.x + t.rect.w);
+        // Nested sub-blocks span multiple internal rows: use the full
+        // vertical extent, not the tile height.
+        h = std::max(h, t.rect.y + t.rect.h);
+      }
+      const double shift = axis - (x0 + x1) / 2.0;
+      for (auto& t : row) {
+        t.rect.x += shift;
+        t.rect.y += y;
+        out.push_back(std::move(t));
+      }
+      y += h + opt_.spacing;
+    }
+    return out;
+  }
+
+  /// Shelf-pack block outlines left-to-right, wrapping at a target width.
+  std::vector<Tile> place_system(const HierarchyNode& node) {
+    struct BlockOutline {
+      std::vector<Tile> tiles;
+      double w = 0.0, h = 0.0;
+    };
+    std::vector<BlockOutline> blocks;
+    double total_area = 0.0;
+    for (const auto& child : node.children) {
+      BlockOutline b;
+      b.tiles = place(child, child.kind == HierarchyNode::Kind::SubBlock
+                                 ? child.name
+                                 : std::string("standalone:") + child.name);
+      if (b.tiles.empty()) continue;
+      double x1 = 0.0, y1 = 0.0;
+      for (const auto& t : b.tiles) {
+        x1 = std::max(x1, t.rect.x + t.rect.w);
+        y1 = std::max(y1, t.rect.y + t.rect.h);
+      }
+      b.w = x1;
+      b.h = y1;
+      total_area += b.w * b.h;
+      blocks.push_back(std::move(b));
+    }
+    // Tallest blocks first onto shelves.
+    std::stable_sort(blocks.begin(), blocks.end(),
+                     [](const BlockOutline& a, const BlockOutline& b) {
+                       return a.h > b.h;
+                     });
+    const double target_width = std::sqrt(total_area) * 1.3;
+    std::vector<Tile> out;
+    double shelf_y = 0.0, shelf_h = 0.0, x = 0.0;
+    for (auto& b : blocks) {
+      if (x > 0.0 && x + b.w > target_width) {
+        shelf_y += shelf_h + opt_.block_spacing;
+        shelf_h = 0.0;
+        x = 0.0;
+      }
+      for (auto& t : b.tiles) {
+        t.rect.x += x;
+        t.rect.y += shelf_y;
+        out.push_back(std::move(t));
+      }
+      x += b.w + opt_.block_spacing;
+      shelf_h = std::max(shelf_h, b.h);
+    }
+    return out;
+  }
+
+  const std::map<std::string, DeviceInfo>& info_;
+  const PlacerOptions& opt_;
+};
+
+void collect_symmetry(const HierarchyNode& node,
+                      std::vector<const constraints::Constraint*>& out) {
+  for (const auto& c : node.constraints) {
+    if (c.kind == constraints::Kind::Symmetry && c.members.size() == 2) {
+      out.push_back(&c);
+    }
+  }
+  for (const auto& child : node.children) collect_symmetry(child, out);
+}
+
+}  // namespace
+
+Placement place_hierarchy(const HierarchyNode& root,
+                          const spice::Netlist& flat,
+                          const PlacerOptions& options) {
+  const auto info = device_info(flat);
+  HierPlacer placer(info, options);
+  Placement p;
+  p.tiles = placer.place(root, "");
+  return p;
+}
+
+SymmetryCheck check_symmetry(const Placement& placement,
+                             const HierarchyNode& root, double eps) {
+  std::vector<const constraints::Constraint*> pairs;
+  collect_symmetry(root, pairs);
+  SymmetryCheck check;
+  for (const auto* c : pairs) {
+    const Tile* a = placement.find(c->members[0]);
+    const Tile* b = placement.find(c->members[1]);
+    if (a == nullptr || b == nullptr) continue;
+    ++check.checked;
+    // Mirrored about their common axis: same y, same size; the x check is
+    // that the midpoint of centers is equidistant (trivially true for two
+    // tiles) plus equal sizes -- so verify same row and equal outlines.
+    const bool same_row = std::abs(a->rect.y - b->rect.y) < eps;
+    const bool same_size = std::abs(a->rect.w - b->rect.w) < eps &&
+                           std::abs(a->rect.h - b->rect.h) < eps;
+    if (!same_row || !same_size) ++check.violations;
+  }
+  return check;
+}
+
+double half_perimeter_wirelength(const Placement& placement,
+                                 const spice::Netlist& flat) {
+  std::map<std::string, const Tile*> tile_of;
+  for (const auto& t : placement.tiles) tile_of[t.name] = &t;
+  double hpwl = 0.0;
+  for (const auto& [net, touches] : flat.connectivity()) {
+    if (spice::is_supply_net(net) || spice::is_ground_net(net)) continue;
+    double x0 = 1e300, x1 = -1e300, y0 = 1e300, y1 = -1e300;
+    std::size_t found = 0;
+    for (const auto& [di, pi] : touches) {
+      (void)pi;
+      auto it = tile_of.find(flat.devices[di].name);
+      if (it == tile_of.end()) continue;
+      ++found;
+      x0 = std::min(x0, it->second->rect.cx());
+      x1 = std::max(x1, it->second->rect.cx());
+      y0 = std::min(y0, it->second->rect.cy());
+      y1 = std::max(y1, it->second->rect.cy());
+    }
+    if (found >= 2) hpwl += (x1 - x0) + (y1 - y0);
+  }
+  return hpwl;
+}
+
+}  // namespace gana::layout

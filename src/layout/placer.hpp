@@ -1,0 +1,46 @@
+// Hierarchical constraint-aware placement (paper Fig. 6 use case).
+//
+// "The hierarchies identified by our algorithm are used by the layout
+// tool to construct layouts for primitives, which are assembled into
+// layouts for larger blocks. The symmetry and proximity constraints
+// detected at the primitive level are propagated to other levels of
+// hierarchy, creating a common axis of symmetry for the entire layout."
+//
+// Placement strategy: primitives place their tiles in a row (mirrored
+// about the row center when a Symmetry constraint binds a pair); blocks
+// stack primitive rows about a common vertical axis; the system packs
+// block outlines on shelves.
+#pragma once
+
+#include "core/hierarchy.hpp"
+#include "layout/tiles.hpp"
+#include "spice/netlist.hpp"
+
+namespace gana::layout {
+
+struct PlacerOptions {
+  double spacing = 0.4;        ///< gap between tiles/rows (um)
+  double block_spacing = 2.0;  ///< gap between blocks (um)
+};
+
+/// Places the hierarchy; device geometry is looked up from the flat
+/// netlist (device name -> type/value).
+Placement place_hierarchy(const core::HierarchyNode& root,
+                          const spice::Netlist& flat,
+                          const PlacerOptions& options = {});
+
+/// Symmetry audit: every Symmetry constraint with two members must have
+/// its tiles mirror-placed about the pair's common axis (within eps).
+struct SymmetryCheck {
+  std::size_t checked = 0;
+  std::size_t violations = 0;
+};
+SymmetryCheck check_symmetry(const Placement& placement,
+                             const core::HierarchyNode& root,
+                             double eps = 1e-6);
+
+/// Half-perimeter wirelength over all non-rail nets of the flat netlist.
+double half_perimeter_wirelength(const Placement& placement,
+                                 const spice::Netlist& flat);
+
+}  // namespace gana::layout

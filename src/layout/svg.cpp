@@ -1,0 +1,82 @@
+#include "layout/svg.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace gana::layout {
+namespace {
+
+const char* fill_for(const std::string& type) {
+  if (type == "nmos") return "#4e79a7";
+  if (type == "pmos") return "#59a14f";
+  if (type == "res") return "#e15759";
+  if (type == "cap") return "#76b7b2";
+  if (type == "ind") return "#f28e2b";
+  return "#bab0ac";
+}
+
+}  // namespace
+
+std::string to_svg(const Placement& placement, double scale) {
+  const Rect bb = placement.bounding_box();
+  const double margin = 1.0;
+  const double width = (bb.w + 2 * margin) * scale;
+  const double height = (bb.h + 2 * margin) * scale;
+  auto tx = [&](double x) { return (x - bb.x + margin) * scale; };
+  // SVG y grows downward; flip so the layout's y grows upward.
+  auto ty = [&](double y, double h) {
+    return height - (y - bb.y + margin + h) * scale;
+  };
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\">\n";
+  out << "<rect x=\"0\" y=\"0\" width=\"" << width << "\" height=\""
+      << height << "\" fill=\"#fafafa\"/>\n";
+
+  // Block outlines.
+  std::map<std::string, Rect> blocks;
+  for (const auto& t : placement.tiles) {
+    if (t.block.empty()) continue;
+    auto [it, inserted] = blocks.emplace(t.block, t.rect);
+    if (!inserted) {
+      Rect& r = it->second;
+      const double x1 = std::max(r.x + r.w, t.rect.x + t.rect.w);
+      const double y1 = std::max(r.y + r.h, t.rect.y + t.rect.h);
+      r.x = std::min(r.x, t.rect.x);
+      r.y = std::min(r.y, t.rect.y);
+      r.w = x1 - r.x;
+      r.h = y1 - r.y;
+    }
+  }
+  for (const auto& [name, r] : blocks) {
+    out << "<rect x=\"" << tx(r.x) - 2 << "\" y=\"" << ty(r.y, r.h) - 2
+        << "\" width=\"" << r.w * scale + 4 << "\" height=\""
+        << r.h * scale + 4
+        << "\" fill=\"none\" stroke=\"#888\" stroke-dasharray=\"4 2\"/>\n";
+    out << "<text x=\"" << tx(r.x) << "\" y=\"" << ty(r.y, r.h) - 4
+        << "\" font-size=\"" << scale * 0.8 << "\" fill=\"#555\">" << name
+        << "</text>\n";
+  }
+
+  for (const auto& t : placement.tiles) {
+    out << "<rect x=\"" << tx(t.rect.x) << "\" y=\""
+        << ty(t.rect.y, t.rect.h) << "\" width=\"" << t.rect.w * scale
+        << "\" height=\"" << t.rect.h * scale << "\" fill=\""
+        << fill_for(t.type) << "\" stroke=\"#333\" stroke-width=\"0.5\">"
+        << "<title>" << t.name << " (" << t.type << ")</title></rect>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+void write_svg(const Placement& placement, const std::string& path,
+               double scale) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write " + path);
+  f << to_svg(placement, scale);
+}
+
+}  // namespace gana::layout

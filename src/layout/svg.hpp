@@ -1,0 +1,18 @@
+// SVG emission of placements (the repo's stand-in for paper Fig. 6).
+#pragma once
+
+#include <string>
+
+#include "layout/tiles.hpp"
+
+namespace gana::layout {
+
+/// Renders the placement as an SVG document; tiles are colored by device
+/// type and grouped/outlined by owning block.
+std::string to_svg(const Placement& placement, double scale = 12.0);
+
+/// Writes the SVG to a file; throws std::runtime_error on I/O failure.
+void write_svg(const Placement& placement, const std::string& path,
+               double scale = 12.0);
+
+}  // namespace gana::layout

@@ -1,0 +1,66 @@
+#include "layout/tiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gana::layout {
+
+Rect Placement::bounding_box() const {
+  if (tiles.empty()) return {};
+  double x0 = 1e300, y0 = 1e300, x1 = -1e300, y1 = -1e300;
+  for (const auto& t : tiles) {
+    x0 = std::min(x0, t.rect.x);
+    y0 = std::min(y0, t.rect.y);
+    x1 = std::max(x1, t.rect.x + t.rect.w);
+    y1 = std::max(y1, t.rect.y + t.rect.h);
+  }
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+std::size_t Placement::overlap_count() const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < tiles.size(); ++j) {
+      if (tiles[i].rect.overlaps(tiles[j].rect)) ++count;
+    }
+  }
+  return count;
+}
+
+const Tile* Placement::find(const std::string& name) const {
+  for (const auto& t : tiles) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+Rect device_footprint(spice::DeviceType type, double value) {
+  using spice::DeviceType;
+  switch (type) {
+    case DeviceType::Nmos:
+    case DeviceType::Pmos: {
+      // Fold the gate width into fingers of ~2 um.
+      const double w_um = std::max(value, 0.5e-6) * 1e6;
+      const double fingers = std::clamp(std::ceil(w_um / 2.0), 1.0, 8.0);
+      return {0, 0, 0.6 + 0.4 * fingers, 1.2};
+    }
+    case DeviceType::Resistor: {
+      const double squares = std::clamp(std::log10(std::max(value, 1.0)), 1.0, 6.0);
+      return {0, 0, 0.8, 1.0 + 0.6 * squares};
+    }
+    case DeviceType::Capacitor: {
+      // MIM cap area ~ C; 2 fF/um^2.
+      const double area = std::clamp(value / 2e-15, 1.0, 400.0);
+      const double side = std::sqrt(area) * 0.35;
+      return {0, 0, side, side};
+    }
+    case DeviceType::Inductor:
+      return {0, 0, 8.0, 8.0};  // spiral inductors dominate RF area
+    case DeviceType::VSource:
+    case DeviceType::ISource:
+      return {0, 0, 1.0, 1.0};
+  }
+  return {0, 0, 1.0, 1.0};
+}
+
+}  // namespace gana::layout

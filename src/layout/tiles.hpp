@@ -1,0 +1,49 @@
+// Geometric primitives for the layout use case (paper Fig. 6).
+//
+// Each element becomes a rectangular tile sized from its electrical
+// parameters; primitives and blocks assemble tiles under the constraints
+// detected during annotation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace gana::layout {
+
+struct Rect {
+  double x = 0.0, y = 0.0;  ///< lower-left corner
+  double w = 0.0, h = 0.0;
+
+  [[nodiscard]] double cx() const { return x + w / 2.0; }
+  [[nodiscard]] double cy() const { return y + h / 2.0; }
+  [[nodiscard]] double area() const { return w * h; }
+  [[nodiscard]] bool overlaps(const Rect& o) const {
+    return x < o.x + o.w && o.x < x + w && y < o.y + o.h && o.y < y + h;
+  }
+};
+
+/// One placed device.
+struct Tile {
+  std::string name;  ///< device name
+  std::string type;  ///< device type string ("nmos", "cap", ...)
+  std::string block; ///< owning sub-block name ("" for stand-alone)
+  Rect rect;
+};
+
+/// A complete placement.
+struct Placement {
+  std::vector<Tile> tiles;
+
+  [[nodiscard]] Rect bounding_box() const;
+  [[nodiscard]] double area() const { return bounding_box().area(); }
+  [[nodiscard]] std::size_t overlap_count() const;
+  [[nodiscard]] const Tile* find(const std::string& name) const;
+};
+
+/// Tile footprint for a device (microns): MOS width grows with W, caps
+/// and inductors are large, resistors tall and thin.
+Rect device_footprint(spice::DeviceType type, double value);
+
+}  // namespace gana::layout

@@ -1,0 +1,119 @@
+#include "linalg/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace gana {
+
+void Matrix::fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::glorot(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& x : m.data()) x = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, double sigma,
+                     Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data()) x = rng.normal(0.0, sigma);
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order keeps the inner loop sequential over both B and C rows.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    double* crow = c.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_at_b(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.row_ptr(k);
+    const double* brow = b.row_ptr(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.row_ptr(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.row_ptr(i);
+    double* crow = c.row_ptr(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  }
+  return t;
+}
+
+double frobenius_sq(const Matrix& a) {
+  double s = 0.0;
+  for (double x : a.data()) s += x * x;
+  return s;
+}
+
+Matrix hcat(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) c(i, a.cols() + j) = b(i, j);
+  }
+  return c;
+}
+
+}  // namespace gana

@@ -1,0 +1,80 @@
+// Dense row-major matrix type used by the GCN layers.
+//
+// This is the numerical substrate the paper delegates to TensorFlow/scikit;
+// here it is implemented from scratch (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gana {
+
+class Rng;
+
+/// Dense row-major matrix of doubles.
+///
+/// Invariant: data().size() == rows() * cols().
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+
+  [[nodiscard]] double* row_ptr(std::size_t r) { return &data_[r * cols_]; }
+  [[nodiscard]] const double* row_ptr(std::size_t r) const {
+    return &data_[r * cols_];
+  }
+
+  void fill(double v);
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Glorot/Xavier-uniform initialization, as used for GCN weights.
+  static Matrix glorot(std::size_t rows, std::size_t cols, Rng& rng);
+
+  /// Normal(0, sigma) initialization.
+  static Matrix randn(std::size_t rows, std::size_t cols, double sigma,
+                      Rng& rng);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B. Dimensions must agree (A.cols == B.rows).
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.
+Matrix matmul_at_b(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T.
+Matrix matmul_a_bt(const Matrix& a, const Matrix& b);
+
+/// Transposed copy.
+Matrix transpose(const Matrix& a);
+
+/// Sum of squares of all entries.
+double frobenius_sq(const Matrix& a);
+
+/// Horizontal concatenation [A | B]; row counts must match.
+Matrix hcat(const Matrix& a, const Matrix& b);
+
+}  // namespace gana

@@ -1,0 +1,121 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace gana {
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(const std::vector<double>& a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, const std::vector<double>& x, std::vector<double>& y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+/// Largest eigenvalue of a symmetric tridiagonal matrix via bisection on
+/// the Sturm sequence sign count.
+double tridiag_lambda_max(const std::vector<double>& alpha,
+                          const std::vector<double>& beta) {
+  const std::size_t m = alpha.size();
+  if (m == 0) return 0.0;
+  // Gershgorin bounds for the tridiagonal matrix.
+  double lo = alpha[0], hi = alpha[0];
+  for (std::size_t i = 0; i < m; ++i) {
+    double r = 0.0;
+    if (i > 0) r += std::abs(beta[i - 1]);
+    if (i + 1 < m) r += std::abs(beta[i]);
+    lo = std::min(lo, alpha[i] - r);
+    hi = std::max(hi, alpha[i] + r);
+  }
+  // Count of eigenvalues < x via Sturm sequence.
+  auto count_below = [&](double x) {
+    int count = 0;
+    double d = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double b2 = (i > 0) ? beta[i - 1] * beta[i - 1] : 0.0;
+      d = alpha[i] - x - (d != 0.0 ? b2 / d : b2 / 1e-300);
+      if (d < 0.0) ++count;
+    }
+    return count;
+  };
+  // Find x such that all m eigenvalues are below it, i.e. the largest one.
+  for (int it = 0; it < 200 && hi - lo > 1e-12 * std::max(1.0, std::abs(hi));
+       ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (count_below(mid) >= static_cast<int>(m)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+double lanczos_lambda_max(const SparseMatrix& a, Rng& rng, int steps) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  if (n == 1) return a.at(0, 0);
+
+  const int m = std::min<int>(steps, static_cast<int>(n));
+  std::vector<std::vector<double>> basis;
+  std::vector<double> alpha, beta;
+
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.normal();
+  const double nv = norm(v);
+  for (double& x : v) x /= nv;
+  basis.push_back(v);
+
+  for (int j = 0; j < m; ++j) {
+    std::vector<double> w = a.multiply(basis.back());
+    const double aj = dot(w, basis.back());
+    alpha.push_back(aj);
+    axpy(-aj, basis.back(), w);
+    if (j > 0) axpy(-beta.back(), basis[basis.size() - 2], w);
+    // Full reorthogonalization: cheap for the small Krylov bases used here
+    // and it keeps the iteration stable on graphs with repeated eigenvalues.
+    for (const auto& q : basis) axpy(-dot(w, q), q, w);
+    const double bj = norm(w);
+    if (bj < 1e-12) break;  // invariant subspace found; estimate is exact
+    beta.push_back(bj);
+    for (double& x : w) x /= bj;
+    basis.push_back(std::move(w));
+  }
+  if (!beta.empty() && beta.size() == alpha.size()) beta.pop_back();
+  return tridiag_lambda_max(alpha, beta);
+}
+
+double lambda_max_upper_bound(const SparseMatrix& a) {
+  assert(a.rows() == a.cols());
+  double bound = 0.0;
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& vals = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double center = 0.0, radius = 0.0;
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] == r) {
+        center = vals[k];
+      } else {
+        radius += std::abs(vals[k]);
+      }
+    }
+    bound = std::max(bound, center + radius);
+  }
+  return bound;
+}
+
+}  // namespace gana

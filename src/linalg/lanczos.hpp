@@ -1,0 +1,26 @@
+// Largest-eigenvalue estimation for symmetric sparse matrices.
+//
+// The paper scales the Laplacian by λ_max (Eq. 3), "computed inexpensively
+// using the Lanczos algorithm"; this module provides exactly that.
+#pragma once
+
+#include "linalg/sparse.hpp"
+
+namespace gana {
+
+class Rng;
+
+/// Estimates the largest eigenvalue of a symmetric matrix using the
+/// Lanczos iteration with full reorthogonalization on a small Krylov
+/// basis. `steps` bounds the Krylov dimension.
+///
+/// Returns 0 for empty matrices. The estimate is a lower bound that
+/// converges quickly for Laplacians; callers that need a strict upper
+/// bound (Chebyshev scaling) should multiply by a small safety factor or
+/// use `lambda_max_upper_bound`.
+double lanczos_lambda_max(const SparseMatrix& a, Rng& rng, int steps = 32);
+
+/// Cheap strict upper bound on the spectral radius via Gershgorin discs.
+double lambda_max_upper_bound(const SparseMatrix& a);
+
+}  // namespace gana

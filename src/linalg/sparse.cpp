@@ -1,0 +1,133 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gana {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets) {
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  std::size_t i = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      assert(triplets[i].col < cols);
+      double v = triplets[i].value;
+      const std::size_t c = triplets[i].col;
+      ++i;
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;  // sum duplicates
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[r + 1] = m.values_.size();
+  }
+  assert(i == triplets.size());  // all triplets must have row < rows
+  return m;
+}
+
+SparseMatrix SparseMatrix::identity(std::size_t n) {
+  std::vector<Triplet> t;
+  t.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) t.push_back({i, i, 1.0});
+  return from_triplets(n, n, std::move(t));
+}
+
+std::vector<double> SparseMatrix::multiply(
+    const std::vector<double>& x) const {
+  assert(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s += values_[k] * x[col_idx_[k]];
+    }
+    y[r] = s;
+  }
+  return y;
+}
+
+Matrix SparseMatrix::multiply(const Matrix& x) const {
+  assert(x.rows() == cols_);
+  Matrix y(rows_, x.cols());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* yrow = y.row_ptr(r);
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* xrow = x.row_ptr(col_idx_[k]);
+      for (std::size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+SparseMatrix SparseMatrix::scale_add_identity(double a, double b) const {
+  assert(rows_ == cols_);
+  std::vector<Triplet> t;
+  t.reserve(nnz() + rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      t.push_back({r, col_idx_[k], a * values_[k]});
+    }
+    t.push_back({r, r, b});
+  }
+  return from_triplets(rows_, cols_, std::move(t));
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  std::vector<Triplet> t;
+  t.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      t.push_back({col_idx_[k], r, values_[k]});
+    }
+  }
+  return from_triplets(cols_, rows_, std::move(t));
+}
+
+SparseMatrix SparseMatrix::pruned(double eps) const {
+  std::vector<Triplet> t;
+  t.reserve(nnz());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (std::abs(values_[k]) > eps) {
+        t.push_back({r, col_idx_[k], values_[k]});
+      }
+    }
+  }
+  return from_triplets(rows_, cols_, std::move(t));
+}
+
+std::vector<double> SparseMatrix::row_sums() const {
+  std::vector<double> s(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      s[r] += values_[k];
+    }
+  }
+  return s;
+}
+
+}  // namespace gana

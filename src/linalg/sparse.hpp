@@ -1,0 +1,82 @@
+// Compressed sparse row (CSR) matrices for graph operators.
+//
+// The scaled Laplacian L̂ of each circuit graph is stored in CSR form and
+// the Chebyshev recurrence of Eq. (5) in the paper reduces to repeated
+// sparse-times-dense products (spmm).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace gana {
+
+/// One nonzero entry; used to assemble CSR matrices.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Square or rectangular CSR matrix of doubles.
+///
+/// Invariants: row_ptr.size() == rows()+1, row_ptr.front() == 0,
+/// row_ptr.back() == nnz(), columns within each row are strictly
+/// increasing.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from triplets; duplicate (row, col) entries are summed and
+  /// resulting zeros are kept (callers may prune via `pruned()`).
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  /// Identity matrix of size n.
+  static SparseMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  [[nodiscard]] const std::vector<std::size_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_idx() const {
+    return col_idx_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] std::vector<double>& values() { return values_; }
+
+  /// y = A x (vector form).
+  [[nodiscard]] std::vector<double> multiply(
+      const std::vector<double>& x) const;
+
+  /// Y = A X (dense multi-column form); X.rows() must equal cols().
+  [[nodiscard]] Matrix multiply(const Matrix& x) const;
+
+  /// Returns entry (r, c), 0 if absent. O(log deg) per lookup.
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  /// Returns a*this + b*I (square matrices only).
+  [[nodiscard]] SparseMatrix scale_add_identity(double a, double b) const;
+
+  /// Transposed copy.
+  [[nodiscard]] SparseMatrix transposed() const;
+
+  /// Copy without explicitly stored zeros below `eps` magnitude.
+  [[nodiscard]] SparseMatrix pruned(double eps = 0.0) const;
+
+  /// Row sums (degree vector when this is an adjacency matrix).
+  [[nodiscard]] std::vector<double> row_sums() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_ = {0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace gana

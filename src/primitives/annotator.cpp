@@ -1,0 +1,103 @@
+#include "primitives/annotator.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "isomorph/vf2.hpp"
+
+namespace gana::primitives {
+
+using graph::CircuitGraph;
+using graph::VertexKind;
+
+std::vector<PrimitiveInstance> annotate_primitives(
+    const CircuitGraph& g, const PrimitiveLibrary& library,
+    const AnnotateOptions& options) {
+  std::vector<PrimitiveInstance> out;
+  std::vector<bool> claimed(g.vertex_count(), false);
+  std::set<std::size_t> filter(options.element_filter.begin(),
+                               options.element_filter.end());
+  auto in_scope = [&](std::size_t v) {
+    return filter.empty() || filter.count(v) > 0;
+  };
+
+  for (std::size_t li : library.priority_order()) {
+    const PrimitiveSpec& spec = library.spec(li);
+    const auto matches = iso::find_subgraph_matches(spec.pattern(), g);
+    for (const auto& m : matches) {
+      // Collect matched target elements; reject if out of scope or
+      // already claimed by a higher-priority primitive.
+      std::vector<std::size_t> elements;
+      bool ok = true;
+      for (std::size_t pv = 0; pv < m.map.size(); ++pv) {
+        if (spec.graph.vertex(pv).kind != VertexKind::Element) continue;
+        const std::size_t tv = m.map[pv];
+        if (!in_scope(tv) || (!options.allow_overlap && claimed[tv])) {
+          ok = false;
+          break;
+        }
+        elements.push_back(tv);
+      }
+      if (!ok) continue;
+
+      PrimitiveInstance inst;
+      inst.type = spec.name;
+      inst.display_name = spec.display_name;
+      inst.library_index = li;
+      inst.elements = elements;
+      std::sort(inst.elements.begin(), inst.elements.end());
+
+      // Record net bindings and build the pattern-device -> target-device
+      // name map for constraint instantiation.
+      std::map<std::string, std::string> device_name_map;
+      for (std::size_t pv = 0; pv < m.map.size(); ++pv) {
+        const auto& pvert = spec.graph.vertex(pv);
+        if (pvert.kind == VertexKind::Net) {
+          inst.net_binding[pvert.name] = m.map[pv];
+        } else {
+          device_name_map[pvert.name] = g.vertex(m.map[pv]).name;
+        }
+      }
+      for (const auto& tmpl : spec.constraint_templates) {
+        constraints::Constraint c;
+        c.kind = tmpl.kind;
+        for (const auto& member : tmpl.members) {
+          if (tmpl.members_are_nets) {
+            auto it = inst.net_binding.find(member);
+            if (it != inst.net_binding.end()) {
+              c.members.push_back(g.vertex(it->second).name);
+            }
+          } else {
+            auto it = device_name_map.find(member);
+            if (it != device_name_map.end()) c.members.push_back(it->second);
+          }
+        }
+        c.tag = spec.name + "@" + std::to_string(out.size());
+        inst.constraints.push_back(std::move(c));
+      }
+
+      if (!options.allow_overlap) {
+        for (std::size_t tv : inst.elements) claimed[tv] = true;
+      }
+      out.push_back(std::move(inst));
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> unclaimed_elements(
+    const CircuitGraph& g, const std::vector<PrimitiveInstance>& found) {
+  std::vector<bool> claimed(g.vertex_count(), false);
+  for (const auto& inst : found) {
+    for (std::size_t v : inst.elements) claimed[v] = true;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (g.vertex(v).kind == VertexKind::Element && !claimed[v]) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace gana::primitives

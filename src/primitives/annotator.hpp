@@ -1,0 +1,49 @@
+// Primitive annotation: exact subgraph matching against the library
+// (paper §IV-A) plus constraint instantiation (§IV-B).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+#include "primitives/constraint.hpp"
+#include "primitives/library.hpp"
+
+namespace gana::primitives {
+
+/// One recognized primitive occurrence in a circuit graph.
+struct PrimitiveInstance {
+  std::string type;          ///< library name, e.g. "cm_n2"
+  std::string display_name;  ///< e.g. "CM-N(2)"
+  std::size_t library_index = 0;
+  /// Target element vertex ids covered by this instance, sorted.
+  std::vector<std::size_t> elements;
+  /// Pattern net name -> target net vertex id (ports and internal nets).
+  std::map<std::string, std::size_t> net_binding;
+  /// Constraints instantiated from the library templates, with members
+  /// rebound to target device names.
+  std::vector<constraints::Constraint> constraints;
+};
+
+struct AnnotateOptions {
+  /// When false (default) each element belongs to at most one primitive;
+  /// matches are accepted greedily in library priority order.
+  bool allow_overlap = false;
+  /// Restrict annotation to these element vertex ids (empty = all).
+  std::vector<std::size_t> element_filter;
+};
+
+/// Finds all primitive instances in `g`. Deterministic: library priority
+/// order, then VF2 enumeration order.
+std::vector<PrimitiveInstance> annotate_primitives(
+    const graph::CircuitGraph& g, const PrimitiveLibrary& library,
+    const AnnotateOptions& options = {});
+
+/// Elements of `g` not covered by any instance in `found`.
+std::vector<std::size_t> unclaimed_elements(
+    const graph::CircuitGraph& g,
+    const std::vector<PrimitiveInstance>& found);
+
+}  // namespace gana::primitives

@@ -1,0 +1,42 @@
+// Layout constraint records (paper §III-C, §IV-B).
+//
+// Recognized structures carry geometric constraints: a differential pair
+// demands symmetry/matching, capacitor arrays demand common-centroid
+// placement, RF blocks demand guard rings and antenna proximity. The
+// primitive library attaches these templates at match time; hierarchy
+// construction propagates and merges them (common symmetry axes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gana::constraints {
+
+enum class Kind {
+  Symmetry,        ///< mirror placement of two devices about an axis
+  Matching,        ///< identical device geometry/orientation
+  CommonCentroid,  ///< interdigitated common-centroid array
+  Proximity,       ///< keep close to a named port (e.g. the antenna)
+  GuardRing,       ///< isolation ring around the block
+  MinWireLength,   ///< parasitic-sensitive nets (wireless circuits)
+  SymmetricNets,   ///< route the two named nets as mirror images
+};
+
+[[nodiscard]] const char* to_string(Kind k);
+
+/// One constraint over named devices/blocks.
+struct Constraint {
+  Kind kind = Kind::Matching;
+  /// Device or block names the constraint applies to. For Symmetry the
+  /// first two entries are the mirrored pair; a self-symmetric device may
+  /// appear once.
+  std::vector<std::string> members;
+  /// Axis identifier for Symmetry (symmetry axes with equal ids merge
+  /// during propagation); free-form annotation otherwise.
+  std::string tag;
+};
+
+/// Pretty-printer, e.g. "symmetry{m0, m1} axis=dp0".
+std::string to_string(const Constraint& c);
+
+}  // namespace gana::constraints

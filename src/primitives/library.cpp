@@ -1,0 +1,331 @@
+#include "primitives/library.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "spice/parser.hpp"
+
+namespace gana::constraints {
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::Symmetry: return "symmetry";
+    case Kind::Matching: return "matching";
+    case Kind::CommonCentroid: return "common-centroid";
+    case Kind::Proximity: return "proximity";
+    case Kind::GuardRing: return "guard-ring";
+    case Kind::MinWireLength: return "min-wire-length";
+    case Kind::SymmetricNets: return "symmetric-nets";
+  }
+  return "?";
+}
+
+std::string to_string(const Constraint& c) {
+  std::string out = to_string(c.kind);
+  out += "{";
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    if (i) out += ", ";
+    out += c.members[i];
+  }
+  out += "}";
+  if (!c.tag.empty()) out += " " + c.tag;
+  return out;
+}
+
+}  // namespace gana::constraints
+
+namespace gana::primitives {
+
+void PrimitiveLibrary::add(const std::string& name,
+                           const std::string& display_name,
+                           const std::string& spice_text, int priority,
+                           std::vector<ConstraintTemplate> templates,
+                           std::vector<std::string> non_rail_nets) {
+  auto spec = std::make_unique<PrimitiveSpec>();
+  spec->name = name;
+  spec->display_name = display_name;
+  spec->spice = spice_text;
+  spec->priority = priority;
+  spec->constraint_templates = std::move(templates);
+
+  const spice::Netlist parsed = spice::parse_netlist(spice_text);
+  if (parsed.subckts.size() != 1) {
+    throw spice::NetlistError("primitive " + name +
+                              " must contain exactly one .subckt");
+  }
+  const spice::SubcktDef& def = parsed.subckts.begin()->second;
+  if (!def.instances.empty()) {
+    throw spice::NetlistError("primitive " + name +
+                              " must be flat (no X cards)");
+  }
+  spec->ports = def.ports;
+  spec->netlist.title = name;
+  spec->netlist.devices = def.devices;
+  spec->netlist.validate();
+
+  spec->graph = graph::build_graph(spec->netlist);
+  // Internal (non-port, non-rail) nets must match target nets of equal
+  // degree: a primitive's private node cannot have extra fanout.
+  spec->strict_degree.assign(spec->graph.vertex_count(), false);
+  for (std::size_t v = 0; v < spec->graph.vertex_count(); ++v) {
+    const auto& vert = spec->graph.vertex(v);
+    if (vert.kind != graph::VertexKind::Net) continue;
+    if (vert.role == graph::NetRole::Supply ||
+        vert.role == graph::NetRole::Ground) {
+      continue;
+    }
+    const bool is_port = std::find(def.ports.begin(), def.ports.end(),
+                                   vert.name) != def.ports.end();
+    spec->strict_degree[v] = !is_port;
+  }
+  spec->forbid_rail.assign(spec->graph.vertex_count(), false);
+  for (std::size_t v = 0; v < spec->graph.vertex_count(); ++v) {
+    const auto& vert = spec->graph.vertex(v);
+    if (vert.kind != graph::VertexKind::Net) continue;
+    if (std::find(non_rail_nets.begin(), non_rail_nets.end(), vert.name) !=
+        non_rail_nets.end()) {
+      spec->forbid_rail[v] = true;
+    }
+  }
+  specs_.push_back(std::move(spec));
+}
+
+const PrimitiveSpec* PrimitiveLibrary::find(const std::string& name) const {
+  for (const auto& s : specs_) {
+    if (s->name == name) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::size_t> PrimitiveLibrary::priority_order() const {
+  std::vector<std::size_t> order(specs_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return specs_[a]->priority > specs_[b]->priority;
+                   });
+  return order;
+}
+
+PrimitiveLibrary PrimitiveLibrary::standard() {
+  using constraints::Kind;
+  PrimitiveLibrary lib;
+
+  // --- 4-device structures (highest priority) ---
+  lib.add("buf", "BUF", R"(
+.subckt buf in out
+m0 mid in gnd! gnd! nmos
+m1 mid in vdd! vdd! pmos
+m2 out mid gnd! gnd! nmos
+m3 out mid vdd! vdd! pmos
+.ends
+)",
+          90, {{Kind::Matching, {"m0", "m2"}}, {Kind::Matching, {"m1", "m3"}}});
+
+  lib.add("ccm_n", "CCM-N", R"(
+.subckt ccm_n iin iout s
+m2 iin iin x0 gnd! nmos
+m0 x0 x0 s gnd! nmos
+m3 iout iin x1 gnd! nmos
+m1 x1 x0 s gnd! nmos
+.ends
+)",
+          88, {{Kind::Matching, {"m0", "m1"}}, {Kind::Matching, {"m2", "m3"}}});
+
+  lib.add("ccm_p", "CCM-P", R"(
+.subckt ccm_p iin iout s
+m2 iin iin x0 vdd! pmos
+m0 x0 x0 s vdd! pmos
+m3 iout iin x1 vdd! pmos
+m1 x1 x0 s vdd! pmos
+.ends
+)",
+          88, {{Kind::Matching, {"m0", "m1"}}, {Kind::Matching, {"m2", "m3"}}});
+
+  // --- 3-device structures ---
+  lib.add("cm_n3", "CM-N(3)", R"(
+.subckt cm_n3 iin out1 out2 s
+m0 iin iin s gnd! nmos
+m1 out1 iin s gnd! nmos
+m2 out2 iin s gnd! nmos
+.ends
+)",
+          80, {{Kind::Matching, {"m0", "m1", "m2"}}});
+
+  lib.add("cm_p3", "CM-P(3)", R"(
+.subckt cm_p3 iin out1 out2 s
+m0 iin iin s vdd! pmos
+m1 out1 iin s vdd! pmos
+m2 out2 iin s vdd! pmos
+.ends
+)",
+          80, {{Kind::Matching, {"m0", "m1", "m2"}}});
+
+  // --- 2-device structures ---
+  lib.add("tg", "TG", R"(
+.subckt tg a b clk clkb
+m0 a clk b gnd! nmos
+m1 a clkb b vdd! pmos
+.ends
+)",
+          70, {});
+
+  lib.add("inv", "INV", R"(
+.subckt inv in out
+m0 out in gnd! gnd! nmos
+m1 out in vdd! vdd! pmos
+.ends
+)",
+          68, {});
+
+  lib.add("cp_n", "CP-N", R"(
+.subckt cp_n a b s
+m0 a b s gnd! nmos
+m1 b a s gnd! nmos
+.ends
+)",
+          66,
+          {{Kind::Symmetry, {"m0", "m1"}},
+           {Kind::Matching, {"m0", "m1"}},
+           {Kind::SymmetricNets, {"a", "b"}, /*members_are_nets=*/true}});
+
+  lib.add("cp_p", "CP-P", R"(
+.subckt cp_p a b s
+m0 a b s vdd! pmos
+m1 b a s vdd! pmos
+.ends
+)",
+          66,
+          {{Kind::Symmetry, {"m0", "m1"}},
+           {Kind::Matching, {"m0", "m1"}},
+           {Kind::SymmetricNets, {"a", "b"}, /*members_are_nets=*/true}});
+
+  lib.add("dp_n", "DP-N", R"(
+.subckt dp_n inp inn outp outn tail
+m0 outp inp tail gnd! nmos
+m1 outn inn tail gnd! nmos
+.ends
+)",
+          64,
+          {{Kind::Symmetry, {"m0", "m1"}},
+           {Kind::Matching, {"m0", "m1"}},
+           {Kind::SymmetricNets, {"inp", "inn"}, /*members_are_nets=*/true},
+           {Kind::SymmetricNets, {"outp", "outn"}, /*members_are_nets=*/true}},
+          {"inp", "inn", "outp", "outn", "tail"});
+
+  lib.add("dp_p", "DP-P", R"(
+.subckt dp_p inp inn outp outn tail
+m0 outp inp tail vdd! pmos
+m1 outn inn tail vdd! pmos
+.ends
+)",
+          64,
+          {{Kind::Symmetry, {"m0", "m1"}},
+           {Kind::Matching, {"m0", "m1"}},
+           {Kind::SymmetricNets, {"inp", "inn"}, /*members_are_nets=*/true},
+           {Kind::SymmetricNets, {"outp", "outn"}, /*members_are_nets=*/true}},
+          {"inp", "inn", "outp", "outn", "tail"});
+
+  lib.add("cm_n2", "CM-N(2)", R"(
+.subckt cm_n2 iin out s
+m0 iin iin s gnd! nmos
+m1 out iin s gnd! nmos
+.ends
+)",
+          60, {{Kind::Matching, {"m0", "m1"}}});
+
+  lib.add("cm_p2", "CM-P(2)", R"(
+.subckt cm_p2 iin out s
+m0 iin iin s vdd! pmos
+m1 out iin s vdd! pmos
+.ends
+)",
+          60, {{Kind::Matching, {"m0", "m1"}}});
+
+  lib.add("cc_rc", "CC-[RC]", R"(
+.subckt cc_rc a b
+r0 a x 1k
+c0 x b 1p
+.ends
+)",
+          55, {});
+
+  lib.add("lc_tank", "LC-TANK", R"(
+.subckt lc_tank a b
+l0 a b 1n
+c0 a b 1p
+.ends
+)",
+          55, {{Kind::Symmetry, {"l0", "c0"}}});
+
+  lib.add("vr_rd", "VR[RD]", R"(
+.subckt vr_rd mid
+r0 vdd! mid 10k
+r1 mid gnd! 10k
+.ends
+)",
+          54, {{Kind::Matching, {"r0", "r1"}}});
+
+  // --- single-device stages (lowest priority; claimed last) ---
+  lib.add("sf_n", "SF-N", R"(
+.subckt sf_n in out
+m0 vdd! in out gnd! nmos
+.ends
+)",
+          30, {}, {"in", "out"});
+
+  lib.add("sf_p", "SF-P", R"(
+.subckt sf_p in out
+m0 gnd! in out vdd! pmos
+.ends
+)",
+          30, {}, {"in", "out"});
+
+  lib.add("cg_n", "CG-N", R"(
+.subckt cg_n in out vb
+m0 out vb in gnd! nmos
+.ends
+)",
+          25, {}, {"in", "out"});
+
+  lib.add("cg_p", "CG-P", R"(
+.subckt cg_p in out vb
+m0 out vb in vdd! pmos
+.ends
+)",
+          25, {}, {"in", "out"});
+
+  // Diode-connected current references (paper Fig. 1: CR-N[V]); matched
+  // after mirrors, so only unpaired diodes become references.
+  lib.add("cr_n", "CR-N[V]", R"(
+.subckt cr_n vb s
+m0 vb vb s gnd! nmos
+.ends
+)",
+          22, {}, {"vb"});
+
+  lib.add("cr_p", "CR-P[V]", R"(
+.subckt cr_p vb s
+m0 vb vb s vdd! pmos
+.ends
+)",
+          22, {}, {"vb"});
+
+  lib.add("cs_n", "CS-Amp-N", R"(
+.subckt cs_n in out
+m0 out in gnd! gnd! nmos
+.ends
+)",
+          20, {}, {"in", "out"});
+
+  lib.add("cs_p", "CS-Amp-P", R"(
+.subckt cs_p in out
+m0 out in vdd! vdd! pmos
+.ends
+)",
+          20, {}, {"in", "out"});
+
+  return lib;
+}
+
+}  // namespace gana::primitives

@@ -1,0 +1,93 @@
+#include "spice/flatten.hpp"
+
+#include <map>
+#include <string>
+
+namespace gana::spice {
+namespace {
+
+class Flattener {
+ public:
+  explicit Flattener(const Netlist& src) : src_(src) {}
+
+  Netlist run() {
+    Netlist out;
+    out.title = src_.title;
+    out.port_labels = src_.port_labels;
+    out.globals = src_.globals;
+    out_ = &out;
+    out.devices = src_.devices;
+    // Top-level instance nets are already in their final (top-level) form.
+    for (const auto& inst : src_.instances) {
+      expand(inst, /*depth=*/1);
+    }
+    out.validate();
+    return out;
+  }
+
+ private:
+  /// Maps a net seen inside a subckt body to its flattened name: formal
+  /// ports bind to the caller's nets; globals and supply/ground rails are
+  /// never scoped; everything else gets the instance-path prefix.
+  std::string map_net(const std::string& net, const std::string& prefix,
+                      const std::map<std::string, std::string>& net_map) const {
+    auto it = net_map.find(net);
+    if (it != net_map.end()) return it->second;
+    if (src_.globals.count(net) || is_supply_net(net) || is_ground_net(net)) {
+      return net;
+    }
+    return prefix + net;
+  }
+
+  /// Expands an instance whose actual nets are already flattened names.
+  void expand(const Instance& inst, int depth) {
+    if (depth > kMaxDepth) {
+      throw NetlistError("subckt nesting exceeds depth " +
+                         std::to_string(kMaxDepth) +
+                         " (recursive definition?) at instance " + inst.name);
+    }
+    auto def_it = src_.subckts.find(inst.subckt);
+    if (def_it == src_.subckts.end()) {
+      throw NetlistError("undefined subckt " + inst.subckt);
+    }
+    const SubcktDef& def = def_it->second;
+    if (def.ports.size() != inst.nets.size()) {
+      throw NetlistError("port count mismatch instantiating " + inst.subckt);
+    }
+
+    const std::string prefix = inst.name + std::string(1, kHierSeparator);
+    std::map<std::string, std::string> net_map;
+    for (std::size_t i = 0; i < def.ports.size(); ++i) {
+      net_map[def.ports[i]] = inst.nets[i];
+    }
+
+    for (const auto& d : def.devices) {
+      Device nd = d;
+      nd.name = prefix + d.name;
+      nd.hier_depth = depth;
+      for (auto& pin : nd.pins) {
+        pin = map_net(pin, prefix, net_map);
+      }
+      out_->devices.push_back(std::move(nd));
+    }
+    for (const auto& child : def.instances) {
+      Instance bound = child;
+      bound.name = prefix + child.name;
+      for (auto& n : bound.nets) {
+        n = map_net(n, prefix, net_map);
+      }
+      expand(bound, depth + 1);
+    }
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  const Netlist& src_;
+  Netlist* out_ = nullptr;
+};
+
+}  // namespace
+
+Netlist flatten(const Netlist& netlist) { return Flattener(netlist).run(); }
+
+}  // namespace gana::spice

@@ -1,0 +1,23 @@
+// Netlist flattening (paper §II-B, "Netlist flattening").
+//
+// Designer-specified hierarchies are expanded away so that recognition is
+// independent of per-designer hierarchy styles. Instance-scoped names are
+// prefixed with the instance path ("xamp/m1"); global and supply/ground
+// nets keep their names.
+#pragma once
+
+#include "spice/netlist.hpp"
+
+namespace gana::spice {
+
+/// Separator between instance path components in flattened names.
+inline constexpr char kHierSeparator = '/';
+
+/// Returns a flat copy of `netlist`: no instances remain, every device is
+/// top-level, and Device::hier_depth records the original nesting depth.
+///
+/// Throws NetlistError on recursive subcircuit definitions or undefined
+/// subcircuit references.
+Netlist flatten(const Netlist& netlist);
+
+}  // namespace gana::spice

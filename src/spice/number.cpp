@@ -1,0 +1,42 @@
+#include "spice/number.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace gana::spice {
+
+std::optional<double> parse_number(std::string_view token) {
+  if (token.empty()) return std::nullopt;
+  const std::string s = to_lower(token);
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double base = std::strtod(begin, &end);
+  if (end == begin) return std::nullopt;  // no numeric prefix at all
+
+  std::string_view rest(end);
+  double scale = 1.0;
+  if (!rest.empty()) {
+    if (starts_with(rest, "meg")) {
+      scale = 1e6;
+    } else {
+      switch (rest.front()) {
+        case 't': scale = 1e12; break;
+        case 'g': scale = 1e9; break;
+        case 'x': scale = 1e6; break;
+        case 'k': scale = 1e3; break;
+        case 'm': scale = 1e-3; break;
+        case 'u': scale = 1e-6; break;
+        case 'n': scale = 1e-9; break;
+        case 'p': scale = 1e-12; break;
+        case 'f': scale = 1e-15; break;
+        default: scale = 1.0; break;  // unit letters like "v", "a", "ohm"
+      }
+    }
+  }
+  return base * scale;
+}
+
+}  // namespace gana::spice

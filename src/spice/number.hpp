@@ -1,0 +1,16 @@
+// SPICE numeric literal parsing ("2.5k", "10MEG", "0.5u", "1e-12").
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace gana::spice {
+
+/// Parses a SPICE number with optional engineering suffix.
+///
+/// Recognized suffixes (case-insensitive): t, g, meg, x, k, m, u, n, p, f.
+/// Trailing unit letters after the suffix are ignored, as in SPICE
+/// ("10pF" == 10e-12). Returns std::nullopt if no leading number exists.
+std::optional<double> parse_number(std::string_view token);
+
+}  // namespace gana::spice

@@ -1,0 +1,30 @@
+// SPICE netlist parser.
+//
+// Supports the subset needed by the GANA flow: device cards M/R/C/L/V/I,
+// subcircuit definitions and instantiations, `.global`, `.model`, line
+// continuations, comments, and a `.portlabel <net> <label>` extension for
+// the designer-provided port annotations used by Postprocessing II.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "spice/netlist.hpp"
+
+namespace gana::spice {
+
+/// Thrown on malformed input; message includes the 1-based line number.
+class ParseError : public NetlistError {
+ public:
+  using NetlistError::NetlistError;
+};
+
+/// Parses a complete netlist from text. Case-insensitive; the first line
+/// is treated as a title only if it does not look like a card or
+/// directive (so library snippets without titles also parse).
+Netlist parse_netlist(std::string_view text);
+
+/// Parses a netlist from a file on disk.
+Netlist parse_netlist_file(const std::string& path);
+
+}  // namespace gana::spice

@@ -1,0 +1,71 @@
+#include "spice/writer.hpp"
+
+#include <sstream>
+
+namespace gana::spice {
+namespace {
+
+char card_letter(DeviceType t) {
+  switch (t) {
+    case DeviceType::Nmos:
+    case DeviceType::Pmos: return 'm';
+    case DeviceType::Resistor: return 'r';
+    case DeviceType::Capacitor: return 'c';
+    case DeviceType::Inductor: return 'l';
+    case DeviceType::VSource: return 'v';
+    case DeviceType::ISource: return 'i';
+  }
+  return 'x';
+}
+
+void write_device(std::ostringstream& out, const Device& d) {
+  // SPICE derives the card type from the first letter of the name;
+  // flattened/prefixed names ("bias/i0") need the canonical letter
+  // restored so the output parses back.
+  const char letter = card_letter(d.type);
+  if (d.name.empty() || d.name.front() != letter) out << letter;
+  out << d.name;
+  for (const auto& p : d.pins) out << ' ' << p;
+  if (is_mos(d.type)) {
+    out << ' ' << (d.model.empty() ? to_string(d.type) : d.model);
+  } else {
+    out << ' ' << d.value;
+  }
+  for (const auto& [k, v] : d.params) out << ' ' << k << '=' << v;
+  out << '\n';
+}
+
+void write_instance(std::ostringstream& out, const Instance& inst) {
+  out << inst.name;
+  for (const auto& n : inst.nets) out << ' ' << n;
+  out << ' ' << inst.subckt << '\n';
+}
+
+}  // namespace
+
+std::string write_netlist(const Netlist& netlist) {
+  std::ostringstream out;
+  out << (netlist.title.empty() ? "* gana netlist" : netlist.title) << '\n';
+  if (!netlist.globals.empty()) {
+    out << ".global";
+    for (const auto& g : netlist.globals) out << ' ' << g;
+    out << '\n';
+  }
+  for (const auto& [net, label] : netlist.port_labels) {
+    out << ".portlabel " << net << ' ' << to_string(label) << '\n';
+  }
+  for (const auto& [name, def] : netlist.subckts) {
+    out << ".subckt " << name;
+    for (const auto& p : def.ports) out << ' ' << p;
+    out << '\n';
+    for (const auto& d : def.devices) write_device(out, d);
+    for (const auto& i : def.instances) write_instance(out, i);
+    out << ".ends\n";
+  }
+  for (const auto& d : netlist.devices) write_device(out, d);
+  for (const auto& i : netlist.instances) write_instance(out, i);
+  out << ".end\n";
+  return out.str();
+}
+
+}  // namespace gana::spice

@@ -1,0 +1,14 @@
+// SPICE netlist emission (round-tripping support).
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace gana::spice {
+
+/// Renders a netlist back to SPICE text. The output parses back to an
+/// equivalent netlist (same devices, nets, subckts, labels).
+std::string write_netlist(const Netlist& netlist);
+
+}  // namespace gana::spice

@@ -1,0 +1,46 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace gana {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (starts_with(a, "--")) {
+      std::string body = a.substr(2);
+      auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        flags_[body] = argv[++i];
+      } else {
+        flags_[body] = "true";
+      }
+    } else {
+      positional_.push_back(std::move(a));
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int Args::get_int(const std::string& key, int fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+}  // namespace gana

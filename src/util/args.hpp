@@ -1,0 +1,31 @@
+// Minimal command-line flag parsing for the example binaries.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gana {
+
+/// Parses `--key value`, `--key=value`, and bare `--flag` arguments.
+/// Positional (non-flag) arguments are collected in order.
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gana

@@ -1,0 +1,31 @@
+// Small string utilities used throughout the SPICE front end.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gana {
+
+/// Lower-cases ASCII characters; SPICE is case-insensitive.
+std::string to_lower(std::string_view s);
+
+/// Upper-cases ASCII characters.
+std::string to_upper(std::string_view s);
+
+/// Strips leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on runs of whitespace; no empty tokens are produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Splits on a single-character delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace gana

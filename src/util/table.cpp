@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gana {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += " | ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out += "-+-";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace gana

@@ -1,0 +1,39 @@
+// ASCII table rendering for benchmark harnesses.
+//
+// The benchmark binaries reproduce the paper's tables; this helper prints
+// them in an aligned, pipe-delimited form that is easy to diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gana {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule, e.g.
+  ///   Datasets  | # Circuits | # Nodes
+  ///   ----------+------------+--------
+  ///   OTA bias  | 624        | 32152
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fmt(double v, int precision = 2);
+
+/// Formats a percentage, e.g. fmt_pct(0.905) == "90.50%".
+std::string fmt_pct(double fraction, int precision = 2);
+
+}  // namespace gana

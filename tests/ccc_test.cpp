@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/ccc.hpp"
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+
+namespace gana::graph {
+namespace {
+
+CircuitGraph graph_of(const std::string& text) {
+  return build_graph(spice::flatten(spice::parse_netlist(text)));
+}
+
+int component_of_device(const CircuitGraph& g, const CccResult& ccc,
+                        const std::string& name) {
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (g.vertex(v).kind == VertexKind::Element && g.vertex(v).name == name) {
+      return ccc.of(v);
+    }
+  }
+  return -2;
+}
+
+TEST(Ccc, SourceDrainMergesGateDoesNot) {
+  // m0 and m1 share channel node "x": same CCC. m2's gate hangs on "x"
+  // but its channel is elsewhere: different CCC.
+  const auto g = graph_of(R"(
+m0 x g1 gnd! gnd! nmos
+m1 y g2 x gnd! nmos
+m2 z x gnd! gnd! nmos
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  EXPECT_EQ(component_of_device(g, ccc, "m0"),
+            component_of_device(g, ccc, "m1"));
+  EXPECT_NE(component_of_device(g, ccc, "m0"),
+            component_of_device(g, ccc, "m2"));
+}
+
+TEST(Ccc, RailsDoNotMerge) {
+  // Two grounded devices share only gnd!: distinct CCCs.
+  const auto g = graph_of(R"(
+m0 a g1 gnd! gnd! nmos
+m1 b g2 gnd! gnd! nmos
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  EXPECT_NE(component_of_device(g, ccc, "m0"),
+            component_of_device(g, ccc, "m1"));
+  EXPECT_EQ(ccc.count, 2u);
+}
+
+TEST(Ccc, FiveTOtaIsOneComponent) {
+  const auto g = graph_of(R"(
+mt tail vbn gnd! gnd! nmos
+m1 x vinp tail gnd! nmos
+m2 out vinn tail gnd! nmos
+m3 x x vdd! vdd! pmos
+m4 out x vdd! vdd! pmos
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  std::set<int> comps;
+  for (const char* name : {"mt", "m1", "m2", "m3", "m4"}) {
+    comps.insert(component_of_device(g, ccc, name));
+  }
+  EXPECT_EQ(comps.size(), 1u);
+}
+
+TEST(Ccc, BiasChainSeparateFromSignalPath) {
+  // Mirror diode drives the tail gate only: bias CCC != OTA CCC.
+  const auto g = graph_of(R"(
+i0 vdd! vbn 10u
+mb vbn vbn gnd! gnd! nmos
+mt tail vbn gnd! gnd! nmos
+m1 x vinp tail gnd! nmos
+m2 out vinn tail gnd! nmos
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  EXPECT_NE(component_of_device(g, ccc, "mb"),
+            component_of_device(g, ccc, "mt"));
+  EXPECT_EQ(component_of_device(g, ccc, "mt"),
+            component_of_device(g, ccc, "m1"));
+}
+
+TEST(Ccc, CapacitorsDoNotConductButAttach) {
+  // AC-coupling cap between two stages keeps them in separate CCCs; the
+  // cap itself attaches to one of them.
+  const auto g = graph_of(R"(
+m0 o1 in gnd! gnd! nmos
+c0 o1 in2 1p
+m1 o2 in2 gnd! gnd! nmos
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  EXPECT_NE(component_of_device(g, ccc, "m0"),
+            component_of_device(g, ccc, "m1"));
+  const int cap_comp = component_of_device(g, ccc, "c0");
+  EXPECT_TRUE(cap_comp == component_of_device(g, ccc, "m0") ||
+              cap_comp == component_of_device(g, ccc, "m1"));
+}
+
+TEST(Ccc, LonePassiveGetsOwnComponent) {
+  const auto g = graph_of("r0 a b 1k\n.end\n");
+  const auto ccc = channel_connected_components(g);
+  EXPECT_EQ(ccc.count, 1u);
+  EXPECT_EQ(component_of_device(g, ccc, "r0"), 0);
+}
+
+TEST(Ccc, PassiveChainPicksUpComponentInSecondSweep) {
+  // r1 touches only r0; r0 touches m0. After two sweeps both resistors
+  // join m0's component.
+  const auto g = graph_of(R"(
+m0 x g gnd! gnd! nmos
+r0 x y 1k
+r1 y z 1k
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  EXPECT_EQ(component_of_device(g, ccc, "r0"),
+            component_of_device(g, ccc, "m0"));
+  EXPECT_EQ(component_of_device(g, ccc, "r1"),
+            component_of_device(g, ccc, "m0"));
+}
+
+TEST(Ccc, EveryElementAssigned) {
+  const auto g = graph_of(R"(
+m0 a b c gnd! nmos
+r0 q w 1k
+c0 e r 1p
+l0 t y 1n
+i0 vdd! u 1u
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (g.vertex(v).kind == VertexKind::Element) {
+      EXPECT_GE(ccc.of(v), 0) << g.vertex(v).name;
+    }
+  }
+}
+
+TEST(Ccc, MembersPartitionElements) {
+  const auto g = graph_of(R"(
+m0 x g1 gnd! gnd! nmos
+m1 y x gnd! gnd! nmos
+r0 x y 1k
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  std::size_t total = 0;
+  for (const auto& members : ccc.members) total += members.size();
+  EXPECT_EQ(total, g.element_count());
+}
+
+TEST(Ccc, NetsInheritMajorityComponent) {
+  const auto g = graph_of(R"(
+m0 x g tail gnd! nmos
+m1 y g2 tail gnd! nmos
+.end
+)");
+  const auto ccc = channel_connected_components(g);
+  const std::size_t tail = g.find_net("tail");
+  EXPECT_EQ(ccc.of(tail), component_of_device(g, ccc, "m0"));
+  // Rails stay unassigned.
+  const std::size_t gnd = g.find_net("gnd!");
+  if (gnd != CircuitGraph::npos) {
+    EXPECT_EQ(ccc.of(gnd), -1);
+  }
+}
+
+}  // namespace
+}  // namespace gana::graph

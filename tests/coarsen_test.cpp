@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "gcn/coarsen.hpp"
+#include "util/rng.hpp"
+
+namespace gana::gcn {
+namespace {
+
+SparseMatrix grid_adjacency(std::size_t side) {
+  std::vector<Triplet> t;
+  auto id = [side](std::size_t r, std::size_t c) { return r * side + c; };
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      if (c + 1 < side) {
+        t.push_back({id(r, c), id(r, c + 1), 1.0});
+        t.push_back({id(r, c + 1), id(r, c), 1.0});
+      }
+      if (r + 1 < side) {
+        t.push_back({id(r, c), id(r + 1, c), 1.0});
+        t.push_back({id(r + 1, c), id(r, c), 1.0});
+      }
+    }
+  }
+  return SparseMatrix::from_triplets(side * side, side * side, std::move(t));
+}
+
+TEST(Coarsen, HalvesRoughly) {
+  Rng rng(1);
+  const auto adj = grid_adjacency(6);  // 36 vertices
+  const auto c = graclus_coarsen(adj, 1, rng);
+  ASSERT_EQ(c.levels(), 1u);
+  // Perfect matching halves; singletons make it larger but <= n.
+  EXPECT_GE(c.coarse_size(0), 18u);
+  EXPECT_LE(c.coarse_size(0), 28u);
+}
+
+TEST(Coarsen, ClusterMapIsOntoAndBounded) {
+  Rng rng(2);
+  const auto adj = grid_adjacency(5);
+  const auto c = graclus_coarsen(adj, 2, rng);
+  for (std::size_t l = 0; l < c.levels(); ++l) {
+    const std::size_t coarse_n = c.coarse_size(l);
+    std::set<std::size_t> used;
+    for (std::size_t cluster : c.cluster_maps[l]) {
+      EXPECT_LT(cluster, coarse_n);
+      used.insert(cluster);
+    }
+    EXPECT_EQ(used.size(), coarse_n);  // onto
+  }
+}
+
+TEST(Coarsen, ClustersHaveAtMostTwoMembers) {
+  Rng rng(3);
+  const auto adj = grid_adjacency(6);
+  const auto c = graclus_coarsen(adj, 1, rng);
+  std::map<std::size_t, int> sizes;
+  for (std::size_t cluster : c.cluster_maps[0]) ++sizes[cluster];
+  for (const auto& [cluster, size] : sizes) {
+    (void)cluster;
+    EXPECT_LE(size, 2);
+    EXPECT_GE(size, 1);
+  }
+}
+
+TEST(Coarsen, CoarseAdjacencySymmetricNoSelfLoops) {
+  Rng rng(4);
+  const auto adj = grid_adjacency(5);
+  const auto c = graclus_coarsen(adj, 2, rng);
+  for (const auto& coarse : c.adjacency) {
+    for (std::size_t r = 0; r < coarse.rows(); ++r) {
+      EXPECT_DOUBLE_EQ(coarse.at(r, r), 0.0);
+      for (std::size_t k = coarse.row_ptr()[r]; k < coarse.row_ptr()[r + 1];
+           ++k) {
+        const std::size_t col = coarse.col_idx()[k];
+        EXPECT_NEAR(coarse.values()[k], coarse.at(col, r), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Coarsen, StopsAtSingleVertex) {
+  Rng rng(5);
+  // Tiny graph: many levels requested, coarsening stops early.
+  auto adj = SparseMatrix::from_triplets(
+      2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  const auto c = graclus_coarsen(adj, 10, rng);
+  EXPECT_LE(c.levels(), 2u);
+  EXPECT_EQ(c.coarse_size(c.levels() - 1), 1u);
+}
+
+TEST(Coarsen, DeterministicGivenSeed) {
+  const auto adj = grid_adjacency(5);
+  Rng r1(7), r2(7);
+  const auto a = graclus_coarsen(adj, 2, r1);
+  const auto b = graclus_coarsen(adj, 2, r2);
+  ASSERT_EQ(a.levels(), b.levels());
+  for (std::size_t l = 0; l < a.levels(); ++l) {
+    EXPECT_EQ(a.cluster_maps[l], b.cluster_maps[l]);
+  }
+}
+
+TEST(Coarsen, PreservesTotalEdgeWeightAcrossCut) {
+  Rng rng(8);
+  const auto adj = grid_adjacency(4);
+  const auto c = graclus_coarsen(adj, 1, rng);
+  // Sum of coarse weights == sum of fine weights between distinct clusters.
+  double coarse_sum = 0.0;
+  for (double v : c.adjacency[0].values()) coarse_sum += v;
+  double cut_sum = 0.0;
+  const auto& map = c.cluster_maps[0];
+  const auto& rp = adj.row_ptr();
+  for (std::size_t r = 0; r < adj.rows(); ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      if (map[r] != map[adj.col_idx()[k]]) cut_sum += adj.values()[k];
+    }
+  }
+  EXPECT_NEAR(coarse_sum, cut_sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace gana::gcn

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "datagen/ota_gen.hpp"
+#include "isomorph/equivalence.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+
+namespace gana::iso {
+namespace {
+
+spice::Netlist parse(const std::string& s) {
+  return spice::parse_netlist(s);
+}
+
+TEST(Equivalence, IdenticalNetlists) {
+  const auto n = parse("m0 d g s gnd! nmos\nr1 d g 1k\n.end\n");
+  const auto r = netlists_equivalent(n, n);
+  EXPECT_TRUE(r.equivalent) << r.reason;
+}
+
+TEST(Equivalence, RenamedDevicesAndNets) {
+  const auto a = parse(R"(
+mt tail vbn gnd! gnd! nmos
+m1 x vinp tail gnd! nmos
+m2 out vinn tail gnd! nmos
+m3 x x vdd! vdd! pmos
+m4 out x vdd! vdd! pmos
+.end
+)");
+  const auto b = parse(R"(
+mq2 qo qb qt gnd! nmos
+mq4 qo qx vdd! vdd! pmos
+mq3 qx qx vdd! vdd! pmos
+mq1 qx qa qt gnd! nmos
+mqt qt qbias gnd! gnd! nmos
+.end
+)");
+  const auto r = netlists_equivalent(a, b);
+  EXPECT_TRUE(r.equivalent) << r.reason;
+}
+
+TEST(Equivalence, SourceDrainSwapIsEquivalent) {
+  const auto a = parse("m0 d g s gnd! nmos\n.end\n");
+  const auto b = parse("m0 s g d gnd! nmos\n.end\n");
+  EXPECT_TRUE(netlists_equivalent(a, b).equivalent);
+}
+
+TEST(Equivalence, DifferentDeviceCount) {
+  const auto a = parse("r1 a b 1k\n.end\n");
+  const auto b = parse("r1 a b 1k\nr2 b c 1k\n.end\n");
+  const auto r = netlists_equivalent(a, b);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_NE(r.reason.find("element count"), std::string::npos);
+}
+
+TEST(Equivalence, DifferentTopology) {
+  // Mirror vs. diff pair: same device counts, different wiring.
+  const auto a = parse("m0 x x s gnd! nmos\nm1 y x s gnd! nmos\n.end\n");
+  const auto b = parse("m0 x g1 s gnd! nmos\nm1 y g2 s gnd! nmos\n.end\n");
+  EXPECT_FALSE(netlists_equivalent(a, b).equivalent);
+}
+
+TEST(Equivalence, DeviceTypeMatters) {
+  const auto a = parse("m0 d g s gnd! nmos\n.end\n");
+  const auto b = parse("m0 d g s vdd! pmos\n.end\n");
+  EXPECT_FALSE(netlists_equivalent(a, b).equivalent);
+}
+
+TEST(Equivalence, RailRoleMatters) {
+  const auto a = parse("m0 out in gnd! gnd! nmos\n.end\n");
+  const auto b = parse("m0 out in vdd! gnd! nmos\n.end\n");
+  EXPECT_FALSE(netlists_equivalent(a, b).equivalent);
+}
+
+TEST(Equivalence, WriterRoundTripOnGenerators) {
+  // write_netlist followed by a reparse must preserve the circuit for
+  // every OTA topology.
+  Rng rng(1);
+  for (auto topology : datagen::kAllOtaTopologies) {
+    datagen::OtaOptions opt;
+    opt.topology = topology;
+    const auto c = datagen::generate_ota(opt, rng, "t");
+    const auto reparsed =
+        spice::parse_netlist(spice::write_netlist(c.netlist));
+    const auto r = netlists_equivalent(c.netlist, reparsed);
+    EXPECT_TRUE(r.equivalent)
+        << to_string(topology) << ": " << r.reason;
+  }
+}
+
+TEST(Equivalence, FlatteningPreservesStructure) {
+  // A hierarchical netlist is equivalent to its hand-flattened version.
+  const auto hier = parse(R"(
+.subckt inv in out
+m0 out in gnd! gnd! nmos
+m1 out in vdd! vdd! pmos
+.ends
+x0 a b inv
+x1 b c inv
+.end
+)");
+  const auto flat = parse(R"(
+ma0 b a gnd! gnd! nmos
+ma1 b a vdd! vdd! pmos
+mb0 c b gnd! gnd! nmos
+mb1 c b vdd! vdd! pmos
+.end
+)");
+  EXPECT_TRUE(netlists_equivalent(hier, flat).equivalent);
+}
+
+}  // namespace
+}  // namespace gana::iso

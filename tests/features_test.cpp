@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "graph/builder.hpp"
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+
+namespace gana::core {
+namespace {
+
+graph::CircuitGraph graph_of(const std::string& text) {
+  return graph::build_graph(spice::flatten(spice::parse_netlist(text)));
+}
+
+TEST(Features, MatrixShape18) {
+  const auto g = graph_of("m0 d g s gnd! nmos\nr1 d g 1k\n.end\n");
+  const Matrix x = build_features(g);
+  EXPECT_EQ(x.rows(), g.vertex_count());
+  EXPECT_EQ(x.cols(), kNumFeatures);
+  EXPECT_EQ(kNumFeatures, 18u);
+}
+
+TEST(Features, DeviceTypeOneHot) {
+  const auto g = graph_of(R"(
+m0 a b c gnd! nmos w=1u
+m1 a b c vdd! pmos w=1u
+r0 a b 1k
+c0 a b 1p
+l0 a b 1n
+v0 a b 1
+i0 a b 1u
+.end
+)");
+  const Matrix x = build_features(g);
+  EXPECT_EQ(x(0, kFeatNmos), 1.0);
+  EXPECT_EQ(x(1, kFeatPmos), 1.0);
+  EXPECT_EQ(x(2, kFeatResistor), 1.0);
+  EXPECT_EQ(x(3, kFeatCapacitor), 1.0);
+  EXPECT_EQ(x(4, kFeatInductor), 1.0);
+  EXPECT_EQ(x(5, kFeatVRef), 1.0);
+  EXPECT_EQ(x(6, kFeatIRef), 1.0);
+  // Exactly one type bit per element.
+  for (std::size_t v = 0; v < 7; ++v) {
+    double s = 0.0;
+    for (std::size_t f = kFeatNmos; f <= kFeatHierBlock; ++f) s += x(v, f);
+    EXPECT_DOUBLE_EQ(s, 1.0);
+  }
+}
+
+TEST(Features, ValueBuckets) {
+  const auto g = graph_of(R"(
+r0 a b 100
+r1 a b 10k
+r2 a b 1meg
+c0 a b 10f
+c1 a b 1p
+c2 a b 100p
+.end
+)");
+  const Matrix x = build_features(g);
+  EXPECT_EQ(x(0, kFeatValueLow), 1.0);
+  EXPECT_EQ(x(1, kFeatValueMed), 1.0);
+  EXPECT_EQ(x(2, kFeatValueHigh), 1.0);
+  EXPECT_EQ(x(3, kFeatValueLow), 1.0);
+  EXPECT_EQ(x(4, kFeatValueMed), 1.0);
+  EXPECT_EQ(x(5, kFeatValueHigh), 1.0);
+}
+
+TEST(Features, MosWidthBucketing) {
+  const auto g = graph_of(R"(
+m0 a b c gnd! nmos w=0.5u
+m1 d e f gnd! nmos w=4u
+m2 h i j gnd! nmos w=15u
+.end
+)");
+  const Matrix x = build_features(g);
+  EXPECT_EQ(x(0, kFeatValueLow), 1.0);
+  EXPECT_EQ(x(1, kFeatValueMed), 1.0);
+  EXPECT_EQ(x(2, kFeatValueHigh), 1.0);
+}
+
+TEST(Features, NetRoleFeatures) {
+  const auto g = graph_of(R"(
+.portlabel in input
+.portlabel out output
+.portlabel vb bias
+m0 out in vb gnd! nmos
+r0 vdd! n1 1k
+r1 gnd! n1 1k
+.end
+)");
+  const Matrix x = build_features(g);
+  auto feat = [&](const std::string& net, std::size_t f) {
+    return x(g.find_net(net), f);
+  };
+  EXPECT_EQ(feat("in", kFeatNetInput), 1.0);
+  EXPECT_EQ(feat("out", kFeatNetOutput), 1.0);
+  EXPECT_EQ(feat("vb", kFeatNetBias), 1.0);
+  EXPECT_EQ(feat("vdd!", kFeatNetSupply), 1.0);
+  EXPECT_EQ(feat("gnd!", kFeatNetGround), 1.0);
+  // Internal nets have no net-role bit.
+  for (std::size_t f = kFeatNetInput; f <= kFeatNetGround; ++f) {
+    EXPECT_EQ(feat("n1", f), 0.0);
+  }
+}
+
+TEST(Features, AntennaAndLoCountAsInputs) {
+  const auto g = graph_of(R"(
+.portlabel rf antenna
+.portlabel lo1 lo
+r0 rf lo1 50
+.end
+)");
+  const Matrix x = build_features(g);
+  EXPECT_EQ(x(g.find_net("rf"), kFeatNetInput), 1.0);
+  EXPECT_EQ(x(g.find_net("lo1"), kFeatNetInput), 1.0);
+}
+
+TEST(Features, DiodeConnectionSetsMergedEdgeBit) {
+  const auto g = graph_of(R"(
+m0 n n s gnd! nmos
+m1 d g s gnd! nmos
+.end
+)");
+  const Matrix x = build_features(g);
+  EXPECT_EQ(x(0, kFeatEdgeMerged), 1.0);  // diode-connected
+  EXPECT_EQ(x(1, kFeatEdgeMerged), 0.0);  // ordinary device
+}
+
+TEST(Features, NetRowsHaveNoElementBits) {
+  const auto g = graph_of("m0 d g s gnd! nmos\n.end\n");
+  const Matrix x = build_features(g);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (g.vertex(v).kind == graph::VertexKind::Net) {
+      for (std::size_t f = kFeatNmos; f <= kFeatValueHigh; ++f) {
+        EXPECT_EQ(x(v, f), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Labels, ElementsFromMapNetsFromMajority) {
+  const auto g = graph_of(R"(
+m0 x g1 gnd! gnd! nmos
+m1 x g2 gnd! gnd! nmos
+m2 y x gnd! gnd! nmos
+.end
+)");
+  const std::map<std::string, int> device_labels = {
+      {"m0", 0}, {"m1", 0}, {"m2", 1}};
+  const auto labels = vertex_labels(g, device_labels);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[2], 1);
+  // Net x: adjacent to m0(0), m1(0), m2 gate(1) -> majority 0.
+  EXPECT_EQ(labels[g.find_net("x")], 0);
+  // Rails unlabeled.
+  EXPECT_EQ(labels[g.find_net("gnd!")], -1);
+}
+
+TEST(Labels, UnknownDevicesStayUnlabeled) {
+  const auto g = graph_of("m0 d g s gnd! nmos\n.end\n");
+  const auto labels = vertex_labels(g, {});
+  EXPECT_EQ(labels[0], -1);
+}
+
+TEST(Labels, TieBreaksTowardSmallerClass) {
+  const auto g = graph_of(R"(
+m0 x g1 a gnd! nmos
+m1 x g2 b gnd! nmos
+.end
+)");
+  const auto labels = vertex_labels(g, {{"m0", 1}, {"m1", 0}});
+  EXPECT_EQ(labels[g.find_net("x")], 0);
+}
+
+}  // namespace
+}  // namespace gana::core

@@ -1,0 +1,228 @@
+// Finite-difference gradient checks for every trainable layer and for the
+// composed model. These are the ground truth for the hand-written
+// backprop in src/gcn/layers.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "gcn/layers.hpp"
+#include "gcn/model.hpp"
+
+namespace gana::gcn {
+namespace {
+
+GraphSample chain_sample(std::size_t n, std::size_t d, int pool_levels,
+                         std::uint64_t seed) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i + 1, 1.0});
+    t.push_back({i + 1, i, 1.0});
+  }
+  auto adj = SparseMatrix::from_triplets(n, n, std::move(t));
+  Rng rng(seed);
+  Matrix x = Matrix::randn(n, d, 1.0, rng);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 2);
+  return make_sample(adj, std::move(x), std::move(labels), pool_levels, rng,
+                     "chain");
+}
+
+/// Scalar loss of a forward pass: sum of squares / 2 (so dLoss/dY = Y).
+double half_sq(const Matrix& y) { return 0.5 * frobenius_sq(y); }
+
+/// Checks dLoss/dX and dLoss/dParams of a single layer against central
+/// finite differences.
+void check_layer(Layer& layer, const GraphSample& s, const Matrix& x0,
+                 double tol = 1e-5) {
+  Rng rng(99);
+  // Analytic gradients.
+  layer.zero_grads();
+  Matrix y = layer.forward(x0, s, /*training=*/false, rng);
+  const Matrix dx = layer.backward(y);  // dLoss/dY = Y for half_sq
+
+  const double eps = 1e-6;
+  // Input gradient.
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    Matrix xp = x0, xm = x0;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double lp = half_sq(layer.forward(xp, s, false, rng));
+    const double lm = half_sq(layer.forward(xm, s, false, rng));
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, tol * std::max(1.0, std::abs(numeric)))
+        << "input grad " << i;
+  }
+  // Parameter gradients.
+  auto params = layer.params();
+  auto grads = layer.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p]->size(); ++i) {
+      const double saved = params[p]->data()[i];
+      params[p]->data()[i] = saved + eps;
+      const double lp = half_sq(layer.forward(x0, s, false, rng));
+      params[p]->data()[i] = saved - eps;
+      const double lm = half_sq(layer.forward(x0, s, false, rng));
+      params[p]->data()[i] = saved;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(grads[p]->data()[i], numeric,
+                  tol * std::max(1.0, std::abs(numeric)))
+          << "param " << p << " grad " << i;
+    }
+  }
+}
+
+TEST(GradCheck, ChebConvK1) {
+  const auto s = chain_sample(5, 3, 0, 1);
+  Rng rng(2);
+  ChebConv conv(3, 2, /*k=*/1, 0, rng);
+  check_layer(conv, s, s.features);
+}
+
+TEST(GradCheck, ChebConvK3) {
+  const auto s = chain_sample(6, 3, 0, 3);
+  Rng rng(4);
+  ChebConv conv(3, 2, /*k=*/3, 0, rng);
+  check_layer(conv, s, s.features);
+}
+
+TEST(GradCheck, ChebConvK5) {
+  // Deep Chebyshev recurrence exercises the Clenshaw backward path.
+  const auto s = chain_sample(7, 2, 0, 5);
+  Rng rng(6);
+  ChebConv conv(2, 3, /*k=*/5, 0, rng);
+  check_layer(conv, s, s.features);
+}
+
+TEST(GradCheck, Dense) {
+  const auto s = chain_sample(4, 3, 0, 7);
+  Rng rng(8);
+  Dense dense(3, 2, rng);
+  check_layer(dense, s, s.features);
+}
+
+TEST(GradCheck, BatchNormEvalMode) {
+  // Gradcheck in eval mode (running stats fixed -> layer is affine).
+  const auto s = chain_sample(5, 3, 0, 9);
+  Rng rng(10);
+  BatchNorm bn(3);
+  // Populate running stats with one training pass.
+  bn.forward(s.features, s, /*training=*/true, rng);
+  check_layer(bn, s, s.features);
+}
+
+TEST(GradCheck, MeanPool) {
+  const auto s = chain_sample(6, 3, 1, 11);
+  Rng rng(12);
+  GraclusPool pool(0, GraclusPool::Mode::Mean);
+  check_layer(pool, s, s.features);
+}
+
+TEST(GradCheck, Unpool) {
+  auto s = chain_sample(6, 3, 1, 13);
+  Rng rng(14);
+  Unpool up(0);
+  // Input to unpool lives on the coarse graph.
+  const std::size_t coarse_n = s.lhat[1].rows();
+  const Matrix x0 = Matrix::randn(coarse_n, 3, 1.0, rng);
+  check_layer(up, s, x0);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(15);
+  Matrix logits = Matrix::randn(5, 3, 1.0, rng);
+  const std::vector<int> labels{0, 2, -1, 1, 0};
+  const auto res = softmax_cross_entropy(logits, labels);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Matrix lp = logits, lm = logits;
+    lp.data()[i] += eps;
+    lm.data()[i] -= eps;
+    const double fp = softmax_cross_entropy(lp, labels).loss;
+    const double fm = softmax_cross_entropy(lm, labels).loss;
+    EXPECT_NEAR(res.grad.data()[i], (fp - fm) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(GradCheck, FullModelEndToEnd) {
+  // Composed network without dropout (stochastic) or batchnorm-in-train;
+  // eval-mode forward is deterministic, so finite differences apply.
+  ModelConfig cfg;
+  cfg.in_features = 3;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {4, 4};
+  cfg.cheb_k = 3;
+  cfg.fc_hidden = 6;
+  cfg.dropout = 0.0;
+  cfg.batch_norm = false;
+  cfg.seed = 5;
+  GcnModel model(cfg);
+  const auto s = chain_sample(6, 3, 0, 16);
+
+  model.zero_grads();
+  const Matrix logits = model.forward(s, /*training=*/false);
+  const auto res = softmax_cross_entropy(logits, s.labels);
+  model.backward(res.grad);
+
+  auto params = model.params();
+  auto grads = model.grads();
+  const double eps = 1e-6;
+  // Spot-check a subset of parameters from every tensor.
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const std::size_t stride = std::max<std::size_t>(1, params[p]->size() / 7);
+    for (std::size_t i = 0; i < params[p]->size(); i += stride) {
+      const double saved = params[p]->data()[i];
+      params[p]->data()[i] = saved + eps;
+      const double fp =
+          softmax_cross_entropy(model.forward(s, false), s.labels).loss;
+      params[p]->data()[i] = saved - eps;
+      const double fm =
+          softmax_cross_entropy(model.forward(s, false), s.labels).loss;
+      params[p]->data()[i] = saved;
+      EXPECT_NEAR(grads[p]->data()[i], (fp - fm) / (2 * eps), 2e-5)
+          << "tensor " << p << " index " << i;
+    }
+  }
+}
+
+TEST(GradCheck, FullModelWithPooling) {
+  ModelConfig cfg;
+  cfg.in_features = 3;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {4, 4};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 6;
+  cfg.dropout = 0.0;
+  cfg.batch_norm = false;
+  cfg.use_pooling = true;
+  cfg.pool_mode = GraclusPool::Mode::Mean;  // max pool is not smooth
+  cfg.seed = 6;
+  GcnModel model(cfg);
+  const auto s = chain_sample(8, 3, cfg.required_pool_levels(), 17);
+
+  model.zero_grads();
+  const auto res = softmax_cross_entropy(model.forward(s, false), s.labels);
+  model.backward(res.grad);
+
+  auto params = model.params();
+  auto grads = model.grads();
+  const double eps = 1e-6;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const std::size_t stride = std::max<std::size_t>(1, params[p]->size() / 5);
+    for (std::size_t i = 0; i < params[p]->size(); i += stride) {
+      const double saved = params[p]->data()[i];
+      params[p]->data()[i] = saved + eps;
+      const double fp =
+          softmax_cross_entropy(model.forward(s, false), s.labels).loss;
+      params[p]->data()[i] = saved - eps;
+      const double fm =
+          softmax_cross_entropy(model.forward(s, false), s.labels).loss;
+      params[p]->data()[i] = saved;
+      EXPECT_NEAR(grads[p]->data()[i], (fp - fm) / (2 * eps), 2e-5)
+          << "tensor " << p << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gana::gcn

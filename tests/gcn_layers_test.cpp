@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gcn/layers.hpp"
+#include "gcn/model.hpp"
+#include "graph/builder.hpp"
+#include "graph/laplacian.hpp"
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+
+namespace gana::gcn {
+namespace {
+
+/// A small ring-graph sample with random features.
+GraphSample ring_sample(std::size_t n, std::size_t d, int pool_levels,
+                        std::uint64_t seed) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  auto adj = SparseMatrix::from_triplets(n, n, std::move(t));
+  Rng rng(seed);
+  Matrix x = Matrix::randn(n, d, 1.0, rng);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 2);
+  return make_sample(adj, std::move(x), std::move(labels), pool_levels, rng,
+                     "ring");
+}
+
+TEST(Sample, ScaledLaplacianLevels) {
+  const auto s = ring_sample(8, 3, 2, 1);
+  ASSERT_EQ(s.lhat.size(), 3u);
+  ASSERT_EQ(s.cluster_maps.size(), 2u);
+  EXPECT_EQ(s.lhat[0].rows(), 8u);
+  EXPECT_LT(s.lhat[1].rows(), 8u);
+  EXPECT_LE(s.lhat[2].rows(), s.lhat[1].rows());
+  // Cluster map sizes chain correctly.
+  EXPECT_EQ(s.cluster_maps[0].size(), 8u);
+  EXPECT_EQ(s.cluster_maps[1].size(), s.lhat[1].rows());
+}
+
+TEST(ChebConv, K1IsPerNodeLinear) {
+  // With K=1 the filter is theta_0 * I: output is independent of the graph.
+  auto s = ring_sample(6, 4, 0, 2);
+  Rng rng(3);
+  ChebConv conv(4, 2, /*k=*/1, /*level=*/0, rng);
+  const Matrix y = conv.forward(s.features, s, false, rng);
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 2u);
+  // Shuffle graph (same features, different Laplacian): identical output.
+  auto s2 = ring_sample(6, 4, 0, 2);
+  s2.lhat[0] = SparseMatrix::identity(6).scale_add_identity(1.0, -1.0);
+  const Matrix y2 = conv.forward(s2.features, s2, false, rng);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.data()[i], y2.data()[i], 1e-12);
+  }
+}
+
+TEST(ChebConv, HigherOrderUsesNeighborhood) {
+  auto s = ring_sample(6, 4, 0, 4);
+  Rng rng(5);
+  ChebConv conv(4, 2, /*k=*/3, /*level=*/0, rng);
+  const Matrix y = conv.forward(s.features, s, false, rng);
+  // Perturb one node's features: outputs within 2 hops change.
+  auto s2 = s;
+  s2.features(0, 0) += 1.0;
+  const Matrix y2 = conv.forward(s2.features, s2, false, rng);
+  EXPECT_NE(y(1, 0), y2(1, 0));  // neighbor affected
+}
+
+TEST(Relu, ForwardBackward) {
+  GraphSample dummy;
+  Rng rng(1);
+  Relu relu;
+  Matrix x(2, 2);
+  x(0, 0) = -1.0; x(0, 1) = 2.0; x(1, 0) = 0.0; x(1, 1) = -3.0;
+  const Matrix y = relu.forward(x, dummy, true, rng);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 2.0);
+  Matrix g(2, 2, 1.0);
+  const Matrix dx = relu.backward(g);
+  EXPECT_DOUBLE_EQ(dx(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dx(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(dx(1, 0), 0.0);  // zero is not active
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  GraphSample dummy;
+  Rng rng(1);
+  Dropout drop(0.5);
+  Matrix x(3, 3, 1.5);
+  const Matrix y = drop.forward(x, dummy, /*training=*/false, rng);
+  for (double v : y.data()) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Dropout, TrainModeScalesSurvivors) {
+  GraphSample dummy;
+  Rng rng(2);
+  Dropout drop(0.5);
+  Matrix x(50, 20, 1.0);
+  const Matrix y = drop.forward(x, dummy, /*training=*/true, rng);
+  std::size_t zeros = 0;
+  for (double v : y.data()) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 2.0, 1e-12);  // inverted dropout scaling
+    }
+  }
+  EXPECT_GT(zeros, 300u);
+  EXPECT_LT(zeros, 700u);
+}
+
+TEST(BatchNorm, NormalizesTrainingBatch) {
+  GraphSample dummy;
+  Rng rng(3);
+  BatchNorm bn(2);
+  Matrix x(100, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = 5.0 + 2.0 * rng.normal();
+    x(i, 1) = -3.0 + 0.5 * rng.normal();
+  }
+  const Matrix y = bn.forward(x, dummy, /*training=*/true, rng);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < 100; ++i) mean += y(i, c);
+    mean /= 100;
+    for (std::size_t i = 0; i < 100; ++i) {
+      var += (y(i, c) - mean) * (y(i, c) - mean);
+    }
+    var /= 100;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(GraclusPool, MeanAndMaxAggregation) {
+  GraphSample s;
+  s.cluster_maps.push_back({0, 0, 1});  // 3 fine -> 2 coarse
+  Matrix x(3, 1);
+  x(0, 0) = 1.0; x(1, 0) = 3.0; x(2, 0) = 7.0;
+  Rng rng(1);
+
+  GraclusPool mean_pool(0, GraclusPool::Mode::Mean);
+  const Matrix ym = mean_pool.forward(x, s, false, rng);
+  ASSERT_EQ(ym.rows(), 2u);
+  EXPECT_DOUBLE_EQ(ym(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(ym(1, 0), 7.0);
+
+  GraclusPool max_pool(0, GraclusPool::Mode::Max);
+  const Matrix yx = max_pool.forward(x, s, false, rng);
+  EXPECT_DOUBLE_EQ(yx(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(yx(1, 0), 7.0);
+
+  // Max backward routes gradient to the argmax only.
+  Matrix g(2, 1, 1.0);
+  const Matrix dx = max_pool.backward(g);
+  EXPECT_DOUBLE_EQ(dx(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dx(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dx(2, 0), 1.0);
+}
+
+TEST(Unpool, BroadcastsAndSumsBack) {
+  GraphSample s;
+  s.cluster_maps.push_back({0, 0, 1});
+  Matrix coarse(2, 1);
+  coarse(0, 0) = 4.0;
+  coarse(1, 0) = 9.0;
+  Rng rng(1);
+  Unpool up(0);
+  const Matrix fine = up.forward(coarse, s, false, rng);
+  ASSERT_EQ(fine.rows(), 3u);
+  EXPECT_DOUBLE_EQ(fine(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(fine(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(fine(2, 0), 9.0);
+  Matrix g(3, 1, 1.0);
+  const Matrix dc = up.backward(g);
+  EXPECT_DOUBLE_EQ(dc(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(dc(1, 0), 1.0);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Matrix logits(3, 4);
+  Rng rng(6);
+  for (double& v : logits.data()) v = rng.normal(0, 3);
+  const Matrix p = softmax(logits);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(p(r, c), 0.0);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Softmax, NumericallyStableForHugeLogits) {
+  Matrix logits(1, 2);
+  logits(0, 0) = 1e4;
+  logits(0, 1) = -1e4;
+  const Matrix p = softmax(logits);
+  EXPECT_NEAR(p(0, 0), 1.0, 1e-12);
+  EXPECT_FALSE(std::isnan(p(0, 1)));
+}
+
+TEST(Loss, PerfectPredictionLowLoss) {
+  Matrix logits(2, 2);
+  logits(0, 0) = 10.0; logits(0, 1) = -10.0;
+  logits(1, 0) = -10.0; logits(1, 1) = 10.0;
+  const auto r = softmax_cross_entropy(logits, {0, 1});
+  EXPECT_LT(r.loss, 1e-6);
+  EXPECT_EQ(r.correct, 2u);
+  EXPECT_EQ(r.counted, 2u);
+}
+
+TEST(Loss, IgnoresNegativeLabels) {
+  Matrix logits(3, 2, 0.0);
+  const auto r = softmax_cross_entropy(logits, {-1, 0, -1});
+  EXPECT_EQ(r.counted, 1u);
+  // Ignored rows have zero gradient.
+  EXPECT_DOUBLE_EQ(r.grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.grad(2, 1), 0.0);
+}
+
+TEST(Loss, GradientSumsToZeroPerRow) {
+  Matrix logits(2, 3);
+  Rng rng(7);
+  for (double& v : logits.data()) v = rng.normal();
+  const auto r = softmax_cross_entropy(logits, {2, 0});
+  for (std::size_t row = 0; row < 2; ++row) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) s += r.grad(row, c);
+    EXPECT_NEAR(s, 0.0, 1e-12);
+  }
+}
+
+TEST(Model, ForwardShapes) {
+  ModelConfig cfg;
+  cfg.in_features = 4;
+  cfg.num_classes = 3;
+  cfg.conv_channels = {8, 8};
+  cfg.cheb_k = 3;
+  cfg.fc_hidden = 16;
+  GcnModel model(cfg);
+  const auto s = ring_sample(10, 4, 0, 8);
+  const Matrix logits = model.forward(s, false);
+  EXPECT_EQ(logits.rows(), 10u);
+  EXPECT_EQ(logits.cols(), 3u);
+  EXPECT_GT(model.parameter_count(), 0u);
+}
+
+TEST(Model, PooledForwardRestoresNodeCount) {
+  ModelConfig cfg;
+  cfg.in_features = 4;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {8, 8};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 16;
+  cfg.use_pooling = true;
+  GcnModel model(cfg);
+  const auto s = ring_sample(12, 4, cfg.required_pool_levels(), 9);
+  const Matrix logits = model.forward(s, false);
+  EXPECT_EQ(logits.rows(), 12u);  // unpooled back to original vertices
+  EXPECT_EQ(logits.cols(), 2u);
+}
+
+TEST(Model, DeterministicGivenSeed) {
+  ModelConfig cfg;
+  cfg.in_features = 4;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {6};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 8;
+  cfg.seed = 77;
+  GcnModel m1(cfg), m2(cfg);
+  const auto s = ring_sample(6, 4, 0, 10);
+  const Matrix a = m1.forward(s, false);
+  const Matrix b = m2.forward(s, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gana::gcn

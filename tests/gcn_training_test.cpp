@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "gcn/trainer.hpp"
+
+namespace gana::gcn {
+namespace {
+
+/// Toy learnable task: two-community "barbell" graphs. Nodes in community
+/// A have feature noise around +1, community B around -1, plus the graph
+/// structure (dense within, single bridge between).
+std::vector<GraphSample> barbell_dataset(std::size_t count,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GraphSample> out;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t half = 4 + rng.index(3);
+    const std::size_t n = 2 * half;
+    std::vector<Triplet> t;
+    auto connect = [&](std::size_t i, std::size_t j) {
+      t.push_back({i, j, 1.0});
+      t.push_back({j, i, 1.0});
+    };
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = i + 1; j < half; ++j) {
+        connect(i, j);
+        connect(half + i, half + j);
+      }
+    }
+    connect(0, half);  // bridge
+    auto adj = SparseMatrix::from_triplets(n, n, std::move(t));
+    Matrix x(n, 2);
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int cls = i < half ? 0 : 1;
+      labels[i] = cls;
+      // Weak, noisy feature signal: the GCN must denoise via structure.
+      x(i, 0) = (cls == 0 ? 1.0 : -1.0) * 0.5 + rng.normal(0, 1.0);
+      x(i, 1) = rng.normal(0, 1.0);
+    }
+    out.push_back(make_sample(adj, std::move(x), std::move(labels), 0, rng,
+                              "barbell" + std::to_string(c)));
+  }
+  return out;
+}
+
+TEST(Training, LearnsBarbellCommunities) {
+  auto samples = barbell_dataset(40, 1);
+  auto [train_set, val_set] = split_dataset(std::move(samples), 0.8, 2);
+
+  ModelConfig cfg;
+  cfg.in_features = 2;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {8, 8};
+  cfg.cheb_k = 3;
+  cfg.fc_hidden = 16;
+  cfg.dropout = 0.1;
+  cfg.seed = 3;
+  GcnModel model(cfg);
+
+  TrainConfig tc;
+  tc.epochs = 60;
+  tc.batch_size = 4;
+  tc.patience = 0;
+  const auto result = train(model, train_set, val_set, tc);
+
+  EXPECT_GT(result.final_train_acc, 0.85);
+  EXPECT_GT(result.best_val_acc, 0.8);
+  EXPECT_FALSE(result.history.empty());
+}
+
+TEST(Training, LossDecreases) {
+  auto samples = barbell_dataset(20, 4);
+  ModelConfig cfg;
+  cfg.in_features = 2;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {8};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 8;
+  cfg.dropout = 0.0;
+  cfg.seed = 5;
+  GcnModel model(cfg);
+  TrainConfig tc;
+  tc.epochs = 30;
+  tc.patience = 0;
+  const auto result = train(model, samples, {}, tc);
+  ASSERT_GE(result.history.size(), 10u);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST(Training, EarlyStoppingHonorsPatience) {
+  auto samples = barbell_dataset(10, 6);
+  auto [train_set, val_set] = split_dataset(std::move(samples), 0.7, 7);
+  ModelConfig cfg;
+  cfg.in_features = 2;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {4};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 4;
+  cfg.seed = 8;
+  GcnModel model(cfg);
+  TrainConfig tc;
+  tc.epochs = 500;
+  tc.patience = 5;
+  const auto result = train(model, train_set, val_set, tc);
+  EXPECT_LT(result.history.size(), 500u);
+}
+
+TEST(Training, EvaluateAccuracyBounds) {
+  auto samples = barbell_dataset(5, 9);
+  ModelConfig cfg;
+  cfg.in_features = 2;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {4};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 4;
+  cfg.seed = 10;
+  GcnModel model(cfg);
+  const double acc = evaluate_accuracy(model, samples);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(Training, ConfusionMatrixCountsMatch) {
+  auto samples = barbell_dataset(5, 11);
+  ModelConfig cfg;
+  cfg.in_features = 2;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {4};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 4;
+  cfg.seed = 12;
+  GcnModel model(cfg);
+  const auto confusion = confusion_matrix(model, samples, 2);
+  std::size_t total = 0;
+  for (const auto& row : confusion) {
+    for (std::size_t v : row) total += v;
+  }
+  std::size_t labeled = 0;
+  for (const auto& s : samples) {
+    for (int l : s.labels) {
+      if (l >= 0) ++labeled;
+    }
+  }
+  EXPECT_EQ(total, labeled);
+}
+
+TEST(Training, SplitDatasetPartitions) {
+  auto samples = barbell_dataset(10, 13);
+  const auto [a, b] = split_dataset(std::move(samples), 0.8, 14);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(Training, AdamStepChangesParams) {
+  ModelConfig cfg;
+  cfg.in_features = 2;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {4};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 4;
+  cfg.seed = 15;
+  GcnModel model(cfg);
+  auto samples = barbell_dataset(2, 16);
+  const Matrix logits = model.forward(samples[0], true);
+  const auto res = softmax_cross_entropy(logits, samples[0].labels);
+  model.backward(res.grad);
+  Adam adam(model.params(), model.grads());
+  const double before = frobenius_sq(*model.params()[0]);
+  adam.step();
+  const double after = frobenius_sq(*model.params()[0]);
+  EXPECT_NE(before, after);
+  EXPECT_EQ(adam.steps_taken(), 1);
+}
+
+}  // namespace
+}  // namespace gana::gcn

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/constraints.hpp"
+#include "core/pipeline.hpp"
+#include "datagen/ota_gen.hpp"
+#include "datagen/rf_gen.hpp"
+
+namespace gana::core {
+namespace {
+
+AnnotateResult annotate_ota() {
+  Rng rng(1);
+  datagen::OtaOptions opt;
+  opt.topology = datagen::OtaTopology::FiveT;
+  const auto circuit = datagen::generate_ota(opt, rng, "ota5t");
+  // Oracle classification so ota/bias blocks separate deterministically.
+  Annotator annotator(nullptr, {"ota", "bias"});
+  return annotator.annotate_oracle(circuit, 2);
+}
+
+/// Recursively collects pointers to all nodes of a given kind.
+void collect_nodes(const HierarchyNode& node, HierarchyNode::Kind kind,
+                   std::vector<const HierarchyNode*>& out) {
+  if (node.kind == kind) out.push_back(&node);
+  for (const auto& c : node.children) collect_nodes(c, kind, out);
+}
+
+TEST(Hierarchy, RootIsSystemWithSubBlocks) {
+  const auto r = annotate_ota();
+  EXPECT_EQ(r.hierarchy.kind, HierarchyNode::Kind::System);
+  EXPECT_EQ(r.hierarchy.name, "ota5t");
+  bool has_subblock = false;
+  for (const auto& c : r.hierarchy.children) {
+    if (c.kind == HierarchyNode::Kind::SubBlock) has_subblock = true;
+  }
+  EXPECT_TRUE(has_subblock);
+}
+
+TEST(Hierarchy, ElementCountMatchesGraph) {
+  const auto r = annotate_ota();
+  EXPECT_EQ(r.hierarchy.element_count(),
+            r.prepared.graph.element_count());
+}
+
+TEST(Hierarchy, DepthCoversPrimitiveLevel) {
+  const auto r = annotate_ota();
+  // system -> sub-block -> primitive -> element = depth 4.
+  EXPECT_GE(r.hierarchy.depth(), 4u);
+}
+
+TEST(Hierarchy, PrimitivesNestedInsideSubBlocks) {
+  const auto r = annotate_ota();
+  std::vector<const HierarchyNode*> prims;
+  collect_nodes(r.hierarchy, HierarchyNode::Kind::Primitive, prims);
+  EXPECT_FALSE(prims.empty());
+  for (const auto* p : prims) {
+    EXPECT_FALSE(p->children.empty());
+    for (const auto& leaf : p->children) {
+      EXPECT_EQ(leaf.kind, HierarchyNode::Kind::Element);
+    }
+  }
+}
+
+TEST(Hierarchy, MergesSameClassAdjacentCccs) {
+  // Two-stage OTA: stage 1 and stage 2 are distinct CCCs of the same
+  // class and share nets -> one sub-block.
+  Rng rng(2);
+  datagen::OtaOptions opt;
+  opt.topology = datagen::OtaTopology::TwoStageMiller;
+  const auto circuit = datagen::generate_ota(opt, rng, "miller");
+  Annotator annotator(nullptr, {"ota", "bias"});
+  const auto r = annotator.annotate(circuit);
+  std::size_t sub_blocks = 0;
+  for (const auto& c : r.hierarchy.children) {
+    if (c.kind == HierarchyNode::Kind::SubBlock) ++sub_blocks;
+  }
+  // Without merging, the two stages + bias would be >= 3.
+  EXPECT_LE(sub_blocks, 3u);
+}
+
+TEST(Hierarchy, ToStringContainsStructure) {
+  const auto r = annotate_ota();
+  const std::string s = to_string(r.hierarchy);
+  EXPECT_NE(s.find("[system]"), std::string::npos);
+  EXPECT_NE(s.find("[sub-block]"), std::string::npos);
+  EXPECT_NE(s.find("[element]"), std::string::npos);
+}
+
+TEST(Constraints, DiffPairPromotesBlockAxis) {
+  const auto r = annotate_ota();
+  bool block_symmetry = false;
+  for (const auto& block : r.hierarchy.children) {
+    for (const auto& c : block.constraints) {
+      if (c.kind == constraints::Kind::Symmetry) {
+        block_symmetry = true;
+        EXPECT_FALSE(c.tag.empty());
+      }
+    }
+  }
+  EXPECT_TRUE(block_symmetry);
+}
+
+TEST(Constraints, CommonAxisSharedByPrimitives) {
+  const auto r = annotate_ota();
+  // All symmetry constraints inside one block share the same axis tag.
+  for (const auto& block : r.hierarchy.children) {
+    std::string axis;
+    for (const auto& prim : block.children) {
+      for (const auto& c : prim.constraints) {
+        if (c.kind == constraints::Kind::Symmetry) {
+          if (axis.empty()) {
+            axis = c.tag;
+          } else {
+            EXPECT_EQ(c.tag, axis);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Constraints, MatchingBecomesCommonCentroidUnderAxis) {
+  const auto r = annotate_ota();
+  bool found_cc = false;
+  for (const auto& c : collect_constraints(r.hierarchy)) {
+    if (c.kind == constraints::Kind::CommonCentroid) found_cc = true;
+  }
+  EXPECT_TRUE(found_cc);
+}
+
+TEST(Constraints, RfBlocksGetGuardRingAndWireLength) {
+  Rng rng(3);
+  datagen::RfBlockOptions opt;
+  opt.block = datagen::kRfLna;
+  const auto circuit = datagen::generate_rf_block(opt, rng, "lna");
+  // Force the vocabulary so the (model-free) vote lands on "lna".
+  Annotator annotator(nullptr, datagen::rf_class_names());
+  const auto r = annotator.annotate(circuit);
+  bool guard = false, wl = false, prox = false;
+  for (const auto& c : collect_constraints(r.hierarchy)) {
+    if (c.kind == constraints::Kind::GuardRing) guard = true;
+    if (c.kind == constraints::Kind::MinWireLength) wl = true;
+    if (c.kind == constraints::Kind::Proximity) prox = true;
+  }
+  // The model-free annotator votes class 0 ("lna") for every cluster, so
+  // the LNA-specific constraints must all appear.
+  EXPECT_TRUE(guard);
+  EXPECT_TRUE(wl);
+  EXPECT_TRUE(prox);
+}
+
+TEST(Constraints, CollectFlattensTree) {
+  const auto r = annotate_ota();
+  const auto all = collect_constraints(r.hierarchy);
+  std::size_t in_tree = 0;
+  std::function<void(const HierarchyNode&)> count =
+      [&](const HierarchyNode& n) {
+        in_tree += n.constraints.size();
+        for (const auto& c : n.children) count(c);
+      };
+  count(r.hierarchy);
+  EXPECT_EQ(all.size(), in_tree);
+}
+
+}  // namespace
+}  // namespace gana::core

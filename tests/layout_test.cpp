@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/pipeline.hpp"
+#include "datagen/ota_gen.hpp"
+#include "datagen/sc_filter.hpp"
+#include "layout/placer.hpp"
+#include "layout/svg.hpp"
+
+namespace gana::layout {
+namespace {
+
+core::AnnotateResult annotate(const datagen::LabeledCircuit& c,
+                              std::vector<std::string> classes) {
+  core::Annotator annotator(nullptr, std::move(classes));
+  return annotator.annotate(c);
+}
+
+TEST(Tiles, FootprintsScaleWithValue) {
+  const Rect small = device_footprint(spice::DeviceType::Nmos, 1e-6);
+  const Rect big = device_footprint(spice::DeviceType::Nmos, 10e-6);
+  EXPECT_GT(big.w, small.w);
+  const Rect c_small = device_footprint(spice::DeviceType::Capacitor, 10e-15);
+  const Rect c_big = device_footprint(spice::DeviceType::Capacitor, 5e-12);
+  EXPECT_GT(c_big.area(), c_small.area());
+  EXPECT_GT(device_footprint(spice::DeviceType::Inductor, 1e-9).area(),
+            c_big.area());
+}
+
+TEST(Tiles, RectHelpers) {
+  Rect a{0, 0, 2, 2}, b{1, 1, 2, 2}, c{5, 5, 1, 1};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_DOUBLE_EQ(a.cx(), 1.0);
+  EXPECT_DOUBLE_EQ(a.area(), 4.0);
+}
+
+TEST(Placer, OtaPlacementNoOverlaps) {
+  Rng rng(1);
+  const auto circuit = datagen::generate_ota({}, rng, "ota");
+  const auto r = annotate(circuit, {"ota", "bias"});
+  const auto placement =
+      place_hierarchy(r.hierarchy, r.prepared.flat);
+  EXPECT_EQ(placement.tiles.size(), r.prepared.graph.element_count());
+  EXPECT_EQ(placement.overlap_count(), 0u);
+  EXPECT_GT(placement.area(), 0.0);
+}
+
+TEST(Placer, SymmetryConstraintsHonored) {
+  Rng rng(2);
+  const auto circuit = datagen::generate_ota({}, rng, "ota");
+  const auto r = annotate(circuit, {"ota", "bias"});
+  const auto placement = place_hierarchy(r.hierarchy, r.prepared.flat);
+  const auto check = check_symmetry(placement, r.hierarchy);
+  EXPECT_GT(check.checked, 0u);
+  EXPECT_EQ(check.violations, 0u);
+}
+
+TEST(Placer, ScFilterLayoutLikePaperFig6) {
+  Rng rng(3);
+  const auto circuit = datagen::generate_sc_filter({}, rng);
+  const auto r = annotate(circuit, {"ota", "bias"});
+  const auto placement = place_hierarchy(r.hierarchy, r.prepared.flat);
+  EXPECT_EQ(placement.overlap_count(), 0u);
+  const double hpwl = half_perimeter_wirelength(placement, r.prepared.flat);
+  EXPECT_GT(hpwl, 0.0);
+}
+
+TEST(Placer, HpwlDecreasesWhenTilesCluster) {
+  // Sanity: HPWL of a placement is smaller than the same tiles scattered.
+  Rng rng(4);
+  const auto circuit = datagen::generate_ota({}, rng, "ota");
+  const auto r = annotate(circuit, {"ota", "bias"});
+  auto placement = place_hierarchy(r.hierarchy, r.prepared.flat);
+  const double before = half_perimeter_wirelength(placement, r.prepared.flat);
+  Placement scattered = placement;
+  for (std::size_t i = 0; i < scattered.tiles.size(); ++i) {
+    scattered.tiles[i].rect.x += static_cast<double>(i) * 50.0;
+  }
+  const double after =
+      half_perimeter_wirelength(scattered, r.prepared.flat);
+  EXPECT_LT(before, after);
+}
+
+TEST(Placer, FindLocatesTiles) {
+  Rng rng(5);
+  const auto circuit = datagen::generate_ota({}, rng, "ota");
+  const auto r = annotate(circuit, {"ota", "bias"});
+  const auto placement = place_hierarchy(r.hierarchy, r.prepared.flat);
+  ASSERT_FALSE(placement.tiles.empty());
+  EXPECT_NE(placement.find(placement.tiles[0].name), nullptr);
+  EXPECT_EQ(placement.find("no_such_device"), nullptr);
+}
+
+TEST(Svg, ContainsTilesAndBlocks) {
+  Rng rng(6);
+  const auto circuit = datagen::generate_ota({}, rng, "ota");
+  const auto r = annotate(circuit, {"ota", "bias"});
+  const auto placement = place_hierarchy(r.hierarchy, r.prepared.flat);
+  const std::string svg = to_svg(placement);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per tile at least.
+  std::size_t rects = 0;
+  for (std::size_t pos = 0; (pos = svg.find("<rect", pos)) != std::string::npos;
+       ++pos) {
+    ++rects;
+  }
+  EXPECT_GE(rects, placement.tiles.size());
+}
+
+TEST(Svg, WriteToDisk) {
+  Placement p;
+  p.tiles.push_back({"m0", "nmos", "blk", {0, 0, 1, 1}});
+  const std::string path = ::testing::TempDir() + "/gana_layout_test.svg";
+  EXPECT_NO_THROW(write_svg(p, path));
+}
+
+}  // namespace
+}  // namespace gana::layout

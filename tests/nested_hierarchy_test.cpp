@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/constraints.hpp"
+#include "core/pipeline.hpp"
+#include "datagen/ota_gen.hpp"
+
+namespace gana::core {
+namespace {
+
+AnnotateResult annotate_topology(datagen::OtaTopology topology,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  datagen::OtaOptions opt;
+  opt.topology = topology;
+  const auto circuit = datagen::generate_ota(opt, rng, "ota");
+  // Oracle classification: blocks split exactly along ground truth, so
+  // the stage structure is deterministic.
+  Annotator annotator(nullptr, {"ota", "bias"});
+  return annotator.annotate_oracle(circuit, 2);
+}
+
+const HierarchyNode* find_block(const HierarchyNode& root,
+                                const std::string& type) {
+  for (const auto& c : root.children) {
+    if (c.kind == HierarchyNode::Kind::SubBlock && c.type == type) return &c;
+  }
+  return nullptr;
+}
+
+TEST(NestedHierarchy, TwoStageOtaGetsStageNodes) {
+  const auto r =
+      annotate_topology(datagen::OtaTopology::TwoStageMiller, 1);
+  // The two stages of the Miller OTA are distinct CCCs merged into one
+  // "ota" block: they must appear as nested stage sub-blocks (paper
+  // Fig. 1(c): STAGE 1 inside the big OTA).
+  const auto* ota = find_block(r.hierarchy, "ota");
+  ASSERT_NE(ota, nullptr);
+  std::size_t stages = 0;
+  for (const auto& child : ota->children) {
+    if (child.kind == HierarchyNode::Kind::SubBlock &&
+        child.type == "ota-stage") {
+      ++stages;
+      EXPECT_FALSE(child.children.empty());
+    }
+  }
+  EXPECT_GE(stages, 2u);
+  // Depth: system -> block -> stage -> primitive -> element.
+  EXPECT_GE(r.hierarchy.depth(), 5u);
+}
+
+TEST(NestedHierarchy, SingleCccBlockStaysFlat) {
+  const auto r = annotate_topology(datagen::OtaTopology::FiveT, 2);
+  const auto* ota = find_block(r.hierarchy, "ota");
+  ASSERT_NE(ota, nullptr);
+  for (const auto& child : ota->children) {
+    EXPECT_NE(child.type, "ota-stage") << "5T OTA is one CCC: no stages";
+  }
+}
+
+TEST(NestedHierarchy, ElementCountInvariantHolds) {
+  for (auto topology : {datagen::OtaTopology::TwoStageMiller,
+                        datagen::OtaTopology::FullyDifferential,
+                        datagen::OtaTopology::ClassAb}) {
+    const auto r = annotate_topology(topology, 3);
+    EXPECT_EQ(r.hierarchy.element_count(),
+              r.prepared.graph.element_count());
+  }
+}
+
+TEST(NestedHierarchy, StagesShareCommonAxis) {
+  const auto r =
+      annotate_topology(datagen::OtaTopology::FullyDifferential, 4);
+  const auto* ota = find_block(r.hierarchy, "ota");
+  ASSERT_NE(ota, nullptr);
+  // If the block has a symmetry axis, every stage-level symmetry is
+  // re-tagged to it (the paper's common-axis propagation).
+  std::string block_axis;
+  for (const auto& c : ota->constraints) {
+    if (c.kind == constraints::Kind::Symmetry) block_axis = c.tag;
+  }
+  if (block_axis.empty()) GTEST_SKIP() << "no axis promoted";
+  for (const auto& stage : ota->children) {
+    if (stage.type != "ota-stage") continue;
+    for (const auto& c : stage.constraints) {
+      if (c.kind == constraints::Kind::Symmetry) {
+        EXPECT_EQ(c.tag, block_axis);
+      }
+    }
+  }
+}
+
+TEST(SymmetricNets, DiffPairEmitsNetPairs) {
+  const auto r = annotate_topology(datagen::OtaTopology::FiveT, 5);
+  bool found = false;
+  for (const auto& c : collect_constraints(r.hierarchy)) {
+    if (c.kind == constraints::Kind::SymmetricNets) {
+      found = true;
+      EXPECT_EQ(c.members.size(), 2u);
+      EXPECT_NE(c.members[0], c.members[1]);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SymmetricNets, InputNetsOfDiffPairAreSymmetric) {
+  const auto r = annotate_topology(datagen::OtaTopology::FiveT, 6);
+  bool inputs_symmetric = false;
+  for (const auto& c : collect_constraints(r.hierarchy)) {
+    if (c.kind != constraints::Kind::SymmetricNets) continue;
+    const bool has_vinp =
+        std::find(c.members.begin(), c.members.end(), "vinp") !=
+        c.members.end();
+    const bool has_vinn =
+        std::find(c.members.begin(), c.members.end(), "vinn") !=
+        c.members.end();
+    if (has_vinp && has_vinn) inputs_symmetric = true;
+  }
+  EXPECT_TRUE(inputs_symmetric);
+}
+
+}  // namespace
+}  // namespace gana::core

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+#include "spice/parser.hpp"
+#include "datagen/dataset.hpp"
+#include "datagen/phased_array.hpp"
+#include "datagen/sc_filter.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gana::core {
+namespace {
+
+TEST(Prepare, TransfersLabelsAcrossPreprocess) {
+  Rng rng(1);
+  datagen::OtaOptions opt;
+  opt.with_stacking = true;
+  opt.with_dummies = true;
+  const auto circuit = datagen::generate_ota(opt, rng, "ota");
+  const auto prepared = prepare_circuit(circuit);
+  // Stacked copies were merged / dummies removed.
+  EXPECT_GT(prepared.preprocess_report.total_removed(), 0u);
+  // Every element vertex has a label.
+  for (std::size_t v = 0; v < prepared.graph.vertex_count(); ++v) {
+    if (prepared.graph.vertex(v).kind == graph::VertexKind::Element) {
+      EXPECT_GE(prepared.labels[v], 0)
+          << prepared.graph.vertex(v).name;
+    }
+  }
+}
+
+TEST(Prepare, SamplesCarryFeaturesAndLabels) {
+  datagen::DatasetOptions opt;
+  opt.circuits = 4;
+  const auto circuits = datagen::make_ota_dataset(opt);
+  const auto samples = make_gcn_samples(circuits, 0, 9);
+  ASSERT_EQ(samples.size(), 4u);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.features.cols(), kNumFeatures);
+    EXPECT_EQ(s.labels.size(), s.features.rows());
+    EXPECT_EQ(s.lhat.size(), 1u);
+  }
+}
+
+TEST(Annotator, NoModelStillBuildsHierarchy) {
+  Rng rng(2);
+  const auto circuit = datagen::generate_ota({}, rng, "ota");
+  Annotator annotator(nullptr, {"ota", "bias"});
+  const auto result = annotator.annotate(circuit);
+  EXPECT_EQ(result.hierarchy.kind, HierarchyNode::Kind::System);
+  EXPECT_FALSE(result.hierarchy.children.empty());
+  EXPECT_GT(result.hierarchy.element_count(), 0u);
+  EXPECT_EQ(result.final_class.size(), result.prepared.graph.vertex_count());
+}
+
+TEST(Annotator, TrainedModelBeatsChanceAndPostprocessingHelps) {
+  // Small end-to-end smoke: train on 24 OTAs, annotate 6 unseen ones.
+  datagen::DatasetOptions train_opt;
+  train_opt.circuits = 24;
+  train_opt.seed = 3;
+  const auto train_circuits = datagen::make_ota_dataset(train_opt);
+  auto samples = make_gcn_samples(train_circuits, 0, 4);
+  auto [train_set, val_set] = gcn::split_dataset(std::move(samples), 0.8, 5);
+
+  gcn::ModelConfig cfg;
+  cfg.in_features = kNumFeatures;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {16, 16};
+  cfg.cheb_k = 4;
+  cfg.fc_hidden = 32;
+  cfg.seed = 6;
+  gcn::GcnModel model(cfg);
+  gcn::TrainConfig tc;
+  tc.epochs = 25;
+  tc.patience = 0;
+  const auto tr = gcn::train(model, train_set, val_set, tc);
+  EXPECT_GT(tr.final_train_acc, 0.6);
+
+  datagen::DatasetOptions test_opt;
+  test_opt.circuits = 6;
+  test_opt.seed = 77;
+  const auto test_circuits = datagen::make_ota_dataset(test_opt);
+  Annotator annotator(&model, {"ota", "bias"});
+  double acc_gcn = 0.0, acc_post = 0.0;
+  for (const auto& c : test_circuits) {
+    const auto r = annotator.annotate(c);
+    acc_gcn += r.acc_gcn;
+    acc_post += r.acc_post2;
+  }
+  acc_gcn /= 6.0;
+  acc_post /= 6.0;
+  EXPECT_GT(acc_gcn, 0.5);        // beats chance
+  EXPECT_GE(acc_post, acc_gcn - 1e-9);  // postprocessing never hurts here
+}
+
+TEST(Annotator, ScFilterPipelineRuns) {
+  Rng rng(8);
+  const auto circuit = datagen::generate_sc_filter({}, rng);
+  Annotator annotator(nullptr, {"ota", "bias"});
+  const auto r = annotator.annotate(circuit);
+  EXPECT_GT(r.post.primitives.size(), 4u);
+  // With no model every cluster votes the same class, so connected blocks
+  // merge; the tree still must cover every element.
+  EXPECT_GE(r.hierarchy.children.size(), 1u);
+  EXPECT_EQ(r.hierarchy.element_count(), r.prepared.graph.element_count());
+}
+
+TEST(Annotator, PhasedArrayPostprocessingIdentifiesStructure) {
+  Rng rng(9);
+  datagen::PhasedArrayOptions opt;
+  opt.channels = 2;
+  const auto circuit = datagen::generate_phased_array(opt, rng);
+  Annotator annotator(nullptr, datagen::rf_class_names());
+  const auto r = annotator.annotate(circuit);
+  // Stand-alone buffers/inverters must be separated by PP-I.
+  EXPECT_FALSE(r.post.standalone.empty());
+  // Hierarchy contains multiple sub-blocks.
+  std::size_t sub_blocks = 0;
+  for (const auto& child : r.hierarchy.children) {
+    if (child.kind == HierarchyNode::Kind::SubBlock) ++sub_blocks;
+  }
+  EXPECT_GE(sub_blocks, 4u);
+}
+
+TEST(Annotator, AnnotateBareNetlistWithoutTruth) {
+  const auto netlist = spice::parse_netlist(R"(
+mt tail vbn gnd! gnd! nmos w=2u l=100n
+m1 x vinp tail gnd! nmos w=4u l=100n
+m2 out vinn tail gnd! nmos w=4u l=100n
+m3 x x vdd! vdd! pmos w=8u l=100n
+m4 out x vdd! vdd! pmos w=8u l=100n
+.end
+)");
+  Annotator annotator(nullptr, {"ota", "bias"});
+  const auto r = annotator.annotate(netlist, "bare");
+  // No truth -> accuracy trivially 1.0 (nothing counted).
+  EXPECT_DOUBLE_EQ(r.acc_gcn, 1.0);
+  EXPECT_GT(r.post.primitives.size(), 0u);
+}
+
+TEST(Annotator, StageTimingsPopulated) {
+  Rng rng(10);
+  const auto circuit = datagen::generate_ota({}, rng, "t");
+  Annotator annotator(nullptr, {"ota", "bias"});
+  const auto r = annotator.annotate(circuit);
+  EXPECT_GE(r.seconds_gcn, 0.0);
+  EXPECT_GE(r.seconds_post, 0.0);
+}
+
+}  // namespace
+}  // namespace gana::core

@@ -1,0 +1,144 @@
+// Cross-module property tests, parameterized over generator seeds: the
+// invariants that must hold for ANY circuit the generators can produce.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/constraints.hpp"
+#include "core/pipeline.hpp"
+#include "datagen/dataset.hpp"
+#include "isomorph/equivalence.hpp"
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+#include "spice/preprocess.hpp"
+#include "spice/writer.hpp"
+
+namespace gana {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<int> {
+ protected:
+  std::vector<datagen::LabeledCircuit> circuits() const {
+    datagen::DatasetOptions opt;
+    opt.circuits = 4;
+    opt.seed = static_cast<std::uint64_t>(5000 + GetParam());
+    auto ota = datagen::make_ota_dataset(opt);
+    opt.seed += 17;
+    auto rf = datagen::make_rf_dataset(opt);
+    ota.insert(ota.end(), std::make_move_iterator(rf.begin()),
+               std::make_move_iterator(rf.end()));
+    return ota;
+  }
+};
+
+TEST_P(SeededProperty, PreprocessingShrinksAndPreservesLabels) {
+  for (const auto& c : circuits()) {
+    auto flat = spice::flatten(c.netlist);
+    const std::size_t before = flat.devices.size();
+    const auto report = spice::preprocess(flat);
+    EXPECT_LE(flat.devices.size(), before) << c.name;
+    EXPECT_EQ(before - flat.devices.size(), report.total_removed())
+        << c.name;
+    // Every surviving device keeps its ground-truth label.
+    for (const auto& d : flat.devices) {
+      EXPECT_TRUE(c.device_labels.count(d.name))
+          << c.name << " lost label for " << d.name;
+    }
+    // Every alias source was an original device.
+    for (const auto& [removed, kept] : report.alias) {
+      (void)kept;
+      EXPECT_TRUE(c.device_labels.count(removed)) << c.name;
+    }
+  }
+}
+
+TEST_P(SeededProperty, HierarchyCoversEveryElementExactlyOnce) {
+  for (const auto& c : circuits()) {
+    core::Annotator annotator(nullptr, c.class_names);
+    const auto r = annotator.annotate_oracle(
+        c, std::min<std::size_t>(c.class_names.size(), 3));
+    EXPECT_EQ(r.hierarchy.element_count(),
+              r.prepared.graph.element_count())
+        << c.name;
+  }
+}
+
+TEST_P(SeededProperty, FinalClassesCoverAllElements) {
+  for (const auto& c : circuits()) {
+    core::Annotator annotator(nullptr, c.class_names);
+    const auto r = annotator.annotate_oracle(
+        c, std::min<std::size_t>(c.class_names.size(), 3));
+    for (std::size_t v = 0; v < r.prepared.graph.vertex_count(); ++v) {
+      if (r.prepared.graph.vertex(v).kind == graph::VertexKind::Element) {
+        EXPECT_GE(r.final_class[v], 0)
+            << c.name << " " << r.prepared.graph.vertex(v).name;
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, PrimitivesNeverOverlap) {
+  for (const auto& c : circuits()) {
+    core::Annotator annotator(nullptr, c.class_names);
+    const auto r = annotator.annotate(c);
+    std::set<std::size_t> claimed;
+    for (const auto& inst : r.post.primitives) {
+      for (std::size_t v : inst.elements) {
+        EXPECT_TRUE(claimed.insert(v).second)
+            << c.name << ": element claimed twice";
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, WriterRoundTripIsEquivalent) {
+  for (const auto& c : circuits()) {
+    const auto reparsed =
+        spice::parse_netlist(spice::write_netlist(c.netlist));
+    const auto r = iso::netlists_equivalent(c.netlist, reparsed);
+    EXPECT_TRUE(r.equivalent) << c.name << ": " << r.reason;
+  }
+}
+
+TEST_P(SeededProperty, ConstraintsWellFormed) {
+  for (const auto& c : circuits()) {
+    core::Annotator annotator(nullptr, c.class_names);
+    const auto r = annotator.annotate(c);
+    for (const auto& cst : core::collect_constraints(r.hierarchy)) {
+      EXPECT_FALSE(cst.members.empty()) << c.name;
+      if (cst.kind == constraints::Kind::Symmetry ||
+          cst.kind == constraints::Kind::SymmetricNets) {
+        EXPECT_GE(cst.members.size(), 2u) << c.name;
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, CccPartitionInvariants) {
+  for (const auto& c : circuits()) {
+    const auto prepared = core::prepare_circuit(c);
+    const auto ccc =
+        graph::channel_connected_components(prepared.graph);
+    // members[] partitions the element set.
+    std::set<std::size_t> seen;
+    for (const auto& members : ccc.members) {
+      for (std::size_t v : members) {
+        EXPECT_TRUE(seen.insert(v).second) << c.name;
+        EXPECT_EQ(prepared.graph.vertex(v).kind,
+                  graph::VertexKind::Element);
+      }
+    }
+    EXPECT_EQ(seen.size(), prepared.graph.element_count()) << c.name;
+    // component ids are consistent with membership.
+    for (std::size_t comp = 0; comp < ccc.count; ++comp) {
+      for (std::size_t v : ccc.members[comp]) {
+        EXPECT_EQ(ccc.of(v), static_cast<int>(comp)) << c.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace gana

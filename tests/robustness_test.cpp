@@ -1,0 +1,126 @@
+// Failure-injection and robustness tests: malformed inputs must raise
+// NetlistError (never crash or corrupt state), and randomized mutations
+// of valid netlists must either parse or throw cleanly.
+#include <gtest/gtest.h>
+
+#include "datagen/dataset.hpp"
+#include "graph/builder.hpp"
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+#include "spice/preprocess.hpp"
+#include "spice/writer.hpp"
+#include "util/rng.hpp"
+
+namespace gana::spice {
+namespace {
+
+TEST(Robustness, EmptyInput) {
+  const auto n = parse_netlist("");
+  EXPECT_TRUE(n.devices.empty());
+  EXPECT_TRUE(n.is_flat());
+}
+
+TEST(Robustness, OnlyComments) {
+  const auto n = parse_netlist("* a\n* b\n$ not really\n");
+  EXPECT_TRUE(n.devices.empty());
+}
+
+TEST(Robustness, WhitespaceSoup) {
+  const auto n = parse_netlist("\n\n   \n\t\n* x\n\n");
+  EXPECT_TRUE(n.devices.empty());
+}
+
+TEST(Robustness, MalformedCardsThrowCleanly) {
+  const char* bad[] = {
+      "* t\nm0 a b nmos\n.end\n",          // MOS with too few nets
+      "* t\nr1 a b\n.end\n",               // missing value
+      "* t\nc1 a b notanumber\n.end\n",    // bad value
+      "* t\nm0 a b c d w=1u\n.end\n",      // param where model expected
+      "* t\n.subckt\n.ends\n.end\n",       // unnamed subckt
+      "* t\n.ends\n.end\n",                // .ends without .subckt
+      "* t\n.portlabel\n.end\n",           // missing args
+      "* t\n.frobnicate yes\n.end\n",      // unknown directive
+      "* t\n+ continuation first\n.end\n", // leading continuation
+      "* t\nx0 net\n.end\n",               // instance w/o subckt name+net
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_netlist(text), NetlistError) << text;
+  }
+}
+
+TEST(Robustness, DuplicateSubcktRejected) {
+  EXPECT_THROW(parse_netlist(R"(
+.subckt a p
+r0 p x 1
+.ends
+.subckt a p
+r0 p x 1
+.ends
+.end
+)"),
+               NetlistError);
+}
+
+TEST(Robustness, NestedSubcktRejected) {
+  EXPECT_THROW(parse_netlist(R"(
+.subckt outer p
+.subckt inner q
+r0 q x 1
+.ends
+.ends
+.end
+)"),
+               NetlistError);
+}
+
+TEST(Robustness, SelfInstantiationRejected) {
+  Netlist n;
+  SubcktDef def;
+  def.name = "loop";
+  def.ports = {"p"};
+  def.instances.push_back({"x0", "loop", {"p"}});
+  n.subckts["loop"] = def;
+  n.instances.push_back({"xt", "loop", {"top"}});
+  EXPECT_THROW(flatten(n), NetlistError);
+}
+
+// Mutation fuzzing: delete/duplicate/truncate random tokens of a valid
+// netlist. Every outcome must be "parses fine" or "throws NetlistError".
+class MutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationTest, NeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  datagen::DatasetOptions opt;
+  opt.circuits = 1;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const auto circuit = datagen::make_ota_dataset(opt).front();
+  std::string text = write_netlist(circuit.netlist);
+
+  for (int round = 0; round < 20; ++round) {
+    std::string mutated = text;
+    const int op = rng.range(0, 3);
+    if (mutated.size() < 10) break;
+    const std::size_t pos = 1 + rng.index(mutated.size() - 2);
+    switch (op) {
+      case 0: mutated.erase(pos, 1 + rng.index(5)); break;    // delete
+      case 1: mutated.insert(pos, "x"); break;                // insert
+      case 2: mutated[pos] = ' '; break;                      // blank
+      case 3: mutated.resize(pos); break;                     // truncate
+    }
+    try {
+      const auto parsed = parse_netlist(mutated);
+      // If it parsed, downstream stages must also hold up.
+      auto flat = flatten(parsed);
+      preprocess(flat);
+      graph::build_graph(flat);
+    } catch (const NetlistError&) {
+      // Expected for genuinely broken inputs.
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace gana::spice

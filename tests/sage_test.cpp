@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "gcn/layers.hpp"
+#include "gcn/model.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gana::gcn {
+namespace {
+
+GraphSample chain_sample(std::size_t n, std::size_t d, std::uint64_t seed) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i + 1, 1.0});
+    t.push_back({i + 1, i, 1.0});
+  }
+  auto adj = SparseMatrix::from_triplets(n, n, std::move(t));
+  Rng rng(seed);
+  Matrix x = Matrix::randn(n, d, 1.0, rng);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 2);
+  return make_sample(adj, std::move(x), std::move(labels), 0, rng, "chain");
+}
+
+TEST(Sample, PropagationIsRowStochastic) {
+  const auto s = chain_sample(6, 2, 1);
+  ASSERT_EQ(s.prop.size(), 1u);
+  const auto sums = s.prop[0].row_sums();
+  for (double v : sums) EXPECT_NEAR(v, 1.0, 1e-12);
+  ASSERT_EQ(s.prop_t.size(), 1u);
+  EXPECT_EQ(s.prop_t[0].rows(), s.prop[0].cols());
+}
+
+TEST(SageConv, OutputShape) {
+  const auto s = chain_sample(5, 3, 2);
+  Rng rng(3);
+  SageConv conv(3, 4, 0, rng);
+  const Matrix y = conv.forward(s.features, s, false, rng);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 4u);
+}
+
+TEST(SageConv, AggregatesNeighbors) {
+  // Changing a node's features changes its neighbor's output.
+  auto s = chain_sample(4, 2, 4);
+  Rng rng(5);
+  SageConv conv(2, 2, 0, rng);
+  const Matrix y1 = conv.forward(s.features, s, false, rng);
+  s.features(0, 0) += 2.0;
+  const Matrix y2 = conv.forward(s.features, s, false, rng);
+  EXPECT_NE(y1(1, 0), y2(1, 0));  // neighbor of node 0 changed
+  EXPECT_EQ(y1(3, 0), y2(3, 0));  // two hops away: single layer unaffected
+}
+
+TEST(SageConv, GradCheck) {
+  const auto s = chain_sample(5, 3, 6);
+  Rng rng(7);
+  SageConv conv(3, 2, 0, rng);
+  conv.zero_grads();
+  const Matrix y = conv.forward(s.features, s, false, rng);
+  const Matrix dx = conv.backward(y);  // loss = 0.5 ||y||^2
+
+  auto loss = [&](const Matrix& x) {
+    const Matrix out = conv.forward(x, s, false, rng);
+    return 0.5 * frobenius_sq(out);
+  };
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < s.features.size(); ++i) {
+    Matrix xp = s.features, xm = s.features;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2 * eps);
+    EXPECT_NEAR(dx.data()[i], numeric, 1e-5 * std::max(1.0, std::abs(numeric)));
+  }
+  auto params = conv.params();
+  auto grads = conv.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p]->size(); ++i) {
+      const double saved = params[p]->data()[i];
+      params[p]->data()[i] = saved + eps;
+      const double fp = loss(s.features);
+      params[p]->data()[i] = saved - eps;
+      const double fm = loss(s.features);
+      params[p]->data()[i] = saved;
+      EXPECT_NEAR(grads[p]->data()[i], (fp - fm) / (2 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(SageModel, TrainsOnToyTask) {
+  // Two-community graphs, as in the trainer test, with the SAGE operator.
+  Rng gen(8);
+  std::vector<GraphSample> data;
+  for (int c = 0; c < 20; ++c) {
+    const std::size_t half = 4;
+    const std::size_t n = 2 * half;
+    std::vector<Triplet> t;
+    auto connect = [&](std::size_t i, std::size_t j) {
+      t.push_back({i, j, 1.0});
+      t.push_back({j, i, 1.0});
+    };
+    for (std::size_t i = 0; i < half; ++i) {
+      for (std::size_t j = i + 1; j < half; ++j) {
+        connect(i, j);
+        connect(half + i, half + j);
+      }
+    }
+    connect(0, half);
+    auto adj = SparseMatrix::from_triplets(n, n, std::move(t));
+    Matrix x(n, 2);
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int cls = i < half ? 0 : 1;
+      labels[i] = cls;
+      x(i, 0) = (cls == 0 ? 0.6 : -0.6) + gen.normal(0, 1.0);
+      x(i, 1) = gen.normal(0, 1.0);
+    }
+    data.push_back(make_sample(adj, std::move(x), std::move(labels), 0, gen,
+                               "g" + std::to_string(c)));
+  }
+  ModelConfig cfg;
+  cfg.in_features = 2;
+  cfg.num_classes = 2;
+  cfg.conv_kind = ConvKind::SageMean;
+  cfg.conv_channels = {8, 8};
+  cfg.fc_hidden = 16;
+  cfg.dropout = 0.0;
+  cfg.seed = 9;
+  GcnModel model(cfg);
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.patience = 0;
+  const auto result = train(model, data, {}, tc);
+  EXPECT_GT(result.final_train_acc, 0.8);
+}
+
+}  // namespace
+}  // namespace gana::gcn

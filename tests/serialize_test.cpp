@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gcn/serialize.hpp"
+#include "gcn/trainer.hpp"
+
+namespace gana::gcn {
+namespace {
+
+GraphSample tiny_sample(std::uint64_t seed) {
+  std::vector<Triplet> t{{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}};
+  auto adj = SparseMatrix::from_triplets(3, 3, std::move(t));
+  Rng rng(seed);
+  Matrix x = Matrix::randn(3, 4, 1.0, rng);
+  return make_sample(adj, std::move(x), {0, 1, 0}, 0, rng, "tiny");
+}
+
+ModelConfig tiny_config() {
+  ModelConfig cfg;
+  cfg.in_features = 4;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {6, 5};
+  cfg.cheb_k = 3;
+  cfg.fc_hidden = 7;
+  cfg.dropout = 0.25;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  GcnModel model(tiny_config());
+  const auto s = tiny_sample(1);
+  const Matrix before = model.forward(s, false);
+
+  std::stringstream buffer;
+  save_model(model, buffer);
+  GcnModel loaded = load_model(buffer);
+  const Matrix after = loaded.forward(s, false);
+
+  ASSERT_EQ(before.rows(), after.rows());
+  ASSERT_EQ(before.cols(), after.cols());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before.data()[i], after.data()[i], 1e-12);
+  }
+}
+
+TEST(Serialize, RoundTripPreservesConfig) {
+  GcnModel model(tiny_config());
+  std::stringstream buffer;
+  save_model(model, buffer);
+  GcnModel loaded = load_model(buffer);
+  EXPECT_EQ(loaded.config().in_features, 4u);
+  EXPECT_EQ(loaded.config().num_classes, 2u);
+  EXPECT_EQ(loaded.config().conv_channels,
+            (std::vector<std::size_t>{6, 5}));
+  EXPECT_EQ(loaded.config().cheb_k, 3);
+  EXPECT_EQ(loaded.config().fc_hidden, 7u);
+  EXPECT_DOUBLE_EQ(loaded.config().dropout, 0.25);
+}
+
+TEST(Serialize, TrainedWeightsSurvive) {
+  GcnModel model(tiny_config());
+  std::vector<GraphSample> data{tiny_sample(2), tiny_sample(3)};
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.patience = 0;
+  train(model, data, {}, tc);
+  const double acc_before = evaluate_accuracy(model, data);
+
+  std::stringstream buffer;
+  save_model(model, buffer);
+  GcnModel loaded = load_model(buffer);
+  EXPECT_DOUBLE_EQ(evaluate_accuracy(loaded, data), acc_before);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not-a-checkpoint 42");
+  EXPECT_THROW(load_model(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncated) {
+  GcnModel model(tiny_config());
+  std::stringstream buffer;
+  save_model(model, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream half(text);
+  EXPECT_THROW(load_model(half), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  GcnModel model(tiny_config());
+  const std::string path = ::testing::TempDir() + "/gana_model.ckpt";
+  save_model_file(model, path);
+  GcnModel loaded = load_model_file(path);
+  const auto s = tiny_sample(4);
+  const Matrix a = model.forward(s, false);
+  const Matrix b = loaded.forward(s, false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.data()[i], b.data()[i], 1e-12);
+  }
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/no/such/dir/model.ckpt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gana::gcn

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+
+namespace gana::spice {
+namespace {
+
+TEST(Flatten, SingleLevel) {
+  const auto n = parse_netlist(R"(
+.subckt inv in out
+m0 out in gnd! gnd! nmos
+m1 out in vdd! vdd! pmos
+.ends
+x0 a b inv
+.end
+)");
+  const auto flat = flatten(n);
+  EXPECT_TRUE(flat.is_flat());
+  ASSERT_EQ(flat.devices.size(), 2u);
+  EXPECT_EQ(flat.devices[0].name, "x0/m0");
+  EXPECT_EQ(flat.devices[0].pins[kDrain], "b");   // port binding
+  EXPECT_EQ(flat.devices[0].pins[kGate], "a");
+  EXPECT_EQ(flat.devices[0].pins[kSource], "gnd!");  // rail unscoped
+  EXPECT_EQ(flat.devices[0].hier_depth, 1);
+}
+
+TEST(Flatten, NestedTwoLevels) {
+  const auto n = parse_netlist(R"(
+.subckt inv in out
+m0 out in gnd! gnd! nmos
+.ends
+.subckt buf in out
+x0 in mid inv
+x1 mid out inv
+.ends
+xb p q buf
+.end
+)");
+  const auto flat = flatten(n);
+  ASSERT_EQ(flat.devices.size(), 2u);
+  EXPECT_EQ(flat.devices[0].name, "xb/x0/m0");
+  EXPECT_EQ(flat.devices[1].name, "xb/x1/m0");
+  // The internal "mid" net is scoped to the buf instance.
+  EXPECT_EQ(flat.devices[0].pins[kDrain], "xb/mid");
+  EXPECT_EQ(flat.devices[1].pins[kGate], "xb/mid");
+  EXPECT_EQ(flat.devices[1].pins[kDrain], "q");
+  EXPECT_EQ(flat.devices[0].hier_depth, 2);
+}
+
+TEST(Flatten, InternalNetsScopedPerInstance) {
+  const auto n = parse_netlist(R"(
+.subckt stage in out
+m0 out in internal gnd! nmos
+m1 internal in gnd! gnd! nmos
+.ends
+x0 a b stage
+x1 b c stage
+.end
+)");
+  const auto flat = flatten(n);
+  ASSERT_EQ(flat.devices.size(), 4u);
+  EXPECT_EQ(flat.devices[0].pins[kSource], "x0/internal");
+  EXPECT_EQ(flat.devices[2].pins[kSource], "x1/internal");
+}
+
+TEST(Flatten, GlobalNetsNotScoped) {
+  const auto n = parse_netlist(R"(
+.global vbias
+.subckt cell out
+m0 out vbias gnd! gnd! nmos
+.ends
+x0 o1 cell
+x1 o2 cell
+.end
+)");
+  const auto flat = flatten(n);
+  EXPECT_EQ(flat.devices[0].pins[kGate], "vbias");
+  EXPECT_EQ(flat.devices[1].pins[kGate], "vbias");
+}
+
+TEST(Flatten, AlreadyFlatIsIdentityLike) {
+  const auto n = parse_netlist("r1 a b 1k\nm0 d g s b nmos\n.end\n");
+  const auto flat = flatten(n);
+  EXPECT_EQ(flat.devices.size(), n.devices.size());
+  EXPECT_EQ(flat.devices[0].name, "r1");
+  EXPECT_EQ(flat.devices[1].pins, n.devices[1].pins);
+}
+
+TEST(Flatten, Idempotent) {
+  const auto n = parse_netlist(R"(
+.subckt inv in out
+m0 out in gnd! gnd! nmos
+.ends
+x0 a b inv
+r1 a b 1k
+.end
+)");
+  const auto once = flatten(n);
+  const auto twice = flatten(once);
+  ASSERT_EQ(once.devices.size(), twice.devices.size());
+  for (std::size_t i = 0; i < once.devices.size(); ++i) {
+    EXPECT_EQ(once.devices[i].name, twice.devices[i].name);
+    EXPECT_EQ(once.devices[i].pins, twice.devices[i].pins);
+  }
+}
+
+TEST(Flatten, RecursionDetected) {
+  // a instantiates b, b instantiates a.
+  Netlist n;
+  SubcktDef a, bdef;
+  a.name = "a";
+  a.ports = {"p"};
+  a.instances.push_back({"xb", "b", {"p"}});
+  bdef.name = "b";
+  bdef.ports = {"p"};
+  bdef.instances.push_back({"xa", "a", {"p"}});
+  n.subckts["a"] = a;
+  n.subckts["b"] = bdef;
+  n.instances.push_back({"x0", "a", {"top"}});
+  EXPECT_THROW(flatten(n), NetlistError);
+}
+
+TEST(Flatten, PortLabelsPreserved) {
+  const auto n = parse_netlist(R"(
+.portlabel a antenna
+.subckt cell in
+m0 x in gnd! gnd! nmos
+.ends
+x0 a cell
+.end
+)");
+  const auto flat = flatten(n);
+  EXPECT_EQ(flat.port_labels.at("a"), PortLabel::Antenna);
+}
+
+TEST(Flatten, SharedParentNetAcrossSiblings) {
+  const auto n = parse_netlist(R"(
+.subckt load out
+r0 vdd! out 1k
+.ends
+x0 shared load
+x1 shared load
+.end
+)");
+  const auto flat = flatten(n);
+  EXPECT_EQ(flat.devices[0].pins[1], "shared");
+  EXPECT_EQ(flat.devices[1].pins[1], "shared");
+}
+
+}  // namespace
+}  // namespace gana::spice

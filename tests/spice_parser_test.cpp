@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "spice/number.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+
+namespace gana::spice {
+namespace {
+
+TEST(Number, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(*parse_number("10"), 10.0);
+  EXPECT_DOUBLE_EQ(*parse_number("1e-12"), 1e-12);
+  EXPECT_DOUBLE_EQ(*parse_number("-2.5"), -2.5);
+}
+
+TEST(Number, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse_number("2k"), 2e3);
+  EXPECT_DOUBLE_EQ(*parse_number("10MEG"), 10e6);
+  EXPECT_DOUBLE_EQ(*parse_number("3u"), 3e-6);
+  EXPECT_DOUBLE_EQ(*parse_number("5n"), 5e-9);
+  EXPECT_DOUBLE_EQ(*parse_number("7p"), 7e-12);
+  EXPECT_DOUBLE_EQ(*parse_number("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(*parse_number("4m"), 4e-3);
+  EXPECT_DOUBLE_EQ(*parse_number("1g"), 1e9);
+  EXPECT_DOUBLE_EQ(*parse_number("2t"), 2e12);
+}
+
+TEST(Number, UnitLettersIgnored) {
+  EXPECT_DOUBLE_EQ(*parse_number("10pF"), 10e-12);
+  EXPECT_DOUBLE_EQ(*parse_number("2kohm"), 2e3);
+  EXPECT_DOUBLE_EQ(*parse_number("1.2v"), 1.2);
+}
+
+TEST(Number, Invalid) {
+  EXPECT_FALSE(parse_number("abc").has_value());
+  EXPECT_FALSE(parse_number("").has_value());
+}
+
+TEST(Parser, MinimalMos) {
+  const auto n = parse_netlist(R"(
+* test
+m0 d g s b nmos w=1u l=45n
+.end
+)");
+  ASSERT_EQ(n.devices.size(), 1u);
+  const Device& d = n.devices[0];
+  EXPECT_EQ(d.name, "m0");
+  EXPECT_EQ(d.type, DeviceType::Nmos);
+  ASSERT_EQ(d.pins.size(), 4u);
+  EXPECT_EQ(d.pins[kDrain], "d");
+  EXPECT_EQ(d.pins[kGate], "g");
+  EXPECT_EQ(d.pins[kSource], "s");
+  EXPECT_EQ(d.pins[kBody], "b");
+  EXPECT_DOUBLE_EQ(d.params.at("w"), 1e-6);
+  EXPECT_DOUBLE_EQ(d.params.at("l"), 45e-9);
+}
+
+TEST(Parser, PmosFromModelName) {
+  const auto n = parse_netlist("m1 d g s b pch_lvt\n.end\n");
+  EXPECT_EQ(n.devices[0].type, DeviceType::Pmos);
+}
+
+TEST(Parser, ModelCardOverridesHeuristic) {
+  const auto n = parse_netlist(R"(
+.model weird nmos
+m1 d g s b weird
+.end
+)");
+  EXPECT_EQ(n.devices[0].type, DeviceType::Nmos);
+}
+
+TEST(Parser, Passives) {
+  const auto n = parse_netlist(R"(
+r1 a b 10k
+c1 a 0 2p
+l1 b 0 3n
+.end
+)");
+  ASSERT_EQ(n.devices.size(), 3u);
+  EXPECT_EQ(n.devices[0].type, DeviceType::Resistor);
+  EXPECT_DOUBLE_EQ(n.devices[0].value, 10e3);
+  EXPECT_EQ(n.devices[1].type, DeviceType::Capacitor);
+  EXPECT_DOUBLE_EQ(n.devices[1].value, 2e-12);
+  EXPECT_EQ(n.devices[2].type, DeviceType::Inductor);
+}
+
+TEST(Parser, Sources) {
+  const auto n = parse_netlist(R"(
+v1 vdd! 0 dc 1.2
+i1 vdd! nb 10u
+.end
+)");
+  EXPECT_EQ(n.devices[0].type, DeviceType::VSource);
+  EXPECT_DOUBLE_EQ(n.devices[0].value, 1.2);
+  EXPECT_EQ(n.devices[1].type, DeviceType::ISource);
+  EXPECT_DOUBLE_EQ(n.devices[1].value, 10e-6);
+}
+
+TEST(Parser, Continuations) {
+  const auto n = parse_netlist("m0 d g\n+ s b\n+ nmos w=1u\n.end\n");
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_EQ(n.devices[0].model, "nmos");
+}
+
+TEST(Parser, CommentsStripped) {
+  const auto n = parse_netlist(R"(
+* full line comment
+r1 a b 1k $ inline comment
+r2 a b 2k ; another style
+.end
+)");
+  EXPECT_EQ(n.devices.size(), 2u);
+  EXPECT_DOUBLE_EQ(n.devices[1].value, 2e3);
+}
+
+TEST(Parser, SubcktRoundTrip) {
+  const auto n = parse_netlist(R"(
+.subckt myota inp inn out
+m0 out inp tail gnd! nmos
+m1 x inn tail gnd! nmos
+.ends
+x0 a b c myota
+.end
+)");
+  ASSERT_EQ(n.subckts.size(), 1u);
+  const auto& def = n.subckts.at("myota");
+  EXPECT_EQ(def.ports.size(), 3u);
+  EXPECT_EQ(def.devices.size(), 2u);
+  ASSERT_EQ(n.instances.size(), 1u);
+  EXPECT_EQ(n.instances[0].subckt, "myota");
+  EXPECT_EQ(n.instances[0].nets.size(), 3u);
+}
+
+TEST(Parser, PortLabels) {
+  const auto n = parse_netlist(R"(
+.portlabel rfin antenna
+.portlabel lo1 lo
+.portlabel vb bias
+r1 rfin lo1 50
+.end
+)");
+  EXPECT_EQ(n.port_labels.at("rfin"), PortLabel::Antenna);
+  EXPECT_EQ(n.port_labels.at("lo1"), PortLabel::LocalOsc);
+  EXPECT_EQ(n.port_labels.at("vb"), PortLabel::Bias);
+}
+
+TEST(Parser, ParamSubstitution) {
+  const auto n = parse_netlist(R"(
+.param wn=2u rload=10k
+m0 d g s b nmos w=wn l=100n
+r1 d g rload
+.end
+)");
+  EXPECT_DOUBLE_EQ(n.devices[0].params.at("w"), 2e-6);
+  EXPECT_DOUBLE_EQ(n.devices[1].value, 10e3);
+}
+
+TEST(Parser, ParamReferencesEarlierParam) {
+  const auto n = parse_netlist(R"(
+.param base=1k
+.param big=base
+r1 a b big
+.end
+)");
+  EXPECT_DOUBLE_EQ(n.devices[0].value, 1e3);
+}
+
+TEST(Parser, ParamQuotedReference) {
+  const auto n = parse_netlist(R"(
+.param cw=4u
+m0 d g s b nmos w={cw}
+.end
+)");
+  EXPECT_DOUBLE_EQ(n.devices[0].params.at("w"), 4e-6);
+}
+
+TEST(Parser, UndefinedParamIsError) {
+  EXPECT_THROW(parse_netlist("* t\nr1 a b nosuchparam\n.end\n"), ParseError);
+}
+
+TEST(Parser, MalformedParamDirective) {
+  EXPECT_THROW(parse_netlist("* t\n.param justname\n.end\n"), ParseError);
+}
+
+TEST(Parser, GlobalNets) {
+  const auto n = parse_netlist(".global vdd! gnd!\nr1 vdd! gnd! 1k\n.end\n");
+  EXPECT_TRUE(n.globals.count("vdd!"));
+  EXPECT_TRUE(n.globals.count("gnd!"));
+}
+
+TEST(Parser, TitleLine) {
+  const auto n = parse_netlist("my amazing circuit\nr1 a b 1\n.end\n");
+  EXPECT_EQ(n.title, "my amazing circuit");
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("* title\nr1 a b\n.end\n");  // missing value on line 2
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsUnknownCard) {
+  // The q card is on line 2, past the title position.
+  EXPECT_THROW(parse_netlist("* title\nq1 a b c pnp\n.end\n"), ParseError);
+}
+
+TEST(Parser, ProseTitleStartingWithDeviceLetter) {
+  // "my amazing circuit" starts with 'm' but has too few tokens to be a
+  // MOS card: treated as the title.
+  const auto n = parse_netlist("my amazing circuit v2\nr1 a b 1k\n.end\n");
+  EXPECT_EQ(n.title, "my amazing circuit v2");
+  EXPECT_EQ(n.devices.size(), 1u);
+}
+
+TEST(Parser, RejectsUnterminatedSubckt) {
+  EXPECT_THROW(parse_netlist(".subckt foo a\nr1 a b 1\n.end\n"), ParseError);
+}
+
+TEST(Parser, RejectsBadPortLabel) {
+  EXPECT_THROW(parse_netlist(".portlabel x banana\n.end\n"), ParseError);
+}
+
+TEST(Parser, RejectsInstanceOfUndefinedSubckt) {
+  EXPECT_THROW(parse_netlist("x0 a b nosuch\n.end\n"), NetlistError);
+}
+
+TEST(Parser, RejectsPortCountMismatch) {
+  EXPECT_THROW(parse_netlist(R"(
+.subckt two a b
+r1 a b 1k
+.ends
+x0 n1 two
+.end
+)"),
+               NetlistError);
+}
+
+TEST(Writer, RoundTripPreservesStructure) {
+  const auto original = parse_netlist(R"(
+.global vdd!
+.portlabel in input
+.subckt inv in out
+m0 out in gnd! gnd! nmos w=1u l=50n
+m1 out in vdd! vdd! pmos w=2u l=50n
+.ends
+x0 in mid inv
+x1 mid out inv
+c1 out 0 10f
+.end
+)");
+  const auto reparsed = parse_netlist(write_netlist(original));
+  EXPECT_EQ(reparsed.subckts.size(), original.subckts.size());
+  EXPECT_EQ(reparsed.instances.size(), original.instances.size());
+  EXPECT_EQ(reparsed.devices.size(), original.devices.size());
+  EXPECT_EQ(reparsed.port_labels.size(), original.port_labels.size());
+  EXPECT_EQ(reparsed.globals, original.globals);
+  EXPECT_EQ(reparsed.subckts.at("inv").devices[0].params.at("w"), 1e-6);
+}
+
+TEST(Netlist, ConnectivityMap) {
+  const auto n = parse_netlist("r1 a b 1k\nr2 b c 1k\n.end\n");
+  const auto conn = n.connectivity();
+  EXPECT_EQ(conn.at("b").size(), 2u);
+  EXPECT_EQ(conn.at("a").size(), 1u);
+}
+
+TEST(Netlist, NetsSorted) {
+  const auto n = parse_netlist("r1 z a 1k\nr2 a m 1k\n.end\n");
+  const auto nets = n.nets();
+  ASSERT_EQ(nets.size(), 3u);
+  EXPECT_EQ(nets[0], "a");
+  EXPECT_EQ(nets[2], "z");
+}
+
+TEST(Netlist, RailClassification) {
+  EXPECT_TRUE(is_supply_net("vdd!"));
+  EXPECT_TRUE(is_supply_net("VDD"));
+  EXPECT_TRUE(is_supply_net("avdd2"));
+  EXPECT_TRUE(is_ground_net("0"));
+  EXPECT_TRUE(is_ground_net("gnd!"));
+  EXPECT_TRUE(is_ground_net("vss"));
+  EXPECT_FALSE(is_supply_net("vout"));
+  EXPECT_FALSE(is_ground_net("vin"));
+}
+
+}  // namespace
+}  // namespace gana::spice

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+#include "spice/preprocess.hpp"
+
+namespace gana::spice {
+namespace {
+
+Netlist parse_flat(const std::string& text) {
+  return flatten(parse_netlist(text));
+}
+
+TEST(Preprocess, MergesParallelMos) {
+  auto n = parse_flat(R"(
+m0 d g s gnd! nmos w=1u
+m1 d g s gnd! nmos w=1u
+m2 d g s gnd! nmos w=1u
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_parallel, 2u);
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(n.devices[0].multiplicity(), 3.0);
+  EXPECT_EQ(report.alias.at("m1"), "m0");
+  EXPECT_EQ(report.alias.at("m2"), "m0");
+}
+
+TEST(Preprocess, ParallelMosWithSwappedSourceDrain) {
+  auto n = parse_flat(R"(
+m0 a g b gnd! nmos
+m1 b g a gnd! nmos
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_parallel, 1u);
+  EXPECT_EQ(n.devices.size(), 1u);
+}
+
+TEST(Preprocess, DoesNotMergeDifferentGates) {
+  auto n = parse_flat(R"(
+m0 d g1 s gnd! nmos
+m1 d g2 s gnd! nmos
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_parallel, 0u);
+  EXPECT_EQ(n.devices.size(), 2u);
+}
+
+TEST(Preprocess, MergesParallelCapsSummingValue) {
+  auto n = parse_flat("c0 a b 1p\nc1 b a 2p\n.end\n");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_parallel, 1u);
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_NEAR(n.devices[0].value, 3e-12, 1e-18);
+}
+
+TEST(Preprocess, MergesSeriesMosStack) {
+  // Two stacked devices sharing a gate through internal node x.
+  auto n = parse_flat(R"(
+m0 d g x gnd! nmos l=100n
+m1 x g s gnd! nmos l=100n
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_series, 1u);
+  ASSERT_EQ(n.devices.size(), 1u);
+  // Outer terminals survive; channel length adds.
+  const auto& pins = n.devices[0].pins;
+  EXPECT_TRUE((pins[kDrain] == "d" && pins[kSource] == "s") ||
+              (pins[kDrain] == "s" && pins[kSource] == "d"));
+  EXPECT_NEAR(n.devices[0].params.at("l"), 200e-9, 1e-12);
+}
+
+TEST(Preprocess, SeriesMergeSkipsSharedNode) {
+  // Node x also feeds a third device: not a pure series stack.
+  auto n = parse_flat(R"(
+m0 d g x gnd! nmos
+m1 x g s gnd! nmos
+m2 y x gnd! gnd! nmos
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_series, 0u);
+  EXPECT_EQ(n.devices.size(), 3u);
+}
+
+TEST(Preprocess, MergesSeriesResistors) {
+  auto n = parse_flat("r0 a x 1k\nr1 x b 2k\n.end\n");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_series, 1u);
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(n.devices[0].value, 3e3);
+}
+
+TEST(Preprocess, SeriesMergePreservesLabeledNets) {
+  // Net "x" is port-labeled: must not be merged away.
+  auto n = parse_flat(R"(
+.portlabel x output
+r0 a x 1k
+r1 x b 2k
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_series, 0u);
+}
+
+TEST(Preprocess, RemovesShortedDummies) {
+  auto n = parse_flat(R"(
+m0 out in gnd! gnd! nmos
+m1 x x x gnd! nmos
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.removed_dummies, 1u);
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_EQ(n.devices[0].name, "m0");
+  EXPECT_EQ(report.alias.at("m1"), "");
+}
+
+TEST(Preprocess, RemovesRailParkedDummies) {
+  auto n = parse_flat(R"(
+m0 out in gnd! gnd! nmos
+m1 gnd! gnd! gnd! gnd! nmos
+m2 vdd! vdd! vdd! vdd! pmos
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.removed_dummies, 2u);
+  EXPECT_EQ(n.devices.size(), 1u);
+}
+
+TEST(Preprocess, RemovesDecaps) {
+  auto n = parse_flat(R"(
+c0 vdd! gnd! 10p
+c1 a b 1p
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.removed_decaps, 1u);
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_EQ(n.devices[0].name, "c1");
+}
+
+TEST(Preprocess, KeepsFunctionalCircuitIntact) {
+  // A 5T OTA: nothing should be merged or removed.
+  auto n = parse_flat(R"(
+mt tail vbn gnd! gnd! nmos
+m1 x vinp tail gnd! nmos
+m2 out vinn tail gnd! nmos
+m3 x x vdd! vdd! pmos
+m4 out x vdd! vdd! pmos
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.total_removed(), 0u);
+  EXPECT_EQ(n.devices.size(), 5u);
+}
+
+TEST(Preprocess, OptionsDisablePasses) {
+  auto n = parse_flat("c0 vdd! gnd! 10p\nm0 d g d gnd! nmos\n.end\n");
+  PreprocessOptions opt;
+  opt.remove_decaps = false;
+  opt.remove_dummies = false;
+  const auto report = preprocess(n, opt);
+  EXPECT_EQ(report.total_removed(), 0u);
+  EXPECT_EQ(n.devices.size(), 2u);
+}
+
+TEST(Preprocess, CascadesToFixpoint) {
+  // Three parallel pairs that become series-mergeable after folding.
+  auto n = parse_flat(R"(
+m0 d g x gnd! nmos l=100n
+m1 d g x gnd! nmos l=100n
+m2 x g s gnd! nmos l=100n
+m3 x g s gnd! nmos l=100n
+.end
+)");
+  const auto report = preprocess(n);
+  EXPECT_EQ(report.merged_parallel, 2u);
+  EXPECT_EQ(report.merged_series, 1u);
+  EXPECT_EQ(n.devices.size(), 1u);
+}
+
+TEST(Preprocess, RequiresFlatNetlist) {
+  auto n = parse_netlist(R"(
+.subckt c a
+r0 a x 1
+.ends
+x0 b c
+.end
+)");
+  EXPECT_THROW(preprocess(n), NetlistError);
+}
+
+}  // namespace
+}  // namespace gana::spice

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace gana {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next_u64() != b.next_u64()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, IndexInBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(15);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.range(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Strings, ToLowerUpper) {
+  EXPECT_EQ(to_lower("Vdd!"), "vdd!");
+  EXPECT_EQ(to_upper("m0"), "M0");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitWs) {
+  const auto t = split_ws("  m0  net1\tnet2 \n");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "m0");
+  EXPECT_EQ(t[2], "net2");
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Strings, SplitDelim) {
+  const auto t = split("a=b", '=');
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "b");
+  EXPECT_EQ(split("==", '=').size(), 3u);  // empty fields kept
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("vdd!", "vdd"));
+  EXPECT_FALSE(starts_with("vd", "vdd"));
+  EXPECT_TRUE(ends_with("file.sp", ".sp"));
+  EXPECT_FALSE(ends_with("sp", ".sp"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "count"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name   | count"), std::string::npos);
+  EXPECT_NE(s.find("longer | 22"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.905, 1), "90.5%");
+}
+
+TEST(Args, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "input.sp", "--k", "32", "--mode=fast",
+                        "--verbose"};
+  Args args(6, argv);
+  EXPECT_EQ(args.get_int("k", 0), 32);
+  EXPECT_EQ(args.get("mode"), "fast");
+  EXPECT_TRUE(args.has("verbose"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.sp");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_EQ(args.get_double("missing", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace gana

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "isomorph/vf2.hpp"
+#include "primitives/library.hpp"
+#include "spice/flatten.hpp"
+#include "spice/parser.hpp"
+#include "util/rng.hpp"
+
+namespace gana::iso {
+namespace {
+
+using graph::CircuitGraph;
+
+CircuitGraph graph_of(const std::string& text) {
+  return graph::build_graph(spice::flatten(spice::parse_netlist(text)));
+}
+
+/// Pattern with no strict nets.
+Pattern loose(const CircuitGraph& g) {
+  return {&g, std::vector<bool>(g.vertex_count(), false), {}};
+}
+
+TEST(Vf2, FindsCurrentMirrorInsideOta) {
+  // Paper Fig. 3: the CM-N(2) of Fig. 2 is a subgraph of the OTA.
+  const auto ota = graph_of(R"(
+m0 n1 n1 gnd! gnd! nmos
+m1 id n1 gnd! gnd! nmos
+m2 voutp vinp id gnd! nmos
+m3 voutn vinn id gnd! nmos
+m4 voutp vbp vdd! vdd! pmos
+m5 voutn vbp vdd! vdd! pmos
+.end
+)");
+  const auto cm = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  const auto matches = find_subgraph_matches(loose(cm), ota);
+  ASSERT_EQ(matches.size(), 1u);
+  // The match covers m0 and m1 (element vertices 0 and 1 of the target).
+  const auto key = matches[0].element_key(cm);
+  EXPECT_EQ(key, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Vf2, EdgeLabelsBlockDiodeMismatch) {
+  // A differential pair is NOT a current mirror: no diode edge.
+  const auto dp = graph_of(R"(
+m0 outp inp tail gnd! nmos
+m1 outn inn tail gnd! nmos
+.end
+)");
+  const auto cm = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  EXPECT_FALSE(contains_subgraph(loose(cm), dp));
+}
+
+TEST(Vf2, DifferentialPairDoesNotMatchMirror) {
+  // Converse of the above: DP pattern in a mirror target fails because
+  // the mirror devices share one gate net (injectivity).
+  const auto cm = graph_of(R"(
+m0 d1 d1 s gnd! nmos
+m1 d2 d1 s gnd! nmos
+.end
+)");
+  const auto dp = graph_of(R"(
+mm0 outp inp tail gnd! nmos
+mm1 outn inn tail gnd! nmos
+.end
+)");
+  EXPECT_FALSE(contains_subgraph(loose(dp), cm));
+}
+
+TEST(Vf2, SourceDrainSymmetryHandled) {
+  // Target device written with swapped source/drain still matches.
+  const auto target = graph_of("m0 s g d gnd! nmos\n.end\n");
+  const auto pattern = graph_of("mm0 d g s gnd! nmos\n.end\n");
+  EXPECT_TRUE(contains_subgraph(loose(pattern), target));
+}
+
+TEST(Vf2, DeviceTypeMismatchRejected) {
+  const auto target = graph_of("m0 d g s vdd! pmos\n.end\n");
+  const auto pattern = graph_of("mm0 d g s gnd! nmos\n.end\n");
+  EXPECT_FALSE(contains_subgraph(loose(pattern), target));
+}
+
+TEST(Vf2, RailRolesMustMatch) {
+  // Pattern net gnd! must bind to a ground net, not to vdd!.
+  const auto target = graph_of("m0 out in vdd! gnd! nmos\n.end\n");
+  const auto pattern = graph_of("mm0 out in gnd! gnd! nmos\n.end\n");
+  EXPECT_FALSE(contains_subgraph(loose(pattern), target));
+}
+
+TEST(Vf2, GenericPatternNetCanBindRail) {
+  // A non-rail pattern port may match a rail in the target (grounded
+  // mirror source).
+  const auto target = graph_of(R"(
+m0 d1 d1 gnd! gnd! nmos
+m1 d2 d1 gnd! gnd! nmos
+.end
+)");
+  const auto pattern = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  EXPECT_TRUE(contains_subgraph(loose(pattern), target));
+}
+
+TEST(Vf2, StrictDegreeRejectsExtraFanout) {
+  // Pattern: R-C series with internal node x (strict). Target has a tap
+  // on the internal node, so no match.
+  const auto pat_graph = graph_of("r0 a x 1k\nc0 x b 1p\n.end\n");
+  Pattern strict{&pat_graph,
+                 std::vector<bool>(pat_graph.vertex_count(), false), {}};
+  const std::size_t x = pat_graph.find_net("x");
+  strict.strict_degree[x] = true;
+
+  const auto clean = graph_of("r0 a x 1k\nc0 x b 1p\n.end\n");
+  EXPECT_TRUE(contains_subgraph(strict, clean));
+
+  const auto tapped = graph_of("r0 a x 1k\nc0 x b 1p\nr1 x c 1k\n.end\n");
+  EXPECT_FALSE(contains_subgraph(strict, tapped));
+  // Without strictness the tapped target matches.
+  EXPECT_TRUE(contains_subgraph(loose(pat_graph), tapped));
+}
+
+TEST(Vf2, EnumeratesAllInstances) {
+  // Two disjoint mirrors -> two matches.
+  const auto target = graph_of(R"(
+m0 a a s1 gnd! nmos
+m1 b a s1 gnd! nmos
+m2 c c s2 gnd! nmos
+m3 e c s2 gnd! nmos
+.end
+)");
+  const auto cm = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  const auto matches = find_subgraph_matches(loose(cm), target);
+  EXPECT_EQ(matches.size(), 2u);
+  std::set<std::vector<std::size_t>> keys;
+  for (const auto& m : matches) keys.insert(m.element_key(cm));
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST(Vf2, DedupCollapsesAutomorphicImages) {
+  // A diff pair has an automorphism (m0<->m1): one match after dedup.
+  const auto target = graph_of(R"(
+m0 outp inp tail gnd! nmos
+m1 outn inn tail gnd! nmos
+.end
+)");
+  const auto dp = graph_of(R"(
+mm0 op ip t gnd! nmos
+mm1 on in2 t gnd! nmos
+.end
+)");
+  const auto matches = find_subgraph_matches(loose(dp), target);
+  EXPECT_EQ(matches.size(), 1u);
+  MatchOptions opt;
+  opt.dedup_by_elements = false;
+  const auto raw = find_subgraph_matches(loose(dp), target, opt);
+  EXPECT_GE(raw.size(), 2u);  // both orientations enumerated
+}
+
+TEST(Vf2, MaxMatchesRespected) {
+  const auto target = graph_of(R"(
+m0 a a s gnd! nmos
+m1 b a s gnd! nmos
+m2 c c s2 gnd! nmos
+m3 e c s2 gnd! nmos
+.end
+)");
+  const auto cm = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  MatchOptions opt;
+  opt.max_matches = 1;
+  EXPECT_EQ(find_subgraph_matches(loose(cm), target, opt).size(), 1u);
+}
+
+TEST(Vf2, EmptyPatternYieldsNothing) {
+  const auto target = graph_of("r0 a b 1k\n.end\n");
+  CircuitGraph empty;
+  Pattern p{&empty, {}, {}};
+  EXPECT_TRUE(find_subgraph_matches(p, target).empty());
+}
+
+// Property test: a randomly generated "background" circuit with a planted
+// current mirror always yields at least the planted instance, regardless
+// of device name order and s/d orientation.
+class PlantedPatternTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlantedPatternTest, PlantedMirrorAlwaysFound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::string text;
+  // Random background devices (non-diode so they cannot clash with the
+  // planted mirror's diode edge).
+  const int background = 3 + GetParam() % 5;
+  for (int i = 0; i < background; ++i) {
+    text += "mb" + std::to_string(i) + " n" + std::to_string(rng.index(6)) +
+            " g" + std::to_string(rng.index(6)) + " n" +
+            std::to_string(rng.index(6)) + " gnd! nmos\n";
+  }
+  // Planted mirror, with randomized s/d pin order on the output device.
+  text += "mp0 md md ms gnd! nmos\n";
+  if (rng.chance(0.5)) {
+    text += "mp1 mo md ms gnd! nmos\n";
+  } else {
+    text += "mp1 ms md mo gnd! nmos\n";  // swapped source/drain
+  }
+  text += ".end\n";
+
+  const auto target = graph_of(text);
+  const auto cm = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  const auto matches = find_subgraph_matches(loose(cm), target);
+  // The planted instance must be among the matches.
+  bool found = false;
+  const std::size_t planted0 = static_cast<std::size_t>(background);
+  for (const auto& m : matches) {
+    const auto key = m.element_key(cm);
+    if (key == std::vector<std::size_t>{planted0, planted0 + 1}) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlantedPatternTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace gana::iso
