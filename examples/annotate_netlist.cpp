@@ -2,13 +2,19 @@
 // on the matching synthetic dataset, and prints the hierarchy tree,
 // primitives, and constraints.
 //
-//   ./annotate_netlist my_circuit.sp [--domain ota|rf] [--train]
-//                      [--circuits 150] [--epochs 25] [--svg out.svg]
+//   ./annotate_netlist circuit.sp [more.sp ...] [--domain ota|rf]
+//                      [--train] [--circuits 150] [--epochs 25]
+//                      [--jobs N] [--svg out.svg]
 //                      [--save-model m.ckpt] [--load-model m.ckpt]
 //
 // Without --train the pipeline runs model-free (cluster classes come from
 // the uniform vote), which still exercises primitive annotation and
 // hierarchy extraction.
+//
+// --jobs N: with several input files, annotates them in parallel on N
+// worker threads (bit-identical to the sequential run); with a single
+// file, enables N-way row-parallel sparse products inside the GCN.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -16,6 +22,7 @@
 #include "gana.hpp"
 #include "gcn/serialize.hpp"
 #include "util/args.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -59,17 +66,22 @@ int main(int argc, char** argv) {
   const gana::Args args(argc, argv);
   if (args.positional().empty()) {
     std::printf(
-        "usage: annotate_netlist <file.sp> [--domain ota|rf] [--train]\n"
+        "usage: annotate_netlist <file.sp> [more.sp ...]\n"
+        "                        [--domain ota|rf] [--train]\n"
         "                        [--circuits 150] [--epochs 25]\n"
-        "                        [--svg layout.svg]\n");
+        "                        [--jobs N] [--svg layout.svg]\n");
     return 1;
   }
-  const std::string path = args.positional()[0];
+  const std::vector<std::string> paths = args.positional();
   const std::string domain = args.get("domain", "ota");
+  const std::size_t jobs =
+      static_cast<std::size_t>(std::max(args.get_int("jobs", 1), 0));
 
-  gana::spice::Netlist netlist;
+  std::vector<gana::spice::Netlist> netlists;
   try {
-    netlist = gana::spice::parse_netlist_file(path);
+    for (const auto& p : paths) {
+      netlists.push_back(gana::spice::parse_netlist_file(p));
+    }
   } catch (const gana::spice::NetlistError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -95,23 +107,55 @@ int main(int argc, char** argv) {
       domain == "rf" ? gana::datagen::rf_class_names()
                      : std::vector<std::string>{"ota", "bias"};
   gana::core::Annotator annotator(model.get(), classes);
-  const auto result = annotator.annotate(netlist, path);
+  gana::core::BatchResult batch;
+  try {
+    if (paths.size() == 1) {
+      // One circuit: parallelism goes inside the pipeline (row-parallel
+      // sparse products in the Chebyshev convolutions).
+      gana::set_compute_threads(jobs);
+      batch = gana::core::BatchRunner(annotator).run(netlists, paths);
+      gana::set_compute_threads(1);
+    } else {
+      gana::core::BatchOptions bopt;
+      bopt.jobs = jobs;
+      batch = gana::core::BatchRunner(annotator, bopt).run(netlists, paths);
+    }
+  } catch (const gana::spice::NetlistError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
-  std::printf("\n== %s ==\n", path.c_str());
-  std::printf("devices %zu  nets %zu  CCCs %zu  primitives %zu\n",
-              result.prepared.flat.devices.size(),
-              result.prepared.flat.nets().size(), result.ccc.count,
-              result.post.primitives.size());
-  std::printf("preprocessing removed %zu cards (parallel %zu, series %zu, "
-              "dummies %zu, decaps %zu)\n",
-              result.prepared.preprocess_report.total_removed(),
-              result.prepared.preprocess_report.merged_parallel,
-              result.prepared.preprocess_report.merged_series,
-              result.prepared.preprocess_report.removed_dummies,
-              result.prepared.preprocess_report.removed_decaps);
+  for (const auto& result : batch.results) {
+    std::printf("\n== %s ==\n", result.prepared.name.c_str());
+    std::printf("devices %zu  nets %zu  CCCs %zu  primitives %zu\n",
+                result.prepared.flat.devices.size(),
+                result.prepared.flat.nets().size(), result.ccc.count,
+                result.post.primitives.size());
+    std::printf("preprocessing removed %zu cards (parallel %zu, series %zu, "
+                "dummies %zu, decaps %zu)\n",
+                result.prepared.preprocess_report.total_removed(),
+                result.prepared.preprocess_report.merged_parallel,
+                result.prepared.preprocess_report.merged_series,
+                result.prepared.preprocess_report.removed_dummies,
+                result.prepared.preprocess_report.removed_decaps);
 
-  std::printf("\n%s\n", gana::core::to_string(result.hierarchy).c_str());
+    std::printf("\n%s\n", gana::core::to_string(result.hierarchy).c_str());
+  }
 
+  std::printf("annotated %zu circuit%s on %zu worker%s in %.1f ms "
+              "(CPU: prepare %.1f, gcn %.1f, post %.1f ms)\n",
+              batch.results.size(), batch.results.size() == 1 ? "" : "s",
+              batch.jobs, batch.jobs == 1 ? "" : "s",
+              batch.timings.wall_seconds * 1e3,
+              batch.timings.prepare_seconds * 1e3,
+              batch.timings.gcn_seconds * 1e3,
+              batch.timings.post_seconds * 1e3);
+
+  const auto& result = batch.results.front();
+  if (paths.size() > 1 &&
+      (args.has("svg") || args.has("json") || args.has("dot"))) {
+    std::printf("note: --svg/--json/--dot export the first file only\n");
+  }
   if (args.has("svg")) {
     const auto placement =
         gana::layout::place_hierarchy(result.hierarchy, result.prepared.flat);

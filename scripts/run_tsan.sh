@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Builds the concurrency tests with ThreadSanitizer and runs them.
+# Usage: scripts/run_tsan.sh  (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" \
+  --target thread_pool_test batch_determinism_test
+ctest --preset tsan

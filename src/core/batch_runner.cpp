@@ -1,0 +1,116 @@
+#include "core/batch_runner.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace gana::core {
+
+std::uint64_t task_seed(std::uint64_t root, std::size_t index) {
+  // splitmix64 finalizer over the root seed advanced by the task index.
+  std::uint64_t z =
+      root + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+double stage_weighted_acc(const std::vector<AnnotateResult>& results,
+                          double AnnotateResult::*acc) {
+  double correct = 0.0;
+  double counted = 0.0;
+  for (const auto& r : results) {
+    std::size_t with_truth = 0;
+    for (int l : r.prepared.labels) {
+      if (l >= 0) ++with_truth;
+    }
+    correct += r.*acc * static_cast<double>(with_truth);
+    counted += static_cast<double>(with_truth);
+  }
+  return counted > 0.0 ? correct / counted : 0.0;
+}
+
+}  // namespace
+
+double BatchResult::mean_acc_gcn() const {
+  return stage_weighted_acc(results, &AnnotateResult::acc_gcn);
+}
+double BatchResult::mean_acc_post1() const {
+  return stage_weighted_acc(results, &AnnotateResult::acc_post1);
+}
+double BatchResult::mean_acc_post2() const {
+  return stage_weighted_acc(results, &AnnotateResult::acc_post2);
+}
+
+BatchRunner::BatchRunner(const Annotator& annotator, BatchOptions options)
+    : annotator_(&annotator), options_(options) {}
+
+std::size_t BatchRunner::resolved_jobs() const {
+  if (options_.jobs != 0) return options_.jobs;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+template <typename Task>
+BatchResult BatchRunner::dispatch(std::size_t count, const Task& task) const {
+  BatchResult out;
+  out.jobs = resolved_jobs();
+  out.results.resize(count);
+
+  Timer wall;
+  if (out.jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) out.results[i] = task(i);
+  } else {
+    // One task per circuit; each writes only its own slot, so completion
+    // order is irrelevant to the result.
+    ThreadPool pool(std::min(out.jobs, count));
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      futures.push_back(pool.submit(
+          [&task, &out, i]() { out.results[i] = task(i); }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+      try {
+        pool.wait(f);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  out.timings.wall_seconds = wall.seconds();
+  for (const auto& r : out.results) {
+    out.timings.prepare_seconds += r.seconds_prepare;
+    out.timings.gcn_seconds += r.seconds_gcn;
+    out.timings.post_seconds += r.seconds_post;
+  }
+  return out;
+}
+
+BatchResult BatchRunner::run(
+    const std::vector<datagen::LabeledCircuit>& batch) const {
+  const Annotator& annotator = *annotator_;
+  const std::uint64_t root = options_.seed;
+  return dispatch(batch.size(), [&annotator, &batch, root](std::size_t i) {
+    return annotator.annotate(batch[i], task_seed(root, i));
+  });
+}
+
+BatchResult BatchRunner::run(const std::vector<spice::Netlist>& netlists,
+                             const std::vector<std::string>& names) const {
+  const Annotator& annotator = *annotator_;
+  const std::uint64_t root = options_.seed;
+  return dispatch(
+      netlists.size(), [&annotator, &netlists, &names, root](std::size_t i) {
+        const std::string name =
+            i < names.size() ? names[i] : "batch/" + std::to_string(i);
+        return annotator.annotate(netlists[i], name, task_seed(root, i));
+      });
+}
+
+}  // namespace gana::core

@@ -1,0 +1,88 @@
+// Parallel batched annotation runtime.
+//
+// Fans a batch of netlists out across a work-stealing thread pool; each
+// worker runs the full pipeline (flatten -> preprocess -> graph ->
+// features -> GCN inference -> VF2 primitives -> postprocessing ->
+// hierarchy) independently against a shared read-only Annotator (model
+// weights + primitive library).
+//
+// Determinism guarantee: results are bit-identical to the sequential
+// path regardless of thread count --
+//   * every circuit is a self-contained task writing only results[i];
+//   * each task's sample Rng stream is derived from (root seed, index),
+//     never from scheduling order;
+//   * shared state (model, library) is read-only during the run;
+//   * the row-partitioned spmm keeps per-row accumulation order fixed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace gana::core {
+
+struct BatchOptions {
+  /// Worker threads; 1 runs inline on the calling thread, 0 means
+  /// std::thread::hardware_concurrency().
+  std::size_t jobs = 1;
+  /// Root seed; task i annotates with stream task_seed(seed, i).
+  std::uint64_t seed = kDefaultSampleSeed;
+};
+
+/// Per-task sample-Rng stream: a splitmix64 mix of the root seed and the
+/// task index, so streams are decorrelated but depend only on position
+/// in the batch (not on which worker runs the task, or when).
+[[nodiscard]] std::uint64_t task_seed(std::uint64_t root, std::size_t index);
+
+/// Wall-clock and summed per-stage timings of one batch run. Stage sums
+/// add CPU seconds across circuits (they exceed wall_seconds when the
+/// run is parallel).
+struct BatchTimings {
+  double wall_seconds = 0.0;
+  double prepare_seconds = 0.0;  ///< sum: flatten + preprocess + graph
+  double gcn_seconds = 0.0;      ///< sum: features + sample + inference
+  double post_seconds = 0.0;     ///< sum: CCC + VF2 + postprocess + tree
+};
+
+struct BatchResult {
+  /// One entry per input, in input order (independent of scheduling).
+  std::vector<AnnotateResult> results;
+  BatchTimings timings;
+  std::size_t jobs = 1;  ///< worker count actually used
+
+  /// Node-weighted mean accuracy over circuits with ground truth, per
+  /// stage (gcn / post1 / post2); 0 when no labels were present.
+  [[nodiscard]] double mean_acc_gcn() const;
+  [[nodiscard]] double mean_acc_post1() const;
+  [[nodiscard]] double mean_acc_post2() const;
+};
+
+/// Runs batches of circuits through a shared Annotator in parallel.
+class BatchRunner {
+ public:
+  explicit BatchRunner(const Annotator& annotator, BatchOptions options = {});
+
+  /// Annotates every circuit; ground truth only feeds accuracy fields.
+  [[nodiscard]] BatchResult run(
+      const std::vector<datagen::LabeledCircuit>& batch) const;
+
+  /// Annotates bare netlists; `names[i]` labels netlists[i] (names may be
+  /// empty or shorter than the batch -- missing names become "batch/i").
+  [[nodiscard]] BatchResult run(
+      const std::vector<spice::Netlist>& netlists,
+      const std::vector<std::string>& names = {}) const;
+
+  [[nodiscard]] const BatchOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t resolved_jobs() const;
+
+ private:
+  template <typename Task>
+  BatchResult dispatch(std::size_t count, const Task& task) const;
+
+  const Annotator* annotator_;  ///< not owned; must outlive the runner
+  BatchOptions options_;
+};
+
+}  // namespace gana::core

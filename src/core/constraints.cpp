@@ -28,15 +28,19 @@ void attach_block_constraints(HierarchyNode& block) {
     // common-centroid groups about that axis (paper §IV-B: the CM and DP
     // of stage 1 combine to a common symmetry axis).
     for (auto& prim : block.children) {
-      for (auto& c : prim.constraints) {
+      // Collect first, append after: pushing while iterating would
+      // invalidate the range-for iterators on reallocation.
+      std::vector<Constraint> added;
+      for (const auto& c : prim.constraints) {
         if (c.kind == Kind::Matching && c.members.size() >= 2) {
           Constraint cc;
           cc.kind = Kind::CommonCentroid;
           cc.members = c.members;
           cc.tag = axis;
-          prim.constraints.push_back(std::move(cc));
+          added.push_back(std::move(cc));
         }
       }
+      for (auto& cc : added) prim.constraints.push_back(std::move(cc));
     }
     Constraint sym;
     sym.kind = Kind::Symmetry;

@@ -64,7 +64,7 @@ std::vector<gcn::GraphSample> make_gcn_samples(
   return out;
 }
 
-Annotator::Annotator(gcn::GcnModel* model,
+Annotator::Annotator(const gcn::GcnModel* model,
                      std::vector<std::string> class_names,
                      primitives::PrimitiveLibrary library,
                      PrepareOptions prepare)
@@ -73,18 +73,29 @@ Annotator::Annotator(gcn::GcnModel* model,
       library_(std::move(library)),
       prepare_(prepare) {}
 
-AnnotateResult Annotator::annotate(const datagen::LabeledCircuit& input) {
-  return run(prepare_circuit(input, prepare_));
+AnnotateResult Annotator::annotate(const datagen::LabeledCircuit& input,
+                                   std::uint64_t sample_seed) const {
+  Timer prepare_timer;
+  PreparedCircuit prepared = prepare_circuit(input, prepare_);
+  return run(std::move(prepared), prepare_timer.seconds(), nullptr,
+             sample_seed);
 }
 
 AnnotateResult Annotator::annotate(const spice::Netlist& netlist,
-                                   const std::string& name) {
-  return run(prepare_netlist(netlist, class_names_, name, prepare_));
+                                   const std::string& name,
+                                   std::uint64_t sample_seed) const {
+  Timer prepare_timer;
+  PreparedCircuit prepared =
+      prepare_netlist(netlist, class_names_, name, prepare_);
+  return run(std::move(prepared), prepare_timer.seconds(), nullptr,
+             sample_seed);
 }
 
 AnnotateResult Annotator::annotate_oracle(
-    const datagen::LabeledCircuit& input, std::size_t oracle_classes) {
+    const datagen::LabeledCircuit& input, std::size_t oracle_classes) const {
+  Timer prepare_timer;
   PreparedCircuit prepared = prepare_circuit(input, prepare_);
+  const double seconds_prepare = prepare_timer.seconds();
   const std::size_t n = prepared.graph.vertex_count();
   Matrix probs(n, oracle_classes, 0.0);
   for (std::size_t v = 0; v < n; ++v) {
@@ -97,13 +108,17 @@ AnnotateResult Annotator::annotate_oracle(
       }
     }
   }
-  return run(std::move(prepared), &probs);
+  return run(std::move(prepared), seconds_prepare, &probs,
+             kDefaultSampleSeed);
 }
 
 AnnotateResult Annotator::run(PreparedCircuit prepared,
-                              const Matrix* oracle_probs) {
+                              double seconds_prepare,
+                              const Matrix* oracle_probs,
+                              std::uint64_t sample_seed) const {
   AnnotateResult r;
   r.prepared = std::move(prepared);
+  r.seconds_prepare = seconds_prepare;
 
   // --- GCN classification.
   Timer gcn_timer;
@@ -111,7 +126,7 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
   if (oracle_probs != nullptr) {
     r.probabilities = *oracle_probs;
   } else if (model_ != nullptr) {
-    Rng rng(0xc0ffee);
+    Rng rng(sample_seed);
     const gcn::GraphSample sample = make_gcn_sample(
         r.prepared, model_->config().required_pool_levels(), rng);
     r.probabilities = gcn::predict_probabilities(*model_, sample);

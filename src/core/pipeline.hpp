@@ -56,6 +56,11 @@ std::vector<gcn::GraphSample> make_gcn_samples(
     const std::vector<datagen::LabeledCircuit>& circuits, int pool_levels,
     std::uint64_t seed, const PrepareOptions& options = {});
 
+/// Seed of the per-circuit sample Rng (Lanczos start vectors, Graclus
+/// tie-breaking) when the caller does not supply one. The batch runtime
+/// derives one stream per task from its root seed instead.
+inline constexpr std::uint64_t kDefaultSampleSeed = 0xc0ffee;
+
 /// Full annotation result with per-stage classifications and accuracies.
 struct AnnotateResult {
   PreparedCircuit prepared;
@@ -69,33 +74,40 @@ struct AnnotateResult {
   double acc_gcn = 0.0;    ///< vs. truth, when labels are present
   double acc_post1 = 0.0;
   double acc_post2 = 0.0;
+  double seconds_prepare = 0.0;  ///< flatten + preprocess + graph build
   double seconds_gcn = 0.0;
   double seconds_post = 0.0;
 };
 
 /// Ties a trained model, its class vocabulary, and the primitive library
 /// into a reusable annotator.
+///
+/// Every annotate* method is const and touches no mutable state (model
+/// inference goes through GcnModel::infer), so one Annotator may serve
+/// many worker threads concurrently -- see core::BatchRunner.
 class Annotator {
  public:
-  Annotator(gcn::GcnModel* model, std::vector<std::string> class_names,
+  Annotator(const gcn::GcnModel* model, std::vector<std::string> class_names,
             primitives::PrimitiveLibrary library =
                 primitives::PrimitiveLibrary::standard(),
             PrepareOptions prepare = {});
 
   /// Runs the full pipeline. Ground-truth labels in `input` are used only
   /// to fill the accuracy fields.
-  AnnotateResult annotate(const datagen::LabeledCircuit& input);
+  AnnotateResult annotate(const datagen::LabeledCircuit& input,
+                          std::uint64_t sample_seed = kDefaultSampleSeed) const;
 
   /// Pipeline on an unlabeled netlist.
   AnnotateResult annotate(const spice::Netlist& netlist,
-                          const std::string& name);
+                          const std::string& name,
+                          std::uint64_t sample_seed = kDefaultSampleSeed) const;
 
   /// Runs the pipeline with an ORACLE classifier: probabilities are
   /// one-hot on the ground-truth labels (uniform for labels outside the
   /// first `oracle_classes` entries). Isolates the graph-based stages
   /// from GCN quality -- used by tests and postprocessing audits.
   AnnotateResult annotate_oracle(const datagen::LabeledCircuit& input,
-                                 std::size_t oracle_classes);
+                                 std::size_t oracle_classes) const;
 
   [[nodiscard]] const std::vector<std::string>& class_names() const {
     return class_names_;
@@ -103,12 +115,14 @@ class Annotator {
   [[nodiscard]] const primitives::PrimitiveLibrary& library() const {
     return library_;
   }
+  [[nodiscard]] const gcn::GcnModel* model() const { return model_; }
 
  private:
-  AnnotateResult run(PreparedCircuit prepared,
-                     const Matrix* oracle_probs = nullptr);
+  AnnotateResult run(PreparedCircuit prepared, double seconds_prepare,
+                     const Matrix* oracle_probs,
+                     std::uint64_t sample_seed) const;
 
-  gcn::GcnModel* model_;  ///< not owned; may be null (uniform probabilities)
+  const gcn::GcnModel* model_;  ///< not owned; may be null (uniform probabilities)
   std::vector<std::string> class_names_;
   primitives::PrimitiveLibrary library_;
   PrepareOptions prepare_;

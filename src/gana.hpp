@@ -14,6 +14,7 @@
 //   std::cout << gana::core::to_string(result.hierarchy);
 #pragma once
 
+#include "core/batch_runner.hpp"  // IWYU pragma: export
 #include "core/constraints.hpp"   // IWYU pragma: export
 #include "core/export.hpp"        // IWYU pragma: export
 #include "core/features.hpp"      // IWYU pragma: export

@@ -118,6 +118,46 @@ Matrix ChebConv::forward(const Matrix& x, const GraphSample& sample,
   return y;
 }
 
+Matrix ChebConv::infer(const Matrix& x, const GraphSample& sample) const {
+  // Same arithmetic, in the same order, as the evaluation-mode forward()
+  // -- but all intermediates are local, so a shared model is read-only.
+  assert(x.cols() == in_);
+  assert(static_cast<std::size_t>(level_) < sample.lhat.size());
+  const SparseMatrix& lhat = sample.lhat[static_cast<std::size_t>(level_)];
+  const std::size_t n = x.rows();
+  assert(lhat.rows() == n);
+
+  Matrix z(n, static_cast<std::size_t>(k_) * in_);
+  Matrix t_prev2;
+  Matrix t_prev = x;
+  for (int k = 0; k < k_; ++k) {
+    Matrix t_cur;
+    if (k == 0) {
+      t_cur = x;
+    } else if (k == 1) {
+      t_cur = lhat.multiply(x);
+    } else {
+      t_cur = lhat.multiply(t_prev);
+      t_cur *= 2.0;
+      t_cur -= t_prev2;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      double* zrow = z.row_ptr(r) + static_cast<std::size_t>(k) * in_;
+      const double* trow = t_cur.row_ptr(r);
+      for (std::size_t c = 0; c < in_; ++c) zrow[c] = trow[c];
+    }
+    t_prev2 = std::move(t_prev);
+    t_prev = std::move(t_cur);
+  }
+
+  Matrix y = matmul(z, weight_);
+  for (std::size_t r = 0; r < n; ++r) {
+    double* yrow = y.row_ptr(r);
+    for (std::size_t c = 0; c < out_; ++c) yrow[c] += bias_(0, c);
+  }
+  return y;
+}
+
 Matrix ChebConv::backward(const Matrix& grad_out) {
   assert(lhat_ != nullptr);
   const std::size_t n = grad_out.rows();
@@ -188,6 +228,19 @@ Matrix SageConv::forward(const Matrix& x, const GraphSample& sample,
   return y;
 }
 
+Matrix SageConv::infer(const Matrix& x, const GraphSample& sample) const {
+  assert(x.cols() == in_);
+  assert(static_cast<std::size_t>(level_) < sample.prop.size());
+  const SparseMatrix& p = sample.prop[static_cast<std::size_t>(level_)];
+  const Matrix z = hcat(x, p.multiply(x));
+  Matrix y = matmul(z, weight_);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double* yrow = y.row_ptr(r);
+    for (std::size_t c = 0; c < out_; ++c) yrow[c] += bias_(0, c);
+  }
+  return y;
+}
+
 Matrix SageConv::backward(const Matrix& grad_out) {
   assert(prop_t_ != nullptr);
   const std::size_t n = grad_out.rows();
@@ -232,6 +285,14 @@ Matrix Relu::forward(const Matrix& x, const GraphSample& /*sample*/,
   return y;
 }
 
+Matrix Relu::infer(const Matrix& x, const GraphSample& /*sample*/) const {
+  Matrix y = x;
+  for (auto& v : y.data()) {
+    if (!(v > 0.0)) v = 0.0;
+  }
+  return y;
+}
+
 Matrix Relu::backward(const Matrix& grad_out) {
   Matrix g = grad_out;
   auto& d = g.data();
@@ -260,6 +321,10 @@ Matrix Dropout::forward(const Matrix& x, const GraphSample& /*sample*/,
     }
   }
   return y;
+}
+
+Matrix Dropout::infer(const Matrix& x, const GraphSample& /*sample*/) const {
+  return x;  // identity in evaluation mode
 }
 
 Matrix Dropout::backward(const Matrix& grad_out) {
@@ -322,6 +387,21 @@ Matrix BatchNorm::forward(const Matrix& x, const GraphSample& /*sample*/,
   return y;
 }
 
+Matrix BatchNorm::infer(const Matrix& x, const GraphSample& /*sample*/) const {
+  const std::size_t n = x.rows(), f = x.cols();
+  Matrix y(n, f);
+  for (std::size_t c = 0; c < f; ++c) {
+    const double mean = running_mean_(0, c);
+    const double var = running_var_(0, c);
+    const double iv = 1.0 / std::sqrt(var + eps_);
+    for (std::size_t r = 0; r < n; ++r) {
+      const double xh = (x(r, c) - mean) * iv;
+      y(r, c) = gamma_(0, c) * xh + beta_(0, c);
+    }
+  }
+  return y;
+}
+
 Matrix BatchNorm::backward(const Matrix& grad_out) {
   const std::size_t n = grad_out.rows(), f = grad_out.cols();
   Matrix dx(n, f);
@@ -364,6 +444,15 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
 Matrix Dense::forward(const Matrix& x, const GraphSample& /*sample*/,
                       bool /*training*/, Rng& /*rng*/) {
   x_ = x;
+  Matrix y = matmul(x, weight_);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double* yrow = y.row_ptr(r);
+    for (std::size_t c = 0; c < y.cols(); ++c) yrow[c] += bias_(0, c);
+  }
+  return y;
+}
+
+Matrix Dense::infer(const Matrix& x, const GraphSample& /*sample*/) const {
   Matrix y = matmul(x, weight_);
   for (std::size_t r = 0; r < y.rows(); ++r) {
     double* yrow = y.row_ptr(r);
@@ -428,6 +517,41 @@ Matrix GraclusPool::forward(const Matrix& x, const GraphSample& sample,
   return y;
 }
 
+Matrix GraclusPool::infer(const Matrix& x, const GraphSample& sample) const {
+  assert(static_cast<std::size_t>(level_) < sample.cluster_maps.size());
+  const std::vector<std::size_t>& cluster_of =
+      sample.cluster_maps[static_cast<std::size_t>(level_)];
+  const std::size_t fine_n = x.rows(), cols = x.cols();
+  assert(cluster_of.size() == fine_n);
+  const std::size_t coarse_n =
+      cluster_of.empty()
+          ? 0
+          : *std::max_element(cluster_of.begin(), cluster_of.end()) + 1;
+
+  Matrix y(coarse_n, cols);
+  if (mode_ == Mode::Max) {
+    y.fill(-1e300);
+    for (std::size_t v = 0; v < fine_n; ++v) {
+      const std::size_t c = cluster_of[v];
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (x(v, j) > y(c, j)) y(c, j) = x(v, j);
+      }
+    }
+  } else {
+    std::vector<double> count(coarse_n, 0.0);
+    for (std::size_t v = 0; v < fine_n; ++v) {
+      const std::size_t c = cluster_of[v];
+      count[c] += 1.0;
+      for (std::size_t j = 0; j < cols; ++j) y(c, j) += x(v, j);
+    }
+    for (std::size_t c = 0; c < coarse_n; ++c) {
+      const double inv = count[c] > 0.0 ? 1.0 / count[c] : 0.0;
+      for (std::size_t j = 0; j < cols; ++j) y(c, j) *= inv;
+    }
+  }
+  return y;
+}
+
 Matrix GraclusPool::backward(const Matrix& grad_out) {
   Matrix dx(fine_n_, cols_);
   if (mode_ == Mode::Max) {
@@ -456,6 +580,19 @@ Matrix Unpool::forward(const Matrix& x, const GraphSample& sample,
   for (std::size_t v = 0; v < cluster_of_.size(); ++v) {
     const std::size_t c = cluster_of_[v];
     assert(c < coarse_n_);
+    for (std::size_t j = 0; j < x.cols(); ++j) y(v, j) = x(c, j);
+  }
+  return y;
+}
+
+Matrix Unpool::infer(const Matrix& x, const GraphSample& sample) const {
+  assert(static_cast<std::size_t>(level_) < sample.cluster_maps.size());
+  const std::vector<std::size_t>& cluster_of =
+      sample.cluster_maps[static_cast<std::size_t>(level_)];
+  Matrix y(cluster_of.size(), x.cols());
+  for (std::size_t v = 0; v < cluster_of.size(); ++v) {
+    const std::size_t c = cluster_of[v];
+    assert(c < x.rows());
     for (std::size_t j = 0; j < x.cols(); ++j) y(v, j) = x(c, j);
   }
   return y;

@@ -25,6 +25,12 @@ class Layer {
   virtual Matrix forward(const Matrix& x, const GraphSample& sample,
                          bool training, Rng& rng) = 0;
 
+  /// Evaluation-mode output with NO mutable state: bit-identical to
+  /// forward(x, sample, /*training=*/false, rng) but const, so many
+  /// threads can run inference through one shared model (the parallel
+  /// batch runtime relies on this).
+  virtual Matrix infer(const Matrix& x, const GraphSample& sample) const = 0;
+
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput. Must follow a forward() call.
   virtual Matrix backward(const Matrix& grad_out) = 0;
@@ -53,6 +59,7 @@ class ChebConv : public Layer {
 
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -80,6 +87,7 @@ class SageConv : public Layer {
 
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -98,6 +106,7 @@ class Relu : public Layer {
  public:
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:
@@ -110,6 +119,7 @@ class Dropout : public Layer {
   explicit Dropout(double rate) : rate_(rate) {}
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:
@@ -124,6 +134,7 @@ class BatchNorm : public Layer {
                      double eps = 1e-5);
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&gamma_, &beta_}; }
   std::vector<Matrix*> grads() override { return {&grad_gamma_, &grad_beta_}; }
@@ -147,6 +158,7 @@ class Dense : public Layer {
   Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -164,6 +176,7 @@ class GraclusPool : public Layer {
   GraclusPool(int level, Mode mode) : level_(level), mode_(mode) {}
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:
@@ -184,6 +197,7 @@ class Unpool : public Layer {
   explicit Unpool(int level) : level_(level) {}
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
+  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:

@@ -50,6 +50,14 @@ Matrix GcnModel::forward(const GraphSample& sample, bool training) {
   return x;
 }
 
+Matrix GcnModel::infer(const GraphSample& sample) const {
+  Matrix x = sample.features;
+  for (const auto& layer : layers_) {
+    x = layer->infer(x, sample);
+  }
+  return x;
+}
+
 void GcnModel::backward(const Matrix& grad_logits) {
   Matrix g = grad_logits;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

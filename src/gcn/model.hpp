@@ -53,6 +53,12 @@ class GcnModel {
   /// Per-node logits, shape nodes x num_classes.
   Matrix forward(const GraphSample& sample, bool training);
 
+  /// Evaluation-mode logits without touching any mutable state --
+  /// bit-identical to forward(sample, false). Thread-safe: concurrent
+  /// infer() calls may share one model (the parallel batch runtime
+  /// annotates many circuits against the same weights).
+  [[nodiscard]] Matrix infer(const GraphSample& sample) const;
+
   /// Backpropagates dLoss/dLogits, accumulating parameter gradients.
   void backward(const Matrix& grad_logits);
 

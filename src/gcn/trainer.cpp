@@ -45,8 +45,9 @@ std::vector<std::vector<std::size_t>> confusion_matrix(
   return confusion;
 }
 
-Matrix predict_probabilities(GcnModel& model, const GraphSample& sample) {
-  return softmax(model.forward(sample, /*training=*/false));
+Matrix predict_probabilities(const GcnModel& model,
+                             const GraphSample& sample) {
+  return softmax(model.infer(sample));
 }
 
 TrainResult train(GcnModel& model, const std::vector<GraphSample>& train_set,

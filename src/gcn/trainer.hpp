@@ -57,7 +57,8 @@ std::vector<std::vector<std::size_t>> confusion_matrix(
     std::size_t num_classes);
 
 /// Per-node class probabilities for one sample (evaluation mode).
-Matrix predict_probabilities(GcnModel& model, const GraphSample& sample);
+/// Const and state-free: safe to call concurrently on a shared model.
+Matrix predict_probabilities(const GcnModel& model, const GraphSample& sample);
 
 /// Trains `model` in place.
 TrainResult train(GcnModel& model, const std::vector<GraphSample>& train_set,

@@ -4,7 +4,20 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace gana {
+namespace {
+
+/// Flop threshold below which the parallel spmm path is not worth the
+/// task-dispatch overhead (roughly one L2 cache of work).
+constexpr std::size_t kParallelSpmmMinWork = 1u << 15;
+
+/// Rows per parallel task; fixed so chunk boundaries (and therefore any
+/// floating-point behavior) never depend on the thread count.
+constexpr std::size_t kSpmmRowGrain = 64;
+
+}  // namespace
 
 SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
                                          std::vector<Triplet> triplets) {
@@ -63,13 +76,30 @@ std::vector<double> SparseMatrix::multiply(
 Matrix SparseMatrix::multiply(const Matrix& x) const {
   assert(x.rows() == cols_);
   Matrix y(rows_, x.cols());
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double* yrow = y.row_ptr(r);
-    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* xrow = x.row_ptr(col_idx_[k]);
-      for (std::size_t j = 0; j < x.cols(); ++j) yrow[j] += v * xrow[j];
+  // Row-partitioned kernel: each task owns a disjoint output row range,
+  // and every row's accumulation runs in the same order as the
+  // sequential loop, so the product is bit-identical at any thread
+  // count. Workers of an outer pool (e.g. the batch runner) keep the
+  // sequential path to avoid nested oversubscription.
+  auto rows_kernel = [this, &x, &y](std::size_t begin, std::size_t end) {
+    const std::size_t xc = x.cols();
+    for (std::size_t r = begin; r < end; ++r) {
+      double* yrow = y.row_ptr(r);
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        const double v = values_[k];
+        const double* xrow = x.row_ptr(col_idx_[k]);
+        for (std::size_t j = 0; j < xc; ++j) yrow[j] += v * xrow[j];
+      }
     }
+  };
+  ThreadPool* pool = compute_pool();
+  const bool parallel = pool != nullptr && !ThreadPool::inside_worker() &&
+                        nnz() * x.cols() >= kParallelSpmmMinWork &&
+                        rows_ > kSpmmRowGrain;
+  if (parallel) {
+    parallel_for(pool, rows_, kSpmmRowGrain, rows_kernel);
+  } else {
+    rows_kernel(0, rows_);
   }
   return y;
 }

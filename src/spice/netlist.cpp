@@ -101,10 +101,30 @@ void validate_devices(const std::vector<Device>& devices,
   }
 }
 
+// Devices and subckt instances share one per-scope namespace: a repeated
+// name would silently alias two elements after flattening (prefixes are
+// built from instance paths), so reject it up front.
+void validate_unique_names(const std::vector<Device>& devices,
+                           const std::vector<Instance>& instances,
+                           const std::string& scope) {
+  std::set<std::string> seen;
+  for (const auto& d : devices) {
+    if (!seen.insert(d.name).second) {
+      throw NetlistError("duplicate device name " + d.name + " in " + scope);
+    }
+  }
+  for (const auto& i : instances) {
+    if (!seen.insert(i.name).second) {
+      throw NetlistError("duplicate instance name " + i.name + " in " + scope);
+    }
+  }
+}
+
 }  // namespace
 
 void Netlist::validate() const {
   validate_devices(devices, "top level");
+  validate_unique_names(devices, instances, "top level");
   auto check_instances = [&](const std::vector<Instance>& insts,
                              const std::string& scope) {
     for (const auto& inst : insts) {
@@ -125,6 +145,7 @@ void Netlist::validate() const {
   check_instances(instances, "top level");
   for (const auto& [name, def] : subckts) {
     validate_devices(def.devices, "subckt " + name);
+    validate_unique_names(def.devices, def.instances, "subckt " + name);
     check_instances(def.instances, "subckt " + name);
   }
 }

@@ -1,0 +1,19 @@
+* Inductively degenerated LNA; exercises .global, .portlabel extension
+* (antenna / lo / output), and rail handling inside subckts.
+.global vbias
+.portlabel rfin antenna
+.portlabel loin lo
+.portlabel rfout output
+.subckt lna_core in out
+lg in g1 2n
+m0 d1 g1 s1 gnd! nmos w=32u l=90n
+ls s1 gnd! 500p
+ld vdd! d1 3n
+m1 out vbias d1 gnd! nmos w=32u l=90n
+.ends
+.subckt mixer_core rf lo if
+m0 if lo rf gnd! nmos w=16u l=90n
+.ends
+x0 rfin amp_out lna_core
+x1 amp_out loin rfout mixer_core
+.end

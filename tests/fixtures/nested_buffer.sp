@@ -1,0 +1,18 @@
+* Three-deep hierarchy: chain -> buf -> inv. Internal nets must come out
+* scoped per instance path; shared parent nets must stay shared.
+.subckt inv in out
+m0 out in gnd! gnd! nmos
+m1 out in vdd! vdd! pmos
+.ends
+.subckt buf in out
+x0 in mid inv
+x1 mid out inv
+.ends
+.subckt chain in out
+xa in hop buf
+xb hop out buf
+.ends
+x0 a b chain
+x1 b c chain
+r0 c gnd! 10k
+.end

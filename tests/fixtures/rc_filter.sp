@@ -1,0 +1,10 @@
+* Flat passive ladder: every non-MOS card type, value suffixes, and a
+* netlist that is already flat (flatten must be identity-like).
+V1 vin gnd! 1.0
+R1 vin n1 1k
+C1 n1 gnd! 10p
+r2 n1 n2 2.2k
+c2 n2 gnd! 4.7p
+L1 n2 vout 1u
+i1 vout gnd! 1m
+.end

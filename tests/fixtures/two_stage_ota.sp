@@ -1,0 +1,31 @@
+* Two-stage Miller OTA built from reusable stages.
+* Exercises: nested subckts, continuation lines, inline comments,
+* mixed-case cards, rails (vdd!/gnd!).
+.SUBCKT diffpair inp inn out tail
+M0 out inp tail gnd! NMOS w=2u l=180n
+m1 mirr inn tail gnd!
++ nmos w=2u l=180n       ; continuation line splits the card
+m2 mirr mirr vdd! vdd! pmos w=4u l=180n
+M3 out mirr vdd! vdd! PMOS w=4u l=180n
+.ENDS
+
+.subckt bias_mirror iref itail
+m0 iref iref gnd! gnd! nmos w=1u l=500n
+m1 itail iref gnd! gnd! nmos
++ w=2u
++ l=500n
+.ends
+
+.subckt ota2 inp inn out ibias
+x0 inp inn first tail diffpair
+xbias ibias tail bias_mirror
+* second (common-source) gain stage with Miller compensation
+m10 out first gnd! gnd! nmos w=8u l=180n
+m11 out pbias vdd! vdd! pmos w=16u l=180n
+m12 pbias pbias vdd! vdd! pmos w=4u l=180n
+cc first out 1p
+.ends
+
+Xtop vin_p vin_n vout ib ota2
+Ib ib gnd! 10u
+.end

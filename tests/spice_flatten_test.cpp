@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "spice/flatten.hpp"
 #include "spice/parser.hpp"
+#include "spice/writer.hpp"
 
 namespace gana::spice {
 namespace {
@@ -133,6 +140,82 @@ x0 a cell
   const auto flat = flatten(n);
   EXPECT_EQ(flat.port_labels.at("a"), PortLabel::Antenna);
 }
+
+// ---------------------------------------------------------------------
+// Golden-file regression tests: parse a .sp fixture, flatten it, render
+// it with write_netlist, and compare byte-for-byte against the checked-in
+// .golden file. On mismatch the failure message is a line diff. Set
+// GANA_UPDATE_GOLDEN=1 to regenerate goldens after an intentional change.
+
+std::string fixture_path(const std::string& name) {
+  return std::string(GANA_TEST_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+/// Numbered "-expected / +actual" diff of the first few differing lines.
+std::string line_diff(const std::string& expected, const std::string& actual) {
+  const auto want = split_lines(expected);
+  const auto got = split_lines(actual);
+  std::ostringstream out;
+  const std::size_t n = std::max(want.size(), got.size());
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < n && shown < 10; ++i) {
+    const std::string* w = i < want.size() ? &want[i] : nullptr;
+    const std::string* g = i < got.size() ? &got[i] : nullptr;
+    if (w && g && *w == *g) continue;
+    ++shown;
+    out << "  line " << (i + 1) << ":\n";
+    if (w) out << "    - " << *w << '\n';
+    if (g) out << "    + " << *g << '\n';
+  }
+  if (shown == 10) out << "  ... (more differences truncated)\n";
+  return out.str();
+}
+
+void check_flatten_golden(const std::string& fixture) {
+  const std::string sp = fixture_path(fixture + ".sp");
+  const std::string golden = fixture_path(fixture + ".golden");
+  const auto flat = flatten(parse_netlist_file(sp));
+  EXPECT_TRUE(flat.is_flat());
+  const std::string actual = write_netlist(flat);
+
+  if (std::getenv("GANA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << golden;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << golden;
+  }
+
+  std::ifstream in(golden, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << golden
+                  << " -- run with GANA_UPDATE_GOLDEN=1 to create it";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (actual != expected) {
+    FAIL() << "flattened " << fixture << ".sp differs from " << fixture
+           << ".golden:\n"
+           << line_diff(expected, actual)
+           << "(if the change is intentional, re-run with "
+              "GANA_UPDATE_GOLDEN=1)";
+  }
+
+  // The golden is itself valid SPICE: it must parse back to the same
+  // rendered form (writer round-trip stability).
+  EXPECT_EQ(write_netlist(parse_netlist(expected)), expected)
+      << "golden output is not parse/write stable";
+}
+
+TEST(GoldenFlatten, TwoStageOta) { check_flatten_golden("two_stage_ota"); }
+TEST(GoldenFlatten, NestedBuffer) { check_flatten_golden("nested_buffer"); }
+TEST(GoldenFlatten, RcFilter) { check_flatten_golden("rc_filter"); }
+TEST(GoldenFlatten, LnaPortLabels) { check_flatten_golden("lna_portlabels"); }
 
 TEST(Flatten, SharedParentNetAcrossSiblings) {
   const auto n = parse_netlist(R"(

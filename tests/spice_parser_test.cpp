@@ -275,6 +275,139 @@ TEST(Netlist, NetsSorted) {
   EXPECT_EQ(nets[2], "z");
 }
 
+// ---------------------------------------------------------------------
+// Edge cases: inputs real netlists throw at parsers -- continuations in
+// awkward places, mixed case, degenerate subckts, name collisions.
+
+TEST(ParserEdge, ContinuationSplitsOneCardAcrossManyLines) {
+  const auto n = parse_netlist(
+      "m0 d g\n"
+      "+ s b\n"
+      "+ nmos\n"
+      "+ w=2u l=180n\n"
+      ".end\n");
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_EQ(n.devices[0].pins, (std::vector<std::string>{"d", "g", "s", "b"}));
+  EXPECT_DOUBLE_EQ(n.devices[0].params.at("w"), 2e-6);
+}
+
+TEST(ParserEdge, ContinuationSkipsInterveningComments) {
+  // A full-line comment between a card and its continuation is dropped;
+  // the continuation still attaches to the card before the comment.
+  const auto n = parse_netlist(
+      "m0 d g s b nmos\n"
+      "* sizing chosen by the optimizer\n"
+      "+ w=1u\n"
+      ".end\n");
+  ASSERT_EQ(n.devices.size(), 1u);
+  EXPECT_DOUBLE_EQ(n.devices[0].params.at("w"), 1e-6);
+}
+
+TEST(ParserEdge, LeadingContinuationIsAnErrorNotACrash) {
+  EXPECT_THROW(parse_netlist("+ m0 d g s b nmos\n.end\n"), ParseError);
+}
+
+TEST(ParserEdge, ContinuationWithOnlyPlusIsHarmless) {
+  const auto n = parse_netlist("r1 a b 1k\n+\n.end\n");
+  ASSERT_EQ(n.devices.size(), 1u);
+}
+
+TEST(ParserEdge, MixedCaseCardsAreNormalized) {
+  const auto n = parse_netlist(
+      "M1 D G S B NMOS W=2U\n"
+      "R1 A B 1K\n"
+      "X0 A B MyCell\n"
+      ".SUBCKT MyCell p q\n"
+      "C1 p q 1P\n"
+      ".ENDS\n"
+      ".END\n");
+  ASSERT_EQ(n.devices.size(), 2u);
+  EXPECT_EQ(n.devices[0].name, "m1");
+  EXPECT_EQ(n.devices[0].type, DeviceType::Nmos);
+  EXPECT_EQ(n.devices[0].pins[0], "d");
+  EXPECT_DOUBLE_EQ(n.devices[0].params.at("w"), 2e-6);
+  ASSERT_EQ(n.instances.size(), 1u);
+  EXPECT_EQ(n.instances[0].subckt, "mycell");
+  EXPECT_EQ(n.subckts.count("mycell"), 1u);
+}
+
+TEST(ParserEdge, EmptySubcktParsesToZeroDevices) {
+  const auto n = parse_netlist(
+      ".subckt stub a b\n"
+      ".ends\n"
+      "x0 p q stub\n"
+      ".end\n");
+  ASSERT_EQ(n.subckts.count("stub"), 1u);
+  EXPECT_TRUE(n.subckts.at("stub").devices.empty());
+  EXPECT_TRUE(n.subckts.at("stub").instances.empty());
+}
+
+TEST(ParserEdge, CommentOnlySubcktParsesToZeroDevices) {
+  const auto n = parse_netlist(
+      ".subckt todo in out\n"
+      "* placeholder -- devices arrive in a later revision\n"
+      "; nothing here either\n"
+      ".ends\n"
+      ".end\n");
+  EXPECT_TRUE(n.subckts.at("todo").devices.empty());
+}
+
+TEST(ParserEdge, DuplicateDeviceNamesRejected) {
+  EXPECT_THROW(parse_netlist("r1 a b 1k\nr1 b c 2k\n.end\n"), NetlistError);
+}
+
+TEST(ParserEdge, DuplicateInstanceNamesRejected) {
+  EXPECT_THROW(parse_netlist(
+                   ".subckt cell a\nr0 a gnd! 1k\n.ends\n"
+                   "x0 p cell\n"
+                   "x0 q cell\n"
+                   ".end\n"),
+               NetlistError);
+}
+
+TEST(ParserEdge, DuplicateNamesInsideSubcktRejected) {
+  EXPECT_THROW(parse_netlist(
+                   ".subckt cell a b\n"
+                   "m0 a b gnd! gnd! nmos\n"
+                   "m0 b a gnd! gnd! nmos\n"
+                   ".ends\n.end\n"),
+               NetlistError);
+}
+
+TEST(ParserEdge, DeviceAndInstanceSharingANameRejected) {
+  // Unreachable through the parser (card letters differ), but netlists
+  // built programmatically can collide; validate() must catch it.
+  Netlist n;
+  SubcktDef cell;
+  cell.name = "cell";
+  cell.ports = {"a"};
+  n.subckts["cell"] = cell;
+  Device d;
+  d.name = "x0";
+  d.type = DeviceType::Resistor;
+  d.pins = {"p", "q"};
+  n.devices.push_back(d);
+  n.instances.push_back({"x0", "cell", {"p"}});
+  EXPECT_THROW(n.validate(), NetlistError);
+}
+
+TEST(ParserEdge, SameDeviceNameInDifferentScopesAllowed) {
+  // Scoping makes these distinct after flattening ("x0/m0", "x1/m0").
+  const auto n = parse_netlist(
+      ".subckt a p\nm0 p p gnd! gnd! nmos\n.ends\n"
+      ".subckt b p\nm0 p p vdd! vdd! pmos\n.ends\n"
+      "x0 n1 a\n"
+      "x1 n1 b\n"
+      "m0 n1 n1 gnd! gnd! nmos\n"
+      ".end\n");
+  EXPECT_EQ(n.devices.size(), 1u);
+  EXPECT_EQ(n.subckts.size(), 2u);
+}
+
+TEST(ParserEdge, UnterminatedSubcktIsAnError) {
+  EXPECT_THROW(parse_netlist(".subckt open a b\nr1 a b 1k\n"), ParseError);
+}
+
 TEST(Netlist, RailClassification) {
   EXPECT_TRUE(is_supply_net("vdd!"));
   EXPECT_TRUE(is_supply_net("VDD"));
