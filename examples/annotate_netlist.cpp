@@ -4,7 +4,7 @@
 //
 //   ./annotate_netlist circuit.sp [more.sp ...] [--domain ota|rf]
 //                      [--train] [--circuits 150] [--epochs 25]
-//                      [--jobs N] [--svg out.svg]
+//                      [--jobs N] [--keep-going] [--svg out.svg]
 //                      [--save-model m.ckpt] [--load-model m.ckpt]
 //
 // Without --train the pipeline runs model-free (cluster classes come from
@@ -14,10 +14,18 @@
 // --jobs N: with several input files, annotates them in parallel on N
 // worker threads (bit-identical to the sequential run); with a single
 // file, enables N-way row-parallel sparse products inside the GCN.
+//
+// --keep-going: process every input even when some fail; each file gets
+// an [ OK ]/[FAIL] summary line. Without it the run stops at the first
+// failure. Exit codes: 0 all annotated, 1 usage error, 2 I/O error,
+// 3 parse/validation error, 4 annotation error (first failure in input
+// order decides).
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 
 #include "gana.hpp"
 #include "gcn/serialize.hpp"
@@ -25,6 +33,12 @@
 #include "util/thread_pool.hpp"
 
 namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitIo = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitAnnotate = 4;
 
 std::unique_ptr<gana::gcn::GcnModel> train_quick_model(
     const std::string& domain, std::size_t circuits, int epochs) {
@@ -60,6 +74,39 @@ std::unique_ptr<gana::gcn::GcnModel> train_quick_model(
   return model;
 }
 
+/// Exit code a parse-step diagnostic maps to (I/O vs parse/validate).
+int parse_exit_code(const gana::Diag& d) {
+  return d.stage == gana::Stage::Io || d.code == gana::DiagCode::IoError
+             ? kExitIo
+             : kExitParse;
+}
+
+/// One input file's fate: a parse failure, an annotation failure, or an
+/// index into the batch outcome vector.
+struct FileStatus {
+  std::optional<gana::Diag> diag;
+  int exit_code = kExitOk;  ///< kExitIo/kExitParse/kExitAnnotate on failure
+};
+
+void print_result(const gana::core::AnnotateResult& result) {
+  std::printf("\n== %s ==\n", result.prepared.name.c_str());
+  std::printf("devices %zu  nets %zu  CCCs %zu  primitives %zu\n",
+              result.prepared.flat.devices.size(),
+              result.prepared.flat.nets().size(), result.ccc.count,
+              result.post.primitives.size());
+  std::printf("preprocessing removed %zu cards (parallel %zu, series %zu, "
+              "dummies %zu, decaps %zu)\n",
+              result.prepared.preprocess_report.total_removed(),
+              result.prepared.preprocess_report.merged_parallel,
+              result.prepared.preprocess_report.merged_series,
+              result.prepared.preprocess_report.removed_dummies,
+              result.prepared.preprocess_report.removed_decaps);
+  for (const auto& w : result.warnings) {
+    std::printf("warning: %s\n", w.render().c_str());
+  }
+  std::printf("\n%s\n", gana::core::to_string(result.hierarchy).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,22 +116,36 @@ int main(int argc, char** argv) {
         "usage: annotate_netlist <file.sp> [more.sp ...]\n"
         "                        [--domain ota|rf] [--train]\n"
         "                        [--circuits 150] [--epochs 25]\n"
-        "                        [--jobs N] [--svg layout.svg]\n");
-    return 1;
+        "                        [--jobs N] [--keep-going]\n"
+        "                        [--svg layout.svg]\n");
+    return kExitUsage;
   }
   const std::vector<std::string> paths = args.positional();
   const std::string domain = args.get("domain", "ota");
+  const bool keep_going = args.has("keep-going");
   const std::size_t jobs =
       static_cast<std::size_t>(std::max(args.get_int("jobs", 1), 0));
 
-  std::vector<gana::spice::Netlist> netlists;
-  try {
-    for (const auto& p : paths) {
-      netlists.push_back(gana::spice::parse_netlist_file(p));
+  // --- Parse. Each file independently yields a netlist or a located
+  // diagnostic; --keep-going pushes past failures instead of stopping.
+  std::vector<FileStatus> status(paths.size());
+  std::vector<gana::spice::Netlist> netlists;      // parsed OK, in order
+  std::vector<std::string> netlist_names;          // paths of `netlists`
+  std::vector<std::size_t> netlist_file(paths.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    auto parsed = gana::spice::parse_netlist_file_result(paths[i]);
+    if (parsed.ok()) {
+      netlist_file[i] = netlists.size();
+      netlists.push_back(parsed.take());
+      netlist_names.push_back(paths[i]);
+      continue;
     }
-  } catch (const gana::spice::NetlistError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    status[i].exit_code = parse_exit_code(parsed.diag());
+    status[i].diag = parsed.diag();
+    if (!keep_going) {
+      std::fprintf(stderr, "error: %s\n", parsed.diag().render().c_str());
+      return status[i].exit_code;
+    }
   }
 
   std::unique_ptr<gana::gcn::GcnModel> model;
@@ -103,78 +164,100 @@ int main(int argc, char** argv) {
     std::printf("model saved to %s\n", args.get("save-model").c_str());
   }
 
+  // --- Annotate. The fault-isolated batch path never throws: every
+  // parsed netlist comes back as a result or a staged diagnostic.
   const std::vector<std::string> classes =
       domain == "rf" ? gana::datagen::rf_class_names()
                      : std::vector<std::string>{"ota", "bias"};
   gana::core::Annotator annotator(model.get(), classes);
-  gana::core::BatchResult batch;
-  try {
-    if (paths.size() == 1) {
-      // One circuit: parallelism goes inside the pipeline (row-parallel
-      // sparse products in the Chebyshev convolutions).
-      gana::set_compute_threads(jobs);
-      batch = gana::core::BatchRunner(annotator).run(netlists, paths);
-      gana::set_compute_threads(1);
+  gana::core::BatchOptions bopt;
+  bopt.policy = keep_going ? gana::core::FailurePolicy::CollectAll
+                           : gana::core::FailurePolicy::FailFast;
+  gana::core::BatchOutcome batch;
+  if (netlists.size() <= 1) {
+    // One circuit: parallelism goes inside the pipeline (row-parallel
+    // sparse products in the Chebyshev convolutions).
+    gana::set_compute_threads(jobs);
+    batch = gana::core::BatchRunner(annotator, bopt)
+                .run_isolated(netlists, netlist_names);
+    gana::set_compute_threads(1);
+  } else {
+    bopt.jobs = jobs;
+    batch = gana::core::BatchRunner(annotator, bopt)
+                .run_isolated(netlists, netlist_names);
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::size_t slot = netlist_file[i];
+    if (slot == SIZE_MAX) continue;  // parse failure already recorded
+    const auto& outcome = batch.outcomes[slot];
+    if (outcome.ok()) {
+      print_result(outcome.value());
     } else {
-      gana::core::BatchOptions bopt;
-      bopt.jobs = jobs;
-      batch = gana::core::BatchRunner(annotator, bopt).run(netlists, paths);
+      status[i].exit_code = kExitAnnotate;
+      status[i].diag = outcome.diag();
+      if (!keep_going) {
+        std::fprintf(stderr, "error: %s\n", outcome.diag().render().c_str());
+        return kExitAnnotate;
+      }
     }
-  } catch (const gana::spice::NetlistError& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   }
 
-  for (const auto& result : batch.results) {
-    std::printf("\n== %s ==\n", result.prepared.name.c_str());
-    std::printf("devices %zu  nets %zu  CCCs %zu  primitives %zu\n",
-                result.prepared.flat.devices.size(),
-                result.prepared.flat.nets().size(), result.ccc.count,
-                result.post.primitives.size());
-    std::printf("preprocessing removed %zu cards (parallel %zu, series %zu, "
-                "dummies %zu, decaps %zu)\n",
-                result.prepared.preprocess_report.total_removed(),
-                result.prepared.preprocess_report.merged_parallel,
-                result.prepared.preprocess_report.merged_series,
-                result.prepared.preprocess_report.removed_dummies,
-                result.prepared.preprocess_report.removed_decaps);
-
-    std::printf("\n%s\n", gana::core::to_string(result.hierarchy).c_str());
+  // --- Per-file summary and exit code (first failure in input order).
+  std::size_t failed = 0;
+  int exit_code = kExitOk;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (status[i].diag.has_value()) {
+      ++failed;
+      if (exit_code == kExitOk) exit_code = status[i].exit_code;
+      std::printf("[FAIL] %s: %s\n", paths[i].c_str(),
+                  status[i].diag->render().c_str());
+    } else {
+      std::printf("[ OK ] %s\n", paths[i].c_str());
+    }
   }
-
-  std::printf("annotated %zu circuit%s on %zu worker%s in %.1f ms "
+  std::printf("annotated %zu/%zu circuit%s on %zu worker%s in %.1f ms "
               "(CPU: prepare %.1f, gcn %.1f, post %.1f ms)\n",
-              batch.results.size(), batch.results.size() == 1 ? "" : "s",
+              batch.ok_count(), paths.size(), paths.size() == 1 ? "" : "s",
               batch.jobs, batch.jobs == 1 ? "" : "s",
               batch.timings.wall_seconds * 1e3,
               batch.timings.prepare_seconds * 1e3,
               batch.timings.gcn_seconds * 1e3,
               batch.timings.post_seconds * 1e3);
 
-  const auto& result = batch.results.front();
-  if (paths.size() > 1 &&
-      (args.has("svg") || args.has("json") || args.has("dot"))) {
-    std::printf("note: --svg/--json/--dot export the first file only\n");
+  // --- Exports (first successfully annotated file only).
+  const gana::core::AnnotateResult* result = nullptr;
+  for (const auto& o : batch.outcomes) {
+    if (o.ok()) {
+      result = &o.value();
+      break;
+    }
   }
-  if (args.has("svg")) {
-    const auto placement =
-        gana::layout::place_hierarchy(result.hierarchy, result.prepared.flat);
-    gana::layout::write_svg(placement, args.get("svg"));
-    std::printf("layout written to %s (area %.1f um^2, HPWL %.1f um)\n",
-                args.get("svg").c_str(), placement.area(),
-                gana::layout::half_perimeter_wirelength(
-                    placement, result.prepared.flat));
+  if (result != nullptr) {
+    if (paths.size() > 1 &&
+        (args.has("svg") || args.has("json") || args.has("dot"))) {
+      std::printf(
+          "note: --svg/--json/--dot export the first annotated file only\n");
+    }
+    if (args.has("svg")) {
+      const auto placement = gana::layout::place_hierarchy(
+          result->hierarchy, result->prepared.flat);
+      gana::layout::write_svg(placement, args.get("svg"));
+      std::printf("layout written to %s (area %.1f um^2, HPWL %.1f um)\n",
+                  args.get("svg").c_str(), placement.area(),
+                  gana::layout::half_perimeter_wirelength(
+                      placement, result->prepared.flat));
+    }
+    if (args.has("json")) {
+      std::ofstream f(args.get("json"));
+      f << gana::core::annotation_to_json(*result, classes);
+      std::printf("annotation JSON written to %s\n", args.get("json").c_str());
+    }
+    if (args.has("dot")) {
+      std::ofstream f(args.get("dot"));
+      f << gana::core::graph_to_dot(result->prepared.graph,
+                                    result->final_class, classes);
+      std::printf("graphviz DOT written to %s\n", args.get("dot").c_str());
+    }
   }
-  if (args.has("json")) {
-    std::ofstream f(args.get("json"));
-    f << gana::core::annotation_to_json(result, classes);
-    std::printf("annotation JSON written to %s\n", args.get("json").c_str());
-  }
-  if (args.has("dot")) {
-    std::ofstream f(args.get("dot"));
-    f << gana::core::graph_to_dot(result.prepared.graph, result.final_class,
-                                  classes);
-    std::printf("graphviz DOT written to %s\n", args.get("dot").c_str());
-  }
-  return 0;
+  return exit_code;
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Builds the error-path tests with AddressSanitizer + UBSan and runs
+# them, including the full malformed-netlist mutation corpus.
+# Usage: scripts/run_asan.sh  (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)" \
+  --target corpus_harness_test robustness_test diag_test \
+  batch_failure_test spice_parser_test spice_flatten_test vf2_test
+ctest --preset asan

@@ -7,5 +7,5 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target thread_pool_test batch_determinism_test
+  --target thread_pool_test batch_determinism_test batch_failure_test
 ctest --preset tsan

@@ -1,7 +1,9 @@
 #include "core/batch_runner.hpp"
 
-#include <exception>
+#include <atomic>
+#include <optional>
 #include <thread>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -34,6 +36,12 @@ double stage_weighted_acc(const std::vector<AnnotateResult>& results,
   return counted > 0.0 ? correct / counted : 0.0;
 }
 
+Diag skipped_diag(std::size_t index) {
+  return make_diag(DiagCode::Skipped, Stage::Batch,
+                   "task " + std::to_string(index) +
+                       " skipped: fail-fast after an earlier failure");
+}
+
 }  // namespace
 
 double BatchResult::mean_acc_gcn() const {
@@ -46,6 +54,28 @@ double BatchResult::mean_acc_post2() const {
   return stage_weighted_acc(results, &AnnotateResult::acc_post2);
 }
 
+std::size_t BatchOutcome::ok_count() const {
+  std::size_t n = 0;
+  for (const auto& o : outcomes) {
+    if (o.ok()) ++n;
+  }
+  return n;
+}
+
+std::size_t BatchOutcome::failure_count() const {
+  return outcomes.size() - ok_count();
+}
+
+const Diag* BatchOutcome::first_failure() const {
+  const Diag* skipped = nullptr;
+  for (const auto& o : outcomes) {
+    if (o.ok()) continue;
+    if (o.diag().code != DiagCode::Skipped) return &o.diag();
+    if (skipped == nullptr) skipped = &o.diag();
+  }
+  return skipped;
+}
+
 BatchRunner::BatchRunner(const Annotator& annotator, BatchOptions options)
     : annotator_(&annotator), options_(options) {}
 
@@ -54,63 +84,131 @@ std::size_t BatchRunner::resolved_jobs() const {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
 
+/// `task` maps an index to Result<AnnotateResult> and must not throw
+/// (Annotator::try_annotate already converts everything to Diags); a
+/// throw here would be a harness bug and is surfaced as an Internal Diag.
 template <typename Task>
-BatchResult BatchRunner::dispatch(std::size_t count, const Task& task) const {
-  BatchResult out;
+BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
+  BatchOutcome out;
   out.jobs = resolved_jobs();
-  out.results.resize(count);
+  const bool fail_fast = options_.policy == FailurePolicy::FailFast;
+
+  auto guarded = [&task](std::size_t i) -> Result<AnnotateResult> {
+    try {
+      return task(i);
+    } catch (const spice::NetlistError& e) {
+      return e.diag();
+    } catch (const std::exception& e) {
+      return make_diag(DiagCode::Internal, Stage::Batch,
+                       "task " + std::to_string(i) + ": " + e.what());
+    }
+  };
 
   Timer wall;
   if (out.jobs <= 1 || count <= 1) {
-    for (std::size_t i = 0; i < count; ++i) out.results[i] = task(i);
+    out.outcomes.reserve(count);
+    bool aborted = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (aborted) {
+        out.outcomes.push_back(skipped_diag(i));
+        continue;
+      }
+      out.outcomes.push_back(guarded(i));
+      aborted = fail_fast && !out.outcomes.back().ok();
+    }
   } else {
     // One task per circuit; each writes only its own slot, so completion
-    // order is irrelevant to the result.
+    // order is irrelevant to the result. The abort flag is the only
+    // cross-task state, and only fail-fast reads it.
+    std::vector<std::optional<Result<AnnotateResult>>> slots(count);
+    std::atomic<bool> abort{false};
     ThreadPool pool(std::min(out.jobs, count));
     std::vector<std::future<void>> futures;
     futures.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      futures.push_back(pool.submit(
-          [&task, &out, i]() { out.results[i] = task(i); }));
+      futures.push_back(pool.submit([&slots, &guarded, &abort, fail_fast, i]() {
+        if (fail_fast && abort.load(std::memory_order_relaxed)) {
+          slots[i] = skipped_diag(i);
+          return;
+        }
+        slots[i] = guarded(i);
+        if (fail_fast && !slots[i]->ok()) {
+          abort.store(true, std::memory_order_relaxed);
+        }
+      }));
     }
-    std::exception_ptr first_error;
     for (auto& f : futures) {
       try {
         pool.wait(f);
       } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+        // The task body never throws; this would be an allocation failure
+        // inside the slot write. The slot stays empty and is filled below.
       }
     }
-    if (first_error) std::rethrow_exception(first_error);
+    out.outcomes.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!slots[i].has_value()) {
+        slots[i] = make_diag(DiagCode::Internal, Stage::Batch,
+                             "task " + std::to_string(i) +
+                                 " produced no outcome");
+      }
+      out.outcomes.push_back(std::move(*slots[i]));
+    }
   }
   out.timings.wall_seconds = wall.seconds();
-  for (const auto& r : out.results) {
-    out.timings.prepare_seconds += r.seconds_prepare;
-    out.timings.gcn_seconds += r.seconds_gcn;
-    out.timings.post_seconds += r.seconds_post;
+  for (const auto& o : out.outcomes) {
+    if (!o.ok()) continue;
+    out.timings.prepare_seconds += o.value().seconds_prepare;
+    out.timings.gcn_seconds += o.value().seconds_gcn;
+    out.timings.post_seconds += o.value().seconds_post;
   }
   return out;
 }
 
-BatchResult BatchRunner::run(
+BatchResult BatchRunner::unwrap(BatchOutcome outcome) const {
+  if (const Diag* failure = outcome.first_failure()) {
+    throw spice::NetlistError(*failure);
+  }
+  BatchResult out;
+  out.jobs = outcome.jobs;
+  out.timings = outcome.timings;
+  out.results.reserve(outcome.outcomes.size());
+  for (auto& o : outcome.outcomes) {
+    out.results.push_back(o.take());
+  }
+  return out;
+}
+
+BatchOutcome BatchRunner::run_isolated(
     const std::vector<datagen::LabeledCircuit>& batch) const {
   const Annotator& annotator = *annotator_;
   const std::uint64_t root = options_.seed;
   return dispatch(batch.size(), [&annotator, &batch, root](std::size_t i) {
-    return annotator.annotate(batch[i], task_seed(root, i));
+    return annotator.try_annotate(batch[i], task_seed(root, i));
   });
 }
 
-BatchResult BatchRunner::run(const std::vector<spice::Netlist>& netlists,
-                             const std::vector<std::string>& names) const {
+BatchOutcome BatchRunner::run_isolated(
+    const std::vector<spice::Netlist>& netlists,
+    const std::vector<std::string>& names) const {
   const Annotator& annotator = *annotator_;
   const std::uint64_t root = options_.seed;
   return dispatch(
       netlists.size(), [&annotator, &netlists, &names, root](std::size_t i) {
         const std::string name =
             i < names.size() ? names[i] : "batch/" + std::to_string(i);
-        return annotator.annotate(netlists[i], name, task_seed(root, i));
+        return annotator.try_annotate(netlists[i], name, task_seed(root, i));
       });
+}
+
+BatchResult BatchRunner::run(
+    const std::vector<datagen::LabeledCircuit>& batch) const {
+  return unwrap(run_isolated(batch));
+}
+
+BatchResult BatchRunner::run(const std::vector<spice::Netlist>& netlists,
+                             const std::vector<std::string>& names) const {
+  return unwrap(run_isolated(netlists, names));
 }
 
 }  // namespace gana::core

@@ -13,6 +13,15 @@
 //     never from scheduling order;
 //   * shared state (model, library) is read-only during the run;
 //   * the row-partitioned spmm keeps per-row accumulation order fixed.
+//
+// Fault isolation: `run_isolated` never throws on bad input. Each task
+// yields either an AnnotateResult or a structured Diag (code, stage,
+// source location); one malformed circuit cannot abort its siblings.
+// Under FailurePolicy::CollectAll the outcome vector is fully
+// deterministic at any thread count. FailFast stops scheduling after the
+// first observed failure -- tasks that never ran come back as
+// DiagCode::Skipped -- trading determinism of *which* later slots are
+// skipped (scheduling-dependent when parallel) for latency.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +32,24 @@
 
 namespace gana::core {
 
+/// What to do when a task in the batch fails.
+enum class FailurePolicy {
+  /// Stop scheduling new tasks after the first failure; unstarted tasks
+  /// yield DiagCode::Skipped. `run` throws the failure.
+  FailFast,
+  /// Annotate every circuit regardless of sibling failures; the outcome
+  /// vector is deterministic at any thread count.
+  CollectAll,
+};
+
 struct BatchOptions {
   /// Worker threads; 1 runs inline on the calling thread, 0 means
   /// std::thread::hardware_concurrency().
   std::size_t jobs = 1;
   /// Root seed; task i annotates with stream task_seed(seed, i).
   std::uint64_t seed = kDefaultSampleSeed;
+  /// Failure handling for `run_isolated` (and how eagerly `run` aborts).
+  FailurePolicy policy = FailurePolicy::FailFast;
 };
 
 /// Per-task sample-Rng stream: a splitmix64 mix of the root seed and the
@@ -38,7 +59,7 @@ struct BatchOptions {
 
 /// Wall-clock and summed per-stage timings of one batch run. Stage sums
 /// add CPU seconds across circuits (they exceed wall_seconds when the
-/// run is parallel).
+/// run is parallel); failed tasks contribute nothing.
 struct BatchTimings {
   double wall_seconds = 0.0;
   double prepare_seconds = 0.0;  ///< sum: flatten + preprocess + graph
@@ -59,12 +80,27 @@ struct BatchResult {
   [[nodiscard]] double mean_acc_post2() const;
 };
 
+/// Result of a fault-isolated batch run: one Ok/Diag outcome per input,
+/// in input order.
+struct BatchOutcome {
+  std::vector<Result<AnnotateResult>> outcomes;
+  BatchTimings timings;
+  std::size_t jobs = 1;
+
+  [[nodiscard]] std::size_t ok_count() const;
+  [[nodiscard]] std::size_t failure_count() const;
+  /// Lowest-index failure that is not a fail-fast Skipped marker (falls
+  /// back to the first Skipped slot); nullptr when every task succeeded.
+  [[nodiscard]] const Diag* first_failure() const;
+};
+
 /// Runs batches of circuits through a shared Annotator in parallel.
 class BatchRunner {
  public:
   explicit BatchRunner(const Annotator& annotator, BatchOptions options = {});
 
   /// Annotates every circuit; ground truth only feeds accuracy fields.
+  /// Throws (the first failure's NetlistError) if any circuit fails.
   [[nodiscard]] BatchResult run(
       const std::vector<datagen::LabeledCircuit>& batch) const;
 
@@ -74,12 +110,22 @@ class BatchRunner {
       const std::vector<spice::Netlist>& netlists,
       const std::vector<std::string>& names = {}) const;
 
+  /// Fault-isolated variants: never throw on malformed circuits. Healthy
+  /// slots are bit-identical to the sequential/throwing path.
+  [[nodiscard]] BatchOutcome run_isolated(
+      const std::vector<datagen::LabeledCircuit>& batch) const;
+  [[nodiscard]] BatchOutcome run_isolated(
+      const std::vector<spice::Netlist>& netlists,
+      const std::vector<std::string>& names = {}) const;
+
   [[nodiscard]] const BatchOptions& options() const { return options_; }
   [[nodiscard]] std::size_t resolved_jobs() const;
 
  private:
   template <typename Task>
-  BatchResult dispatch(std::size_t count, const Task& task) const;
+  BatchOutcome dispatch(std::size_t count, const Task& task) const;
+
+  BatchResult unwrap(BatchOutcome outcome) const;
 
   const Annotator* annotator_;  ///< not owned; must outlive the runner
   BatchOptions options_;

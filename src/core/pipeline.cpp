@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
+#include <functional>
+#include <new>
 #include <utility>
 
 #include "gcn/trainer.hpp"
@@ -10,17 +13,28 @@
 
 namespace gana::core {
 
+namespace {
+
+/// Marks the stage currently executing when the caller asked for one.
+inline void mark(Stage* stage, Stage s) {
+  if (stage != nullptr) *stage = s;
+}
+
+}  // namespace
+
 PreparedCircuit prepare_circuit(const datagen::LabeledCircuit& input,
-                                const PrepareOptions& options) {
+                                const PrepareOptions& options, Stage* stage) {
   PreparedCircuit out;
   out.name = input.name;
   out.class_names = input.class_names;
-  out.flat = spice::flatten(input.netlist);
+  mark(stage, Stage::Flatten);
+  out.flat = spice::flatten(input.netlist, input.name);
 
   // Transfer labels across preprocessing: removed devices alias to their
   // surviving representative (or vanish).
   std::map<std::string, int> device_labels = input.device_labels;
   if (options.preprocess) {
+    mark(stage, Stage::Preprocess);
     out.preprocess_report =
         spice::preprocess(out.flat, options.preprocess_options);
     for (const auto& [removed, kept] : out.preprocess_report.alias) {
@@ -28,6 +42,7 @@ PreparedCircuit prepare_circuit(const datagen::LabeledCircuit& input,
       (void)kept;  // the representative keeps its own label
     }
   }
+  mark(stage, Stage::GraphBuild);
   out.graph = graph::build_graph(out.flat);
   out.labels = vertex_labels(out.graph, device_labels);
   return out;
@@ -36,12 +51,12 @@ PreparedCircuit prepare_circuit(const datagen::LabeledCircuit& input,
 PreparedCircuit prepare_netlist(const spice::Netlist& netlist,
                                 std::vector<std::string> class_names,
                                 const std::string& name,
-                                const PrepareOptions& options) {
+                                const PrepareOptions& options, Stage* stage) {
   datagen::LabeledCircuit lc;
   lc.name = name;
   lc.netlist = netlist;
   lc.class_names = std::move(class_names);
-  return prepare_circuit(lc, options);
+  return prepare_circuit(lc, options, stage);
 }
 
 gcn::GraphSample make_gcn_sample(const PreparedCircuit& prepared,
@@ -112,10 +127,75 @@ AnnotateResult Annotator::annotate_oracle(
              kDefaultSampleSeed);
 }
 
+namespace {
+
+/// Runs `body` with stage tracking, converting every escaping exception
+/// into a Diag stamped with the stage that was executing.
+Result<AnnotateResult> guard(const std::string& name,
+                             const std::function<AnnotateResult(Stage*)>& body) {
+  Stage stage = Stage::Flatten;
+  try {
+    return body(&stage);
+  } catch (const spice::NetlistError& e) {
+    return e.diag();
+  } catch (const std::bad_alloc&) {
+    return make_diag(DiagCode::BudgetExhausted, stage,
+                     "out of memory annotating circuit " + name);
+  } catch (const std::exception& e) {
+    return make_diag(DiagCode::Internal, stage,
+                     std::string("unexpected error annotating circuit ") +
+                         name + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+Result<AnnotateResult> Annotator::try_annotate(
+    const datagen::LabeledCircuit& input, std::uint64_t sample_seed) const {
+  return guard(input.name, [&](Stage* stage) {
+    Timer prepare_timer;
+    PreparedCircuit prepared = prepare_circuit(input, prepare_, stage);
+    return run(std::move(prepared), prepare_timer.seconds(), nullptr,
+               sample_seed, stage);
+  });
+}
+
+Result<AnnotateResult> Annotator::try_annotate(
+    const spice::Netlist& netlist, const std::string& name,
+    std::uint64_t sample_seed) const {
+  return guard(name, [&](Stage* stage) {
+    Timer prepare_timer;
+    PreparedCircuit prepared =
+        prepare_netlist(netlist, class_names_, name, prepare_, stage);
+    return run(std::move(prepared), prepare_timer.seconds(), nullptr,
+               sample_seed, stage);
+  });
+}
+
+namespace {
+
+/// Rejects Inf/NaN before they reach the solver: a single bad weight
+/// poisons every activation and the argmax silently returns garbage.
+void require_finite(const Matrix& m, Stage stage, const std::string& name,
+                    const std::string& what) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (!std::isfinite(m(i, j))) {
+        throw spice::NetlistError(make_diag(
+            DiagCode::NonFinite, stage,
+            "non-finite " + what + " at (" + std::to_string(i) + ", " +
+                std::to_string(j) + ") of circuit " + name));
+      }
+    }
+  }
+}
+
+}  // namespace
+
 AnnotateResult Annotator::run(PreparedCircuit prepared,
                               double seconds_prepare,
                               const Matrix* oracle_probs,
-                              std::uint64_t sample_seed) const {
+                              std::uint64_t sample_seed, Stage* stage) const {
   AnnotateResult r;
   r.prepared = std::move(prepared);
   r.seconds_prepare = seconds_prepare;
@@ -124,12 +204,19 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
   Timer gcn_timer;
   const std::size_t n = r.prepared.graph.vertex_count();
   if (oracle_probs != nullptr) {
+    mark(stage, Stage::Gcn);
     r.probabilities = *oracle_probs;
   } else if (model_ != nullptr) {
+    mark(stage, Stage::Features);
     Rng rng(sample_seed);
     const gcn::GraphSample sample = make_gcn_sample(
         r.prepared, model_->config().required_pool_levels(), rng);
+    require_finite(sample.features, Stage::Features, r.prepared.name,
+                   "feature value");
+    mark(stage, Stage::Gcn);
     r.probabilities = gcn::predict_probabilities(*model_, sample);
+    require_finite(r.probabilities, Stage::Gcn, r.prepared.name,
+                   "class probability");
   } else {
     // No model: uniform probabilities over the first class only, so the
     // graph-based stages can still be exercised in isolation.
@@ -148,9 +235,18 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
 
   // --- Postprocessing I.
   Timer post_timer;
+  mark(stage, Stage::Primitives);
   r.ccc = graph::channel_connected_components(r.prepared.graph);
   r.post = postprocess_stage1(r.prepared.graph, r.ccc, r.probabilities,
                               class_names_, library_);
+  if (r.post.primitives_truncated) {
+    r.warnings.push_back(make_diag(
+        DiagCode::Truncated, Stage::Primitives,
+        "VF2 budget exhausted after " + std::to_string(r.post.vf2_states) +
+            " states; primitive annotation of circuit " + r.prepared.name +
+            " is partial"));
+  }
+  mark(stage, Stage::Postprocess);
   r.post1_class = vertex_classes(r.prepared.graph, r.ccc,
                                  r.post.cluster_class);
 
@@ -160,6 +256,7 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
       vertex_classes(r.prepared.graph, r.ccc, r.post.cluster_class);
 
   // --- Hierarchy + constraints.
+  mark(stage, Stage::Hierarchy);
   r.hierarchy = build_hierarchy(r.prepared.graph, r.ccc, r.post,
                                 class_names_, r.prepared.name);
   r.seconds_post = post_timer.seconds();

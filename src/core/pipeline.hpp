@@ -37,15 +37,19 @@ struct PrepareOptions {
 };
 
 /// Front end on a labeled circuit (labels survive preprocessing through
-/// the alias map).
+/// the alias map). When `stage` is non-null it tracks the stage currently
+/// executing, so a caller catching an exception knows where the pipeline
+/// stopped.
 PreparedCircuit prepare_circuit(const datagen::LabeledCircuit& input,
-                                const PrepareOptions& options = {});
+                                const PrepareOptions& options = {},
+                                Stage* stage = nullptr);
 
 /// Front end on a bare netlist (no ground truth).
 PreparedCircuit prepare_netlist(const spice::Netlist& netlist,
                                 std::vector<std::string> class_names,
                                 const std::string& name,
-                                const PrepareOptions& options = {});
+                                const PrepareOptions& options = {},
+                                Stage* stage = nullptr);
 
 /// GCN sample from a prepared circuit.
 gcn::GraphSample make_gcn_sample(const PreparedCircuit& prepared,
@@ -77,6 +81,10 @@ struct AnnotateResult {
   double seconds_prepare = 0.0;  ///< flatten + preprocess + graph build
   double seconds_gcn = 0.0;
   double seconds_post = 0.0;
+  /// Non-fatal diagnostics (e.g. DiagCode::Truncated when the VF2 budget
+  /// cut primitive extraction short). The annotation itself is complete
+  /// and deterministic; warnings flag reduced fidelity.
+  std::vector<Diag> warnings;
 };
 
 /// Ties a trained model, its class vocabulary, and the primitive library
@@ -109,6 +117,18 @@ class Annotator {
   AnnotateResult annotate_oracle(const datagen::LabeledCircuit& input,
                                  std::size_t oracle_classes) const;
 
+  /// Fault-isolated annotation: never throws on malformed or adversarial
+  /// input. Any exception escaping a pipeline stage -- structured
+  /// NetlistError or otherwise -- comes back as a Diag stamped with the
+  /// stage that was executing. Successful results are bit-identical to
+  /// the throwing `annotate` path.
+  [[nodiscard]] Result<AnnotateResult> try_annotate(
+      const datagen::LabeledCircuit& input,
+      std::uint64_t sample_seed = kDefaultSampleSeed) const;
+  [[nodiscard]] Result<AnnotateResult> try_annotate(
+      const spice::Netlist& netlist, const std::string& name,
+      std::uint64_t sample_seed = kDefaultSampleSeed) const;
+
   [[nodiscard]] const std::vector<std::string>& class_names() const {
     return class_names_;
   }
@@ -119,8 +139,8 @@ class Annotator {
 
  private:
   AnnotateResult run(PreparedCircuit prepared, double seconds_prepare,
-                     const Matrix* oracle_probs,
-                     std::uint64_t sample_seed) const;
+                     const Matrix* oracle_probs, std::uint64_t sample_seed,
+                     Stage* stage = nullptr) const;
 
   const gcn::GcnModel* model_;  ///< not owned; may be null (uniform probabilities)
   std::vector<std::string> class_names_;

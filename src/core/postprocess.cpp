@@ -70,8 +70,13 @@ PostprocessResult postprocess_stage1(
         std::max_element(score.begin(), score.end()) - score.begin());
   }
 
-  // --- Primitive extraction over the whole graph.
-  result.primitives = primitives::annotate_primitives(g, library);
+  // --- Primitive extraction over the whole graph, under the VF2
+  // resource budget: pathological graphs yield a deterministic partial
+  // annotation flagged via `primitives_truncated` instead of hanging.
+  auto annotation = primitives::annotate_primitives_guarded(g, library);
+  result.primitives = std::move(annotation.primitives);
+  result.primitives_truncated = annotation.truncated;
+  result.vf2_states = annotation.vf2_states;
 
   // Primitive instances grouped by CCC (an instance belongs to the CCC of
   // its elements; library patterns never straddle CCCs except through

@@ -42,6 +42,11 @@ struct PostprocessResult {
   /// (inverter chains/rings, LC oscillators, BPFs, inherited bias
   /// branches). Postprocessing II's port rules never override these.
   std::set<std::size_t> structural;
+  /// True when the VF2 budget truncated primitive extraction; the
+  /// primitive list is then a deterministic partial annotation.
+  bool primitives_truncated = false;
+  /// VF2 states explored across all library patterns.
+  std::size_t vf2_states = 0;
 };
 
 /// Looks up a class name, returning its id or nullopt.

@@ -25,7 +25,9 @@ NetRole classify_net(const std::string& name, const spice::Netlist& netlist) {
 CircuitGraph build_graph(const spice::Netlist& netlist,
                          const BuildOptions& options) {
   if (!netlist.is_flat()) {
-    throw spice::NetlistError("build_graph requires a flattened netlist");
+    throw spice::NetlistError(
+        make_diag(DiagCode::NotFlat, Stage::GraphBuild,
+                  "build_graph requires a flattened netlist"));
   }
   CircuitGraph g;
   // Element vertices, in device order.

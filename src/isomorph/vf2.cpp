@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <optional>
 #include <set>
 
 namespace gana::iso {
@@ -51,11 +53,19 @@ class Vf2State {
     core_t_.assign(t_.vertex_count(), kNone);
     flip_.assign(p_.vertex_count(), false);
     order_ = search_order();
+    if (options.max_seconds > 0.0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(options.max_seconds));
+    }
   }
 
-  std::vector<Match> run() {
-    if (order_.empty()) return {};
-    recurse(0);
+  std::vector<Match> run(MatchStats* stats) {
+    if (!order_.empty()) recurse(0);
+    if (stats != nullptr) {
+      stats->states = states_;
+      stats->truncated = truncated_;
+    }
     return std::move(matches_);
   }
 
@@ -203,9 +213,35 @@ class Vf2State {
     matches_.push_back(std::move(m));
   }
 
+  /// True once any budget stops the search. The states budget truncates
+  /// at a point determined only by the inputs, keeping truncated results
+  /// deterministic; the optional deadline is checked every 1024 states to
+  /// stay off the hot path.
+  bool budget_exhausted() {
+    if (states_ > options_.max_states) {
+      truncated_ = true;
+      return true;
+    }
+    if (deadline_ && (states_ & 1023u) == 0 &&
+        std::chrono::steady_clock::now() > *deadline_) {
+      truncated_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Stop condition re-checked after every nested recursion.
+  [[nodiscard]] bool stop_requested() const {
+    return truncated_ || matches_.size() >= options_.max_matches;
+  }
+
   void recurse(std::size_t depth) {
-    if (matches_.size() >= options_.max_matches) return;
-    if (++states_ > options_.max_states) return;
+    if (matches_.size() >= options_.max_matches) {
+      truncated_ = true;  // enumeration cut short, not exhausted
+      return;
+    }
+    ++states_;
+    if (budget_exhausted()) return;
     if (depth == order_.size()) {
       record_match();
       return;
@@ -224,19 +260,13 @@ class Vf2State {
         flip_[pu] = (f == 1);
         if (edges_consistent(pu, tv)) {
           recurse(depth + 1);
-          if (matches_.size() >= options_.max_matches ||
-              states_ > options_.max_states) {
-            break;
-          }
+          if (stop_requested()) break;
         }
       }
       flip_[pu] = false;
       core_p_[pu] = kNone;
       core_t_[tv] = kNone;
-      if (matches_.size() >= options_.max_matches ||
-          states_ > options_.max_states) {
-        return;
-      }
+      if (stop_requested()) return;
     }
   }
 
@@ -253,6 +283,8 @@ class Vf2State {
   std::vector<Match> matches_;
   std::set<std::vector<std::size_t>> seen_keys_;
   std::size_t states_ = 0;
+  bool truncated_ = false;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
 };
 
 }  // namespace
@@ -271,9 +303,10 @@ std::vector<std::size_t> Match::element_key(
 
 std::vector<Match> find_subgraph_matches(const Pattern& pattern,
                                          const graph::CircuitGraph& target,
-                                         const MatchOptions& options) {
+                                         const MatchOptions& options,
+                                         MatchStats* stats) {
   assert(pattern.graph != nullptr);
-  return Vf2State(pattern, target, options).run();
+  return Vf2State(pattern, target, options).run(stats);
 }
 
 bool contains_subgraph(const Pattern& pattern,

@@ -53,18 +53,38 @@ struct Match {
 struct MatchOptions {
   /// Stop after this many distinct (post-dedup) matches.
   std::size_t max_matches = 100000;
-  /// Abort the search after this many explored states (safety valve; the
-  /// bound is never hit for O(1)-diameter library patterns).
+  /// Node-expansion budget: abort the search after this many explored
+  /// states. Deterministic (a truncated search always truncates at the
+  /// same point for the same inputs), so budget-limited results stay
+  /// bit-identical across runs and thread counts. The default is never
+  /// hit for O(1)-diameter library patterns on sane circuits; adversarial
+  /// graphs hit it and come back `truncated` instead of hanging.
   std::size_t max_states = 50000000;
+  /// Optional wall-clock budget in seconds (0 = disabled). NOT
+  /// deterministic -- where the search stops depends on machine speed --
+  /// so the pipeline leaves this off and relies on `max_states`; it is an
+  /// escape hatch for interactive callers.
+  double max_seconds = 0.0;
   /// Deduplicate matches that cover the same element set (automorphic
   /// images, e.g. the two orderings of a differential pair).
   bool dedup_by_elements = true;
 };
 
-/// Enumerates embeddings of `pattern` into `target`.
+/// What the search actually did; written through the optional out-param
+/// of `find_subgraph_matches`.
+struct MatchStats {
+  std::size_t states = 0;    ///< explored search states
+  bool truncated = false;    ///< a budget (states/seconds/matches) was hit
+};
+
+/// Enumerates embeddings of `pattern` into `target`. When a resource
+/// budget is exhausted the matches found so far are returned and
+/// `stats->truncated` is set; the caller decides whether a partial
+/// enumeration is acceptable.
 std::vector<Match> find_subgraph_matches(const Pattern& pattern,
                                          const graph::CircuitGraph& target,
-                                         const MatchOptions& options = {});
+                                         const MatchOptions& options = {},
+                                         MatchStats* stats = nullptr);
 
 /// Convenience: true if at least one embedding exists.
 bool contains_subgraph(const Pattern& pattern,

@@ -10,10 +10,11 @@ namespace gana::primitives {
 using graph::CircuitGraph;
 using graph::VertexKind;
 
-std::vector<PrimitiveInstance> annotate_primitives(
-    const CircuitGraph& g, const PrimitiveLibrary& library,
-    const AnnotateOptions& options) {
-  std::vector<PrimitiveInstance> out;
+AnnotateOutcome annotate_primitives_guarded(const CircuitGraph& g,
+                                            const PrimitiveLibrary& library,
+                                            const AnnotateOptions& options) {
+  AnnotateOutcome outcome;
+  std::vector<PrimitiveInstance>& out = outcome.primitives;
   std::vector<bool> claimed(g.vertex_count(), false);
   std::set<std::size_t> filter(options.element_filter.begin(),
                                options.element_filter.end());
@@ -23,7 +24,11 @@ std::vector<PrimitiveInstance> annotate_primitives(
 
   for (std::size_t li : library.priority_order()) {
     const PrimitiveSpec& spec = library.spec(li);
-    const auto matches = iso::find_subgraph_matches(spec.pattern(), g);
+    iso::MatchStats stats;
+    const auto matches =
+        iso::find_subgraph_matches(spec.pattern(), g, options.match, &stats);
+    outcome.truncated = outcome.truncated || stats.truncated;
+    outcome.vf2_states += stats.states;
     for (const auto& m : matches) {
       // Collect matched target elements; reject if out of scope or
       // already claimed by a higher-priority primitive.
@@ -82,7 +87,13 @@ std::vector<PrimitiveInstance> annotate_primitives(
       out.push_back(std::move(inst));
     }
   }
-  return out;
+  return outcome;
+}
+
+std::vector<PrimitiveInstance> annotate_primitives(
+    const CircuitGraph& g, const PrimitiveLibrary& library,
+    const AnnotateOptions& options) {
+  return annotate_primitives_guarded(g, library, options).primitives;
 }
 
 std::vector<std::size_t> unclaimed_elements(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/circuit_graph.hpp"
+#include "isomorph/vf2.hpp"
 #include "primitives/constraint.hpp"
 #include "primitives/library.hpp"
 
@@ -33,10 +34,30 @@ struct AnnotateOptions {
   bool allow_overlap = false;
   /// Restrict annotation to these element vertex ids (empty = all).
   std::vector<std::size_t> element_filter;
+  /// Per-pattern VF2 resource budget. On adversarial graphs the search
+  /// truncates deterministically instead of hanging; the outcome reports
+  /// it so callers can surface a partial-annotation warning.
+  iso::MatchOptions match;
+};
+
+/// Primitive annotation plus the resource outcome of the VF2 sweeps.
+struct AnnotateOutcome {
+  std::vector<PrimitiveInstance> primitives;
+  /// True when at least one library pattern's search hit its budget; the
+  /// primitive list is then a (deterministic) partial annotation.
+  bool truncated = false;
+  /// Total VF2 states explored across all library patterns.
+  std::size_t vf2_states = 0;
 };
 
 /// Finds all primitive instances in `g`. Deterministic: library priority
-/// order, then VF2 enumeration order.
+/// order, then VF2 enumeration order; budget truncation points depend
+/// only on the inputs.
+AnnotateOutcome annotate_primitives_guarded(
+    const graph::CircuitGraph& g, const PrimitiveLibrary& library,
+    const AnnotateOptions& options = {});
+
+/// Convenience wrapper discarding the resource outcome.
 std::vector<PrimitiveInstance> annotate_primitives(
     const graph::CircuitGraph& g, const PrimitiveLibrary& library,
     const AnnotateOptions& options = {});

@@ -1,6 +1,7 @@
 #include "spice/flatten.hpp"
 
 #include <map>
+#include <set>
 #include <string>
 
 namespace gana::spice {
@@ -8,7 +9,8 @@ namespace {
 
 class Flattener {
  public:
-  explicit Flattener(const Netlist& src) : src_(src) {}
+  Flattener(const Netlist& src, const std::string& source)
+      : src_(src), source_(source) {}
 
   Netlist run() {
     Netlist out;
@@ -21,7 +23,7 @@ class Flattener {
     for (const auto& inst : src_.instances) {
       expand(inst, /*depth=*/1);
     }
-    out.validate();
+    out.validate(source_);
     return out;
   }
 
@@ -39,21 +41,57 @@ class Flattener {
     return prefix + net;
   }
 
+  /// The active instantiation path, rendered one hop per note line:
+  /// "x0 instantiates subckt a".
+  [[nodiscard]] std::vector<std::string> chain_notes(
+      const Instance& last) const {
+    std::vector<std::string> notes;
+    for (const auto* inst : chain_) {
+      notes.push_back(inst->name + " instantiates subckt " + inst->subckt);
+    }
+    notes.push_back(last.name + " instantiates subckt " + last.subckt +
+                    " again -- cycle");
+    return notes;
+  }
+
+  [[noreturn]] void fail(const Instance& inst, DiagCode code,
+                         std::string message,
+                         std::vector<std::string> notes = {}) const {
+    throw NetlistError(make_diag(code, Stage::Flatten, std::move(message),
+                                 SourceLoc{source_, inst.src_line},
+                                 std::move(notes)));
+  }
+
   /// Expands an instance whose actual nets are already flattened names.
   void expand(const Instance& inst, int depth) {
-    if (depth > kMaxDepth) {
-      throw NetlistError("subckt nesting exceeds depth " +
-                         std::to_string(kMaxDepth) +
-                         " (recursive definition?) at instance " + inst.name);
-    }
     auto def_it = src_.subckts.find(inst.subckt);
     if (def_it == src_.subckts.end()) {
-      throw NetlistError("undefined subckt " + inst.subckt);
+      fail(inst, DiagCode::UndefinedSubckt,
+           "undefined subckt " + inst.subckt);
     }
     const SubcktDef& def = def_it->second;
-    if (def.ports.size() != inst.nets.size()) {
-      throw NetlistError("port count mismatch instantiating " + inst.subckt);
+    // A subckt on the active expansion path instantiating itself (directly
+    // or through intermediates) would recurse forever; the depth budget is
+    // only a backstop for absurdly deep but acyclic hierarchies.
+    if (!active_.insert(def.name).second) {
+      fail(inst, DiagCode::RecursiveSubckt,
+           "recursive instantiation of subckt " + inst.subckt,
+           chain_notes(inst));
     }
+    if (depth > kMaxDepth) {
+      active_.erase(def.name);
+      fail(inst, DiagCode::DepthExceeded,
+           "subckt nesting exceeds depth " + std::to_string(kMaxDepth) +
+               " at instance " + inst.name);
+    }
+    if (def.ports.size() != inst.nets.size()) {
+      active_.erase(def.name);
+      fail(inst, DiagCode::PortMismatch,
+           "port count mismatch instantiating " + inst.subckt + " (" +
+               std::to_string(inst.nets.size()) + " nets, " +
+               std::to_string(def.ports.size()) + " ports)");
+    }
+    chain_.push_back(&inst);
 
     const std::string prefix = inst.name + std::string(1, kHierSeparator);
     std::map<std::string, std::string> net_map;
@@ -78,16 +116,36 @@ class Flattener {
       }
       expand(bound, depth + 1);
     }
+
+    chain_.pop_back();
+    active_.erase(def.name);
   }
 
   static constexpr int kMaxDepth = 64;
 
   const Netlist& src_;
+  const std::string& source_;
   Netlist* out_ = nullptr;
+  std::set<std::string> active_;          ///< subckts on the expansion path
+  std::vector<const Instance*> chain_;    ///< instances on the path, in order
 };
 
 }  // namespace
 
-Netlist flatten(const Netlist& netlist) { return Flattener(netlist).run(); }
+Netlist flatten(const Netlist& netlist, const std::string& source) {
+  return Flattener(netlist, source).run();
+}
+
+Result<Netlist> flatten_result(const Netlist& netlist,
+                               const std::string& source) {
+  try {
+    return flatten(netlist, source);
+  } catch (const NetlistError& e) {
+    return e.diag();
+  } catch (const std::exception& e) {
+    return make_diag(DiagCode::Internal, Stage::Flatten, e.what(),
+                     SourceLoc{source, 0});
+  }
+}
 
 }  // namespace gana::spice

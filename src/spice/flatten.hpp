@@ -16,8 +16,14 @@ inline constexpr char kHierSeparator = '/';
 /// Returns a flat copy of `netlist`: no instances remain, every device is
 /// top-level, and Device::hier_depth records the original nesting depth.
 ///
-/// Throws NetlistError on recursive subcircuit definitions or undefined
-/// subcircuit references.
-Netlist flatten(const Netlist& netlist);
+/// Throws NetlistError on undefined subcircuit references, on recursive
+/// (cyclic) subcircuit instantiation -- the diagnostic's notes list the
+/// offending instantiation chain -- and on nesting beyond a fixed depth
+/// budget. `source` names the netlist in diagnostics.
+Netlist flatten(const Netlist& netlist, const std::string& source = {});
+
+/// Non-throwing variant: structural hazards come back as a Diag.
+[[nodiscard]] Result<Netlist> flatten_result(const Netlist& netlist,
+                                             const std::string& source = {});
 
 }  // namespace gana::spice

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/diag.hpp"
+
 namespace gana::spice {
 
 /// Element types at the lowest level of the hierarchy (paper §II-A).
@@ -64,6 +66,7 @@ struct Device {
   double value = 0.0;             ///< R/C/L/V/I principal value
   std::map<std::string, double> params;  ///< w=, l=, m=, ...
   int hier_depth = 0;  ///< original hierarchy depth before flattening
+  std::size_t src_line = 0;  ///< 1-based source line, 0 = synthetic
 
   /// Multiplicity (parallel copies folded by preprocessing), param "m".
   [[nodiscard]] double multiplicity() const {
@@ -77,6 +80,7 @@ struct Instance {
   std::string name;
   std::string subckt;             ///< definition name
   std::vector<std::string> nets;  ///< actual nets bound to the def's ports
+  std::size_t src_line = 0;       ///< 1-based source line, 0 = synthetic
 };
 
 /// A .subckt definition.
@@ -85,12 +89,27 @@ struct SubcktDef {
   std::vector<std::string> ports;
   std::vector<Device> devices;
   std::vector<Instance> instances;
+  std::size_t src_line = 0;  ///< 1-based source line, 0 = synthetic
 };
 
-/// Error type for malformed netlists.
+/// Error type for malformed netlists. Carries a structured `gana::Diag`
+/// so batch callers can recover the error code, pipeline stage, and
+/// netlist source location without parsing the message.
 class NetlistError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit NetlistError(Diag diag)
+      : std::runtime_error(diag.render()), diag_(std::move(diag)) {}
+
+  /// Legacy constructor for unstructured throws; synthesizes a Diag.
+  explicit NetlistError(const std::string& what,
+                        DiagCode code = DiagCode::Internal,
+                        Stage stage = Stage::Validate)
+      : NetlistError(make_diag(code, stage, what)) {}
+
+  [[nodiscard]] const Diag& diag() const { return diag_; }
+
+ private:
+  Diag diag_;
 };
 
 /// A full netlist: top-level devices/instances plus subcircuit definitions.
@@ -115,9 +134,14 @@ struct Netlist {
   [[nodiscard]] std::map<std::string, std::vector<std::pair<std::size_t, std::size_t>>>
   connectivity() const;
 
-  /// Throws NetlistError if a device references an undefined subckt,
-  /// has the wrong pin count, or a net name is empty.
-  void validate() const;
+  /// Non-throwing validation: nullopt when well-formed, otherwise a Diag
+  /// describing the first violation (undefined subckt reference, wrong
+  /// pin count, empty/duplicate names, non-finite device value), located
+  /// at the offending card's source line within `source` when known.
+  [[nodiscard]] std::optional<Diag> check(const std::string& source = {}) const;
+
+  /// Throws NetlistError on the first violation found by `check`.
+  void validate(const std::string& source = {}) const;
 };
 
 /// True if the net name denotes a power supply (vdd!, vcc, avdd, ...).

@@ -1,6 +1,7 @@
 #include "spice/parser.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -14,42 +15,6 @@ struct Line {
   std::string text;
   std::size_t number;  // 1-based line number of the first physical line
 };
-
-[[noreturn]] void fail(const Line& line, const std::string& what) {
-  throw ParseError("line " + std::to_string(line.number) + ": " + what +
-                   " [" + line.text + "]");
-}
-
-/// Joins continuation lines, strips comments, lower-cases.
-std::vector<Line> logical_lines(std::string_view text) {
-  std::vector<Line> lines;
-  std::size_t lineno = 0;
-  std::istringstream in{std::string(text)};
-  std::string raw;
-  while (std::getline(in, raw)) {
-    ++lineno;
-    // Strip inline comments ('$' or ';' to end of line).
-    for (const char marker : {'$', ';'}) {
-      auto pos = raw.find(marker);
-      if (pos != std::string::npos) raw.erase(pos);
-    }
-    std::string s{trim(raw)};
-    if (s.empty()) continue;
-    if (s.front() == '*') continue;  // full-line comment
-    s = to_lower(s);
-    if (s.front() == '+') {
-      if (lines.empty()) {
-        throw ParseError("line " + std::to_string(lineno) +
-                         ": continuation with no preceding card");
-      }
-      lines.back().text.push_back(' ');
-      lines.back().text.append(s, 1, std::string::npos);
-    } else {
-      lines.push_back({std::move(s), lineno});
-    }
-  }
-  return lines;
-}
 
 bool looks_like_card(const std::string& s) {
   if (s.empty()) return false;
@@ -97,30 +62,13 @@ bool is_param_token(const std::string& t) {
   return t.find('=') != std::string::npos;
 }
 
-DeviceType mos_type_from_model(const std::string& model,
-                               const std::map<std::string, DeviceType>& models,
-                               const Line& line) {
-  auto it = models.find(model);
-  if (it != models.end()) return it->second;
-  // Heuristic fallback on the model name, as used by common PDKs.
-  if (model.find("pmos") != std::string::npos ||
-      model.find("pch") != std::string::npos ||
-      model.find("pfet") != std::string::npos || starts_with(model, "p")) {
-    return DeviceType::Pmos;
-  }
-  if (model.find("nmos") != std::string::npos ||
-      model.find("nch") != std::string::npos ||
-      model.find("nfet") != std::string::npos || starts_with(model, "n")) {
-    return DeviceType::Nmos;
-  }
-  fail(line, "cannot infer NMOS/PMOS from model '" + model + "'");
-}
-
 class Parser {
  public:
-  explicit Parser(std::string_view text) : lines_(logical_lines(text)) {}
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
 
   Netlist run() {
+    split_lines();
     std::size_t i = 0;
     // Only the physically-first line can be a title (SPICE convention);
     // anything later that fails to parse is an error, not a title.
@@ -141,13 +89,105 @@ class Parser {
       parse_card(lines_[i]);
     }
     if (current_subckt_ != nullptr) {
-      throw ParseError("unterminated .subckt " + current_subckt_->name);
+      throw ParseError(make_diag(
+          DiagCode::SyntaxError, Stage::Parse,
+          "unterminated .subckt " + current_subckt_->name,
+          loc(current_subckt_->src_line)));
     }
-    netlist_.validate();
+    netlist_.validate(options_.source);
     return std::move(netlist_);
   }
 
  private:
+  [[nodiscard]] SourceLoc loc(std::size_t line_number) const {
+    return SourceLoc{options_.source, line_number};
+  }
+
+  [[noreturn]] void fail(const Line& line, DiagCode code,
+                         const std::string& what) const {
+    std::string shown = line.text;
+    if (shown.size() > 120) shown = shown.substr(0, 117) + "...";
+    throw ParseError(make_diag(code, Stage::Parse,
+                               what + " [" + shown + "]", loc(line.number)));
+  }
+
+  [[noreturn]] void fail_limit(std::size_t line_number,
+                               const std::string& what) const {
+    throw ParseError(make_diag(DiagCode::LimitExceeded, Stage::Parse, what,
+                               loc(line_number)));
+  }
+
+  /// Joins continuation lines, strips comments, lower-cases, and applies
+  /// the input-size guards.
+  void split_lines() {
+    const ParseLimits& lim = options_.limits;
+    if (lim.max_input_bytes != 0 && text_.size() > lim.max_input_bytes) {
+      fail_limit(0, "input is " + std::to_string(text_.size()) +
+                        " bytes, limit " + std::to_string(lim.max_input_bytes));
+    }
+    std::size_t lineno = 0;
+    std::istringstream in{std::string(text_)};
+    std::string raw;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      if (lim.max_lines != 0 && lineno > lim.max_lines) {
+        fail_limit(lineno, "more than " + std::to_string(lim.max_lines) +
+                               " lines of input");
+      }
+      if (lim.max_line_length != 0 && raw.size() > lim.max_line_length) {
+        fail_limit(lineno, "line is " + std::to_string(raw.size()) +
+                               " bytes, limit " +
+                               std::to_string(lim.max_line_length));
+      }
+      // Strip inline comments ('$' or ';' to end of line).
+      for (const char marker : {'$', ';'}) {
+        auto pos = raw.find(marker);
+        if (pos != std::string::npos) raw.erase(pos);
+      }
+      std::string s{trim(raw)};
+      if (s.empty()) continue;
+      if (s.front() == '*') continue;  // full-line comment
+      s = to_lower(s);
+      if (s.front() == '+') {
+        if (lines_.empty()) {
+          throw ParseError(make_diag(DiagCode::SyntaxError, Stage::Parse,
+                                     "continuation with no preceding card",
+                                     loc(lineno)));
+        }
+        Line& prev = lines_.back();
+        if (lim.max_logical_line_length != 0 &&
+            prev.text.size() + s.size() > lim.max_logical_line_length) {
+          fail_limit(lineno, "continuation chain exceeds " +
+                                 std::to_string(lim.max_logical_line_length) +
+                                 " bytes");
+        }
+        prev.text.push_back(' ');
+        prev.text.append(s, 1, std::string::npos);
+      } else {
+        lines_.push_back({std::move(s), lineno});
+      }
+    }
+  }
+
+  DeviceType mos_type_from_model(const std::string& model,
+                                 const Line& line) const {
+    auto it = models_.find(model);
+    if (it != models_.end()) return it->second;
+    // Heuristic fallback on the model name, as used by common PDKs.
+    if (model.find("pmos") != std::string::npos ||
+        model.find("pch") != std::string::npos ||
+        model.find("pfet") != std::string::npos || starts_with(model, "p")) {
+      return DeviceType::Pmos;
+    }
+    if (model.find("nmos") != std::string::npos ||
+        model.find("nch") != std::string::npos ||
+        model.find("nfet") != std::string::npos || starts_with(model, "n")) {
+      return DeviceType::Nmos;
+    }
+    fail(line, DiagCode::BadValue,
+         "cannot infer NMOS/PMOS from model '" + model + "'");
+  }
+
   void parse_card(const Line& line) {
     auto tokens = normalize_param_tokens(split_ws(line.text));
     if (tokens.empty()) return;
@@ -165,7 +205,8 @@ class Parser {
       case 'v': parse_source(line, tokens, DeviceType::VSource); break;
       case 'i': parse_source(line, tokens, DeviceType::ISource); break;
       case 'x': parse_instance(line, tokens); break;
-      default: fail(line, "unrecognized card '" + head + "'");
+      default:
+        fail(line, DiagCode::SyntaxError, "unrecognized card '" + head + "'");
     }
   }
 
@@ -173,27 +214,37 @@ class Parser {
     const std::string& d = t[0];
     if (d == ".subckt") {
       if (current_subckt_ != nullptr) {
-        fail(line, "nested .subckt definitions are not supported");
+        fail(line, DiagCode::SyntaxError,
+             "nested .subckt definitions are not supported");
       }
-      if (t.size() < 2) fail(line, ".subckt needs a name");
+      if (t.size() < 2) fail(line, DiagCode::SyntaxError, ".subckt needs a name");
       SubcktDef def;
       def.name = t[1];
+      def.src_line = line.number;
       for (std::size_t i = 2; i < t.size(); ++i) {
         if (is_param_token(t[i])) break;  // parameter defaults: ignored
         def.ports.push_back(t[i]);
       }
       auto [it, inserted] = netlist_.subckts.emplace(def.name, std::move(def));
-      if (!inserted) fail(line, "duplicate subckt " + t[1]);
+      if (!inserted) {
+        fail(line, DiagCode::DuplicateName, "duplicate subckt " + t[1]);
+      }
       current_subckt_ = &it->second;
     } else if (d == ".ends") {
-      if (current_subckt_ == nullptr) fail(line, ".ends without .subckt");
+      if (current_subckt_ == nullptr) {
+        fail(line, DiagCode::SyntaxError, ".ends without .subckt");
+      }
       current_subckt_ = nullptr;
     } else if (d == ".global") {
       for (std::size_t i = 1; i < t.size(); ++i) netlist_.globals.insert(t[i]);
     } else if (d == ".portlabel") {
-      if (t.size() < 3) fail(line, ".portlabel needs <net> <label>");
+      if (t.size() < 3) {
+        fail(line, DiagCode::SyntaxError, ".portlabel needs <net> <label>");
+      }
       auto label = port_label_from_string(t[2]);
-      if (!label) fail(line, "unknown port label '" + t[2] + "'");
+      if (!label) {
+        fail(line, DiagCode::BadValue, "unknown port label '" + t[2] + "'");
+      }
       netlist_.port_labels[t[1]] = *label;
     } else if (d == ".param") {
       // .param name=value [name=value ...]; values may reference
@@ -201,10 +252,15 @@ class Parser {
       for (std::size_t i = 1; i < t.size(); ++i) {
         const auto kv = split(t[i], '=');
         if (kv.size() != 2 || kv[0].empty()) {
-          fail(line, "malformed .param entry '" + t[i] + "'");
+          fail(line, DiagCode::SyntaxError,
+               "malformed .param entry '" + t[i] + "'");
         }
         const auto v = resolve_value(kv[1]);
-        if (!v) fail(line, "unresolvable .param value '" + t[i] + "'");
+        if (!v) {
+          fail(line, DiagCode::BadValue,
+               "unresolvable .param value '" + t[i] + "'");
+        }
+        check_finite(*v, line, t[i]);
         params_[kv[0]] = *v;
       }
     } else if (d == ".model" || d == ".end" ||
@@ -213,7 +269,8 @@ class Parser {
                d == ".ac" || d == ".dc") {
       // Simulation/bookkeeping directives are irrelevant to recognition.
     } else {
-      fail(line, "unsupported directive '" + d + "'");
+      fail(line, DiagCode::UnknownDirective,
+           "unsupported directive '" + d + "'");
     }
   }
 
@@ -239,33 +296,52 @@ class Parser {
     return std::nullopt;
   }
 
+  /// Rejects overflowed literals like 1e999 right at the card: a single
+  /// Inf would otherwise propagate through features into every GCN
+  /// activation of the circuit.
+  void check_finite(double v, const Line& line,
+                    const std::string& token) const {
+    if (!std::isfinite(v)) {
+      fail(line, DiagCode::NonFinite, "non-finite value '" + token + "'");
+    }
+  }
+
   void parse_params(const std::vector<std::string>& t, std::size_t from,
                     const Line& line, Device& dev) {
     for (std::size_t i = from; i < t.size(); ++i) {
       if (!is_param_token(t[i])) {
-        fail(line, "unexpected token '" + t[i] + "'");
+        fail(line, DiagCode::SyntaxError, "unexpected token '" + t[i] + "'");
       }
       const auto kv = split(t[i], '=');
       if (kv.size() != 2 || kv[0].empty()) {
-        fail(line, "malformed parameter '" + t[i] + "'");
+        fail(line, DiagCode::SyntaxError,
+             "malformed parameter '" + t[i] + "'");
       }
       auto v = resolve_value(kv[1]);
-      if (!v) fail(line, "non-numeric parameter value '" + t[i] + "'");
+      if (!v) {
+        fail(line, DiagCode::BadValue,
+             "non-numeric parameter value '" + t[i] + "'");
+      }
+      check_finite(*v, line, t[i]);
       dev.params[kv[0]] = *v;
     }
   }
 
   void parse_mos(const Line& line, const std::vector<std::string>& t) {
     // Mname d g s b model [params...]
-    if (t.size() < 6) fail(line, "MOS card needs name, 4 nets, and a model");
+    if (t.size() < 6) {
+      fail(line, DiagCode::SyntaxError,
+           "MOS card needs name, 4 nets, and a model");
+    }
     Device dev;
     dev.name = t[0];
+    dev.src_line = line.number;
     dev.pins = {t[1], t[2], t[3], t[4]};
     dev.model = t[5];
     if (is_param_token(dev.model)) {
-      fail(line, "MOS card is missing its model name");
+      fail(line, DiagCode::SyntaxError, "MOS card is missing its model name");
     }
-    dev.type = mos_type_from_model(dev.model, models_, line);
+    dev.type = mos_type_from_model(dev.model, line);
     parse_params(t, 6, line, dev);
     device_sink().push_back(std::move(dev));
   }
@@ -273,13 +349,18 @@ class Parser {
   void parse_two_pin(const Line& line, const std::vector<std::string>& t,
                      DeviceType type) {
     // Rname n1 n2 value [params...]
-    if (t.size() < 4) fail(line, "passive card needs name, 2 nets, value");
+    if (t.size() < 4) {
+      fail(line, DiagCode::SyntaxError,
+           "passive card needs name, 2 nets, value");
+    }
     Device dev;
     dev.name = t[0];
     dev.type = type;
+    dev.src_line = line.number;
     dev.pins = {t[1], t[2]};
     auto v = resolve_value(t[3]);
-    if (!v) fail(line, "bad value '" + t[3] + "'");
+    if (!v) fail(line, DiagCode::BadValue, "bad value '" + t[3] + "'");
+    check_finite(*v, line, t[3]);
     dev.value = *v;
     parse_params(t, 4, line, dev);
     device_sink().push_back(std::move(dev));
@@ -288,16 +369,22 @@ class Parser {
   void parse_source(const Line& line, const std::vector<std::string>& t,
                     DeviceType type) {
     // Vname n+ n- [dc] value  |  Vname n+ n-
-    if (t.size() < 3) fail(line, "source card needs name and 2 nets");
+    if (t.size() < 3) {
+      fail(line, DiagCode::SyntaxError, "source card needs name and 2 nets");
+    }
     Device dev;
     dev.name = t[0];
     dev.type = type;
+    dev.src_line = line.number;
     dev.pins = {t[1], t[2]};
     std::size_t i = 3;
     if (i < t.size() && t[i] == "dc") ++i;
     if (i < t.size() && !is_param_token(t[i])) {
       auto v = parse_number(t[i]);
-      if (!v) fail(line, "bad source value '" + t[i] + "'");
+      if (!v) {
+        fail(line, DiagCode::BadValue, "bad source value '" + t[i] + "'");
+      }
+      check_finite(*v, line, t[i]);
       dev.value = *v;
       ++i;
     }
@@ -307,17 +394,25 @@ class Parser {
 
   void parse_instance(const Line& line, const std::vector<std::string>& t) {
     // Xname net1 ... netN subcktname [params...]
-    if (t.size() < 3) fail(line, "instance card needs nets and a subckt");
+    if (t.size() < 3) {
+      fail(line, DiagCode::SyntaxError, "instance card needs nets and a subckt");
+    }
     Instance inst;
     inst.name = t[0];
+    inst.src_line = line.number;
     std::size_t end = t.size();
     while (end > 1 && is_param_token(t[end - 1])) --end;  // drop params
-    if (end < 3) fail(line, "instance card needs at least one net");
+    if (end < 3) {
+      fail(line, DiagCode::SyntaxError,
+           "instance card needs at least one net");
+    }
     inst.subckt = t[end - 1];
     inst.nets.assign(t.begin() + 1, t.begin() + static_cast<std::ptrdiff_t>(end - 1));
     instance_sink().push_back(std::move(inst));
   }
 
+  std::string_view text_;
+  const ParseOptions& options_;
   std::vector<Line> lines_;
   Netlist netlist_;
   SubcktDef* current_subckt_ = nullptr;
@@ -327,14 +422,47 @@ class Parser {
 
 }  // namespace
 
-Netlist parse_netlist(std::string_view text) { return Parser(text).run(); }
+Netlist parse_netlist(std::string_view text, const ParseOptions& options) {
+  return Parser(text, options).run();
+}
 
-Netlist parse_netlist_file(const std::string& path) {
+Netlist parse_netlist_file(const std::string& path, const ParseLimits& limits) {
   std::ifstream in(path);
-  if (!in) throw ParseError("cannot open file: " + path);
+  if (!in) {
+    throw ParseError(make_diag(DiagCode::IoError, Stage::Io,
+                               "cannot open file: " + path,
+                               SourceLoc{path, 0}));
+  }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_netlist(ss.str());
+  ParseOptions options;
+  options.source = path;
+  options.limits = limits;
+  return parse_netlist(ss.str(), options);
+}
+
+Result<Netlist> parse_netlist_result(std::string_view text,
+                                     const ParseOptions& options) {
+  try {
+    return parse_netlist(text, options);
+  } catch (const NetlistError& e) {
+    return e.diag();
+  } catch (const std::exception& e) {
+    return make_diag(DiagCode::Internal, Stage::Parse, e.what(),
+                     SourceLoc{options.source, 0});
+  }
+}
+
+Result<Netlist> parse_netlist_file_result(const std::string& path,
+                                          const ParseLimits& limits) {
+  try {
+    return parse_netlist_file(path, limits);
+  } catch (const NetlistError& e) {
+    return e.diag();
+  } catch (const std::exception& e) {
+    return make_diag(DiagCode::Internal, Stage::Parse, e.what(),
+                     SourceLoc{path, 0});
+  }
 }
 
 }  // namespace gana::spice

@@ -68,7 +68,8 @@ class Preprocessor {
 
   PreprocessReport run() {
     if (!netlist_.is_flat()) {
-      throw NetlistError("preprocess requires a flattened netlist");
+      throw NetlistError(make_diag(DiagCode::NotFlat, Stage::Preprocess,
+                                   "preprocess requires a flattened netlist"));
     }
     bool changed = true;
     while (changed) {

@@ -1,0 +1,3 @@
+* non-numeric resistor value
+r1 in out twelve_ohms
+.end

@@ -1,0 +1,3 @@
++ w=1u l=2u
+r1 a b 1k
+.end

@@ -1,0 +1,9 @@
+* mutual recursion: a instantiates b instantiates a
+.subckt a p
+xb p b
+.ends
+.subckt b p
+xa p a
+.ends
+x0 in a
+.end

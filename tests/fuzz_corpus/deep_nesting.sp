@@ -1,0 +1,213 @@
+* acyclic but absurdly deep hierarchy (beyond the flatten depth budget)
+.subckt level0 p
+xnext p level1
+.ends
+.subckt level1 p
+xnext p level2
+.ends
+.subckt level2 p
+xnext p level3
+.ends
+.subckt level3 p
+xnext p level4
+.ends
+.subckt level4 p
+xnext p level5
+.ends
+.subckt level5 p
+xnext p level6
+.ends
+.subckt level6 p
+xnext p level7
+.ends
+.subckt level7 p
+xnext p level8
+.ends
+.subckt level8 p
+xnext p level9
+.ends
+.subckt level9 p
+xnext p level10
+.ends
+.subckt level10 p
+xnext p level11
+.ends
+.subckt level11 p
+xnext p level12
+.ends
+.subckt level12 p
+xnext p level13
+.ends
+.subckt level13 p
+xnext p level14
+.ends
+.subckt level14 p
+xnext p level15
+.ends
+.subckt level15 p
+xnext p level16
+.ends
+.subckt level16 p
+xnext p level17
+.ends
+.subckt level17 p
+xnext p level18
+.ends
+.subckt level18 p
+xnext p level19
+.ends
+.subckt level19 p
+xnext p level20
+.ends
+.subckt level20 p
+xnext p level21
+.ends
+.subckt level21 p
+xnext p level22
+.ends
+.subckt level22 p
+xnext p level23
+.ends
+.subckt level23 p
+xnext p level24
+.ends
+.subckt level24 p
+xnext p level25
+.ends
+.subckt level25 p
+xnext p level26
+.ends
+.subckt level26 p
+xnext p level27
+.ends
+.subckt level27 p
+xnext p level28
+.ends
+.subckt level28 p
+xnext p level29
+.ends
+.subckt level29 p
+xnext p level30
+.ends
+.subckt level30 p
+xnext p level31
+.ends
+.subckt level31 p
+xnext p level32
+.ends
+.subckt level32 p
+xnext p level33
+.ends
+.subckt level33 p
+xnext p level34
+.ends
+.subckt level34 p
+xnext p level35
+.ends
+.subckt level35 p
+xnext p level36
+.ends
+.subckt level36 p
+xnext p level37
+.ends
+.subckt level37 p
+xnext p level38
+.ends
+.subckt level38 p
+xnext p level39
+.ends
+.subckt level39 p
+xnext p level40
+.ends
+.subckt level40 p
+xnext p level41
+.ends
+.subckt level41 p
+xnext p level42
+.ends
+.subckt level42 p
+xnext p level43
+.ends
+.subckt level43 p
+xnext p level44
+.ends
+.subckt level44 p
+xnext p level45
+.ends
+.subckt level45 p
+xnext p level46
+.ends
+.subckt level46 p
+xnext p level47
+.ends
+.subckt level47 p
+xnext p level48
+.ends
+.subckt level48 p
+xnext p level49
+.ends
+.subckt level49 p
+xnext p level50
+.ends
+.subckt level50 p
+xnext p level51
+.ends
+.subckt level51 p
+xnext p level52
+.ends
+.subckt level52 p
+xnext p level53
+.ends
+.subckt level53 p
+xnext p level54
+.ends
+.subckt level54 p
+xnext p level55
+.ends
+.subckt level55 p
+xnext p level56
+.ends
+.subckt level56 p
+xnext p level57
+.ends
+.subckt level57 p
+xnext p level58
+.ends
+.subckt level58 p
+xnext p level59
+.ends
+.subckt level59 p
+xnext p level60
+.ends
+.subckt level60 p
+xnext p level61
+.ends
+.subckt level61 p
+xnext p level62
+.ends
+.subckt level62 p
+xnext p level63
+.ends
+.subckt level63 p
+xnext p level64
+.ends
+.subckt level64 p
+xnext p level65
+.ends
+.subckt level65 p
+xnext p level66
+.ends
+.subckt level66 p
+xnext p level67
+.ends
+.subckt level67 p
+xnext p level68
+.ends
+.subckt level68 p
+xnext p level69
+.ends
+.subckt level69 p
+r1 p 0 1k
+.ends
+x0 top level0
+.end

@@ -1,0 +1,4 @@
+* the same device name twice in one scope
+r1 a b 1k
+r1 b c 2k
+.end

@@ -1,0 +1,3 @@
+* MOS card where the model slot holds a parameter
+m1 d g s b w=1u
+.end

@@ -1,0 +1,3 @@
+* literal that overflows double to +inf
+r1 in out 1e999
+.end

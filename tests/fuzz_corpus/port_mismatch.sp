@@ -1,0 +1,6 @@
+* two nets bound to a one-port subckt
+.subckt load p
+r1 p 0 10k
+.ends
+x0 a b load
+.end

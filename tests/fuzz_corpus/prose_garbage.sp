@@ -1,0 +1,4 @@
+the quick brown fox jumps over
+relaxation oscillators are best understood over coffee
+capacitors, famously, resist change
+.end

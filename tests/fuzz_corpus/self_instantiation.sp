@@ -1,0 +1,7 @@
+* a subckt that instantiates itself
+.subckt osc p
+r1 p 0 1k
+xme p osc
+.ends
+x0 in osc
+.end

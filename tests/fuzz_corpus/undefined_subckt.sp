@@ -1,0 +1,4 @@
+* instance of a subckt that is never defined
+r1 in out 1k
+x0 out ghost_amp
+.end

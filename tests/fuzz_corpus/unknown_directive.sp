@@ -1,0 +1,4 @@
+* unsupported dot-directive
+r1 a b 1k
+.fourier v(out)
+.end

@@ -1,0 +1,4 @@
+* .subckt with no matching .ends
+.subckt amp in out
+m1 out in gnd! gnd! nmos
+.end

@@ -308,5 +308,42 @@ m8 z2 pb0 vdd! vdd! pmos
   EXPECT_TRUE(found_types(found).count("dp_n"));
 }
 
+TEST(Annotator, GuardedReportsResourceOutcome) {
+  const auto g = graph_of(R"(
+m0 a a s1 gnd! nmos
+m1 b a s1 gnd! nmos
+.end
+)");
+  const auto outcome = annotate_primitives_guarded(g, lib());
+  EXPECT_FALSE(outcome.truncated);
+  EXPECT_GT(outcome.vf2_states, 0u);
+  EXPECT_EQ(outcome.primitives.size(),
+            annotate_primitives(g, lib()).size());
+}
+
+TEST(Annotator, GuardedTruncatesDeterministicallyUnderTinyBudget) {
+  const auto g = graph_of(R"(
+mt tail vbn gnd! gnd! nmos
+m1 y1 vinp tail gnd! nmos
+m2 y2 vinn tail gnd! nmos
+m3 voutn vbcn y1 gnd! nmos
+m4 voutp vbcn y2 gnd! nmos
+.end
+)");
+  AnnotateOptions opt;
+  opt.match.max_states = 5;  // starves every per-pattern sweep
+  const auto a = annotate_primitives_guarded(g, lib(), opt);
+  const auto b = annotate_primitives_guarded(g, lib(), opt);
+  EXPECT_TRUE(a.truncated);
+  EXPECT_EQ(a.vf2_states, b.vf2_states);
+  ASSERT_EQ(a.primitives.size(), b.primitives.size());
+  for (std::size_t i = 0; i < a.primitives.size(); ++i) {
+    EXPECT_EQ(a.primitives[i].type, b.primitives[i].type);
+    EXPECT_EQ(a.primitives[i].elements, b.primitives[i].elements);
+  }
+  // The unguarded search on the same graph finds at least as much.
+  EXPECT_GE(annotate_primitives(g, lib()).size(), a.primitives.size());
+}
+
 }  // namespace
 }  // namespace gana::primitives

@@ -198,7 +198,9 @@ TEST(Parser, ErrorsCarryLineNumbers) {
     parse_netlist("* title\nr1 a b\n.end\n");  // missing value on line 2
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
-    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("<input>:2:"), std::string::npos);
+    EXPECT_EQ(e.diag().loc.line, 2u);
+    EXPECT_EQ(e.diag().stage, gana::Stage::Parse);
   }
 }
 

@@ -190,6 +190,70 @@ mm1 d2 d1 s gnd! nmos
   EXPECT_EQ(find_subgraph_matches(loose(cm), target, opt).size(), 1u);
 }
 
+TEST(Vf2, StateBudgetTruncatesDeterministically) {
+  const auto target = graph_of(R"(
+m0 a a s1 gnd! nmos
+m1 b a s1 gnd! nmos
+m2 c c s2 gnd! nmos
+m3 e c s2 gnd! nmos
+.end
+)");
+  const auto cm = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  MatchStats full_stats;
+  const auto full =
+      find_subgraph_matches(loose(cm), target, {}, &full_stats);
+  EXPECT_FALSE(full_stats.truncated);
+  EXPECT_GT(full_stats.states, 0u);
+  ASSERT_EQ(full.size(), 2u);
+
+  MatchOptions opt;
+  opt.max_states = full_stats.states / 2;
+  MatchStats s1;
+  const auto m1 = find_subgraph_matches(loose(cm), target, opt, &s1);
+  EXPECT_TRUE(s1.truncated);
+  EXPECT_LE(m1.size(), full.size());
+
+  // A truncated search stops at a point determined only by the inputs:
+  // re-running it yields the same states count and the same matches.
+  MatchStats s2;
+  const auto m2 = find_subgraph_matches(loose(cm), target, opt, &s2);
+  EXPECT_EQ(s1.states, s2.states);
+  EXPECT_EQ(s1.truncated, s2.truncated);
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_EQ(m1[i].map, m2[i].map);
+  }
+}
+
+TEST(Vf2, TruncatedSearchReturnsMatchesFoundSoFar) {
+  // Budget large enough to find the first mirror but not finish the
+  // sweep: the partial enumeration is still usable.
+  const auto target = graph_of(R"(
+m0 a a s1 gnd! nmos
+m1 b a s1 gnd! nmos
+m2 c c s2 gnd! nmos
+m3 e c s2 gnd! nmos
+.end
+)");
+  const auto cm = graph_of(R"(
+mm0 d1 d1 s gnd! nmos
+mm1 d2 d1 s gnd! nmos
+.end
+)");
+  for (std::size_t budget = 1; budget <= 64; budget *= 2) {
+    MatchOptions opt;
+    opt.max_states = budget;
+    MatchStats stats;
+    const auto m = find_subgraph_matches(loose(cm), target, opt, &stats);
+    EXPECT_LE(m.size(), 2u);
+    EXPECT_LE(stats.states, budget + 1) << "budget " << budget;
+  }
+}
+
 TEST(Vf2, EmptyPatternYieldsNothing) {
   const auto target = graph_of("r0 a b 1k\n.end\n");
   CircuitGraph empty;
