@@ -5,6 +5,7 @@
 //   ./annotate_netlist circuit.sp [more.sp ...] [--domain ota|rf]
 //                      [--train] [--circuits 150] [--epochs 25]
 //                      [--jobs N] [--keep-going] [--svg out.svg]
+//                      [--sample-cache] [--perf-json perf.json]
 //                      [--save-model m.ckpt] [--load-model m.ckpt]
 //
 // Without --train the pipeline runs model-free (cluster classes come from
@@ -20,6 +21,12 @@
 // failure. Exit codes: 0 all annotated, 1 usage error, 2 I/O error,
 // 3 parse/validation error, 4 annotation error (first failure in input
 // order decides).
+//
+// --sample-cache: share spectral-operator preparation between
+// structurally identical inputs (bit-identical outputs, less work).
+//
+// --perf-json FILE: write the batch's wall/stage timings and perf
+// counters (allocations, spmm/matmul flops, cache hits) as JSON.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -117,6 +124,7 @@ int main(int argc, char** argv) {
         "                        [--domain ota|rf] [--train]\n"
         "                        [--circuits 150] [--epochs 25]\n"
         "                        [--jobs N] [--keep-going]\n"
+        "                        [--sample-cache] [--perf-json perf.json]\n"
         "                        [--svg layout.svg]\n");
     return kExitUsage;
   }
@@ -170,6 +178,10 @@ int main(int argc, char** argv) {
       domain == "rf" ? gana::datagen::rf_class_names()
                      : std::vector<std::string>{"ota", "bias"};
   gana::core::Annotator annotator(model.get(), classes);
+  if (args.has("sample-cache")) {
+    annotator.set_sample_cache(
+        std::make_shared<gana::gcn::SamplePrepCache>());
+  }
   gana::core::BatchOptions bopt;
   bopt.policy = keep_going ? gana::core::FailurePolicy::CollectAll
                            : gana::core::FailurePolicy::FailFast;
@@ -223,6 +235,19 @@ int main(int argc, char** argv) {
               batch.timings.prepare_seconds * 1e3,
               batch.timings.gcn_seconds * 1e3,
               batch.timings.post_seconds * 1e3);
+  if (annotator.sample_cache() != nullptr) {
+    const auto stats = annotator.sample_cache()->stats();
+    std::printf("sample cache: %llu hits, %llu misses, %zu entries\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), stats.entries);
+  }
+  if (args.has("perf-json")) {
+    std::ofstream f(args.get("perf-json"));
+    f << gana::core::batch_timings_to_json(batch.timings, batch.jobs,
+                                           batch.ok_count(), netlists.size())
+      << "\n";
+    std::printf("perf JSON written to %s\n", args.get("perf-json").c_str());
+  }
 
   // --- Exports (first successfully annotated file only).
   const gana::core::AnnotateResult* result = nullptr;

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds the full tier-1 test suite under the explicit release preset
+# (-O3 -DNDEBUG: asserts compiled out) and runs it. Guards the
+# release-mode correctness contract: input validation must be thrown
+# diagnostics (DiagError), never assert-only, so a bad triplet or
+# malformed netlist fails loudly in production builds too.
+# Usage: scripts/run_release_tests.sh  (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)"
+ctest --preset release -j"$(nproc)"

@@ -5,19 +5,11 @@
 #include <thread>
 #include <utility>
 
+#include "util/perf.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace gana::core {
-
-std::uint64_t task_seed(std::uint64_t root, std::size_t index) {
-  // splitmix64 finalizer over the root seed advanced by the task index.
-  std::uint64_t z =
-      root + 0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(index) + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
 
 namespace {
 
@@ -96,7 +88,7 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   auto guarded = [&task](std::size_t i) -> Result<AnnotateResult> {
     try {
       return task(i);
-    } catch (const spice::NetlistError& e) {
+    } catch (const DiagError& e) {
       return e.diag();
     } catch (const std::exception& e) {
       return make_diag(DiagCode::Internal, Stage::Batch,
@@ -105,6 +97,7 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   };
 
   Timer wall;
+  const PerfSnapshot perf_before = perf_snapshot();
   if (out.jobs <= 1 || count <= 1) {
     out.outcomes.reserve(count);
     bool aborted = false;
@@ -156,6 +149,15 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
     }
   }
   out.timings.wall_seconds = wall.seconds();
+  const PerfSnapshot perf = perf_snapshot() - perf_before;
+  out.timings.matrix_allocs = perf.matrix_allocs;
+  out.timings.matrix_alloc_bytes = perf.matrix_alloc_bytes;
+  out.timings.spmm_calls = perf.spmm_calls;
+  out.timings.spmm_flops = perf.spmm_flops;
+  out.timings.matmul_calls = perf.matmul_calls;
+  out.timings.matmul_flops = perf.matmul_flops;
+  out.timings.sample_cache_hits = perf.sample_cache_hits;
+  out.timings.sample_cache_misses = perf.sample_cache_misses;
   for (const auto& o : out.outcomes) {
     if (!o.ok()) continue;
     out.timings.prepare_seconds += o.value().seconds_prepare;
@@ -184,7 +186,7 @@ BatchOutcome BatchRunner::run_isolated(
   const Annotator& annotator = *annotator_;
   const std::uint64_t root = options_.seed;
   return dispatch(batch.size(), [&annotator, &batch, root](std::size_t i) {
-    return annotator.try_annotate(batch[i], task_seed(root, i));
+    return annotator.try_annotate(batch[i], root);
   });
 }
 
@@ -197,7 +199,7 @@ BatchOutcome BatchRunner::run_isolated(
       netlists.size(), [&annotator, &netlists, &names, root](std::size_t i) {
         const std::string name =
             i < names.size() ? names[i] : "batch/" + std::to_string(i);
-        return annotator.try_annotate(netlists[i], name, task_seed(root, i));
+        return annotator.try_annotate(netlists[i], name, root);
       });
 }
 

@@ -9,9 +9,13 @@
 // Determinism guarantee: results are bit-identical to the sequential
 // path regardless of thread count --
 //   * every circuit is a self-contained task writing only results[i];
-//   * each task's sample Rng stream is derived from (root seed, index),
-//     never from scheduling order;
-//   * shared state (model, library) is read-only during the run;
+//   * each task's sample Rng stream is derived from (root seed,
+//     structural hash of the circuit graph) inside the Annotator --
+//     never from scheduling order, and not from the slot index either,
+//     so structurally identical circuits share one stream and the
+//     sample-prep cache can serve them bit-identically;
+//   * shared state (model, library, prep cache) is read-only or
+//     internally synchronized with order-independent semantics;
 //   * the row-partitioned spmm keeps per-row accumulation order fixed.
 //
 // Fault isolation: `run_isolated` never throws on bad input. Each task
@@ -46,25 +50,32 @@ struct BatchOptions {
   /// Worker threads; 1 runs inline on the calling thread, 0 means
   /// std::thread::hardware_concurrency().
   std::size_t jobs = 1;
-  /// Root seed; task i annotates with stream task_seed(seed, i).
+  /// Root sample seed handed to every task unchanged; the Annotator
+  /// derives the per-circuit prep stream from (seed, structural hash).
   std::uint64_t seed = kDefaultSampleSeed;
   /// Failure handling for `run_isolated` (and how eagerly `run` aborts).
   FailurePolicy policy = FailurePolicy::FailFast;
 };
 
-/// Per-task sample-Rng stream: a splitmix64 mix of the root seed and the
-/// task index, so streams are decorrelated but depend only on position
-/// in the batch (not on which worker runs the task, or when).
-[[nodiscard]] std::uint64_t task_seed(std::uint64_t root, std::size_t index);
-
-/// Wall-clock and summed per-stage timings of one batch run. Stage sums
-/// add CPU seconds across circuits (they exceed wall_seconds when the
-/// run is parallel); failed tasks contribute nothing.
+/// Wall-clock and summed per-stage timings of one batch run, plus the
+/// process-wide perf-counter deltas (util/perf.hpp) observed across it.
+/// Stage sums add CPU seconds across circuits (they exceed wall_seconds
+/// when the run is parallel); failed tasks contribute nothing to stage
+/// sums. The counter deltas include any concurrent linalg activity in
+/// the process -- in the usual one-batch-at-a-time setup they are exact.
 struct BatchTimings {
   double wall_seconds = 0.0;
   double prepare_seconds = 0.0;  ///< sum: flatten + preprocess + graph
   double gcn_seconds = 0.0;      ///< sum: features + sample + inference
   double post_seconds = 0.0;     ///< sum: CCC + VF2 + postprocess + tree
+  std::uint64_t matrix_allocs = 0;      ///< dense-buffer heap growths
+  std::uint64_t matrix_alloc_bytes = 0;
+  std::uint64_t spmm_calls = 0;
+  std::uint64_t spmm_flops = 0;
+  std::uint64_t matmul_calls = 0;
+  std::uint64_t matmul_flops = 0;
+  std::uint64_t sample_cache_hits = 0;
+  std::uint64_t sample_cache_misses = 0;
 };
 
 struct BatchResult {

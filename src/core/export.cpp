@@ -80,6 +80,26 @@ std::string hierarchy_to_json(const HierarchyNode& root) {
   return out.str();
 }
 
+std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
+                                  std::size_t ok, std::size_t total) {
+  std::ostringstream out;
+  out << "{\"circuits\":" << total << ",\"ok\":" << ok
+      << ",\"jobs\":" << jobs
+      << ",\"wall_seconds\":" << t.wall_seconds
+      << ",\"prepare_seconds\":" << t.prepare_seconds
+      << ",\"gcn_seconds\":" << t.gcn_seconds
+      << ",\"post_seconds\":" << t.post_seconds
+      << ",\"matrix_allocs\":" << t.matrix_allocs
+      << ",\"matrix_alloc_bytes\":" << t.matrix_alloc_bytes
+      << ",\"spmm_calls\":" << t.spmm_calls
+      << ",\"spmm_flops\":" << t.spmm_flops
+      << ",\"matmul_calls\":" << t.matmul_calls
+      << ",\"matmul_flops\":" << t.matmul_flops
+      << ",\"sample_cache_hits\":" << t.sample_cache_hits
+      << ",\"sample_cache_misses\":" << t.sample_cache_misses << "}";
+  return out.str();
+}
+
 std::string annotation_to_json(const AnnotateResult& result,
                                const std::vector<std::string>& class_names) {
   std::ostringstream out;

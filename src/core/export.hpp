@@ -10,9 +10,17 @@
 
 #include <string>
 
+#include "core/batch_runner.hpp"
 #include "core/pipeline.hpp"
 
 namespace gana::core {
+
+/// Serializes one batch run's performance observations -- wall/stage
+/// seconds plus the perf-counter deltas (allocations, spmm/matmul flops,
+/// sample-cache hits) -- as a flat JSON object (the `--perf-json` CLI
+/// payload and the benchmark record format).
+std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
+                                  std::size_t ok, std::size_t total);
 
 /// Serializes a hierarchy tree (names, types, constraints, children) as
 /// JSON. Stable field order; no external JSON dependency.

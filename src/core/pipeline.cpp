@@ -8,6 +8,7 @@
 #include "gcn/trainer.hpp"
 #include "graph/builder.hpp"
 #include "graph/laplacian.hpp"
+#include "graph/structural_hash.hpp"
 #include "spice/flatten.hpp"
 #include "util/timer.hpp"
 
@@ -136,7 +137,9 @@ Result<AnnotateResult> guard(const std::string& name,
   Stage stage = Stage::Flatten;
   try {
     return body(&stage);
-  } catch (const spice::NetlistError& e) {
+  } catch (const DiagError& e) {
+    // Structured failures (NetlistError and every other DiagError
+    // subclass, e.g. sparse-assembly validation) keep their Diag.
     return e.diag();
   } catch (const std::bad_alloc&) {
     return make_diag(DiagCode::BudgetExhausted, stage,
@@ -208,13 +211,36 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
     r.probabilities = *oracle_probs;
   } else if (model_ != nullptr) {
     mark(stage, Stage::Features);
-    Rng rng(sample_seed);
-    const gcn::GraphSample sample = make_gcn_sample(
-        r.prepared, model_->config().required_pool_levels(), rng);
+    // Seed the prep stream from the circuit's structure, not its batch
+    // slot: structurally identical circuits then get bit-identical
+    // spectral operators whether or not the SamplePrepCache is attached.
+    const int pool_levels = model_->config().required_pool_levels();
+    const std::uint64_t prep_seed = graph::hash_combine(
+        sample_seed, graph::structural_hash(r.prepared.graph));
+    gcn::GraphSample sample;
+    if (sample_cache_ != nullptr) {
+      const std::uint64_t key = graph::hash_combine(
+          prep_seed, static_cast<std::uint64_t>(pool_levels));
+      std::shared_ptr<const gcn::SamplePrep> prep = sample_cache_->find(key);
+      if (prep == nullptr) {
+        Rng rng(prep_seed);
+        prep = sample_cache_->insert(
+            key, std::make_shared<gcn::SamplePrep>(gcn::make_sample_prep(
+                     graph::adjacency(r.prepared.graph), pool_levels, rng)));
+      }
+      sample = gcn::sample_from_prep(*prep, build_features(r.prepared.graph),
+                                     r.prepared.labels, r.prepared.name);
+    } else {
+      Rng rng(prep_seed);
+      sample = make_gcn_sample(r.prepared, pool_levels, rng);
+    }
     require_finite(sample.features, Stage::Features, r.prepared.name,
                    "feature value");
     mark(stage, Stage::Gcn);
-    r.probabilities = gcn::predict_probabilities(*model_, sample);
+    // One workspace per worker thread: steady-state inference reuses its
+    // buffers and performs zero heap allocations inside the model.
+    thread_local gcn::InferWorkspace ws;
+    r.probabilities = gcn::softmax(model_->infer(sample, ws));
     require_finite(r.probabilities, Stage::Gcn, r.prepared.name,
                    "class probability");
   } else {

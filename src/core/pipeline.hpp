@@ -8,12 +8,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/features.hpp"
 #include "core/hierarchy.hpp"
 #include "core/postprocess.hpp"
 #include "datagen/sizing.hpp"
 #include "gcn/model.hpp"
 #include "gcn/sample.hpp"
+#include "gcn/sample_cache.hpp"
 #include "graph/ccc.hpp"
 #include "primitives/library.hpp"
 #include "spice/preprocess.hpp"
@@ -60,9 +63,13 @@ std::vector<gcn::GraphSample> make_gcn_samples(
     const std::vector<datagen::LabeledCircuit>& circuits, int pool_levels,
     std::uint64_t seed, const PrepareOptions& options = {});
 
-/// Seed of the per-circuit sample Rng (Lanczos start vectors, Graclus
-/// tie-breaking) when the caller does not supply one. The batch runtime
-/// derives one stream per task from its root seed instead.
+/// Root seed of the per-circuit sample Rng (Lanczos start vectors,
+/// Graclus tie-breaking) when the caller does not supply one. The
+/// effective prep stream is seeded by hash_combine(root, structural
+/// hash of the circuit graph), so structurally identical circuits get
+/// identical prep no matter which batch slot (or process) they appear
+/// in -- the invariant that makes SamplePrepCache hits bit-identical to
+/// cache-off runs.
 inline constexpr std::uint64_t kDefaultSampleSeed = 0xc0ffee;
 
 /// Full annotation result with per-stage classifications and accuracies.
@@ -129,6 +136,19 @@ class Annotator {
       const spice::Netlist& netlist, const std::string& name,
       std::uint64_t sample_seed = kDefaultSampleSeed) const;
 
+  /// Attaches a sample-prep cache shared by all annotate calls (and all
+  /// threads -- the cache is internally synchronized). Pass nullptr to
+  /// detach. Cached and uncached runs produce bit-identical results;
+  /// the cache only skips recomputing spectral operators for circuits
+  /// whose structural hash was already seen.
+  void set_sample_cache(std::shared_ptr<gcn::SamplePrepCache> cache) {
+    sample_cache_ = std::move(cache);
+  }
+  [[nodiscard]] const std::shared_ptr<gcn::SamplePrepCache>& sample_cache()
+      const {
+    return sample_cache_;
+  }
+
   [[nodiscard]] const std::vector<std::string>& class_names() const {
     return class_names_;
   }
@@ -146,6 +166,7 @@ class Annotator {
   std::vector<std::string> class_names_;
   primitives::PrimitiveLibrary library_;
   PrepareOptions prepare_;
+  std::shared_ptr<gcn::SamplePrepCache> sample_cache_;  ///< optional
 };
 
 }  // namespace gana::core

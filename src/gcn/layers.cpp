@@ -14,54 +14,102 @@ namespace gana::gcn {
 // Sample preparation
 // ---------------------------------------------------------------------------
 
-GraphSample make_sample(const SparseMatrix& adjacency, Matrix features,
-                        std::vector<int> labels, int pool_levels, Rng& rng,
-                        std::string name) {
-  assert(features.rows() == adjacency.rows());
-  assert(labels.size() == adjacency.rows());
-  GraphSample s;
-  s.name = std::move(name);
-  s.features = std::move(features);
-  s.labels = std::move(labels);
+SparseMatrix make_scaled_laplacian(const SparseMatrix& adjacency, Rng& rng) {
+  const SparseMatrix lap = graph::normalized_laplacian(adjacency);
+  double lmax = lanczos_lambda_max(lap, rng, 24);
+  // Clamp into the normalized-Laplacian range (0, 2] first, THEN pad for
+  // the Lanczos under-estimate. Padding before clamping silently undid
+  // the pad whenever the padded value crossed 2 -- exactly the bipartite
+  // case (circuit graphs are bipartite, lambda_max == 2), where an
+  // unpadded estimate leaves |spec(L̂)| touching 1.
+  lmax = std::min(std::max(lmax, 1e-3), 2.0) * 1.01;
+  return graph::scaled_laplacian(lap, lmax);
+}
 
-  auto scaled = [&rng](const SparseMatrix& adj) {
-    const SparseMatrix lap = graph::normalized_laplacian(adj);
-    double lmax = lanczos_lambda_max(lap, rng, 24);
-    // Lanczos under-estimates from below; pad slightly and clamp into the
-    // normalized-Laplacian range so |spec(L̂)| <= 1.
-    lmax = std::min(std::max(lmax * 1.01, 1e-3), 2.0);
-    return graph::scaled_laplacian(lap, lmax);
-  };
-  // Row-normalized propagation for the GraphSAGE-mean alternative.
-  auto row_normalized = [](const SparseMatrix& adj) {
-    const auto deg = adj.row_sums();
-    std::vector<Triplet> t;
-    t.reserve(adj.nnz());
-    const auto& rp = adj.row_ptr();
-    for (std::size_t r = 0; r < adj.rows(); ++r) {
-      if (deg[r] <= 0.0) continue;
-      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
-        t.push_back({r, adj.col_idx()[k], adj.values()[k] / deg[r]});
-      }
+namespace {
+
+// Row-normalized propagation P = D^{-1} A for the GraphSAGE-mean
+// alternative. Zero-degree vertices get an identity self-loop row so an
+// isolated vertex propagates its own features instead of zeros.
+SparseMatrix row_normalized(const SparseMatrix& adj) {
+  const auto deg = adj.row_sums();
+  std::vector<Triplet> t;
+  t.reserve(adj.nnz());
+  const auto& rp = adj.row_ptr();
+  for (std::size_t r = 0; r < adj.rows(); ++r) {
+    if (deg[r] <= 0.0) {
+      t.push_back({r, r, 1.0});
+      continue;
     }
-    return SparseMatrix::from_triplets(adj.rows(), adj.cols(), std::move(t));
-  };
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      t.push_back({r, adj.col_idx()[k], adj.values()[k] / deg[r]});
+    }
+  }
+  return SparseMatrix::from_triplets(adj.rows(), adj.cols(), std::move(t));
+}
+
+}  // namespace
+
+SamplePrep make_sample_prep(const SparseMatrix& adjacency, int pool_levels,
+                            Rng& rng) {
+  SamplePrep prep;
   auto push_level = [&](const SparseMatrix& adj) {
-    s.lhat.push_back(scaled(adj));
+    prep.lhat.push_back(make_scaled_laplacian(adj, rng));
     SparseMatrix p = row_normalized(adj);
-    s.prop_t.push_back(p.transposed());
-    s.prop.push_back(std::move(p));
+    prep.prop_t.push_back(p.transposed());
+    prep.prop.push_back(std::move(p));
   };
 
   push_level(adjacency);
   if (pool_levels > 0) {
     const Coarsening c = graclus_coarsen(adjacency, pool_levels, rng);
     for (std::size_t l = 0; l < c.levels(); ++l) {
-      s.cluster_maps.push_back(c.cluster_maps[l]);
+      prep.cluster_maps.push_back(c.cluster_maps[l]);
       push_level(c.adjacency[l]);
     }
   }
+  return prep;
+}
+
+GraphSample sample_from_prep(const SamplePrep& prep, Matrix features,
+                             std::vector<int> labels, std::string name) {
+  GraphSample s;
+  s.name = std::move(name);
+  s.features = std::move(features);
+  s.labels = std::move(labels);
+  s.lhat = prep.lhat;
+  s.cluster_maps = prep.cluster_maps;
+  s.prop = prep.prop;
+  s.prop_t = prep.prop_t;
   return s;
+}
+
+GraphSample make_sample(const SparseMatrix& adjacency, Matrix features,
+                        std::vector<int> labels, int pool_levels, Rng& rng,
+                        std::string name) {
+  assert(features.rows() == adjacency.rows());
+  assert(labels.size() == adjacency.rows());
+  SamplePrep prep = make_sample_prep(adjacency, pool_levels, rng);
+  GraphSample s;
+  s.name = std::move(name);
+  s.features = std::move(features);
+  s.labels = std::move(labels);
+  s.lhat = std::move(prep.lhat);
+  s.cluster_maps = std::move(prep.cluster_maps);
+  s.prop = std::move(prep.prop);
+  s.prop_t = std::move(prep.prop_t);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Layer (allocating inference wrapper)
+// ---------------------------------------------------------------------------
+
+Matrix Layer::infer(const Matrix& x, const GraphSample& sample) const {
+  InferWorkspace ws;
+  Matrix out;
+  infer_into(x, sample, ws, out);
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -118,44 +166,51 @@ Matrix ChebConv::forward(const Matrix& x, const GraphSample& sample,
   return y;
 }
 
-Matrix ChebConv::infer(const Matrix& x, const GraphSample& sample) const {
-  // Same arithmetic, in the same order, as the evaluation-mode forward()
-  // -- but all intermediates are local, so a shared model is read-only.
+void ChebConv::infer_into(const Matrix& x, const GraphSample& sample,
+                          InferWorkspace& ws, Matrix& out) const {
+  // Same arithmetic, in the same order, as the evaluation-mode forward();
+  // all intermediates live in the workspace, so a shared model is
+  // read-only and a warm workspace allocates nothing.
   assert(x.cols() == in_);
   assert(static_cast<std::size_t>(level_) < sample.lhat.size());
   const SparseMatrix& lhat = sample.lhat[static_cast<std::size_t>(level_)];
   const std::size_t n = x.rows();
   assert(lhat.rows() == n);
 
-  Matrix z(n, static_cast<std::size_t>(k_) * in_);
-  Matrix t_prev2;
-  Matrix t_prev = x;
+  ws.z.resize(n, static_cast<std::size_t>(k_) * in_);
+  // Ring-buffered recurrence: T_k lands in ws.t[k % 3], which is never
+  // T_{k-1} or T_{k-2} (k, k-1, k-2 are distinct mod 3).
+  const Matrix* t_prev2 = nullptr;  // T_{k-2}
+  const Matrix* t_prev = &x;        // T_{k-1}
   for (int k = 0; k < k_; ++k) {
-    Matrix t_cur;
+    const Matrix* t_cur;
     if (k == 0) {
-      t_cur = x;
-    } else if (k == 1) {
-      t_cur = lhat.multiply(x);
+      t_cur = &x;
     } else {
-      t_cur = lhat.multiply(t_prev);
-      t_cur *= 2.0;
-      t_cur -= t_prev2;
+      Matrix& buf = ws.t[static_cast<std::size_t>(k % 3)];
+      if (k == 1) {
+        lhat.multiply_into(x, buf);
+      } else {
+        lhat.multiply_into(*t_prev, buf);
+        buf *= 2.0;
+        buf -= *t_prev2;
+      }
+      t_cur = &buf;
     }
     for (std::size_t r = 0; r < n; ++r) {
-      double* zrow = z.row_ptr(r) + static_cast<std::size_t>(k) * in_;
-      const double* trow = t_cur.row_ptr(r);
+      double* zrow = ws.z.row_ptr(r) + static_cast<std::size_t>(k) * in_;
+      const double* trow = t_cur->row_ptr(r);
       for (std::size_t c = 0; c < in_; ++c) zrow[c] = trow[c];
     }
-    t_prev2 = std::move(t_prev);
-    t_prev = std::move(t_cur);
+    t_prev2 = t_prev;
+    t_prev = t_cur;
   }
 
-  Matrix y = matmul(z, weight_);
+  matmul_into(ws.z, weight_, out);
   for (std::size_t r = 0; r < n; ++r) {
-    double* yrow = y.row_ptr(r);
+    double* yrow = out.row_ptr(r);
     for (std::size_t c = 0; c < out_; ++c) yrow[c] += bias_(0, c);
   }
-  return y;
 }
 
 Matrix ChebConv::backward(const Matrix& grad_out) {
@@ -228,17 +283,18 @@ Matrix SageConv::forward(const Matrix& x, const GraphSample& sample,
   return y;
 }
 
-Matrix SageConv::infer(const Matrix& x, const GraphSample& sample) const {
+void SageConv::infer_into(const Matrix& x, const GraphSample& sample,
+                          InferWorkspace& ws, Matrix& out) const {
   assert(x.cols() == in_);
   assert(static_cast<std::size_t>(level_) < sample.prop.size());
   const SparseMatrix& p = sample.prop[static_cast<std::size_t>(level_)];
-  const Matrix z = hcat(x, p.multiply(x));
-  Matrix y = matmul(z, weight_);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    double* yrow = y.row_ptr(r);
+  p.multiply_into(x, ws.t[0]);
+  hcat_into(x, ws.t[0], ws.z);
+  matmul_into(ws.z, weight_, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* yrow = out.row_ptr(r);
     for (std::size_t c = 0; c < out_; ++c) yrow[c] += bias_(0, c);
   }
-  return y;
 }
 
 Matrix SageConv::backward(const Matrix& grad_out) {
@@ -285,12 +341,12 @@ Matrix Relu::forward(const Matrix& x, const GraphSample& /*sample*/,
   return y;
 }
 
-Matrix Relu::infer(const Matrix& x, const GraphSample& /*sample*/) const {
-  Matrix y = x;
-  for (auto& v : y.data()) {
+void Relu::infer_into(const Matrix& x, const GraphSample& /*sample*/,
+                      InferWorkspace& /*ws*/, Matrix& out) const {
+  out.copy_from(x);
+  for (auto& v : out.data()) {
     if (!(v > 0.0)) v = 0.0;
   }
-  return y;
 }
 
 Matrix Relu::backward(const Matrix& grad_out) {
@@ -323,8 +379,9 @@ Matrix Dropout::forward(const Matrix& x, const GraphSample& /*sample*/,
   return y;
 }
 
-Matrix Dropout::infer(const Matrix& x, const GraphSample& /*sample*/) const {
-  return x;  // identity in evaluation mode
+void Dropout::infer_into(const Matrix& x, const GraphSample& /*sample*/,
+                         InferWorkspace& /*ws*/, Matrix& out) const {
+  out.copy_from(x);  // identity in evaluation mode
 }
 
 Matrix Dropout::backward(const Matrix& grad_out) {
@@ -387,19 +444,19 @@ Matrix BatchNorm::forward(const Matrix& x, const GraphSample& /*sample*/,
   return y;
 }
 
-Matrix BatchNorm::infer(const Matrix& x, const GraphSample& /*sample*/) const {
+void BatchNorm::infer_into(const Matrix& x, const GraphSample& /*sample*/,
+                           InferWorkspace& /*ws*/, Matrix& out) const {
   const std::size_t n = x.rows(), f = x.cols();
-  Matrix y(n, f);
+  out.resize(n, f);
   for (std::size_t c = 0; c < f; ++c) {
     const double mean = running_mean_(0, c);
     const double var = running_var_(0, c);
     const double iv = 1.0 / std::sqrt(var + eps_);
     for (std::size_t r = 0; r < n; ++r) {
       const double xh = (x(r, c) - mean) * iv;
-      y(r, c) = gamma_(0, c) * xh + beta_(0, c);
+      out(r, c) = gamma_(0, c) * xh + beta_(0, c);
     }
   }
-  return y;
 }
 
 Matrix BatchNorm::backward(const Matrix& grad_out) {
@@ -452,13 +509,13 @@ Matrix Dense::forward(const Matrix& x, const GraphSample& /*sample*/,
   return y;
 }
 
-Matrix Dense::infer(const Matrix& x, const GraphSample& /*sample*/) const {
-  Matrix y = matmul(x, weight_);
-  for (std::size_t r = 0; r < y.rows(); ++r) {
-    double* yrow = y.row_ptr(r);
-    for (std::size_t c = 0; c < y.cols(); ++c) yrow[c] += bias_(0, c);
+void Dense::infer_into(const Matrix& x, const GraphSample& /*sample*/,
+                       InferWorkspace& /*ws*/, Matrix& out) const {
+  matmul_into(x, weight_, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double* yrow = out.row_ptr(r);
+    for (std::size_t c = 0; c < out.cols(); ++c) yrow[c] += bias_(0, c);
   }
-  return y;
 }
 
 Matrix Dense::backward(const Matrix& grad_out) {
@@ -517,7 +574,8 @@ Matrix GraclusPool::forward(const Matrix& x, const GraphSample& sample,
   return y;
 }
 
-Matrix GraclusPool::infer(const Matrix& x, const GraphSample& sample) const {
+void GraclusPool::infer_into(const Matrix& x, const GraphSample& sample,
+                             InferWorkspace& ws, Matrix& out) const {
   assert(static_cast<std::size_t>(level_) < sample.cluster_maps.size());
   const std::vector<std::size_t>& cluster_of =
       sample.cluster_maps[static_cast<std::size_t>(level_)];
@@ -528,28 +586,27 @@ Matrix GraclusPool::infer(const Matrix& x, const GraphSample& sample) const {
           ? 0
           : *std::max_element(cluster_of.begin(), cluster_of.end()) + 1;
 
-  Matrix y(coarse_n, cols);
+  out.resize(coarse_n, cols);
   if (mode_ == Mode::Max) {
-    y.fill(-1e300);
+    out.fill(-1e300);
     for (std::size_t v = 0; v < fine_n; ++v) {
       const std::size_t c = cluster_of[v];
       for (std::size_t j = 0; j < cols; ++j) {
-        if (x(v, j) > y(c, j)) y(c, j) = x(v, j);
+        if (x(v, j) > out(c, j)) out(c, j) = x(v, j);
       }
     }
   } else {
-    std::vector<double> count(coarse_n, 0.0);
+    ws.scratch.assign(coarse_n, 0.0);
     for (std::size_t v = 0; v < fine_n; ++v) {
       const std::size_t c = cluster_of[v];
-      count[c] += 1.0;
-      for (std::size_t j = 0; j < cols; ++j) y(c, j) += x(v, j);
+      ws.scratch[c] += 1.0;
+      for (std::size_t j = 0; j < cols; ++j) out(c, j) += x(v, j);
     }
     for (std::size_t c = 0; c < coarse_n; ++c) {
-      const double inv = count[c] > 0.0 ? 1.0 / count[c] : 0.0;
-      for (std::size_t j = 0; j < cols; ++j) y(c, j) *= inv;
+      const double inv = ws.scratch[c] > 0.0 ? 1.0 / ws.scratch[c] : 0.0;
+      for (std::size_t j = 0; j < cols; ++j) out(c, j) *= inv;
     }
   }
-  return y;
 }
 
 Matrix GraclusPool::backward(const Matrix& grad_out) {
@@ -585,17 +642,17 @@ Matrix Unpool::forward(const Matrix& x, const GraphSample& sample,
   return y;
 }
 
-Matrix Unpool::infer(const Matrix& x, const GraphSample& sample) const {
+void Unpool::infer_into(const Matrix& x, const GraphSample& sample,
+                        InferWorkspace& /*ws*/, Matrix& out) const {
   assert(static_cast<std::size_t>(level_) < sample.cluster_maps.size());
   const std::vector<std::size_t>& cluster_of =
       sample.cluster_maps[static_cast<std::size_t>(level_)];
-  Matrix y(cluster_of.size(), x.cols());
+  out.resize(cluster_of.size(), x.cols());
   for (std::size_t v = 0; v < cluster_of.size(); ++v) {
     const std::size_t c = cluster_of[v];
     assert(c < x.rows());
-    for (std::size_t j = 0; j < x.cols(); ++j) y(v, j) = x(c, j);
+    for (std::size_t j = 0; j < x.cols(); ++j) out(v, j) = x(c, j);
   }
-  return y;
 }
 
 Matrix Unpool::backward(const Matrix& grad_out) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "gcn/sample.hpp"
+#include "gcn/workspace.hpp"
 #include "linalg/dense.hpp"
 #include "util/rng.hpp"
 
@@ -25,11 +26,20 @@ class Layer {
   virtual Matrix forward(const Matrix& x, const GraphSample& sample,
                          bool training, Rng& rng) = 0;
 
-  /// Evaluation-mode output with NO mutable state: bit-identical to
-  /// forward(x, sample, /*training=*/false, rng) but const, so many
-  /// threads can run inference through one shared model (the parallel
-  /// batch runtime relies on this).
-  virtual Matrix infer(const Matrix& x, const GraphSample& sample) const = 0;
+  /// Evaluation-mode output into a caller-owned buffer, with NO mutable
+  /// layer state: bit-identical to forward(x, sample, training=false,
+  /// rng) but const, so many threads can run inference through one
+  /// shared model (the parallel batch runtime relies on this). All
+  /// intermediates live in `ws`; once the workspace buffers are warm the
+  /// call performs zero heap allocations. `out` must not alias `x` or a
+  /// workspace buffer the layer uses as scratch (GcnModel's ping-pong
+  /// activations guarantee this).
+  virtual void infer_into(const Matrix& x, const GraphSample& sample,
+                          InferWorkspace& ws, Matrix& out) const = 0;
+
+  /// Allocating convenience wrapper over infer_into (fresh workspace per
+  /// call); bit-identical to the workspace path.
+  [[nodiscard]] Matrix infer(const Matrix& x, const GraphSample& sample) const;
 
   /// Given dLoss/dOutput, accumulates parameter gradients and returns
   /// dLoss/dInput. Must follow a forward() call.
@@ -59,7 +69,8 @@ class ChebConv : public Layer {
 
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -87,7 +98,8 @@ class SageConv : public Layer {
 
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -106,7 +118,8 @@ class Relu : public Layer {
  public:
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:
@@ -119,7 +132,8 @@ class Dropout : public Layer {
   explicit Dropout(double rate) : rate_(rate) {}
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:
@@ -134,7 +148,8 @@ class BatchNorm : public Layer {
                      double eps = 1e-5);
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&gamma_, &beta_}; }
   std::vector<Matrix*> grads() override { return {&grad_gamma_, &grad_beta_}; }
@@ -158,7 +173,8 @@ class Dense : public Layer {
   Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Matrix*> params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> grads() override { return {&grad_weight_, &grad_bias_}; }
@@ -176,7 +192,8 @@ class GraclusPool : public Layer {
   GraclusPool(int level, Mode mode) : level_(level), mode_(mode) {}
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:
@@ -197,7 +214,8 @@ class Unpool : public Layer {
   explicit Unpool(int level) : level_(level) {}
   Matrix forward(const Matrix& x, const GraphSample& sample, bool training,
                  Rng& rng) override;
-  Matrix infer(const Matrix& x, const GraphSample& sample) const override;
+  void infer_into(const Matrix& x, const GraphSample& sample,
+                  InferWorkspace& ws, Matrix& out) const override;
   Matrix backward(const Matrix& grad_out) override;
 
  private:

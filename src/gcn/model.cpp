@@ -51,11 +51,20 @@ Matrix GcnModel::forward(const GraphSample& sample, bool training) {
 }
 
 Matrix GcnModel::infer(const GraphSample& sample) const {
-  Matrix x = sample.features;
+  InferWorkspace ws;
+  return infer(sample, ws);  // copies the logits out of the workspace
+}
+
+const Matrix& GcnModel::infer(const GraphSample& sample,
+                              InferWorkspace& ws) const {
+  const Matrix* cur = &sample.features;
+  Matrix* next = &ws.act_a;
   for (const auto& layer : layers_) {
-    x = layer->infer(x, sample);
+    layer->infer_into(*cur, sample, ws, *next);
+    cur = next;
+    next = (next == &ws.act_a) ? &ws.act_b : &ws.act_a;
   }
-  return x;
+  return *cur;
 }
 
 void GcnModel::backward(const Matrix& grad_logits) {

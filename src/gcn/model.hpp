@@ -59,6 +59,14 @@ class GcnModel {
   /// annotates many circuits against the same weights).
   [[nodiscard]] Matrix infer(const GraphSample& sample) const;
 
+  /// Zero-allocation fast path: logits land in a workspace buffer that
+  /// is reused (and stays valid) until the next infer call with the same
+  /// workspace. Bit-identical to infer(sample). Activations ping-pong
+  /// between ws.act_a and ws.act_b so no layer reads and writes the same
+  /// buffer; once the workspace is warm for the largest sample shape,
+  /// steady-state calls perform zero heap allocations.
+  const Matrix& infer(const GraphSample& sample, InferWorkspace& ws) const;
+
   /// Backpropagates dLoss/dLogits, accumulating parameter gradients.
   void backward(const Matrix& grad_logits);
 

@@ -14,6 +14,23 @@ class Rng;
 
 namespace gana::gcn {
 
+/// The graph-level precomputation of one sample: multilevel spectral
+/// operators and cluster maps. Everything here is a function of the
+/// adjacency *pattern* alone (plus the prep Rng stream), never of device
+/// values or names -- which is why structurally identical circuits can
+/// share one SamplePrep through the SamplePrepCache.
+struct SamplePrep {
+  std::vector<SparseMatrix> lhat;
+  std::vector<std::vector<std::size_t>> cluster_maps;
+  /// Row-normalized propagation operators P = D^{-1} A per level (and
+  /// their transposes, needed by backprop), used by the GraphSAGE-mean
+  /// alternative convolution. Zero-degree vertices get an identity
+  /// self-loop row so isolated vertices keep their own features under
+  /// mean propagation.
+  std::vector<SparseMatrix> prop;
+  std::vector<SparseMatrix> prop_t;
+};
+
 /// One circuit, ready for the network. `lhat[0]` is the scaled Laplacian
 /// L̂ = 2L/λ_max - I of the original graph (paper Eq. 3); `lhat[l]` for
 /// l > 0 are the operators of the Graclus-coarsened graphs used below
@@ -25,14 +42,23 @@ struct GraphSample {
   std::vector<int> labels; ///< per-node class id; -1 = excluded from loss
   std::vector<SparseMatrix> lhat;
   std::vector<std::vector<std::size_t>> cluster_maps;
-  /// Row-normalized propagation operators P = D^{-1} A per level (and
-  /// their transposes, needed by backprop), used by the GraphSAGE-mean
-  /// alternative convolution.
+  /// See SamplePrep::prop.
   std::vector<SparseMatrix> prop;
   std::vector<SparseMatrix> prop_t;
 
   [[nodiscard]] std::size_t nodes() const { return features.rows(); }
 };
+
+/// Scaled Laplacian L̂ of one adjacency matrix: normalized Laplacian,
+/// Lanczos λ_max estimate (clamped into (0, 2] *before* the 1.01 safety
+/// pad so the |spec(L̂)| <= 1 contract holds even when λ_max is exactly
+/// 2, as on bipartite graphs), then 2L/λ_max - I.
+SparseMatrix make_scaled_laplacian(const SparseMatrix& adjacency, Rng& rng);
+
+/// Graph-level precomputation: scaled Laplacians, propagation operators,
+/// and `pool_levels` rounds of Graclus coarsening.
+SamplePrep make_sample_prep(const SparseMatrix& adjacency, int pool_levels,
+                            Rng& rng);
 
 /// Builds a GraphSample from an adjacency matrix: normalized Laplacian,
 /// Lanczos λ_max (with a Gershgorin fallback for tiny graphs), scaling,
@@ -41,5 +67,11 @@ struct GraphSample {
 GraphSample make_sample(const SparseMatrix& adjacency, Matrix features,
                         std::vector<int> labels, int pool_levels, Rng& rng,
                         std::string name = {});
+
+/// Assembles a GraphSample around precomputed (possibly cached) prep;
+/// the operators are copied out of `prep`, features/labels stay
+/// per-sample.
+GraphSample sample_from_prep(const SamplePrep& prep, Matrix features,
+                             std::vector<int> labels, std::string name = {});
 
 }  // namespace gana::gcn

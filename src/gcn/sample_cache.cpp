@@ -1,0 +1,39 @@
+#include "gcn/sample_cache.hpp"
+
+#include "util/perf.hpp"
+
+namespace gana::gcn {
+
+std::shared_ptr<const SamplePrep> SamplePrepCache::find(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    perf::count_sample_cache_miss();
+    return nullptr;
+  }
+  ++hits_;
+  perf::count_sample_cache_hit();
+  return it->second;
+}
+
+std::shared_ptr<const SamplePrep> SamplePrepCache::insert(
+    std::uint64_t key, std::shared_ptr<const SamplePrep> prep) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = map_.emplace(key, std::move(prep));
+  return it->second;
+}
+
+SamplePrepCache::Stats SamplePrepCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_, misses_, map_.size()};
+}
+
+void SamplePrepCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace gana::gcn

@@ -1,0 +1,38 @@
+// Reusable buffers for the zero-allocation inference fast path.
+//
+// Every Layer::infer_into writes its output and scratch intermediates
+// into caller-owned matrices whose heap buffers persist across calls
+// (Matrix::resize reuses capacity). After a warm-up pass that grows the
+// buffers to the largest shapes the model produces, steady-state
+// inference through GcnModel::infer(sample, ws) performs zero heap
+// allocations -- pinned by InferWorkspace tests against the perf
+// counters (util/perf.hpp).
+//
+// A workspace is single-threaded mutable state: one per worker thread
+// (the batch runtime keeps a thread_local one). Sharing a workspace
+// between concurrent infer calls is a data race.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace gana::gcn {
+
+struct InferWorkspace {
+  /// Ping-pong activation buffers threaded between layers by
+  /// GcnModel::infer; a layer always reads one and writes the other.
+  Matrix act_a, act_b;
+  /// Stacked Chebyshev basis [T_0 x | ... | T_{K-1} x] (or the [x | Px]
+  /// pair for SageConv); shared by all convolution layers since layers
+  /// run sequentially.
+  Matrix z;
+  /// Chebyshev recurrence ring buffer (T_{k-2}, T_{k-1}, T_k rotate
+  /// through these without ever colliding: indices k, k-1, k-2 are
+  /// distinct mod 3).
+  Matrix t[3];
+  /// Per-cluster member counts for mean Graclus pooling.
+  std::vector<double> scratch;
+};
+
+}  // namespace gana::gcn

@@ -7,6 +7,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/perf.hpp"
+
 namespace gana {
 
 class Rng;
@@ -14,11 +16,21 @@ class Rng;
 /// Dense row-major matrix of doubles.
 ///
 /// Invariant: data().size() == rows() * cols().
+///
+/// Heap discipline: the sized constructor and any `resize`/`copy_from`
+/// that outgrows the current capacity count one allocation in the perf
+/// counters. The inference fast path routes every buffer through
+/// `resize`/`copy_from` on reused workspace matrices, so steady-state
+/// inference performs (and reports) zero allocations.
 class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    if (!data_.empty()) {
+      perf::count_matrix_alloc(data_.size() * sizeof(double));
+    }
+  }
 
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
@@ -41,6 +53,15 @@ class Matrix {
   }
 
   void fill(double v);
+
+  /// Reshapes to rows x cols with every entry zeroed, reusing the
+  /// existing heap buffer whenever its capacity suffices (the workspace
+  /// reuse contract of the inference fast path).
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Becomes a copy of `src`, reusing the existing buffer when possible.
+  void copy_from(const Matrix& src);
+
   /// Element-wise in-place operations.
   Matrix& operator+=(const Matrix& other);
   Matrix& operator-=(const Matrix& other);
@@ -59,8 +80,33 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Dense-product kernel selection.
+///
+/// Both kernels perform the exact same sequence of IEEE operations per
+/// output element -- each c(i,j) accumulates a(i,k)*b(k,j) over strictly
+/// increasing k, one rounded add at a time, and multiplications by an
+/// exact zero a(i,k) are skipped -- so their results are bit-identical
+/// (linalg_test pins this). `Unrolled` processes four k-rows per pass to
+/// cut c-row load/store traffic and is the default; `Reference` is the
+/// original loop, kept as the correctness oracle and as the baseline the
+/// inference bench measures the fast path against.
+enum class MatmulKernel {
+  Reference,  ///< original scalar ikj loop
+  Unrolled,   ///< 4-way k-unrolled ikj loop (default)
+};
+
+/// Process-global kernel switch. Not synchronized: set it only while no
+/// product is running (bench/test setup), never mid-batch.
+void set_matmul_kernel(MatmulKernel kernel);
+[[nodiscard]] MatmulKernel matmul_kernel();
+
 /// C = A * B. Dimensions must agree (A.cols == B.rows).
 Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C = A * B into a caller-owned buffer (resized; capacity reused).
+/// Bit-identical to `matmul` -- same kernel, same accumulation order.
+/// `c` must not alias `a` or `b`.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C = A^T * B.
 Matrix matmul_at_b(const Matrix& a, const Matrix& b);
@@ -76,5 +122,8 @@ double frobenius_sq(const Matrix& a);
 
 /// Horizontal concatenation [A | B]; row counts must match.
 Matrix hcat(const Matrix& a, const Matrix& b);
+
+/// [A | B] into a caller-owned buffer; `c` must not alias `a` or `b`.
+void hcat_into(const Matrix& a, const Matrix& b, Matrix& c);
 
 }  // namespace gana

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
+#include "util/diag.hpp"
+#include "util/perf.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gana {
@@ -21,6 +24,18 @@ constexpr std::size_t kSpmmRowGrain = 64;
 
 SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
                                          std::vector<Triplet> triplets) {
+  // Range validation must survive -DNDEBUG: a bad triplet that only an
+  // assert would catch silently corrupts the CSR arrays (col out of
+  // range) or drops entries (row out of range) in release builds.
+  for (const Triplet& t : triplets) {
+    if (t.row >= rows || t.col >= cols) {
+      throw DiagError(make_diag(
+          DiagCode::Internal, Stage::GraphBuild,
+          "sparse triplet (" + std::to_string(t.row) + ", " +
+              std::to_string(t.col) + ") outside " + std::to_string(rows) +
+              "x" + std::to_string(cols) + " matrix"));
+    }
+  }
   std::sort(triplets.begin(), triplets.end(),
             [](const Triplet& a, const Triplet& b) {
               return a.row != b.row ? a.row < b.row : a.col < b.col;
@@ -34,7 +49,6 @@ SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
   std::size_t i = 0;
   for (std::size_t r = 0; r < rows; ++r) {
     while (i < triplets.size() && triplets[i].row == r) {
-      assert(triplets[i].col < cols);
       double v = triplets[i].value;
       const std::size_t c = triplets[i].col;
       ++i;
@@ -48,7 +62,7 @@ SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
     }
     m.row_ptr_[r + 1] = m.values_.size();
   }
-  assert(i == triplets.size());  // all triplets must have row < rows
+  assert(i == triplets.size());  // guaranteed by the range check above
   return m;
 }
 
@@ -74,8 +88,16 @@ std::vector<double> SparseMatrix::multiply(
 }
 
 Matrix SparseMatrix::multiply(const Matrix& x) const {
+  Matrix y;
+  multiply_into(x, y);
+  return y;
+}
+
+void SparseMatrix::multiply_into(const Matrix& x, Matrix& y) const {
   assert(x.rows() == cols_);
-  Matrix y(rows_, x.cols());
+  assert(&y != &x);
+  y.resize(rows_, x.cols());
+  perf::count_spmm(2ull * nnz() * x.cols());
   // Row-partitioned kernel: each task owns a disjoint output row range,
   // and every row's accumulation runs in the same order as the
   // sequential loop, so the product is bit-identical at any thread
@@ -101,7 +123,6 @@ Matrix SparseMatrix::multiply(const Matrix& x) const {
   } else {
     rows_kernel(0, rows_);
   }
-  return y;
 }
 
 double SparseMatrix::at(std::size_t r, std::size_t c) const {

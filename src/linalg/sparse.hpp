@@ -30,6 +30,10 @@ class SparseMatrix {
 
   /// Builds from triplets; duplicate (row, col) entries are summed and
   /// resulting zeros are kept (callers may prune via `pruned()`).
+  /// Throws `DiagError` (DiagCode::Internal, Stage::GraphBuild) on any
+  /// triplet with row >= rows or col >= cols -- enforced in every build
+  /// mode, because in release builds an out-of-range triplet would
+  /// otherwise silently corrupt the CSR arrays or drop entries.
   static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
                                     std::vector<Triplet> triplets);
 
@@ -55,6 +59,12 @@ class SparseMatrix {
 
   /// Y = A X (dense multi-column form); X.rows() must equal cols().
   [[nodiscard]] Matrix multiply(const Matrix& x) const;
+
+  /// Y = A X into a caller-owned buffer (resized; capacity reused), so
+  /// steady-state spmm performs zero heap allocations. Bit-identical to
+  /// `multiply` -- same kernel, same per-row accumulation order, same
+  /// parallel-dispatch decision. `y` must not alias `x`.
+  void multiply_into(const Matrix& x, Matrix& y) const;
 
   /// Returns entry (r, c), 0 if absent. O(log deg) per lookup.
   [[nodiscard]] double at(std::size_t r, std::size_t c) const;

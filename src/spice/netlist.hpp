@@ -93,23 +93,18 @@ struct SubcktDef {
 };
 
 /// Error type for malformed netlists. Carries a structured `gana::Diag`
-/// so batch callers can recover the error code, pipeline stage, and
-/// netlist source location without parsing the message.
-class NetlistError : public std::runtime_error {
+/// (via the layer-neutral `gana::DiagError` base) so batch callers can
+/// recover the error code, pipeline stage, and netlist source location
+/// without parsing the message.
+class NetlistError : public DiagError {
  public:
-  explicit NetlistError(Diag diag)
-      : std::runtime_error(diag.render()), diag_(std::move(diag)) {}
+  explicit NetlistError(Diag diag) : DiagError(std::move(diag)) {}
 
   /// Legacy constructor for unstructured throws; synthesizes a Diag.
   explicit NetlistError(const std::string& what,
                         DiagCode code = DiagCode::Internal,
                         Stage stage = Stage::Validate)
       : NetlistError(make_diag(code, stage, what)) {}
-
-  [[nodiscard]] const Diag& diag() const { return diag_; }
-
- private:
-  Diag diag_;
 };
 
 /// A full netlist: top-level devices/instances plus subcircuit definitions.

@@ -18,6 +18,7 @@
 #include <cassert>
 #include <cstddef>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -96,6 +97,22 @@ struct Diag {
 [[nodiscard]] Diag make_diag(DiagCode code, Stage stage, std::string message,
                              SourceLoc loc = {},
                              std::vector<std::string> notes = {});
+
+/// Exception carrying a structured Diag. The layer-neutral base of
+/// `spice::NetlistError`: low-level modules (linalg, graph) that must
+/// reject bad input throw this directly, and every pipeline guard that
+/// catches `DiagError` therefore recovers the full diagnostic no matter
+/// which layer rejected the input.
+class DiagError : public std::runtime_error {
+ public:
+  explicit DiagError(Diag diag)
+      : std::runtime_error(diag.render()), diag_(std::move(diag)) {}
+
+  [[nodiscard]] const Diag& diag() const { return diag_; }
+
+ private:
+  Diag diag_;
+};
 
 /// Either a value or a Diag. Intentionally minimal: no monadic chaining,
 /// just checked access, so call sites stay explicit about failure paths.

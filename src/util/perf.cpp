@@ -1,0 +1,44 @@
+#include "util/perf.hpp"
+
+namespace gana {
+
+namespace perf::detail {
+std::atomic<std::uint64_t> matrix_allocs{0};
+std::atomic<std::uint64_t> matrix_alloc_bytes{0};
+std::atomic<std::uint64_t> spmm_calls{0};
+std::atomic<std::uint64_t> spmm_flops{0};
+std::atomic<std::uint64_t> matmul_calls{0};
+std::atomic<std::uint64_t> matmul_flops{0};
+std::atomic<std::uint64_t> sample_cache_hits{0};
+std::atomic<std::uint64_t> sample_cache_misses{0};
+}  // namespace perf::detail
+
+PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& since) const {
+  PerfSnapshot d;
+  d.matrix_allocs = matrix_allocs - since.matrix_allocs;
+  d.matrix_alloc_bytes = matrix_alloc_bytes - since.matrix_alloc_bytes;
+  d.spmm_calls = spmm_calls - since.spmm_calls;
+  d.spmm_flops = spmm_flops - since.spmm_flops;
+  d.matmul_calls = matmul_calls - since.matmul_calls;
+  d.matmul_flops = matmul_flops - since.matmul_flops;
+  d.sample_cache_hits = sample_cache_hits - since.sample_cache_hits;
+  d.sample_cache_misses = sample_cache_misses - since.sample_cache_misses;
+  return d;
+}
+
+PerfSnapshot perf_snapshot() {
+  namespace d = perf::detail;
+  PerfSnapshot s;
+  s.matrix_allocs = d::matrix_allocs.load(std::memory_order_relaxed);
+  s.matrix_alloc_bytes = d::matrix_alloc_bytes.load(std::memory_order_relaxed);
+  s.spmm_calls = d::spmm_calls.load(std::memory_order_relaxed);
+  s.spmm_flops = d::spmm_flops.load(std::memory_order_relaxed);
+  s.matmul_calls = d::matmul_calls.load(std::memory_order_relaxed);
+  s.matmul_flops = d::matmul_flops.load(std::memory_order_relaxed);
+  s.sample_cache_hits = d::sample_cache_hits.load(std::memory_order_relaxed);
+  s.sample_cache_misses =
+      d::sample_cache_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace gana

@@ -1,0 +1,78 @@
+// Lightweight performance counters for the inference fast path.
+//
+// Process-wide relaxed atomics, incremented once per kernel call (never
+// per element), so they are cheap enough to stay on in production. The
+// batch runtime snapshots them around a run and reports the deltas in
+// BatchTimings; bench/gcn_inference uses them to prove the workspace
+// path performs zero steady-state heap allocations.
+//
+// Counters are global, not per-thread: concurrent *independent* batch
+// runs in one process would mix their deltas. Within one BatchRunner run
+// (the supported concurrency model) sums across workers are exactly what
+// the observability layer wants.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gana {
+
+/// Point-in-time copy of every counter; subtract two snapshots to get
+/// the activity of a region.
+struct PerfSnapshot {
+  std::uint64_t matrix_allocs = 0;       ///< dense buffers that hit the heap
+  std::uint64_t matrix_alloc_bytes = 0;  ///< bytes requested by those allocs
+  std::uint64_t spmm_calls = 0;          ///< sparse*dense products
+  std::uint64_t spmm_flops = 0;          ///< 2*nnz*cols per product
+  std::uint64_t matmul_calls = 0;        ///< dense*dense products
+  std::uint64_t matmul_flops = 0;        ///< 2*m*n*k per product
+  std::uint64_t sample_cache_hits = 0;   ///< SamplePrepCache lookups served
+  std::uint64_t sample_cache_misses = 0; ///< lookups that had to compute
+
+  /// Counterwise difference (this - since).
+  [[nodiscard]] PerfSnapshot operator-(const PerfSnapshot& since) const;
+};
+
+/// Reads every counter (relaxed; exact when no kernel is concurrently
+/// running, a consistent-enough view otherwise).
+[[nodiscard]] PerfSnapshot perf_snapshot();
+
+namespace perf {
+
+namespace detail {
+extern std::atomic<std::uint64_t> matrix_allocs;
+extern std::atomic<std::uint64_t> matrix_alloc_bytes;
+extern std::atomic<std::uint64_t> spmm_calls;
+extern std::atomic<std::uint64_t> spmm_flops;
+extern std::atomic<std::uint64_t> matmul_calls;
+extern std::atomic<std::uint64_t> matmul_flops;
+extern std::atomic<std::uint64_t> sample_cache_hits;
+extern std::atomic<std::uint64_t> sample_cache_misses;
+}  // namespace detail
+
+inline void count_matrix_alloc(std::size_t bytes) {
+  detail::matrix_allocs.fetch_add(1, std::memory_order_relaxed);
+  detail::matrix_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+inline void count_spmm(std::uint64_t flops) {
+  detail::spmm_calls.fetch_add(1, std::memory_order_relaxed);
+  detail::spmm_flops.fetch_add(flops, std::memory_order_relaxed);
+}
+
+inline void count_matmul(std::uint64_t flops) {
+  detail::matmul_calls.fetch_add(1, std::memory_order_relaxed);
+  detail::matmul_flops.fetch_add(flops, std::memory_order_relaxed);
+}
+
+inline void count_sample_cache_hit() {
+  detail::sample_cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_sample_cache_miss() {
+  detail::sample_cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace perf
+}  // namespace gana

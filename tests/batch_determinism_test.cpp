@@ -137,7 +137,8 @@ TEST(BatchDeterminism, ParallelSpmmInsideBatchDoesNotChangeResults) {
 }
 
 TEST(BatchDeterminism, MatchesDirectSequentialAnnotateCalls) {
-  // The runner's documented contract: task i uses task_seed(root, i).
+  // The runner's documented contract: every task gets the root seed
+  // unchanged (the per-circuit stream is derived from the structure).
   datagen::DatasetOptions opt;
   opt.circuits = 3;
   opt.seed = 12;
@@ -148,17 +149,50 @@ TEST(BatchDeterminism, MatchesDirectSequentialAnnotateCalls) {
   const BatchRunner runner(annotator, {.jobs = 2, .seed = 99});
   const BatchResult got = runner.run(batch);
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const AnnotateResult direct =
-        annotator.annotate(batch[i], task_seed(99, i));
+    const AnnotateResult direct = annotator.annotate(batch[i], 99);
     expect_identical(direct, got.results[i], "direct vs batch " +
                                                  std::to_string(i));
   }
 }
 
-TEST(BatchDeterminism, TaskSeedsAreStableAndDecorrelated) {
-  EXPECT_EQ(task_seed(1, 0), task_seed(1, 0));
-  EXPECT_NE(task_seed(1, 0), task_seed(1, 1));
-  EXPECT_NE(task_seed(1, 0), task_seed(2, 0));
+TEST(BatchDeterminism, SampleCacheOnVsOffBitIdenticalAcross1_2_8Threads) {
+  // A batch of copies of one OTA (same structure, different instance
+  // names) must produce the same bits whether the SamplePrepCache is
+  // attached or not, at every thread count -- cache hits may only skip
+  // work, never change results.
+  datagen::DatasetOptions opt;
+  opt.circuits = 1;
+  opt.seed = 21;
+  const auto one = datagen::make_ota_dataset(opt);
+  ASSERT_EQ(one.size(), 1u);
+  std::vector<datagen::LabeledCircuit> batch(8, one[0]);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    batch[i].name = "copy" + std::to_string(i);
+  }
+
+  gcn::GcnModel model(tiny_config(2, /*pooling=*/false));
+  const Annotator plain(&model, {"ota", "bias"});
+  const BatchRunner seq(plain, {.jobs = 1, .seed = 77});
+  const BatchResult ref = seq.run(batch);
+
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    Annotator cached(&model, {"ota", "bias"});
+    auto cache = std::make_shared<gcn::SamplePrepCache>();
+    cached.set_sample_cache(cache);
+    const BatchRunner runner(cached, {.jobs = jobs, .seed = 77});
+    BatchResult got = runner.run(batch);
+    SCOPED_TRACE("cached jobs=" + std::to_string(jobs));
+    // Results carry the per-copy names; align them before comparing.
+    ASSERT_EQ(got.results.size(), ref.results.size());
+    for (std::size_t i = 0; i < got.results.size(); ++i) {
+      expect_identical(ref.results[i], got.results[i],
+                       "slot " + std::to_string(i));
+    }
+    // All eight copies share one structural hash: a single prep entry.
+    const auto stats = cache->stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GE(stats.hits + stats.misses, batch.size());
+  }
 }
 
 TEST(BatchRunner, NetlistOverloadNamesResults) {

@@ -157,9 +157,9 @@ TEST(BatchFailure, HealthySlotsBitIdenticalToDirectSequentialCalls) {
   for (std::size_t i = 0; i < mixed.netlists.size(); ++i) {
     if (mixed.bad.count(i)) continue;
     // Siblings failing must not perturb healthy results: identical to a
-    // direct (throwing) sequential annotation with the same task seed.
-    const AnnotateResult direct = annotator.annotate(
-        mixed.netlists[i], mixed.names[i], task_seed(root, i));
+    // direct (throwing) sequential annotation with the same root seed.
+    const AnnotateResult direct =
+        annotator.annotate(mixed.netlists[i], mixed.names[i], root);
     ASSERT_TRUE(got.outcomes[i].ok());
     expect_identical(direct, got.outcomes[i].value(),
                      "slot " + std::to_string(i));

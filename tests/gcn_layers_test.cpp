@@ -42,6 +42,26 @@ TEST(Sample, ScaledLaplacianLevels) {
   EXPECT_EQ(s.cluster_maps[1].size(), s.lhat[1].rows());
 }
 
+TEST(Sample, IsolatedVertexKeepsFeaturesUnderMeanPropagation) {
+  // Vertex 2 has no edges; the propagation operator must give it an
+  // identity self-loop row (the old row_normalized dropped the row, so
+  // isolated vertices propagated all-zero features through SageConv).
+  auto adj = SparseMatrix::from_triplets(3, 3, {{0, 1, 1.0}, {1, 0, 1.0}});
+  Rng rng(4);
+  const Matrix x = Matrix::randn(3, 2, 1.0, rng);
+  const auto s = make_sample(adj, x, {0, 1, 0}, 0, rng, "iso");
+  ASSERT_EQ(s.prop.size(), 1u);
+  const Matrix px = s.prop[0].multiply(x);
+  EXPECT_DOUBLE_EQ(px(2, 0), x(2, 0));
+  EXPECT_DOUBLE_EQ(px(2, 1), x(2, 1));
+  // Connected vertices still average their neighbors.
+  EXPECT_DOUBLE_EQ(px(0, 0), x(1, 0));
+  EXPECT_DOUBLE_EQ(px(1, 1), x(0, 1));
+  // The transpose operator mirrors the self-loop.
+  const Matrix ptx = s.prop_t[0].multiply(x);
+  EXPECT_DOUBLE_EQ(ptx(2, 0), x(2, 0));
+}
+
 TEST(ChebConv, K1IsPerNodeLinear) {
   // With K=1 the filter is theta_0 * I: output is independent of the graph.
   auto s = ring_sample(6, 4, 0, 2);

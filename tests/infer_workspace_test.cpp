@@ -1,0 +1,163 @@
+// The zero-allocation inference fast path: GcnModel::infer(sample, ws)
+// must be bit-identical to the allocating infer() and to evaluation-mode
+// forward(), and once the workspace is warm it must never touch the heap
+// (pinned against the process-wide perf counters).
+#include <gtest/gtest.h>
+
+#include "gcn/layers.hpp"
+#include "gcn/model.hpp"
+#include "gcn/workspace.hpp"
+#include "util/perf.hpp"
+#include "util/rng.hpp"
+
+namespace gana::gcn {
+namespace {
+
+/// A small ring-graph sample with random features.
+GraphSample ring_sample(std::size_t n, std::size_t d, int pool_levels,
+                        std::uint64_t seed) {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = (i + 1) % n;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  auto adj = SparseMatrix::from_triplets(n, n, std::move(t));
+  Rng rng(seed);
+  Matrix x = Matrix::randn(n, d, 1.0, rng);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 2);
+  return make_sample(adj, std::move(x), std::move(labels), pool_levels, rng,
+                     "ring");
+}
+
+ModelConfig small_config(std::size_t d, ConvKind kind, bool pooling) {
+  ModelConfig cfg;
+  cfg.in_features = d;
+  cfg.num_classes = 3;
+  cfg.conv_kind = kind;
+  cfg.conv_channels = {6, 8};
+  cfg.cheb_k = 4;
+  cfg.fc_hidden = 16;
+  cfg.use_pooling = pooling;
+  cfg.seed = 11;
+  return cfg;
+}
+
+void expect_bitwise(const Matrix& a, const Matrix& b, const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_TRUE(a.data() == b.data()) << "values differ bitwise";
+}
+
+TEST(InferWorkspace, BitIdenticalToAllocatingInferAndForward) {
+  struct Case {
+    ConvKind kind;
+    bool pooling;
+    const char* name;
+  };
+  const Case cases[] = {{ConvKind::Chebyshev, false, "cheb"},
+                        {ConvKind::Chebyshev, true, "cheb+pool"},
+                        {ConvKind::SageMean, false, "sage"}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const ModelConfig cfg = small_config(5, c.kind, c.pooling);
+    const auto s = ring_sample(12, 5, cfg.required_pool_levels(), 7);
+    GcnModel model(cfg);
+
+    const Matrix ref = model.forward(s, /*training=*/false);
+    const Matrix alloc = model.infer(s);
+    InferWorkspace ws;
+    const Matrix& fast = model.infer(s, ws);
+
+    expect_bitwise(ref, alloc, "forward vs allocating infer");
+    expect_bitwise(ref, fast, "forward vs workspace infer");
+  }
+}
+
+TEST(InferWorkspace, SteadyStateZeroAllocations) {
+  const ModelConfig cfg =
+      small_config(5, ConvKind::Chebyshev, /*pooling=*/true);
+  const auto s = ring_sample(16, 5, cfg.required_pool_levels(), 8);
+  GcnModel model(cfg);
+
+  InferWorkspace ws;
+  const Matrix warm = model.infer(s, ws);  // grows every buffer once
+
+  const PerfSnapshot before = perf_snapshot();
+  for (int i = 0; i < 5; ++i) {
+    const Matrix& y = model.infer(s, ws);
+    ASSERT_EQ(y.rows(), s.nodes());
+  }
+  const PerfSnapshot d = perf_snapshot() - before;
+  EXPECT_EQ(d.matrix_allocs, 0u) << "steady-state inference allocated";
+  EXPECT_EQ(d.matrix_alloc_bytes, 0u);
+  // The counters did observe the work itself.
+  EXPECT_GT(d.spmm_calls, 0u);
+  EXPECT_GT(d.matmul_calls, 0u);
+  EXPECT_GT(d.spmm_flops, 0u);
+  EXPECT_GT(d.matmul_flops, 0u);
+
+  const Matrix& again = model.infer(s, ws);
+  expect_bitwise(warm, again, "warm vs steady-state output");
+}
+
+TEST(InferWorkspace, ReusedAcrossDifferentSampleShapes) {
+  // A workspace warmed on a large sample must still produce bit-exact
+  // results on a smaller one (capacity reuse, logical-shape reset).
+  const ModelConfig cfg =
+      small_config(4, ConvKind::Chebyshev, /*pooling=*/false);
+  const auto big = ring_sample(20, 4, 0, 9);
+  const auto small = ring_sample(6, 4, 0, 10);
+  GcnModel model(cfg);
+
+  InferWorkspace ws;
+  (void)model.infer(big, ws);
+  const Matrix& got = model.infer(small, ws);
+  const Matrix ref = model.infer(small);
+  expect_bitwise(ref, got, "small sample after large warm-up");
+
+  const PerfSnapshot before = perf_snapshot();
+  (void)model.infer(small, ws);
+  const PerfSnapshot d = perf_snapshot() - before;
+  EXPECT_EQ(d.matrix_allocs, 0u)
+      << "shrinking shapes must reuse capacity, not reallocate";
+}
+
+TEST(InferWorkspace, IntoVariantsMatchAllocatingWrappers) {
+  Rng rng(3);
+  const Matrix a = Matrix::randn(7, 5, 1.0, rng);
+  const Matrix b = Matrix::randn(5, 4, 1.0, rng);
+  const Matrix ref_mm = matmul(a, b);
+  Matrix c = Matrix::randn(11, 9, 1.0, rng);  // dirty, larger buffer
+  matmul_into(a, b, c);
+  expect_bitwise(ref_mm, c, "matmul_into vs matmul");
+
+  const Matrix ref_hcat = hcat(a, a);
+  Matrix h;
+  hcat_into(a, a, h);
+  expect_bitwise(ref_hcat, h, "hcat_into vs hcat");
+
+  const auto m = SparseMatrix::from_triplets(
+      7, 7, {{0, 1, 2.0}, {1, 0, 2.0}, {3, 4, -1.5}, {6, 6, 0.5}});
+  const Matrix ref_sp = m.multiply(a);
+  Matrix y = Matrix::randn(2, 2, 1.0, rng);  // dirty, smaller buffer
+  m.multiply_into(a, y);
+  expect_bitwise(ref_sp, y, "multiply_into vs multiply");
+}
+
+TEST(InferWorkspace, PerfCountersTrackFlops) {
+  Rng rng(4);
+  const Matrix a = Matrix::randn(8, 6, 1.0, rng);
+  const Matrix b = Matrix::randn(6, 3, 1.0, rng);
+  const PerfSnapshot before = perf_snapshot();
+  const Matrix c = matmul(a, b);
+  const PerfSnapshot d = perf_snapshot() - before;
+  EXPECT_EQ(d.matmul_calls, 1u);
+  EXPECT_EQ(d.matmul_flops, 2ull * 8 * 6 * 3);
+  EXPECT_GE(d.matrix_allocs, 1u);  // the result buffer
+}
+
+}  // namespace
+}  // namespace gana::gcn

@@ -5,6 +5,7 @@
 #include "linalg/dense.hpp"
 #include "linalg/lanczos.hpp"
 #include "linalg/sparse.hpp"
+#include "util/diag.hpp"
 #include "util/rng.hpp"
 
 namespace gana {
@@ -76,6 +77,37 @@ TEST(Dense, Hcat) {
   EXPECT_DOUBLE_EQ(c(1, 4), 2.0);
 }
 
+TEST(Dense, UnrolledMatmulKernelBitIdenticalToReference) {
+  // The fast-path contract: kernel choice must never change a single
+  // bit of any product, including awkward shapes (K not a multiple of
+  // 4, K < 4) and zero-heavy inputs where the zero-skip semantics of
+  // the reference loop must be matched exactly.
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  const Shape shapes[] = {{1, 1, 1},   {3, 4, 5},    {9, 64, 512},
+                          {27, 144, 32}, {16, 255, 7}, {5, 3, 9}};
+  Rng rng(99);
+  ASSERT_EQ(matmul_kernel(), MatmulKernel::Unrolled);  // library default
+  for (const auto& s : shapes) {
+    Matrix a(s.m, s.k), b(s.k, s.n);
+    for (auto& v : a.data()) {
+      // ~1/3 exact zeros (one-hot-ish features), some negative zeros.
+      v = rng.chance(1.0 / 3) ? (rng.chance(0.5) ? 0.0 : -0.0)
+                              : rng.uniform(-2.0, 2.0);
+    }
+    for (auto& v : b.data()) v = rng.uniform(-2.0, 2.0);
+    Matrix c_ref, c_unrolled;
+    set_matmul_kernel(MatmulKernel::Reference);
+    matmul_into(a, b, c_ref);
+    set_matmul_kernel(MatmulKernel::Unrolled);
+    matmul_into(a, b, c_unrolled);
+    EXPECT_TRUE(c_ref.data() == c_unrolled.data())
+        << "kernels diverge at " << s.m << "x" << s.k << "x" << s.n;
+  }
+  set_matmul_kernel(MatmulKernel::Unrolled);
+}
+
 TEST(Sparse, FromTripletsSumsDuplicates) {
   auto m = SparseMatrix::from_triplets(2, 2, {{0, 0, 1.0}, {0, 0, 2.0},
                                               {1, 0, 5.0}});
@@ -83,6 +115,22 @@ TEST(Sparse, FromTripletsSumsDuplicates) {
   EXPECT_DOUBLE_EQ(m.at(0, 0), 3.0);
   EXPECT_DOUBLE_EQ(m.at(1, 0), 5.0);
   EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+}
+
+TEST(Sparse, FromTripletsRejectsOutOfRangeInEveryBuildMode) {
+  // Validation is a thrown DiagError, not an assert: the default build is
+  // Release (-DNDEBUG), where asserts are compiled out and a bad triplet
+  // used to corrupt the CSR assembly silently.
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, {{2, 0, 1.0}}), DiagError);
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, {{0, 5, 1.0}}), DiagError);
+  try {
+    SparseMatrix::from_triplets(3, 3, {{0, 0, 1.0}, {7, 1, 2.0}});
+    FAIL() << "expected DiagError";
+  } catch (const DiagError& e) {
+    EXPECT_EQ(e.diag().code, DiagCode::Internal);
+    EXPECT_EQ(e.diag().stage, Stage::GraphBuild);
+    EXPECT_NE(e.diag().message.find("triplet"), std::string::npos);
+  }
 }
 
 TEST(Sparse, MultiplyVector) {

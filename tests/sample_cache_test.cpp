@@ -1,0 +1,162 @@
+// Structural-hash keying and the sample-prep cache: circuits that differ
+// only in names/values share a key, circuits that differ structurally
+// (topology, terminal labels, net roles) never do, and cached prep is
+// bit-identical to freshly computed prep.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gcn/sample.hpp"
+#include "gcn/sample_cache.hpp"
+#include "graph/circuit_graph.hpp"
+#include "graph/laplacian.hpp"
+#include "graph/structural_hash.hpp"
+#include "linalg/lanczos.hpp"
+#include "util/rng.hpp"
+
+namespace gana {
+namespace {
+
+using graph::CircuitGraph;
+using graph::Vertex;
+using graph::VertexKind;
+
+/// A two-transistor differential half: m1/m2 share a tail net.
+CircuitGraph small_pair(const std::string& suffix, double width,
+                        std::uint8_t m1_label,
+                        graph::NetRole out_role = graph::NetRole::Output) {
+  CircuitGraph g;
+  Vertex m;
+  m.kind = VertexKind::Element;
+  m.dtype = spice::DeviceType::Nmos;
+  m.value = width;
+  m.name = "m1" + suffix;
+  const std::size_t m1 = g.add_element(m);
+  m.name = "m2" + suffix;
+  const std::size_t m2 = g.add_element(m);
+
+  Vertex n;
+  n.kind = VertexKind::Net;
+  n.name = "out" + suffix;
+  n.role = out_role;
+  const std::size_t out = g.add_net(n);
+  n.name = "tail" + suffix;
+  n.role = graph::NetRole::Internal;
+  const std::size_t tail = g.add_net(n);
+
+  g.connect(m1, out, m1_label);
+  g.connect(m2, out, graph::kLabelDrain);
+  g.connect(m1, tail, graph::kLabelSource);
+  g.connect(m2, tail, graph::kLabelSource);
+  return g;
+}
+
+TEST(StructuralHash, NamesAndValuesDoNotAffectTheKey) {
+  const CircuitGraph a = small_pair("_a", 1e-6, graph::kLabelDrain);
+  const CircuitGraph b = small_pair("_b_renamed", 42e-6, graph::kLabelDrain);
+  EXPECT_EQ(graph::structural_hash(a), graph::structural_hash(b));
+}
+
+TEST(StructuralHash, TerminalLabelChangesTheKey) {
+  const CircuitGraph a = small_pair("", 1e-6, graph::kLabelDrain);
+  const CircuitGraph b = small_pair("", 1e-6, graph::kLabelGate);
+  EXPECT_NE(graph::structural_hash(a), graph::structural_hash(b));
+}
+
+TEST(StructuralHash, TopologyChangesTheKey) {
+  const CircuitGraph a = small_pair("", 1e-6, graph::kLabelDrain);
+  CircuitGraph b = small_pair("", 1e-6, graph::kLabelDrain);
+  b.connect(0, 3, graph::kLabelGate);  // extra m1 gate-to-tail edge
+  EXPECT_NE(graph::structural_hash(a), graph::structural_hash(b));
+}
+
+TEST(StructuralHash, NetRoleChangesTheKey) {
+  const CircuitGraph a =
+      small_pair("", 1e-6, graph::kLabelDrain, graph::NetRole::Output);
+  const CircuitGraph b =
+      small_pair("", 1e-6, graph::kLabelDrain, graph::NetRole::Input);
+  EXPECT_NE(graph::structural_hash(a), graph::structural_hash(b));
+}
+
+TEST(StructuralHash, CombineIsOrderSensitive) {
+  EXPECT_NE(graph::hash_combine(1, 2), graph::hash_combine(2, 1));
+  EXPECT_EQ(graph::hash_combine(7, 9), graph::hash_combine(7, 9));
+}
+
+TEST(SamplePrepCache, CountsHitsAndMissesAndFirstInsertWins) {
+  gcn::SamplePrepCache cache;
+  EXPECT_EQ(cache.find(42), nullptr);
+
+  auto first = std::make_shared<gcn::SamplePrep>();
+  auto second = std::make_shared<gcn::SamplePrep>();
+  EXPECT_EQ(cache.insert(42, first), first);
+  // A racing duplicate insert keeps the existing entry.
+  EXPECT_EQ(cache.insert(42, second), first);
+  EXPECT_EQ(cache.find(42), first);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.find(42), nullptr);
+}
+
+/// The 4-cycle: bipartite, so its normalized Laplacian has lambda_max
+/// exactly 2 -- the case the clamp-after-pad bug used to mishandle.
+SparseMatrix four_cycle() {
+  std::vector<Triplet> t;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t j = (i + 1) % 4;
+    t.push_back({i, j, 1.0});
+    t.push_back({j, i, 1.0});
+  }
+  return SparseMatrix::from_triplets(4, 4, std::move(t));
+}
+
+TEST(ScaledLaplacian, BipartiteSpectrumStrictlyInsideUnitDisc) {
+  // With the clamp applied before the 1.01 pad, the effective lambda_max
+  // is 2.02 and the top eigenvalue of L̂ is 2*2/2.02 - 1 < 1. The old
+  // pad-then-clamp order pinned it at exactly 1 (or above, when Lanczos
+  // under-estimated), breaking the |spec(L̂)| <= 1 Chebyshev contract.
+  Rng rng(5);
+  const SparseMatrix lhat = gcn::make_scaled_laplacian(four_cycle(), rng);
+  Rng est_rng(6);
+  const double top = lanczos_lambda_max(lhat, est_rng, 24);
+  EXPECT_NEAR(top, 2.0 * 2.0 / 2.02 - 1.0, 1e-9);
+  EXPECT_LT(top, 1.0);
+}
+
+TEST(SamplePrep, FromPrepBitIdenticalToMakeSample) {
+  const SparseMatrix adj = four_cycle();
+  Rng rng_a(17);
+  const gcn::SamplePrep prep = gcn::make_sample_prep(adj, 1, rng_a);
+
+  Rng feat_rng(3);
+  const Matrix x = Matrix::randn(4, 2, 1.0, feat_rng);
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const gcn::GraphSample via_prep =
+      gcn::sample_from_prep(prep, x, labels, "c");
+
+  Rng rng_b(17);
+  const gcn::GraphSample direct =
+      gcn::make_sample(adj, x, labels, 1, rng_b, "c");
+
+  ASSERT_EQ(via_prep.lhat.size(), direct.lhat.size());
+  for (std::size_t l = 0; l < direct.lhat.size(); ++l) {
+    EXPECT_TRUE(via_prep.lhat[l].values() == direct.lhat[l].values());
+    EXPECT_TRUE(via_prep.lhat[l].col_idx() == direct.lhat[l].col_idx());
+  }
+  EXPECT_EQ(via_prep.cluster_maps, direct.cluster_maps);
+  ASSERT_EQ(via_prep.prop.size(), direct.prop.size());
+  for (std::size_t l = 0; l < direct.prop.size(); ++l) {
+    EXPECT_TRUE(via_prep.prop[l].values() == direct.prop[l].values());
+    EXPECT_TRUE(via_prep.prop_t[l].values() == direct.prop_t[l].values());
+  }
+  EXPECT_TRUE(via_prep.features.data() == direct.features.data());
+}
+
+}  // namespace
+}  // namespace gana
