@@ -5,7 +5,8 @@
 //   ./annotate_netlist circuit.sp [more.sp ...] [--domain ota|rf]
 //                      [--train] [--circuits 150] [--epochs 25]
 //                      [--jobs N] [--keep-going] [--svg out.svg]
-//                      [--sample-cache] [--perf-json perf.json]
+//                      [--sample-cache] [--annotation-cache]
+//                      [--perf-json perf.json]
 //                      [--save-model m.ckpt] [--load-model m.ckpt]
 //
 // Without --train the pipeline runs model-free (cluster classes come from
@@ -23,6 +24,9 @@
 // order decides).
 //
 // --sample-cache: share spectral-operator preparation between
+// structurally identical inputs (bit-identical outputs, less work).
+//
+// --annotation-cache: share the VF2 primitive-annotation sweep between
 // structurally identical inputs (bit-identical outputs, less work).
 //
 // --perf-json FILE: write the batch's wall/stage timings and perf
@@ -124,7 +128,8 @@ int main(int argc, char** argv) {
         "                        [--domain ota|rf] [--train]\n"
         "                        [--circuits 150] [--epochs 25]\n"
         "                        [--jobs N] [--keep-going]\n"
-        "                        [--sample-cache] [--perf-json perf.json]\n"
+        "                        [--sample-cache] [--annotation-cache]\n"
+        "                        [--perf-json perf.json]\n"
         "                        [--svg layout.svg]\n");
     return kExitUsage;
   }
@@ -182,6 +187,10 @@ int main(int argc, char** argv) {
     annotator.set_sample_cache(
         std::make_shared<gana::gcn::SamplePrepCache>());
   }
+  if (args.has("annotation-cache")) {
+    annotator.set_annotation_cache(
+        std::make_shared<gana::primitives::AnnotationCache>());
+  }
   gana::core::BatchOptions bopt;
   bopt.policy = keep_going ? gana::core::FailurePolicy::CollectAll
                            : gana::core::FailurePolicy::FailFast;
@@ -238,6 +247,12 @@ int main(int argc, char** argv) {
   if (annotator.sample_cache() != nullptr) {
     const auto stats = annotator.sample_cache()->stats();
     std::printf("sample cache: %llu hits, %llu misses, %zu entries\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), stats.entries);
+  }
+  if (annotator.annotation_cache() != nullptr) {
+    const auto stats = annotator.annotation_cache()->stats();
+    std::printf("annotation cache: %llu hits, %llu misses, %zu entries\n",
                 static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses), stats.entries);
   }

@@ -9,5 +9,6 @@ cd "$(dirname "$0")/.."
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)" \
   --target corpus_harness_test robustness_test diag_test \
-  batch_failure_test spice_parser_test spice_flatten_test vf2_test
+  batch_failure_test spice_parser_test spice_flatten_test vf2_test \
+  primitive_matching_test
 ctest --preset asan

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Builds the release preset and runs every bench target, collecting the
+# perf-record benches' BENCH_*.json files at the repo root.
+#
+# Perf-record benches (gcn_inference, primitive_matching) verify that
+# their accelerated path is bit-identical to the reference path and say
+# so in the record's "identical" field. Each record is written to a
+# temporary path first; a run whose "identical" field is false never
+# overwrites a checked-in good record -- the stale record is kept, the
+# bad one is preserved next to it as *.rejected.json, and the script
+# exits nonzero.
+#
+# Usage: scripts/run_benches.sh  (from anywhere inside the repo;
+#        GANA_BENCH_QUICK=1 for a fast smoke pass)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)"
+
+bin=build-release/bench
+
+# Report-style benches: tables and figures on stdout, no JSON record.
+for b in table1_datasets table2_test_accuracy fig5_filter_size \
+         ablation_layers fig6_layout fig7_phased_array runtime_table \
+         ablation_features ablation_preprocess ablation_conv; do
+  echo "=== $b ==="
+  "$bin/$b"
+done
+
+# Perf-record benches: write BENCH_<name>.json, guarded on "identical".
+status=0
+for b in gcn_inference primitive_matching; do
+  echo "=== $b ==="
+  record="BENCH_$b.json"
+  tmp="$record.tmp"
+  bench_status=0
+  "$bin/$b" "$tmp" || bench_status=$?
+  if grep -q '"identical":false' "$tmp"; then
+    mv "$tmp" "$record.rejected.json"
+    echo "REFUSING to overwrite $record: the new record reports" \
+         "identical:false (kept as $record.rejected.json)" >&2
+    status=1
+  else
+    mv "$tmp" "$record"
+    echo "record written to $record"
+  fi
+  if [ "$bench_status" -ne 0 ]; then
+    echo "$b exited with status $bench_status" >&2
+    status=1
+  fi
+done
+
+exit $status

@@ -7,5 +7,6 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target thread_pool_test batch_determinism_test batch_failure_test
+  --target thread_pool_test batch_determinism_test batch_failure_test \
+  primitive_matching_test
 ctest --preset tsan

@@ -158,6 +158,11 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   out.timings.matmul_flops = perf.matmul_flops;
   out.timings.sample_cache_hits = perf.sample_cache_hits;
   out.timings.sample_cache_misses = perf.sample_cache_misses;
+  out.timings.vf2_states = perf.vf2_states;
+  out.timings.vf2_sig_rejections = perf.vf2_sig_rejections;
+  out.timings.vf2_pattern_skips = perf.vf2_pattern_skips;
+  out.timings.annotation_cache_hits = perf.annotation_cache_hits;
+  out.timings.annotation_cache_misses = perf.annotation_cache_misses;
   for (const auto& o : out.outcomes) {
     if (!o.ok()) continue;
     out.timings.prepare_seconds += o.value().seconds_prepare;

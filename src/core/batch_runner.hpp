@@ -76,6 +76,11 @@ struct BatchTimings {
   std::uint64_t matmul_flops = 0;
   std::uint64_t sample_cache_hits = 0;
   std::uint64_t sample_cache_misses = 0;
+  std::uint64_t vf2_states = 0;           ///< VF2 search states explored
+  std::uint64_t vf2_sig_rejections = 0;   ///< signature-lookahead cuts
+  std::uint64_t vf2_pattern_skips = 0;    ///< counting-filter pattern skips
+  std::uint64_t annotation_cache_hits = 0;
+  std::uint64_t annotation_cache_misses = 0;
 };
 
 struct BatchResult {

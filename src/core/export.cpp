@@ -96,7 +96,12 @@ std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
       << ",\"matmul_calls\":" << t.matmul_calls
       << ",\"matmul_flops\":" << t.matmul_flops
       << ",\"sample_cache_hits\":" << t.sample_cache_hits
-      << ",\"sample_cache_misses\":" << t.sample_cache_misses << "}";
+      << ",\"sample_cache_misses\":" << t.sample_cache_misses
+      << ",\"vf2_states\":" << t.vf2_states
+      << ",\"vf2_sig_rejections\":" << t.vf2_sig_rejections
+      << ",\"vf2_pattern_skips\":" << t.vf2_pattern_skips
+      << ",\"annotation_cache_hits\":" << t.annotation_cache_hits
+      << ",\"annotation_cache_misses\":" << t.annotation_cache_misses << "}";
   return out.str();
 }
 

@@ -10,6 +10,7 @@
 #include "graph/laplacian.hpp"
 #include "graph/structural_hash.hpp"
 #include "spice/flatten.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace gana::core {
@@ -263,8 +264,15 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
   Timer post_timer;
   mark(stage, Stage::Primitives);
   r.ccc = graph::channel_connected_components(r.prepared.graph);
+  // Pattern-parallel matching on the shared compute pool (a no-op when
+  // this call already runs on a pool worker, e.g. inside a BatchRunner
+  // task) plus the optional cross-circuit annotation cache. Neither can
+  // change the accepted primitive set.
+  primitives::AnnotateOptions annotate_options;
+  annotate_options.pool = compute_pool();
+  annotate_options.cache = annotation_cache_.get();
   r.post = postprocess_stage1(r.prepared.graph, r.ccc, r.probabilities,
-                              class_names_, library_);
+                              class_names_, library_, annotate_options);
   if (r.post.primitives_truncated) {
     r.warnings.push_back(make_diag(
         DiagCode::Truncated, Stage::Primitives,

@@ -149,6 +149,20 @@ class Annotator {
     return sample_cache_;
   }
 
+  /// Attaches a primitive-annotation cache shared by all annotate calls
+  /// (internally synchronized, like the sample cache). Structurally
+  /// identical circuits then pay for a single VF2 sweep; cached and
+  /// uncached runs produce bit-identical primitive sets. Pass nullptr to
+  /// detach.
+  void set_annotation_cache(
+      std::shared_ptr<primitives::AnnotationCache> cache) {
+    annotation_cache_ = std::move(cache);
+  }
+  [[nodiscard]] const std::shared_ptr<primitives::AnnotationCache>&
+  annotation_cache() const {
+    return annotation_cache_;
+  }
+
   [[nodiscard]] const std::vector<std::string>& class_names() const {
     return class_names_;
   }
@@ -166,7 +180,8 @@ class Annotator {
   std::vector<std::string> class_names_;
   primitives::PrimitiveLibrary library_;
   PrepareOptions prepare_;
-  std::shared_ptr<gcn::SamplePrepCache> sample_cache_;  ///< optional
+  std::shared_ptr<gcn::SamplePrepCache> sample_cache_;           ///< optional
+  std::shared_ptr<primitives::AnnotationCache> annotation_cache_;  ///< optional
 };
 
 }  // namespace gana::core

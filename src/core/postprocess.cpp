@@ -55,7 +55,8 @@ bool has_resistor_between(const CircuitGraph& g, std::size_t a,
 PostprocessResult postprocess_stage1(
     const CircuitGraph& g, const graph::CccResult& ccc, const Matrix& probs,
     const std::vector<std::string>& class_names,
-    const primitives::PrimitiveLibrary& library) {
+    const primitives::PrimitiveLibrary& library,
+    const primitives::AnnotateOptions& annotate_options) {
   PostprocessResult result;
   const std::size_t k = probs.cols();
 
@@ -73,7 +74,8 @@ PostprocessResult postprocess_stage1(
   // --- Primitive extraction over the whole graph, under the VF2
   // resource budget: pathological graphs yield a deterministic partial
   // annotation flagged via `primitives_truncated` instead of hanging.
-  auto annotation = primitives::annotate_primitives_guarded(g, library);
+  auto annotation =
+      primitives::annotate_primitives_guarded(g, library, annotate_options);
   result.primitives = std::move(annotation.primitives);
   result.primitives_truncated = annotation.truncated;
   result.vf2_states = annotation.vf2_states;

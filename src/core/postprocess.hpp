@@ -55,12 +55,15 @@ std::optional<int> class_id(const std::vector<std::string>& class_names,
 
 /// Postprocessing I. `probs` holds the GCN's per-vertex class
 /// probabilities (columns = the first probs.cols() entries of
-/// `class_names`).
-PostprocessResult postprocess_stage1(const graph::CircuitGraph& g,
-                                     const graph::CccResult& ccc,
-                                     const Matrix& probs,
-                                     const std::vector<std::string>& class_names,
-                                     const primitives::PrimitiveLibrary& library);
+/// `class_names`). `annotate_options` tunes primitive extraction (VF2
+/// budgets, pattern-parallel pool, annotation cache); the default runs
+/// sequential and uncached. Options never change the accepted primitive
+/// set -- only how fast it is found.
+PostprocessResult postprocess_stage1(
+    const graph::CircuitGraph& g, const graph::CccResult& ccc,
+    const Matrix& probs, const std::vector<std::string>& class_names,
+    const primitives::PrimitiveLibrary& library,
+    const primitives::AnnotateOptions& annotate_options = {});
 
 /// Postprocessing II; updates `result.cluster_class` in place. No-op for
 /// class vocabularies without RF classes.

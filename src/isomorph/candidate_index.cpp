@@ -1,0 +1,61 @@
+#include "isomorph/candidate_index.hpp"
+
+namespace gana::iso {
+
+using graph::CircuitGraph;
+using graph::NetRole;
+using graph::VertexKind;
+
+LabelSignature label_signature(const CircuitGraph& g, std::size_t vertex) {
+  LabelSignature sig = 0;
+  for (std::size_t eid : g.incident(vertex)) {
+    const std::uint8_t cls = canonical_label(g.edge(eid).label);
+    const int shift = 8 * cls;
+    if (((sig >> shift) & 0xff) != 0xff) sig += LabelSignature{1} << shift;
+  }
+  return sig;
+}
+
+bool CountProfile::admits(const CountProfile& pattern) const {
+  for (std::size_t t = 0; t < kDeviceTypeCount; ++t) {
+    if (device_types[t] < pattern.device_types[t]) return false;
+  }
+  for (std::size_t l = 0; l < edge_labels.size(); ++l) {
+    if (edge_labels[l] < pattern.edge_labels[l]) return false;
+  }
+  if (supply_nets < pattern.supply_nets) return false;
+  if (ground_nets < pattern.ground_nets) return false;
+  return true;
+}
+
+CountProfile count_profile(const CircuitGraph& g) {
+  CountProfile p;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind == VertexKind::Element) {
+      ++p.device_types[static_cast<std::size_t>(vert.dtype)];
+    } else if (vert.role == NetRole::Supply) {
+      ++p.supply_nets;
+    } else if (vert.role == NetRole::Ground) {
+      ++p.ground_nets;
+    }
+  }
+  for (const auto& e : g.edges()) {
+    ++p.edge_labels[canonical_label(e.label)];
+  }
+  return p;
+}
+
+CandidateIndex::CandidateIndex(const CircuitGraph& g) : g_(&g) {
+  signatures_.resize(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const auto& vert = g.vertex(v);
+    if (vert.kind == VertexKind::Element) {
+      buckets_[static_cast<std::size_t>(vert.dtype)].push_back(v);
+    }
+    signatures_[v] = label_signature(g, v);
+  }
+  profile_ = count_profile(g);
+}
+
+}  // namespace gana::iso

@@ -1,0 +1,121 @@
+// Per-circuit candidate index for accelerated subgraph matching.
+//
+// Built once per target graph and shared (read-only) across every
+// library pattern and worker thread, it replaces the matcher's cold
+// per-pattern full-vertex root scan with three precomputed views:
+//  * element buckets by device type -- root candidates for a pattern
+//    rooted at an NMOS are exactly the target's NMOS vertices;
+//  * per-vertex labeled-edge signatures -- a packed multiset of the
+//    canonical (source/drain-flip-invariant) edge labels incident on
+//    each vertex, used as an O(1) lookahead: a candidate whose
+//    signature does not contain the pattern vertex's signature can
+//    never satisfy the per-edge label checks and is rejected before
+//    any recursion;
+//  * circuit-level count profiles (device types, canonical edge
+//    labels, rail nets) backing the library counting filter: a pattern
+//    requiring more NMOS devices, more diode edges, or a supply rail
+//    the circuit lacks is skipped without starting a search.
+//
+// Soundness: a monomorphic embedding maps distinct pattern elements to
+// distinct target elements of the same device type, and each pattern
+// edge to a distinct target edge whose label equals the pattern label
+// or its source/drain swap (the flip is per-element and consistent).
+// Canonicalizing labels under the swap therefore makes multiset
+// containment a necessary condition at every level -- vertex signatures
+// and whole-circuit profiles alike -- so neither filter can reject an
+// embeddable pattern.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace gana::iso {
+
+/// Number of device-type buckets (== number of spice::DeviceType values).
+inline constexpr std::size_t kDeviceTypeCount = 7;
+
+/// Swaps the source and drain bits of a 3-bit l_g l_s l_d edge label.
+[[nodiscard]] constexpr std::uint8_t swap_source_drain(std::uint8_t label) {
+  const std::uint8_t gate = label & graph::kLabelGate;
+  const std::uint8_t s = (label & graph::kLabelSource)
+                             ? static_cast<std::uint8_t>(graph::kLabelDrain)
+                             : std::uint8_t{0};
+  const std::uint8_t d = (label & graph::kLabelDrain)
+                             ? static_cast<std::uint8_t>(graph::kLabelSource)
+                             : std::uint8_t{0};
+  return static_cast<std::uint8_t>(gate | s | d);
+}
+
+/// Flip-invariant representative of an edge label: min(label, swapped).
+/// Two labels can match under some per-element orientation iff their
+/// canonical forms are equal.
+[[nodiscard]] constexpr std::uint8_t canonical_label(std::uint8_t label) {
+  const std::uint8_t sw = swap_source_drain(label);
+  return label < sw ? label : sw;
+}
+
+/// Packed multiset of canonical edge labels: one byte of count per
+/// canonical class (saturating at 255). Signature containment (every
+/// byte of the pattern <= the target's) is the vertex-level lookahead.
+using LabelSignature = std::uint64_t;
+
+[[nodiscard]] LabelSignature label_signature(const graph::CircuitGraph& g,
+                                             std::size_t vertex);
+
+/// True when `sub` is a sub-multiset of `super`, byte-wise.
+[[nodiscard]] constexpr bool signature_contains(LabelSignature super,
+                                                LabelSignature sub) {
+  for (int k = 0; k < 8; ++k) {
+    if (((super >> (8 * k)) & 0xff) < ((sub >> (8 * k)) & 0xff)) return false;
+  }
+  return true;
+}
+
+/// Whole-graph count profile used by the library counting filter. The
+/// same structure profiles a pattern (requirements) and a circuit
+/// (capacity); the circuit admits the pattern iff every count is >=.
+struct CountProfile {
+  std::array<std::size_t, kDeviceTypeCount> device_types{};
+  std::array<std::size_t, 8> edge_labels{};  ///< canonical classes
+  std::size_t supply_nets = 0;
+  std::size_t ground_nets = 0;
+
+  /// True when `this` (a circuit) can possibly contain `pattern`.
+  [[nodiscard]] bool admits(const CountProfile& pattern) const;
+};
+
+[[nodiscard]] CountProfile count_profile(const graph::CircuitGraph& g);
+
+/// Immutable per-circuit index; safe to share across threads.
+class CandidateIndex {
+ public:
+  explicit CandidateIndex(const graph::CircuitGraph& g);
+
+  /// The graph this index was built from (must outlive the index).
+  [[nodiscard]] const graph::CircuitGraph& graph() const { return *g_; }
+
+  /// Element vertex ids of the given device type, ascending.
+  [[nodiscard]] const std::vector<std::size_t>& elements_of(
+      spice::DeviceType t) const {
+    return buckets_[static_cast<std::size_t>(t)];
+  }
+
+  /// Packed canonical-label multiset of a vertex's incident edges.
+  [[nodiscard]] LabelSignature signature(std::size_t vertex) const {
+    return signatures_[vertex];
+  }
+
+  [[nodiscard]] const CountProfile& profile() const { return profile_; }
+
+ private:
+  const graph::CircuitGraph* g_;
+  std::array<std::vector<std::size_t>, kDeviceTypeCount> buckets_;
+  std::vector<LabelSignature> signatures_;
+  CountProfile profile_;
+};
+
+}  // namespace gana::iso

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <map>
 #include <optional>
-#include <set>
+
+#include "isomorph/candidate_index.hpp"
+#include "util/perf.hpp"
 
 namespace gana::iso {
 
@@ -17,14 +20,6 @@ using graph::VertexKind;
 namespace {
 
 constexpr std::size_t kNone = CircuitGraph::npos;
-
-/// Swaps the source and drain bits of an edge label.
-std::uint8_t swap_sd(std::uint8_t label) {
-  const std::uint8_t gate = label & graph::kLabelGate;
-  const std::uint8_t s = (label & graph::kLabelSource) ? graph::kLabelDrain : 0;
-  const std::uint8_t d = (label & graph::kLabelDrain) ? graph::kLabelSource : 0;
-  return static_cast<std::uint8_t>(gate | s | d);
-}
 
 /// Static vertex compatibility (ignores edges).
 bool vertex_compatible(const Vertex& p, const Vertex& t) {
@@ -43,15 +38,22 @@ bool vertex_compatible(const Vertex& p, const Vertex& t) {
 class Vf2State {
  public:
   Vf2State(const Pattern& pattern, const CircuitGraph& target,
-           const MatchOptions& options)
+           const MatchOptions& options, const CandidateIndex* index)
       : p_(*pattern.graph),
         t_(target),
         strict_(pattern.strict_degree),
         forbid_rail_(pattern.forbid_rail),
-        options_(options) {
+        options_(options),
+        index_(options.engine == MatchEngine::Indexed ? index : nullptr) {
     core_p_.assign(p_.vertex_count(), kNone);
     core_t_.assign(t_.vertex_count(), kNone);
     flip_.assign(p_.vertex_count(), false);
+    if (index_ != nullptr) {
+      pattern_sig_.resize(p_.vertex_count());
+      for (std::size_t v = 0; v < p_.vertex_count(); ++v) {
+        pattern_sig_[v] = label_signature(p_, v);
+      }
+    }
     order_ = search_order();
     if (options.max_seconds > 0.0) {
       deadline_ = std::chrono::steady_clock::now() +
@@ -62,28 +64,64 @@ class Vf2State {
 
   std::vector<Match> run(MatchStats* stats) {
     if (!order_.empty()) recurse(0);
+    perf::count_vf2(states_, sig_rejections_);
     if (stats != nullptr) {
       stats->states = states_;
       stats->truncated = truncated_;
+      stats->sig_rejections = sig_rejections_;
     }
     return std::move(matches_);
   }
 
  private:
+  /// Root of the search. Reference: highest-degree element (static).
+  /// Indexed: the element whose device type is rarest in the target --
+  /// the VF2++ "start from the most constrained vertex" rule -- with
+  /// degree, then id, breaking ties deterministically.
+  std::size_t search_root() const {
+    const std::size_t n = p_.vertex_count();
+    std::size_t root = 0;
+    if (index_ == nullptr) {
+      for (std::size_t v = 0; v < n; ++v) {
+        const bool better =
+            (p_.vertex(v).kind == VertexKind::Element &&
+             p_.vertex(root).kind != VertexKind::Element) ||
+            (p_.vertex(v).kind == p_.vertex(root).kind &&
+             p_.degree(v) > p_.degree(root));
+        if (better) root = v;
+      }
+      return root;
+    }
+    auto bucket_size = [&](std::size_t v) {
+      return index_->elements_of(p_.vertex(v).dtype).size();
+    };
+    for (std::size_t v = 1; v < n; ++v) {
+      const Vertex& a = p_.vertex(v);
+      const Vertex& b = p_.vertex(root);
+      if (a.kind == VertexKind::Element && b.kind != VertexKind::Element) {
+        root = v;
+        continue;
+      }
+      if (a.kind != b.kind) continue;
+      if (a.kind == VertexKind::Element) {
+        if (bucket_size(v) < bucket_size(root) ||
+            (bucket_size(v) == bucket_size(root) &&
+             p_.degree(v) > p_.degree(root))) {
+          root = v;
+        }
+      } else if (p_.degree(v) > p_.degree(root)) {
+        root = v;
+      }
+    }
+    return root;
+  }
+
   /// A connected search order over pattern vertices: start from the
-  /// highest-degree element, grow by edges. (Primitives are connected.)
+  /// root, grow by edges. (Primitives are connected.)
   std::vector<std::size_t> search_order() const {
     const std::size_t n = p_.vertex_count();
     if (n == 0) return {};
-    std::size_t root = 0;
-    for (std::size_t v = 0; v < n; ++v) {
-      const bool better =
-          (p_.vertex(v).kind == VertexKind::Element &&
-           p_.vertex(root).kind != VertexKind::Element) ||
-          (p_.vertex(v).kind == p_.vertex(root).kind &&
-           p_.degree(v) > p_.degree(root));
-      if (better) root = v;
-    }
+    const std::size_t root = search_root();
     std::vector<std::size_t> order;
     std::vector<bool> seen(n, false);
     order.push_back(root);
@@ -132,7 +170,7 @@ class Vf2State {
   /// Expected target label of pattern edge `label` on element `pe` given
   /// its orientation flip.
   std::uint8_t expected_label(std::size_t pe, std::uint8_t label) const {
-    return flip_[pe] ? swap_sd(label) : label;
+    return flip_[pe] ? swap_source_drain(label) : label;
   }
 
   /// Checks all pattern edges from `pu` into already-mapped neighbors.
@@ -160,7 +198,7 @@ class Vf2State {
     return true;
   }
 
-  bool feasible(std::size_t pu, std::size_t tv) const {
+  bool feasible(std::size_t pu, std::size_t tv) {
     if (core_t_[tv] != kNone) return false;
     const Vertex& pv = p_.vertex(pu);
     const Vertex& tvert = t_.vertex(tv);
@@ -178,38 +216,69 @@ class Vf2State {
         (tvert.role == NetRole::Supply || tvert.role == NetRole::Ground)) {
       return false;
     }
+    // Signature lookahead (Indexed): the candidate's canonical-label
+    // multiset must contain the pattern vertex's, or some incident
+    // pattern edge can never find its target edge.
+    if (index_ != nullptr &&
+        !signature_contains(index_->signature(tv), pattern_sig_[pu])) {
+      ++sig_rejections_;
+      return false;
+    }
     return true;
   }
 
   /// Candidate targets for pattern vertex `pu`: neighbors (in the target)
-  /// of the image of a mapped pattern-neighbor, or every compatible target
-  /// vertex for the root.
+  /// of the image of a mapped pattern-neighbor, or -- for the root -- the
+  /// device-type bucket of the index (Indexed) / every target vertex
+  /// (Reference). The Indexed engine picks the mapped neighbor whose
+  /// image has the fewest target edges (fewest candidates to try).
   std::vector<std::size_t> candidates(std::size_t pu) const {
+    std::size_t from = kNone;
     for (std::size_t eid : p_.incident(pu)) {
       const std::size_t pw = p_.opposite(eid, pu);
       const std::size_t tw = core_p_[pw];
       if (tw == kNone) continue;
-      std::vector<std::size_t> out;
-      out.reserve(t_.degree(tw));
-      for (std::size_t teid : t_.incident(tw)) {
-        out.push_back(t_.opposite(teid, tw));
+      if (from == kNone) {
+        from = tw;
+        if (index_ == nullptr) break;  // Reference: first mapped neighbor
+      } else if (t_.degree(tw) < t_.degree(from)) {
+        from = tw;
+      }
+    }
+    std::vector<std::size_t> out;
+    if (from != kNone) {
+      out.reserve(t_.degree(from));
+      for (std::size_t teid : t_.incident(from)) {
+        out.push_back(t_.opposite(teid, from));
       }
       return out;
     }
-    // Root (or disconnected component start): all target vertices.
-    std::vector<std::size_t> out;
+    // Root (or disconnected component start).
+    if (index_ != nullptr && p_.vertex(pu).kind == VertexKind::Element) {
+      return index_->elements_of(p_.vertex(pu).dtype);
+    }
     out.reserve(t_.vertex_count());
     for (std::size_t v = 0; v < t_.vertex_count(); ++v) out.push_back(v);
     return out;
   }
 
   void record_match() {
+    if (options_.dedup_by_elements) {
+      auto key = Match{core_p_}.element_key(p_);
+      auto [it, inserted] = seen_keys_.try_emplace(std::move(key),
+                                                   matches_.size());
+      if (!inserted) {
+        // Same element set, different automorphic image: keep the
+        // lexicographically smallest map so the representative does not
+        // depend on enumeration order (and thus on the engine).
+        if (core_p_ < matches_[it->second].map) {
+          matches_[it->second].map = core_p_;
+        }
+        return;
+      }
+    }
     Match m;
     m.map = core_p_;
-    if (options_.dedup_by_elements) {
-      auto key = m.element_key(p_);
-      if (!seen_keys_.insert(std::move(key)).second) return;
-    }
     matches_.push_back(std::move(m));
   }
 
@@ -275,14 +344,17 @@ class Vf2State {
   std::vector<bool> strict_;
   std::vector<bool> forbid_rail_;
   const MatchOptions& options_;
+  const CandidateIndex* index_;  ///< null = Reference engine
 
   std::vector<std::size_t> core_p_;  // pattern -> target
   std::vector<std::size_t> core_t_;  // target -> pattern
   std::vector<bool> flip_;           // per pattern element: s/d swapped
   std::vector<std::size_t> order_;
+  std::vector<LabelSignature> pattern_sig_;  // Indexed engine only
   std::vector<Match> matches_;
-  std::set<std::vector<std::size_t>> seen_keys_;
+  std::map<std::vector<std::size_t>, std::size_t> seen_keys_;
   std::size_t states_ = 0;
+  std::size_t sig_rejections_ = 0;
   bool truncated_ = false;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
 };
@@ -304,9 +376,14 @@ std::vector<std::size_t> Match::element_key(
 std::vector<Match> find_subgraph_matches(const Pattern& pattern,
                                          const graph::CircuitGraph& target,
                                          const MatchOptions& options,
-                                         MatchStats* stats) {
+                                         MatchStats* stats,
+                                         const CandidateIndex* index) {
   assert(pattern.graph != nullptr);
-  return Vf2State(pattern, target, options).run(stats);
+  if (options.engine == MatchEngine::Indexed && index == nullptr) {
+    const CandidateIndex local(target);
+    return Vf2State(pattern, target, options, &local).run(stats);
+  }
+  return Vf2State(pattern, target, options, index).run(stats);
 }
 
 bool contains_subgraph(const Pattern& pattern,

@@ -1,0 +1,40 @@
+#include "primitives/annotation_cache.hpp"
+
+#include "util/perf.hpp"
+
+namespace gana::primitives {
+
+std::shared_ptr<const CachedAnnotation> AnnotationCache::find(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    perf::count_annotation_cache_miss();
+    return nullptr;
+  }
+  ++hits_;
+  perf::count_annotation_cache_hit();
+  return it->second;
+}
+
+std::shared_ptr<const CachedAnnotation> AnnotationCache::insert(
+    std::uint64_t key, std::shared_ptr<const CachedAnnotation> ann) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = map_.try_emplace(key, std::move(ann));
+  return it->second;
+}
+
+AnnotationCache::Stats AnnotationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {hits_, misses_, map_.size()};
+}
+
+void AnnotationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace gana::primitives

@@ -1,16 +1,37 @@
 // Primitive annotation: exact subgraph matching against the library
 // (paper §IV-A) plus constraint instantiation (§IV-B).
+//
+// The sweep over library patterns is accelerated three ways, none of
+// which may change the accepted primitive set:
+//  * a per-circuit iso::CandidateIndex is built once and shared across
+//    all patterns (and worker threads);
+//  * a counting filter skips patterns whose device-type/edge-label/rail
+//    requirements the circuit cannot meet (a sound necessary condition,
+//    see candidate_index.hpp);
+//  * with a ThreadPool attached, patterns are matched in parallel and
+//    the per-pattern match lists are merged sequentially in canonical
+//    (library priority, element-key) order, so greedy acceptance is
+//    bit-identical to the sequential sweep at any thread count.
+// An optional AnnotationCache keyed by the circuit's structural hash
+// lets structurally identical circuits (batch copies of one cell) pay
+// for a single sweep.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "graph/circuit_graph.hpp"
 #include "isomorph/vf2.hpp"
+#include "primitives/annotation_cache.hpp"
 #include "primitives/constraint.hpp"
 #include "primitives/library.hpp"
+
+namespace gana {
+class ThreadPool;
+}
 
 namespace gana::primitives {
 
@@ -38,9 +59,23 @@ struct AnnotateOptions {
   /// truncates deterministically instead of hanging; the outcome reports
   /// it so callers can surface a partial-annotation warning.
   iso::MatchOptions match;
+  /// When non-null (and the calling thread is not already a pool
+  /// worker), library patterns are matched in parallel on this pool.
+  /// Never affects results: acceptance runs on the merged lists in the
+  /// same canonical order the sequential sweep uses. Not owned.
+  ThreadPool* pool = nullptr;
+  /// When non-null, annotations are shared across structurally identical
+  /// circuits through this cache. Ignored when `match.max_seconds` is
+  /// set (wall-clock truncation points are machine-dependent, so such
+  /// results must not be shared). Not owned.
+  AnnotationCache* cache = nullptr;
 };
 
 /// Primitive annotation plus the resource outcome of the VF2 sweeps.
+/// The work counters (`vf2_states`, `sig_rejections`,
+/// `patterns_skipped`) describe work done by *this call*: on a cache
+/// hit they are zero, while `truncated` still reports the cached
+/// annotation's flag (it is a property of the result, not of the call).
 struct AnnotateOutcome {
   std::vector<PrimitiveInstance> primitives;
   /// True when at least one library pattern's search hit its budget; the
@@ -48,11 +83,18 @@ struct AnnotateOutcome {
   bool truncated = false;
   /// Total VF2 states explored across all library patterns.
   std::size_t vf2_states = 0;
+  /// Candidates rejected by the signature lookahead (Indexed engine).
+  std::size_t sig_rejections = 0;
+  /// Library patterns skipped by the counting filter.
+  std::size_t patterns_skipped = 0;
+  /// True when the annotation was served from `options.cache`.
+  bool cache_hit = false;
 };
 
 /// Finds all primitive instances in `g`. Deterministic: library priority
-/// order, then VF2 enumeration order; budget truncation points depend
-/// only on the inputs.
+/// order, then canonical element-key order within each pattern; budget
+/// truncation points depend only on the inputs (and the chosen engine),
+/// never on thread count or cache state.
 AnnotateOutcome annotate_primitives_guarded(
     const graph::CircuitGraph& g, const PrimitiveLibrary& library,
     const AnnotateOptions& options = {});
@@ -66,5 +108,16 @@ std::vector<PrimitiveInstance> annotate_primitives(
 std::vector<std::size_t> unclaimed_elements(
     const graph::CircuitGraph& g,
     const std::vector<PrimitiveInstance>& found);
+
+/// The AnnotationCache key for annotating `g` against `library` under
+/// `options`: the circuit's structural hash folded with a library
+/// fingerprint (per-spec pattern structural hashes and priorities, in
+/// priority order) and every option that can change the accepted set
+/// (overlap mode, element filter, VF2 budgets, engine). Thread count and
+/// cache attachment are deliberately excluded -- they never change
+/// results. Exposed for tests.
+[[nodiscard]] std::uint64_t annotation_cache_key(
+    const graph::CircuitGraph& g, const PrimitiveLibrary& library,
+    const AnnotateOptions& options);
 
 }  // namespace gana::primitives

@@ -11,6 +11,11 @@ std::atomic<std::uint64_t> matmul_calls{0};
 std::atomic<std::uint64_t> matmul_flops{0};
 std::atomic<std::uint64_t> sample_cache_hits{0};
 std::atomic<std::uint64_t> sample_cache_misses{0};
+std::atomic<std::uint64_t> vf2_states{0};
+std::atomic<std::uint64_t> vf2_sig_rejections{0};
+std::atomic<std::uint64_t> vf2_pattern_skips{0};
+std::atomic<std::uint64_t> annotation_cache_hits{0};
+std::atomic<std::uint64_t> annotation_cache_misses{0};
 }  // namespace perf::detail
 
 PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& since) const {
@@ -23,6 +28,12 @@ PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& since) const {
   d.matmul_flops = matmul_flops - since.matmul_flops;
   d.sample_cache_hits = sample_cache_hits - since.sample_cache_hits;
   d.sample_cache_misses = sample_cache_misses - since.sample_cache_misses;
+  d.vf2_states = vf2_states - since.vf2_states;
+  d.vf2_sig_rejections = vf2_sig_rejections - since.vf2_sig_rejections;
+  d.vf2_pattern_skips = vf2_pattern_skips - since.vf2_pattern_skips;
+  d.annotation_cache_hits = annotation_cache_hits - since.annotation_cache_hits;
+  d.annotation_cache_misses =
+      annotation_cache_misses - since.annotation_cache_misses;
   return d;
 }
 
@@ -38,6 +49,14 @@ PerfSnapshot perf_snapshot() {
   s.sample_cache_hits = d::sample_cache_hits.load(std::memory_order_relaxed);
   s.sample_cache_misses =
       d::sample_cache_misses.load(std::memory_order_relaxed);
+  s.vf2_states = d::vf2_states.load(std::memory_order_relaxed);
+  s.vf2_sig_rejections =
+      d::vf2_sig_rejections.load(std::memory_order_relaxed);
+  s.vf2_pattern_skips = d::vf2_pattern_skips.load(std::memory_order_relaxed);
+  s.annotation_cache_hits =
+      d::annotation_cache_hits.load(std::memory_order_relaxed);
+  s.annotation_cache_misses =
+      d::annotation_cache_misses.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -29,6 +29,11 @@ struct PerfSnapshot {
   std::uint64_t matmul_flops = 0;        ///< 2*m*n*k per product
   std::uint64_t sample_cache_hits = 0;   ///< SamplePrepCache lookups served
   std::uint64_t sample_cache_misses = 0; ///< lookups that had to compute
+  std::uint64_t vf2_states = 0;          ///< VF2 search states explored
+  std::uint64_t vf2_sig_rejections = 0;  ///< candidates cut by the signature lookahead
+  std::uint64_t vf2_pattern_skips = 0;   ///< patterns cut by the counting filter
+  std::uint64_t annotation_cache_hits = 0;    ///< AnnotationCache lookups served
+  std::uint64_t annotation_cache_misses = 0;  ///< lookups that ran the matcher
 
   /// Counterwise difference (this - since).
   [[nodiscard]] PerfSnapshot operator-(const PerfSnapshot& since) const;
@@ -49,6 +54,11 @@ extern std::atomic<std::uint64_t> matmul_calls;
 extern std::atomic<std::uint64_t> matmul_flops;
 extern std::atomic<std::uint64_t> sample_cache_hits;
 extern std::atomic<std::uint64_t> sample_cache_misses;
+extern std::atomic<std::uint64_t> vf2_states;
+extern std::atomic<std::uint64_t> vf2_sig_rejections;
+extern std::atomic<std::uint64_t> vf2_pattern_skips;
+extern std::atomic<std::uint64_t> annotation_cache_hits;
+extern std::atomic<std::uint64_t> annotation_cache_misses;
 }  // namespace detail
 
 inline void count_matrix_alloc(std::size_t bytes) {
@@ -72,6 +82,26 @@ inline void count_sample_cache_hit() {
 
 inline void count_sample_cache_miss() {
   detail::sample_cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Flushed once per find_subgraph_matches call with locally accumulated
+/// totals (never per search state).
+inline void count_vf2(std::uint64_t states, std::uint64_t sig_rejections) {
+  detail::vf2_states.fetch_add(states, std::memory_order_relaxed);
+  detail::vf2_sig_rejections.fetch_add(sig_rejections,
+                                       std::memory_order_relaxed);
+}
+
+inline void count_vf2_pattern_skips(std::uint64_t n) {
+  detail::vf2_pattern_skips.fetch_add(n, std::memory_order_relaxed);
+}
+
+inline void count_annotation_cache_hit() {
+  detail::annotation_cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_annotation_cache_miss() {
+  detail::annotation_cache_misses.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace perf

@@ -77,6 +77,13 @@ constexpr SeedExpectation kSeeds[] = {
     {"unterminated_subckt.sp", DiagCode::SyntaxError, Stage::Parse, true},
 };
 
+/// Corpus files that are *valid* SPICE: adversarial-but-well-formed
+/// inputs (e.g. the high-fanout VF2 stressor) that must annotate
+/// cleanly rather than diagnose.
+constexpr const char* kAdversarial[] = {
+    "high_fanout.sp",
+};
+
 TEST(CorpusSeeds, EachSeedYieldsItsDocumentedDiag) {
   for (const auto& seed : kSeeds) {
     SCOPED_TRACE(seed.file);
@@ -95,6 +102,7 @@ TEST(CorpusSeeds, EachSeedYieldsItsDocumentedDiag) {
 TEST(CorpusSeeds, EverySeedFileHasAnExpectation) {
   std::set<std::string> expected;
   for (const auto& seed : kSeeds) expected.insert(seed.file);
+  for (const char* file : kAdversarial) expected.insert(file);
   std::set<std::string> present;
   for (const auto& entry :
        std::filesystem::directory_iterator(GANA_FUZZ_CORPUS_DIR)) {
@@ -104,6 +112,17 @@ TEST(CorpusSeeds, EverySeedFileHasAnExpectation) {
   }
   EXPECT_EQ(present, expected)
       << "tests/fuzz_corpus/*.sp and kSeeds drifted apart";
+}
+
+TEST(CorpusSeeds, AdversarialSeedsAnnotateCleanly) {
+  // Well-formed stressors (pathological structure, valid syntax) go all
+  // the way through parse -> annotate without a diagnostic; the VF2
+  // state budget, not an error path, is what bounds them.
+  for (const char* file : kAdversarial) {
+    SCOPED_TRACE(file);
+    const auto diag = run_pipeline(read_file(corpus_path(file)), file);
+    EXPECT_FALSE(diag.has_value()) << diag->render();
+  }
 }
 
 TEST(CorpusSeeds, RecursiveSeedsReportTheInstantiationChain) {
@@ -195,6 +214,9 @@ std::vector<std::pair<std::string, std::string>> fuzz_bases() {
   std::vector<std::pair<std::string, std::string>> bases;
   for (const auto& seed : kSeeds) {
     bases.emplace_back(seed.file, read_file(corpus_path(seed.file)));
+  }
+  for (const char* file : kAdversarial) {
+    bases.emplace_back(file, read_file(corpus_path(file)));
   }
   for (const char* fixture : {"rc_filter.sp", "two_stage_ota.sp",
                               "nested_buffer.sp", "lna_portlabels.sp"}) {

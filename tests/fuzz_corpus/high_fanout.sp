@@ -1,0 +1,45 @@
+* Adversarial high-fanout netlist: valid SPICE, hostile to subgraph search.
+* 32 NMOS devices share one drain net and one source net, so every
+* two-device library pattern has O(N^2) candidate pairs rooted here and
+* the VF2 sweep explores far more states than on a sane circuit. Under
+* the default state budget it still annotates cleanly; tests pin that a
+* tiny explicit budget truncates deterministically through the candidate
+* index. Four devices (mm0-mm3) also share their gate, giving the search
+* automorphic matches to deduplicate under pressure.
+m0 fan g0 tail gnd! nmos w=1u l=180n
+m1 fan g1 tail gnd! nmos w=1u l=180n
+m2 fan g2 tail gnd! nmos w=1u l=180n
+m3 fan g3 tail gnd! nmos w=1u l=180n
+m4 fan g4 tail gnd! nmos w=1u l=180n
+m5 fan g5 tail gnd! nmos w=1u l=180n
+m6 fan g6 tail gnd! nmos w=1u l=180n
+m7 fan g7 tail gnd! nmos w=1u l=180n
+m8 fan g8 tail gnd! nmos w=1u l=180n
+m9 fan g9 tail gnd! nmos w=1u l=180n
+m10 fan g10 tail gnd! nmos w=1u l=180n
+m11 fan g11 tail gnd! nmos w=1u l=180n
+m12 fan g12 tail gnd! nmos w=1u l=180n
+m13 fan g13 tail gnd! nmos w=1u l=180n
+m14 fan g14 tail gnd! nmos w=1u l=180n
+m15 fan g15 tail gnd! nmos w=1u l=180n
+m16 fan g16 tail gnd! nmos w=1u l=180n
+m17 fan g17 tail gnd! nmos w=1u l=180n
+m18 fan g18 tail gnd! nmos w=1u l=180n
+m19 fan g19 tail gnd! nmos w=1u l=180n
+m20 fan g20 tail gnd! nmos w=1u l=180n
+m21 fan g21 tail gnd! nmos w=1u l=180n
+m22 fan g22 tail gnd! nmos w=1u l=180n
+m23 fan g23 tail gnd! nmos w=1u l=180n
+m24 fan g24 tail gnd! nmos w=1u l=180n
+m25 fan g25 tail gnd! nmos w=1u l=180n
+m26 fan g26 tail gnd! nmos w=1u l=180n
+m27 fan g27 tail gnd! nmos w=1u l=180n
+m28 fan g28 tail gnd! nmos w=1u l=180n
+m29 fan g29 tail gnd! nmos w=1u l=180n
+m30 fan g30 tail gnd! nmos w=1u l=180n
+m31 fan g31 tail gnd! nmos w=1u l=180n
+mm0 fan gg tail gnd! nmos w=2u l=180n
+mm1 fan gg tail gnd! nmos w=2u l=180n
+mm2 fan gg tail gnd! nmos w=2u l=180n
+mm3 fan gg tail gnd! nmos w=2u l=180n
+.end
