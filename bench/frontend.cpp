@@ -1,0 +1,278 @@
+// Benchmarks the interned netlist front end.
+//
+// Two paths run parse -> flatten -> graph-build on the same 64-copy
+// hierarchical-OTA batch:
+//   before -- the Reference string path: parse_netlist (a string per
+//             token, std::map keys), flatten, build_graph(Netlist);
+//   after  -- the interned fast path: parse_netlist_interned (string_view
+//             tokens out of one lowercased buffer, dense u32 symbol ids,
+//             arena-backed SymbolTable), flatten_interned,
+//             build_graph(InternedNetlist).
+//
+// The equivalence contract says the two paths are bit-identical; the
+// bench verifies the flattened netlist bytes (through write_netlist) and
+// the graph vertices/edges for the timed runs, then re-verifies the
+// interned path against the Reference output at 1/2/8 worker threads.
+//
+// Writes BENCH_frontend.json (path overridable via argv[1]) with
+// before/after seconds, the speedup, the front-end perf counters
+// (parse_bytes, intern hits/misses, frontend_allocs), and the identity
+// verdict. Exits 1 if any comparison differs.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/builder.hpp"
+#include "spice/flatten.hpp"
+#include "spice/interned.hpp"
+#include "spice/parser.hpp"
+#include "spice/writer.hpp"
+#include "util/perf.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace gana;
+
+namespace {
+
+/// Hierarchical two-stage OTA with a current-mirror bias chain; `tag`
+/// uniquifies names so every copy is parsed from distinct bytes (the
+/// interner cannot trivially share across circuits).
+std::string make_ota_text(std::size_t tag) {
+  const std::string t = std::to_string(tag);
+  std::ostringstream sp;
+  sp << "* ota copy " << t << "\n"
+     << ".global vbias" << t << "\n"
+     << ".portlabel in1_" << t << " input\n"
+     << ".portlabel out" << t << " output\n"
+     << ".param wn" << t << "=2u\n"
+     << ".subckt inv" << t << " in out\n"
+     << "m0 out in gnd! gnd! nmos w={wn" << t << "} l=0.18u\n"
+     << "m1 out in vdd! vdd! pmos w=4u l=0.18u\n"
+     << ".ends\n"
+     << ".subckt diffpair" << t << " inp inn tail op on\n"
+     << "m0 op inp tail gnd! nmos w={wn" << t << "}\n"
+     << "+ l=0.18u\n"
+     << "m1 on inn tail gnd! nmos w={wn" << t << "} l=0.18u\n"
+     << ".ends\n"
+     << ".subckt ota" << t << " inp inn out\n"
+     << "xdp inp inn tail o1 o2 diffpair" << t << "\n"
+     << "m2 tail vbias" << t << " gnd! gnd! nmos w=2u l=0.36u\n"
+     << "m3 o1 o1 vdd! vdd! pmos w=4u l=0.18u\n"
+     << "m4 o2 o1 vdd! vdd! pmos w=4u l=0.18u\n"
+     << "xinv o2 out inv" << t << "\n"
+     << "c0 out gnd! 1p\n"
+     << ".ends\n"
+     << ".subckt bias" << t << " vb\n"
+     << "m0 vb vb gnd! gnd! nmos w=1u l=0.36u\n"
+     << "r0 vdd! vb 50k\n"
+     << ".ends\n"
+     << "xb vbias" << t << " bias" << t << "\n"
+     << "x0 in1_" << t << " in2_" << t << " out" << t << " ota" << t << "\n"
+     << "r1 out" << t << " mid" << t << " 10k\n"
+     << "c1 mid" << t << " gnd! 100f\n"
+     << ".end\n";
+  return sp.str();
+}
+
+struct FrontEndOutput {
+  std::string flat_bytes;  ///< write_netlist of the flattened netlist
+  graph::CircuitGraph graph;
+};
+
+bool same_graph(const graph::CircuitGraph& a, const graph::CircuitGraph& b) {
+  if (a.vertex_count() != b.vertex_count() ||
+      a.element_count() != b.element_count() ||
+      a.edge_count() != b.edge_count()) {
+    return false;
+  }
+  for (std::size_t v = 0; v < a.vertex_count(); ++v) {
+    const auto& x = a.vertex(v);
+    const auto& y = b.vertex(v);
+    if (x.kind != y.kind || x.name != y.name || x.dtype != y.dtype ||
+        x.value != y.value || x.hier_depth != y.hier_depth ||
+        x.device_index != y.device_index || x.role != y.role) {
+      return false;
+    }
+  }
+  for (std::size_t e = 0; e < a.edge_count(); ++e) {
+    if (a.edge(e).element != b.edge(e).element ||
+        a.edge(e).net != b.edge(e).net ||
+        a.edge(e).label != b.edge(e).label) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool same_outputs(const std::vector<FrontEndOutput>& a,
+                  const std::vector<FrontEndOutput>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].flat_bytes != b[i].flat_bytes) return false;
+    if (!same_graph(a[i].graph, b[i].graph)) return false;
+  }
+  return true;
+}
+
+FrontEndOutput run_reference_one(const std::string& text) {
+  FrontEndOutput out;
+  const auto flat = spice::flatten(spice::parse_netlist(text));
+  out.graph = graph::build_graph(flat);
+  out.flat_bytes = spice::write_netlist(flat);
+  return out;
+}
+
+FrontEndOutput run_interned_one(const std::string& text) {
+  FrontEndOutput out;
+  const auto flat =
+      spice::flatten_interned(spice::parse_netlist_interned(text));
+  out.graph = graph::build_graph(flat);
+  out.flat_bytes = spice::write_netlist(spice::materialize_netlist(flat));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_frontend.json";
+  bench::print_header(
+      "Netlist front end: interned symbols + zero-copy tokenizer",
+      "parse+flatten+graph-build speedup on 64 hierarchical OTAs");
+
+  const std::size_t copies = bench::scaled(64, 16);
+  std::vector<std::string> texts;
+  texts.reserve(copies);
+  std::size_t total_bytes = 0;
+  for (std::size_t i = 0; i < copies; ++i) {
+    texts.push_back(make_ota_text(i));
+    total_bytes += texts.back().size();
+  }
+
+  // The timed section is parse -> flatten -> build only; write_netlist
+  // (the verification materialization) runs outside the timer.
+  auto run_before = [&texts]() {
+    std::vector<FrontEndOutput> out;
+    out.reserve(texts.size());
+    for (const auto& text : texts) out.push_back(run_reference_one(text));
+    return out;
+  };
+  auto run_after = [&texts]() {
+    std::vector<FrontEndOutput> out;
+    out.reserve(texts.size());
+    for (const auto& text : texts) out.push_back(run_interned_one(text));
+    return out;
+  };
+  // Timed variants skip the writer so the measurement is the front end
+  // itself, not the (cold-path) materialization.
+  auto time_before = [&texts]() {
+    for (const auto& text : texts) {
+      const auto flat = spice::flatten(spice::parse_netlist(text));
+      (void)graph::build_graph(flat);
+    }
+  };
+  auto time_after = [&texts]() {
+    for (const auto& text : texts) {
+      const auto flat =
+          spice::flatten_interned(spice::parse_netlist_interned(text));
+      (void)graph::build_graph(flat);
+    }
+  };
+
+  // Warm up, then best of R reps; perf deltas from the last rep of each.
+  const int reps = bench::quick_mode() ? 3 : 7;
+  const auto before_out = run_before();
+  const auto after_out = run_after();
+  double before_s = 1e300, after_s = 1e300;
+  PerfSnapshot before_delta, after_delta;
+  for (int r = 0; r < reps; ++r) {
+    const PerfSnapshot s0 = perf_snapshot();
+    Timer t;
+    time_before();
+    before_s = std::min(before_s, t.seconds());
+    before_delta = perf_snapshot() - s0;
+  }
+  for (int r = 0; r < reps; ++r) {
+    const PerfSnapshot s0 = perf_snapshot();
+    Timer t;
+    time_after();
+    after_s = std::min(after_s, t.seconds());
+    after_delta = perf_snapshot() - s0;
+  }
+  const double speedup = before_s / std::max(after_s, 1e-12);
+  bool identical = same_outputs(before_out, after_out);
+
+  TextTable table({"Path", "Batch (ms)", "Speedup", "Parse MB/s",
+                   "Intern h/m", "FE allocs", "Identical"});
+  const double before_mbs =
+      static_cast<double>(before_delta.parse_bytes) / 1e6 /
+      std::max(before_s, 1e-12);
+  const double after_mbs = static_cast<double>(after_delta.parse_bytes) /
+                           1e6 / std::max(after_s, 1e-12);
+  table.add_row({"before (Reference: string tokens, map keys)",
+                 fmt(before_s * 1e3, 3), "(ref)", fmt(before_mbs, 1), "-/-",
+                 "-", "(ref)"});
+  table.add_row({"after (interned ids, zero-copy tokens)",
+                 fmt(after_s * 1e3, 3), fmt(speedup, 2), fmt(after_mbs, 1),
+                 std::to_string(after_delta.intern_hits) + "/" +
+                     std::to_string(after_delta.intern_misses),
+                 std::to_string(after_delta.frontend_allocs),
+                 identical ? "yes" : "NO"});
+  std::printf("%s\n", table.str().c_str());
+  std::printf("%zu copies (%zu KiB of SPICE), best of %d runs; "
+              "parse+flatten+build only.\n%s\n\n",
+              copies, total_bytes >> 10, reps,
+              speedup >= 2.0 ? "speedup target (>=2x) met"
+                             : "WARNING: below the 2x target");
+
+  // --- The interned path against the Reference output at 1/2/8 worker
+  // threads: per-copy outputs must be bit-identical regardless of which
+  // thread runs which copy.
+  TextTable vtable({"Jobs", "Identical"});
+  bool all_identical = identical;
+  for (const std::size_t jobs :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<FrontEndOutput> out(copies);
+    if (jobs <= 1) {
+      for (std::size_t i = 0; i < copies; ++i) {
+        out[i] = run_interned_one(texts[i]);
+      }
+    } else {
+      ThreadPool pool(jobs);
+      std::vector<std::future<void>> futures;
+      futures.reserve(copies);
+      for (std::size_t i = 0; i < copies; ++i) {
+        futures.push_back(pool.submit(
+            [&out, &texts, i] { out[i] = run_interned_one(texts[i]); }));
+      }
+      for (auto& f : futures) pool.wait(f);
+    }
+    const bool same = same_outputs(before_out, out);
+    all_identical = all_identical && same;
+    vtable.add_row({std::to_string(jobs), same ? "yes" : "NO"});
+  }
+  std::printf("%s\n", vtable.str().c_str());
+  std::printf("interned path vs. the sequential Reference front end.\n");
+
+  std::ostringstream json;
+  json << "{\"bench\":\"frontend\",\"circuits\":" << copies
+       << ",\"input_bytes\":" << total_bytes << ",\"reps\":" << reps
+       << ",\"quick\":" << (bench::quick_mode() ? "true" : "false")
+       << ",\"before_seconds\":" << before_s
+       << ",\"after_seconds\":" << after_s << ",\"speedup\":" << speedup
+       << ",\"speedup_target_met\":" << (speedup >= 2.0 ? "true" : "false")
+       << ",\"identical\":" << (all_identical ? "true" : "false")
+       << ",\"parse_bytes\":" << after_delta.parse_bytes
+       << ",\"intern_hits\":" << after_delta.intern_hits
+       << ",\"intern_misses\":" << after_delta.intern_misses
+       << ",\"frontend_allocs\":" << after_delta.frontend_allocs
+       << ",\"before_frontend_allocs\":" << before_delta.frontend_allocs
+       << "}";
+  std::ofstream f(out_path);
+  f << json.str() << "\n";
+  std::printf("\nrecord written to %s\n", out_path.c_str());
+
+  return all_identical ? 0 : 1;
+}

@@ -6,6 +6,7 @@
 //                      [--train] [--circuits 150] [--epochs 25]
 //                      [--jobs N] [--keep-going] [--svg out.svg]
 //                      [--sample-cache] [--annotation-cache]
+//                      [--frontend interned|reference]
 //                      [--perf-json perf.json]
 //                      [--save-model m.ckpt] [--load-model m.ckpt]
 //
@@ -29,8 +30,13 @@
 // --annotation-cache: share the VF2 primitive-annotation sweep between
 // structurally identical inputs (bit-identical outputs, less work).
 //
+// --frontend interned|reference: select the front-end implementation
+// (default interned -- the id-space fast path; reference is the legacy
+// string path). Both produce bit-identical annotations.
+//
 // --perf-json FILE: write the batch's wall/stage timings and perf
-// counters (allocations, spmm/matmul flops, cache hits) as JSON.
+// counters (allocations, spmm/matmul flops, parse/intern stats, cache
+// hits) as JSON.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -41,6 +47,7 @@
 #include "gana.hpp"
 #include "gcn/serialize.hpp"
 #include "util/args.hpp"
+#include "util/perf.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -129,18 +136,27 @@ int main(int argc, char** argv) {
         "                        [--circuits 150] [--epochs 25]\n"
         "                        [--jobs N] [--keep-going]\n"
         "                        [--sample-cache] [--annotation-cache]\n"
+        "                        [--frontend interned|reference]\n"
         "                        [--perf-json perf.json]\n"
         "                        [--svg layout.svg]\n");
     return kExitUsage;
   }
   const std::vector<std::string> paths = args.positional();
   const std::string domain = args.get("domain", "ota");
+  const std::string frontend = args.get("frontend", "interned");
+  if (frontend != "interned" && frontend != "reference") {
+    std::fprintf(stderr, "error: unknown --frontend '%s'\n", frontend.c_str());
+    return kExitUsage;
+  }
   const bool keep_going = args.has("keep-going");
   const std::size_t jobs =
       static_cast<std::size_t>(std::max(args.get_int("jobs", 1), 0));
 
   // --- Parse. Each file independently yields a netlist or a located
   // diagnostic; --keep-going pushes past failures instead of stopping.
+  // Parsing happens before BatchRunner opens its perf-counter window, so
+  // snapshot here and patch parse_bytes over the wider window below.
+  const gana::PerfSnapshot perf_at_parse = gana::perf_snapshot();
   std::vector<FileStatus> status(paths.size());
   std::vector<gana::spice::Netlist> netlists;      // parsed OK, in order
   std::vector<std::string> netlist_names;          // paths of `netlists`
@@ -160,6 +176,10 @@ int main(int argc, char** argv) {
       return status[i].exit_code;
     }
   }
+  // Input bytes only: close the window before the Annotator parses the
+  // primitive library's own pattern netlists.
+  const std::uint64_t input_parse_bytes =
+      (gana::perf_snapshot() - perf_at_parse).parse_bytes;
 
   std::unique_ptr<gana::gcn::GcnModel> model;
   if (args.has("load-model")) {
@@ -182,7 +202,13 @@ int main(int argc, char** argv) {
   const std::vector<std::string> classes =
       domain == "rf" ? gana::datagen::rf_class_names()
                      : std::vector<std::string>{"ota", "bias"};
-  gana::core::Annotator annotator(model.get(), classes);
+  gana::core::PrepareOptions prepare;
+  prepare.front_end = frontend == "reference"
+                          ? gana::core::FrontEnd::Reference
+                          : gana::core::FrontEnd::Interned;
+  gana::core::Annotator annotator(model.get(), classes,
+                                  gana::primitives::PrimitiveLibrary::standard(),
+                                  prepare);
   if (args.has("sample-cache")) {
     annotator.set_sample_cache(
         std::make_shared<gana::gcn::SamplePrepCache>());
@@ -207,6 +233,7 @@ int main(int argc, char** argv) {
     batch = gana::core::BatchRunner(annotator, bopt)
                 .run_isolated(netlists, netlist_names);
   }
+  batch.timings.parse_bytes += input_parse_bytes;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     const std::size_t slot = netlist_file[i];
     if (slot == SIZE_MAX) continue;  // parse failure already recorded

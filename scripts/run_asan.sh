@@ -10,5 +10,5 @@ cmake --preset asan
 cmake --build --preset asan -j"$(nproc)" \
   --target corpus_harness_test robustness_test diag_test \
   batch_failure_test spice_parser_test spice_flatten_test vf2_test \
-  primitive_matching_test
+  primitive_matching_test frontend_test
 ctest --preset asan

@@ -2,7 +2,8 @@
 # Builds the release preset and runs every bench target, collecting the
 # perf-record benches' BENCH_*.json files at the repo root.
 #
-# Perf-record benches (gcn_inference, primitive_matching) verify that
+# Perf-record benches (gcn_inference, primitive_matching, frontend)
+# verify that
 # their accelerated path is bit-identical to the reference path and say
 # so in the record's "identical" field. Each record is written to a
 # temporary path first; a run whose "identical" field is false never
@@ -31,7 +32,7 @@ done
 
 # Perf-record benches: write BENCH_<name>.json, guarded on "identical".
 status=0
-for b in gcn_inference primitive_matching; do
+for b in gcn_inference primitive_matching frontend; do
   echo "=== $b ==="
   record="BENCH_$b.json"
   tmp="$record.tmp"

@@ -163,6 +163,10 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   out.timings.vf2_pattern_skips = perf.vf2_pattern_skips;
   out.timings.annotation_cache_hits = perf.annotation_cache_hits;
   out.timings.annotation_cache_misses = perf.annotation_cache_misses;
+  out.timings.parse_bytes = perf.parse_bytes;
+  out.timings.intern_hits = perf.intern_hits;
+  out.timings.intern_misses = perf.intern_misses;
+  out.timings.frontend_allocs = perf.frontend_allocs;
   for (const auto& o : out.outcomes) {
     if (!o.ok()) continue;
     out.timings.prepare_seconds += o.value().seconds_prepare;

@@ -81,6 +81,10 @@ struct BatchTimings {
   std::uint64_t vf2_pattern_skips = 0;    ///< counting-filter pattern skips
   std::uint64_t annotation_cache_hits = 0;
   std::uint64_t annotation_cache_misses = 0;
+  std::uint64_t parse_bytes = 0;       ///< netlist text bytes parsed
+  std::uint64_t intern_hits = 0;       ///< SymbolTable lookups of known names
+  std::uint64_t intern_misses = 0;     ///< SymbolTable first-time interns
+  std::uint64_t frontend_allocs = 0;   ///< interned front-end heap allocations
 };
 
 struct BatchResult {

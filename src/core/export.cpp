@@ -101,7 +101,11 @@ std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
       << ",\"vf2_sig_rejections\":" << t.vf2_sig_rejections
       << ",\"vf2_pattern_skips\":" << t.vf2_pattern_skips
       << ",\"annotation_cache_hits\":" << t.annotation_cache_hits
-      << ",\"annotation_cache_misses\":" << t.annotation_cache_misses << "}";
+      << ",\"annotation_cache_misses\":" << t.annotation_cache_misses
+      << ",\"parse_bytes\":" << t.parse_bytes
+      << ",\"intern_hits\":" << t.intern_hits
+      << ",\"intern_misses\":" << t.intern_misses
+      << ",\"frontend_allocs\":" << t.frontend_allocs << "}";
   return out.str();
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "graph/circuit_graph.hpp"
+#include "spice/interned.hpp"
 #include "spice/netlist.hpp"
 
 namespace gana::graph {
@@ -19,6 +20,13 @@ struct BuildOptions {
 /// Builds the bipartite graph; element vertex ids appear in netlist device
 /// order first, followed by net vertices. Requires a flat netlist.
 CircuitGraph build_graph(const spice::Netlist& netlist,
+                         const BuildOptions& options = {});
+
+/// Id-space overload for the interned front end: consumes SymbolIds
+/// directly (net vertices are still created in first-touch order, so the
+/// resulting graph is bit-identical to the string overload's -- same
+/// vertex ids, names, roles, and edges).
+CircuitGraph build_graph(const spice::InternedNetlist& netlist,
                          const BuildOptions& options = {});
 
 /// Net role from rail naming plus the netlist's port labels.

@@ -2,26 +2,54 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
-#include "util/strings.hpp"
-
 namespace gana::spice {
+namespace {
+
+/// Unit words that may legally trail a number (after the optional scale
+/// suffix): "10pF", "2kohm", "1.2v", "0.18um". Anything else -- in
+/// particular a second scale letter, as in "1.5kk" -- is a malformed
+/// literal and must not be silently accepted.
+bool is_unit_word(std::string_view rest) {
+  return rest.empty() || rest == "f" || rest == "h" || rest == "v" ||
+         rest == "a" || rest == "s" || rest == "m" || rest == "ohm" ||
+         rest == "ohms" || rest == "hz" || rest == "farad" || rest == "henry";
+}
+
+}  // namespace
 
 std::optional<double> parse_number(std::string_view token) {
   if (token.empty()) return std::nullopt;
-  const std::string s = to_lower(token);
-  const char* begin = s.c_str();
-  char* end = nullptr;
-  const double base = std::strtod(begin, &end);
-  if (end == begin) return std::nullopt;  // no numeric prefix at all
+  // strtod needs a NUL-terminated buffer; `token` may be a view into the
+  // middle of a larger netlist buffer, so copy (and lower-case) it into a
+  // small stack buffer instead of scanning past its end.
+  char stack_buf[64];
+  std::string heap_buf;
+  char* buf = stack_buf;
+  if (token.size() >= sizeof(stack_buf)) {
+    heap_buf.resize(token.size() + 1);
+    buf = heap_buf.data();
+  }
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    buf[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(token[i])));
+  }
+  buf[token.size()] = '\0';
 
-  std::string_view rest(end);
+  char* end = nullptr;
+  const double base = std::strtod(buf, &end);
+  if (end == buf) return std::nullopt;  // no numeric prefix at all
+
+  std::string_view rest(end, token.size() - static_cast<std::size_t>(end - buf));
   double scale = 1.0;
   if (!rest.empty()) {
-    if (starts_with(rest, "meg")) {
+    if (rest.substr(0, 3) == "meg") {
       scale = 1e6;
+      rest.remove_prefix(3);
     } else {
+      bool consumed = true;
       switch (rest.front()) {
         case 't': scale = 1e12; break;
         case 'g': scale = 1e9; break;
@@ -32,10 +60,12 @@ std::optional<double> parse_number(std::string_view token) {
         case 'n': scale = 1e-9; break;
         case 'p': scale = 1e-12; break;
         case 'f': scale = 1e-15; break;
-        default: scale = 1.0; break;  // unit letters like "v", "a", "ohm"
+        default: consumed = false; break;  // unit letters like "v", "ohm"
       }
+      if (consumed) rest.remove_prefix(1);
     }
   }
+  if (!is_unit_word(rest)) return std::nullopt;  // e.g. "1.5kk"
   return base * scale;
 }
 

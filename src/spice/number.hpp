@@ -9,8 +9,11 @@ namespace gana::spice {
 /// Parses a SPICE number with optional engineering suffix.
 ///
 /// Recognized suffixes (case-insensitive): t, g, meg, x, k, m, u, n, p, f.
-/// Trailing unit letters after the suffix are ignored, as in SPICE
-/// ("10pF" == 10e-12). Returns std::nullopt if no leading number exists.
+/// A known unit word may follow the suffix, as in SPICE ("10pF" ==
+/// 10e-12, "2kohm" == 2e3, "1.2V" == 1.2). Returns std::nullopt if no
+/// leading number exists or if unrecognized characters trail the literal
+/// ("1.5kk" is rejected, not silently read as 1.5k). Safe on views into
+/// a larger buffer: never reads past `token`.
 std::optional<double> parse_number(std::string_view token);
 
 }  // namespace gana::spice

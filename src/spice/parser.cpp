@@ -6,15 +6,12 @@
 #include <sstream>
 
 #include "spice/number.hpp"
+#include "util/perf.hpp"
 #include "util/strings.hpp"
 
 namespace gana::spice {
-namespace {
 
-struct Line {
-  std::string text;
-  std::size_t number;  // 1-based line number of the first physical line
-};
+namespace detail {
 
 bool looks_like_card(const std::string& s) {
   if (s.empty()) return false;
@@ -35,6 +32,17 @@ bool looks_like_card(const std::string& s) {
     default: return false;
   }
 }
+
+}  // namespace detail
+
+namespace {
+
+using detail::looks_like_card;
+
+struct Line {
+  std::string text;
+  std::size_t number;  // 1-based line number of the first physical line
+};
 
 /// Splits "key=value" tokens; tolerates spaces around '=' having been
 /// collapsed by tokenization ("w = 1u" arrives as "w", "=", "1u").
@@ -68,6 +76,7 @@ class Parser {
       : text_(text), options_(options) {}
 
   Netlist run() {
+    perf::count_parse_bytes(text_.size());
     split_lines();
     std::size_t i = 0;
     // Only the physically-first line can be a title (SPICE convention);
@@ -426,19 +435,48 @@ Netlist parse_netlist(std::string_view text, const ParseOptions& options) {
   return Parser(text, options).run();
 }
 
-Netlist parse_netlist_file(const std::string& path, const ParseLimits& limits) {
-  std::ifstream in(path);
+std::string read_netlist_text(const std::string& path,
+                              const ParseLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw ParseError(make_diag(DiagCode::IoError, Stage::Io,
                                "cannot open file: " + path,
                                SourceLoc{path, 0}));
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
+  in.seekg(0, std::ios::end);
+  const auto size_pos = in.tellg();
+  if (size_pos < 0) {
+    throw ParseError(make_diag(DiagCode::IoError, Stage::Io,
+                               "cannot determine size of file: " + path,
+                               SourceLoc{path, 0}));
+  }
+  const std::size_t size = static_cast<std::size_t>(size_pos);
+  // Same rejection the parser itself would issue, but before a single
+  // byte of an oversized file has been read into memory.
+  if (limits.max_input_bytes != 0 && size > limits.max_input_bytes) {
+    throw ParseError(make_diag(
+        DiagCode::LimitExceeded, Stage::Parse,
+        "input is " + std::to_string(size) + " bytes, limit " +
+            std::to_string(limits.max_input_bytes),
+        SourceLoc{path, 0}));
+  }
+  in.seekg(0, std::ios::beg);
+  std::string text(size, '\0');
+  in.read(text.data(), static_cast<std::streamsize>(size));
+  if (!in && size != 0) {
+    throw ParseError(make_diag(DiagCode::IoError, Stage::Io,
+                               "cannot read file: " + path,
+                               SourceLoc{path, 0}));
+  }
+  return text;
+}
+
+Netlist parse_netlist_file(const std::string& path, const ParseLimits& limits) {
+  const std::string text = read_netlist_text(path, limits);
   ParseOptions options;
   options.source = path;
   options.limits = limits;
-  return parse_netlist(ss.str(), options);
+  return parse_netlist(text, options);
 }
 
 Result<Netlist> parse_netlist_result(std::string_view text,

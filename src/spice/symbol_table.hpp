@@ -1,0 +1,86 @@
+// Append-only string interner for the netlist front end.
+//
+// Every name the front end touches (device, net, model, subckt, port,
+// parameter key) is mapped to a dense 32-bit `SymbolId` on first sight;
+// all further comparisons, map keys, and set memberships in the hot
+// parse -> flatten -> preprocess -> graph-build path operate on ids.
+// String bytes live in a chunked arena, so a resolved `std::string_view`
+// stays valid for the lifetime of the table no matter how many symbols
+// are interned afterwards.
+//
+// Determinism: ids are assigned in first-intern order and nothing is
+// ever removed, so two tables fed the same name sequence are identical
+// (same ids, same bytes) -- the property the batch runner's bit-identical
+// guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace gana::spice {
+
+/// Dense handle for an interned name; ids count up from zero in
+/// first-intern order.
+using SymbolId = std::uint32_t;
+
+/// Sentinel for "no name" (e.g. the model of a non-MOS device).
+inline constexpr SymbolId kNoSymbol = static_cast<SymbolId>(-1);
+
+class SymbolTable {
+ public:
+  SymbolTable();
+  SymbolTable(SymbolTable&&) noexcept = default;
+  SymbolTable& operator=(SymbolTable&&) noexcept = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id of `name`, interning it on first sight. Interning
+  /// never invalidates previously returned ids or views.
+  SymbolId intern(std::string_view name);
+
+  /// Id of `name` if already interned, kNoSymbol otherwise. Never
+  /// mutates the table.
+  [[nodiscard]] SymbolId find(std::string_view name) const;
+
+  /// Bytes of an interned symbol; stable for the table's lifetime.
+  [[nodiscard]] std::string_view name(SymbolId id) const {
+    return spans_[id];
+  }
+
+  /// Number of distinct symbols interned so far.
+  [[nodiscard]] std::size_t size() const { return spans_.size(); }
+
+  /// Total string bytes held by the arena (diagnostics only).
+  [[nodiscard]] std::size_t arena_bytes() const { return arena_bytes_; }
+
+  /// Lookup statistics since construction (also mirrored into the
+  /// process-wide perf counters by flush_stats()).
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+  /// Publishes accumulated hit/miss counts to util/perf.hpp and resets
+  /// the local tally. Called by the front end once per region (a parse,
+  /// a flatten), never per lookup.
+  void flush_stats();
+
+ private:
+  /// Copies `name` into the arena and returns a stable view.
+  std::string_view arena_store(std::string_view name);
+  void rehash(std::size_t new_buckets);
+
+  // Open-addressing table of symbol ids; kNoSymbol marks an empty slot.
+  // Power-of-two size, linear probing, max load factor 0.7.
+  std::vector<SymbolId> buckets_;
+  std::vector<std::uint64_t> bucket_hash_;  ///< cached hash per occupied slot
+  std::vector<std::string_view> spans_;     ///< id -> bytes, append-only
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t chunk_used_ = 0;
+  std::size_t chunk_cap_ = 0;
+  std::size_t arena_bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace gana::spice

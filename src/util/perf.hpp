@@ -34,6 +34,12 @@ struct PerfSnapshot {
   std::uint64_t vf2_pattern_skips = 0;   ///< patterns cut by the counting filter
   std::uint64_t annotation_cache_hits = 0;    ///< AnnotationCache lookups served
   std::uint64_t annotation_cache_misses = 0;  ///< lookups that ran the matcher
+  std::uint64_t parse_bytes = 0;       ///< netlist text bytes fed to a parser
+  std::uint64_t intern_hits = 0;       ///< SymbolTable lookups of known names
+  std::uint64_t intern_misses = 0;     ///< SymbolTable first-time interns
+  std::uint64_t frontend_allocs = 0;   ///< interned front-end heap allocations
+                                       ///< (arena chunks, table rehashes,
+                                       ///< whole-file buffers)
 
   /// Counterwise difference (this - since).
   [[nodiscard]] PerfSnapshot operator-(const PerfSnapshot& since) const;
@@ -59,6 +65,10 @@ extern std::atomic<std::uint64_t> vf2_sig_rejections;
 extern std::atomic<std::uint64_t> vf2_pattern_skips;
 extern std::atomic<std::uint64_t> annotation_cache_hits;
 extern std::atomic<std::uint64_t> annotation_cache_misses;
+extern std::atomic<std::uint64_t> parse_bytes;
+extern std::atomic<std::uint64_t> intern_hits;
+extern std::atomic<std::uint64_t> intern_misses;
+extern std::atomic<std::uint64_t> frontend_allocs;
 }  // namespace detail
 
 inline void count_matrix_alloc(std::size_t bytes) {
@@ -102,6 +112,21 @@ inline void count_annotation_cache_hit() {
 
 inline void count_annotation_cache_miss() {
   detail::annotation_cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_parse_bytes(std::uint64_t bytes) {
+  detail::parse_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+/// Flushed once per intern-heavy region (a parse, a flatten) with locally
+/// accumulated totals -- never per lookup.
+inline void count_intern(std::uint64_t hits, std::uint64_t misses) {
+  detail::intern_hits.fetch_add(hits, std::memory_order_relaxed);
+  detail::intern_misses.fetch_add(misses, std::memory_order_relaxed);
+}
+
+inline void count_frontend_alloc(std::uint64_t n = 1) {
+  detail::frontend_allocs.fetch_add(n, std::memory_order_relaxed);
 }
 
 }  // namespace perf

@@ -1,0 +1,53 @@
+* torture test: five-level hierarchy, continuation chains, param chains
+* exercises: nested .subckt scoping, '+' continuations splitting pins and
+* params, .param references through braces/quotes, mixed case, comments
+.GLOBAL vbias        $ bias rail shared across the hierarchy
+.portlabel rfin antenna
+.portlabel out output
+.param lmin=0.18u
+.param wn=2u
+.param wp={wn}       ; param referencing a prior param
+.param wtail='wn'
+
+.subckt unit in out
+Mn out in gnd! gnd!
++ NMOS
++ w={wn} l='lmin'
+mp out in vdd! vdd! pmos w={wp}
++ l={lmin}
+.ends
+
+.SUBCKT pair inp inn tail op on
+m0 op inp
++ tail gnd! nmos
++ w={wn}
++ l={lmin}
+m1 on inn tail gnd! nmos w={wn} l={lmin}
+.ends
+
+.subckt stage inp inn op on
+xp inp inn tail op on pair   $ diff pair one level down
+mtail tail vbias gnd! gnd! nmos w={wtail} l={lmin}
+.ends
+
+.subckt core inp inn out
+xs inp inn o1 o2
++ stage
+xu o2 out unit
+c0 out gnd! 100f
+.ends
+
+.subckt amp rfin out
+xc rfin fb out core
+rfb out fb 10k
+.ends
+
+.subckt top rfin out
+xa rfin out amp
+.ends
+
+x0 rfin
++ out
++ top
+CLOAD out gnd! 1p
+.end

@@ -216,6 +216,12 @@ TEST(GoldenFlatten, TwoStageOta) { check_flatten_golden("two_stage_ota"); }
 TEST(GoldenFlatten, NestedBuffer) { check_flatten_golden("nested_buffer"); }
 TEST(GoldenFlatten, RcFilter) { check_flatten_golden("rc_filter"); }
 TEST(GoldenFlatten, LnaPortLabels) { check_flatten_golden("lna_portlabels"); }
+// Deliberately gnarly: five-level nesting, '+' continuation chains that
+// split pins and params mid-card, and .param values referencing earlier
+// parameters through braces and quotes.
+TEST(GoldenFlatten, TortureHierarchy) {
+  check_flatten_golden("torture_hierarchy");
+}
 
 TEST(Flatten, SharedParentNetAcrossSiblings) {
   const auto n = parse_netlist(R"(

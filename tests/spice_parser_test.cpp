@@ -36,6 +36,42 @@ TEST(Number, Invalid) {
   EXPECT_FALSE(parse_number("").has_value());
 }
 
+TEST(Number, ExponentVsMegVsMilli) {
+  // The three classic confusables: an exponent, the "meg" word, and the
+  // single-letter milli suffix.
+  EXPECT_DOUBLE_EQ(*parse_number("1e3"), 1000.0);
+  EXPECT_DOUBLE_EQ(*parse_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse_number("1m"), 1e-3);
+  // "meg" must win over a bare 'm' followed by unit letters.
+  EXPECT_DOUBLE_EQ(*parse_number("1megohm"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse_number("1mv"), 1e-3);
+}
+
+TEST(Number, UppercaseSuffixes) {
+  EXPECT_DOUBLE_EQ(*parse_number("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(*parse_number("2K"), 2e3);
+  EXPECT_DOUBLE_EQ(*parse_number("3U"), 3e-6);
+  EXPECT_DOUBLE_EQ(*parse_number("4M"), 4e-3);
+  EXPECT_DOUBLE_EQ(*parse_number("5G"), 5e9);
+  EXPECT_DOUBLE_EQ(*parse_number("1.5E3"), 1500.0);
+  EXPECT_DOUBLE_EQ(*parse_number("10PF"), 10e-12);
+}
+
+TEST(Number, TrailingGarbageRejected) {
+  // A doubled suffix is not "the first suffix plus noise" -- it must be
+  // rejected outright, never silently read as 1.5k.
+  EXPECT_FALSE(parse_number("1.5kk").has_value());
+  EXPECT_FALSE(parse_number("1megmeg").has_value());
+  EXPECT_FALSE(parse_number("2kx").has_value());
+  EXPECT_FALSE(parse_number("3u7").has_value());
+  EXPECT_FALSE(parse_number("1.0e3garbage").has_value());
+  EXPECT_FALSE(parse_number("10p!").has_value());
+  // But recognized unit words after a suffix still pass.
+  EXPECT_DOUBLE_EQ(*parse_number("2kohms"), 2e3);
+  EXPECT_DOUBLE_EQ(*parse_number("0.18um"), 0.18e-6);
+  EXPECT_DOUBLE_EQ(*parse_number("1nH"), 1e-9);
+}
+
 TEST(Parser, MinimalMos) {
   const auto n = parse_netlist(R"(
 * test
