@@ -5,19 +5,28 @@
 //             spectral operators (normalized Laplacian, Lanczos lambda
 //             max, Graclus coarsening, propagation maps) from scratch,
 //             runs the allocating GcnModel::infer wrapper, and products
-//             use the reference matmul kernel;
-//   after  -- the fast path: a SamplePrepCache serves the shared prep
-//             (one miss, 63 hits), inference reuses one InferWorkspace
-//             (zero steady-state allocations), and products use the
-//             unrolled kernel (bit-identical by contract).
+//             use the reference matmul AND spmm kernels;
+//   after  -- the fast path: a SamplePrepCache serves the shared prep,
+//             an InferenceCache memoizes the class probabilities per
+//             (structure, weights fingerprint) so the 64-copy batch runs
+//             one GCN forward pass (one miss, 63 hits), that pass reuses
+//             one InferWorkspace (zero steady-state allocations), and
+//             products use the compile-time-dispatched SIMD kernels
+//             (bit-identical by the kernel-equivalence contract).
 //
-// Both paths seed the prep Rng from (root seed, structural hash), so
+// A third measurement isolates the kernels: the cached-prep + workspace
+// path WITHOUT the inference cache, timed on the reference kernels and
+// again on the SIMD kernels, is reported as kernel_speedup so a kernel
+// regression stays visible even though the headline path rarely runs
+// them.
+//
+// All paths seed the prep Rng from (root seed, structural hash), so
 // the probabilities must be bit-identical -- the bench verifies that,
-// then re-verifies at the pipeline level: BatchRunner with the cache at
+// then re-verifies at the pipeline level: BatchRunner with the caches at
 // 1/2/8 workers against the sequential cache-off reference.
 //
 // Writes BENCH_gcn_inference.json (path overridable via argv[1]) with
-// the before/after seconds, the speedup, the perf-counter deltas of
+// the before/after seconds, the speedups, the perf-counter deltas of
 // each path, and the pipeline-level BatchTimings records.
 #include <algorithm>
 #include <fstream>
@@ -28,7 +37,9 @@
 #include "core/batch_runner.hpp"
 #include "core/export.hpp"
 #include "core/features.hpp"
+#include "gcn/inference_cache.hpp"
 #include "gcn/sample_cache.hpp"
+#include "linalg/kernels.hpp"
 #include "gcn/workspace.hpp"
 #include "graph/structural_hash.hpp"
 #include "util/perf.hpp"
@@ -47,7 +58,9 @@ void perf_json(std::ostringstream& out, const char* prefix,
       << "_matmul_calls\":" << d.matmul_calls << ",\"" << prefix
       << "_matmul_flops\":" << d.matmul_flops << ",\"" << prefix
       << "_cache_hits\":" << d.sample_cache_hits << ",\"" << prefix
-      << "_cache_misses\":" << d.sample_cache_misses;
+      << "_cache_misses\":" << d.sample_cache_misses << ",\"" << prefix
+      << "_inference_cache_hits\":" << d.inference_cache_hits << ",\""
+      << prefix << "_inference_cache_misses\":" << d.inference_cache_misses;
 }
 
 bool identical_probs(const std::vector<Matrix>& a,
@@ -64,8 +77,9 @@ bool identical_probs(const std::vector<Matrix>& a,
 int main(int argc, char** argv) {
   const std::string out_path =
       argc > 1 ? argv[1] : "BENCH_gcn_inference.json";
-  bench::print_header("GCN inference fast path: workspace + sample-prep cache",
-                      "batch-inference speedup on 64 copies of an OTA");
+  bench::print_header(
+      "GCN inference fast path: workspace + prep/inference caches",
+      "batch-inference speedup on 64 copies of an OTA");
 
   // A trained model so inference exercises real weights.
   datagen::DatasetOptions train_opt;
@@ -101,9 +115,10 @@ int main(int argc, char** argv) {
   const std::uint64_t root_seed = core::kDefaultSampleSeed;
 
   // --- before: fresh spectral prep + allocating inference per circuit,
-  // on the reference matmul kernel (the seed's loop).
+  // on the reference matmul and spmm kernels (the seed's loops).
   auto run_before = [&]() {
     set_matmul_kernel(MatmulKernel::Reference);
+    set_spmm_kernel(SpmmKernel::Reference);
     std::vector<Matrix> probs;
     probs.reserve(kCopies);
     for (const auto& p : prepared) {
@@ -111,12 +126,18 @@ int main(int argc, char** argv) {
       const auto sample = core::make_gcn_sample(p, pool_levels, rng);
       probs.push_back(gcn::softmax(model.infer(sample)));
     }
-    set_matmul_kernel(MatmulKernel::Unrolled);
+    set_matmul_kernel(MatmulKernel::Simd);
+    set_spmm_kernel(SpmmKernel::Simd);
     return probs;
   };
 
-  // --- after: cache-served prep + workspace inference.
-  auto run_after = [&]() {
+  // --- kernels-only: cache-served prep + workspace inference WITHOUT
+  // the inference cache, on a caller-chosen kernel pair. Timed on the
+  // reference kernels and again on the SIMD pair to isolate the
+  // vectorized kernels' contribution (kernel_speedup).
+  auto run_infer = [&](MatmulKernel mk, SpmmKernel sk) {
+    set_matmul_kernel(mk);
+    set_spmm_kernel(sk);
     gcn::SamplePrepCache cache;
     gcn::InferWorkspace ws;
     std::vector<Matrix> probs;
@@ -136,6 +157,45 @@ int main(int argc, char** argv) {
       auto sample = gcn::sample_from_prep(*prep, core::build_features(p.graph),
                                           p.labels, p.name);
       probs.push_back(gcn::softmax(model.infer(sample, ws)));
+    }
+    set_matmul_kernel(MatmulKernel::Simd);
+    set_spmm_kernel(SpmmKernel::Simd);
+    return probs;
+  };
+
+  // --- after: the full fast path -- prep cache, inference-result cache
+  // (one forward pass, 63 memoized reuses), workspace inference on the
+  // SIMD kernels (the library default).
+  const std::uint64_t weights_fp = model.weights_fingerprint();
+  auto run_after = [&]() {
+    set_matmul_kernel(MatmulKernel::Simd);
+    set_spmm_kernel(SpmmKernel::Simd);
+    gcn::SamplePrepCache cache;
+    gcn::InferenceCache rcache;
+    gcn::InferWorkspace ws;
+    std::vector<Matrix> probs;
+    probs.reserve(kCopies);
+    for (const auto& p : prepared) {
+      const std::uint64_t seed =
+          graph::hash_combine(root_seed, graph::structural_hash(p.graph));
+      const std::uint64_t key =
+          graph::hash_combine(seed, static_cast<std::uint64_t>(pool_levels));
+      const std::uint64_t ikey = graph::hash_combine(key, weights_fp);
+      if (std::shared_ptr<const Matrix> hit = rcache.find(ikey)) {
+        probs.push_back(*hit);
+        continue;
+      }
+      std::shared_ptr<const gcn::SamplePrep> prep = cache.find(key);
+      if (prep == nullptr) {
+        Rng rng(seed);
+        prep = cache.insert(
+            key, std::make_shared<gcn::SamplePrep>(gcn::make_sample_prep(
+                     graph::adjacency(p.graph), pool_levels, rng)));
+      }
+      auto sample = gcn::sample_from_prep(*prep, core::build_features(p.graph),
+                                          p.labels, p.name);
+      probs.push_back(gcn::softmax(model.infer(sample, ws)));
+      rcache.insert(ikey, std::make_shared<Matrix>(probs.back()));
     }
     return probs;
   };
@@ -161,25 +221,54 @@ int main(int argc, char** argv) {
     after_s = std::min(after_s, t.seconds());
     after_delta = perf_snapshot() - s0;
   }
+  // Kernel isolation: same cached-prep path, reference vs SIMD kernels.
+  double kernels_ref_s = 1e300, kernels_simd_s = 1e300;
+  std::vector<Matrix> kernel_probs;
+  PerfSnapshot kernels_delta;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    (void)run_infer(MatmulKernel::Reference, SpmmKernel::Reference);
+    kernels_ref_s = std::min(kernels_ref_s, t.seconds());
+  }
+  for (int r = 0; r < reps; ++r) {
+    const PerfSnapshot s0 = perf_snapshot();
+    Timer t;
+    kernel_probs = run_infer(MatmulKernel::Simd, SpmmKernel::Simd);
+    kernels_simd_s = std::min(kernels_simd_s, t.seconds());
+    kernels_delta = perf_snapshot() - s0;
+  }
   const double speedup = before_s / std::max(after_s, 1e-12);
-  const bool identical = identical_probs(before_probs, after_probs);
+  const double kernel_speedup =
+      kernels_ref_s / std::max(kernels_simd_s, 1e-12);
+  const bool identical = identical_probs(before_probs, after_probs) &&
+                         identical_probs(before_probs, kernel_probs);
 
   TextTable table({"Path", "Batch (ms)", "Speedup", "Allocs", "Cache h/m",
                    "Identical"});
-  table.add_row({"before (fresh prep, alloc, ref kernel)",
+  table.add_row({"before (fresh prep, alloc, ref kernels)",
                  fmt(before_s * 1e3, 3), "(ref)",
                  std::to_string(before_delta.matrix_allocs), "-/-", "(ref)"});
-  table.add_row({"after (cache + workspace + unrolled)", fmt(after_s * 1e3, 3),
+  table.add_row({std::string("prep cache + workspace + simd-") +
+                     simd_isa_name(),
+                 fmt(kernels_simd_s * 1e3, 3),
+                 fmt(before_s / std::max(kernels_simd_s, 1e-12), 2),
+                 std::to_string(kernels_delta.matrix_allocs),
+                 std::to_string(kernels_delta.sample_cache_hits) + "/" +
+                     std::to_string(kernels_delta.sample_cache_misses),
+                 identical_probs(before_probs, kernel_probs) ? "yes" : "NO"});
+  table.add_row({"after (+ inference-result cache)",
+                 fmt(after_s * 1e3, 3),
                  fmt(speedup, 2), std::to_string(after_delta.matrix_allocs),
-                 std::to_string(after_delta.sample_cache_hits) + "/" +
-                     std::to_string(after_delta.sample_cache_misses),
-                 identical ? "yes" : "NO"});
+                 std::to_string(after_delta.inference_cache_hits) + "/" +
+                     std::to_string(after_delta.inference_cache_misses),
+                 identical_probs(before_probs, after_probs) ? "yes" : "NO"});
   std::printf("%s\n", table.str().c_str());
-  std::printf("%zu copies, best of %d runs; a fresh cache per run, so each "
-              "run pays one miss\nand %zu hits. %s\n\n",
-              kCopies, reps, kCopies - 1,
-              speedup >= 1.5 ? "speedup target (>=1.5x) met"
-                             : "WARNING: below the 1.5x target");
+  std::printf("%zu copies, best of %d runs; fresh caches per run, so each "
+              "run pays one miss\nand %zu hits. kernels alone (same cached "
+              "prep, ref vs simd): %.2fx. %s\n\n",
+              kCopies, reps, kCopies - 1, kernel_speedup,
+              speedup >= 3.0 ? "speedup target (>=3.0x) met"
+                             : "WARNING: below the 3.0x target");
 
   // --- Pipeline level: BatchRunner with the cache at 1/2/8 workers must
   // stay bit-identical to the sequential cache-off reference.
@@ -192,6 +281,8 @@ int main(int argc, char** argv) {
   ptable.add_row({"1", "off", fmt(reference.timings.wall_seconds, 3), "(ref)",
                   "(ref)"});
   bool pipeline_identical = true;
+  double cpu_sum_jobs1 = 0.0;
+  double cpu_sum_jobs8 = 0.0;
   std::ostringstream pipeline_json;
   pipeline_json << "\"pipeline_cache_off_jobs1\":"
                 << core::batch_timings_to_json(reference.timings, 1,
@@ -200,6 +291,7 @@ int main(int argc, char** argv) {
                                  std::size_t{8}}) {
     core::Annotator cached(trained.model.get(), {"ota", "bias"});
     cached.set_sample_cache(std::make_shared<gcn::SamplePrepCache>());
+    cached.set_inference_cache(std::make_shared<gcn::InferenceCache>());
     core::BatchOptions copt;
     copt.jobs = jobs;
     const core::BatchResult r = core::BatchRunner(cached, copt).run(batch);
@@ -210,6 +302,10 @@ int main(int argc, char** argv) {
              r.results[i].final_class == reference.results[i].final_class;
     }
     pipeline_identical = pipeline_identical && same;
+    const double cpu_sum = r.timings.prepare_seconds + r.timings.gcn_seconds +
+                           r.timings.post_seconds;
+    if (jobs == 1) cpu_sum_jobs1 = cpu_sum;
+    if (jobs == 8) cpu_sum_jobs8 = cpu_sum;
     ptable.add_row({std::to_string(jobs), "on",
                     fmt(r.timings.wall_seconds, 3),
                     fmt(reference.timings.wall_seconds /
@@ -220,10 +316,18 @@ int main(int argc, char** argv) {
                   << "\":" << core::batch_timings_to_json(
                          r.timings, jobs, batch.size(), batch.size());
   }
+  // Summed thread-CPU at 1 job over summed thread-CPU at 8 jobs: 1.0
+  // means 8 workers burned no extra CPU (perfect scaling efficiency);
+  // wall-clock ratios are deliberately not used here because they mix
+  // scheduling noise in on oversubscribed hosts.
+  const double jobs_scaling_efficiency =
+      cpu_sum_jobs1 / std::max(cpu_sum_jobs8, 1e-12);
   std::printf("%s\n", ptable.str().c_str());
   std::printf("full pipeline (flatten -> ... -> hierarchy); the cache only "
               "accelerates the\nGCN stage, so the end-to-end ratio is "
-              "smaller than the inference-only one.\n");
+              "smaller than the inference-only one.\n"
+              "jobs-scaling efficiency (cpu@1 / cpu@8): %.2f\n",
+              jobs_scaling_efficiency);
 
   std::ostringstream json;
   json << "{\"bench\":\"gcn_inference\",\"circuits\":" << kCopies
@@ -231,7 +335,12 @@ int main(int argc, char** argv) {
        << (bench::quick_mode() ? "true" : "false")
        << ",\"before_seconds\":" << before_s
        << ",\"after_seconds\":" << after_s << ",\"speedup\":" << speedup
-       << ",\"speedup_target_met\":" << (speedup >= 1.5 ? "true" : "false")
+       << ",\"speedup_target_met\":" << (speedup >= 3.0 ? "true" : "false")
+       << ",\"kernels_ref_seconds\":" << kernels_ref_s
+       << ",\"kernels_simd_seconds\":" << kernels_simd_s
+       << ",\"kernel_speedup\":" << kernel_speedup
+       << ",\"simd_isa\":\"" << simd_isa_name() << "\""
+       << ",\"jobs_scaling_efficiency\":" << jobs_scaling_efficiency
        << ",\"identical\":" << (identical ? "true" : "false")
        << ",\"pipeline_identical_1_2_8\":"
        << (pipeline_identical ? "true" : "false") << ",";

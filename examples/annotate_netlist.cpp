@@ -6,6 +6,7 @@
 //                      [--train] [--circuits 150] [--epochs 25]
 //                      [--jobs N] [--keep-going] [--svg out.svg]
 //                      [--sample-cache] [--annotation-cache]
+//                      [--inference-cache]
 //                      [--frontend interned|reference]
 //                      [--perf-json perf.json]
 //                      [--save-model m.ckpt] [--load-model m.ckpt]
@@ -30,9 +31,18 @@
 // --annotation-cache: share the VF2 primitive-annotation sweep between
 // structurally identical inputs (bit-identical outputs, less work).
 //
+// --inference-cache: memoize the GCN class probabilities per structure
+// (keyed by the model's weights fingerprint); structurally identical
+// inputs then run one forward pass total (bit-identical outputs).
+//
 // --frontend interned|reference: select the front-end implementation
 // (default interned -- the id-space fast path; reference is the legacy
 // string path). Both produce bit-identical annotations.
+//
+// --kernel simd|unrolled|reference: select the dense/sparse product
+// kernels (default simd -- the compile-time dispatched AVX2/NEON/scalar
+// kernel; see DESIGN.md §10). Every kernel produces bit-identical
+// annotations; the switch exists for oracle comparison and debugging.
 //
 // --perf-json FILE: write the batch's wall/stage timings and perf
 // counters (allocations, spmm/matmul flops, parse/intern stats, cache
@@ -46,6 +56,7 @@
 
 #include "gana.hpp"
 #include "gcn/serialize.hpp"
+#include "linalg/kernels.hpp"
 #include "util/args.hpp"
 #include "util/perf.hpp"
 #include "util/thread_pool.hpp"
@@ -136,7 +147,9 @@ int main(int argc, char** argv) {
         "                        [--circuits 150] [--epochs 25]\n"
         "                        [--jobs N] [--keep-going]\n"
         "                        [--sample-cache] [--annotation-cache]\n"
+        "                        [--inference-cache]\n"
         "                        [--frontend interned|reference]\n"
+        "                        [--kernel simd|unrolled|reference]\n"
         "                        [--perf-json perf.json]\n"
         "                        [--svg layout.svg]\n");
     return kExitUsage;
@@ -146,6 +159,20 @@ int main(int argc, char** argv) {
   const std::string frontend = args.get("frontend", "interned");
   if (frontend != "interned" && frontend != "reference") {
     std::fprintf(stderr, "error: unknown --frontend '%s'\n", frontend.c_str());
+    return kExitUsage;
+  }
+  const std::string kernel = args.get("kernel", "simd");
+  if (kernel == "simd") {
+    gana::set_matmul_kernel(gana::MatmulKernel::Simd);
+    gana::set_spmm_kernel(gana::SpmmKernel::Simd);
+  } else if (kernel == "unrolled") {
+    gana::set_matmul_kernel(gana::MatmulKernel::Unrolled);
+    gana::set_spmm_kernel(gana::SpmmKernel::Reference);
+  } else if (kernel == "reference") {
+    gana::set_matmul_kernel(gana::MatmulKernel::Reference);
+    gana::set_spmm_kernel(gana::SpmmKernel::Reference);
+  } else {
+    std::fprintf(stderr, "error: unknown --kernel '%s'\n", kernel.c_str());
     return kExitUsage;
   }
   const bool keep_going = args.has("keep-going");
@@ -217,6 +244,12 @@ int main(int argc, char** argv) {
     annotator.set_annotation_cache(
         std::make_shared<gana::primitives::AnnotationCache>());
   }
+  if (args.has("inference-cache")) {
+    // Attached after any --train / --load-model: set_inference_cache
+    // captures the weights fingerprint at this point.
+    annotator.set_inference_cache(
+        std::make_shared<gana::gcn::InferenceCache>());
+  }
   gana::core::BatchOptions bopt;
   bopt.policy = keep_going ? gana::core::FailurePolicy::CollectAll
                            : gana::core::FailurePolicy::FailFast;
@@ -274,6 +307,12 @@ int main(int argc, char** argv) {
   if (annotator.sample_cache() != nullptr) {
     const auto stats = annotator.sample_cache()->stats();
     std::printf("sample cache: %llu hits, %llu misses, %zu entries\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses), stats.entries);
+  }
+  if (annotator.inference_cache() != nullptr) {
+    const auto stats = annotator.inference_cache()->stats();
+    std::printf("inference cache: %llu hits, %llu misses, %zu entries\n",
                 static_cast<unsigned long long>(stats.hits),
                 static_cast<unsigned long long>(stats.misses), stats.entries);
   }

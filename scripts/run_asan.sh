@@ -10,5 +10,6 @@ cmake --preset asan
 cmake --build --preset asan -j"$(nproc)" \
   --target corpus_harness_test robustness_test diag_test \
   batch_failure_test spice_parser_test spice_flatten_test vf2_test \
-  primitive_matching_test frontend_test
+  primitive_matching_test frontend_test kernel_equivalence_test \
+  batch_scaling_test
 ctest --preset asan

@@ -9,7 +9,11 @@
 # temporary path first; a run whose "identical" field is false never
 # overwrites a checked-in good record -- the stale record is kept, the
 # bad one is preserved next to it as *.rejected.json, and the script
-# exits nonzero.
+# exits nonzero. The same refusal applies to a perf regression: a new
+# record reporting "speedup_target_met":false never replaces an existing
+# record that met the target. Records that carry a
+# "jobs_scaling_efficiency" field (summed thread-CPU at 1 job / at 8
+# jobs; 1.0 = no parallel CPU inflation) get it echoed per bench.
 #
 # Usage: scripts/run_benches.sh  (from anywhere inside the repo;
 #        GANA_BENCH_QUICK=1 for a fast smoke pass)
@@ -43,9 +47,22 @@ for b in gcn_inference primitive_matching frontend; do
     echo "REFUSING to overwrite $record: the new record reports" \
          "identical:false (kept as $record.rejected.json)" >&2
     status=1
+  elif grep -q '"speedup_target_met":false' "$tmp" \
+      && [ -f "$record" ] \
+      && grep -q '"speedup_target_met":true' "$record"; then
+    mv "$tmp" "$record.rejected.json"
+    echo "REFUSING to overwrite $record: the new record reports" \
+         "speedup_target_met:false but the existing record met the target" \
+         "(kept as $record.rejected.json)" >&2
+    status=1
   else
     mv "$tmp" "$record"
     echo "record written to $record"
+  fi
+  if [ -f "$record" ] && grep -q '"jobs_scaling_efficiency"' "$record"; then
+    eff=$(sed -n 's/.*"jobs_scaling_efficiency":\([-0-9.eE+]*\).*/\1/p' \
+          "$record")
+    echo "$b jobs-scaling efficiency (cpu@1 / cpu@8): $eff"
   fi
   if [ "$bench_status" -ne 0 ]; then
     echo "$b exited with status $bench_status" >&2

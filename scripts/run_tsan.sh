@@ -8,5 +8,6 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target thread_pool_test batch_determinism_test batch_failure_test \
-  primitive_matching_test frontend_test
+  primitive_matching_test frontend_test kernel_equivalence_test \
+  batch_scaling_test
 ctest --preset tsan

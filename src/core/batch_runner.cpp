@@ -34,6 +34,13 @@ Diag skipped_diag(std::size_t index) {
                        " skipped: fail-fast after an earlier failure");
 }
 
+/// How many chunks per worker the parallel dispatch overpartitions into.
+/// One task per circuit (the old scheme) maximizes scheduling overhead on
+/// small circuits; one chunk per worker loses load balancing when circuit
+/// costs vary. A small constant factor keeps both in check while leaving
+/// chunk boundaries a pure function of (count, jobs) -- never of timing.
+constexpr std::size_t kBatchOverpartition = 4;
+
 }  // namespace
 
 double BatchResult::mean_acc_gcn() const {
@@ -71,9 +78,17 @@ const Diag* BatchOutcome::first_failure() const {
 BatchRunner::BatchRunner(const Annotator& annotator, BatchOptions options)
     : annotator_(&annotator), options_(options) {}
 
+BatchRunner::~BatchRunner() = default;
+
 std::size_t BatchRunner::resolved_jobs() const {
   if (options_.jobs != 0) return options_.jobs;
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool& BatchRunner::pool() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(resolved_jobs());
+  return *pool_;
 }
 
 /// `task` maps an index to Result<AnnotateResult> and must not throw
@@ -110,29 +125,40 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
       aborted = fail_fast && !out.outcomes.back().ok();
     }
   } else {
-    // One task per circuit; each writes only its own slot, so completion
-    // order is irrelevant to the result. The abort flag is the only
-    // cross-task state, and only fail-fast reads it.
+    // Chunked dispatch over the persistent pool: count circuits become at
+    // most jobs * kBatchOverpartition contiguous-range tasks, so per-task
+    // scheduling overhead (queue locking, future machinery) is paid per
+    // chunk instead of per circuit. Each index still writes only its own
+    // slot, so completion order is irrelevant to the result; the abort
+    // flag is the only cross-task state, checked per index so fail-fast
+    // stops mid-chunk, and only fail-fast reads it.
     std::vector<std::optional<Result<AnnotateResult>>> slots(count);
     std::atomic<bool> abort{false};
-    ThreadPool pool(std::min(out.jobs, count));
+    ThreadPool& workers = pool();
+    const std::size_t chunks =
+        std::min(count, out.jobs * kBatchOverpartition);
     std::vector<std::future<void>> futures;
-    futures.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      futures.push_back(pool.submit([&slots, &guarded, &abort, fail_fast, i]() {
-        if (fail_fast && abort.load(std::memory_order_relaxed)) {
-          slots[i] = skipped_diag(i);
-          return;
-        }
-        slots[i] = guarded(i);
-        if (fail_fast && !slots[i]->ok()) {
-          abort.store(true, std::memory_order_relaxed);
-        }
-      }));
+    futures.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * count / chunks;
+      const std::size_t end = (c + 1) * count / chunks;
+      futures.push_back(workers.submit(
+          [&slots, &guarded, &abort, fail_fast, begin, end]() {
+            for (std::size_t i = begin; i < end; ++i) {
+              if (fail_fast && abort.load(std::memory_order_relaxed)) {
+                slots[i] = skipped_diag(i);
+                continue;
+              }
+              slots[i] = guarded(i);
+              if (fail_fast && !slots[i]->ok()) {
+                abort.store(true, std::memory_order_relaxed);
+              }
+            }
+          }));
     }
     for (auto& f : futures) {
       try {
-        pool.wait(f);
+        workers.wait(f);
       } catch (...) {
         // The task body never throws; this would be an allocation failure
         // inside the slot write. The slot stays empty and is filled below.
@@ -158,6 +184,8 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   out.timings.matmul_flops = perf.matmul_flops;
   out.timings.sample_cache_hits = perf.sample_cache_hits;
   out.timings.sample_cache_misses = perf.sample_cache_misses;
+  out.timings.inference_cache_hits = perf.inference_cache_hits;
+  out.timings.inference_cache_misses = perf.inference_cache_misses;
   out.timings.vf2_states = perf.vf2_states;
   out.timings.vf2_sig_rejections = perf.vf2_sig_rejections;
   out.timings.vf2_pattern_skips = perf.vf2_pattern_skips;
@@ -169,9 +197,12 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   out.timings.frontend_allocs = perf.frontend_allocs;
   for (const auto& o : out.outcomes) {
     if (!o.ok()) continue;
-    out.timings.prepare_seconds += o.value().seconds_prepare;
-    out.timings.gcn_seconds += o.value().seconds_gcn;
-    out.timings.post_seconds += o.value().seconds_post;
+    out.timings.prepare_seconds += o.value().cpu_seconds_prepare;
+    out.timings.gcn_seconds += o.value().cpu_seconds_gcn;
+    out.timings.post_seconds += o.value().cpu_seconds_post;
+    out.timings.prepare_wall_seconds += o.value().seconds_prepare;
+    out.timings.gcn_wall_seconds += o.value().seconds_gcn;
+    out.timings.post_wall_seconds += o.value().seconds_post;
   }
   return out;
 }

@@ -29,10 +29,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
+
+namespace gana {
+class ThreadPool;
+}
 
 namespace gana::core {
 
@@ -59,15 +65,28 @@ struct BatchOptions {
 
 /// Wall-clock and summed per-stage timings of one batch run, plus the
 /// process-wide perf-counter deltas (util/perf.hpp) observed across it.
-/// Stage sums add CPU seconds across circuits (they exceed wall_seconds
-/// when the run is parallel); failed tasks contribute nothing to stage
-/// sums. The counter deltas include any concurrent linalg activity in
-/// the process -- in the usual one-batch-at-a-time setup they are exact.
+///
+/// Each stage is recorded on two clocks so contention is diagnosable
+/// instead of guesswork:
+///   * `*_seconds` sums per-task *thread-CPU* time (ThreadCpuTimer):
+///     executing time only, comparable across job counts -- at J jobs it
+///     should stay within a small factor of the 1-job figure, and the
+///     batch-scaling regression test pins that bound;
+///   * `*_wall_seconds` sums per-task wall time: it additionally counts
+///     every stall (descheduling under oversubscription, allocator or
+///     lock waits), so `*_wall_seconds >> *_seconds` is the contention
+///     signal.
+/// Failed tasks contribute nothing to stage sums. The counter deltas
+/// include any concurrent linalg activity in the process -- in the
+/// usual one-batch-at-a-time setup they are exact.
 struct BatchTimings {
-  double wall_seconds = 0.0;
-  double prepare_seconds = 0.0;  ///< sum: flatten + preprocess + graph
-  double gcn_seconds = 0.0;      ///< sum: features + sample + inference
-  double post_seconds = 0.0;     ///< sum: CCC + VF2 + postprocess + tree
+  double wall_seconds = 0.0;     ///< whole-batch wall clock
+  double prepare_seconds = 0.0;  ///< CPU sum: flatten + preprocess + graph
+  double gcn_seconds = 0.0;      ///< CPU sum: features + sample + inference
+  double post_seconds = 0.0;     ///< CPU sum: CCC + VF2 + postprocess + tree
+  double prepare_wall_seconds = 0.0;  ///< wall sum of the prepare stage
+  double gcn_wall_seconds = 0.0;      ///< wall sum of the GCN stage
+  double post_wall_seconds = 0.0;     ///< wall sum of the post stage
   std::uint64_t matrix_allocs = 0;      ///< dense-buffer heap growths
   std::uint64_t matrix_alloc_bytes = 0;
   std::uint64_t spmm_calls = 0;
@@ -76,6 +95,8 @@ struct BatchTimings {
   std::uint64_t matmul_flops = 0;
   std::uint64_t sample_cache_hits = 0;
   std::uint64_t sample_cache_misses = 0;
+  std::uint64_t inference_cache_hits = 0;
+  std::uint64_t inference_cache_misses = 0;
   std::uint64_t vf2_states = 0;           ///< VF2 search states explored
   std::uint64_t vf2_sig_rejections = 0;   ///< signature-lookahead cuts
   std::uint64_t vf2_pattern_skips = 0;    ///< counting-filter pattern skips
@@ -115,9 +136,19 @@ struct BatchOutcome {
 };
 
 /// Runs batches of circuits through a shared Annotator in parallel.
+///
+/// The worker pool is created lazily on the first parallel run and then
+/// reused for the runner's lifetime: repeated batches pay no thread
+/// spawn/join, and worker thread_locals (the per-thread GCN inference
+/// workspace) stay warm across runs. Noncopyable because of that owned
+/// pool; construct one runner per (annotator, options) pair and reuse it.
 class BatchRunner {
  public:
   explicit BatchRunner(const Annotator& annotator, BatchOptions options = {});
+  ~BatchRunner();
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
 
   /// Annotates every circuit; ground truth only feeds accuracy fields.
   /// Throws (the first failure's NetlistError) if any circuit fails.
@@ -147,8 +178,14 @@ class BatchRunner {
 
   BatchResult unwrap(BatchOutcome outcome) const;
 
+  /// Returns the persistent worker pool, creating it (with resolved_jobs()
+  /// threads) on first use. Only called when a parallel run is requested.
+  ThreadPool& pool() const;
+
   const Annotator* annotator_;  ///< not owned; must outlive the runner
   BatchOptions options_;
+  mutable std::mutex pool_mutex_;           ///< guards lazy pool creation
+  mutable std::unique_ptr<ThreadPool> pool_;  ///< persistent across runs
 };
 
 }  // namespace gana::core

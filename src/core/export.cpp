@@ -89,6 +89,9 @@ std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
       << ",\"prepare_seconds\":" << t.prepare_seconds
       << ",\"gcn_seconds\":" << t.gcn_seconds
       << ",\"post_seconds\":" << t.post_seconds
+      << ",\"prepare_wall_seconds\":" << t.prepare_wall_seconds
+      << ",\"gcn_wall_seconds\":" << t.gcn_wall_seconds
+      << ",\"post_wall_seconds\":" << t.post_wall_seconds
       << ",\"matrix_allocs\":" << t.matrix_allocs
       << ",\"matrix_alloc_bytes\":" << t.matrix_alloc_bytes
       << ",\"spmm_calls\":" << t.spmm_calls
@@ -97,6 +100,8 @@ std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
       << ",\"matmul_flops\":" << t.matmul_flops
       << ",\"sample_cache_hits\":" << t.sample_cache_hits
       << ",\"sample_cache_misses\":" << t.sample_cache_misses
+      << ",\"inference_cache_hits\":" << t.inference_cache_hits
+      << ",\"inference_cache_misses\":" << t.inference_cache_misses
       << ",\"vf2_states\":" << t.vf2_states
       << ",\"vf2_sig_rejections\":" << t.vf2_sig_rejections
       << ",\"vf2_pattern_skips\":" << t.vf2_pattern_skips

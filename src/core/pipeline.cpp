@@ -115,26 +115,30 @@ Annotator::Annotator(const gcn::GcnModel* model,
 AnnotateResult Annotator::annotate(const datagen::LabeledCircuit& input,
                                    std::uint64_t sample_seed) const {
   Timer prepare_timer;
+  ThreadCpuTimer prepare_cpu;
   PreparedCircuit prepared = prepare_circuit(input, prepare_);
-  return run(std::move(prepared), prepare_timer.seconds(), nullptr,
-             sample_seed);
+  return run(std::move(prepared), prepare_timer.seconds(),
+             prepare_cpu.seconds(), nullptr, sample_seed);
 }
 
 AnnotateResult Annotator::annotate(const spice::Netlist& netlist,
                                    const std::string& name,
                                    std::uint64_t sample_seed) const {
   Timer prepare_timer;
+  ThreadCpuTimer prepare_cpu;
   PreparedCircuit prepared =
       prepare_netlist(netlist, class_names_, name, prepare_);
-  return run(std::move(prepared), prepare_timer.seconds(), nullptr,
-             sample_seed);
+  return run(std::move(prepared), prepare_timer.seconds(),
+             prepare_cpu.seconds(), nullptr, sample_seed);
 }
 
 AnnotateResult Annotator::annotate_oracle(
     const datagen::LabeledCircuit& input, std::size_t oracle_classes) const {
   Timer prepare_timer;
+  ThreadCpuTimer prepare_cpu;
   PreparedCircuit prepared = prepare_circuit(input, prepare_);
   const double seconds_prepare = prepare_timer.seconds();
+  const double cpu_seconds_prepare = prepare_cpu.seconds();
   const std::size_t n = prepared.graph.vertex_count();
   Matrix probs(n, oracle_classes, 0.0);
   for (std::size_t v = 0; v < n; ++v) {
@@ -147,8 +151,8 @@ AnnotateResult Annotator::annotate_oracle(
       }
     }
   }
-  return run(std::move(prepared), seconds_prepare, &probs,
-             kDefaultSampleSeed);
+  return run(std::move(prepared), seconds_prepare, cpu_seconds_prepare,
+             &probs, kDefaultSampleSeed);
 }
 
 namespace {
@@ -180,9 +184,10 @@ Result<AnnotateResult> Annotator::try_annotate(
     const datagen::LabeledCircuit& input, std::uint64_t sample_seed) const {
   return guard(input.name, [&](Stage* stage) {
     Timer prepare_timer;
+    ThreadCpuTimer prepare_cpu;
     PreparedCircuit prepared = prepare_circuit(input, prepare_, stage);
-    return run(std::move(prepared), prepare_timer.seconds(), nullptr,
-               sample_seed, stage);
+    return run(std::move(prepared), prepare_timer.seconds(),
+               prepare_cpu.seconds(), nullptr, sample_seed, stage);
   });
 }
 
@@ -191,10 +196,11 @@ Result<AnnotateResult> Annotator::try_annotate(
     std::uint64_t sample_seed) const {
   return guard(name, [&](Stage* stage) {
     Timer prepare_timer;
+    ThreadCpuTimer prepare_cpu;
     PreparedCircuit prepared =
         prepare_netlist(netlist, class_names_, name, prepare_, stage);
-    return run(std::move(prepared), prepare_timer.seconds(), nullptr,
-               sample_seed, stage);
+    return run(std::move(prepared), prepare_timer.seconds(),
+               prepare_cpu.seconds(), nullptr, sample_seed, stage);
   });
 }
 
@@ -220,14 +226,17 @@ void require_finite(const Matrix& m, Stage stage, const std::string& name,
 
 AnnotateResult Annotator::run(PreparedCircuit prepared,
                               double seconds_prepare,
+                              double cpu_seconds_prepare,
                               const Matrix* oracle_probs,
                               std::uint64_t sample_seed, Stage* stage) const {
   AnnotateResult r;
   r.prepared = std::move(prepared);
   r.seconds_prepare = seconds_prepare;
+  r.cpu_seconds_prepare = cpu_seconds_prepare;
 
   // --- GCN classification.
   Timer gcn_timer;
+  ThreadCpuTimer gcn_cpu;
   const std::size_t n = r.prepared.graph.vertex_count();
   if (oracle_probs != nullptr) {
     mark(stage, Stage::Gcn);
@@ -240,32 +249,53 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
     const int pool_levels = model_->config().required_pool_levels();
     const std::uint64_t prep_seed = graph::hash_combine(
         sample_seed, graph::structural_hash(r.prepared.graph));
-    gcn::GraphSample sample;
-    if (sample_cache_ != nullptr) {
-      const std::uint64_t key = graph::hash_combine(
-          prep_seed, static_cast<std::uint64_t>(pool_levels));
-      std::shared_ptr<const gcn::SamplePrep> prep = sample_cache_->find(key);
-      if (prep == nullptr) {
-        Rng rng(prep_seed);
-        prep = sample_cache_->insert(
-            key, std::make_shared<gcn::SamplePrep>(gcn::make_sample_prep(
-                     graph::adjacency(r.prepared.graph), pool_levels, rng)));
-      }
-      sample = gcn::sample_from_prep(*prep, build_features(r.prepared.graph),
-                                     r.prepared.labels, r.prepared.name);
-    } else {
-      Rng rng(prep_seed);
-      sample = make_gcn_sample(r.prepared, pool_levels, rng);
+    const std::uint64_t sample_key = graph::hash_combine(
+        prep_seed, static_cast<std::uint64_t>(pool_levels));
+    // Inference memoization: the probabilities are a pure function of
+    // the sample bits and the model weights, so a structure seen under
+    // the same weights fingerprint can reuse them without building the
+    // sample (or features) at all.
+    std::shared_ptr<const Matrix> cached_probs;
+    std::uint64_t infer_key = 0;
+    if (inference_cache_ != nullptr) {
+      infer_key = graph::hash_combine(sample_key, model_fingerprint_);
+      cached_probs = inference_cache_->find(infer_key);
     }
-    require_finite(sample.features, Stage::Features, r.prepared.name,
-                   "feature value");
-    mark(stage, Stage::Gcn);
-    // One workspace per worker thread: steady-state inference reuses its
-    // buffers and performs zero heap allocations inside the model.
-    thread_local gcn::InferWorkspace ws;
-    r.probabilities = gcn::softmax(model_->infer(sample, ws));
-    require_finite(r.probabilities, Stage::Gcn, r.prepared.name,
-                   "class probability");
+    if (cached_probs != nullptr) {
+      mark(stage, Stage::Gcn);
+      r.probabilities = *cached_probs;
+    } else {
+      gcn::GraphSample sample;
+      if (sample_cache_ != nullptr) {
+        std::shared_ptr<const gcn::SamplePrep> prep =
+            sample_cache_->find(sample_key);
+        if (prep == nullptr) {
+          Rng rng(prep_seed);
+          prep = sample_cache_->insert(
+              sample_key,
+              std::make_shared<gcn::SamplePrep>(gcn::make_sample_prep(
+                  graph::adjacency(r.prepared.graph), pool_levels, rng)));
+        }
+        sample = gcn::sample_from_prep(*prep, build_features(r.prepared.graph),
+                                       r.prepared.labels, r.prepared.name);
+      } else {
+        Rng rng(prep_seed);
+        sample = make_gcn_sample(r.prepared, pool_levels, rng);
+      }
+      require_finite(sample.features, Stage::Features, r.prepared.name,
+                     "feature value");
+      mark(stage, Stage::Gcn);
+      // One workspace per worker thread: steady-state inference reuses its
+      // buffers and performs zero heap allocations inside the model.
+      thread_local gcn::InferWorkspace ws;
+      r.probabilities = gcn::softmax(model_->infer(sample, ws));
+      require_finite(r.probabilities, Stage::Gcn, r.prepared.name,
+                     "class probability");
+      if (inference_cache_ != nullptr) {
+        inference_cache_->insert(infer_key,
+                                 std::make_shared<Matrix>(r.probabilities));
+      }
+    }
   } else {
     // No model: uniform probabilities over the first class only, so the
     // graph-based stages can still be exercised in isolation.
@@ -281,9 +311,11 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
     r.gcn_class[v] = static_cast<int>(best);
   }
   r.seconds_gcn = gcn_timer.seconds();
+  r.cpu_seconds_gcn = gcn_cpu.seconds();
 
   // --- Postprocessing I.
   Timer post_timer;
+  ThreadCpuTimer post_cpu;
   mark(stage, Stage::Primitives);
   r.ccc = graph::channel_connected_components(r.prepared.graph);
   // Pattern-parallel matching on the shared compute pool (a no-op when
@@ -316,6 +348,7 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
   r.hierarchy = build_hierarchy(r.prepared.graph, r.ccc, r.post,
                                 class_names_, r.prepared.name);
   r.seconds_post = post_timer.seconds();
+  r.cpu_seconds_post = post_cpu.seconds();
 
   // --- Accuracy vs. ground truth (when present).
   r.acc_gcn = accuracy(r.gcn_class, r.prepared.labels);

@@ -16,6 +16,7 @@
 #include "datagen/sizing.hpp"
 #include "gcn/model.hpp"
 #include "gcn/sample.hpp"
+#include "gcn/inference_cache.hpp"
 #include "gcn/sample_cache.hpp"
 #include "graph/ccc.hpp"
 #include "primitives/library.hpp"
@@ -95,9 +96,16 @@ struct AnnotateResult {
   double acc_gcn = 0.0;    ///< vs. truth, when labels are present
   double acc_post1 = 0.0;
   double acc_post2 = 0.0;
+  /// Per-stage wall seconds of this task (includes any time the worker
+  /// was descheduled -- inflates when workers oversubscribe the cores).
   double seconds_prepare = 0.0;  ///< flatten + preprocess + graph build
   double seconds_gcn = 0.0;
   double seconds_post = 0.0;
+  /// Per-stage thread-CPU seconds of this task (executing time only;
+  /// comparable across job counts -- see ThreadCpuTimer).
+  double cpu_seconds_prepare = 0.0;
+  double cpu_seconds_gcn = 0.0;
+  double cpu_seconds_post = 0.0;
   /// Non-fatal diagnostics (e.g. DiagCode::Truncated when the VF2 budget
   /// cut primitive extraction short). The annotation itself is complete
   /// and deterministic; warnings flag reduced fidelity.
@@ -159,6 +167,25 @@ class Annotator {
     return sample_cache_;
   }
 
+  /// Attaches a GCN inference-result cache shared by all annotate calls
+  /// (internally synchronized, like the sample cache). Structurally
+  /// identical circuits then pay for a single GCN forward pass; cached
+  /// and uncached runs produce bit-identical probabilities because every
+  /// kernel is bit-deterministic. Entries are keyed by sample key x
+  /// GcnModel::weights_fingerprint(), captured at attach time -- attach
+  /// (or re-attach) AFTER training or loading weights. Pass nullptr to
+  /// detach.
+  void set_inference_cache(std::shared_ptr<gcn::InferenceCache> cache) {
+    inference_cache_ = std::move(cache);
+    model_fingerprint_ = (inference_cache_ != nullptr && model_ != nullptr)
+                             ? model_->weights_fingerprint()
+                             : 0;
+  }
+  [[nodiscard]] const std::shared_ptr<gcn::InferenceCache>& inference_cache()
+      const {
+    return inference_cache_;
+  }
+
   /// Attaches a primitive-annotation cache shared by all annotate calls
   /// (internally synchronized, like the sample cache). Structurally
   /// identical circuits then pay for a single VF2 sweep; cached and
@@ -183,14 +210,18 @@ class Annotator {
 
  private:
   AnnotateResult run(PreparedCircuit prepared, double seconds_prepare,
-                     const Matrix* oracle_probs, std::uint64_t sample_seed,
-                     Stage* stage = nullptr) const;
+                     double cpu_seconds_prepare, const Matrix* oracle_probs,
+                     std::uint64_t sample_seed, Stage* stage = nullptr) const;
 
   const gcn::GcnModel* model_;  ///< not owned; may be null (uniform probabilities)
   std::vector<std::string> class_names_;
   primitives::PrimitiveLibrary library_;
   PrepareOptions prepare_;
   std::shared_ptr<gcn::SamplePrepCache> sample_cache_;           ///< optional
+  std::shared_ptr<gcn::InferenceCache> inference_cache_;         ///< optional
+  /// weights_fingerprint() of model_, captured when inference_cache_ was
+  /// attached; 0 when no inference cache (or no model) is present.
+  std::uint64_t model_fingerprint_ = 0;
   std::shared_ptr<primitives::AnnotationCache> annotation_cache_;  ///< optional
 };
 

@@ -1,0 +1,26 @@
+#include "gcn/inference_cache.hpp"
+
+#include "util/perf.hpp"
+
+namespace gana::gcn {
+
+std::shared_ptr<const Matrix> InferenceCache::find(std::uint64_t key) {
+  std::shared_ptr<const Matrix> probs = cache_.find(key);
+  if (probs == nullptr) {
+    perf::count_inference_cache_miss();
+  } else {
+    perf::count_inference_cache_hit();
+  }
+  return probs;
+}
+
+std::shared_ptr<const Matrix> InferenceCache::insert(
+    std::uint64_t key, std::shared_ptr<const Matrix> probs) {
+  return cache_.insert(key, std::move(probs));
+}
+
+InferenceCache::Stats InferenceCache::stats() const { return cache_.stats(); }
+
+void InferenceCache::clear() { cache_.clear(); }
+
+}  // namespace gana::gcn

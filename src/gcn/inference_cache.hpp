@@ -1,0 +1,52 @@
+// GCN inference-result cache keyed by sample key x weights fingerprint.
+//
+// The sample-prep cache (sample_cache.hpp) already exploits the fact
+// that batch workloads are dominated by structurally identical circuits;
+// this cache completes the idea. Inference is a pure function of the
+// sample bits and the model weights -- every kernel is bit-deterministic
+// at any thread count (tests/kernel_equivalence_test.cpp) -- so two
+// circuits with the same sample key and the same weights fingerprint
+// have bitwise-equal class probabilities. The first slot to need a
+// structure runs the GCN; every other slot reuses its probabilities,
+// skipping the ~1.4 MFLOP forward pass entirely. Cache hits can never
+// change an output (pinned by the BatchScaling cache-on/off tests).
+//
+// Keys MUST mix in GcnModel::weights_fingerprint(): the sample key alone
+// identifies the input, not the weights, and a cache outliving a
+// training step would otherwise serve stale probabilities. The Annotator
+// does this automatically; direct users compose the key themselves.
+//
+// Thread-safe and lock-sharded like the other structural caches; two
+// workers racing on the same miss both infer identical probabilities
+// and first-insert wins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "linalg/dense.hpp"
+#include "util/sharded_cache.hpp"
+
+namespace gana::gcn {
+
+class InferenceCache {
+ public:
+  using Stats = ShardedCache<Matrix>::Stats;
+
+  /// Cached per-vertex probabilities for `key`, or nullptr (counts a
+  /// hit/miss).
+  [[nodiscard]] std::shared_ptr<const Matrix> find(std::uint64_t key);
+
+  /// Inserts `probs` for `key`; returns the winning entry (the existing
+  /// one if another worker inserted first).
+  std::shared_ptr<const Matrix> insert(std::uint64_t key,
+                                       std::shared_ptr<const Matrix> probs);
+
+  [[nodiscard]] Stats stats() const;
+  void clear();
+
+ private:
+  ShardedCache<Matrix> cache_;
+};
+
+}  // namespace gana::gcn

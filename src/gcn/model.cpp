@@ -1,5 +1,8 @@
 #include "gcn/model.hpp"
 
+#include <cstdint>
+#include <cstring>
+
 namespace gana::gcn {
 
 GcnModel::GcnModel(const ModelConfig& config)
@@ -106,6 +109,28 @@ std::size_t GcnModel::parameter_count() {
   std::size_t total = 0;
   for (Matrix* p : params()) total += p->size();
   return total;
+}
+
+std::uint64_t GcnModel::weights_fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix_u64 = [&h](std::uint64_t bits) {
+    h ^= bits;
+    h *= 1099511628211ull;  // FNV-1a prime
+  };
+  auto mix_matrix = [&](const Matrix& m) {
+    mix_u64(static_cast<std::uint64_t>(m.rows()));
+    mix_u64(static_cast<std::uint64_t>(m.cols()));
+    for (const double v : m.data()) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof bits);
+      mix_u64(bits);
+    }
+  };
+  for (const auto& layer : layers_) {
+    for (const Matrix* p : layer->params()) mix_matrix(*p);
+    for (const Matrix* b : layer->buffers()) mix_matrix(*b);
+  }
+  return h;
 }
 
 }  // namespace gana::gcn

@@ -79,6 +79,13 @@ class GcnModel {
   /// Total number of trainable scalars.
   [[nodiscard]] std::size_t parameter_count();
 
+  /// Bit-stable FNV-1a hash over every parameter and buffer (shapes and
+  /// raw double bit patterns). Two models agree iff their weights are
+  /// bitwise identical, so it keys the InferenceCache: an entry written
+  /// under one set of weights can never be served to another. Recompute
+  /// after any training step or weight load.
+  [[nodiscard]] std::uint64_t weights_fingerprint() const;
+
   [[nodiscard]] const ModelConfig& config() const { return config_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 

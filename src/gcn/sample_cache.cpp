@@ -5,35 +5,22 @@
 namespace gana::gcn {
 
 std::shared_ptr<const SamplePrep> SamplePrepCache::find(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
+  std::shared_ptr<const SamplePrep> prep = cache_.find(key);
+  if (prep == nullptr) {
     perf::count_sample_cache_miss();
-    return nullptr;
+  } else {
+    perf::count_sample_cache_hit();
   }
-  ++hits_;
-  perf::count_sample_cache_hit();
-  return it->second;
+  return prep;
 }
 
 std::shared_ptr<const SamplePrep> SamplePrepCache::insert(
     std::uint64_t key, std::shared_ptr<const SamplePrep> prep) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = map_.emplace(key, std::move(prep));
-  return it->second;
+  return cache_.insert(key, std::move(prep));
 }
 
-SamplePrepCache::Stats SamplePrepCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return {hits_, misses_, map_.size()};
-}
+SamplePrepCache::Stats SamplePrepCache::stats() const { return cache_.stats(); }
 
-void SamplePrepCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  hits_ = 0;
-  misses_ = 0;
-}
+void SamplePrepCache::clear() { cache_.clear(); }
 
 }  // namespace gana::gcn

@@ -9,28 +9,24 @@
 // other slot reuses it bit-identically, so cache hits can never change
 // an output (pinned by the batch_determinism cache-on/off tests).
 //
-// Thread-safe: lookups and inserts take a mutex (the critical section is
-// a hash-map probe; prep computation happens outside the lock). Two
-// workers racing on the same miss both compute identical preps and
+// Thread-safe and lock-sharded (util/sharded_cache.hpp): a probe locks
+// only the shard its key hashes to, so parallel workers stop convoying
+// on one cache-wide mutex. Prep computation happens outside any lock;
+// two workers racing on the same miss both compute identical preps and
 // first-insert wins -- duplicated work, never divergent results.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
 
 #include "gcn/sample.hpp"
+#include "util/sharded_cache.hpp"
 
 namespace gana::gcn {
 
 class SamplePrepCache {
  public:
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::size_t entries = 0;
-  };
+  using Stats = ShardedCache<SamplePrep>::Stats;
 
   /// Cached prep for `key`, or nullptr (counts a hit/miss).
   [[nodiscard]] std::shared_ptr<const SamplePrep> find(std::uint64_t key);
@@ -44,10 +40,7 @@ class SamplePrepCache {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const SamplePrep>> map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  ShardedCache<SamplePrep> cache_;
 };
 
 }  // namespace gana::gcn

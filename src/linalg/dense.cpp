@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "util/rng.hpp"
 
 namespace gana {
@@ -139,7 +140,20 @@ void matmul_rows_unrolled(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
-MatmulKernel g_matmul_kernel = MatmulKernel::Unrolled;
+/// The Simd id resolved at compile time (linalg/kernels.hpp): the
+/// explicitly vectorized kernel when the build carries one, otherwise
+/// the unrolled scalar loop.
+void matmul_rows_simd(const Matrix& a, const Matrix& b, Matrix& c) {
+#if defined(GANA_SIMD_AVX2)
+  linalg::matmul_rows_avx2(a, b, c);
+#elif defined(GANA_SIMD_NEON)
+  linalg::matmul_rows_neon(a, b, c);
+#else
+  matmul_rows_unrolled(a, b, c);
+#endif
+}
+
+MatmulKernel g_matmul_kernel = MatmulKernel::Simd;
 
 }  // namespace
 
@@ -152,10 +166,16 @@ void matmul_into(const Matrix& a, const Matrix& b, Matrix& c) {
   assert(&c != &a && &c != &b);
   c.resize(a.rows(), b.cols());
   perf::count_matmul(2ull * a.rows() * a.cols() * b.cols());
-  if (g_matmul_kernel == MatmulKernel::Reference) {
-    matmul_rows_reference(a, b, c);
-  } else {
-    matmul_rows_unrolled(a, b, c);
+  switch (g_matmul_kernel) {
+    case MatmulKernel::Reference:
+      matmul_rows_reference(a, b, c);
+      break;
+    case MatmulKernel::Unrolled:
+      matmul_rows_unrolled(a, b, c);
+      break;
+    case MatmulKernel::Simd:
+      matmul_rows_simd(a, b, c);
+      break;
   }
 }
 

@@ -82,17 +82,21 @@ class Matrix {
 
 /// Dense-product kernel selection.
 ///
-/// Both kernels perform the exact same sequence of IEEE operations per
+/// Every kernel performs the exact same sequence of IEEE operations per
 /// output element -- each c(i,j) accumulates a(i,k)*b(k,j) over strictly
-/// increasing k, one rounded add at a time, and multiplications by an
-/// exact zero a(i,k) are skipped -- so their results are bit-identical
-/// (linalg_test pins this). `Unrolled` processes four k-rows per pass to
-/// cut c-row load/store traffic and is the default; `Reference` is the
-/// original loop, kept as the correctness oracle and as the baseline the
-/// inference bench measures the fast path against.
+/// increasing k, one rounded multiply and one rounded add at a time, and
+/// multiplications by an exact zero a(i,k) are skipped -- so their
+/// results are bit-identical (linalg_test and kernel_equivalence_test
+/// pin this). `Reference` is the original loop, kept as the correctness
+/// oracle and as the baseline the inference bench measures the fast path
+/// against; `Unrolled` processes four k-rows per pass to cut c-row
+/// load/store traffic; `Simd` is the explicitly vectorized kernel the
+/// build compiled in (AVX2 on x86-64, NEON on aarch64, the unrolled
+/// scalar loop elsewhere -- see linalg/kernels.hpp) and is the default.
 enum class MatmulKernel {
-  Reference,  ///< original scalar ikj loop
-  Unrolled,   ///< 4-way k-unrolled ikj loop (default)
+  Reference,  ///< original scalar ikj loop (oracle)
+  Unrolled,   ///< 4-way k-unrolled scalar ikj loop
+  Simd,       ///< compile-time dispatched AVX2/NEON/scalar (default)
 };
 
 /// Process-global kernel switch. Not synchronized: set it only while no

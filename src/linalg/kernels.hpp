@@ -1,0 +1,81 @@
+// Kernel registry and ISA-specific entry points for the dense/sparse
+// product kernels.
+//
+// Dispatch model (DESIGN.md §10): the instruction set a kernel may use
+// is decided at *compile time* -- CMake compiles `kernels_avx2.cpp`
+// with -mavx2 on x86-64 hosts (and defines GANA_SIMD_AVX2), compiles
+// `kernels_neon.cpp` into real code on aarch64 hosts (GANA_SIMD_NEON),
+// and otherwise the `Simd` kernel id resolves to the scalar unrolled
+// loop. There is no cpuid probing at run time: the binary targets the
+// build host, and every kernel id stays runtime-selectable through
+// `set_matmul_kernel` / `set_spmm_kernel` so tests and benches can pit
+// any kernel against the Reference oracle.
+//
+// Bit-identity contract: every registered kernel performs, per output
+// element, the exact same sequence of IEEE mul/add operations as the
+// Reference kernel (accumulation over strictly increasing k, one
+// rounded multiply and one rounded add per term, no FMA contraction,
+// no reassociation across lanes), so outputs are bitwise equal --
+// including signed zeros and Inf/NaN propagation. Pinned for every
+// registered kernel by tests/kernel_equivalence_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense.hpp"
+#include "linalg/sparse.hpp"
+
+namespace gana {
+
+/// One registered dense-product kernel; `name` identifies the ISA the
+/// Simd id resolved to at compile time ("simd-avx2", "simd-neon",
+/// "simd-scalar").
+struct MatmulKernelInfo {
+  MatmulKernel id;
+  const char* name;
+};
+
+/// One registered sparse-times-dense kernel.
+struct SpmmKernelInfo {
+  SpmmKernel id;
+  const char* name;
+};
+
+/// Every kernel selectable on this build, Reference first. Tests
+/// iterate this list so a build host without AVX2/NEON still verifies
+/// everything it can actually run.
+[[nodiscard]] const std::vector<MatmulKernelInfo>& registered_matmul_kernels();
+[[nodiscard]] const std::vector<SpmmKernelInfo>& registered_spmm_kernels();
+
+/// The ISA the Simd kernel ids compiled down to: "avx2", "neon", or
+/// "scalar" (fallback build).
+[[nodiscard]] const char* simd_isa_name();
+
+namespace linalg {
+
+#if defined(GANA_SIMD_AVX2)
+/// AVX2 matmul row kernel: accumulates C += A*B over pre-zeroed C.
+/// Mirrors the unrolled scalar loop's structure (4-way k groups, zero
+/// groups fall back to per-k skip semantics) with the j loop vectorized
+/// four doubles wide using separate mul/add (never FMA).
+void matmul_rows_avx2(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// AVX2 spmm row-range kernel over raw CSR arrays; accumulation order
+/// per output row matches the reference loop (strictly increasing k).
+void spmm_rows_avx2(const std::size_t* row_ptr, const std::size_t* col_idx,
+                    const double* values, std::size_t begin, std::size_t end,
+                    const Matrix& x, Matrix& y);
+#endif
+
+#if defined(GANA_SIMD_NEON)
+/// NEON (aarch64) counterparts of the AVX2 kernels; two doubles per
+/// lane, separate vmul/vadd (never vfma).
+void matmul_rows_neon(const Matrix& a, const Matrix& b, Matrix& c);
+void spmm_rows_neon(const std::size_t* row_ptr, const std::size_t* col_idx,
+                    const double* values, std::size_t begin, std::size_t end,
+                    const Matrix& x, Matrix& y);
+#endif
+
+}  // namespace linalg
+}  // namespace gana

@@ -1,0 +1,181 @@
+// AVX2 matmul/spmm kernels (x86-64 builds only).
+//
+// This translation unit is the only one compiled with -mavx2; CMake
+// additionally forces -mno-fma -ffp-contract=off here so the scalar
+// tail loops round exactly like the reference kernel (one multiply,
+// one add per term -- never a fused multiply-add). The vector bodies
+// use _mm256_mul_pd + _mm256_add_pd for the same reason.
+//
+// Bit-identity with the Reference kernel holds per output element:
+// lanes only parallelize the j (column) dimension, which is embarrassed
+// -- each c(i,j) (resp. y(r,j)) still accumulates its terms in strictly
+// increasing k order, one rounded mul and one rounded add at a time,
+// and a(i,k) == 0.0 terms are skipped with exactly the reference's
+// comparison. Signed zeros and Inf/NaN therefore propagate identically
+// (pinned by tests/kernel_equivalence_test.cpp).
+#include "linalg/kernels.hpp"
+
+#if defined(GANA_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace gana::linalg {
+
+// Register-blocked layout: tiles of 4 output rows x 8 columns (two
+// 4-wide vectors), with k innermost and the 8 accumulators held in
+// registers for the whole k loop. Rationale: without FMA the add in
+// each element's accumulation chain has ~4-cycle latency, so a kernel
+// with one running vector per element chain stalls on it; eight
+// *independent* chains (4 rows x 2 vectors) keep the multiply/add
+// ports busy instead, and each B row is loaded once per tile rather
+// than once per output row. The per-element arithmetic is untouched:
+// strictly increasing k, one rounded mul + one rounded add per term,
+// a(i,k) == 0.0 terms skipped per row exactly like the reference.
+void matmul_rows_avx2(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows();
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* a0 = a.row_ptr(i + 0);
+    const double* a1 = a.row_ptr(i + 1);
+    const double* a2 = a.row_ptr(i + 2);
+    const double* a3 = a.row_ptr(i + 3);
+    double* c0 = c.row_ptr(i + 0);
+    double* c1 = c.row_ptr(i + 1);
+    double* c2 = c.row_ptr(i + 2);
+    double* c3 = c.row_ptr(i + 3);
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d s00 = _mm256_loadu_pd(c0 + j);
+      __m256d s01 = _mm256_loadu_pd(c0 + j + 4);
+      __m256d s10 = _mm256_loadu_pd(c1 + j);
+      __m256d s11 = _mm256_loadu_pd(c1 + j + 4);
+      __m256d s20 = _mm256_loadu_pd(c2 + j);
+      __m256d s21 = _mm256_loadu_pd(c2 + j + 4);
+      __m256d s30 = _mm256_loadu_pd(c3 + j);
+      __m256d s31 = _mm256_loadu_pd(c3 + j + 4);
+      for (std::size_t k = 0; k < kk; ++k) {
+        const double* bk = b.row_ptr(k);
+        const __m256d bv0 = _mm256_loadu_pd(bk + j);
+        const __m256d bv1 = _mm256_loadu_pd(bk + j + 4);
+        if (a0[k] != 0.0) {
+          const __m256d v = _mm256_set1_pd(a0[k]);
+          s00 = _mm256_add_pd(s00, _mm256_mul_pd(v, bv0));
+          s01 = _mm256_add_pd(s01, _mm256_mul_pd(v, bv1));
+        }
+        if (a1[k] != 0.0) {
+          const __m256d v = _mm256_set1_pd(a1[k]);
+          s10 = _mm256_add_pd(s10, _mm256_mul_pd(v, bv0));
+          s11 = _mm256_add_pd(s11, _mm256_mul_pd(v, bv1));
+        }
+        if (a2[k] != 0.0) {
+          const __m256d v = _mm256_set1_pd(a2[k]);
+          s20 = _mm256_add_pd(s20, _mm256_mul_pd(v, bv0));
+          s21 = _mm256_add_pd(s21, _mm256_mul_pd(v, bv1));
+        }
+        if (a3[k] != 0.0) {
+          const __m256d v = _mm256_set1_pd(a3[k]);
+          s30 = _mm256_add_pd(s30, _mm256_mul_pd(v, bv0));
+          s31 = _mm256_add_pd(s31, _mm256_mul_pd(v, bv1));
+        }
+      }
+      _mm256_storeu_pd(c0 + j, s00);
+      _mm256_storeu_pd(c0 + j + 4, s01);
+      _mm256_storeu_pd(c1 + j, s10);
+      _mm256_storeu_pd(c1 + j + 4, s11);
+      _mm256_storeu_pd(c2 + j, s20);
+      _mm256_storeu_pd(c2 + j + 4, s21);
+      _mm256_storeu_pd(c3 + j, s30);
+      _mm256_storeu_pd(c3 + j + 4, s31);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d s0 = _mm256_loadu_pd(c0 + j);
+      __m256d s1 = _mm256_loadu_pd(c1 + j);
+      __m256d s2 = _mm256_loadu_pd(c2 + j);
+      __m256d s3 = _mm256_loadu_pd(c3 + j);
+      for (std::size_t k = 0; k < kk; ++k) {
+        const __m256d bv = _mm256_loadu_pd(b.row_ptr(k) + j);
+        if (a0[k] != 0.0) {
+          s0 = _mm256_add_pd(s0, _mm256_mul_pd(_mm256_set1_pd(a0[k]), bv));
+        }
+        if (a1[k] != 0.0) {
+          s1 = _mm256_add_pd(s1, _mm256_mul_pd(_mm256_set1_pd(a1[k]), bv));
+        }
+        if (a2[k] != 0.0) {
+          s2 = _mm256_add_pd(s2, _mm256_mul_pd(_mm256_set1_pd(a2[k]), bv));
+        }
+        if (a3[k] != 0.0) {
+          s3 = _mm256_add_pd(s3, _mm256_mul_pd(_mm256_set1_pd(a3[k]), bv));
+        }
+      }
+      _mm256_storeu_pd(c0 + j, s0);
+      _mm256_storeu_pd(c1 + j, s1);
+      _mm256_storeu_pd(c2 + j, s2);
+      _mm256_storeu_pd(c3 + j, s3);
+    }
+    for (; j < n; ++j) {
+      double s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+      for (std::size_t k = 0; k < kk; ++k) {
+        const double bkj = b.row_ptr(k)[j];
+        if (a0[k] != 0.0) s0 += a0[k] * bkj;
+        if (a1[k] != 0.0) s1 += a1[k] * bkj;
+        if (a2[k] != 0.0) s2 += a2[k] * bkj;
+        if (a3[k] != 0.0) s3 += a3[k] * bkj;
+      }
+      c0[j] = s0;
+      c1[j] = s1;
+      c2[j] = s2;
+      c3[j] = s3;
+    }
+  }
+  // Remainder rows (< 4): one-row variant of the same tiling.
+  for (; i < m; ++i) {
+    const double* ar = a.row_ptr(i);
+    double* cr = c.row_ptr(i);
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      __m256d s = _mm256_loadu_pd(cr + j);
+      for (std::size_t k = 0; k < kk; ++k) {
+        if (ar[k] == 0.0) continue;
+        s = _mm256_add_pd(s, _mm256_mul_pd(_mm256_set1_pd(ar[k]),
+                                           _mm256_loadu_pd(b.row_ptr(k) + j)));
+      }
+      _mm256_storeu_pd(cr + j, s);
+    }
+    for (; j < n; ++j) {
+      double s = cr[j];
+      for (std::size_t k = 0; k < kk; ++k) {
+        if (ar[k] != 0.0) s += ar[k] * b.row_ptr(k)[j];
+      }
+      cr[j] = s;
+    }
+  }
+}
+
+void spmm_rows_avx2(const std::size_t* row_ptr, const std::size_t* col_idx,
+                    const double* values, std::size_t begin, std::size_t end,
+                    const Matrix& x, Matrix& y) {
+  const std::size_t xc = x.cols();
+  for (std::size_t r = begin; r < end; ++r) {
+    double* yrow = y.row_ptr(r);
+    for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      // No zero-skip here: the reference spmm loop processes every
+      // stored value, including explicit zeros.
+      const double v = values[k];
+      const double* xrow = x.row_ptr(col_idx[k]);
+      const __m256d vv = _mm256_set1_pd(v);
+      std::size_t j = 0;
+      for (; j + 4 <= xc; j += 4) {
+        const __m256d yv = _mm256_loadu_pd(yrow + j);
+        const __m256d xv = _mm256_loadu_pd(xrow + j);
+        _mm256_storeu_pd(yrow + j, _mm256_add_pd(yv, _mm256_mul_pd(vv, xv)));
+      }
+      for (; j < xc; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+}
+
+}  // namespace gana::linalg
+
+#endif  // GANA_SIMD_AVX2

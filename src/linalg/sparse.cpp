@@ -5,6 +5,7 @@
 #include <cmath>
 #include <string>
 
+#include "linalg/kernels.hpp"
 #include "util/diag.hpp"
 #include "util/perf.hpp"
 #include "util/thread_pool.hpp"
@@ -20,7 +21,13 @@ constexpr std::size_t kParallelSpmmMinWork = 1u << 15;
 /// floating-point behavior) never depend on the thread count.
 constexpr std::size_t kSpmmRowGrain = 64;
 
+SpmmKernel g_spmm_kernel = SpmmKernel::Simd;
+
 }  // namespace
+
+void set_spmm_kernel(SpmmKernel kernel) { g_spmm_kernel = kernel; }
+
+SpmmKernel spmm_kernel() { return g_spmm_kernel; }
 
 SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
                                          std::vector<Triplet> triplets) {
@@ -101,9 +108,22 @@ void SparseMatrix::multiply_into(const Matrix& x, Matrix& y) const {
   // Row-partitioned kernel: each task owns a disjoint output row range,
   // and every row's accumulation runs in the same order as the
   // sequential loop, so the product is bit-identical at any thread
-  // count. Workers of an outer pool (e.g. the batch runner) keep the
-  // sequential path to avoid nested oversubscription.
+  // count and under any registered kernel. Workers of an outer pool
+  // (e.g. the batch runner) keep the sequential path to avoid nested
+  // oversubscription.
   auto rows_kernel = [this, &x, &y](std::size_t begin, std::size_t end) {
+    if (g_spmm_kernel == SpmmKernel::Simd) {
+#if defined(GANA_SIMD_AVX2)
+      linalg::spmm_rows_avx2(row_ptr_.data(), col_idx_.data(), values_.data(),
+                             begin, end, x, y);
+      return;
+#elif defined(GANA_SIMD_NEON)
+      linalg::spmm_rows_neon(row_ptr_.data(), col_idx_.data(), values_.data(),
+                             begin, end, x, y);
+      return;
+#endif
+      // Fallback builds: Simd aliases the reference loop below.
+    }
     const std::size_t xc = x.cols();
     for (std::size_t r = begin; r < end; ++r) {
       double* yrow = y.row_ptr(r);

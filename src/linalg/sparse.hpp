@@ -12,6 +12,21 @@
 
 namespace gana {
 
+/// Sparse-times-dense kernel selection, mirroring MatmulKernel: every
+/// kernel accumulates each output row over strictly increasing nonzero
+/// index with separate rounded mul/add, so results are bit-identical
+/// (kernel_equivalence_test pins this). `Simd` resolves at compile time
+/// to AVX2/NEON/the scalar loop (linalg/kernels.hpp) and is the default.
+enum class SpmmKernel {
+  Reference,  ///< original scalar per-row loop (oracle)
+  Simd,       ///< compile-time dispatched AVX2/NEON/scalar (default)
+};
+
+/// Process-global kernel switch; same discipline as set_matmul_kernel
+/// (bench/test setup only, never mid-batch).
+void set_spmm_kernel(SpmmKernel kernel);
+[[nodiscard]] SpmmKernel spmm_kernel();
+
 /// One nonzero entry; used to assemble CSR matrices.
 struct Triplet {
   std::size_t row = 0;

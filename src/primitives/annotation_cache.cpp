@@ -6,35 +6,22 @@ namespace gana::primitives {
 
 std::shared_ptr<const CachedAnnotation> AnnotationCache::find(
     std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = map_.find(key);
-  if (it == map_.end()) {
-    ++misses_;
+  std::shared_ptr<const CachedAnnotation> ann = cache_.find(key);
+  if (ann == nullptr) {
     perf::count_annotation_cache_miss();
-    return nullptr;
+  } else {
+    perf::count_annotation_cache_hit();
   }
-  ++hits_;
-  perf::count_annotation_cache_hit();
-  return it->second;
+  return ann;
 }
 
 std::shared_ptr<const CachedAnnotation> AnnotationCache::insert(
     std::uint64_t key, std::shared_ptr<const CachedAnnotation> ann) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = map_.try_emplace(key, std::move(ann));
-  return it->second;
+  return cache_.insert(key, std::move(ann));
 }
 
-AnnotationCache::Stats AnnotationCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return {hits_, misses_, map_.size()};
-}
+AnnotationCache::Stats AnnotationCache::stats() const { return cache_.stats(); }
 
-void AnnotationCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  map_.clear();
-  hits_ = 0;
-  misses_ = 0;
-}
+void AnnotationCache::clear() { cache_.clear(); }
 
 }  // namespace gana::primitives

@@ -15,21 +15,23 @@
 // net/device name -> target vertex maps. Instantiation from the record
 // is pure and cheap (string assembly only).
 //
-// Same discipline as gcn::SamplePrepCache: a mutex guards a hash-map
-// probe, computation happens outside the lock, and when two workers race
-// on one miss the first insert wins -- both computed identical records,
-// so duplicated work never means divergent results. Cache hits can never
-// change an output (pinned by the cache-on/off determinism tests).
+// Same discipline as gcn::SamplePrepCache: lock-sharded probes
+// (util/sharded_cache.hpp) so parallel workers only contend when their
+// keys land on the same shard, computation happens outside any lock, and
+// when two workers race on one miss the first insert wins -- both
+// computed identical records, so duplicated work never means divergent
+// results. Cache hits can never change an output (pinned by the
+// cache-on/off determinism tests).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "util/sharded_cache.hpp"
 
 namespace gana::primitives {
 
@@ -56,11 +58,7 @@ struct CachedAnnotation {
 
 class AnnotationCache {
  public:
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::size_t entries = 0;
-  };
+  using Stats = ShardedCache<CachedAnnotation>::Stats;
 
   /// Cached annotation for `key`, or nullptr (counts a hit/miss).
   [[nodiscard]] std::shared_ptr<const CachedAnnotation> find(
@@ -75,11 +73,7 @@ class AnnotationCache {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const CachedAnnotation>>
-      map_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  ShardedCache<CachedAnnotation> cache_;
 };
 
 }  // namespace gana::primitives

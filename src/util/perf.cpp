@@ -11,6 +11,8 @@ std::atomic<std::uint64_t> matmul_calls{0};
 std::atomic<std::uint64_t> matmul_flops{0};
 std::atomic<std::uint64_t> sample_cache_hits{0};
 std::atomic<std::uint64_t> sample_cache_misses{0};
+std::atomic<std::uint64_t> inference_cache_hits{0};
+std::atomic<std::uint64_t> inference_cache_misses{0};
 std::atomic<std::uint64_t> vf2_states{0};
 std::atomic<std::uint64_t> vf2_sig_rejections{0};
 std::atomic<std::uint64_t> vf2_pattern_skips{0};
@@ -32,6 +34,9 @@ PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& since) const {
   d.matmul_flops = matmul_flops - since.matmul_flops;
   d.sample_cache_hits = sample_cache_hits - since.sample_cache_hits;
   d.sample_cache_misses = sample_cache_misses - since.sample_cache_misses;
+  d.inference_cache_hits = inference_cache_hits - since.inference_cache_hits;
+  d.inference_cache_misses =
+      inference_cache_misses - since.inference_cache_misses;
   d.vf2_states = vf2_states - since.vf2_states;
   d.vf2_sig_rejections = vf2_sig_rejections - since.vf2_sig_rejections;
   d.vf2_pattern_skips = vf2_pattern_skips - since.vf2_pattern_skips;
@@ -57,6 +62,10 @@ PerfSnapshot perf_snapshot() {
   s.sample_cache_hits = d::sample_cache_hits.load(std::memory_order_relaxed);
   s.sample_cache_misses =
       d::sample_cache_misses.load(std::memory_order_relaxed);
+  s.inference_cache_hits =
+      d::inference_cache_hits.load(std::memory_order_relaxed);
+  s.inference_cache_misses =
+      d::inference_cache_misses.load(std::memory_order_relaxed);
   s.vf2_states = d::vf2_states.load(std::memory_order_relaxed);
   s.vf2_sig_rejections =
       d::vf2_sig_rejections.load(std::memory_order_relaxed);

@@ -29,6 +29,8 @@ struct PerfSnapshot {
   std::uint64_t matmul_flops = 0;        ///< 2*m*n*k per product
   std::uint64_t sample_cache_hits = 0;   ///< SamplePrepCache lookups served
   std::uint64_t sample_cache_misses = 0; ///< lookups that had to compute
+  std::uint64_t inference_cache_hits = 0;   ///< InferenceCache lookups served
+  std::uint64_t inference_cache_misses = 0; ///< lookups that ran the GCN
   std::uint64_t vf2_states = 0;          ///< VF2 search states explored
   std::uint64_t vf2_sig_rejections = 0;  ///< candidates cut by the signature lookahead
   std::uint64_t vf2_pattern_skips = 0;   ///< patterns cut by the counting filter
@@ -60,6 +62,8 @@ extern std::atomic<std::uint64_t> matmul_calls;
 extern std::atomic<std::uint64_t> matmul_flops;
 extern std::atomic<std::uint64_t> sample_cache_hits;
 extern std::atomic<std::uint64_t> sample_cache_misses;
+extern std::atomic<std::uint64_t> inference_cache_hits;
+extern std::atomic<std::uint64_t> inference_cache_misses;
 extern std::atomic<std::uint64_t> vf2_states;
 extern std::atomic<std::uint64_t> vf2_sig_rejections;
 extern std::atomic<std::uint64_t> vf2_pattern_skips;
@@ -92,6 +96,14 @@ inline void count_sample_cache_hit() {
 
 inline void count_sample_cache_miss() {
   detail::sample_cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_inference_cache_hit() {
+  detail::inference_cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_inference_cache_miss() {
+  detail::inference_cache_misses.fetch_add(1, std::memory_order_relaxed);
 }
 
 /// Flushed once per find_subgraph_matches call with locally accumulated

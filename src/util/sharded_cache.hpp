@@ -1,0 +1,103 @@
+// Lock-sharded concurrent map for the structural-hash caches.
+//
+// SamplePrepCache and AnnotationCache used to serialize every worker on
+// one mutex; on a hot batch (64 copies of one cell, 8 jobs) that lock is
+// taken twice per circuit per cache and every acquisition convoys the
+// pool. Sharding by key hash bounds contention at 1/kShardCount of the
+// old rate while keeping the exact same semantics: probes and inserts
+// for one key always land on one shard, so first-insert-wins and
+// hit/miss accounting are untouched. The shard count is a power of two
+// and each shard is alignas(64) so neighboring shard locks never share a
+// cache line (no false sharing between workers on different shards).
+//
+// Keys are canonical structural hashes (graph::structural_hash) and thus
+// already well mixed; the shard index folds the high half in anyway so a
+// hypothetical low-entropy low word cannot collapse every key onto one
+// shard.
+//
+// stats() and clear() lock shards one at a time -- stats() is therefore
+// not an atomic snapshot across shards. Callers (benchmarks, tests) read
+// it quiescently, and per-shard counts are individually exact.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace gana {
+
+template <typename V>
+class ShardedCache {
+ public:
+  static constexpr std::size_t kShardCount = 16;
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  /// Cached value for `key`, or nullptr; counts a hit/miss on the shard.
+  [[nodiscard]] std::shared_ptr<const V> find(std::uint64_t key) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) {
+      ++s.misses;
+      return nullptr;
+    }
+    ++s.hits;
+    return it->second;
+  }
+
+  /// Inserts `value` for `key`; returns the winning entry (the existing
+  /// one if another worker inserted first).
+  std::shared_ptr<const V> insert(std::uint64_t key,
+                                  std::shared_ptr<const V> value) {
+    Shard& s = shard(key);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    const auto [it, inserted] = s.map.try_emplace(key, std::move(value));
+    return it->second;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    Stats out;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      out.hits += s.hits;
+      out.misses += s.misses;
+      out.entries += s.map.size();
+    }
+    return out;
+  }
+
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      s.map.clear();
+      s.hits = 0;
+      s.misses = 0;
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const V>> map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  static std::size_t shard_index(std::uint64_t key) {
+    return static_cast<std::size_t>((key ^ (key >> 32)) & (kShardCount - 1));
+  }
+  Shard& shard(std::uint64_t key) { return shards_[shard_index(key)]; }
+
+  std::array<Shard, kShardCount> shards_;
+};
+
+}  // namespace gana

@@ -1,7 +1,8 @@
-// Wall-clock timing helper for the runtime benchmarks.
+// Wall-clock and thread-CPU timing helpers for the runtime benchmarks.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace gana {
 
@@ -23,6 +24,44 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Per-thread CPU stopwatch: counts only time the calling thread spent
+/// executing, not time it sat descheduled or blocked. Wall time minus
+/// CPU time is therefore the contention/oversubscription signal the
+/// batch timing split (BatchTimings `*_seconds` vs `*_wall_seconds`)
+/// is built on: summed per-task CPU seconds stay comparable across job
+/// counts even when more workers than cores time-share the machine,
+/// while summed wall seconds inflate with every stall.
+///
+/// Must be read on the same thread that constructed/reset it. Falls
+/// back to the monotonic clock where CLOCK_THREAD_CPUTIME_ID is
+/// unavailable (then cpu == wall and the split is uninformative but
+/// never wrong-signed).
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// Elapsed thread-CPU seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace gana

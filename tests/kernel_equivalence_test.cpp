@@ -1,0 +1,278 @@
+// Randomized kernel-equivalence harness (DESIGN.md §10).
+//
+// Every kernel registered for this build (linalg/kernels.hpp) must
+// produce *bitwise identical* output to the Reference oracle on every
+// shape -- including dimensions that exercise SIMD remainder lanes (odd
+// columns), degenerate 1xN / Nx1 products, `*_into` buffers reused
+// across shrinking and growing shapes, exact-zero skip semantics (±0.0
+// sprinkled into the left operand), and Inf/NaN propagation. Comparison
+// is memcmp over the raw double buffers, so signed zeros and NaN
+// payloads count; the per-case seed is printed on failure so any case
+// replays standalone.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "linalg/dense.hpp"
+#include "linalg/kernels.hpp"
+#include "linalg/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace gana {
+namespace {
+
+/// Restores the process-global kernel selections on scope exit, so a
+/// failing case cannot leak a non-default kernel into later tests.
+class KernelGuard {
+ public:
+  KernelGuard() : matmul_(matmul_kernel()), spmm_(spmm_kernel()) {}
+  ~KernelGuard() {
+    set_matmul_kernel(matmul_);
+    set_spmm_kernel(spmm_);
+  }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+ private:
+  MatmulKernel matmul_;
+  SpmmKernel spmm_;
+};
+
+bool bitwise_equal(const Matrix& x, const Matrix& y) {
+  if (x.rows() != y.rows() || x.cols() != y.cols()) return false;
+  if (x.size() == 0) return true;
+  return std::memcmp(x.data().data(), y.data().data(),
+                     x.size() * sizeof(double)) == 0;
+}
+
+/// Dimension pool biased toward SIMD-awkward sizes: below one vector
+/// width, one past a multiple of the width (remainder lanes on both the
+/// 4-wide AVX2 and 2-wide NEON paths), and a few larger round sizes.
+constexpr std::size_t kDims[] = {1, 2, 3, 4, 5, 7, 8, 9, 11, 13,
+                                 16, 17, 24, 31, 32, 33, 47, 64};
+constexpr std::size_t kDimCount = sizeof(kDims) / sizeof(kDims[0]);
+
+/// Left operands get exact ±0.0 sprinkled in (~1/4 of entries) because
+/// the reference matmul skips a(i,k) == 0.0 terms and every kernel must
+/// skip the exact same terms; right operands stay dense.
+void fill_left(Matrix& m, Rng& rng) {
+  for (auto& v : m.data()) {
+    v = rng.chance(0.25) ? (rng.chance(0.5) ? 0.0 : -0.0)
+                         : rng.uniform(-2.0, 2.0);
+  }
+}
+
+void fill_right(Matrix& m, Rng& rng) {
+  for (auto& v : m.data()) v = rng.uniform(-2.0, 2.0);
+}
+
+/// Overwrites a few entries with Inf/-Inf/NaN.
+void inject_nonfinite(Matrix& m, Rng& rng) {
+  constexpr double kSpecials[] = {
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN()};
+  const std::size_t count = 1 + rng.index(3);
+  for (std::size_t i = 0; i < count; ++i) {
+    m.data()[rng.index(m.size())] = kSpecials[rng.index(3)];
+  }
+}
+
+std::string case_label(std::uint64_t seed, std::size_t m, std::size_t k,
+                       std::size_t n, const char* kernel) {
+  std::ostringstream out;
+  out << "seed=" << seed << " shape=" << m << "x" << k << "x" << n
+      << " kernel=" << kernel << " (isa=" << simd_isa_name() << ")";
+  return out.str();
+}
+
+/// Runs one matmul case against every registered kernel, reusing the
+/// caller's output buffers so capacity-reuse paths are exercised too.
+void check_matmul_case(std::uint64_t seed, std::size_t m, std::size_t k,
+                       std::size_t n, bool nonfinite, Matrix& out_ref,
+                       Matrix& out_alt) {
+  Rng rng(seed);
+  Matrix a(m, k), b(k, n);
+  fill_left(a, rng);
+  fill_right(b, rng);
+  if (nonfinite) {
+    inject_nonfinite(a, rng);
+    inject_nonfinite(b, rng);
+  }
+  set_matmul_kernel(MatmulKernel::Reference);
+  matmul_into(a, b, out_ref);
+  for (const auto& info : registered_matmul_kernels()) {
+    set_matmul_kernel(info.id);
+    matmul_into(a, b, out_alt);
+    ASSERT_TRUE(bitwise_equal(out_ref, out_alt))
+        << case_label(seed, m, k, n, info.name);
+  }
+}
+
+TEST(KernelEquivalence, RegistryHasSimdEntryAndReferenceFirst) {
+  const auto& matmuls = registered_matmul_kernels();
+  ASSERT_GE(matmuls.size(), 2u);
+  EXPECT_EQ(matmuls.front().id, MatmulKernel::Reference);
+  const auto& spmms = registered_spmm_kernels();
+  ASSERT_GE(spmms.size(), 2u);
+  EXPECT_EQ(spmms.front().id, SpmmKernel::Reference);
+  const std::string isa = simd_isa_name();
+  EXPECT_TRUE(isa == "avx2" || isa == "neon" || isa == "scalar") << isa;
+}
+
+TEST(KernelEquivalence, MatmulRandomShapesBitwiseEqual) {
+  KernelGuard guard;
+  // Output buffers persist across all cases: random shape order means
+  // each case reuses capacity left by a larger case or grows past a
+  // smaller one, which is exactly the `*_into` workspace contract.
+  Matrix out_ref, out_alt;
+  for (std::uint64_t c = 0; c < 140; ++c) {
+    const std::uint64_t seed = 0x5eed0000 + c;
+    Rng shape_rng(~seed);
+    const std::size_t m = kDims[shape_rng.index(kDimCount)];
+    const std::size_t k = kDims[shape_rng.index(kDimCount)];
+    const std::size_t n = kDims[shape_rng.index(kDimCount)];
+    check_matmul_case(seed, m, k, n, /*nonfinite=*/false, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelEquivalence, MatmulDegenerateShapes) {
+  KernelGuard guard;
+  Matrix out_ref, out_alt;
+  std::uint64_t seed = 0xde6e7e4a7e;
+  for (std::size_t d : kDims) {
+    // 1xN row-vector, Nx1 column-vector, and K=1 outer-product shapes.
+    check_matmul_case(++seed, 1, d, 5, false, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+    check_matmul_case(++seed, 5, d, 1, false, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+    check_matmul_case(++seed, d, 1, d, false, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelEquivalence, MatmulBufferShrinksAndRegrows) {
+  KernelGuard guard;
+  Matrix out_ref, out_alt;
+  // Big -> small -> big: the small case runs inside oversized capacity
+  // (stale tail values must not leak into the comparison window), the
+  // regrow case forces reallocation mid-sequence.
+  const std::size_t seq[][3] = {{33, 47, 64}, {2, 3, 2}, {1, 1, 1},
+                                {64, 33, 47}, {5, 4, 3}, {47, 64, 33}};
+  std::uint64_t seed = 0xb0ff;
+  for (const auto& s : seq) {
+    check_matmul_case(++seed, s[0], s[1], s[2], false, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelEquivalence, MatmulNonFinitePassThrough) {
+  KernelGuard guard;
+  Matrix out_ref, out_alt;
+  for (std::uint64_t c = 0; c < 30; ++c) {
+    const std::uint64_t seed = 0x1f1f00 + c;
+    Rng shape_rng(~seed);
+    const std::size_t m = kDims[shape_rng.index(kDimCount)];
+    const std::size_t k = kDims[shape_rng.index(kDimCount)];
+    const std::size_t n = kDims[shape_rng.index(kDimCount)];
+    check_matmul_case(seed, m, k, n, /*nonfinite=*/true, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+  }
+}
+
+/// Random CSR matrix; ~density fraction of entries present, a few exact
+/// zeros kept as stored entries (spmm does not zero-skip -- stored zeros
+/// must be multiplied, and every kernel must agree on that too).
+SparseMatrix random_sparse(std::size_t rows, std::size_t cols, double density,
+                           Rng& rng) {
+  std::vector<Triplet> t;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!rng.chance(density)) continue;
+      const double v = rng.chance(0.1) ? 0.0 : rng.uniform(-2.0, 2.0);
+      t.push_back({r, c, v});
+    }
+  }
+  return SparseMatrix::from_triplets(rows, cols, std::move(t));
+}
+
+void check_spmm_case(std::uint64_t seed, std::size_t rows, std::size_t inner,
+                     std::size_t cols, bool nonfinite, Matrix& out_ref,
+                     Matrix& out_alt) {
+  Rng rng(seed);
+  const SparseMatrix a = random_sparse(rows, inner, 0.3, rng);
+  Matrix x(inner, cols);
+  fill_right(x, rng);
+  if (nonfinite) inject_nonfinite(x, rng);
+  set_spmm_kernel(SpmmKernel::Reference);
+  a.multiply_into(x, out_ref);
+  for (const auto& info : registered_spmm_kernels()) {
+    set_spmm_kernel(info.id);
+    a.multiply_into(x, out_alt);
+    ASSERT_TRUE(bitwise_equal(out_ref, out_alt))
+        << case_label(seed, rows, inner, cols, info.name);
+  }
+}
+
+TEST(KernelEquivalence, SpmmRandomShapesBitwiseEqual) {
+  KernelGuard guard;
+  Matrix out_ref, out_alt;
+  for (std::uint64_t c = 0; c < 60; ++c) {
+    const std::uint64_t seed = 0x5b3b00 + c;
+    Rng shape_rng(~seed);
+    const std::size_t rows = kDims[shape_rng.index(kDimCount)];
+    const std::size_t inner = kDims[shape_rng.index(kDimCount)];
+    const std::size_t cols = kDims[shape_rng.index(kDimCount)];
+    check_spmm_case(seed, rows, inner, cols, /*nonfinite=*/false, out_ref,
+                    out_alt);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelEquivalence, SpmmDegenerateAndNonFinite) {
+  KernelGuard guard;
+  Matrix out_ref, out_alt;
+  std::uint64_t seed = 0xab5e;
+  for (std::size_t d : kDims) {
+    check_spmm_case(++seed, 1, d, 3, false, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+    check_spmm_case(++seed, d, d, 1, false, out_ref, out_alt);
+    if (HasFatalFailure()) return;
+  }
+  for (std::uint64_t c = 0; c < 20; ++c) {
+    check_spmm_case(0xf00d00 + c, 9, 17, 13, /*nonfinite=*/true, out_ref,
+                    out_alt);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(KernelEquivalence, AllocatingEntryPointsMatchInto) {
+  // matmul / SparseMatrix::multiply go through the same kernel dispatch
+  // as their `*_into` forms; spot-check the allocating wrappers once.
+  KernelGuard guard;
+  Rng rng(0xa110c);
+  Matrix a(9, 17);
+  Matrix b(17, 33);
+  fill_left(a, rng);
+  fill_right(b, rng);
+  const Matrix via_alloc = matmul(a, b);
+  Matrix via_into;
+  matmul_into(a, b, via_into);
+  EXPECT_TRUE(bitwise_equal(via_alloc, via_into));
+
+  const SparseMatrix s = random_sparse(9, 17, 0.3, rng);
+  Matrix x(17, 7);
+  fill_right(x, rng);
+  const Matrix sy = s.multiply(x);
+  Matrix sy_into;
+  s.multiply_into(x, sy_into);
+  EXPECT_TRUE(bitwise_equal(sy, sy_into));
+}
+
+}  // namespace
+}  // namespace gana

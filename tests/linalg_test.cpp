@@ -88,7 +88,7 @@ TEST(Dense, UnrolledMatmulKernelBitIdenticalToReference) {
   const Shape shapes[] = {{1, 1, 1},   {3, 4, 5},    {9, 64, 512},
                           {27, 144, 32}, {16, 255, 7}, {5, 3, 9}};
   Rng rng(99);
-  ASSERT_EQ(matmul_kernel(), MatmulKernel::Unrolled);  // library default
+  ASSERT_EQ(matmul_kernel(), MatmulKernel::Simd);  // library default
   for (const auto& s : shapes) {
     Matrix a(s.m, s.k), b(s.k, s.n);
     for (auto& v : a.data()) {
@@ -105,7 +105,7 @@ TEST(Dense, UnrolledMatmulKernelBitIdenticalToReference) {
     EXPECT_TRUE(c_ref.data() == c_unrolled.data())
         << "kernels diverge at " << s.m << "x" << s.k << "x" << s.n;
   }
-  set_matmul_kernel(MatmulKernel::Unrolled);
+  set_matmul_kernel(MatmulKernel::Simd);
 }
 
 TEST(Sparse, FromTripletsSumsDuplicates) {
