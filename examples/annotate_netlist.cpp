@@ -6,7 +6,8 @@
 //                      [--train] [--circuits 150] [--epochs 25]
 //                      [--jobs N] [--keep-going] [--svg out.svg]
 //                      [--sample-cache] [--annotation-cache]
-//                      [--inference-cache]
+//                      [--inference-cache] [--cache-capacity C]
+//                      [--timeout-seconds S]
 //                      [--frontend interned|reference]
 //                      [--perf-json perf.json]
 //                      [--save-model m.ckpt] [--load-model m.ckpt]
@@ -34,6 +35,16 @@
 // --inference-cache: memoize the GCN class probabilities per structure
 // (keyed by the model's weights fingerprint); structurally identical
 // inputs then run one forward pass total (bit-identical outputs).
+//
+// --cache-capacity C: bound each enabled cache to ~C entries with FIFO
+// eviction (0, the default, keeps them unbounded). Eviction costs
+// recompute only; outputs stay bit-identical.
+//
+// --timeout-seconds S: per-netlist wall-clock deadline. A circuit that
+// exceeds it fails with DiagCode::DeadlineExceeded, gets a [TIMEOUT]
+// summary line, and drives exit code 5; its siblings are unaffected
+// (implies --keep-going semantics for the timed-out slot only under
+// --keep-going, otherwise the run stops there like any other failure).
 //
 // --frontend interned|reference: select the front-end implementation
 // (default interned -- the id-space fast path; reference is the legacy
@@ -68,6 +79,7 @@ constexpr int kExitUsage = 1;
 constexpr int kExitIo = 2;
 constexpr int kExitParse = 3;
 constexpr int kExitAnnotate = 4;
+constexpr int kExitTimeout = 5;
 
 std::unique_ptr<gana::gcn::GcnModel> train_quick_model(
     const std::string& domain, std::size_t circuits, int epochs) {
@@ -147,7 +159,8 @@ int main(int argc, char** argv) {
         "                        [--circuits 150] [--epochs 25]\n"
         "                        [--jobs N] [--keep-going]\n"
         "                        [--sample-cache] [--annotation-cache]\n"
-        "                        [--inference-cache]\n"
+        "                        [--inference-cache] [--cache-capacity C]\n"
+        "                        [--timeout-seconds S]\n"
         "                        [--frontend interned|reference]\n"
         "                        [--kernel simd|unrolled|reference]\n"
         "                        [--perf-json perf.json]\n"
@@ -236,23 +249,26 @@ int main(int argc, char** argv) {
   gana::core::Annotator annotator(model.get(), classes,
                                   gana::primitives::PrimitiveLibrary::standard(),
                                   prepare);
+  const std::size_t cache_capacity =
+      static_cast<std::size_t>(std::max(args.get_int("cache-capacity", 0), 0));
   if (args.has("sample-cache")) {
     annotator.set_sample_cache(
-        std::make_shared<gana::gcn::SamplePrepCache>());
+        std::make_shared<gana::gcn::SamplePrepCache>(cache_capacity));
   }
   if (args.has("annotation-cache")) {
     annotator.set_annotation_cache(
-        std::make_shared<gana::primitives::AnnotationCache>());
+        std::make_shared<gana::primitives::AnnotationCache>(cache_capacity));
   }
   if (args.has("inference-cache")) {
     // Attached after any --train / --load-model: set_inference_cache
     // captures the weights fingerprint at this point.
     annotator.set_inference_cache(
-        std::make_shared<gana::gcn::InferenceCache>());
+        std::make_shared<gana::gcn::InferenceCache>(cache_capacity));
   }
   gana::core::BatchOptions bopt;
   bopt.policy = keep_going ? gana::core::FailurePolicy::CollectAll
                            : gana::core::FailurePolicy::FailFast;
+  bopt.timeout_seconds = args.get_double("timeout-seconds", 0.0);
   gana::core::BatchOutcome batch;
   if (netlists.size() <= 1) {
     // One circuit: parallelism goes inside the pipeline (row-parallel
@@ -274,11 +290,14 @@ int main(int argc, char** argv) {
     if (outcome.ok()) {
       print_result(outcome.value());
     } else {
-      status[i].exit_code = kExitAnnotate;
+      status[i].exit_code =
+          outcome.diag().code == gana::DiagCode::DeadlineExceeded
+              ? kExitTimeout
+              : kExitAnnotate;
       status[i].diag = outcome.diag();
       if (!keep_going) {
         std::fprintf(stderr, "error: %s\n", outcome.diag().render().c_str());
-        return kExitAnnotate;
+        return status[i].exit_code;
       }
     }
   }
@@ -290,8 +309,9 @@ int main(int argc, char** argv) {
     if (status[i].diag.has_value()) {
       ++failed;
       if (exit_code == kExitOk) exit_code = status[i].exit_code;
-      std::printf("[FAIL] %s: %s\n", paths[i].c_str(),
-                  status[i].diag->render().c_str());
+      const bool timed_out = status[i].exit_code == kExitTimeout;
+      std::printf("%s %s: %s\n", timed_out ? "[TIMEOUT]" : "[FAIL]",
+                  paths[i].c_str(), status[i].diag->render().c_str());
     } else {
       std::printf("[ OK ] %s\n", paths[i].c_str());
     }

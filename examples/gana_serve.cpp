@@ -1,0 +1,136 @@
+// Warm annotation daemon: loads the model and primitive library once,
+// then serves framed annotate/ping/metrics/shutdown requests over a
+// Unix-domain socket until SIGTERM/SIGINT (or a shutdown request)
+// drains it.
+//
+//   ./gana_serve --socket /tmp/gana.sock
+//                [--domain ota|rf] [--load-model m.ckpt]
+//                [--jobs N] [--max-inflight M]
+//                [--timeout-seconds S] [--cache-capacity C]
+//                [--seed N]
+//                [--fault-seed N] [--fault-alloc P] [--fault-error P]
+//                [--fault-delay P] [--fault-delay-seconds S]
+//
+// --max-inflight M: admission-control bound; request M+1 is answered
+// `Overloaded` immediately instead of queueing (default 2 * jobs).
+//
+// --timeout-seconds S: default per-request wall-clock deadline (a
+// request's own timeout_seconds takes precedence; 0 = no deadline).
+//
+// --cache-capacity C: bound each structural cache (sample prep, GCN
+// inference, VF2 annotation) to ~C entries with FIFO eviction; 0 keeps
+// them unbounded. Eviction costs recompute only -- responses stay
+// bit-identical.
+//
+// --fault-*: arm the deterministic fault injector (soak testing): every
+// pipeline stage entry of every request draws alloc-failure / stage-
+// error / stage-delay faults as a pure function of (fault-seed, stage,
+// request id). The same flags plus the same request ids always fault
+// the same stages -- crashes found by the soak harness replay exactly.
+//
+// The process exits 0 after a clean drain, 1 on usage errors, 2 when
+// the socket cannot be bound.
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "gana.hpp"
+#include "gcn/serialize.hpp"
+#include "serve/server.hpp"
+#include "util/args.hpp"
+#include "util/fault_injection.hpp"
+
+namespace {
+
+gana::serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  // Async-signal-safe: request_shutdown is one write() to a self-pipe.
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gana::Args args(argc, argv);
+  if (!args.has("socket")) {
+    std::printf(
+        "usage: gana_serve --socket /path/to.sock\n"
+        "                  [--domain ota|rf] [--load-model m.ckpt]\n"
+        "                  [--jobs N] [--max-inflight M]\n"
+        "                  [--timeout-seconds S] [--cache-capacity C]\n"
+        "                  [--seed N]\n"
+        "                  [--fault-seed N] [--fault-alloc P]\n"
+        "                  [--fault-error P] [--fault-delay P]\n"
+        "                  [--fault-delay-seconds S]\n");
+    return 1;
+  }
+  const std::string domain = args.get("domain", "ota");
+
+  // Warm state, paid once: the model (optional) and the Annotator with
+  // its parsed primitive library.
+  std::unique_ptr<gana::gcn::GcnModel> model;
+  if (args.has("load-model")) {
+    model = std::make_unique<gana::gcn::GcnModel>(
+        gana::gcn::load_model_file(args.get("load-model")));
+    std::printf("loaded model from %s (%zu parameters)\n",
+                args.get("load-model").c_str(), model->parameter_count());
+  }
+  const std::vector<std::string> classes =
+      domain == "rf" ? gana::datagen::rf_class_names()
+                     : std::vector<std::string>{"ota", "bias"};
+  gana::core::Annotator annotator(model.get(), classes);
+
+  gana::serve::ServerConfig config;
+  config.socket_path = args.get("socket");
+  config.jobs = static_cast<std::size_t>(std::max(args.get_int("jobs", 0), 0));
+  config.max_inflight =
+      static_cast<std::size_t>(std::max(args.get_int("max-inflight", 0), 0));
+  config.default_timeout_seconds = args.get_double("timeout-seconds", 0.0);
+  config.cache_capacity =
+      static_cast<std::size_t>(std::max(args.get_int("cache-capacity", 0), 0));
+  config.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<int>(gana::core::kDefaultSampleSeed)));
+
+  gana::FaultPlan plan;
+  plan.alloc_failure = args.get_double("fault-alloc", 0.0);
+  plan.stage_error = args.get_double("fault-error", 0.0);
+  plan.stage_delay = args.get_double("fault-delay", 0.0);
+  plan.delay_seconds = args.get_double("fault-delay-seconds", 0.01);
+  if (!plan.empty()) {
+    gana::FaultInjector::instance().arm(
+        static_cast<std::uint64_t>(args.get_int("fault-seed", 1)), plan);
+    std::printf("fault injector armed (alloc %.3f, error %.3f, delay %.3f)\n",
+                plan.alloc_failure, plan.stage_error, plan.stage_delay);
+  }
+
+  gana::serve::Server server(annotator, config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: cannot start server: %s\n", error.c_str());
+    return 2;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  std::printf("gana-serve listening on %s (%zu jobs)\n",
+              config.socket_path.c_str(),
+              server.config().jobs != 0 ? server.config().jobs
+                                        : std::size_t{0});
+
+  server.wait();  // blocks until SIGTERM/SIGINT or a shutdown request
+
+  const gana::serve::ServerStats stats = server.stats();
+  std::printf("drained: %llu requests (%llu ok, %llu failed, %llu shed, "
+              "%llu deadline, %llu protocol errors) over %llu connections\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.annotated_ok),
+              static_cast<unsigned long long>(stats.annotate_failed),
+              static_cast<unsigned long long>(stats.overloaded),
+              static_cast<unsigned long long>(stats.deadline_expired),
+              static_cast<unsigned long long>(stats.protocol_errors),
+              static_cast<unsigned long long>(stats.connections));
+  g_server = nullptr;
+  return 0;
+}

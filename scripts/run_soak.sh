@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Out-of-process soak of the warm annotation service.
+#
+# Phase 1 (bit-identity): with no faults armed, every fixture annotated
+# through gana-serve must produce byte-identical JSON to the one-shot
+# annotate_netlist CLI.
+#
+# Phase 2 (fault soak): gana-serve restarts with deterministic fault
+# injection armed (alloc failures, internal errors, stage delays) and a
+# small admission window, then GANA_SOAK_CLIENTS parallel gana_client
+# processes hammer it with GANA_SOAK_REQUESTS total annotate requests
+# plus ping/metrics probes. Pass criteria:
+#   - no client sees a transport failure (exit 2) -- injected faults must
+#     surface as structured per-request diagnostics, never as broken
+#     connections ([FAIL]/[TIMEOUT] lines and exit 4/5 are expected);
+#   - the server survives the whole barrage and, on SIGTERM, drains and
+#     exits 0.
+#
+# Usage: scripts/run_soak.sh  (from anywhere inside the repo)
+#   GANA_SOAK_REQUESTS=5000 GANA_SOAK_CLIENTS=4 scripts/run_soak.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REQUESTS="${GANA_SOAK_REQUESTS:-5000}"
+CLIENTS="${GANA_SOAK_CLIENTS:-4}"
+SOCKET="/tmp/gana_soak_$$.sock"
+WORKDIR="$(mktemp -d /tmp/gana_soak_$$.XXXX)"
+SERVE_PID=""
+
+cleanup() {
+  if [[ -n "${SERVE_PID}" ]] && kill -0 "${SERVE_PID}" 2>/dev/null; then
+    kill -9 "${SERVE_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORKDIR}" "${SOCKET}"
+}
+trap cleanup EXIT
+
+cmake --preset release
+cmake --build --preset release -j"$(nproc)" \
+  --target gana_serve gana_client annotate_netlist
+
+BIN=build-release/examples
+FIXTURES=(tests/fixtures/rc_filter.sp tests/fixtures/two_stage_ota.sp
+          tests/fixtures/nested_buffer.sp tests/fixtures/lna_portlabels.sp)
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    if "${BIN}/gana_client" --socket "${SOCKET}" --ping >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.05
+  done
+  echo "FATAL: server did not come up on ${SOCKET}" >&2
+  return 1
+}
+
+stop_server() {
+  kill -TERM "${SERVE_PID}"
+  local rc=0
+  wait "${SERVE_PID}" || rc=$?
+  SERVE_PID=""
+  if [[ ${rc} -ne 0 ]]; then
+    echo "FATAL: gana_serve exited ${rc} instead of draining cleanly" >&2
+    exit 1
+  fi
+}
+
+echo "=== phase 1: bit-identity against the one-shot CLI ==="
+"${BIN}/gana_serve" --socket "${SOCKET}" &
+SERVE_PID=$!
+wait_for_socket
+for f in "${FIXTURES[@]}"; do
+  ref="${WORKDIR}/ref_$(basename "${f}" .sp).json"
+  srv="${WORKDIR}/srv_$(basename "${f}" .sp).json"
+  "${BIN}/annotate_netlist" "${f}" --json "${ref}" >/dev/null
+  "${BIN}/gana_client" --socket "${SOCKET}" "${f}" --json "${srv}" >/dev/null
+  if ! cmp -s "${ref}" "${srv}"; then
+    echo "FATAL: ${f}: served annotation differs from the CLI" >&2
+    exit 1
+  fi
+  echo "  identical: ${f}"
+done
+stop_server
+
+echo "=== phase 2: ${REQUESTS} requests from ${CLIENTS} clients, faults armed ==="
+"${BIN}/gana_serve" --socket "${SOCKET}" \
+  --max-inflight 4 --timeout-seconds 10 --cache-capacity 256 \
+  --fault-seed 20260808 --fault-alloc 0.05 --fault-error 0.05 \
+  --fault-delay 0.10 --fault-delay-seconds 0.002 &
+SERVE_PID=$!
+wait_for_socket
+
+per_client=$(( REQUESTS / CLIENTS ))
+client_pids=()
+for c in $(seq 1 "${CLIENTS}"); do
+  (
+    files=()
+    for (( i = 0; i < per_client; ++i )); do
+      files+=("${FIXTURES[$(( i % ${#FIXTURES[@]} ))]}")
+    done
+    rc=0
+    "${BIN}/gana_client" --socket "${SOCKET}" --timeout-seconds 30 \
+      --retries 8 "${files[@]}" > "${WORKDIR}/client_${c}.log" 2>&1 || rc=$?
+    # 0 = all ok, 4 = some injected failures, 5 = some injected
+    # timeouts: all expected under an armed injector. Anything else
+    # (especially 2: transport breakage) fails the soak.
+    case ${rc} in
+      0|4|5) exit 0 ;;
+      *) echo "client ${c}: unexpected exit ${rc}" \
+           >> "${WORKDIR}/client_errors"; exit 1 ;;
+    esac
+  ) &
+  client_pids+=($!)
+  # Liveness probes alongside the barrage.
+  "${BIN}/gana_client" --socket "${SOCKET}" --ping >/dev/null &
+  client_pids+=($!)
+done
+
+soak_failed=0
+for pid in "${client_pids[@]}"; do
+  wait "${pid}" || soak_failed=1
+done
+if [[ ${soak_failed} -ne 0 ]]; then
+  cat "${WORKDIR}/client_errors" 2>/dev/null >&2 || true
+  echo "FATAL: a soak client saw a transport-level failure" >&2
+  exit 1
+fi
+
+echo "--- server metrics after the barrage ---"
+"${BIN}/gana_client" --socket "${SOCKET}" --metrics
+grep -h -c '^\[ OK \]' "${WORKDIR}"/client_*.log \
+  | awk '{ok += $1} END {print "--- total [ OK ] responses: " ok}'
+grep -h -c '^\[FAIL\]\|^\[TIMEOUT\]' "${WORKDIR}"/client_*.log \
+  | awk '{f += $1} END {print "--- total structured failures: " f}'
+
+stop_server
+echo "soak passed: ${REQUESTS} fault-injected requests, clean drain"

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "util/deadline.hpp"
 #include "util/perf.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -100,8 +101,17 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   out.jobs = resolved_jobs();
   const bool fail_fast = options_.policy == FailurePolicy::FailFast;
 
-  auto guarded = [&task](std::size_t i) -> Result<AnnotateResult> {
+  const double timeout = options_.timeout_seconds;
+  auto guarded = [&task, timeout](std::size_t i) -> Result<AnnotateResult> {
     try {
+      if (timeout > 0.0) {
+        // Per-task deadline: installed for this task only, keyed by the
+        // slot index so an armed FaultInjector makes per-slot decisions.
+        const Deadline deadline = Deadline::after_seconds(timeout);
+        const RequestContext ctx{&deadline, i};
+        ScopedRequestContext scope(&ctx);
+        return task(i);
+      }
       return task(i);
     } catch (const DiagError& e) {
       return e.diag();
@@ -191,6 +201,7 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
   out.timings.vf2_pattern_skips = perf.vf2_pattern_skips;
   out.timings.annotation_cache_hits = perf.annotation_cache_hits;
   out.timings.annotation_cache_misses = perf.annotation_cache_misses;
+  out.timings.cache_evictions = perf.cache_evictions;
   out.timings.parse_bytes = perf.parse_bytes;
   out.timings.intern_hits = perf.intern_hits;
   out.timings.intern_misses = perf.intern_misses;

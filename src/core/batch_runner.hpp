@@ -61,6 +61,14 @@ struct BatchOptions {
   std::uint64_t seed = kDefaultSampleSeed;
   /// Failure handling for `run_isolated` (and how eagerly `run` aborts).
   FailurePolicy policy = FailurePolicy::FailFast;
+  /// Per-task wall-clock budget in seconds; 0 disables. Each task gets
+  /// its own util::Deadline starting when the task starts executing; a
+  /// task past its budget aborts at the next pipeline checkpoint with a
+  /// DiagCode::DeadlineExceeded outcome (its siblings are unaffected,
+  /// and tasks that finish in budget are bit-identical to an untimed
+  /// run). Wall-clock based, hence NOT deterministic near the boundary;
+  /// use a budget comfortably above (or below) the expected task time.
+  double timeout_seconds = 0.0;
 };
 
 /// Wall-clock and summed per-stage timings of one batch run, plus the
@@ -102,6 +110,7 @@ struct BatchTimings {
   std::uint64_t vf2_pattern_skips = 0;    ///< counting-filter pattern skips
   std::uint64_t annotation_cache_hits = 0;
   std::uint64_t annotation_cache_misses = 0;
+  std::uint64_t cache_evictions = 0;   ///< capacity-bounded cache drops
   std::uint64_t parse_bytes = 0;       ///< netlist text bytes parsed
   std::uint64_t intern_hits = 0;       ///< SymbolTable lookups of known names
   std::uint64_t intern_misses = 0;     ///< SymbolTable first-time interns

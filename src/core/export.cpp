@@ -107,6 +107,7 @@ std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
       << ",\"vf2_pattern_skips\":" << t.vf2_pattern_skips
       << ",\"annotation_cache_hits\":" << t.annotation_cache_hits
       << ",\"annotation_cache_misses\":" << t.annotation_cache_misses
+      << ",\"cache_evictions\":" << t.cache_evictions
       << ",\"parse_bytes\":" << t.parse_bytes
       << ",\"intern_hits\":" << t.intern_hits
       << ",\"intern_misses\":" << t.intern_misses

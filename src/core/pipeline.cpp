@@ -11,6 +11,7 @@
 #include "graph/structural_hash.hpp"
 #include "spice/flatten.hpp"
 #include "spice/interned.hpp"
+#include "util/deadline.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -18,9 +19,15 @@ namespace gana::core {
 
 namespace {
 
-/// Marks the stage currently executing when the caller asked for one.
+/// Marks the stage currently executing when the caller asked for one,
+/// and runs the per-stage checkpoint: an expired request deadline (or an
+/// armed fault-injection site) aborts the request here with a DiagError
+/// the fault-isolation guards convert to a per-request Diag. Pure
+/// control flow -- a request that passes every checkpoint is
+/// bit-identical to one annotated with no deadline installed.
 inline void mark(Stage* stage, Stage s) {
   if (stage != nullptr) *stage = s;
+  checkpoint(s);
 }
 
 }  // namespace

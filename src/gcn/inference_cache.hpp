@@ -33,6 +33,13 @@ class InferenceCache {
  public:
   using Stats = ShardedCache<Matrix>::Stats;
 
+  InferenceCache() = default;
+  /// Bounds the cache to roughly `capacity` entries total (0 =
+  /// unbounded); at capacity each shard FIFO-evicts its oldest entry.
+  /// Eviction only costs recomputation -- results stay bit-identical.
+  explicit InferenceCache(std::size_t capacity)
+      : cache_(per_shard_capacity_for(capacity)) {}
+
   /// Cached per-vertex probabilities for `key`, or nullptr (counts a
   /// hit/miss).
   [[nodiscard]] std::shared_ptr<const Matrix> find(std::uint64_t key);

@@ -1,5 +1,7 @@
 #include "gcn/model.hpp"
 
+#include "util/deadline.hpp"
+
 #include <cstdint>
 #include <cstring>
 
@@ -63,6 +65,11 @@ const Matrix& GcnModel::infer(const GraphSample& sample,
   const Matrix* cur = &sample.features;
   Matrix* next = &ws.act_a;
   for (const auto& layer : layers_) {
+    // Per-request deadline checkpoint between layers: inference is the
+    // longest uninterruptible span of the pipeline, and a layer is its
+    // natural granularity (aborting mid-kernel would buy little and cost
+    // a branch per tile).
+    check_deadline(Stage::Gcn);
     layer->infer_into(*cur, sample, ws, *next);
     cur = next;
     next = (next == &ws.act_a) ? &ws.act_b : &ws.act_a;

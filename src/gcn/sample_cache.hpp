@@ -28,6 +28,13 @@ class SamplePrepCache {
  public:
   using Stats = ShardedCache<SamplePrep>::Stats;
 
+  SamplePrepCache() = default;
+  /// Bounds the cache to roughly `capacity` entries total (0 =
+  /// unbounded); at capacity each shard FIFO-evicts its oldest entry.
+  /// Eviction only costs recomputation -- results stay bit-identical.
+  explicit SamplePrepCache(std::size_t capacity)
+      : cache_(per_shard_capacity_for(capacity)) {}
+
   /// Cached prep for `key`, or nullptr (counts a hit/miss).
   [[nodiscard]] std::shared_ptr<const SamplePrep> find(std::uint64_t key);
 

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "isomorph/candidate_index.hpp"
+#include "util/deadline.hpp"
 #include "util/perf.hpp"
 
 namespace gana::iso {
@@ -285,16 +286,22 @@ class Vf2State {
   /// True once any budget stops the search. The states budget truncates
   /// at a point determined only by the inputs, keeping truncated results
   /// deterministic; the optional deadline is checked every 1024 states to
-  /// stay off the hot path.
+  /// stay off the hot path. The per-request deadline (util/deadline.hpp)
+  /// rides the same 1024-state cadence but *throws* instead of
+  /// truncating: a request past its wall budget must abort with
+  /// DeadlineExceeded, not return a quietly partial annotation whose
+  /// truncation point would be machine-dependent.
   bool budget_exhausted() {
     if (states_ > options_.max_states) {
       truncated_ = true;
       return true;
     }
-    if (deadline_ && (states_ & 1023u) == 0 &&
-        std::chrono::steady_clock::now() > *deadline_) {
-      truncated_ = true;
-      return true;
+    if ((states_ & 1023u) == 0) {
+      check_deadline(Stage::Primitives);
+      if (deadline_ && std::chrono::steady_clock::now() > *deadline_) {
+        truncated_ = true;
+        return true;
+      }
     }
     return false;
   }

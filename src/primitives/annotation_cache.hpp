@@ -60,6 +60,13 @@ class AnnotationCache {
  public:
   using Stats = ShardedCache<CachedAnnotation>::Stats;
 
+  AnnotationCache() = default;
+  /// Bounds the cache to roughly `capacity` entries total (0 =
+  /// unbounded); at capacity each shard FIFO-evicts its oldest entry.
+  /// Eviction only costs recomputation -- results stay bit-identical.
+  explicit AnnotationCache(std::size_t capacity)
+      : cache_(per_shard_capacity_for(capacity)) {}
+
   /// Cached annotation for `key`, or nullptr (counts a hit/miss).
   [[nodiscard]] std::shared_ptr<const CachedAnnotation> find(
       std::uint64_t key);

@@ -10,6 +10,7 @@
 #include "graph/structural_hash.hpp"
 #include "isomorph/candidate_index.hpp"
 #include "isomorph/vf2.hpp"
+#include "util/deadline.hpp"
 #include "util/perf.hpp"
 #include "util/thread_pool.hpp"
 
@@ -76,9 +77,16 @@ CachedAnnotation compute_annotation(const CircuitGraph& g,
   if (parallel) {
     std::vector<std::future<PatternMatches>> futures;
     futures.reserve(order.size());
+    // Re-install the submitting thread's request context (deadline,
+    // fault key) inside each pattern task: the per-1024-states deadline
+    // check in VF2 reads a thread_local, which pool workers would
+    // otherwise not see. An expired deadline then aborts every pattern
+    // task, not just the ones running on the submitting thread.
+    const RequestContext* ctx = current_request_context();
     for (std::size_t li : order) {
       const PrimitiveSpec& spec = library.spec(li);
-      futures.push_back(pool->submit([&spec, &g, &index, &options] {
+      futures.push_back(pool->submit([&spec, &g, &index, &options, ctx] {
+        ScopedRequestContext scope(ctx);
         return match_pattern(spec, g, index, options.match);
       }));
     }

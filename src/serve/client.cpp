@@ -1,0 +1,219 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace gana::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Diag transport_diag(std::string message) {
+  return make_diag(DiagCode::IoError, Stage::Serve, std::move(message));
+}
+
+double seconds_until(Clock::time_point deadline) {
+  return std::chrono::duration<double>(deadline - Clock::now()).count();
+}
+
+/// splitmix64 step -- the same generator the fault injector uses, chosen
+/// here for the jitter stream so client behavior is a pure function of
+/// (jitter_seed, attempt number).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(std::move(options)),
+      jitter_state_(mix64(options_.jitter_seed ^ 0x6a09e667f3bcc909ull)) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  decoder_ = FrameDecoder();  // a new connection starts a new stream
+}
+
+bool Client::ensure_connected(std::string* why) {
+  if (fd_ >= 0) return true;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (why != nullptr) *why = "invalid socket path";
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (why != nullptr) *why = std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (why != nullptr) *why = std::strerror(errno);
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+double Client::jitter() {
+  jitter_state_ = mix64(jitter_state_);
+  return static_cast<double>(jitter_state_ >> 11) * 0x1.0p-53;
+}
+
+Result<Response> Client::round_trip(const Request& request,
+                                    double budget_seconds) {
+  std::string why;
+  if (!ensure_connected(&why)) {
+    return transport_diag("cannot connect to " + options_.socket_path + ": " +
+                          why);
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(budget_seconds));
+
+  const std::optional<std::string> frame =
+      encode_frame(encode_request(request));
+  if (!frame.has_value()) {
+    return make_diag(DiagCode::LimitExceeded, Stage::Serve,
+                     "request exceeds the frame size limit");
+  }
+  std::size_t off = 0;
+  while (off < frame->size()) {
+    const ssize_t n = ::send(fd_, frame->data() + off, frame->size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string sent_err = std::strerror(errno);
+      disconnect();
+      return transport_diag("send failed: " + sent_err);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  char buf[16384];
+  while (true) {
+    // Drain any frames already buffered before blocking again.
+    while (std::optional<std::string> payload = decoder_.next()) {
+      Result<Response> decoded = decode_response(*payload);
+      if (!decoded.ok()) {
+        disconnect();
+        return decoded.diag();
+      }
+      if (decoded.value().id == request.id) return decoded;
+      // A response for another id on a dedicated connection means the
+      // stream is out of sync (e.g. a stale response after a timeout
+      // abandoned its request); skip it and keep reading.
+    }
+    if (decoder_.error()) {
+      disconnect();
+      return transport_diag("response framing error: " +
+                            decoder_.error_message());
+    }
+    const double remaining = seconds_until(deadline);
+    if (remaining <= 0.0) {
+      // The request may still complete server-side; this connection's
+      // stream now holds an unconsumed response, so drop it.
+      disconnect();
+      return make_diag(DiagCode::DeadlineExceeded, Stage::Serve,
+                       "no response within " +
+                           std::to_string(budget_seconds) + "s");
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>(std::ceil(std::min(remaining, 3600.0) * 1e3));
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      const std::string poll_err = std::strerror(errno);
+      disconnect();
+      return transport_diag("poll failed: " + poll_err);
+    }
+    if (rc == 0) continue;  // timeout recheck at the top of the loop
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      disconnect();
+      return transport_diag("server closed the connection");
+    }
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Result<Response> Client::call(const Request& request) {
+  Request r = request;
+  if (r.id == 0) r.id = next_id_++;
+  double backoff = options_.backoff_initial_seconds;
+  for (int attempt = 0;; ++attempt) {
+    Result<Response> result = round_trip(r, options_.timeout_seconds);
+    const bool overloaded = result.ok() && !result.value().ok &&
+                            result.value().diag.has_value() &&
+                            result.value().diag->code == DiagCode::Overloaded;
+    if (!overloaded || attempt >= options_.max_retries) return result;
+    // Full jitter: sleep uniform in [0, backoff], then double the cap.
+    // Decorrelates retry storms across clients while the seeded stream
+    // keeps any single client's trace reproducible.
+    const double sleep_s = backoff * jitter();
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    backoff = std::min(backoff * 2.0, options_.backoff_max_seconds);
+  }
+}
+
+Result<std::string> Client::annotate(const std::string& name,
+                                     const std::string& netlist,
+                                     double timeout_seconds) {
+  Request r;
+  r.kind = RequestKind::Annotate;
+  r.name = name;
+  r.netlist = netlist;
+  r.timeout_seconds = timeout_seconds;
+  Result<Response> result = call(r);
+  if (!result.ok()) return result.diag();
+  if (!result.value().ok) return *result.value().diag;
+  return std::move(result.value().payload);
+}
+
+Result<std::string> Client::metrics() {
+  Request r;
+  r.kind = RequestKind::Metrics;
+  Result<Response> result = call(r);
+  if (!result.ok()) return result.diag();
+  if (!result.value().ok) return *result.value().diag;
+  return std::move(result.value().payload);
+}
+
+bool Client::ping() {
+  Request r;
+  r.kind = RequestKind::Ping;
+  Result<Response> result = call(r);
+  return result.ok() && result.value().ok;
+}
+
+bool Client::shutdown_server() {
+  Request r;
+  r.kind = RequestKind::Shutdown;
+  Result<Response> result = call(r);
+  return result.ok() && result.value().ok;
+}
+
+}  // namespace gana::serve

@@ -1,0 +1,82 @@
+// Client side of the warm annotation service.
+//
+// One Client owns one Unix-domain connection to a gana-serve instance
+// and issues synchronous request/response calls over it. The robustness
+// contract mirrors the server's: every failure mode -- server absent,
+// connection dropped mid-frame, response timeout, server-side Diag --
+// comes back as a structured Result, never an exception and never a
+// hang (every blocking wait is bounded by `timeout_seconds`).
+//
+// Overloaded is the one *retryable* failure: the server sheds load in
+// microseconds, so the client backs off (exponential with deterministic
+// seeded jitter -- reproducible traces, no synchronized client herds)
+// and retries up to `max_retries` times before surfacing the Diag. All
+// other Diags describe the request itself and are returned immediately;
+// retrying a SyntaxError cannot help.
+//
+// Not thread-safe: one Client per thread (connections are cheap; the
+// soak test runs one per worker).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace gana::serve {
+
+struct ClientOptions {
+  std::string socket_path;
+  /// Bound on one call(): connect + send + server work + receive. The
+  /// overall bound including retries is roughly (max_retries + 1) *
+  /// timeout_seconds plus backoff sleeps.
+  double timeout_seconds = 30.0;
+  int max_retries = 5;  ///< extra attempts after an Overloaded response
+  double backoff_initial_seconds = 0.005;
+  double backoff_max_seconds = 0.5;
+  std::uint64_t jitter_seed = 0;  ///< deterministic jitter stream per client
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round trip, with Overloaded-retry. The returned Response may
+  /// itself carry ok=false with the server's Diag; a transport-level
+  /// failure yields a client-side Diag (Stage::Serve).
+  [[nodiscard]] Result<Response> call(const Request& request);
+
+  /// Convenience wrappers around call(). annotate() returns the
+  /// annotation JSON exactly as the server serialized it.
+  [[nodiscard]] Result<std::string> annotate(const std::string& name,
+                                             const std::string& netlist,
+                                             double timeout_seconds = 0.0);
+  [[nodiscard]] Result<std::string> metrics();
+  [[nodiscard]] bool ping();
+  /// Asks the server to drain and exit; true if it acknowledged.
+  [[nodiscard]] bool shutdown_server();
+
+  [[nodiscard]] const ClientOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] bool ensure_connected(std::string* why);
+  void disconnect();
+  /// Sends one frame and reads frames until the response with `id`
+  /// arrives or the deadline passes.
+  [[nodiscard]] Result<Response> round_trip(const Request& request,
+                                            double budget_seconds);
+  [[nodiscard]] double jitter();  ///< uniform [0,1) from the seeded stream
+
+  ClientOptions options_;
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t jitter_state_;
+};
+
+}  // namespace gana::serve

@@ -1,0 +1,254 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace gana::serve {
+
+namespace {
+
+Diag protocol_diag(std::string message) {
+  return make_diag(DiagCode::SyntaxError, Stage::Serve, std::move(message));
+}
+
+/// Reads a non-negative integer member that fits a double exactly.
+std::optional<std::uint64_t> read_u53(const json::Value& obj,
+                                      std::string_view key) {
+  const json::Value* v = obj.get(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  const double d = v->as_double();
+  if (!(d >= 0.0) || d > 9.007199254740992e15 || d != std::floor(d)) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+std::optional<std::string> encode_frame(std::string_view payload,
+                                        std::size_t max_bytes) {
+  if (payload.size() > max_bytes) return std::nullopt;
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<char>(n & 0xFF));
+  frame.push_back(static_cast<char>((n >> 8) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((n >> 24) & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+bool FrameDecoder::feed(const char* data, std::size_t n) {
+  if (error()) return false;
+  buf_.append(data, n);
+  return true;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (error()) return std::nullopt;
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buf_.data()) + pos_;
+  const std::uint32_t n = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  if (n > max_bytes_) {
+    error_ = "frame length " + std::to_string(n) + " exceeds the " +
+             std::to_string(max_bytes_) + "-byte limit";
+    buf_.clear();
+    pos_ = 0;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(n)) {
+    return std::nullopt;
+  }
+  std::string payload = buf_.substr(pos_ + 4, n);
+  pos_ += 4 + static_cast<std::size_t>(n);
+  // Compact once the consumed prefix dominates, keeping feed() amortized
+  // O(bytes) instead of O(bytes * frames).
+  if (pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return payload;
+}
+
+const char* to_string(RequestKind k) {
+  switch (k) {
+    case RequestKind::Annotate: return "annotate";
+    case RequestKind::Ping: return "ping";
+    case RequestKind::Metrics: return "metrics";
+    case RequestKind::Shutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::optional<RequestKind> request_kind_from_string(std::string_view name) {
+  for (const RequestKind k : {RequestKind::Annotate, RequestKind::Ping,
+                              RequestKind::Metrics, RequestKind::Shutdown}) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+json::Value diag_to_json(const Diag& d) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("code", json::Value(to_string(d.code)));
+  v.set("stage", json::Value(to_string(d.stage)));
+  v.set("message", json::Value(d.message));
+  if (!d.loc.file.empty()) v.set("file", json::Value(d.loc.file));
+  if (d.loc.line != 0) {
+    v.set("line", json::Value(static_cast<std::uint64_t>(d.loc.line)));
+  }
+  if (!d.notes.empty()) {
+    std::vector<json::Value> notes;
+    notes.reserve(d.notes.size());
+    for (const std::string& n : d.notes) notes.emplace_back(n);
+    v.set("notes", json::Value(std::move(notes)));
+  }
+  return v;
+}
+
+std::optional<Diag> diag_from_json(const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  const json::Value* code = v.get("code");
+  const json::Value* stage = v.get("stage");
+  if (code == nullptr || !code->is_string() || stage == nullptr ||
+      !stage->is_string()) {
+    return std::nullopt;
+  }
+  const std::optional<DiagCode> c = diag_code_from_string(code->as_string());
+  const std::optional<Stage> s = stage_from_string(stage->as_string());
+  if (!c.has_value() || !s.has_value()) return std::nullopt;
+  Diag d;
+  d.code = *c;
+  d.stage = *s;
+  if (const json::Value* m = v.get("message"); m != nullptr) {
+    d.message = m->as_string();
+  }
+  if (const json::Value* f = v.get("file"); f != nullptr) {
+    d.loc.file = f->as_string();
+  }
+  if (const std::optional<std::uint64_t> line = read_u53(v, "line")) {
+    d.loc.line = static_cast<std::size_t>(*line);
+  }
+  if (const json::Value* notes = v.get("notes");
+      notes != nullptr && notes->is_array()) {
+    for (const json::Value& n : notes->as_array()) {
+      d.notes.push_back(n.as_string());
+    }
+  }
+  return d;
+}
+
+std::string encode_request(const Request& r) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("id", json::Value(r.id));
+  v.set("kind", json::Value(to_string(r.kind)));
+  if (r.kind == RequestKind::Annotate) {
+    v.set("name", json::Value(r.name));
+    v.set("netlist", json::Value(r.netlist));
+    if (r.timeout_seconds > 0.0) {
+      v.set("timeout_seconds", json::Value(r.timeout_seconds));
+    }
+  }
+  return json::dump(v);
+}
+
+std::string encode_response(const Response& r) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("id", json::Value(r.id));
+  v.set("ok", json::Value(r.ok));
+  if (!r.payload.empty()) v.set("payload", json::Value(r.payload));
+  if (r.diag.has_value()) v.set("diag", diag_to_json(*r.diag));
+  return json::dump(v);
+}
+
+Result<Request> decode_request(std::string_view payload) {
+  std::string error;
+  const std::optional<json::Value> doc = json::parse(payload, &error);
+  if (!doc.has_value()) {
+    return protocol_diag("request is not valid JSON: " + error);
+  }
+  if (!doc->is_object()) {
+    return protocol_diag("request must be a JSON object");
+  }
+  Request r;
+  const std::optional<std::uint64_t> id = read_u53(*doc, "id");
+  if (!id.has_value()) {
+    return protocol_diag("request needs a non-negative integer \"id\"");
+  }
+  r.id = *id;
+  const json::Value* kind = doc->get("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return protocol_diag("request needs a string \"kind\"");
+  }
+  const std::optional<RequestKind> k =
+      request_kind_from_string(kind->as_string());
+  if (!k.has_value()) {
+    return protocol_diag("unknown request kind \"" + kind->as_string() + "\"");
+  }
+  r.kind = *k;
+  if (r.kind == RequestKind::Annotate) {
+    const json::Value* netlist = doc->get("netlist");
+    if (netlist == nullptr || !netlist->is_string()) {
+      return protocol_diag("annotate request needs a string \"netlist\"");
+    }
+    r.netlist = netlist->as_string();
+    if (const json::Value* name = doc->get("name"); name != nullptr) {
+      r.name = name->as_string();
+    }
+  }
+  // Validated for every kind: a control request smuggling a bogus
+  // timeout is just as malformed as an annotate doing it.
+  if (const json::Value* t = doc->get("timeout_seconds"); t != nullptr) {
+    const double secs = t->as_double(-1.0);
+    if (!(secs >= 0.0) || !std::isfinite(secs)) {
+      return protocol_diag("\"timeout_seconds\" must be a finite number >= 0");
+    }
+    r.timeout_seconds = secs;
+  }
+  return r;
+}
+
+Result<Response> decode_response(std::string_view payload) {
+  std::string error;
+  const std::optional<json::Value> doc = json::parse(payload, &error);
+  if (!doc.has_value()) {
+    return protocol_diag("response is not valid JSON: " + error);
+  }
+  if (!doc->is_object()) {
+    return protocol_diag("response must be a JSON object");
+  }
+  Response r;
+  const std::optional<std::uint64_t> id = read_u53(*doc, "id");
+  if (!id.has_value()) {
+    return protocol_diag("response needs a non-negative integer \"id\"");
+  }
+  r.id = *id;
+  const json::Value* ok = doc->get("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return protocol_diag("response needs a boolean \"ok\"");
+  }
+  r.ok = ok->as_bool();
+  if (const json::Value* p = doc->get("payload"); p != nullptr) {
+    r.payload = p->as_string();
+  }
+  if (const json::Value* d = doc->get("diag"); d != nullptr) {
+    std::optional<Diag> diag = diag_from_json(*d);
+    if (!diag.has_value()) {
+      return protocol_diag("response carries an undecodable \"diag\"");
+    }
+    r.diag = std::move(diag);
+  }
+  if (!r.ok && !r.diag.has_value()) {
+    return protocol_diag("failed response is missing its \"diag\"");
+  }
+  return r;
+}
+
+}  // namespace gana::serve

@@ -1,0 +1,135 @@
+// Wire protocol of the warm annotation service.
+//
+// Transport framing: every message (either direction) is one frame --
+//
+//   [u32 little-endian payload length N][N bytes of UTF-8 JSON]
+//
+// Length-prefixed rather than delimiter-based so netlist text (which
+// may contain any byte after JSON escaping) never needs transport-level
+// quoting, and so a reader can reject an oversized request *before*
+// buffering it (admission control begins at the length prefix).
+//
+// FrameDecoder is a pure incremental byte-stream splitter: feed() it
+// arbitrary chunks, pop complete payloads with next(). It owns no file
+// descriptor, which is what makes the truncated/oversized/garbage frame
+// corpus (tests/fuzz_corpus/frames) testable without sockets. Once a
+// stream violates the protocol the decoder latches into an error state:
+// after a framing error byte boundaries are unrecoverable, so the only
+// safe server response is to drop the connection.
+//
+// Payload schema (all members optional unless noted; unknown members
+// are ignored for forward compatibility):
+//
+//   request  = {"id": u53 (required), "kind": "annotate" | "ping" |
+//               "metrics" | "shutdown",
+//               "name": str, "netlist": str, "timeout_seconds": num}
+//   response = {"id": u53, "ok": bool,
+//               "payload": str   -- annotation/metrics JSON *as a string*
+//               "diag": diag}    -- present iff !ok
+//   diag     = {"code": str, "stage": str, "message": str,
+//               "file": str, "line": u53, "notes": [str...]}
+//
+// `payload` carries nested JSON double-encoded (a JSON string holding a
+// JSON document) on purpose: the annotation bytes a client receives are
+// the *exact* bytes core::annotation_to_json produced on the server, so
+// the soak test's bit-identity comparison against the one-shot CLI is a
+// plain string compare, immune to any re-serialization drift.
+//
+// Diags cross the wire by enum *name*, not ordinal, so a newer client
+// against an older server (or vice versa) degrades readably; the
+// diag_json round-trip test pins every code and stage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/diag.hpp"
+#include "util/json.hpp"
+
+namespace gana::serve {
+
+/// Hard ceiling on one frame's payload. A length prefix above this is a
+/// protocol error, rejected before any buffering -- a 4-byte frame
+/// header can otherwise demand a 4 GiB allocation.
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // 16 MiB
+
+/// Prepends the length prefix; empty optional when `payload` exceeds
+/// `max_bytes` (the encode-side twin of the decoder's oversize check).
+[[nodiscard]] std::optional<std::string> encode_frame(
+    std::string_view payload, std::size_t max_bytes = kMaxFrameBytes);
+
+/// Incremental frame splitter over an untrusted byte stream.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_bytes = kMaxFrameBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Buffers `n` more stream bytes. Returns false once the stream is in
+  /// the latched error state (the bytes are discarded).
+  bool feed(const char* data, std::size_t n);
+  bool feed(std::string_view bytes) { return feed(bytes.data(), bytes.size()); }
+
+  /// Pops the next complete payload, or nullopt when more bytes are
+  /// needed (or the stream is errored -- check error()).
+  [[nodiscard]] std::optional<std::string> next();
+
+  /// True once the stream violated framing (oversized length prefix).
+  [[nodiscard]] bool error() const { return !error_.empty(); }
+  [[nodiscard]] const std::string& error_message() const { return error_; }
+
+  /// Bytes buffered but not yet popped (diagnostics / tests).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_, compacted lazily
+  std::size_t max_bytes_;
+  std::string error_;
+};
+
+enum class RequestKind {
+  Annotate,  ///< run the full pipeline on an inline netlist
+  Ping,      ///< liveness probe; answered even under full load
+  Metrics,   ///< perf-counter snapshot (batch_timings_to_json format)
+  Shutdown,  ///< request a drain-and-exit (same path as SIGTERM)
+};
+
+[[nodiscard]] const char* to_string(RequestKind k);
+[[nodiscard]] std::optional<RequestKind> request_kind_from_string(
+    std::string_view name);
+
+struct Request {
+  std::uint64_t id = 0;  ///< echoed verbatim in the response; also the
+                         ///< fault-injection site key for this request
+  RequestKind kind = RequestKind::Ping;
+  std::string name;     ///< circuit name (annotate); "" -> "<request>"
+  std::string netlist;  ///< SPICE text (annotate)
+  double timeout_seconds = 0.0;  ///< per-request deadline; 0 = server default
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string payload;  ///< nested JSON document as a string ("" for ping)
+  std::optional<Diag> diag;  ///< present iff !ok
+};
+
+/// Diag <-> JSON (the `diag` schema above). Lossless for every DiagCode
+/// and Stage; `diag_from_json` returns nullopt on unknown names or a
+/// non-object.
+[[nodiscard]] json::Value diag_to_json(const Diag& d);
+[[nodiscard]] std::optional<Diag> diag_from_json(const json::Value& v);
+
+[[nodiscard]] std::string encode_request(const Request& r);
+[[nodiscard]] std::string encode_response(const Response& r);
+
+/// Strict payload decoders: a malformed payload yields a
+/// Stage::Serve/SyntaxError Diag (the server answers it; the client
+/// surfaces it), never an exception.
+[[nodiscard]] Result<Request> decode_request(std::string_view payload);
+[[nodiscard]] Result<Response> decode_response(std::string_view payload);
+
+}  // namespace gana::serve

@@ -1,0 +1,448 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/batch_runner.hpp"
+#include "core/export.hpp"
+#include "gcn/inference_cache.hpp"
+#include "gcn/sample_cache.hpp"
+#include "primitives/annotation_cache.hpp"
+#include "spice/parser.hpp"
+#include "util/deadline.hpp"
+#include "util/timer.hpp"
+
+namespace gana::serve {
+
+namespace {
+
+/// Writes all of `data` to `fd`, restarting on EINTR. MSG_NOSIGNAL so a
+/// client that hung up mid-response costs an EPIPE, not a process-wide
+/// SIGPIPE.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Shared between the reader thread and pool tasks still answering this
+/// connection's admitted requests: the fd stays open until the last
+/// holder drops its reference, so a drained response is always written
+/// before close().
+struct Server::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Unblocks the reader thread (read() returns 0) without closing the
+  /// fd -- in-flight responses still go out.
+  void shut_read() { ::shutdown(fd, SHUT_RD); }
+
+  int fd;
+  std::mutex write_mutex;
+};
+
+Server::Server(core::Annotator& annotator, ServerConfig config)
+    : annotator_(&annotator), config_(std::move(config)) {
+  resolved_jobs_ = config_.jobs != 0
+                       ? config_.jobs
+                       : std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency());
+  resolved_max_inflight_ = config_.max_inflight != 0 ? config_.max_inflight
+                                                     : 2 * resolved_jobs_;
+  // Graceful degradation: long-lived servers see unbounded distinct
+  // structures; bounded caches trade recompute for bounded memory.
+  annotator_->set_sample_cache(
+      std::make_shared<gcn::SamplePrepCache>(config_.cache_capacity));
+  annotator_->set_annotation_cache(
+      std::make_shared<primitives::AnnotationCache>(config_.cache_capacity));
+  annotator_->set_inference_cache(
+      std::make_shared<gcn::InferenceCache>(config_.cache_capacity));
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : shutdown_pipe_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return false;
+  };
+
+  if (running_.load(std::memory_order_acquire)) return true;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "invalid socket path";
+    return false;
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  if (::pipe(shutdown_pipe_) != 0) return fail("pipe");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  ::unlink(config_.socket_path.c_str());  // stale path from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + config_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+
+  pool_ = std::make_unique<ThreadPool>(resolved_jobs_);
+  perf_at_start_ = perf_snapshot();
+  started_at_ = std::chrono::steady_clock::now();
+  draining_.store(false, std::memory_order_release);
+  stopped_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this]() { accept_loop(); });
+  return true;
+}
+
+void Server::request_shutdown() {
+  // Async-signal-safe: one write to the self-pipe, nothing else. A full
+  // pipe (EAGAIN) or a race with close just means shutdown was already
+  // requested -- every outcome is idempotent.
+  const int fd = shutdown_pipe_[1];
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {shutdown_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // shutdown requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    n_connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(client);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { connection_loop(conn); });
+  }
+  // Drain phase: refuse new connections, wake idle readers. Admitted
+  // requests keep running; connection_loop and stop() finish the rest.
+  draining_.store(true, std::memory_order_release);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (const auto& conn : connections_) conn->shut_read();
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> conn) {
+  FrameDecoder decoder(config_.max_frame_bytes);
+  char buf[16384];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or SHUT_RD during drain
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    while (std::optional<std::string> payload = decoder.next()) {
+      handle_payload(conn, *payload);
+    }
+    if (decoder.error()) {
+      // Framing is unrecoverable mid-stream; drop the connection rather
+      // than guess at byte boundaries.
+      n_dropped_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  conn->shut_read();
+  // The shared_ptr in connections_ (and any pool task's copy) keeps the
+  // fd alive for still-running admitted requests; stop() reaps both.
+}
+
+void Server::handle_payload(const std::shared_ptr<Connection>& conn,
+                            const std::string& payload) {
+  n_requests_.fetch_add(1, std::memory_order_relaxed);
+  Result<Request> decoded = decode_request(payload);
+  if (!decoded.ok()) {
+    n_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    r.id = 0;  // the id, if any, was undecodable
+    r.ok = false;
+    r.diag = decoded.diag();
+    send_response(conn, r);
+    return;
+  }
+  Request request = decoded.take();
+  switch (request.kind) {
+    case RequestKind::Ping: {
+      Response r;
+      r.id = request.id;
+      r.ok = true;
+      send_response(conn, r);
+      return;
+    }
+    case RequestKind::Metrics: {
+      Response r;
+      r.id = request.id;
+      r.ok = true;
+      r.payload = metrics_json();
+      send_response(conn, r);
+      return;
+    }
+    case RequestKind::Shutdown: {
+      Response r;
+      r.id = request.id;
+      r.ok = true;
+      send_response(conn, r);
+      request_shutdown();
+      return;
+    }
+    case RequestKind::Annotate:
+      break;
+  }
+
+  // Admission control. fetch_add-then-check keeps the fast path one
+  // atomic RMW; the shed path undoes its reservation before answering.
+  // Draining counts as full: admitted work finishes, new work is shed.
+  const std::size_t admitted =
+      inflight_.fetch_add(1, std::memory_order_acq_rel);
+  if (admitted >= resolved_max_inflight_ ||
+      draining_.load(std::memory_order_acquire)) {
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drain_cv_.notify_all();
+    }
+    n_overloaded_.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    r.id = request.id;
+    r.ok = false;
+    r.diag = make_diag(
+        DiagCode::Overloaded, Stage::Serve,
+        draining_.load(std::memory_order_acquire)
+            ? "server is draining; retry against a fresh instance"
+            : std::to_string(resolved_max_inflight_) +
+                  " requests already in flight; retry with backoff");
+    send_response(conn, r);
+    return;
+  }
+
+  pool_->submit([this, conn, request = std::move(request)]() mutable {
+    run_annotate(conn, std::move(request));
+    if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(drain_mutex_);
+      drain_cv_.notify_all();
+    }
+  });
+}
+
+void Server::run_annotate(const std::shared_ptr<Connection>& conn,
+                          Request request) {
+  Response response;
+  response.id = request.id;
+
+  const double timeout = request.timeout_seconds > 0.0
+                             ? request.timeout_seconds
+                             : config_.default_timeout_seconds;
+  const Deadline deadline = timeout > 0.0 ? Deadline::after_seconds(timeout)
+                                          : Deadline();
+  // The request context carries the deadline and the fault-injection
+  // site key through parse -> prepare -> GCN -> VF2. Keying faults by
+  // the client-chosen id is what makes soak failures reproducible.
+  const RequestContext ctx{timeout > 0.0 ? &deadline : nullptr, request.id};
+  ScopedRequestContext scope(&ctx);
+
+  const std::string name = request.name.empty() ? "<request>" : request.name;
+  try {
+    spice::ParseOptions popt;
+    popt.source = name;
+    Result<spice::Netlist> parsed =
+        spice::parse_netlist_result(request.netlist, popt);
+    if (!parsed.ok()) {
+      response.ok = false;
+      response.diag = parsed.diag();
+    } else {
+      Result<core::AnnotateResult> outcome =
+          annotator_->try_annotate(parsed.value(), name, config_.seed);
+      if (outcome.ok()) {
+        response.ok = true;
+        // Byte-for-byte the one-shot CLI's --json output: same function,
+        // same class vocabulary -- the soak bit-identity contract.
+        response.payload = core::annotation_to_json(
+            outcome.value(), annotator_->class_names());
+      } else {
+        response.ok = false;
+        response.diag = outcome.diag();
+      }
+    }
+  } catch (const DiagError& e) {
+    response.ok = false;
+    response.diag = e.diag();
+  } catch (const std::bad_alloc&) {
+    response.ok = false;
+    response.diag = make_diag(DiagCode::BudgetExhausted, Stage::Serve,
+                              "out of memory while serving " + name);
+  } catch (const std::exception& e) {
+    response.ok = false;
+    response.diag = make_diag(DiagCode::Internal, Stage::Serve,
+                              std::string("unexpected exception: ") + e.what());
+  }
+
+  if (response.ok) {
+    n_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    note_failure(*response.diag);
+  }
+  send_response(conn, response);
+}
+
+void Server::note_failure(const Diag& diag) {
+  n_failed_.fetch_add(1, std::memory_order_relaxed);
+  if (diag.code == DiagCode::DeadlineExceeded) {
+    n_deadline_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::send_response(const std::shared_ptr<Connection>& conn,
+                           const Response& response) {
+  const std::optional<std::string> frame =
+      encode_frame(encode_response(response), config_.max_frame_bytes);
+  if (!frame.has_value()) {
+    // Response larger than a frame allows (enormous annotation JSON):
+    // replace it with a structured failure that always fits.
+    Response overflow;
+    overflow.id = response.id;
+    overflow.ok = false;
+    overflow.diag = make_diag(DiagCode::LimitExceeded, Stage::Serve,
+                              "response exceeds the frame size limit");
+    const std::optional<std::string> fallback =
+        encode_frame(encode_response(overflow), config_.max_frame_bytes);
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (fallback.has_value()) send_all(conn->fd, *fallback);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  send_all(conn->fd, *frame);  // EPIPE = client gone; nothing to do
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = n_requests_.load(std::memory_order_relaxed);
+  s.annotated_ok = n_ok_.load(std::memory_order_relaxed);
+  s.annotate_failed = n_failed_.load(std::memory_order_relaxed);
+  s.overloaded = n_overloaded_.load(std::memory_order_relaxed);
+  s.deadline_expired = n_deadline_.load(std::memory_order_relaxed);
+  s.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
+  s.connections = n_connections_.load(std::memory_order_relaxed);
+  s.dropped_connections = n_dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string Server::metrics_json() const {
+  // Reuses the --perf-json record format so existing tooling parses
+  // server metrics unchanged: counters are the deltas since start() and
+  // wall_seconds is the server uptime.
+  const PerfSnapshot perf = perf_snapshot() - perf_at_start_;
+  core::BatchTimings t;
+  t.wall_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started_at_)
+                       .count();
+  t.matrix_allocs = perf.matrix_allocs;
+  t.matrix_alloc_bytes = perf.matrix_alloc_bytes;
+  t.spmm_calls = perf.spmm_calls;
+  t.spmm_flops = perf.spmm_flops;
+  t.matmul_calls = perf.matmul_calls;
+  t.matmul_flops = perf.matmul_flops;
+  t.sample_cache_hits = perf.sample_cache_hits;
+  t.sample_cache_misses = perf.sample_cache_misses;
+  t.inference_cache_hits = perf.inference_cache_hits;
+  t.inference_cache_misses = perf.inference_cache_misses;
+  t.vf2_states = perf.vf2_states;
+  t.vf2_sig_rejections = perf.vf2_sig_rejections;
+  t.vf2_pattern_skips = perf.vf2_pattern_skips;
+  t.annotation_cache_hits = perf.annotation_cache_hits;
+  t.annotation_cache_misses = perf.annotation_cache_misses;
+  t.cache_evictions = perf.cache_evictions;
+  t.parse_bytes = perf.parse_bytes;
+  t.intern_hits = perf.intern_hits;
+  t.intern_misses = perf.intern_misses;
+  t.frontend_allocs = perf.frontend_allocs;
+  const ServerStats s = stats();
+  return core::batch_timings_to_json(t, resolved_jobs_, s.annotated_ok,
+                                     s.annotated_ok + s.annotate_failed);
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  stop();
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  request_shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // accept_loop has set draining_ and nudged every reader; new annotate
+  // requests are now shed. Wait for admitted work to finish so every
+  // response is written before connections close.
+  {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drain_cv_.wait(lock, [this]() {
+      return inflight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const auto& conn : connections_) conn->shut_read();
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_threads_.clear();
+    connections_.clear();  // closes the fds
+  }
+  pool_.reset();  // queued-but-unadmitted tasks cannot exist: admission
+                  // counted every submit, and inflight_ drained to zero
+  for (int& fd : shutdown_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace gana::serve

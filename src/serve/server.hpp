@@ -1,0 +1,169 @@
+// Warm annotation server: load once, annotate many.
+//
+// The one-shot CLI pays model + primitive-library construction on every
+// invocation; gana-serve pays it once and then answers framed requests
+// (serve/protocol.hpp) over a Unix-domain socket for as long as the
+// process lives. Design constraints, in priority order:
+//
+//  1. *Never crash on input.* Every failure -- malformed frame, bad
+//     JSON, hostile netlist, injected fault, expired deadline -- becomes
+//     either a structured Diag response or a dropped connection. The
+//     soak test hammers this with fault injection armed.
+//  2. *Bounded everything.* Admission control caps concurrently admitted
+//     annotate requests at `max_inflight`; request number max_inflight+1
+//     is answered `Overloaded` immediately (from the connection reader
+//     thread, microseconds, no queueing) so clients can back off instead
+//     of stacking latency. Frames are capped (kMaxFrameBytes), caches
+//     are capacity-bounded (cache_capacity), and every annotate request
+//     runs under a wall-clock Deadline.
+//  3. *Deterministic outputs.* An admitted healthy request produces the
+//     exact bytes `annotate_netlist --json` would: same Annotator, same
+//     seed, same exporter. Deadlines and faults change *which* requests
+//     fail, never the bytes of the ones that succeed.
+//
+// Threading model: one accept thread; one reader thread per connection
+// (cheap: blocked in read() almost always); annotate work executes on
+// the shared ThreadPool. Responses from the pool and from the reader
+// interleave on one socket, serialized by a per-connection write mutex.
+// Control requests (ping/metrics/shutdown) are answered inline by the
+// reader even when the pool is saturated -- liveness probes must not
+// queue behind work.
+//
+// Shutdown: `request_shutdown()` is async-signal-safe (one write() to a
+// self-pipe), so the gana-serve binary calls it straight from its
+// SIGTERM/SIGINT handler. Drain order: stop accepting, nudge readers
+// (SHUT_RD on every connection), answer still-running admitted requests,
+// then close. Clients see their in-flight responses, then EOF.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/protocol.hpp"
+#include "util/perf.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gana::serve {
+
+struct ServerConfig {
+  std::string socket_path;      ///< Unix-domain socket path (required)
+  std::size_t jobs = 0;         ///< annotate worker threads; 0 = hw threads
+  /// Concurrently admitted annotate requests before shedding; 0 derives
+  /// 2 * jobs (workers busy + one queued each -- full pipes, bounded
+  /// queueing delay).
+  std::size_t max_inflight = 0;
+  double default_timeout_seconds = 0.0;  ///< per-request deadline when the
+                                         ///< request names none; 0 = none
+  std::size_t cache_capacity = 0;  ///< per structural cache (0 = unbounded)
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  std::uint64_t seed = core::kDefaultSampleSeed;  ///< root sample seed
+};
+
+/// Point-in-time server health; all counters are lifetime totals.
+struct ServerStats {
+  std::uint64_t requests = 0;          ///< frames decoded into requests
+  std::uint64_t annotated_ok = 0;      ///< annotate responses with ok=true
+  std::uint64_t annotate_failed = 0;   ///< annotate responses with a Diag
+                                       ///< (excluding sheds)
+  std::uint64_t overloaded = 0;        ///< requests shed by admission
+  std::uint64_t deadline_expired = 0;  ///< DeadlineExceeded responses
+  std::uint64_t protocol_errors = 0;   ///< undecodable payloads answered
+  std::uint64_t connections = 0;       ///< accepted connections
+  std::uint64_t dropped_connections = 0;  ///< closed due to framing errors
+};
+
+class Server {
+ public:
+  /// `annotator` must stay alive (and unmodified) for the server's
+  /// lifetime; the server attaches its capacity-bounded caches to it.
+  Server(core::Annotator& annotator, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts accepting. Returns false (with a
+  /// message in `error` when non-null) if the socket cannot be bound.
+  [[nodiscard]] bool start(std::string* error = nullptr);
+
+  /// Async-signal-safe shutdown trigger; idempotent. Initiates the
+  /// drain but does not wait for it -- call stop() (or the destructor)
+  /// to join.
+  void request_shutdown();
+
+  /// Drains and joins everything: admitted requests finish and their
+  /// responses are written before connections close. Idempotent.
+  void stop();
+
+  /// Blocks until a shutdown request arrives, then drains (the daemon
+  /// main loop).
+  void wait();
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The metrics-response payload: batch_timings_to_json over the
+  /// perf-counter deltas since start, with ok/total request counts.
+  [[nodiscard]] std::string metrics_json() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> conn);
+  void handle_payload(const std::shared_ptr<Connection>& conn,
+                      const std::string& payload);
+  void run_annotate(const std::shared_ptr<Connection>& conn, Request request);
+  void send_response(const std::shared_ptr<Connection>& conn,
+                     const Response& response);
+  void note_failure(const Diag& diag);
+
+  core::Annotator* annotator_;
+  ServerConfig config_;
+  std::size_t resolved_jobs_ = 1;
+  std::size_t resolved_max_inflight_ = 2;
+
+  int listen_fd_ = -1;
+  int shutdown_pipe_[2] = {-1, -1};  ///< [read, write]; write end is the
+                                     ///< async-signal-safe trigger
+  std::thread accept_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<std::size_t> inflight_{0};  ///< admitted, not yet answered
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;  ///< signaled when inflight_ hits 0
+
+  mutable std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> conn_threads_;
+
+  // Lifetime counters (relaxed; read quiescently by stats()).
+  std::atomic<std::uint64_t> n_requests_{0};
+  std::atomic<std::uint64_t> n_ok_{0};
+  std::atomic<std::uint64_t> n_failed_{0};
+  std::atomic<std::uint64_t> n_overloaded_{0};
+  std::atomic<std::uint64_t> n_deadline_{0};
+  std::atomic<std::uint64_t> n_protocol_errors_{0};
+  std::atomic<std::uint64_t> n_connections_{0};
+  std::atomic<std::uint64_t> n_dropped_{0};
+
+  PerfSnapshot perf_at_start_;
+  std::chrono::steady_clock::time_point started_at_;
+};
+
+}  // namespace gana::serve

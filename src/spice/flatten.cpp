@@ -140,7 +140,9 @@ Result<Netlist> flatten_result(const Netlist& netlist,
                                const std::string& source) {
   try {
     return flatten(netlist, source);
-  } catch (const NetlistError& e) {
+  } catch (const DiagError& e) {
+    // Covers NetlistError plus checkpoint aborts (expired deadline,
+    // injected fault) -- all already structured.
     return e.diag();
   } catch (const std::exception& e) {
     return make_diag(DiagCode::Internal, Stage::Flatten, e.what(),

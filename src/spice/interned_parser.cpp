@@ -21,6 +21,7 @@
 #include "spice/interned.hpp"
 #include "spice/number.hpp"
 #include "spice/parser.hpp"
+#include "util/deadline.hpp"
 #include "util/perf.hpp"
 #include "util/strings.hpp"
 
@@ -58,6 +59,9 @@ class InternedParser {
 
   InternedNetlist run() {
     perf::count_parse_bytes(text_.size());
+    // Same per-request deadline / fault-injection site as the Reference
+    // parser (parser.cpp), so both front ends abort at the same points.
+    checkpoint(Stage::Parse);
     split_lines();
     std::size_t i = 0;
     // Only the physically-first line can be a title (SPICE convention);
@@ -81,6 +85,7 @@ class InternedParser {
       }
     }
     for (; i < lines_.size(); ++i) {
+      if ((i & 255u) == 0) check_deadline(Stage::Parse);
       parse_card(lines_[i]);
     }
     if (cur_ != kNoScope) {

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "spice/number.hpp"
+#include "util/deadline.hpp"
 #include "util/perf.hpp"
 #include "util/strings.hpp"
 
@@ -77,6 +78,10 @@ class Parser {
 
   Netlist run() {
     perf::count_parse_bytes(text_.size());
+    // Per-request deadline / fault-injection site at parse entry; the
+    // loop below re-checks the deadline every 256 logical lines so a
+    // huge input cannot overstay its budget by a whole parse.
+    checkpoint(Stage::Parse);
     split_lines();
     std::size_t i = 0;
     // Only the physically-first line can be a title (SPICE convention);
@@ -95,6 +100,7 @@ class Parser {
       }
     }
     for (; i < lines_.size(); ++i) {
+      if ((i & 255u) == 0) check_deadline(Stage::Parse);
       parse_card(lines_[i]);
     }
     if (current_subckt_ != nullptr) {
@@ -485,6 +491,11 @@ Result<Netlist> parse_netlist_result(std::string_view text,
     return parse_netlist(text, options);
   } catch (const NetlistError& e) {
     return e.diag();
+  } catch (const DiagError& e) {
+    // Checkpoint aborts (expired deadline, injected fault) already carry
+    // a structured Diag; pass it through rather than wrapping as
+    // Internal.
+    return e.diag();
   } catch (const std::exception& e) {
     return make_diag(DiagCode::Internal, Stage::Parse, e.what(),
                      SourceLoc{options.source, 0});
@@ -496,6 +507,8 @@ Result<Netlist> parse_netlist_file_result(const std::string& path,
   try {
     return parse_netlist_file(path, limits);
   } catch (const NetlistError& e) {
+    return e.diag();
+  } catch (const DiagError& e) {
     return e.diag();
   } catch (const std::exception& e) {
     return make_diag(DiagCode::Internal, Stage::Parse, e.what(),

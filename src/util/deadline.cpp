@@ -1,0 +1,55 @@
+#include "util/deadline.hpp"
+
+#include <limits>
+
+#include "util/fault_injection.hpp"
+
+namespace gana {
+
+namespace {
+thread_local const RequestContext* t_context = nullptr;
+}  // namespace
+
+double Deadline::remaining_seconds() const {
+  if (cancelled_.load(std::memory_order_relaxed)) return 0.0;
+  if (!limited_) return std::numeric_limits<double>::infinity();
+  const auto left = at_ - Clock::now();
+  if (left <= Clock::duration::zero()) return 0.0;
+  return std::chrono::duration<double>(left).count();
+}
+
+const RequestContext* current_request_context() { return t_context; }
+
+ScopedRequestContext::ScopedRequestContext(const RequestContext* context)
+    : previous_(t_context) {
+  t_context = context;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { t_context = previous_; }
+
+void check_deadline(Stage stage) {
+  const RequestContext* ctx = t_context;
+  if (ctx == nullptr || ctx->deadline == nullptr) return;
+  if (!ctx->deadline->expired()) return;
+  throw DiagError(make_diag(
+      DiagCode::DeadlineExceeded, stage,
+      std::string("request deadline expired during ") + to_string(stage)));
+}
+
+void checkpoint(Stage stage) {
+  check_deadline(stage);
+  FaultInjector& injector = FaultInjector::instance();
+  if (injector.armed()) {
+    const RequestContext* ctx = t_context;
+    // Sites only fire inside a request context: library startup parses,
+    // tests, and benches are never perturbed by an armed injector.
+    if (ctx != nullptr) {
+      injector.inject(stage, ctx->fault_key);
+      // An injected delay may have carried the request past its budget;
+      // detect that here instead of waiting for the next stage.
+      check_deadline(stage);
+    }
+  }
+}
+
+}  // namespace gana

@@ -1,0 +1,132 @@
+// Per-request wall-clock deadlines and cooperative cancellation.
+//
+// The warm annotation service (serve/server.hpp) promises that one
+// runaway request -- an adversarial netlist that explodes in VF2, a
+// pathological hierarchy, a fault-injected stall -- degrades *that
+// request only*, never the process and never its neighbors. The
+// mechanism is a `Deadline`: a wall-clock budget plus an atomic
+// cancellation token, installed for the duration of one request via
+// `ScopedRequestContext` and consulted at cheap checkpoints inside every
+// long-running pipeline stage (parse loop, flatten/preprocess/graph
+// boundaries, between GCN layers, every 1024 VF2 states).
+//
+// A tripped checkpoint throws DiagError(DeadlineExceeded, stage), which
+// the existing fault-isolation guards (Annotator::try_annotate,
+// BatchRunner::run_isolated, the server worker) convert into a
+// per-request Diag. Checkpoints are pure control flow: they never mutate
+// pipeline state, so a request that does NOT hit its deadline is
+// bit-identical to one annotated with no deadline at all -- the
+// invariant the serve soak test pins against the one-shot CLI.
+//
+// The context travels through a thread_local pointer rather than through
+// every stage signature: the worker running a request installs it once,
+// and helpers that fan work out to sibling pool threads (the pattern-
+// parallel VF2 sweep) re-install the captured context inside each
+// subtask. Code running with no context installed -- all existing tests
+// and CLIs -- sees every checkpoint as a no-op.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/diag.hpp"
+
+namespace gana {
+
+/// A wall-clock budget plus a cancellation token. Copyable only while
+/// unarmed; in practice one Deadline lives per request and is shared by
+/// pointer. Thread-safe: expired()/cancel() may race freely.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires, only cancel() can trip it.
+  Deadline() = default;
+
+  /// Expires `seconds` from now; <= 0 means already expired (the
+  /// deterministic way to make every checkpoint trip).
+  [[nodiscard]] static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.limited_ = true;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// True when a wall-clock budget is armed (cancel() works either way).
+  [[nodiscard]] bool limited() const { return limited_; }
+
+  /// True once the budget has elapsed or cancel() was called.
+  [[nodiscard]] bool expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return limited_ && Clock::now() >= at_;
+  }
+
+  /// Seconds until expiry (0 when expired; +inf when unlimited and not
+  /// cancelled). Used by the client/server transport poll loops.
+  [[nodiscard]] double remaining_seconds() const;
+
+  /// Trips the deadline immediately from any thread (SIGTERM drain, a
+  /// client disconnect). Cooperative: the request stops at its next
+  /// checkpoint.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  Deadline(const Deadline& other)
+      : limited_(other.limited_),
+        at_(other.at_),
+        cancelled_(other.cancelled_.load(std::memory_order_relaxed)) {}
+  Deadline& operator=(const Deadline& other) {
+    limited_ = other.limited_;
+    at_ = other.at_;
+    cancelled_.store(other.cancelled_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  bool limited_ = false;
+  Clock::time_point at_{};
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Everything checkpoint() needs to know about the request the calling
+/// thread is working on: its deadline and the key that makes fault-
+/// injection decisions deterministic per request (serve uses the request
+/// id; the batch CLI uses the slot index).
+struct RequestContext {
+  const Deadline* deadline = nullptr;  ///< not owned; may be null
+  std::uint64_t fault_key = 0;
+};
+
+/// The context installed on the calling thread, or nullptr.
+[[nodiscard]] const RequestContext* current_request_context();
+
+/// RAII installer of the thread-local request context. Nesting restores
+/// the previous context on destruction; passing nullptr (re)installs
+/// "no context" (used by pool workers between requests).
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(const RequestContext* context);
+  ~ScopedRequestContext();
+
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  const RequestContext* previous_;
+};
+
+/// Throws DiagError(DeadlineExceeded, stage) when the installed
+/// deadline has expired; no-op without a context. Cheap enough for
+/// per-1024-states / per-256-lines loops (a thread_local read, and a
+/// clock read only when a limited deadline is armed).
+void check_deadline(Stage stage);
+
+/// Stage-entry checkpoint: check_deadline + one fault-injection site
+/// (util/fault_injection.hpp) keyed by (stage, request fault key). Call
+/// once per stage entry, not inside hot loops -- an injected delay or
+/// error fires every time the site is evaluated.
+void checkpoint(Stage stage);
+
+}  // namespace gana

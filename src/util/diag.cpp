@@ -16,6 +16,7 @@ const char* to_string(Stage s) {
     case Stage::Postprocess: return "postprocess";
     case Stage::Hierarchy: return "hierarchy";
     case Stage::Batch: return "batch";
+    case Stage::Serve: return "serve";
   }
   return "?";
 }
@@ -37,11 +38,54 @@ const char* to_string(DiagCode c) {
     case DiagCode::NonFinite: return "non-finite";
     case DiagCode::BudgetExhausted: return "budget-exhausted";
     case DiagCode::Truncated: return "truncated";
+    case DiagCode::DeadlineExceeded: return "deadline-exceeded";
+    case DiagCode::Overloaded: return "overloaded";
     case DiagCode::IoError: return "io-error";
     case DiagCode::Skipped: return "skipped";
     case DiagCode::Internal: return "internal";
   }
   return "?";
+}
+
+const std::vector<Stage>& all_stages() {
+  static const std::vector<Stage> stages = {
+      Stage::Io,         Stage::Parse,    Stage::Validate,
+      Stage::Flatten,    Stage::Preprocess, Stage::GraphBuild,
+      Stage::Features,   Stage::Gcn,      Stage::Primitives,
+      Stage::Postprocess, Stage::Hierarchy, Stage::Batch,
+      Stage::Serve,
+  };
+  return stages;
+}
+
+const std::vector<DiagCode>& all_diag_codes() {
+  static const std::vector<DiagCode> codes = {
+      DiagCode::SyntaxError,     DiagCode::BadValue,
+      DiagCode::UnknownDirective, DiagCode::LimitExceeded,
+      DiagCode::DuplicateName,   DiagCode::UndefinedSubckt,
+      DiagCode::PortMismatch,    DiagCode::BadPinCount,
+      DiagCode::EmptyName,       DiagCode::RecursiveSubckt,
+      DiagCode::DepthExceeded,   DiagCode::NotFlat,
+      DiagCode::NonFinite,       DiagCode::BudgetExhausted,
+      DiagCode::Truncated,       DiagCode::DeadlineExceeded,
+      DiagCode::Overloaded,      DiagCode::IoError,
+      DiagCode::Skipped,         DiagCode::Internal,
+  };
+  return codes;
+}
+
+std::optional<Stage> stage_from_string(std::string_view name) {
+  for (Stage s : all_stages()) {
+    if (name == to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<DiagCode> diag_code_from_string(std::string_view name) {
+  for (DiagCode c : all_diag_codes()) {
+    if (name == to_string(c)) return c;
+  }
+  return std::nullopt;
 }
 
 std::string SourceLoc::to_string() const {

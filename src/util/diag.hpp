@@ -20,6 +20,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -39,6 +40,7 @@ enum class Stage {
   Postprocess,  ///< Postprocessing I/II
   Hierarchy,    ///< hierarchy tree + constraints
   Batch,        ///< batch runtime (scheduling, cancellation)
+  Serve,        ///< annotation service (framing, admission, transport)
 };
 
 /// What went wrong, independent of the free-form message.
@@ -62,6 +64,8 @@ enum class DiagCode {
   NonFinite,        ///< Inf/NaN device value, parameter, or feature
   BudgetExhausted,  ///< a deterministic resource budget was exhausted
   Truncated,        ///< partial result after a budget hit (warning-level)
+  DeadlineExceeded, ///< per-request wall-clock budget expired (or cancelled)
+  Overloaded,       ///< admission control shed the request (retryable)
   // Everything else.
   IoError,   ///< file missing/unreadable/unwritable
   Skipped,   ///< batch task cancelled by fail-fast before it ran
@@ -70,6 +74,19 @@ enum class DiagCode {
 
 [[nodiscard]] const char* to_string(Stage s);
 [[nodiscard]] const char* to_string(DiagCode c);
+
+/// Inverse of to_string; nullopt for unknown names. The wire protocol
+/// (serve/protocol) ships Diags as JSON, so both enums must parse back
+/// losslessly -- pinned by the diag_json round-trip test.
+[[nodiscard]] std::optional<Stage> stage_from_string(std::string_view name);
+[[nodiscard]] std::optional<DiagCode> diag_code_from_string(
+    std::string_view name);
+
+/// Every enumerator, in declaration order. Lets the round-trip tests (and
+/// the wire protocol's exhaustiveness checks) enumerate without hardcoding
+/// the last member.
+[[nodiscard]] const std::vector<Stage>& all_stages();
+[[nodiscard]] const std::vector<DiagCode>& all_diag_codes();
 
 /// Position in the netlist source text. `line` is 1-based; 0 means the
 /// diagnostic is not tied to a specific line (e.g. whole-file limits).

@@ -1,0 +1,105 @@
+#include "util/fault_injection.hpp"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+namespace gana {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+static_assert(static_cast<std::size_t>(Stage::Serve) < 16,
+              "grow FaultInjector::stage_plans_ with the Stage enum");
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(std::uint64_t seed, const FaultPlan& plan) {
+  seed_ = seed;
+  default_plan_ = plan;
+  for (bool& set : stage_plan_set_) set = false;
+  injected_allocs_.store(0, std::memory_order_relaxed);
+  injected_errors_.store(0, std::memory_order_relaxed);
+  injected_delays_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::set_stage_plan(Stage stage, const FaultPlan& plan) {
+  const auto i = static_cast<std::size_t>(stage);
+  stage_plans_[i] = plan;
+  stage_plan_set_[i] = true;
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  default_plan_ = {};
+  for (bool& set : stage_plan_set_) set = false;
+}
+
+const FaultPlan& FaultInjector::plan_for(Stage stage) const {
+  const auto i = static_cast<std::size_t>(stage);
+  return stage_plan_set_[i] ? stage_plans_[i] : default_plan_;
+}
+
+double FaultInjector::draw(Stage stage, std::uint64_t key,
+                           std::uint64_t salt) const {
+  std::uint64_t h = mix64(seed_ ^ mix64(static_cast<std::uint64_t>(stage)));
+  h = mix64(h ^ key);
+  h = mix64(h ^ salt);
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+void FaultInjector::inject(Stage stage, std::uint64_t key) {
+  if (!armed()) return;
+  const FaultPlan& plan = plan_for(stage);
+  if (plan.empty()) return;
+  // Delay first: a slow-then-failing site exercises both the deadline
+  // path and the error path in one request.
+  if (plan.stage_delay > 0.0 && draw(stage, key, 3) < plan.stage_delay) {
+    injected_delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(plan.delay_seconds));
+  }
+  if (plan.alloc_failure > 0.0 && draw(stage, key, 1) < plan.alloc_failure) {
+    injected_allocs_.fetch_add(1, std::memory_order_relaxed);
+    throw std::bad_alloc();
+  }
+  if (plan.stage_error > 0.0 && draw(stage, key, 2) < plan.stage_error) {
+    injected_errors_.fetch_add(1, std::memory_order_relaxed);
+    throw DiagError(make_diag(
+        DiagCode::Internal, stage,
+        std::string("injected fault at stage ") + to_string(stage)));
+  }
+}
+
+bool FaultInjector::would_fail(Stage stage, std::uint64_t key) const {
+  if (!armed()) return false;
+  const FaultPlan& plan = plan_for(stage);
+  if (plan.alloc_failure > 0.0 && draw(stage, key, 1) < plan.alloc_failure) {
+    return true;
+  }
+  return plan.stage_error > 0.0 && draw(stage, key, 2) < plan.stage_error;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats out;
+  out.injected_allocs = injected_allocs_.load(std::memory_order_relaxed);
+  out.injected_errors = injected_errors_.load(std::memory_order_relaxed);
+  out.injected_delays = injected_delays_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace gana

@@ -1,0 +1,108 @@
+// Deterministic, seeded, site-keyed fault injection for robustness tests.
+//
+// The serve soak test has to *prove* the daemon survives a hostile mix:
+// N% of requests failing mid-stage, stalling, or exhausting allocations,
+// while the healthy remainder stays bit-identical to the one-shot CLI.
+// Random fault injection cannot prove that -- a flaky run is
+// indistinguishable from a flaky server. This injector is a pure
+// function instead: whether a fault fires at a site is decided by
+// hash(seed, site stage, request fault key, fault kind), so the same
+// soak configuration always injects the same faults into the same
+// requests, and a reproduction run replays the exact failure pattern.
+//
+// Sites are the checkpoint() calls at pipeline stage entries
+// (util/deadline.hpp): parse, flatten, preprocess, graph build,
+// features, GCN, primitives, postprocess, hierarchy. Three fault kinds:
+//  * alloc  -- throws std::bad_alloc (the guards map it to
+//              DiagCode::BudgetExhausted, like a real OOM);
+//  * error  -- throws DiagError(Internal, stage, "injected fault"), the
+//              shape of an unexpected stage bug;
+//  * delay  -- sleeps `delay_seconds` (drives deadline expiry and
+//              admission-control backpressure without burning CPU).
+// The injector is process-global and disarmed by default; arming it is
+// a test-harness action (the soak test, fault_injection_test), never
+// part of production configuration. When disarmed, the only cost at a
+// site is one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/diag.hpp"
+
+namespace gana {
+
+/// Per-site fault rates in [0, 1]; 0 disables a kind. Rates are
+/// evaluated independently (a request may draw both a delay and an
+/// error; the delay fires first, see inject()).
+struct FaultPlan {
+  double alloc_failure = 0.0;  ///< P(throw std::bad_alloc)
+  double stage_error = 0.0;    ///< P(throw DiagError(Internal))
+  double stage_delay = 0.0;    ///< P(sleep delay_seconds)
+  double delay_seconds = 0.0;  ///< stall length for stage_delay draws
+
+  [[nodiscard]] bool empty() const {
+    return alloc_failure <= 0.0 && stage_error <= 0.0 && stage_delay <= 0.0;
+  }
+};
+
+/// What the injector has done so far (relaxed totals; exact when read
+/// quiescently, which is how the soak test reads them).
+struct FaultStats {
+  std::uint64_t injected_allocs = 0;
+  std::uint64_t injected_errors = 0;
+  std::uint64_t injected_delays = 0;
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector consulted by checkpoint().
+  [[nodiscard]] static FaultInjector& instance();
+
+  /// Arms the injector: `plan` applies at every site unless a per-stage
+  /// plan overrides it. Not thread-safe against concurrent inject()
+  /// calls -- (re)configure before traffic, like the kernel toggles.
+  void arm(std::uint64_t seed, const FaultPlan& plan = {});
+
+  /// Overrides the plan at one stage's sites (e.g. delays only in GCN).
+  void set_stage_plan(Stage stage, const FaultPlan& plan);
+
+  /// Disarms and clears every plan and counter.
+  void disarm();
+
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluates the site (stage, key): may sleep, then may throw. The
+  /// decision depends only on (seed, stage, key, kind) -- never on
+  /// timing, thread, or call count -- so a request that draws no fault
+  /// is untouched and bit-identity is preserved.
+  void inject(Stage stage, std::uint64_t key);
+
+  /// True when inject(stage, key) would throw (alloc or error). Lets
+  /// the soak harness precompute each request's expected outcome.
+  [[nodiscard]] bool would_fail(Stage stage, std::uint64_t key) const;
+
+  [[nodiscard]] FaultStats stats() const;
+
+ private:
+  FaultInjector() = default;
+
+  [[nodiscard]] const FaultPlan& plan_for(Stage stage) const;
+  /// Uniform [0,1) draw for (stage, key, kind salt); pure.
+  [[nodiscard]] double draw(Stage stage, std::uint64_t key,
+                            std::uint64_t salt) const;
+
+  std::atomic<bool> armed_{false};
+  std::uint64_t seed_ = 0;
+  FaultPlan default_plan_;
+  /// Indexed by static_cast<size_t>(Stage); all_stages().size() entries.
+  FaultPlan stage_plans_[16];
+  bool stage_plan_set_[16] = {};
+  std::atomic<std::uint64_t> injected_allocs_{0};
+  std::atomic<std::uint64_t> injected_errors_{0};
+  std::atomic<std::uint64_t> injected_delays_{0};
+};
+
+}  // namespace gana

@@ -1,0 +1,465 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace gana::json {
+
+const Value* Value::get(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const Member& m : obj_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string key, Value v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  if (kind_ != Kind::Object) return;
+  for (Member& m : obj_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded cursor. Depth is decremented
+/// on every container entry so adversarial nesting fails fast instead of
+/// exhausting the call stack.
+class Parser {
+ public:
+  Parser(std::string_view text, std::size_t max_depth)
+      : text_(text), max_depth_(max_depth) {}
+
+  std::optional<Value> run(std::string* error) {
+    std::optional<Value> v = parse_value(max_depth_);
+    if (v.has_value()) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing bytes after the document");
+        v.reset();
+      }
+    }
+    if (!v.has_value() && error != nullptr) {
+      *error = "offset " + std::to_string(error_pos_) + ": " + error_;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* why) {
+    if (error_.empty()) {
+      error_ = why;
+      error_pos_ = pos_;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected, const char* why) {
+    if (at_end() || peek() != expected) {
+      fail(why);
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("unrecognized literal");
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value(std::size_t depth) {
+    skip_ws();
+    if (at_end()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        std::optional<std::string> s = parse_string();
+        if (!s.has_value()) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        if (!consume_literal("true")) return std::nullopt;
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) return std::nullopt;
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) return std::nullopt;
+        return Value(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Value> parse_object(std::size_t depth) {
+    if (depth == 0) {
+      fail("nesting depth limit exceeded");
+      return std::nullopt;
+    }
+    ++pos_;  // '{'
+    std::vector<Member> members;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      std::optional<std::string> key = parse_string();
+      if (!key.has_value()) return std::nullopt;
+      for (const Member& m : members) {
+        if (m.first == *key) {
+          fail("duplicate object key");
+          return std::nullopt;
+        }
+      }
+      skip_ws();
+      if (!consume(':', "expected ':' after object key")) return std::nullopt;
+      std::optional<Value> v = parse_value(depth - 1);
+      if (!v.has_value()) return std::nullopt;
+      members.emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (at_end()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Value(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_array(std::size_t depth) {
+    if (depth == 0) {
+      fail("nesting depth limit exceeded");
+      return std::nullopt;
+    }
+    ++pos_;  // '['
+    std::vector<Value> items;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    while (true) {
+      std::optional<Value> v = parse_value(depth - 1);
+      if (!v.has_value()) return std::nullopt;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (at_end()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return Value(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  /// Appends the UTF-8 encoding of `cp` (already range-checked).
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::optional<std::uint32_t> parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+        return std::nullopt;
+      }
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::optional<std::string> parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (at_end()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out.push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (at_end()) {
+        fail("truncated escape");
+        return std::nullopt;
+      }
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::optional<std::uint32_t> hi = parse_hex4();
+          if (!hi.has_value()) return std::nullopt;
+          std::uint32_t cp = *hi;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("unpaired high surrogate");
+              return std::nullopt;
+            }
+            pos_ += 2;
+            std::optional<std::uint32_t> lo = parse_hex4();
+            if (!lo.has_value()) return std::nullopt;
+            if (*lo < 0xDC00 || *lo > 0xDFFF) {
+              fail("invalid low surrogate");
+              return std::nullopt;
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (*lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+            return std::nullopt;
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("unrecognized escape");
+          return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    if (at_end() || peek() < '0' || peek() > '9') {
+      fail("expected a value");
+      return std::nullopt;
+    }
+    if (peek() == '0') {
+      ++pos_;  // leading zero admits no more integer digits
+    } else {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required after decimal point");
+        return std::nullopt;
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        fail("digit required in exponent");
+        return std::nullopt;
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    // The slice is a valid JSON number by construction; strtod cannot
+    // reject it, but an overflow yields +-inf which JSON cannot carry.
+    const std::string slice(text_.substr(start, pos_ - start));
+    const double v = std::strtod(slice.c_str(), nullptr);
+    if (!std::isfinite(v)) {
+      fail("number out of range");
+      return std::nullopt;
+    }
+    return Value(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t max_depth_;
+  std::string error_;
+  std::size_t error_pos_ = 0;
+};
+
+void dump_into(const Value& v, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  // Integers up to 2^53 print without an exponent or trailing ".0" so
+  // ids and counters round-trip textually; everything else uses %.17g
+  // (shortest always-round-trip width for IEEE doubles).
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+      std::fabs(d) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void dump_into(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Kind::Null:
+      out += "null";
+      return;
+    case Kind::Bool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Kind::Number:
+      dump_number(v.as_double(), out);
+      return;
+    case Kind::String:
+      out += quote(v.as_string());
+      return;
+    case Kind::Raw:
+      out += v.raw_fragment();
+      return;
+    case Kind::Array: {
+      out.push_back('[');
+      bool first = true;
+      for (const Value& item : v.as_array()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_into(item, out);
+      }
+      out.push_back(']');
+      return;
+    }
+    case Kind::Object: {
+      out.push_back('{');
+      bool first = true;
+      for (const Member& m : v.as_object()) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += quote(m.first);
+        out.push_back(':');
+        dump_into(m.second, out);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error,
+                           std::size_t max_depth) {
+  return Parser(text, max_depth).run(error);
+}
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_into(v, out);
+  return out;
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace gana::json

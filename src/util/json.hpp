@@ -1,0 +1,148 @@
+// Minimal self-contained JSON value model, parser, and writer.
+//
+// The annotation service (src/serve) frames every request and response
+// as one JSON document, and requests arrive from untrusted client
+// processes -- so the parser here is written for robustness first:
+// strict (no trailing garbage, no unescaped control characters, no
+// invalid \u escapes), depth-limited (malicious nesting cannot blow the
+// stack), and allocation-proportional to the input size. It accepts
+// exactly the RFC 8259 grammar, nothing more.
+//
+// The writer is deterministic: objects preserve insertion order (Object
+// is an order-preserving vector of pairs, not a map), numbers print via
+// a fixed shortest-round-trip format, and strings escape the minimal
+// set. Writing the same Value twice yields the same bytes -- the serve
+// soak test's bit-identity check depends on that.
+//
+// `Value::raw()` is a writer-only escape hatch: a pre-serialized JSON
+// fragment (e.g. core::annotation_to_json output) embedded verbatim, so
+// the service reuses the existing exporters without reparsing them and
+// without risking uint64 counters losing precision through a double.
+// The parser never produces a Raw value.
+//
+// Deliberately NOT a general-purpose JSON library: no comments, no
+// NaN/Inf, no 64-bit-exact integer type (parse stores numbers as
+// double; wire ids are bounded well below 2^53), no streaming.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gana::json {
+
+class Value;
+
+/// Order-preserving object representation: members are written in
+/// insertion order and duplicate keys are rejected by the parser.
+using Member = std::pair<std::string, Value>;
+
+enum class Kind {
+  Null,
+  Bool,
+  Number,
+  String,
+  Array,
+  Object,
+  Raw,  ///< writer-only pre-serialized fragment; never produced by parse()
+};
+
+class Value {
+ public:
+  Value() : kind_(Kind::Null) {}
+  Value(std::nullptr_t) : kind_(Kind::Null) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}  // NOLINT(google-explicit-constructor)
+  Value(double d) : kind_(Kind::Number), num_(d) {}  // NOLINT(google-explicit-constructor)
+  Value(int i) : kind_(Kind::Number), num_(i) {}  // NOLINT(google-explicit-constructor)
+  Value(std::int64_t i)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  Value(std::uint64_t u)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Number), num_(static_cast<double>(u)) {}
+  Value(std::string s)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::String), str_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::String), str_(s) {}  // NOLINT(google-explicit-constructor)
+  Value(std::vector<Value> a)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Array), arr_(std::move(a)) {}
+  Value(std::vector<Member> o)  // NOLINT(google-explicit-constructor)
+      : kind_(Kind::Object), obj_(std::move(o)) {}
+
+  /// Pre-serialized JSON embedded verbatim by dump(). The caller owns
+  /// the guarantee that `fragment` is itself valid JSON.
+  [[nodiscard]] static Value raw(std::string fragment) {
+    Value v;
+    v.kind_ = Kind::Raw;
+    v.str_ = std::move(fragment);
+    return v;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Checked accessors: the fallback comes back whenever the kind does
+  /// not match, so protocol code reads optional fields in one line.
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    static const std::string kEmpty;
+    return is_string() ? str_ : kEmpty;
+  }
+  [[nodiscard]] const std::vector<Value>& as_array() const {
+    static const std::vector<Value> kEmpty;
+    return is_array() ? arr_ : kEmpty;
+  }
+  [[nodiscard]] const std::vector<Member>& as_object() const {
+    static const std::vector<Member> kEmpty;
+    return is_object() ? obj_ : kEmpty;
+  }
+  /// The raw fragment of a Raw value ("" otherwise).
+  [[nodiscard]] const std::string& raw_fragment() const {
+    static const std::string kEmpty;
+    return kind_ == Kind::Raw ? str_ : kEmpty;
+  }
+
+  /// Object member by key, or nullptr (also nullptr on non-objects).
+  [[nodiscard]] const Value* get(std::string_view key) const;
+
+  /// Appends a member; object building for the protocol encoders.
+  void set(std::string key, Value v);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;          ///< String and Raw payloads
+  std::vector<Value> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Strict RFC 8259 parse of a complete document. Returns nullopt and
+/// fills `error` (when non-null) with "offset N: reason" on the first
+/// violation: trailing bytes, nesting beyond `max_depth`, duplicate
+/// object keys, bad escapes, unescaped control characters, non-finite
+/// numbers, or a bare truncation.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr,
+                                         std::size_t max_depth = 64);
+
+/// Compact single-line serialization (no spaces, insertion-order
+/// members). Deterministic: equal Values produce equal bytes.
+[[nodiscard]] std::string dump(const Value& v);
+
+/// Escapes `s` into a quoted JSON string literal.
+[[nodiscard]] std::string quote(std::string_view s);
+
+}  // namespace gana::json

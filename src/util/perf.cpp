@@ -18,6 +18,7 @@ std::atomic<std::uint64_t> vf2_sig_rejections{0};
 std::atomic<std::uint64_t> vf2_pattern_skips{0};
 std::atomic<std::uint64_t> annotation_cache_hits{0};
 std::atomic<std::uint64_t> annotation_cache_misses{0};
+std::atomic<std::uint64_t> cache_evictions{0};
 std::atomic<std::uint64_t> parse_bytes{0};
 std::atomic<std::uint64_t> intern_hits{0};
 std::atomic<std::uint64_t> intern_misses{0};
@@ -43,6 +44,7 @@ PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& since) const {
   d.annotation_cache_hits = annotation_cache_hits - since.annotation_cache_hits;
   d.annotation_cache_misses =
       annotation_cache_misses - since.annotation_cache_misses;
+  d.cache_evictions = cache_evictions - since.cache_evictions;
   d.parse_bytes = parse_bytes - since.parse_bytes;
   d.intern_hits = intern_hits - since.intern_hits;
   d.intern_misses = intern_misses - since.intern_misses;
@@ -74,6 +76,7 @@ PerfSnapshot perf_snapshot() {
       d::annotation_cache_hits.load(std::memory_order_relaxed);
   s.annotation_cache_misses =
       d::annotation_cache_misses.load(std::memory_order_relaxed);
+  s.cache_evictions = d::cache_evictions.load(std::memory_order_relaxed);
   s.parse_bytes = d::parse_bytes.load(std::memory_order_relaxed);
   s.intern_hits = d::intern_hits.load(std::memory_order_relaxed);
   s.intern_misses = d::intern_misses.load(std::memory_order_relaxed);

@@ -36,6 +36,8 @@ struct PerfSnapshot {
   std::uint64_t vf2_pattern_skips = 0;   ///< patterns cut by the counting filter
   std::uint64_t annotation_cache_hits = 0;    ///< AnnotationCache lookups served
   std::uint64_t annotation_cache_misses = 0;  ///< lookups that ran the matcher
+  std::uint64_t cache_evictions = 0;  ///< entries dropped by capacity-bounded
+                                      ///< sharded caches (any cache)
   std::uint64_t parse_bytes = 0;       ///< netlist text bytes fed to a parser
   std::uint64_t intern_hits = 0;       ///< SymbolTable lookups of known names
   std::uint64_t intern_misses = 0;     ///< SymbolTable first-time interns
@@ -69,6 +71,7 @@ extern std::atomic<std::uint64_t> vf2_sig_rejections;
 extern std::atomic<std::uint64_t> vf2_pattern_skips;
 extern std::atomic<std::uint64_t> annotation_cache_hits;
 extern std::atomic<std::uint64_t> annotation_cache_misses;
+extern std::atomic<std::uint64_t> cache_evictions;
 extern std::atomic<std::uint64_t> parse_bytes;
 extern std::atomic<std::uint64_t> intern_hits;
 extern std::atomic<std::uint64_t> intern_misses;
@@ -124,6 +127,10 @@ inline void count_annotation_cache_hit() {
 
 inline void count_annotation_cache_miss() {
   detail::annotation_cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void count_cache_eviction() {
+  detail::cache_evictions.fetch_add(1, std::memory_order_relaxed);
 }
 
 inline void count_parse_bytes(std::uint64_t bytes) {

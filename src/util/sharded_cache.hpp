@@ -18,15 +18,29 @@
 // stats() and clear() lock shards one at a time -- stats() is therefore
 // not an atomic snapshot across shards. Callers (benchmarks, tests) read
 // it quiescently, and per-shard counts are individually exact.
+//
+// Capacity bounding (graceful degradation for long-lived processes such
+// as gana-serve): a per-shard capacity turns each shard into a FIFO --
+// inserting into a full shard evicts that shard's oldest *inserted* key
+// first. FIFO rather than LRU keeps probes cheap (no bookkeeping on
+// find) and keeps which-key-is-evicted a pure function of insertion
+// order, never of probe timing. Eviction changes only *when* a value
+// must be recomputed, never what is computed: all cached values here are
+// pure functions of their key, so a bounded cache stays bit-identical to
+// an unbounded one (pinned by the cache-on/off determinism tests).
+// Capacity 0 means unbounded (the historical behavior and the default).
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "util/perf.hpp"
 
 namespace gana {
 
@@ -38,8 +52,15 @@ class ShardedCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< entries dropped by capacity bounding
     std::size_t entries = 0;
   };
+
+  /// `per_shard_capacity` caps each shard's entry count (0 = unbounded).
+  /// Total cache capacity is kShardCount * per_shard_capacity, reached
+  /// exactly only when keys spread evenly across shards.
+  explicit ShardedCache(std::size_t per_shard_capacity = 0)
+      : per_shard_capacity_(per_shard_capacity) {}
 
   /// Cached value for `key`, or nullptr; counts a hit/miss on the shard.
   [[nodiscard]] std::shared_ptr<const V> find(std::uint64_t key) {
@@ -55,12 +76,27 @@ class ShardedCache {
   }
 
   /// Inserts `value` for `key`; returns the winning entry (the existing
-  /// one if another worker inserted first).
+  /// one if another worker inserted first). When the shard is at
+  /// capacity, the shard's oldest-inserted key is evicted to make room.
   std::shared_ptr<const V> insert(std::uint64_t key,
                                   std::shared_ptr<const V> value) {
     Shard& s = shard(key);
     std::lock_guard<std::mutex> lock(s.mutex);
     const auto [it, inserted] = s.map.try_emplace(key, std::move(value));
+    if (inserted && per_shard_capacity_ > 0) {
+      // Invariant: fifo holds exactly the shard's keys in insert order
+      // (every insert pushes, the only erase pops the front), so the
+      // front is never the just-inserted key while size > capacity >= 1,
+      // and erase never invalidates `it` (it points at a different key).
+      s.fifo.push_back(key);
+      while (s.map.size() > per_shard_capacity_) {
+        const std::uint64_t oldest = s.fifo.front();
+        s.fifo.pop_front();
+        s.map.erase(oldest);
+        ++s.evictions;
+        perf::count_cache_eviction();
+      }
+    }
     return it->second;
   }
 
@@ -70,6 +106,7 @@ class ShardedCache {
       std::lock_guard<std::mutex> lock(s.mutex);
       out.hits += s.hits;
       out.misses += s.misses;
+      out.evictions += s.evictions;
       out.entries += s.map.size();
     }
     return out;
@@ -79,17 +116,27 @@ class ShardedCache {
     for (Shard& s : shards_) {
       std::lock_guard<std::mutex> lock(s.mutex);
       s.map.clear();
+      s.fifo.clear();
       s.hits = 0;
       s.misses = 0;
+      s.evictions = 0;
     }
+  }
+
+  /// Per-shard entry cap this cache was constructed with (0 = unbounded).
+  [[nodiscard]] std::size_t per_shard_capacity() const {
+    return per_shard_capacity_;
   }
 
  private:
   struct alignas(64) Shard {
     mutable std::mutex mutex;
     std::unordered_map<std::uint64_t, std::shared_ptr<const V>> map;
+    /// Insert-order queue driving FIFO eviction; empty when unbounded.
+    std::deque<std::uint64_t> fifo;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
   };
 
   static std::size_t shard_index(std::uint64_t key) {
@@ -98,6 +145,16 @@ class ShardedCache {
   Shard& shard(std::uint64_t key) { return shards_[shard_index(key)]; }
 
   std::array<Shard, kShardCount> shards_;
+  std::size_t per_shard_capacity_ = 0;  ///< immutable after construction
 };
+
+/// Splits a whole-cache capacity across kShardCount shards, rounding up
+/// so a nonzero total never becomes an accidental zero (= unbounded) and
+/// the cache can always hold at least `total` entries overall.
+inline std::size_t per_shard_capacity_for(std::size_t total) {
+  if (total == 0) return 0;
+  constexpr std::size_t kShards = 16;
+  return (total + kShards - 1) / kShards;
+}
 
 }  // namespace gana

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "serve/protocol.hpp"
 #include "spice/parser.hpp"
 #include "util/rng.hpp"
 
@@ -276,6 +277,140 @@ TEST(CorpusFuzz, MutantOutcomesAreDeterministic) {
       EXPECT_EQ(da->render(), db->render()) << name;
     }
   }
+}
+
+// --- Layer 3: the serve wire protocol (tests/fuzz_corpus/frames). -----
+
+std::string read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Feeds one hostile byte stream to the frame decoder and pushes every
+/// complete payload through decode_request. The contract mirrors
+/// run_pipeline's: this function returns -- every outcome is a decoded
+/// request, a structured Diag, a still-pending stream, or a latched
+/// framing error. Returns the number of payloads that decoded into
+/// well-formed requests.
+std::size_t run_frames(const std::string& bytes, std::size_t chunk) {
+  serve::FrameDecoder decoder;
+  std::size_t well_formed = 0;
+  for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - off);
+    if (!decoder.feed(bytes.data() + off, n)) break;  // latched error
+    while (const auto payload = decoder.next()) {
+      const auto request = serve::decode_request(*payload);
+      if (request.ok()) {
+        ++well_formed;
+      } else {
+        EXPECT_EQ(request.diag().stage, Stage::Serve);
+        EXPECT_FALSE(request.diag().message.empty());
+      }
+    }
+  }
+  return well_formed;
+}
+
+struct FrameSeed {
+  const char* file;
+  std::size_t min_requests;  ///< well-formed requests the stream contains
+  std::size_t max_requests;
+  bool framing_error;  ///< decoder must latch its error state
+};
+
+constexpr FrameSeed kFrameSeeds[] = {
+    {"truncated_header.bin", 0, 0, false},
+    {"truncated_payload.bin", 0, 0, false},
+    {"oversized_length.bin", 0, 0, true},
+    {"over_cap_length.bin", 0, 0, true},
+    {"zero_length.bin", 1, 1, false},  // empty frame + valid ping
+    {"garbage_json.bin", 0, 0, false},
+    {"wrong_shape.bin", 0, 0, false},
+    {"midframe_disconnect.bin", 1, 1, false},  // ping, then torn frame
+    {"deep_nesting_payload.bin", 0, 0, false},
+    {"bad_ids.bin", 0, 0, false},
+};
+
+TEST(FrameCorpus, EverySeedIsHandledStructurally) {
+  // Whole-stream and byte-by-byte delivery must agree: framing is a pure
+  // function of the byte sequence, not of how read() chunked it.
+  for (const auto& seed : kFrameSeeds) {
+    SCOPED_TRACE(seed.file);
+    const std::string bytes =
+        read_binary(std::string(GANA_FUZZ_CORPUS_DIR) + "/frames/" +
+                    seed.file);
+    ASSERT_FALSE(bytes.empty());
+    for (const std::size_t chunk : {bytes.size(), std::size_t{1}}) {
+      const std::size_t ok = run_frames(bytes, chunk);
+      EXPECT_GE(ok, seed.min_requests) << "chunk=" << chunk;
+      EXPECT_LE(ok, seed.max_requests) << "chunk=" << chunk;
+    }
+    serve::FrameDecoder decoder;
+    decoder.feed(bytes);
+    while (decoder.next().has_value()) {
+    }
+    EXPECT_EQ(decoder.error(), seed.framing_error);
+  }
+}
+
+TEST(FrameCorpus, EveryFrameSeedFileHasAnExpectation) {
+  std::set<std::string> expected;
+  for (const auto& seed : kFrameSeeds) expected.insert(seed.file);
+  std::set<std::string> present;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(GANA_FUZZ_CORPUS_DIR) + "/frames")) {
+    if (entry.path().extension() == ".bin") {
+      present.insert(entry.path().filename().string());
+    }
+  }
+  EXPECT_EQ(present, expected)
+      << "tests/fuzz_corpus/frames/*.bin and kFrameSeeds drifted apart";
+}
+
+TEST(FrameCorpus, MutatedFramesNeverCrashTheDecoder) {
+  // Deterministic byte-level mutants of every frame seed, plus a valid
+  // encoded request as the well-formed base.
+  std::vector<std::string> bases;
+  for (const auto& seed : kFrameSeeds) {
+    bases.push_back(read_binary(std::string(GANA_FUZZ_CORPUS_DIR) +
+                                "/frames/" + seed.file));
+  }
+  serve::Request valid;
+  valid.id = 3;
+  valid.kind = serve::RequestKind::Annotate;
+  valid.name = "m";
+  valid.netlist = "x\nm1 a b c d nmos w=1u l=1u\n.end\n";
+  bases.push_back(serve::encode_frame(serve::encode_request(valid)).value());
+
+  std::size_t total = 0;
+  for (const std::string& base : bases) {
+    for (int k = 0; k < 40; ++k, ++total) {
+      Rng rng(0xf4a3e5ull + total);
+      std::string mutant = base;
+      switch (rng.range(0, 3)) {
+        case 0:  // flip a byte
+          if (!mutant.empty()) {
+            mutant[rng.index(mutant.size())] =
+                static_cast<char>(rng.range(0, 255));
+          }
+          break;
+        case 1:  // truncate
+          mutant = mutant.substr(0, rng.index(mutant.size() + 1));
+          break;
+        case 2:  // duplicate the stream
+          mutant += mutant;
+          break;
+        default:  // splice two seeds
+          mutant += bases[rng.index(bases.size())];
+          break;
+      }
+      run_frames(mutant, 1 + rng.index(7));  // returning IS the assertion
+    }
+  }
+  EXPECT_GE(total, 400u);
 }
 
 TEST(CorpusFuzz, TruncationsOfValidFixtureNeverCrash) {

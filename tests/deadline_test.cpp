@@ -1,0 +1,175 @@
+// Per-request deadline propagation: Deadline/RequestContext mechanics,
+// checkpoint behavior with and without an installed context, and the
+// end-to-end contract -- an expired deadline surfaces as a structured
+// DeadlineExceeded Diag from every fault-isolated entry point, while
+// requests that finish inside their budget are bit-identical to untimed
+// runs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/batch_runner.hpp"
+#include "core/export.hpp"
+#include "core/pipeline.hpp"
+#include "datagen/dataset.hpp"
+#include "spice/parser.hpp"
+#include "util/deadline.hpp"
+
+namespace gana {
+namespace {
+
+const char* kTinyNetlist =
+    "test circuit\n"
+    "m1 out in vdd vdd pmos w=2u l=0.1u\n"
+    "m2 out in 0 0 nmos w=1u l=0.1u\n"
+    ".end\n";
+
+TEST(Deadline, UnlimitedNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.limited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 1e9);
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::after_seconds(0.0);
+  EXPECT_TRUE(d.limited());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, GenerousBudgetIsNotExpired) {
+  const Deadline d = Deadline::after_seconds(3600.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3000.0);
+}
+
+TEST(Deadline, CancelTripsEvenUnlimited) {
+  Deadline d;
+  d.cancel();
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, CheckpointIsNoOpWithoutContext) {
+  ASSERT_EQ(current_request_context(), nullptr);
+  EXPECT_NO_THROW(check_deadline(Stage::Parse));
+  EXPECT_NO_THROW(checkpoint(Stage::Gcn));
+}
+
+TEST(Deadline, ScopedContextInstallsAndRestores) {
+  const Deadline d = Deadline::after_seconds(100.0);
+  const RequestContext outer{&d, 7};
+  {
+    ScopedRequestContext scope(&outer);
+    ASSERT_EQ(current_request_context(), &outer);
+    const RequestContext inner{&d, 8};
+    {
+      ScopedRequestContext nested(&inner);
+      EXPECT_EQ(current_request_context(), &inner);
+    }
+    EXPECT_EQ(current_request_context(), &outer);
+  }
+  EXPECT_EQ(current_request_context(), nullptr);
+}
+
+TEST(Deadline, ExpiredContextThrowsDeadlineExceededAtCheckpoint) {
+  const Deadline d = Deadline::after_seconds(0.0);
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  try {
+    check_deadline(Stage::Primitives);
+    FAIL() << "expected DiagError";
+  } catch (const DiagError& e) {
+    EXPECT_EQ(e.diag().code, DiagCode::DeadlineExceeded);
+    EXPECT_EQ(e.diag().stage, Stage::Primitives);
+  }
+}
+
+TEST(Deadline, ParserHonorsExpiredDeadline) {
+  const Deadline d = Deadline::after_seconds(0.0);
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  auto parsed = spice::parse_netlist_result(kTinyNetlist);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.diag().code, DiagCode::DeadlineExceeded);
+  EXPECT_EQ(parsed.diag().stage, Stage::Parse);
+}
+
+TEST(Deadline, TryAnnotateHonorsExpiredDeadline) {
+  auto parsed = spice::parse_netlist_result(kTinyNetlist);
+  ASSERT_TRUE(parsed.ok());
+  const core::Annotator annotator(nullptr, {"ota", "bias"});
+  const Deadline d = Deadline::after_seconds(0.0);
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  auto outcome = annotator.try_annotate(parsed.value(), "tiny");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.diag().code, DiagCode::DeadlineExceeded);
+}
+
+TEST(Deadline, CancellationAbortsAnnotation) {
+  auto parsed = spice::parse_netlist_result(kTinyNetlist);
+  ASSERT_TRUE(parsed.ok());
+  const core::Annotator annotator(nullptr, {"ota", "bias"});
+  Deadline d;  // unlimited, then cancelled: the disconnect/drain path
+  d.cancel();
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  auto outcome = annotator.try_annotate(parsed.value(), "tiny");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.diag().code, DiagCode::DeadlineExceeded);
+}
+
+/// Batch timeout plumbing: an impossible budget fails every slot with
+/// DeadlineExceeded; a generous budget is bit-identical to no budget.
+TEST(BatchDeadline, ImpossibleBudgetFailsEverySlot) {
+  datagen::DatasetOptions opt;
+  opt.circuits = 4;
+  opt.seed = 3;
+  const auto dataset = datagen::make_ota_dataset(opt);
+  const core::Annotator annotator(nullptr, {"ota", "bias"});
+  core::BatchOptions bopt;
+  bopt.policy = core::FailurePolicy::CollectAll;
+  bopt.timeout_seconds = 1e-9;
+  const auto outcome =
+      core::BatchRunner(annotator, bopt).run_isolated(dataset);
+  ASSERT_EQ(outcome.outcomes.size(), dataset.size());
+  for (const auto& o : outcome.outcomes) {
+    ASSERT_FALSE(o.ok());
+    EXPECT_EQ(o.diag().code, DiagCode::DeadlineExceeded);
+  }
+}
+
+TEST(BatchDeadline, GenerousBudgetMatchesUntimedRunBitwise) {
+  datagen::DatasetOptions opt;
+  opt.circuits = 3;
+  opt.seed = 5;
+  const auto dataset = datagen::make_ota_dataset(opt);
+  const core::Annotator annotator(nullptr, {"ota", "bias"});
+
+  core::BatchOptions untimed;
+  untimed.policy = core::FailurePolicy::CollectAll;
+  const auto base =
+      core::BatchRunner(annotator, untimed).run_isolated(dataset);
+
+  core::BatchOptions timed = untimed;
+  timed.timeout_seconds = 3600.0;
+  const auto budgeted =
+      core::BatchRunner(annotator, timed).run_isolated(dataset);
+
+  ASSERT_EQ(base.outcomes.size(), budgeted.outcomes.size());
+  for (std::size_t i = 0; i < base.outcomes.size(); ++i) {
+    ASSERT_TRUE(base.outcomes[i].ok());
+    ASSERT_TRUE(budgeted.outcomes[i].ok());
+    // Full serialized annotation: any drift anywhere shows up here.
+    EXPECT_EQ(core::annotation_to_json(base.outcomes[i].value(),
+                                       {"ota", "bias"}),
+              core::annotation_to_json(budgeted.outcomes[i].value(),
+                                       {"ota", "bias"}));
+  }
+}
+
+}  // namespace
+}  // namespace gana

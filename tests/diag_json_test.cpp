@@ -1,0 +1,161 @@
+// Wire-format round-trip of structured diagnostics and the JSON layer
+// underneath them.
+//
+// Diags cross the serve protocol as JSON by enum *name*; this test pins
+// serialize -> parse -> compare for every DiagCode and every Stage, so
+// adding an enumerator without a name (or a name without an inverse)
+// fails here instead of producing an undecodable wire error in
+// production.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/diag.hpp"
+#include "util/json.hpp"
+
+namespace gana {
+namespace {
+
+TEST(DiagNames, EveryStageRoundTripsThroughItsName) {
+  for (const Stage s : all_stages()) {
+    const auto back = stage_from_string(to_string(s));
+    ASSERT_TRUE(back.has_value()) << to_string(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(stage_from_string("no-such-stage").has_value());
+  EXPECT_FALSE(stage_from_string("").has_value());
+}
+
+TEST(DiagNames, EveryCodeRoundTripsThroughItsName) {
+  for (const DiagCode c : all_diag_codes()) {
+    const auto back = diag_code_from_string(to_string(c));
+    ASSERT_TRUE(back.has_value()) << to_string(c);
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_FALSE(diag_code_from_string("no-such-code").has_value());
+}
+
+/// Full JSON round trip for every (code, stage) against a Diag using
+/// every field: message, source location, notes.
+TEST(DiagJson, EveryCodeAndStageRoundTripsLosslessly) {
+  for (const DiagCode code : all_diag_codes()) {
+    for (const Stage stage : all_stages()) {
+      Diag d;
+      d.code = code;
+      d.stage = stage;
+      d.message = std::string("message for ") + to_string(code) +
+                  " with \"quotes\" and\nnewlines";
+      d.loc.file = "circuits/input.sp";
+      d.loc.line = 42;
+      d.notes = {"note one", "note two: instantiated from xtop"};
+
+      const std::string text = json::dump(serve::diag_to_json(d));
+      const auto parsed = json::parse(text);
+      ASSERT_TRUE(parsed.has_value()) << text;
+      const auto back = serve::diag_from_json(*parsed);
+      ASSERT_TRUE(back.has_value()) << text;
+      EXPECT_EQ(back->code, d.code);
+      EXPECT_EQ(back->stage, d.stage);
+      EXPECT_EQ(back->message, d.message);
+      EXPECT_EQ(back->loc.file, d.loc.file);
+      EXPECT_EQ(back->loc.line, d.loc.line);
+      EXPECT_EQ(back->notes, d.notes);
+    }
+  }
+}
+
+TEST(DiagJson, MinimalDiagOmitsEmptyFields) {
+  Diag d;
+  d.code = DiagCode::Overloaded;
+  d.stage = Stage::Serve;
+  const std::string text = json::dump(serve::diag_to_json(d));
+  EXPECT_EQ(text.find("file"), std::string::npos);
+  EXPECT_EQ(text.find("notes"), std::string::npos);
+  const auto back = serve::diag_from_json(*json::parse(text));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->code, DiagCode::Overloaded);
+  EXPECT_EQ(back->stage, Stage::Serve);
+  EXPECT_TRUE(back->loc.file.empty());
+  EXPECT_EQ(back->loc.line, 0u);
+}
+
+TEST(DiagJson, RejectsUnknownNamesAndShapes) {
+  EXPECT_FALSE(serve::diag_from_json(json::Value(3.0)).has_value());
+  const auto bad_code =
+      json::parse(R"({"code":"martian","stage":"serve","message":"x"})");
+  ASSERT_TRUE(bad_code.has_value());
+  EXPECT_FALSE(serve::diag_from_json(*bad_code).has_value());
+  const auto missing_stage = json::parse(R"({"code":"io-error"})");
+  ASSERT_TRUE(missing_stage.has_value());
+  EXPECT_FALSE(serve::diag_from_json(*missing_stage).has_value());
+}
+
+// --- The JSON layer itself (the serve protocol's foundation). ---------
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(json::dump(*json::parse("null")), "null");
+  EXPECT_EQ(json::dump(*json::parse("true")), "true");
+  EXPECT_EQ(json::dump(*json::parse("false")), "false");
+  EXPECT_EQ(json::dump(*json::parse("42")), "42");
+  EXPECT_EQ(json::dump(*json::parse("-7")), "-7");
+  EXPECT_EQ(json::dump(*json::parse("\"hi\\n\\\"there\\\"\"")),
+            "\"hi\\n\\\"there\\\"\"");
+}
+
+TEST(Json, NestedStructureRoundTrips) {
+  const std::string text =
+      R"({"a":[1,2,{"b":"c"}],"d":{"e":null,"f":true},"g":1.5})";
+  const auto v = json::parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(json::dump(*v), text);  // insertion order preserved
+}
+
+TEST(Json, UnicodeEscapesDecode) {
+  const auto v = json::parse(R"("\u0041\u00e9\u20ac\ud83d\ude00")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "A\xc3\xa9\xe2\x82\xac\xf0\x9f\x98\x80");
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(json::parse("", &error).has_value());
+  EXPECT_FALSE(json::parse("{", &error).has_value());
+  EXPECT_FALSE(json::parse("[1,]", &error).has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1,}", &error).has_value());
+  EXPECT_FALSE(json::parse("{\"a\" 1}", &error).has_value());
+  EXPECT_FALSE(json::parse("01", &error).has_value());
+  EXPECT_FALSE(json::parse("1.", &error).has_value());
+  EXPECT_FALSE(json::parse("nulll", &error).has_value());
+  EXPECT_FALSE(json::parse("\"\\x\"", &error).has_value());
+  EXPECT_FALSE(json::parse("\"\\ud800\"", &error).has_value());  // lone hi
+  EXPECT_FALSE(json::parse("\"unterminated", &error).has_value());
+  EXPECT_FALSE(json::parse("\"ctrl\x01char\"", &error).has_value());
+  EXPECT_FALSE(json::parse("{} garbage", &error).has_value());
+  EXPECT_FALSE(json::parse("1e999", &error).has_value());  // overflow
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, RejectsDuplicateKeys) {
+  EXPECT_FALSE(json::parse(R"({"a":1,"a":2})").has_value());
+}
+
+TEST(Json, DepthLimitStopsAdversarialNesting) {
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "[";
+  std::string error;
+  EXPECT_FALSE(json::parse(deep, &error).has_value());
+  EXPECT_NE(error.find("depth"), std::string::npos);
+  // A document inside the limit parses.
+  EXPECT_TRUE(json::parse("[[[[[[[[[[1]]]]]]]]]]").has_value());
+}
+
+TEST(Json, RawFragmentEmbedsVerbatim) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("payload", json::Value::raw(R"({"k":18446744073709551615})"));
+  EXPECT_EQ(json::dump(v), R"({"payload":{"k":18446744073709551615}})");
+}
+
+}  // namespace
+}  // namespace gana

@@ -1,0 +1,226 @@
+// Deterministic fault injection: decisions are a pure function of
+// (seed, stage, request key), injection only happens inside a request
+// context, and an armed injector leaves requests whose draws stay
+// clean bit-identical to a disarmed run -- the property the serve soak
+// test scales up.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "core/export.hpp"
+#include "core/pipeline.hpp"
+#include "spice/parser.hpp"
+#include "util/deadline.hpp"
+#include "util/fault_injection.hpp"
+
+namespace gana {
+namespace {
+
+/// Every test disarms on exit: the injector is process-global and a
+/// leaked plan would perturb unrelated tests in this binary.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().disarm(); }
+};
+
+const char* kTinyNetlist =
+    "test circuit\n"
+    "m1 out in vdd vdd pmos w=2u l=0.1u\n"
+    "m2 out in 0 0 nmos w=1u l=0.1u\n"
+    ".end\n";
+
+TEST_F(FaultInjectionTest, DisarmedInjectorIsInert) {
+  auto& injector = FaultInjector::instance();
+  EXPECT_FALSE(injector.armed());
+  const Deadline d;
+  const RequestContext ctx{&d, 42};
+  ScopedRequestContext scope(&ctx);
+  EXPECT_NO_THROW(checkpoint(Stage::Gcn));
+  EXPECT_FALSE(injector.would_fail(Stage::Gcn, 42));
+}
+
+TEST_F(FaultInjectionTest, ArmedButNoContextIsInert) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.stage_error = 1.0;
+  injector.arm(7, plan);
+  ASSERT_EQ(current_request_context(), nullptr);
+  // No request context: library startup parses and plain CLI runs are
+  // never perturbed even while the injector is armed.
+  EXPECT_NO_THROW(checkpoint(Stage::Parse));
+  EXPECT_EQ(injector.stats().injected_errors, 0u);
+}
+
+TEST_F(FaultInjectionTest, CertainErrorFaultThrowsDiagError) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.stage_error = 1.0;
+  injector.arm(7, plan);
+  const Deadline d;
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  try {
+    checkpoint(Stage::Gcn);
+    FAIL() << "expected DiagError";
+  } catch (const DiagError& e) {
+    EXPECT_EQ(e.diag().code, DiagCode::Internal);
+    EXPECT_EQ(e.diag().stage, Stage::Gcn);
+  }
+  EXPECT_GE(injector.stats().injected_errors, 1u);
+}
+
+TEST_F(FaultInjectionTest, CertainAllocFaultThrowsBadAlloc) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.alloc_failure = 1.0;
+  injector.arm(7, plan);
+  const Deadline d;
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  EXPECT_THROW(checkpoint(Stage::Flatten), std::bad_alloc);
+  EXPECT_GE(injector.stats().injected_allocs, 1u);
+}
+
+TEST_F(FaultInjectionTest, DelayFaultStallsTheCheckpoint) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.stage_delay = 1.0;
+  plan.delay_seconds = 0.02;
+  injector.arm(7, plan);
+  const Deadline d;
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  const auto before = std::chrono::steady_clock::now();
+  checkpoint(Stage::Preprocess);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - before)
+          .count();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_GE(injector.stats().injected_delays, 1u);
+}
+
+TEST_F(FaultInjectionTest, DelayCanExpireTheDeadline) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.stage_delay = 1.0;
+  plan.delay_seconds = 0.02;
+  injector.arm(7, plan);
+  const Deadline d = Deadline::after_seconds(0.005);
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  try {
+    checkpoint(Stage::Preprocess);
+    FAIL() << "expected DeadlineExceeded after the injected stall";
+  } catch (const DiagError& e) {
+    EXPECT_EQ(e.diag().code, DiagCode::DeadlineExceeded);
+  }
+}
+
+TEST_F(FaultInjectionTest, DecisionsAreDeterministicPerSeedStageKey) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.stage_error = 0.5;
+  injector.arm(99, plan);
+  // Snapshot the decision for many keys, re-arm identically, compare.
+  std::vector<bool> first;
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    first.push_back(injector.would_fail(Stage::Gcn, key));
+  }
+  injector.disarm();
+  injector.arm(99, plan);
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    EXPECT_EQ(injector.would_fail(Stage::Gcn, key), first[key]) << key;
+  }
+  // A 0.5 rate over 256 keys all-true or all-false would mean the draw
+  // ignores the key entirely.
+  std::size_t hits = 0;
+  for (const bool b : first) hits += b ? 1 : 0;
+  EXPECT_GT(hits, 0u);
+  EXPECT_LT(hits, first.size());
+
+  // A different seed must reshuffle at least one decision.
+  injector.disarm();
+  injector.arm(100, plan);
+  bool any_difference = false;
+  for (std::uint64_t key = 0; key < 256 && !any_difference; ++key) {
+    any_difference = injector.would_fail(Stage::Gcn, key) != first[key];
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(FaultInjectionTest, PerStagePlanOverridesTheGlobalPlan) {
+  auto& injector = FaultInjector::instance();
+  FaultPlan none;  // global: no faults
+  injector.arm(7, none);
+  FaultPlan gcn_only;
+  gcn_only.stage_error = 1.0;
+  injector.set_stage_plan(Stage::Gcn, gcn_only);
+  const Deadline d;
+  const RequestContext ctx{&d, 1};
+  ScopedRequestContext scope(&ctx);
+  EXPECT_NO_THROW(checkpoint(Stage::Parse));
+  EXPECT_THROW(checkpoint(Stage::Gcn), DiagError);
+}
+
+TEST_F(FaultInjectionTest, CleanDrawsStayBitIdenticalToDisarmedRuns) {
+  auto parsed = spice::parse_netlist_result(kTinyNetlist);
+  ASSERT_TRUE(parsed.ok());
+  const core::Annotator annotator(nullptr, {"ota", "bias"});
+
+  // Baseline with the injector disarmed.
+  auto base = annotator.try_annotate(parsed.value(), "tiny");
+  ASSERT_TRUE(base.ok());
+  const std::string base_json =
+      core::annotation_to_json(base.value(), {"ota", "bias"});
+
+  // Armed with nonzero rates: find a key whose stage draws are all
+  // clean, annotate under that key, and demand identical bytes.
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.alloc_failure = 0.2;
+  plan.stage_error = 0.2;
+  injector.arm(1234, plan);
+  std::uint64_t clean_key = 0;
+  bool found = false;
+  for (std::uint64_t key = 0; key < 4096 && !found; ++key) {
+    bool clean = true;
+    for (const Stage s : all_stages()) {
+      if (injector.would_fail(s, key)) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      clean_key = key;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no clean key in 4096 -- rates too high?";
+  const Deadline d;
+  const RequestContext ctx{&d, clean_key};
+  ScopedRequestContext scope(&ctx);
+  auto faulted = annotator.try_annotate(parsed.value(), "tiny");
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_EQ(core::annotation_to_json(faulted.value(), {"ota", "bias"}),
+            base_json);
+}
+
+TEST_F(FaultInjectionTest, FaultedAnnotationFailsStructurally) {
+  auto parsed = spice::parse_netlist_result(kTinyNetlist);
+  ASSERT_TRUE(parsed.ok());
+  const core::Annotator annotator(nullptr, {"ota", "bias"});
+  auto& injector = FaultInjector::instance();
+  FaultPlan plan;
+  plan.stage_error = 1.0;  // first checkpoint inside the pipeline throws
+  injector.arm(7, plan);
+  const Deadline d;
+  const RequestContext ctx{&d, 5};
+  ScopedRequestContext scope(&ctx);
+  auto outcome = annotator.try_annotate(parsed.value(), "tiny");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.diag().code, DiagCode::Internal);
+}
+
+}  // namespace
+}  // namespace gana

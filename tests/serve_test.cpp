@@ -1,0 +1,419 @@
+// The warm annotation service, end to end: frame decoding over hostile
+// byte streams, request/response wire round trips, and a live server on
+// a Unix socket -- ping, bit-identical annotation, admission-control
+// shedding, graceful drain, metrics, and protocol-error answers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/export.hpp"
+#include "core/pipeline.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "spice/parser.hpp"
+#include "util/fault_injection.hpp"
+#include "util/json.hpp"
+
+namespace gana {
+namespace {
+
+const char* kTinyNetlist =
+    "test circuit\n"
+    "m1 out in vdd vdd pmos w=2u l=0.1u\n"
+    "m2 out in 0 0 nmos w=1u l=0.1u\n"
+    ".end\n";
+
+// --- Framing -----------------------------------------------------------
+
+std::string frame_bytes(std::string_view payload) {
+  const auto f = serve::encode_frame(payload);
+  EXPECT_TRUE(f.has_value());
+  return f.value_or("");
+}
+
+TEST(FrameDecoder, SplitsMultipleFramesFromOneFeed) {
+  serve::FrameDecoder dec;
+  ASSERT_TRUE(dec.feed(frame_bytes("alpha") + frame_bytes("") +
+                       frame_bytes("gamma")));
+  EXPECT_EQ(dec.next().value_or("?"), "alpha");
+  EXPECT_EQ(dec.next().value_or("?"), "");
+  EXPECT_EQ(dec.next().value_or("?"), "gamma");
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.error());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoder, ReassemblesByteByByteFeeds) {
+  const std::string wire = frame_bytes("payload one") + frame_bytes("two");
+  serve::FrameDecoder dec;
+  std::vector<std::string> out;
+  for (const char c : wire) {
+    ASSERT_TRUE(dec.feed(&c, 1));
+    while (auto p = dec.next()) out.push_back(*p);
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "payload one");
+  EXPECT_EQ(out[1], "two");
+}
+
+TEST(FrameDecoder, OversizedLengthPrefixLatchesError) {
+  serve::FrameDecoder dec(1024);
+  const char huge[4] = {'\xff', '\xff', '\xff', '\xff'};  // ~4 GiB claim
+  EXPECT_TRUE(dec.feed(huge, sizeof(huge)));  // bytes accepted, then latched
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.error());
+  // Latched: further feeds are refused, no recovery.
+  EXPECT_FALSE(dec.feed(frame_bytes("fine")));
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameDecoder, TruncatedFrameStaysPendingWithoutError) {
+  serve::FrameDecoder dec;
+  const std::string wire = frame_bytes("cut off");
+  ASSERT_TRUE(dec.feed(wire.substr(0, wire.size() - 3)));
+  EXPECT_FALSE(dec.next().has_value());  // incomplete != error
+  EXPECT_FALSE(dec.error());
+  ASSERT_TRUE(dec.feed(wire.substr(wire.size() - 3)));
+  EXPECT_EQ(dec.next().value_or("?"), "cut off");
+}
+
+TEST(FrameDecoder, EncodeRejectsOversizedPayload) {
+  const std::string big(2048, 'x');
+  EXPECT_FALSE(serve::encode_frame(big, 1024).has_value());
+  EXPECT_TRUE(serve::encode_frame(big, 4096).has_value());
+}
+
+// --- Payload codecs ----------------------------------------------------
+
+TEST(Protocol, RequestRoundTripsAllFields) {
+  serve::Request r;
+  r.id = 987654321;
+  r.kind = serve::RequestKind::Annotate;
+  r.name = "ota \"quoted\"";
+  r.netlist = kTinyNetlist;
+  r.timeout_seconds = 2.5;
+  const auto back = serve::decode_request(serve::encode_request(r));
+  ASSERT_TRUE(back.ok()) << back.diag().message;
+  EXPECT_EQ(back.value().id, r.id);
+  EXPECT_EQ(back.value().kind, r.kind);
+  EXPECT_EQ(back.value().name, r.name);
+  EXPECT_EQ(back.value().netlist, r.netlist);
+  EXPECT_DOUBLE_EQ(back.value().timeout_seconds, r.timeout_seconds);
+}
+
+TEST(Protocol, ResponseRoundTripsPayloadAndDiag) {
+  serve::Response ok;
+  ok.id = 7;
+  ok.ok = true;
+  ok.payload = R"({"nested":"json","n":[1,2,3]})";
+  const auto ok_back = serve::decode_response(serve::encode_response(ok));
+  ASSERT_TRUE(ok_back.ok());
+  EXPECT_TRUE(ok_back.value().ok);
+  EXPECT_EQ(ok_back.value().payload, ok.payload);  // byte-exact
+  EXPECT_FALSE(ok_back.value().diag.has_value());
+
+  serve::Response bad;
+  bad.id = 8;
+  bad.ok = false;
+  bad.diag = make_diag(DiagCode::Overloaded, Stage::Serve, "shed");
+  const auto bad_back = serve::decode_response(serve::encode_response(bad));
+  ASSERT_TRUE(bad_back.ok());
+  ASSERT_TRUE(bad_back.value().diag.has_value());
+  EXPECT_EQ(bad_back.value().diag->code, DiagCode::Overloaded);
+}
+
+TEST(Protocol, MalformedRequestsYieldStructuredDiags) {
+  for (const char* payload : {
+           "not json at all",
+           "[]",                               // wrong shape
+           R"({"kind":"annotate"})",           // missing id
+           R"({"id":1,"kind":"teleport"})",    // unknown kind
+           R"({"id":1,"kind":"annotate"})",    // annotate without netlist
+           R"({"id":-4,"kind":"ping"})",       // negative id
+           R"({"id":1,"kind":"ping","timeout_seconds":-1})",
+       }) {
+    const auto r = serve::decode_request(payload);
+    ASSERT_FALSE(r.ok()) << payload;
+    EXPECT_EQ(r.diag().stage, Stage::Serve) << payload;
+  }
+}
+
+// --- Live server -------------------------------------------------------
+
+std::string unique_socket_path(const char* tag) {
+  return "/tmp/gana_serve_test_" + std::to_string(::getpid()) + "_" + tag +
+         ".sock";
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::instance().disarm(); }
+
+  /// Starts a server over a fresh Annotator; test-scoped socket path.
+  std::unique_ptr<serve::Server> start_server(const char* tag,
+                                              serve::ServerConfig config) {
+    annotator_ = std::make_unique<core::Annotator>(
+        nullptr, std::vector<std::string>{"ota", "bias"});
+    config.socket_path = unique_socket_path(tag);
+    auto server = std::make_unique<serve::Server>(*annotator_, config);
+    std::string error;
+    EXPECT_TRUE(server->start(&error)) << error;
+    return server;
+  }
+
+  serve::Client make_client(const serve::Server& server,
+                            double timeout_seconds = 10.0) {
+    serve::ClientOptions opt;
+    opt.socket_path = server.config().socket_path;
+    opt.timeout_seconds = timeout_seconds;
+    return serve::Client(opt);
+  }
+
+  std::unique_ptr<core::Annotator> annotator_;
+};
+
+TEST_F(ServeTest, PingAndMetricsAnswer) {
+  serve::ServerConfig config;
+  config.jobs = 2;
+  auto server = start_server("ping", config);
+  auto client = make_client(*server);
+  EXPECT_TRUE(client.ping());
+  const auto metrics = client.metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.diag().message;
+  const auto parsed = json::parse(metrics.value());
+  ASSERT_TRUE(parsed.has_value()) << metrics.value();
+  EXPECT_TRUE(parsed->get("wall_seconds") != nullptr);
+  server->stop();
+  EXPECT_FALSE(server->running());
+}
+
+TEST_F(ServeTest, AnnotationIsBitIdenticalToLocalPipeline) {
+  serve::ServerConfig config;
+  config.jobs = 2;
+  auto server = start_server("bits", config);
+
+  // Local reference bytes through the same Annotator configuration.
+  auto parsed = spice::parse_netlist_result(kTinyNetlist);
+  ASSERT_TRUE(parsed.ok());
+  const core::Annotator local(nullptr, {"ota", "bias"});
+  auto expected = local.try_annotate(parsed.value(), "tiny");
+  ASSERT_TRUE(expected.ok());
+  const std::string expected_json =
+      core::annotation_to_json(expected.value(), {"ota", "bias"});
+
+  auto client = make_client(*server);
+  const auto remote = client.annotate("tiny", kTinyNetlist);
+  ASSERT_TRUE(remote.ok()) << remote.diag().message;
+  EXPECT_EQ(remote.value(), expected_json);
+
+  // Warm path: a second identical request hits the caches and must not
+  // drift.
+  const auto again = client.annotate("tiny", kTinyNetlist);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), expected_json);
+
+  server->stop();
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.annotated_ok, 2u);
+  EXPECT_EQ(stats.annotate_failed, 0u);
+}
+
+TEST_F(ServeTest, BadNetlistComesBackAsStructuredDiag) {
+  serve::ServerConfig config;
+  config.jobs = 1;
+  auto server = start_server("badnet", config);
+  auto client = make_client(*server);
+  // Title line first: a device card on line 1 would parse as the title.
+  const auto r =
+      client.annotate("broken", "broken\nm1 only three nodes\n.end\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diag().stage, Stage::Parse);
+  server->stop();
+  EXPECT_EQ(server->stats().annotate_failed, 1u);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineComesBackAsDeadlineExceeded) {
+  serve::ServerConfig config;
+  config.jobs = 1;
+  auto server = start_server("deadline", config);
+  auto client = make_client(*server);
+  serve::Request r;
+  r.kind = serve::RequestKind::Annotate;
+  r.name = "tiny";
+  r.netlist = kTinyNetlist;
+  r.timeout_seconds = 1e-9;  // expires before the first checkpoint
+  const auto result = client.call(r);
+  ASSERT_TRUE(result.ok()) << result.diag().message;
+  ASSERT_FALSE(result.value().ok);
+  ASSERT_TRUE(result.value().diag.has_value());
+  EXPECT_EQ(result.value().diag->code, DiagCode::DeadlineExceeded);
+  server->stop();
+  EXPECT_EQ(server->stats().deadline_expired, 1u);
+}
+
+TEST_F(ServeTest, AdmissionControlShedsBeyondMaxInflight) {
+  serve::ServerConfig config;
+  config.jobs = 1;
+  config.max_inflight = 1;
+  auto server = start_server("shed", config);
+
+  // Hold the one admitted slot with an injected 300ms stall on every
+  // stage entry, keyed to request id 1.
+  FaultPlan plan;  // no faults by default
+  FaultPlan stall;
+  stall.stage_delay = 1.0;
+  stall.delay_seconds = 0.3;
+  auto& injector = FaultInjector::instance();
+  injector.arm(7, plan);
+  injector.set_stage_plan(Stage::Parse, stall);
+
+  std::atomic<bool> slow_done{false};
+  std::thread slow([&] {
+    auto client = make_client(*server);
+    serve::Request r;
+    r.id = 1;
+    r.kind = serve::RequestKind::Annotate;
+    r.name = "slow";
+    r.netlist = kTinyNetlist;
+    const auto result = client.call(r);
+    EXPECT_TRUE(result.ok());
+    slow_done.store(true);
+  });
+
+  // Give the slow request time to be admitted, then probe: the probe
+  // must be shed immediately (retries disabled to observe the shed).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  serve::ClientOptions probe_opt;
+  probe_opt.socket_path = server->config().socket_path;
+  probe_opt.timeout_seconds = 5.0;
+  probe_opt.max_retries = 0;
+  serve::Client probe(probe_opt);
+  serve::Request r;
+  r.id = 2;
+  r.kind = serve::RequestKind::Annotate;
+  r.name = "probe";
+  r.netlist = kTinyNetlist;
+  const auto shed = probe.call(r);
+  ASSERT_TRUE(shed.ok()) << shed.diag().message;
+  ASSERT_FALSE(shed.value().ok);
+  ASSERT_TRUE(shed.value().diag.has_value());
+  EXPECT_EQ(shed.value().diag->code, DiagCode::Overloaded);
+
+  // Ping still answers while the pool is saturated (inline on reader).
+  EXPECT_TRUE(probe.ping());
+
+  slow.join();
+  EXPECT_TRUE(slow_done.load());
+  injector.disarm();
+
+  // With the slot free and retries enabled, the same request succeeds.
+  auto retrying = make_client(*server);
+  const auto after = retrying.annotate("probe", kTinyNetlist);
+  EXPECT_TRUE(after.ok()) << after.diag().message;
+
+  server->stop();
+  EXPECT_GE(server->stats().overloaded, 1u);
+}
+
+TEST_F(ServeTest, GracefulDrainDeliversInFlightResponse) {
+  serve::ServerConfig config;
+  config.jobs = 1;
+  auto server = start_server("drain", config);
+
+  FaultPlan plan;
+  FaultPlan stall;
+  stall.stage_delay = 1.0;
+  stall.delay_seconds = 0.2;
+  auto& injector = FaultInjector::instance();
+  injector.arm(7, plan);
+  injector.set_stage_plan(Stage::Parse, stall);
+
+  std::atomic<bool> got_response{false};
+  std::thread inflight([&] {
+    auto client = make_client(*server);
+    serve::Request r;
+    r.id = 1;
+    r.kind = serve::RequestKind::Annotate;
+    r.name = "inflight";
+    r.netlist = kTinyNetlist;
+    const auto result = client.call(r);
+    got_response.store(result.ok() && result.value().ok);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  server->request_shutdown();  // the SIGTERM path
+  server->stop();              // drain-and-join
+  inflight.join();
+  EXPECT_TRUE(got_response.load())
+      << "drain must deliver admitted responses before closing";
+}
+
+TEST_F(ServeTest, ShutdownRequestDrainsTheServer) {
+  serve::ServerConfig config;
+  config.jobs = 1;
+  auto server = start_server("shutreq", config);
+  auto client = make_client(*server);
+  EXPECT_TRUE(client.shutdown_server());
+  server->wait();  // returns once the drain completes
+  EXPECT_FALSE(server->running());
+}
+
+TEST_F(ServeTest, UndecodablePayloadIsAnsweredNotDropped) {
+  serve::ServerConfig config;
+  config.jobs = 1;
+  auto server = start_server("proto", config);
+
+  // The Client cannot emit a malformed payload, so speak the framing
+  // layer directly: a well-framed frame holding garbage JSON must be
+  // *answered* (id=0, Serve-stage diag), not dropped -- only framing
+  // violations cost the connection.
+  const std::string path = server->config().socket_path;
+  struct RawConn {
+    int fd;
+    explicit RawConn(const std::string& p) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::memcpy(addr.sun_path, p.c_str(), p.size() + 1);
+      EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)),
+                0);
+    }
+    ~RawConn() { ::close(fd); }
+  } conn(path);
+
+  const std::string garbage = frame_bytes("this is not json");
+  ASSERT_EQ(::send(conn.fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  serve::FrameDecoder dec;
+  char buf[4096];
+  std::optional<std::string> payload;
+  for (int i = 0; i < 100 && !payload.has_value(); ++i) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    ASSERT_GT(n, 0) << "server dropped the connection instead of answering";
+    dec.feed(buf, static_cast<std::size_t>(n));
+    payload = dec.next();
+  }
+  ASSERT_TRUE(payload.has_value());
+  const auto response = serve::decode_response(*payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response.value().ok);
+  ASSERT_TRUE(response.value().diag.has_value());
+  EXPECT_EQ(response.value().diag->stage, Stage::Serve);
+
+  server->stop();
+  EXPECT_GE(server->stats().protocol_errors, 1u);
+}
+
+}  // namespace
+}  // namespace gana

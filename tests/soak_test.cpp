@@ -1,0 +1,303 @@
+// In-process soak of the warm annotation service under fault injection.
+//
+// Four client threads fire a deterministic mix of traffic -- healthy
+// annotations, malformed netlists, impossible deadlines, pings and
+// metrics probes -- at a server whose fault injector is armed with
+// nonzero alloc/error/delay rates. The pass criteria are the service's
+// robustness contract:
+//
+//   1. zero crashes / hangs (the test finishing is itself the check),
+//   2. every failure is a *structured* Diag from the expected set,
+//   3. every successful annotation is byte-identical to the payload the
+//      local pipeline produces -- faults change which requests fail,
+//      never the bytes of the ones that succeed,
+//   4. requests whose fault draws are provably clean overwhelmingly
+//      succeed (only admission shedding may defer them).
+//
+// Scale via GANA_SOAK_REQUESTS (default 400 -- CI-sized; the release
+// soak script runs the out-of-process 5k version).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/export.hpp"
+#include "core/pipeline.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "spice/parser.hpp"
+#include "util/fault_injection.hpp"
+#include "util/json.hpp"
+
+#include <unistd.h>
+
+namespace gana {
+namespace {
+
+struct NamedNetlist {
+  const char* name;
+  const char* text;
+};
+
+const NamedNetlist kHealthy[] = {
+    {"soak_tiny",
+     "test circuit\n"
+     "m1 out in vdd vdd pmos w=2u l=0.1u\n"
+     "m2 out in 0 0 nmos w=1u l=0.1u\n"
+     ".end\n"},
+    {"soak_5t",
+     "five transistor ota\n"
+     "m1 outm inp tail 0 nmos w=4u l=0.2u\n"
+     "m2 outp inm tail 0 nmos w=4u l=0.2u\n"
+     "m3 outm outm vdd vdd pmos w=2u l=0.2u\n"
+     "m4 outp outm vdd vdd pmos w=2u l=0.2u\n"
+     "m5 tail bias 0 0 nmos w=8u l=0.5u\n"
+     "m6 bias bias 0 0 nmos w=1u l=0.5u\n"
+     "r1 vdd bias 100k\n"
+     ".end\n"},
+    {"soak_miller",
+     "two stage miller ota\n"
+     "m1 x1 inp tail 0 nmos w=4u l=0.2u\n"
+     "m2 x2 inm tail 0 nmos w=4u l=0.2u\n"
+     "m3 x1 x1 vdd vdd pmos w=2u l=0.2u\n"
+     "m4 x2 x1 vdd vdd pmos w=2u l=0.2u\n"
+     "m5 tail bias 0 0 nmos w=8u l=0.5u\n"
+     "m6 out x2 vdd vdd pmos w=12u l=0.2u\n"
+     "m7 out bias 0 0 nmos w=6u l=0.5u\n"
+     "m8 bias bias 0 0 nmos w=1u l=0.5u\n"
+     "r1 vdd bias 120k\n"
+     "c1 x2 out 1p\n"
+     "cl out 0 2p\n"
+     ".end\n"},
+};
+constexpr std::size_t kHealthyCount = sizeof(kHealthy) / sizeof(kHealthy[0]);
+
+// Title line first: a device card on line 1 would parse as the title.
+const char* kMalformed = "broken\nm1 only three nodes\n.end\n";
+
+/// What one request sent and what came back, for post-hoc verification
+/// on the main thread (gtest assertions are not thread-safe on workers).
+struct Trace {
+  std::uint64_t id = 0;
+  enum class Sent { Healthy, Malformed, TinyTimeout, Ping, Metrics } sent;
+  std::size_t variant = 0;  ///< index into kHealthy for Sent::Healthy
+  bool ok = false;
+  std::string payload;
+  std::optional<Diag> diag;
+  bool transport_failure = false;
+  std::string transport_message;
+};
+
+TEST(Soak, FaultInjectedTrafficNeverCrashesAndStaysBitIdentical) {
+  std::size_t total_requests = 400;
+  if (const char* env = std::getenv("GANA_SOAK_REQUESTS")) {
+    const long parsed_env = std::strtol(env, nullptr, 10);
+    if (parsed_env > 0) total_requests = static_cast<std::size_t>(parsed_env);
+  }
+  constexpr std::size_t kClients = 4;
+
+  // Reference payloads from the local pipeline, before any fault plan is
+  // armed. The server must reproduce these bytes exactly.
+  const std::vector<std::string> classes{"ota", "bias"};
+  core::Annotator annotator(nullptr, classes);
+  std::vector<std::string> expected(kHealthyCount);
+  for (std::size_t v = 0; v < kHealthyCount; ++v) {
+    spice::ParseOptions popt;
+    popt.source = kHealthy[v].name;
+    auto parsed = spice::parse_netlist_result(kHealthy[v].text, popt);
+    ASSERT_TRUE(parsed.ok()) << kHealthy[v].name;
+    const core::Annotator local(nullptr, classes);
+    auto outcome = local.try_annotate(parsed.value(), kHealthy[v].name);
+    ASSERT_TRUE(outcome.ok()) << outcome.diag().message;
+    expected[v] = core::annotation_to_json(outcome.value(), classes);
+  }
+
+  serve::ServerConfig config;
+  config.socket_path =
+      "/tmp/gana_soak_" + std::to_string(::getpid()) + ".sock";
+  config.jobs = 2;
+  config.max_inflight = 4;
+  config.cache_capacity = 64;  // small on purpose: eviction under load
+  serve::Server server(annotator, config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Arm after the server is up and the baselines exist. Site key is the
+  // request id, so every decision below is reproducible.
+  FaultPlan plan;
+  plan.alloc_failure = 0.05;
+  plan.stage_error = 0.05;
+  plan.stage_delay = 0.10;
+  plan.delay_seconds = 0.002;
+  auto& injector = FaultInjector::instance();
+  injector.arm(20260808, plan);
+
+  std::mutex traces_mutex;
+  std::vector<Trace> traces;
+  traces.reserve(total_requests);
+
+  auto worker = [&](std::size_t thread_index) {
+    serve::ClientOptions opt;
+    opt.socket_path = config.socket_path;
+    opt.timeout_seconds = 30.0;
+    opt.max_retries = 8;
+    opt.jitter_seed = thread_index + 1;
+    serve::Client client(opt);
+    std::vector<Trace> local_traces;
+    for (std::size_t i = thread_index; i < total_requests; i += kClients) {
+      Trace t;
+      t.id = 1 + i;  // globally unique; doubles as the fault site key
+      serve::Request r;
+      r.id = t.id;
+      if (i % 29 == 11) {
+        t.sent = Trace::Sent::Ping;
+        r.kind = serve::RequestKind::Ping;
+      } else if (i % 31 == 13) {
+        t.sent = Trace::Sent::Metrics;
+        r.kind = serve::RequestKind::Metrics;
+      } else if (i % 17 == 3) {
+        t.sent = Trace::Sent::Malformed;
+        r.kind = serve::RequestKind::Annotate;
+        r.name = "malformed";
+        r.netlist = kMalformed;
+      } else if (i % 23 == 7) {
+        t.sent = Trace::Sent::TinyTimeout;
+        t.variant = i % kHealthyCount;
+        r.kind = serve::RequestKind::Annotate;
+        r.name = kHealthy[t.variant].name;
+        r.netlist = kHealthy[t.variant].text;
+        r.timeout_seconds = 1e-9;
+      } else {
+        t.sent = Trace::Sent::Healthy;
+        t.variant = i % kHealthyCount;
+        r.kind = serve::RequestKind::Annotate;
+        r.name = kHealthy[t.variant].name;
+        r.netlist = kHealthy[t.variant].text;
+      }
+      const Result<serve::Response> result = client.call(r);
+      if (!result.ok()) {
+        t.transport_failure = true;
+        t.transport_message = result.diag().message;
+      } else {
+        t.ok = result.value().ok;
+        t.payload = result.value().payload;
+        t.diag = result.value().diag;
+      }
+      local_traces.push_back(std::move(t));
+    }
+    const std::lock_guard<std::mutex> lock(traces_mutex);
+    for (auto& t : local_traces) traces.push_back(std::move(t));
+  };
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kClients; ++c) threads.emplace_back(worker, c);
+  for (auto& t : threads) t.join();
+
+  // Verify every trace on the main thread.
+  std::map<std::string, std::size_t> tally;
+  std::size_t clean_healthy = 0;
+  std::size_t clean_healthy_ok = 0;
+  for (const Trace& t : traces) {
+    ASSERT_FALSE(t.transport_failure)
+        << "id " << t.id << ": " << t.transport_message;
+    switch (t.sent) {
+      case Trace::Sent::Ping:
+        EXPECT_TRUE(t.ok) << "ping id " << t.id;
+        ++tally["ping"];
+        break;
+      case Trace::Sent::Metrics:
+        EXPECT_TRUE(t.ok) << "metrics id " << t.id;
+        if (t.ok) {
+          EXPECT_TRUE(json::parse(t.payload).has_value()) << t.payload;
+        }
+        ++tally["metrics"];
+        break;
+      case Trace::Sent::Malformed:
+        // Parse failures are real diags even when an injected fault beat
+        // the parser to it; either way the request must fail cleanly.
+        ASSERT_FALSE(t.ok) << "malformed id " << t.id;
+        ASSERT_TRUE(t.diag.has_value());
+        ++tally["malformed:" + std::string(to_string(t.diag->code))];
+        break;
+      case Trace::Sent::TinyTimeout: {
+        ASSERT_FALSE(t.ok) << "tiny-timeout id " << t.id;
+        ASSERT_TRUE(t.diag.has_value());
+        // The deadline is checked before fault draws at every
+        // checkpoint; only shedding can preempt it.
+        EXPECT_TRUE(t.diag->code == DiagCode::DeadlineExceeded ||
+                    t.diag->code == DiagCode::Overloaded)
+            << "id " << t.id << ": " << to_string(t.diag->code);
+        ++tally["timeout:" + std::string(to_string(t.diag->code))];
+        break;
+      }
+      case Trace::Sent::Healthy: {
+        bool clean = true;
+        for (const Stage s : all_stages()) {
+          if (injector.would_fail(s, t.id)) {
+            clean = false;
+            break;
+          }
+        }
+        if (clean) ++clean_healthy;
+        if (t.ok) {
+          // The heart of the soak: successful bytes are the CLI's bytes.
+          ASSERT_EQ(t.payload, expected[t.variant])
+              << "payload drift on id " << t.id;
+          if (clean) ++clean_healthy_ok;
+          ++tally["healthy:ok"];
+        } else {
+          ASSERT_TRUE(t.diag.has_value());
+          const DiagCode c = t.diag->code;
+          EXPECT_TRUE(c == DiagCode::Internal ||
+                      c == DiagCode::BudgetExhausted ||
+                      c == DiagCode::Overloaded ||
+                      c == DiagCode::DeadlineExceeded)
+              << "id " << t.id << ": unexpected " << to_string(c) << ": "
+              << t.diag->message;
+          // A provably clean draw may only fail via admission shedding.
+          if (clean) {
+            EXPECT_EQ(c, DiagCode::Overloaded)
+                << "clean id " << t.id << " failed with " << to_string(c);
+          }
+          ++tally["healthy:" + std::string(to_string(c))];
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(traces.size(), total_requests);
+  ASSERT_GT(clean_healthy, 0u);
+  // Retries with backoff should get nearly every clean request through;
+  // demand a strong majority so a shedding pathology cannot hide.
+  EXPECT_GE(clean_healthy_ok * 2, clean_healthy)
+      << "more than half of provably-clean requests were shed";
+
+  injector.disarm();
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_GE(stats.requests, total_requests);  // retries add to the total
+  EXPECT_GT(stats.annotated_ok, 0u);
+  std::string summary;
+  for (const auto& [k, v] : tally) {
+    summary += k + "=" + std::to_string(v) + " ";
+  }
+  SUCCEED() << summary;
+  std::fprintf(stderr, "[soak] %zu requests: %s\n", traces.size(),
+               summary.c_str());
+  std::fprintf(
+      stderr,
+      "[soak] server: ok=%llu failed=%llu overloaded=%llu deadline=%llu\n",
+      static_cast<unsigned long long>(stats.annotated_ok),
+      static_cast<unsigned long long>(stats.annotate_failed),
+      static_cast<unsigned long long>(stats.overloaded),
+      static_cast<unsigned long long>(stats.deadline_expired));
+}
+
+}  // namespace
+}  // namespace gana

@@ -6,6 +6,7 @@
 
 #include "util/args.hpp"
 #include "util/rng.hpp"
+#include "util/sharded_cache.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -161,6 +162,63 @@ TEST(Args, ParsesFlagsAndPositionals) {
   EXPECT_EQ(args.positional()[0], "input.sp");
   EXPECT_EQ(args.get_int("missing", 7), 7);
   EXPECT_EQ(args.get_double("missing", 1.5), 1.5);
+}
+
+// Bounded ShardedCache: FIFO eviction per shard, counted, with lookups
+// for evicted keys turning into ordinary misses. Keys that are multiples
+// of 16 (below 2^32) all map to shard 0, so one shard's FIFO can be
+// exercised deterministically.
+TEST(ShardedCache, UnboundedByDefaultNeverEvicts) {
+  ShardedCache<int> cache;
+  EXPECT_EQ(cache.per_shard_capacity(), 0u);
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    cache.insert(k, std::make_shared<const int>(static_cast<int>(k)));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 4096u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ShardedCache, EvictsOldestInsertedFirstAtCapacity) {
+  ShardedCache<int> cache(3);  // per shard
+  const auto key = [](std::uint64_t i) { return i * 16; };  // all shard 0
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    cache.insert(key(i), std::make_shared<const int>(static_cast<int>(i)));
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  // Oldest two inserted (0, 1) are gone; newest three remain.
+  EXPECT_EQ(cache.find(key(0)), nullptr);
+  EXPECT_EQ(cache.find(key(1)), nullptr);
+  for (std::uint64_t i = 2; i < 5; ++i) {
+    const auto hit = cache.find(key(i));
+    ASSERT_NE(hit, nullptr) << i;
+    EXPECT_EQ(*hit, static_cast<int>(i));
+  }
+  // A re-insert of an evicted key is an ordinary insert: it evicts the
+  // now-oldest survivor (2) and wins its slot back.
+  cache.insert(key(0), std::make_shared<const int>(0));
+  EXPECT_EQ(cache.find(key(2)), nullptr);
+  ASSERT_NE(cache.find(key(0)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(ShardedCache, DuplicateInsertKeepsFirstValueAndEvictsNothing) {
+  ShardedCache<int> cache(2);
+  cache.insert(16, std::make_shared<const int>(1));
+  const auto winner = cache.insert(16, std::make_shared<const int>(2));
+  EXPECT_EQ(*winner, 1);  // first-insert-wins, bounded or not
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ShardedCache, PerShardCapacityHelperRoundsUp) {
+  EXPECT_EQ(per_shard_capacity_for(0), 0u);    // unbounded stays unbounded
+  EXPECT_EQ(per_shard_capacity_for(1), 1u);    // never rounds to zero
+  EXPECT_EQ(per_shard_capacity_for(16), 1u);
+  EXPECT_EQ(per_shard_capacity_for(17), 2u);
+  EXPECT_EQ(per_shard_capacity_for(1024), 64u);
 }
 
 }  // namespace
