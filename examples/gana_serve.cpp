@@ -6,8 +6,8 @@
 //   ./gana_serve --socket /tmp/gana.sock
 //                [--domain ota|rf] [--load-model m.ckpt]
 //                [--jobs N] [--max-inflight M]
-//                [--timeout-seconds S] [--cache-capacity C]
-//                [--seed N]
+//                [--timeout-seconds S] [--write-timeout-seconds S]
+//                [--cache-capacity C] [--seed N]
 //                [--fault-seed N] [--fault-alloc P] [--fault-error P]
 //                [--fault-delay P] [--fault-delay-seconds S]
 //
@@ -16,6 +16,11 @@
 //
 // --timeout-seconds S: default per-request wall-clock deadline (a
 // request's own timeout_seconds takes precedence; 0 = no deadline).
+//
+// --write-timeout-seconds S: wall-clock budget for writing one response
+// back to a client (default 30). A peer that stops reading has its
+// connection dropped once the budget expires, so a slow or hostile
+// reader can never wedge a worker or hang shutdown. 0 = unbounded.
 //
 // --cache-capacity C: bound each structural cache (sample prep, GCN
 // inference, VF2 annotation) to ~C entries with FIFO eviction; 0 keeps
@@ -59,8 +64,9 @@ int main(int argc, char** argv) {
         "usage: gana_serve --socket /path/to.sock\n"
         "                  [--domain ota|rf] [--load-model m.ckpt]\n"
         "                  [--jobs N] [--max-inflight M]\n"
-        "                  [--timeout-seconds S] [--cache-capacity C]\n"
-        "                  [--seed N]\n"
+        "                  [--timeout-seconds S]\n"
+        "                  [--write-timeout-seconds S]\n"
+        "                  [--cache-capacity C] [--seed N]\n"
         "                  [--fault-seed N] [--fault-alloc P]\n"
         "                  [--fault-error P] [--fault-delay P]\n"
         "                  [--fault-delay-seconds S]\n");
@@ -88,6 +94,8 @@ int main(int argc, char** argv) {
   config.max_inflight =
       static_cast<std::size_t>(std::max(args.get_int("max-inflight", 0), 0));
   config.default_timeout_seconds = args.get_double("timeout-seconds", 0.0);
+  config.write_timeout_seconds =
+      args.get_double("write-timeout-seconds", config.write_timeout_seconds);
   config.cache_capacity =
       static_cast<std::size_t>(std::max(args.get_int("cache-capacity", 0), 0));
   config.seed = static_cast<std::uint64_t>(

@@ -121,6 +121,13 @@ Result<Response> Client::round_trip(const Request& request,
         return decoded.diag();
       }
       if (decoded.value().id == request.id) return decoded;
+      if (decoded.value().id == 0 && !decoded.value().ok) {
+        // The server answers requests it cannot decode with id=0; on a
+        // dedicated connection that can only mean it rejected what we
+        // just sent, so surface the server's diag now instead of
+        // burning the timeout waiting for a response that never comes.
+        return decoded;
+      }
       // A response for another id on a dedicated connection means the
       // stream is out of sync (e.g. a stale response after a timeout
       // abandoned its request); skip it and keep reading.

@@ -1,8 +1,11 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <new>
+#include <system_error>
 #include <utility>
 
 #include <poll.h>
@@ -21,27 +24,6 @@
 
 namespace gana::serve {
 
-namespace {
-
-/// Writes all of `data` to `fd`, restarting on EINTR. MSG_NOSIGNAL so a
-/// client that hung up mid-response costs an EPIPE, not a process-wide
-/// SIGPIPE.
-bool send_all(int fd, std::string_view data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
-
 /// Shared between the reader thread and pool tasks still answering this
 /// connection's admitted requests: the fd stays open until the last
 /// holder drops its reference, so a drained response is always written
@@ -58,9 +40,71 @@ struct Server::Connection {
   /// fd -- in-flight responses still go out.
   void shut_read() { ::shutdown(fd, SHUT_RD); }
 
+  /// Tears down both directions: the reader's read() and any in-flight
+  /// send_all bail out promptly, while pool-task references still keep
+  /// the fd number valid until the last one drops.
+  void abort() {
+    aborted.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
   int fd;
   std::mutex write_mutex;
+  std::atomic<bool> aborted{false};
+  std::atomic<bool> counted_dropped{false};  ///< n_dropped_ charged once
 };
+
+void Server::send_all(Connection& conn, std::string_view data) {
+  // MSG_NOSIGNAL so a client that hung up mid-response costs an EPIPE,
+  // not a process-wide SIGPIPE. MSG_DONTWAIT + poll(POLLOUT) keeps the
+  // write bounded: a peer that submits requests but never reads its
+  // responses fills the socket buffer, and an unbounded send() here
+  // would wedge the calling worker forever (holding its in-flight slot
+  // and hanging shutdown's drain). Instead the write gets
+  // write_timeout_seconds of wall clock; past that the connection is
+  // dropped. Polling in <=100ms slices also honors abort() quickly.
+  const bool bounded = config_.write_timeout_seconds > 0.0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              bounded ? config_.write_timeout_seconds : 0.0));
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (conn.aborted.load(std::memory_order_acquire)) return;
+    const ssize_t n = ::send(conn.fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n >= 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return;  // peer gone
+    int wait_ms = 100;
+    if (bounded) {
+      const double remaining =
+          std::chrono::duration<double>(deadline -
+                                        std::chrono::steady_clock::now())
+              .count();
+      if (remaining <= 0.0) {
+        mark_dropped(conn);  // hostile or hung peer: shed it, stay alive
+        return;
+      }
+      wait_ms = std::min(
+          wait_ms, static_cast<int>(remaining * 1e3) + 1);
+    }
+    pollfd pfd{conn.fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc < 0 && errno != EINTR) return;
+  }
+}
+
+void Server::mark_dropped(Connection& conn) {
+  if (!conn.counted_dropped.exchange(true, std::memory_order_acq_rel)) {
+    n_dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn.abort();
+}
 
 Server::Server(core::Annotator& annotator, ServerConfig config)
     : annotator_(&annotator), config_(std::move(config)) {
@@ -150,15 +194,47 @@ void Server::accept_loop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Transient resource exhaustion sheds this one connection, not
+        // the server: count it, back off briefly, keep accepting.
+        n_accept_failures_.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // unrecoverable (EBADF/EINVAL): enter drain
     }
     n_connections_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>(client);
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    connections_.push_back(conn);
-    conn_threads_.emplace_back(
-        [this, conn = std::move(conn)]() mutable { connection_loop(conn); });
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      connections_.push_back(conn);
+    }
+    {
+      std::lock_guard<std::mutex> lock(reader_mutex_);
+      ++active_readers_;
+    }
+    try {
+      std::thread([this, conn]() mutable {
+        connection_loop(std::move(conn));
+      }).detach();
+    } catch (const std::system_error&) {
+      // Out of threads: undo the bookkeeping and shed the connection.
+      {
+        std::lock_guard<std::mutex> lock(reader_mutex_);
+        --active_readers_;
+        reader_cv_.notify_all();
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        connections_.pop_back();
+      }
+      n_accept_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   // Drain phase: refuse new connections, wake idle readers. Admitted
   // requests keep running; connection_loop and stop() finish the rest.
@@ -183,13 +259,28 @@ void Server::connection_loop(std::shared_ptr<Connection> conn) {
     if (decoder.error()) {
       // Framing is unrecoverable mid-stream; drop the connection rather
       // than guess at byte boundaries.
-      n_dropped_.fetch_add(1, std::memory_order_relaxed);
+      mark_dropped(*conn);
       break;
     }
   }
   conn->shut_read();
-  // The shared_ptr in connections_ (and any pool task's copy) keeps the
-  // fd alive for still-running admitted requests; stop() reaps both.
+  // Reap: remove this connection's entry so a long-lived daemon under
+  // connection churn doesn't accumulate one open fd per dead client.
+  // Pool tasks still answering admitted requests hold their own
+  // references; the fd closes when the last one drops.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    const auto it = std::find(connections_.begin(), connections_.end(), conn);
+    if (it != connections_.end()) connections_.erase(it);
+  }
+  conn.reset();
+  // Final action on `this`: stop() may return -- and the Server be
+  // destroyed -- the moment the count hits zero, so nothing may follow
+  // the notify. Notifying under the lock keeps the waiter from racing
+  // past before the decrement is fully published.
+  std::lock_guard<std::mutex> lock(reader_mutex_);
+  --active_readers_;
+  reader_cv_.notify_all();
 }
 
 void Server::handle_payload(const std::shared_ptr<Connection>& conn,
@@ -350,11 +441,11 @@ void Server::send_response(const std::shared_ptr<Connection>& conn,
     const std::optional<std::string> fallback =
         encode_frame(encode_response(overflow), config_.max_frame_bytes);
     std::lock_guard<std::mutex> lock(conn->write_mutex);
-    if (fallback.has_value()) send_all(conn->fd, *fallback);
+    if (fallback.has_value()) send_all(*conn, *fallback);
     return;
   }
   std::lock_guard<std::mutex> lock(conn->write_mutex);
-  send_all(conn->fd, *frame);  // EPIPE = client gone; nothing to do
+  send_all(*conn, *frame);  // EPIPE = client gone; nothing to do
 }
 
 ServerStats Server::stats() const {
@@ -367,6 +458,11 @@ ServerStats Server::stats() const {
   s.protocol_errors = n_protocol_errors_.load(std::memory_order_relaxed);
   s.connections = n_connections_.load(std::memory_order_relaxed);
   s.dropped_connections = n_dropped_.load(std::memory_order_relaxed);
+  s.accept_failures = n_accept_failures_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    s.open_connections = connections_.size();
+  }
   return s;
 }
 
@@ -427,13 +523,16 @@ void Server::stop() {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     for (const auto& conn : connections_) conn->shut_read();
   }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  // Readers are detached; wait for the count to drain instead of
+  // joining. Bounded writes guarantee progress: a reader wedged writing
+  // to a hung peer gives up within write_timeout_seconds.
+  {
+    std::unique_lock<std::mutex> lock(reader_mutex_);
+    reader_cv_.wait(lock, [this]() { return active_readers_ == 0; });
   }
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
-    conn_threads_.clear();
-    connections_.clear();  // closes the fds
+    connections_.clear();  // closes any fds the readers left behind
   }
   pool_.reset();  // queued-but-unadmitted tasks cannot exist: admission
                   // counted every submit, and inflight_ drained to zero

@@ -21,13 +21,16 @@
 //     seed, same exporter. Deadlines and faults change *which* requests
 //     fail, never the bytes of the ones that succeed.
 //
-// Threading model: one accept thread; one reader thread per connection
-// (cheap: blocked in read() almost always); annotate work executes on
-// the shared ThreadPool. Responses from the pool and from the reader
-// interleave on one socket, serialized by a per-connection write mutex.
-// Control requests (ping/metrics/shutdown) are answered inline by the
-// reader even when the pool is saturated -- liveness probes must not
-// queue behind work.
+// Threading model: one accept thread; one detached reader thread per
+// connection (cheap: blocked in read() almost always; the server tracks
+// a count, not handles, so dead connections leave no residue); annotate
+// work executes on the shared ThreadPool. Responses from the pool and
+// from the reader interleave on one socket, serialized by a
+// per-connection write mutex, and every write runs under
+// write_timeout_seconds -- a peer that never reads its responses is
+// dropped, never waited on. Control requests (ping/metrics/shutdown)
+// are answered inline by the reader even when the pool is saturated --
+// liveness probes must not queue behind work.
 //
 // Shutdown: `request_shutdown()` is async-signal-safe (one write() to a
 // self-pipe), so the gana-serve binary calls it straight from its
@@ -43,6 +46,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -63,6 +67,11 @@ struct ServerConfig {
   double default_timeout_seconds = 0.0;  ///< per-request deadline when the
                                          ///< request names none; 0 = none
   std::size_t cache_capacity = 0;  ///< per structural cache (0 = unbounded)
+  /// Wall-clock budget for writing one response to a connection. A peer
+  /// that stops reading (hostile or hung) has its connection dropped
+  /// once the budget expires, so a worker can never wedge in a write
+  /// and shutdown always completes. 0 = unbounded (trusted peers only).
+  double write_timeout_seconds = 30.0;
   std::size_t max_frame_bytes = kMaxFrameBytes;
   std::uint64_t seed = core::kDefaultSampleSeed;  ///< root sample seed
 };
@@ -78,6 +87,10 @@ struct ServerStats {
   std::uint64_t protocol_errors = 0;   ///< undecodable payloads answered
   std::uint64_t connections = 0;       ///< accepted connections
   std::uint64_t dropped_connections = 0;  ///< closed due to framing errors
+                                          ///< or write timeouts
+  std::uint64_t accept_failures = 0;  ///< accept() resource errors shed
+                                      ///< (EMFILE and friends)
+  std::uint64_t open_connections = 0;  ///< currently tracked connections
 };
 
 class Server {
@@ -127,6 +140,13 @@ class Server {
   void run_annotate(const std::shared_ptr<Connection>& conn, Request request);
   void send_response(const std::shared_ptr<Connection>& conn,
                      const Response& response);
+  /// Bounded write of `data` to the connection (write_timeout_seconds);
+  /// on timeout the connection is counted dropped and aborted. Caller
+  /// holds the connection's write mutex.
+  void send_all(Connection& conn, std::string_view data);
+  /// Counts the connection dropped (once) and aborts it so its reader
+  /// exits and pending writes bail out.
+  void mark_dropped(Connection& conn);
   void note_failure(const Diag& diag);
 
   core::Annotator* annotator_;
@@ -150,7 +170,14 @@ class Server {
 
   mutable std::mutex conn_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> conn_threads_;
+
+  // Reader threads are detached and tracked by count only: a finished
+  // reader removes its connection entry and decrements, so a long-lived
+  // daemon under connection churn holds no per-dead-client state.
+  // stop() waits for the count to reach zero instead of joining.
+  mutable std::mutex reader_mutex_;
+  std::condition_variable reader_cv_;
+  std::size_t active_readers_ = 0;
 
   // Lifetime counters (relaxed; read quiescently by stats()).
   std::atomic<std::uint64_t> n_requests_{0};
@@ -161,6 +188,7 @@ class Server {
   std::atomic<std::uint64_t> n_protocol_errors_{0};
   std::atomic<std::uint64_t> n_connections_{0};
   std::atomic<std::uint64_t> n_dropped_{0};
+  std::atomic<std::uint64_t> n_accept_failures_{0};
 
   PerfSnapshot perf_at_start_;
   std::chrono::steady_clock::time_point started_at_;

@@ -366,9 +366,10 @@ void dump_into(const Value& v, std::string& out);
 void dump_number(double d, std::string& out) {
   // Integers up to 2^53 print without an exponent or trailing ".0" so
   // ids and counters round-trip textually; everything else uses %.17g
-  // (shortest always-round-trip width for IEEE doubles).
-  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
-      std::fabs(d) < 9.007199254740992e15) {
+  // (shortest always-round-trip width for IEEE doubles). The magnitude
+  // guard must run first: casting a double >= 2^63 to int64_t is UB.
+  if (std::fabs(d) < 9.007199254740992e15 &&
+      d == static_cast<double>(static_cast<std::int64_t>(d))) {
     out += std::to_string(static_cast<std::int64_t>(d));
     return;
   }

@@ -151,6 +151,22 @@ TEST(Json, DepthLimitStopsAdversarialNesting) {
   EXPECT_TRUE(json::parse("[[[[[[[[[[1]]]]]]]]]]").has_value());
 }
 
+TEST(Json, HugeMagnitudeNumbersDumpWithoutIntegerCast) {
+  // REVIEW regression: dump_number used to cast to int64_t before the
+  // magnitude guard, which is UB for |d| >= 2^63 (a client-supplied
+  // huge timeout_seconds echoed back, or any large parsed number
+  // re-dumped). Such values must print via %.17g and round-trip.
+  for (const double d : {9.3e18, -9.3e18, 1e300, -1e300,
+                         18446744073709551616.0}) {
+    const std::string text = json::dump(json::Value(d));
+    const auto back = json::parse(text);
+    ASSERT_TRUE(back.has_value()) << text;
+    EXPECT_EQ(back->as_double(), d) << text;
+  }
+  // Values inside the integer window still print without an exponent.
+  EXPECT_EQ(json::dump(json::Value(9007199254740991.0)), "9007199254740991");
+}
+
 TEST(Json, RawFragmentEmbedsVerbatim) {
   json::Value v{std::vector<json::Member>{}};
   v.set("payload", json::Value::raw(R"({"k":18446744073709551615})"));

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -413,6 +414,144 @@ TEST_F(ServeTest, UndecodablePayloadIsAnsweredNotDropped) {
 
   server->stop();
   EXPECT_GE(server->stats().protocol_errors, 1u);
+}
+
+TEST_F(ServeTest, SlowReaderIsDroppedNotWedged) {
+  // REVIEW regression: a client that submits requests but never reads
+  // the responses fills the socket buffer; an unbounded send() would
+  // wedge the reader thread forever and hang stop(). With the write
+  // timeout, the server drops the connection and shutdown completes.
+  serve::ServerConfig config;
+  config.jobs = 1;
+  config.write_timeout_seconds = 0.2;
+  auto server = start_server("slowreader", config);
+
+  const std::string path = server->config().socket_path;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  // Flood pings without ever reading a response. Non-blocking sends:
+  // persistent EAGAIN means the reader has stopped draining -- it is
+  // blocked writing responses we refuse to read.
+  const std::string ping = frame_bytes(R"({"id":1,"kind":"ping"})");
+  int consecutive_eagain = 0;
+  for (int i = 0; i < 200000 && consecutive_eagain < 20; ++i) {
+    const ssize_t n = ::send(fd, ping.data(), ping.size(),
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        ++consecutive_eagain;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // EPIPE/ECONNRESET: the server already dropped us
+    }
+    consecutive_eagain = 0;
+  }
+
+  // The wedged write must give up within the timeout and count the
+  // connection dropped.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server->stats().dropped_connections == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server->stats().dropped_connections, 1u);
+  ::close(fd);
+  server->stop();  // must return promptly: no worker is wedged
+  EXPECT_FALSE(server->running());
+}
+
+TEST_F(ServeTest, DisconnectedConnectionsAreReaped) {
+  // REVIEW regression: dead connections must not accumulate fds or
+  // thread handles until stop() -- a long-lived daemon under churn
+  // would hit EMFILE. Each disconnect reaps its entry.
+  serve::ServerConfig config;
+  config.jobs = 1;
+  auto server = start_server("reap", config);
+  for (int i = 0; i < 8; ++i) {
+    auto client = make_client(*server);
+    EXPECT_TRUE(client.ping());
+  }  // Client destructor disconnects
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server->stats().open_connections != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.connections, 8u);
+  EXPECT_EQ(stats.open_connections, 0u)
+      << "dead connections must be reaped before stop()";
+  server->stop();
+}
+
+TEST(ClientRoundTrip, IdZeroErrorResponseIsTerminal) {
+  // REVIEW regression: the server answers undecodable requests with
+  // id=0; the client must surface that diag immediately instead of
+  // skipping it and burning its full timeout into DeadlineExceeded.
+  const std::string path = unique_socket_path("idzero");
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+
+  // Fake server: read the request, reject it the way the real server
+  // rejects a payload it cannot decode, keep the connection open.
+  std::thread fake([&] {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    char buf[4096];
+    serve::FrameDecoder dec;
+    while (!dec.next().has_value() && !dec.error()) {
+      const ssize_t n = ::read(conn, buf, sizeof(buf));
+      if (n <= 0) break;
+      dec.feed(buf, static_cast<std::size_t>(n));
+    }
+    serve::Response r;
+    r.id = 0;
+    r.ok = false;
+    r.diag = make_diag(DiagCode::SyntaxError, Stage::Serve,
+                       "request rejected at decode");
+    const auto frame = serve::encode_frame(serve::encode_response(r));
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(::send(conn, frame->data(), frame->size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame->size()));
+    // Hold the connection open until the client is done: closing now
+    // would let a broken client fail on EOF rather than on the diag.
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    ::close(conn);
+  });
+
+  serve::ClientOptions opt;
+  opt.socket_path = path;
+  opt.timeout_seconds = 30.0;  // a skipped response would burn all this
+  opt.max_retries = 0;
+  serve::Client client(opt);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = client.annotate("x", "y\n.end\n");
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.diag().code, DiagCode::SyntaxError)
+      << result.diag().message;
+  EXPECT_LT(elapsed, 5.0) << "client must not wait out its timeout";
+  fake.join();
+  ::close(listen_fd);
+  ::unlink(path.c_str());
 }
 
 }  // namespace
