@@ -1,0 +1,191 @@
+// Corpus-scale sharding bench: process fan-out scaling curve.
+//
+// Generates the seeded 100k-circuit corpus (OTA/RF/SC mix; reused
+// across runs via the manifest provenance header), annotates it through
+// shard::run_sharded at 1/2/4/8 worker processes, and records the
+// scaling curve in BENCH_sharding.json.
+//
+// The "identical" guard is the tentpole contract: every fan-out's
+// merged JSONL output must be byte-identical to the in-process
+// --shards 1 baseline. A false verdict means process boundaries leaked
+// into results (seed derivation, cache state, or merge order) and the
+// record must not be promoted -- run_benches.sh refuses it.
+//
+// The speedup target scales with the machine: 1.5x when 2+ cores are
+// available, otherwise (single-core CI) the bar is only that fan-out
+// overhead stays bounded (>= 0.5x). GANA_BENCH_QUICK=1 shrinks the
+// corpus for smoke runs.
+//
+// Worker binary resolution: GANA_SHARD_BIN (compile definition pointing
+// at the gana_shard target file).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "datagen/corpus.hpp"
+#include "shard/driver.hpp"
+#include "util/table.hpp"
+
+using namespace gana;
+
+namespace {
+
+std::string temp_root() {
+  const char* env = std::getenv("TMPDIR");
+  return (env != nullptr && env[0] != '\0') ? env : "/tmp";
+}
+
+/// Streaming byte comparison (the merged outputs of a 100k corpus are
+/// a few hundred MB; never slurp them).
+bool files_identical(const std::string& a, const std::string& b) {
+  std::ifstream fa(a, std::ios::binary);
+  std::ifstream fb(b, std::ios::binary);
+  if (!fa || !fb) return false;
+  std::vector<char> ba(1 << 20), bb(1 << 20);
+  for (;;) {
+    fa.read(ba.data(), static_cast<std::streamsize>(ba.size()));
+    fb.read(bb.data(), static_cast<std::streamsize>(bb.size()));
+    const std::streamsize na = fa.gcount();
+    const std::streamsize nb = fb.gcount();
+    if (na != nb) return false;
+    if (na == 0) return fa.eof() && fb.eof();
+    if (std::memcmp(ba.data(), bb.data(), static_cast<std::size_t>(na)) != 0) {
+      return false;
+    }
+    if (fa.eof() || fb.eof()) return fa.eof() && fb.eof();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sharding.json";
+  bench::print_header(
+      "Corpus-scale sharded batch driver: process fan-out",
+      "100k-netlist corpus, 1/2/4/8 worker processes, deterministic merge");
+
+  const std::size_t count = bench::scaled(100000, 200);
+  const std::uint64_t corpus_seed = 20260808;
+
+  datagen::CorpusOptions copt;
+  copt.count = count;
+  copt.seed = corpus_seed;
+  copt.dir = temp_root() + "/gana_shard_corpus_" +
+             std::to_string(corpus_seed) + "_" + std::to_string(count);
+
+  Timer gen_timer;
+  auto corpus = datagen::write_corpus(copt);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "sharding bench: %s\n",
+                 corpus.diag().render().c_str());
+    return 1;
+  }
+  const double gen_seconds = gen_timer.seconds();
+  std::printf("corpus: %zu circuits under %s (%zu written, %zu reused, "
+              "%.1f s)\n\n",
+              count, copt.dir.c_str(), corpus.value().written,
+              corpus.value().reused, gen_seconds);
+
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  struct Point {
+    std::size_t shards = 0;
+    double seconds = 0.0;
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    bool identical = true;
+  };
+  std::vector<Point> curve;
+  const std::string baseline_path = copt.dir + "/merged_1.jsonl";
+
+  for (const std::size_t shards : shard_counts) {
+    shard::ShardOptions sopt;
+    sopt.shards = shards;
+    sopt.keep_going = true;
+    sopt.worker_exe = GANA_SHARD_BIN;
+
+    const std::string merged_path =
+        copt.dir + "/merged_" + std::to_string(shards) + ".jsonl";
+    std::ofstream merged(merged_path, std::ios::binary | std::ios::trunc);
+    if (!merged) {
+      std::fprintf(stderr, "sharding bench: cannot open %s\n",
+                   merged_path.c_str());
+      return 1;
+    }
+    auto run = shard::run_sharded(corpus.value().manifest_path, sopt, merged);
+    merged.close();
+    if (!run.ok()) {
+      std::fprintf(stderr, "sharding bench: %s\n",
+                   run.diag().render().c_str());
+      return 1;
+    }
+    Point p;
+    p.shards = shards;
+    p.seconds = run.value().wall_seconds;
+    p.ok = run.value().ok;
+    p.failed = run.value().failed;
+    p.identical =
+        shards == 1 || files_identical(baseline_path, merged_path);
+    curve.push_back(p);
+    std::printf("  shards=%zu: %.2f s (%zu ok, %zu failed)%s\n", shards,
+                p.seconds, p.ok, p.failed,
+                p.identical ? "" : "  MERGED OUTPUT DIVERGED");
+  }
+  std::printf("\n");
+
+  const double base_s = std::max(curve.front().seconds, 1e-12);
+  bool all_identical = true;
+  bool any_failed = false;
+  double best_speedup = 0.0;
+  for (const Point& p : curve) {
+    all_identical = all_identical && p.identical;
+    any_failed = any_failed || p.failed != 0;
+    if (p.shards > 1) {
+      best_speedup = std::max(best_speedup, base_s / std::max(p.seconds, 1e-12));
+    }
+  }
+
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const double target = cores >= 2 ? 1.5 : 0.5;
+  const bool target_met = best_speedup >= target;
+
+  TextTable table({"Shards", "Seconds", "Netlists/s", "Speedup", "Identical"});
+  for (const Point& p : curve) {
+    table.add_row({std::to_string(p.shards), fmt(p.seconds, 2),
+                   fmt(static_cast<double>(count) / std::max(p.seconds, 1e-12),
+                       1),
+                   p.shards == 1 ? "(ref)" : fmt(base_s / p.seconds, 2),
+                   p.identical ? "yes" : "NO"});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nbest fan-out speedup: %.2fx (target %.1fx on %u core%s)\n",
+              best_speedup, target, cores, cores == 1 ? "" : "s");
+
+  std::ostringstream json;
+  json << "{\"bench\":\"sharding\",\"circuits\":" << count
+       << ",\"corpus_seed\":" << corpus_seed
+       << ",\"corpus_gen_seconds\":" << gen_seconds << ",\"curve\":[";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (i != 0) json << ",";
+    json << "{\"shards\":" << curve[i].shards << ",\"seconds\":"
+         << curve[i].seconds << ",\"ok\":" << curve[i].ok
+         << ",\"failed\":" << curve[i].failed << "}";
+  }
+  json << "],\"hardware_concurrency\":" << cores
+       << ",\"best_speedup\":" << best_speedup
+       << ",\"speedup_target\":" << target
+       << ",\"speedup_target_met\":" << (target_met ? "true" : "false")
+       << ",\"identical\":"
+       << (all_identical && !any_failed ? "true" : "false") << "}";
+  std::ofstream f(out_path);
+  f << json.str() << "\n";
+  f.close();
+  std::printf("record written to %s\n", out_path.c_str());
+
+  return all_identical && !any_failed ? 0 : 1;
+}

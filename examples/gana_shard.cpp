@@ -1,0 +1,213 @@
+// gana-shard: corpus-scale sharded batch annotation driver.
+//
+// Three entry modes share one binary:
+//
+//   gana_shard --datagen --dir corpus [--count N] [--seed S]
+//       Generates a seeded netlist corpus plus its manifest
+//       (corpus/manifest.txt). Idempotent: re-running with the same
+//       parameters only fills in missing files.
+//
+//   gana_shard --manifest corpus/manifest.txt [--shards N] [--jobs N]
+//       Annotates every manifest entry across N worker processes and
+//       writes merged JSONL records (one per netlist, manifest order)
+//       to stdout or --out. The merged bytes are identical for every
+//       --shards value; see src/shard/driver.hpp.
+//
+//   gana_shard --worker --manifest M --begin A --end B ...
+//       Internal: one shard's worker process, spawned by the driver.
+//
+// Exit codes follow annotate_netlist (0 ok, 1 usage, 2 io, 3 parse,
+// 4 annotate, 5 timeout) plus 6 when a worker process crashed, exited
+// nonzero, or missed its shard deadline.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "datagen/corpus.hpp"
+#include "shard/driver.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitIo = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitAnnotate = 4;
+constexpr int kExitTimeout = 5;
+constexpr int kExitWorker = 6;
+
+void print_usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gana_shard --datagen --dir DIR [--count N] [--seed S]\n"
+      "             [--per-dir N] [--ota-fraction F] [--rf-fraction F]\n"
+      "  gana_shard --manifest FILE [--out FILE] [--shards N] [--jobs N]\n"
+      "             [--domain ota|rf] [--keep-going]\n"
+      "             [--shard-timeout-seconds S] [--timeout-seconds S]\n"
+      "             [--seed S] [--no-caches] [--cache-capacity N]\n"
+      "             [--load-model FILE] [--perf-json FILE]\n"
+      "             [--worker-exe FILE] [--quiet]\n");
+}
+
+/// Exit code of the lowest-manifest-index failure.
+int failure_exit_code(const gana::Diag& d) {
+  switch (d.code) {
+    case gana::DiagCode::DeadlineExceeded:
+      return kExitTimeout;
+    case gana::DiagCode::WorkerFailed:
+      return kExitWorker;
+    case gana::DiagCode::Skipped:
+      // Fail-fast cancellation: the triggering failure decided the run,
+      // but when the lowest-index record is the cancellation itself,
+      // report the run as worker-level.
+      return kExitWorker;
+    case gana::DiagCode::IoError:
+      return kExitIo;
+    default:
+      break;
+  }
+  if (d.stage == gana::Stage::Io) return kExitIo;
+  if (d.stage == gana::Stage::Parse || d.stage == gana::Stage::Validate) {
+    return kExitParse;
+  }
+  return kExitAnnotate;
+}
+
+int run_datagen(const gana::Args& args) {
+  gana::datagen::CorpusOptions opt;
+  opt.dir = args.get("dir");
+  if (opt.dir.empty()) {
+    std::fprintf(stderr, "gana-shard: --datagen requires --dir\n");
+    print_usage();
+    return kExitUsage;
+  }
+  opt.count =
+      static_cast<std::size_t>(std::max(args.get_int("count", 100000), 0));
+  const std::string seed_str = args.get("seed");
+  if (!seed_str.empty()) {
+    opt.seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+  }
+  opt.files_per_subdir =
+      static_cast<std::size_t>(std::max(args.get_int("per-dir", 1000), 1));
+  opt.ota_fraction = args.get_double("ota-fraction", opt.ota_fraction);
+  opt.rf_fraction = args.get_double("rf-fraction", opt.rf_fraction);
+
+  auto stats = gana::datagen::write_corpus(opt);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "gana-shard: %s\n", stats.diag().render().c_str());
+    return kExitIo;
+  }
+  if (!args.has("quiet")) {
+    std::fprintf(stderr,
+                 "gana-shard: corpus ready: %zu written, %zu reused, "
+                 "manifest %s\n",
+                 stats.value().written, stats.value().reused,
+                 stats.value().manifest_path.c_str());
+  }
+  return kExitOk;
+}
+
+int run_driver(const gana::Args& args) {
+  const std::string manifest = args.get("manifest");
+  if (manifest.empty()) {
+    std::fprintf(stderr, "gana-shard: --manifest is required\n");
+    print_usage();
+    return kExitUsage;
+  }
+
+  gana::shard::ShardOptions opt;
+  opt.shards =
+      static_cast<std::size_t>(std::max(args.get_int("shards", 1), 1));
+  opt.keep_going = args.has("keep-going");
+  opt.shard_timeout_seconds = args.get_double("shard-timeout-seconds", 0.0);
+  opt.worker_exe = args.get("worker-exe");
+  opt.pipeline.jobs =
+      static_cast<std::size_t>(std::max(args.get_int("jobs", 1), 1));
+  const std::string seed_str = args.get("seed");
+  if (!seed_str.empty()) {
+    opt.pipeline.seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+  }
+  opt.pipeline.domain = args.get("domain", "ota");
+  if (opt.pipeline.domain != "ota" && opt.pipeline.domain != "rf") {
+    std::fprintf(stderr, "gana-shard: unknown --domain %s\n",
+                 opt.pipeline.domain.c_str());
+    return kExitUsage;
+  }
+  opt.pipeline.caches = !args.has("no-caches");
+  opt.pipeline.cache_capacity =
+      static_cast<std::size_t>(std::max(args.get_int("cache-capacity", 0), 0));
+  opt.pipeline.timeout_seconds = args.get_double("timeout-seconds", 0.0);
+  opt.pipeline.load_model = args.get("load-model");
+
+  std::ofstream out_file;
+  const std::string out_path = args.get("out");
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!out_file) {
+      std::fprintf(stderr, "gana-shard: cannot open --out %s\n",
+                   out_path.c_str());
+      return kExitIo;
+    }
+  }
+  std::ostream& out = out_path.empty() ? std::cout : out_file;
+
+  auto run = gana::shard::run_sharded(manifest, opt, out);
+  if (!run.ok()) {
+    std::fprintf(stderr, "gana-shard: %s\n", run.diag().render().c_str());
+    return run.diag().code == gana::DiagCode::IoError ? kExitIo
+                                                      : kExitAnnotate;
+  }
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "gana-shard: write to %s failed\n",
+                 out_path.empty() ? "stdout" : out_path.c_str());
+    return kExitIo;
+  }
+  const gana::shard::ShardRunStats& stats = run.value();
+
+  const std::string perf_path = args.get("perf-json");
+  if (!perf_path.empty()) {
+    std::ofstream perf(perf_path, std::ios::binary | std::ios::trunc);
+    perf << "[";
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      if (s != 0) perf << ",";
+      const std::string& p = stats.shards[s].perf_json;
+      perf << (p.empty() ? "null" : p);
+    }
+    perf << "]\n";
+    perf.close();
+    if (!perf) {
+      std::fprintf(stderr, "gana-shard: cannot write --perf-json %s\n",
+                   perf_path.c_str());
+      return kExitIo;
+    }
+  }
+
+  if (!args.has("quiet")) {
+    std::fprintf(stderr,
+                 "gana-shard: %zu netlists, %zu ok, %zu failed, %zu shard%s, "
+                 "%.3f s\n",
+                 stats.total, stats.ok, stats.failed, stats.shards.size(),
+                 stats.shards.size() == 1 ? "" : "s", stats.wall_seconds);
+  }
+  if (stats.first_failure.has_value()) {
+    return failure_exit_code(*stats.first_failure);
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gana::Args args(argc, argv);
+  if (args.has("help")) {
+    print_usage();
+    return kExitOk;
+  }
+  if (args.has("worker")) return gana::shard::worker_main(args);
+  if (args.has("datagen")) return run_datagen(args);
+  return run_driver(args);
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Promotes a freshly written bench record ($tmp) to its checked-in path
+# ($record) -- or refuses.
+#
+#   promote_bench_record.sh <bench_exit_status> <tmp> <record>
+#
+# Refusal rules, in order:
+#   1. The bench exited nonzero: the record is untrustworthy no matter
+#      what it says (a crash after the file was written, a failed
+#      verification the JSON predates). Kept as <record>.rejected.json.
+#      This check runs FIRST -- promoting before looking at the exit
+#      status once let a crashing bench overwrite a good record.
+#   2. The record reports "identical":false: the accelerated path
+#      diverged from the reference; never overwrite a good record.
+#   3. The record reports "speedup_target_met":false while the existing
+#      record met the target: a perf regression never replaces a
+#      passing record.
+#
+# Exit status: 0 promoted, 1 refused (rejected copy kept), 2 usage.
+set -euo pipefail
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: promote_bench_record.sh <bench_exit_status> <tmp> <record>" >&2
+  exit 2
+fi
+
+bench_status=$1
+tmp=$2
+record=$3
+
+if [ ! -f "$tmp" ]; then
+  echo "REFUSING to promote $record: the bench wrote no record" \
+       "(exit status $bench_status)" >&2
+  exit 1
+fi
+
+if [ "$bench_status" -ne 0 ]; then
+  mv "$tmp" "$record.rejected.json"
+  echo "REFUSING to promote $record: the bench exited with status" \
+       "$bench_status (record kept as $record.rejected.json)" >&2
+  exit 1
+fi
+
+if grep -q '"identical":false' "$tmp"; then
+  mv "$tmp" "$record.rejected.json"
+  echo "REFUSING to overwrite $record: the new record reports" \
+       "identical:false (kept as $record.rejected.json)" >&2
+  exit 1
+fi
+
+if grep -q '"speedup_target_met":false' "$tmp" \
+    && [ -f "$record" ] \
+    && grep -q '"speedup_target_met":true' "$record"; then
+  mv "$tmp" "$record.rejected.json"
+  echo "REFUSING to overwrite $record: the new record reports" \
+       "speedup_target_met:false but the existing record met the target" \
+       "(kept as $record.rejected.json)" >&2
+  exit 1
+fi
+
+mv "$tmp" "$record"
+echo "record written to $record"

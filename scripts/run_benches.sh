@@ -34,30 +34,20 @@ for b in table1_datasets table2_test_accuracy fig5_filter_size \
   "$bin/$b"
 done
 
-# Perf-record benches: write BENCH_<name>.json, guarded on "identical".
+# Perf-record benches: write BENCH_<name>.json, guarded on exit status,
+# "identical", and "speedup_target_met" (see promote_bench_record.sh --
+# the exit-status check runs before promotion, so a bench that crashed
+# or failed verification after writing its record never overwrites a
+# good one).
 status=0
-for b in gcn_inference primitive_matching frontend; do
+for b in gcn_inference primitive_matching frontend sharding; do
   echo "=== $b ==="
   record="BENCH_$b.json"
   tmp="$record.tmp"
   bench_status=0
   "$bin/$b" "$tmp" || bench_status=$?
-  if grep -q '"identical":false' "$tmp"; then
-    mv "$tmp" "$record.rejected.json"
-    echo "REFUSING to overwrite $record: the new record reports" \
-         "identical:false (kept as $record.rejected.json)" >&2
+  if ! scripts/promote_bench_record.sh "$bench_status" "$tmp" "$record"; then
     status=1
-  elif grep -q '"speedup_target_met":false' "$tmp" \
-      && [ -f "$record" ] \
-      && grep -q '"speedup_target_met":true' "$record"; then
-    mv "$tmp" "$record.rejected.json"
-    echo "REFUSING to overwrite $record: the new record reports" \
-         "speedup_target_met:false but the existing record met the target" \
-         "(kept as $record.rejected.json)" >&2
-    status=1
-  else
-    mv "$tmp" "$record"
-    echo "record written to $record"
   fi
   if [ -f "$record" ] && grep -q '"jobs_scaling_efficiency"' "$record"; then
     eff=$(sed -n 's/.*"jobs_scaling_efficiency":\([-0-9.eE+]*\).*/\1/p' \
@@ -66,7 +56,6 @@ for b in gcn_inference primitive_matching frontend; do
   fi
   if [ "$bench_status" -ne 0 ]; then
     echo "$b exited with status $bench_status" >&2
-    status=1
   fi
 done
 

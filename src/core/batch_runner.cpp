@@ -44,6 +44,37 @@ constexpr std::size_t kBatchOverpartition = 4;
 
 }  // namespace
 
+BatchTimings& BatchTimings::operator+=(const BatchTimings& o) {
+  wall_seconds += o.wall_seconds;
+  prepare_seconds += o.prepare_seconds;
+  gcn_seconds += o.gcn_seconds;
+  post_seconds += o.post_seconds;
+  prepare_wall_seconds += o.prepare_wall_seconds;
+  gcn_wall_seconds += o.gcn_wall_seconds;
+  post_wall_seconds += o.post_wall_seconds;
+  matrix_allocs += o.matrix_allocs;
+  matrix_alloc_bytes += o.matrix_alloc_bytes;
+  spmm_calls += o.spmm_calls;
+  spmm_flops += o.spmm_flops;
+  matmul_calls += o.matmul_calls;
+  matmul_flops += o.matmul_flops;
+  sample_cache_hits += o.sample_cache_hits;
+  sample_cache_misses += o.sample_cache_misses;
+  inference_cache_hits += o.inference_cache_hits;
+  inference_cache_misses += o.inference_cache_misses;
+  vf2_states += o.vf2_states;
+  vf2_sig_rejections += o.vf2_sig_rejections;
+  vf2_pattern_skips += o.vf2_pattern_skips;
+  annotation_cache_hits += o.annotation_cache_hits;
+  annotation_cache_misses += o.annotation_cache_misses;
+  cache_evictions += o.cache_evictions;
+  parse_bytes += o.parse_bytes;
+  intern_hits += o.intern_hits;
+  intern_misses += o.intern_misses;
+  frontend_allocs += o.frontend_allocs;
+  return *this;
+}
+
 double BatchResult::mean_acc_gcn() const {
   return stage_weighted_acc(results, &AnnotateResult::acc_gcn);
 }

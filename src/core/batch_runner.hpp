@@ -115,6 +115,13 @@ struct BatchTimings {
   std::uint64_t intern_hits = 0;       ///< SymbolTable lookups of known names
   std::uint64_t intern_misses = 0;     ///< SymbolTable first-time interns
   std::uint64_t frontend_allocs = 0;   ///< interned front-end heap allocations
+
+  /// Field-wise accumulation, for callers that run a corpus as a
+  /// sequence of batches (the shard worker's chunked streaming loop)
+  /// and report one summed record. Every field adds -- including
+  /// wall_seconds, which therefore means "summed batch wall clock", not
+  /// end-to-end elapsed time, once more than one batch contributed.
+  BatchTimings& operator+=(const BatchTimings& o);
 };
 
 struct BatchResult {

@@ -1,0 +1,184 @@
+#include "datagen/corpus.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "datagen/ota_gen.hpp"
+#include "datagen/rf_gen.hpp"
+#include "datagen/sc_filter.hpp"
+#include "shard/manifest.hpp"
+#include "spice/writer.hpp"
+#include "util/rng.hpp"
+
+namespace gana::datagen {
+namespace {
+
+/// splitmix64 finalizer: decorrelates (seed, index) pairs before they
+/// reach the per-circuit Rng so neighbouring indices share no stream.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string circuit_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "c%07zu", index);
+  return buf;
+}
+
+/// OTA variant chosen from the full topology/bias space (unlike the
+/// training set, the corpus may include telescopic OTAs: this is an
+/// inference workload, not a training one).
+OtaOptions corpus_ota_variant(Rng& rng) {
+  OtaOptions opt;
+  opt.topology = kAllOtaTopologies[rng.index(std::size(kAllOtaTopologies))];
+  opt.bias = kAllBiasStyles[rng.index(std::size(kAllBiasStyles))];
+  opt.pmos_input = rng.chance(0.3) &&
+                   (opt.topology == OtaTopology::FiveT ||
+                    opt.topology == OtaTopology::Symmetrical);
+  opt.cascode_tail = rng.chance(0.45);
+  opt.output_buffer = rng.chance(0.45);
+  opt.with_dummies = rng.chance(0.35);
+  opt.with_stacking = rng.chance(0.3);
+  opt.bias_decap = rng.chance(0.5);
+  opt.sc_input = rng.chance(0.35);
+  opt.load_caps = rng.chance(0.8);
+  opt.input_coupling = rng.chance(0.55);
+  opt.bias_startup = rng.chance(0.5);
+  opt.port_labels = rng.chance(0.9);
+  return opt;
+}
+
+ReceiverOptions corpus_receiver_variant(Rng& rng) {
+  ReceiverOptions opt;
+  opt.lna = kAllLnaKinds[rng.index(std::size(kAllLnaKinds))];
+  opt.mixer = kAllMixerKinds[rng.index(std::size(kAllMixerKinds))];
+  opt.osc = kAllOscKinds[rng.index(std::size(kAllOscKinds))];
+  opt.lna_stages = rng.range(1, 2);
+  opt.iq = rng.chance(0.4);
+  opt.lo_buffer = rng.chance(0.4);
+  opt.port_labels = rng.chance(0.9);
+  return opt;
+}
+
+std::vector<std::string> corpus_headers(const CorpusOptions& options) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "gana corpus seed=%llu count=%zu ota=%.3f rf=%.3f per_dir=%zu",
+                static_cast<unsigned long long>(options.seed), options.count,
+                options.ota_fraction, options.rf_fraction,
+                options.files_per_subdir);
+  return {buf};
+}
+
+}  // namespace
+
+std::string corpus_entry_name(const CorpusOptions& options,
+                              std::size_t index) {
+  const std::size_t per = options.files_per_subdir ? options.files_per_subdir
+                                                   : 1;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%03zu/%s.sp", index / per,
+                circuit_name(index).c_str());
+  return buf;
+}
+
+std::string corpus_netlist_text(const CorpusOptions& options,
+                                std::size_t index) {
+  Rng rng(mix(options.seed, index));
+  // Kind selection burns one uniform draw whatever the outcome, so the
+  // per-kind option stream is independent of the fractions.
+  const double pick = rng.uniform();
+  LabeledCircuit circuit;
+  if (pick < options.ota_fraction) {
+    circuit = generate_ota(corpus_ota_variant(rng), rng, circuit_name(index));
+  } else if (pick < options.ota_fraction + options.rf_fraction) {
+    circuit =
+        generate_receiver(corpus_receiver_variant(rng), rng,
+                          circuit_name(index));
+  } else {
+    ScFilterOptions opt;
+    opt.cap_banks = rng.range(1, 3);
+    opt.port_labels = rng.chance(0.9);
+    circuit = generate_sc_filter(opt, rng);
+  }
+  circuit.netlist.title = "* " + circuit_name(index);
+  return spice::write_netlist(circuit.netlist);
+}
+
+Result<CorpusStats> write_corpus(const CorpusOptions& options) {
+  namespace fs = std::filesystem;
+  CorpusStats stats;
+  stats.manifest_path = options.dir + "/manifest.txt";
+
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return make_diag(DiagCode::IoError, Stage::Io,
+                     "cannot create corpus directory: " + options.dir + " (" +
+                         ec.message() + ")",
+                     SourceLoc{options.dir, 0});
+  }
+
+  const std::vector<std::string> headers = corpus_headers(options);
+
+  // A fresh corpus with matching provenance headers lets a re-run skip
+  // every file that already exists (generation dominates bench setup).
+  bool provenance_matches = false;
+  {
+    std::ifstream in(stats.manifest_path);
+    std::string line;
+    if (in && std::getline(in, line) && line == "# " + headers.front()) {
+      provenance_matches = true;
+    }
+  }
+
+  std::vector<std::string> entries;
+  entries.reserve(options.count);
+  std::string last_subdir;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    std::string entry = corpus_entry_name(options, i);
+    const std::string full = options.dir + "/" + entry;
+    const std::string subdir = full.substr(0, full.find_last_of('/'));
+    if (subdir != last_subdir) {
+      fs::create_directories(subdir, ec);
+      if (ec) {
+        return make_diag(DiagCode::IoError, Stage::Io,
+                         "cannot create corpus subdirectory: " + subdir +
+                             " (" + ec.message() + ")",
+                         SourceLoc{subdir, 0});
+      }
+      last_subdir = subdir;
+    }
+    if (provenance_matches && fs::exists(full, ec) && !ec) {
+      ++stats.reused;
+    } else {
+      std::ofstream out(full, std::ios::binary | std::ios::trunc);
+      out << corpus_netlist_text(options, i);
+      out.close();
+      if (!out) {
+        return make_diag(DiagCode::IoError, Stage::Io,
+                         "cannot write corpus netlist: " + full,
+                         SourceLoc{full, 0});
+      }
+      ++stats.written;
+    }
+    entries.push_back(std::move(entry));
+  }
+
+  std::ofstream manifest(stats.manifest_path,
+                         std::ios::binary | std::ios::trunc);
+  manifest << shard::write_manifest(entries, headers);
+  manifest.close();
+  if (!manifest) {
+    return make_diag(DiagCode::IoError, Stage::Io,
+                     "cannot write corpus manifest: " + stats.manifest_path,
+                     SourceLoc{stats.manifest_path, 0});
+  }
+  return stats;
+}
+
+}  // namespace gana::datagen

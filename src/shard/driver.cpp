@@ -1,0 +1,695 @@
+#include "shard/driver.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "core/export.hpp"
+#include "datagen/rf_gen.hpp"
+#include "gcn/serialize.hpp"
+#include "serve/protocol.hpp"
+#include "spice/parser.hpp"
+#include "util/json.hpp"
+#include "util/perf.hpp"
+#include "util/timer.hpp"
+
+namespace gana::shard {
+
+namespace {
+
+/// Netlists per BatchRunner run inside a worker: large enough that the
+/// pool amortizes dispatch, small enough that results stream back (and
+/// worker memory stays bounded) on a 100k-netlist shard.
+constexpr std::size_t kWorkerChunk = 256;
+
+/// Reserved "index" value of the worker's trailing summary frame.
+constexpr std::uint64_t kSummaryIndex = ~std::uint64_t{0} >> 11;  // 2^53-1
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Human-readable waitpid status ("exited with status 2", "killed by
+/// signal 9 (Killed)").
+std::string describe_wait_status(int status) {
+  if (WIFEXITED(status)) {
+    return "exited with status " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    const char* name = strsignal(sig);
+    return "killed by signal " + std::to_string(sig) +
+           (name != nullptr ? " (" + std::string(name) + ")" : "");
+  }
+  return "stopped with wait status " + std::to_string(status);
+}
+
+std::vector<std::string> class_names_for(const std::string& domain) {
+  if (domain == "rf") return datagen::rf_class_names();
+  return {"ota", "bias"};
+}
+
+/// Streams records out in manifest order: a record is flushed the
+/// moment every earlier slot has one, so parent memory is bounded by
+/// shard skew, not corpus size.
+class Merger {
+ public:
+  Merger(std::ostream& out, const std::vector<ManifestEntry>& entries)
+      : out_(&out),
+        entries_(&entries),
+        pending_(entries.size()),
+        recorded_(entries.size(), false) {}
+
+  /// False when `index` is out of range or already recorded (a worker
+  /// protocol violation).
+  bool add(std::size_t index, NetlistRecord record) {
+    if (index >= recorded_.size() || recorded_[index]) return false;
+    recorded_[index] = true;
+    if (record.ok) {
+      ++ok_;
+    } else {
+      ++failed_;
+      if (!first_failure_index_.has_value() || index < *first_failure_index_) {
+        first_failure_index_ = index;
+        first_failure_ = record.diag;
+      }
+    }
+    pending_[index] =
+        std::make_unique<NetlistRecord>(std::move(record));
+    while (next_ < pending_.size() && pending_[next_] != nullptr) {
+      *out_ << record_line(next_, (*entries_)[next_], *pending_[next_]);
+      pending_[next_].reset();
+      ++next_;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool has_record(std::size_t index) const {
+    return index < recorded_.size() && recorded_[index];
+  }
+  [[nodiscard]] std::size_t ok_count() const { return ok_; }
+  [[nodiscard]] std::size_t failed_count() const { return failed_; }
+  [[nodiscard]] const std::optional<std::size_t>& first_failure_index() const {
+    return first_failure_index_;
+  }
+  [[nodiscard]] const std::optional<Diag>& first_failure() const {
+    return first_failure_;
+  }
+
+ private:
+  std::ostream* out_;
+  const std::vector<ManifestEntry>* entries_;
+  std::vector<std::unique_ptr<NetlistRecord>> pending_;
+  std::vector<bool> recorded_;
+  std::size_t next_ = 0;
+  std::size_t ok_ = 0;
+  std::size_t failed_ = 0;
+  std::optional<std::size_t> first_failure_index_;
+  std::optional<Diag> first_failure_;
+};
+
+/// Payload of one worker->parent result frame.
+std::string encode_result_payload(std::size_t index,
+                                  const NetlistRecord& record) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("kind", json::Value("result"));
+  v.set("index", json::Value(static_cast<std::uint64_t>(index)));
+  v.set("ok", json::Value(record.ok));
+  if (record.ok) {
+    v.set("payload", json::Value(record.payload));
+  } else if (record.diag.has_value()) {
+    v.set("diag", serve::diag_to_json(*record.diag));
+  }
+  return json::dump(v);
+}
+
+std::string encode_summary_payload(std::size_t shard, const SliceResult& r,
+                                   std::size_t jobs, std::size_t total) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("kind", json::Value("summary"));
+  v.set("index", json::Value(kSummaryIndex));
+  v.set("shard", json::Value(static_cast<std::uint64_t>(shard)));
+  v.set("ok", json::Value(static_cast<std::uint64_t>(r.ok)));
+  v.set("failed", json::Value(static_cast<std::uint64_t>(r.failed)));
+  v.set("perf", json::Value(core::batch_timings_to_json(r.timings, jobs, r.ok,
+                                                        total)));
+  return json::dump(v);
+}
+
+std::optional<std::uint64_t> read_u53(const json::Value& obj,
+                                      std::string_view key) {
+  const json::Value* v = obj.get(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  const double d = v->as_double();
+  if (!(d >= 0.0) || d > 9.007199254740992e15 ||
+      d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+std::vector<ShardRange> shard_partition(std::size_t count, std::size_t shards) {
+  std::vector<ShardRange> out;
+  if (count == 0) return out;
+  shards = std::clamp<std::size_t>(shards, 1, count);
+  const std::size_t base = count / shards;
+  const std::size_t rem = count % shards;
+  out.reserve(shards);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t len = base + (s < rem ? 1 : 0);
+    out.push_back(ShardRange{begin, begin + len});
+    begin += len;
+  }
+  return out;
+}
+
+std::string record_line(std::size_t index, const ManifestEntry& entry,
+                        const NetlistRecord& record) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("index", json::Value(static_cast<std::uint64_t>(index)));
+  v.set("path", json::Value(entry.name));
+  v.set("ok", json::Value(record.ok));
+  if (record.ok) {
+    v.set("annotation", json::Value(record.payload));
+  } else if (record.diag.has_value()) {
+    v.set("diag", serve::diag_to_json(*record.diag));
+  }
+  return json::dump(v) + "\n";
+}
+
+Result<SliceResult> annotate_slice(
+    const std::vector<ManifestEntry>& entries, ShardRange range,
+    const PipelineOptions& options,
+    const std::function<bool(std::size_t, const NetlistRecord&)>& emit) {
+  range.begin = std::min(range.begin, entries.size());
+  range.end = std::clamp(range.end, range.begin, entries.size());
+
+  std::unique_ptr<gcn::GcnModel> model;
+  if (!options.load_model.empty()) {
+    try {
+      model = std::make_unique<gcn::GcnModel>(
+          gcn::load_model_file(options.load_model));
+    } catch (const DiagError& e) {
+      return e.diag();
+    } catch (const std::exception& e) {
+      return make_diag(DiagCode::IoError, Stage::Io,
+                       "cannot load model: " + std::string(e.what()),
+                       SourceLoc{options.load_model, 0});
+    }
+  }
+  core::Annotator annotator(model.get(), class_names_for(options.domain));
+  if (options.caches) {
+    const std::size_t cap = options.cache_capacity;
+    annotator.set_sample_cache(std::make_shared<gcn::SamplePrepCache>(cap));
+    annotator.set_annotation_cache(
+        std::make_shared<primitives::AnnotationCache>(cap));
+    // After any model load: the inference cache captures the weights
+    // fingerprint at attach time.
+    annotator.set_inference_cache(std::make_shared<gcn::InferenceCache>(cap));
+  }
+  core::BatchOptions bopt;
+  bopt.jobs = options.jobs;
+  bopt.seed = options.seed;
+  bopt.policy = core::FailurePolicy::CollectAll;
+  bopt.timeout_seconds = options.timeout_seconds;
+  core::BatchRunner runner(annotator, bopt);
+
+  SliceResult slice;
+  for (std::size_t chunk = range.begin; chunk < range.end;
+       chunk += kWorkerChunk) {
+    const std::size_t chunk_end = std::min(chunk + kWorkerChunk, range.end);
+    // Parse the chunk's files. Parsing happens before the runner's
+    // perf-counter window opens, so patch parse_bytes over it (same
+    // accounting as annotate_netlist).
+    const PerfSnapshot perf_at_parse = perf_snapshot();
+    std::vector<NetlistRecord> records(chunk_end - chunk);
+    std::vector<spice::Netlist> netlists;
+    std::vector<std::string> names;
+    std::vector<std::size_t> slot(chunk_end - chunk, SIZE_MAX);
+    for (std::size_t i = chunk; i < chunk_end; ++i) {
+      auto parsed = spice::parse_netlist_file_result(entries[i].resolved);
+      if (parsed.ok()) {
+        slot[i - chunk] = netlists.size();
+        netlists.push_back(parsed.take());
+        names.push_back(entries[i].name);
+      } else {
+        records[i - chunk].ok = false;
+        records[i - chunk].diag = parsed.diag();
+      }
+    }
+    const std::uint64_t input_parse_bytes =
+        (perf_snapshot() - perf_at_parse).parse_bytes;
+
+    core::BatchOutcome outcome = runner.run_isolated(netlists, names);
+    outcome.timings.parse_bytes += input_parse_bytes;
+    slice.timings += outcome.timings;
+    for (std::size_t i = chunk; i < chunk_end; ++i) {
+      NetlistRecord& rec = records[i - chunk];
+      const std::size_t s = slot[i - chunk];
+      if (s != SIZE_MAX) {
+        const auto& r = outcome.outcomes[s];
+        if (r.ok()) {
+          rec.ok = true;
+          rec.payload =
+              core::annotation_to_json(r.value(), annotator.class_names());
+        } else {
+          rec.ok = false;
+          rec.diag = r.diag();
+        }
+      }
+      rec.ok ? ++slice.ok : ++slice.failed;
+      if (!emit(i, rec)) {
+        return make_diag(DiagCode::IoError, Stage::Batch,
+                         "result sink rejected record " + std::to_string(i) +
+                             " (broken pipe to the driver?)");
+      }
+    }
+  }
+  return slice;
+}
+
+int worker_main(const Args& args) {
+  const std::string manifest = args.get("manifest");
+  if (manifest.empty()) {
+    std::fprintf(stderr, "gana-shard worker: --manifest is required\n");
+    return 2;
+  }
+  auto entries = read_manifest(manifest);
+  if (!entries.ok()) {
+    std::fprintf(stderr, "gana-shard worker: %s\n",
+                 entries.diag().render().c_str());
+    return 2;
+  }
+  ShardRange range;
+  range.begin = static_cast<std::size_t>(
+      std::max<long long>(0, args.get_int("begin", 0)));
+  range.end = static_cast<std::size_t>(
+      std::max<long long>(0, args.get_int("end", 0)));
+  const std::size_t shard_index = static_cast<std::size_t>(
+      std::max<long long>(0, args.get_int("shard", 0)));
+
+  PipelineOptions pipeline;
+  pipeline.jobs = static_cast<std::size_t>(std::max(args.get_int("jobs", 1), 1));
+  const std::string seed_str = args.get("seed");
+  pipeline.seed = seed_str.empty()
+                      ? core::kDefaultSampleSeed
+                      : std::strtoull(seed_str.c_str(), nullptr, 10);
+  pipeline.domain = args.get("domain", "ota");
+  pipeline.caches = !args.has("no-caches");
+  pipeline.cache_capacity = static_cast<std::size_t>(
+      std::max(args.get_int("cache-capacity", 0), 0));
+  pipeline.timeout_seconds = args.get_double("timeout-seconds", 0.0);
+  pipeline.load_model = args.get("load-model");
+
+  // Deterministic fault injection for the worker-failure tests: after
+  // emitting N result frames, --crash-after dies exactly as a crashing
+  // worker would and --stall-after hangs until the driver's per-shard
+  // deadline kills the process.
+  const int crash_after = args.get_int("crash-after", -1);
+  const int stall_after = args.get_int("stall-after", -1);
+
+  const int out_fd = STDOUT_FILENO;
+  std::size_t emitted = 0;
+  const auto emit = [&](std::size_t index, const NetlistRecord& rec) {
+    if (crash_after >= 0 && emitted == static_cast<std::size_t>(crash_after)) {
+      ::raise(SIGKILL);
+    }
+    if (stall_after >= 0 && emitted == static_cast<std::size_t>(stall_after)) {
+      for (;;) ::pause();
+    }
+    const auto frame =
+        serve::encode_frame(encode_result_payload(index, rec));
+    if (!frame.has_value()) return false;
+    ++emitted;
+    return write_all(out_fd, frame->data(), frame->size());
+  };
+
+  auto slice = annotate_slice(entries.value(), range, pipeline, emit);
+  if (!slice.ok()) {
+    std::fprintf(stderr, "gana-shard worker: %s\n",
+                 slice.diag().render().c_str());
+    return 3;
+  }
+  const auto summary = serve::encode_frame(encode_summary_payload(
+      shard_index, slice.value(), pipeline.jobs, range.size()));
+  if (!summary.has_value() ||
+      !write_all(out_fd, summary->data(), summary->size())) {
+    std::fprintf(stderr, "gana-shard worker: cannot write summary frame\n");
+    return 3;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Parent-side view of one live worker.
+struct Worker {
+  ShardStatus status;
+  int pipe_fd = -1;
+  serve::FrameDecoder decoder;
+  bool eof = false;
+  bool reaped = false;
+  double deadline = 0.0;  ///< absolute now_seconds() deadline; 0 = none
+};
+
+std::string worker_exe_path(const ShardOptions& options) {
+  if (!options.worker_exe.empty()) return options.worker_exe;
+  return "/proc/self/exe";
+}
+
+std::vector<std::string> worker_argv(const ShardOptions& options,
+                                     const std::string& manifest,
+                                     const ShardRange& range,
+                                     std::size_t shard_index) {
+  const PipelineOptions& p = options.pipeline;
+  std::vector<std::string> argv;
+  argv.push_back(worker_exe_path(options));
+  argv.push_back("--worker");
+  argv.push_back("--manifest");
+  argv.push_back(manifest);
+  argv.push_back("--begin");
+  argv.push_back(std::to_string(range.begin));
+  argv.push_back("--end");
+  argv.push_back(std::to_string(range.end));
+  argv.push_back("--shard");
+  argv.push_back(std::to_string(shard_index));
+  argv.push_back("--jobs");
+  argv.push_back(std::to_string(p.jobs));
+  argv.push_back("--seed");
+  argv.push_back(std::to_string(p.seed));
+  argv.push_back("--domain");
+  argv.push_back(p.domain);
+  if (!p.caches) argv.push_back("--no-caches");
+  if (p.cache_capacity != 0) {
+    argv.push_back("--cache-capacity");
+    argv.push_back(std::to_string(p.cache_capacity));
+  }
+  if (p.timeout_seconds > 0.0) {
+    argv.push_back("--timeout-seconds");
+    argv.push_back(std::to_string(p.timeout_seconds));
+  }
+  if (!p.load_model.empty()) {
+    argv.push_back("--load-model");
+    argv.push_back(p.load_model);
+  }
+  for (const std::string& a : options.extra_worker_args) argv.push_back(a);
+  return argv;
+}
+
+/// fork/execs one worker with its stdout routed into a fresh pipe.
+/// Returns the read end, or a Diag.
+Result<int> spawn_worker(const std::vector<std::string>& argv, int* pid_out) {
+  int pfd[2];
+  if (::pipe2(pfd, O_CLOEXEC) != 0) {
+    return make_diag(DiagCode::Internal, Stage::Batch,
+                     "pipe2 failed: " + std::string(strerror(errno)));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pfd[0]);
+    ::close(pfd[1]);
+    return make_diag(DiagCode::Internal, Stage::Batch,
+                     "fork failed: " + std::string(strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: frames go to stdout; stderr stays shared for diagnostics.
+    // dup2 clears CLOEXEC on the stdout copy; both original pipe fds
+    // (and every sibling's read end) close across exec.
+    ::dup2(pfd[1], STDOUT_FILENO);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    std::fprintf(stderr, "gana-shard: cannot exec %s: %s\n", cargv[0],
+                 strerror(errno));
+    ::_exit(127);
+  }
+  ::close(pfd[1]);
+  *pid_out = static_cast<int>(pid);
+  return pfd[0];
+}
+
+Diag missing_record_diag(const Worker& w, std::size_t shard_index,
+                         const ManifestEntry& entry,
+                         double shard_timeout_seconds) {
+  if (w.status.deadline_expired) {
+    return make_diag(
+        DiagCode::DeadlineExceeded, Stage::Batch,
+        "shard " + std::to_string(shard_index) + " exceeded its " +
+            std::to_string(shard_timeout_seconds) +
+            "-second deadline before annotating this netlist",
+        SourceLoc{entry.name, 0});
+  }
+  if (w.status.killed_by_driver) {
+    return make_diag(DiagCode::Skipped, Stage::Batch,
+                     "skipped: fail-fast after an earlier failure",
+                     SourceLoc{entry.name, 0});
+  }
+  return make_diag(
+      DiagCode::WorkerFailed, Stage::Batch,
+      "shard worker " + std::to_string(shard_index) + " " +
+          describe_wait_status(w.status.wait_status) +
+          " before annotating this netlist",
+      SourceLoc{entry.name, 0});
+}
+
+}  // namespace
+
+Result<ShardRunStats> run_sharded(const std::string& manifest,
+                                  const ShardOptions& options,
+                                  std::ostream& out) {
+  auto manifest_entries = read_manifest(manifest);
+  if (!manifest_entries.ok()) return manifest_entries.diag();
+  const std::vector<ManifestEntry>& entries = manifest_entries.value();
+
+  Timer wall;
+  ShardRunStats stats;
+  stats.total = entries.size();
+  Merger merger(out, entries);
+
+  const std::vector<ShardRange> partition =
+      shard_partition(entries.size(), options.shards);
+
+  if (partition.size() <= 1) {
+    // In-process baseline: no fork, same per-netlist machinery. This is
+    // the path the byte-identity guard measures fan-out against.
+    ShardStatus status;
+    status.range = partition.empty() ? ShardRange{} : partition.front();
+    if (status.range.size() > 0) {
+      bool failed_fast = false;
+      const auto emit = [&](std::size_t index, const NetlistRecord& rec) {
+        if (failed_fast) {
+          NetlistRecord skipped;
+          skipped.ok = false;
+          skipped.diag = make_diag(DiagCode::Skipped, Stage::Batch,
+                                   "skipped: fail-fast after an earlier "
+                                   "failure",
+                                   SourceLoc{entries[index].name, 0});
+          merger.add(index, skipped);
+          return true;
+        }
+        ++status.results;
+        merger.add(index, rec);
+        if (!rec.ok && !options.keep_going) failed_fast = true;
+        return true;
+      };
+      auto slice =
+          annotate_slice(entries, status.range, options.pipeline, emit);
+      if (!slice.ok()) return slice.diag();
+      status.perf_json = core::batch_timings_to_json(
+          slice.value().timings, options.pipeline.jobs, slice.value().ok,
+          status.range.size());
+    }
+    stats.shards.push_back(std::move(status));
+  } else {
+    std::vector<Worker> workers(partition.size());
+    const double spawn_time = now_seconds();
+    for (std::size_t s = 0; s < partition.size(); ++s) {
+      Worker& w = workers[s];
+      w.status.range = partition[s];
+      if (options.shard_timeout_seconds > 0.0) {
+        w.deadline = spawn_time + options.shard_timeout_seconds;
+      }
+      auto fd = spawn_worker(worker_argv(options, manifest, partition[s], s),
+                             &w.status.pid);
+      if (!fd.ok()) {
+        // Abort cleanly: kill and reap what already started.
+        for (Worker& prev : workers) {
+          if (prev.status.pid > 0 && !prev.reaped) {
+            ::kill(prev.status.pid, SIGKILL);
+            ::waitpid(prev.status.pid, nullptr, 0);
+            if (prev.pipe_fd >= 0) ::close(prev.pipe_fd);
+          }
+        }
+        return fd.diag();
+      }
+      w.pipe_fd = fd.value();
+    }
+
+    auto kill_worker = [](Worker& w) {
+      if (w.status.pid > 0 && !w.reaped && !w.eof) {
+        ::kill(w.status.pid, SIGKILL);
+      }
+    };
+    bool fail_fast_triggered = false;
+
+    std::size_t live = workers.size();
+    std::vector<char> buf(64 << 10);
+    while (live > 0) {
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> fd_shard;
+      for (std::size_t s = 0; s < workers.size(); ++s) {
+        if (!workers[s].eof) {
+          fds.push_back(pollfd{workers[s].pipe_fd, POLLIN, 0});
+          fd_shard.push_back(s);
+        }
+      }
+      // Poll timeout: the nearest live deadline (if any).
+      int timeout_ms = -1;
+      const double now = now_seconds();
+      for (std::size_t s = 0; s < workers.size(); ++s) {
+        const Worker& w = workers[s];
+        if (w.eof || w.deadline <= 0.0) continue;
+        const double remain = std::max(0.0, w.deadline - now);
+        const int ms = static_cast<int>(remain * 1000.0) + 1;
+        if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
+      }
+      const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (ready < 0 && errno != EINTR) {
+        return make_diag(DiagCode::Internal, Stage::Batch,
+                         "poll failed: " + std::string(strerror(errno)));
+      }
+      // Enforce per-shard deadlines.
+      if (options.shard_timeout_seconds > 0.0) {
+        const double t = now_seconds();
+        for (Worker& w : workers) {
+          if (!w.eof && w.deadline > 0.0 && t >= w.deadline &&
+              !w.status.deadline_expired) {
+            w.status.deadline_expired = true;
+            kill_worker(w);
+          }
+        }
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        Worker& w = workers[fd_shard[i]];
+        const ssize_t n = ::read(w.pipe_fd, buf.data(), buf.size());
+        if (n < 0) {
+          if (errno == EINTR || errno == EAGAIN) continue;
+        }
+        if (n > 0) {
+          w.decoder.feed(buf.data(), static_cast<std::size_t>(n));
+          while (auto payload = w.decoder.next()) {
+            std::string error;
+            const auto doc = json::parse(*payload, &error);
+            const auto index =
+                doc.has_value() ? read_u53(*doc, "index") : std::nullopt;
+            if (!doc.has_value() || !index.has_value()) {
+              // Protocol violation: treat the stream as dead; the
+              // worker's remaining slots become WorkerFailed records.
+              kill_worker(w);
+              break;
+            }
+            if (*index == kSummaryIndex) {
+              const json::Value* perf = doc->get("perf");
+              if (perf != nullptr) w.status.perf_json = perf->as_string();
+              continue;
+            }
+            NetlistRecord rec;
+            rec.ok = doc->get("ok") != nullptr && doc->get("ok")->as_bool();
+            if (rec.ok) {
+              const json::Value* p = doc->get("payload");
+              rec.payload = p != nullptr ? p->as_string() : "";
+            } else {
+              const json::Value* d = doc->get("diag");
+              if (d != nullptr) rec.diag = serve::diag_from_json(*d);
+              if (!rec.diag.has_value()) {
+                rec.diag = make_diag(DiagCode::WorkerFailed, Stage::Batch,
+                                     "worker reported an unreadable "
+                                     "failure record");
+              }
+            }
+            if (merger.add(*index, std::move(rec))) ++w.status.results;
+            if (!options.keep_going && merger.failed_count() > 0 &&
+                !fail_fast_triggered) {
+              fail_fast_triggered = true;
+              // Cancel every still-running worker (including this one);
+              // slots without records come back Skipped.
+              for (Worker& other : workers) {
+                if (!other.eof && !other.status.deadline_expired) {
+                  other.status.killed_by_driver = true;
+                  kill_worker(other);
+                }
+              }
+            }
+          }
+          if (w.decoder.error()) kill_worker(w);
+        } else if (n == 0) {
+          w.eof = true;
+          ::close(w.pipe_fd);
+          w.pipe_fd = -1;
+          int status = 0;
+          while (::waitpid(w.status.pid, &status, 0) < 0 && errno == EINTR) {
+          }
+          w.status.wait_status = status;
+          w.reaped = true;
+          --live;
+        }
+      }
+    }
+
+    for (std::size_t s = 0; s < workers.size(); ++s) {
+      Worker& w = workers[s];
+      // A worker that exited clean but skipped slots is still a worker
+      // failure for those slots.
+      for (std::size_t i = w.status.range.begin; i < w.status.range.end; ++i) {
+        if (merger.has_record(i)) continue;
+        NetlistRecord rec;
+        rec.ok = false;
+        rec.diag = missing_record_diag(w, s, entries[i],
+                                       options.shard_timeout_seconds);
+        merger.add(i, std::move(rec));
+      }
+      stats.shards.push_back(w.status);
+    }
+  }
+
+  stats.ok = merger.ok_count();
+  stats.failed = merger.failed_count();
+  stats.first_failure_index = merger.first_failure_index();
+  stats.first_failure = merger.first_failure();
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+}  // namespace gana::shard

@@ -1,0 +1,82 @@
+#include "shard/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace gana::shard {
+
+namespace {
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return {};
+  return path.substr(0, slash);
+}
+
+std::string trimmed(std::string_view line) {
+  std::size_t b = 0;
+  std::size_t e = line.size();
+  while (b < e && (line[b] == ' ' || line[b] == '\t' || line[b] == '\r')) ++b;
+  while (e > b && (line[e - 1] == ' ' || line[e - 1] == '\t' ||
+                   line[e - 1] == '\r')) {
+    --e;
+  }
+  return std::string(line.substr(b, e - b));
+}
+
+}  // namespace
+
+std::vector<ManifestEntry> parse_manifest(std::string_view text,
+                                          const std::string& manifest_dir) {
+  std::vector<ManifestEntry> entries;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    const std::string line = trimmed(raw);
+    if (!line.empty() && line.front() != '#') {
+      ManifestEntry e;
+      e.name = line;
+      e.resolved = (!manifest_dir.empty() && line.front() != '/')
+                       ? manifest_dir + "/" + line
+                       : line;
+      entries.push_back(std::move(e));
+    }
+    if (nl == std::string_view::npos) break;
+    pos = nl + 1;
+  }
+  return entries;
+}
+
+Result<std::vector<ManifestEntry>> read_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return make_diag(DiagCode::IoError, Stage::Io,
+                     "cannot open manifest: " + path, SourceLoc{path, 0});
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return make_diag(DiagCode::IoError, Stage::Io,
+                     "cannot read manifest: " + path, SourceLoc{path, 0});
+  }
+  return parse_manifest(buf.str(), dirname_of(path));
+}
+
+std::string write_manifest(const std::vector<std::string>& entries,
+                           const std::vector<std::string>& headers) {
+  std::string out;
+  for (const std::string& h : headers) {
+    out += "# ";
+    out += h;
+    out += "\n";
+  }
+  for (const std::string& e : entries) {
+    out += e;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace gana::shard

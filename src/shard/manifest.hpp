@@ -1,0 +1,47 @@
+// Corpus manifest: the work list of the sharded batch driver.
+//
+// A manifest is a plain text file naming one netlist path per line.
+// Blank lines and lines starting with '#' are ignored, so a generator
+// can stamp provenance (seed, circuit count) into comment headers and a
+// re-run can detect a stale corpus without parsing any netlist.
+//
+// Entries are kept VERBATIM in every downstream record ("path" in the
+// merged output, circuit names in annotation payloads) so the merged
+// bytes are independent of where the corpus directory happens to live;
+// only file *opening* resolves relative entries against the manifest's
+// own directory. That split is what lets the merge golden test pin
+// exact output bytes against a temp-dir corpus.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/diag.hpp"
+
+namespace gana::shard {
+
+/// One manifest entry: the verbatim line plus its resolved filesystem
+/// path (identical for absolute entries).
+struct ManifestEntry {
+  std::string name;      ///< entry as written in the manifest
+  std::string resolved;  ///< path to open (relative entries get the
+                         ///< manifest directory prepended)
+};
+
+/// Parses a manifest file. Never throws: an unreadable file comes back
+/// as a Stage::Io Diag. An empty manifest (no entries) is valid.
+[[nodiscard]] Result<std::vector<ManifestEntry>> read_manifest(
+    const std::string& path);
+
+/// Parses manifest text; `manifest_dir` resolves relative entries ("" =
+/// keep them relative to the process working directory).
+[[nodiscard]] std::vector<ManifestEntry> parse_manifest(
+    std::string_view text, const std::string& manifest_dir);
+
+/// Renders entries (plus optional '#' header lines) back to manifest
+/// text. `headers` entries should not contain newlines.
+[[nodiscard]] std::string write_manifest(
+    const std::vector<std::string>& entries,
+    const std::vector<std::string>& headers = {});
+
+}  // namespace gana::shard

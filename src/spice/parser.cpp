@@ -1,5 +1,6 @@
 #include "spice/parser.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <fstream>
@@ -467,12 +468,40 @@ std::string read_netlist_text(const std::string& path,
         SourceLoc{path, 0}));
   }
   in.seekg(0, std::ios::beg);
-  std::string text(size, '\0');
-  in.read(text.data(), static_cast<std::streamsize>(size));
-  if (!in && size != 0) {
+  return read_probed_text(in, size, path);
+}
+
+std::string read_probed_text(std::istream& in, std::size_t probed_size,
+                             const std::string& path) {
+  std::string text(probed_size, '\0');
+  in.read(text.data(), static_cast<std::streamsize>(probed_size));
+  const std::size_t got = static_cast<std::size_t>(std::max<std::streamsize>(
+      in.gcount(), 0));
+  if (in.bad() || (got != probed_size && !in.eof())) {
     throw ParseError(make_diag(DiagCode::IoError, Stage::Io,
                                "cannot read file: " + path,
                                SourceLoc{path, 0}));
+  }
+  // The buffer was sized from a pre-read tellg probe; a file that
+  // changes size between probe and read would otherwise be parsed as a
+  // torn prefix (shrink -> short read padded with NULs, grow -> probed
+  // prefix only). Verify the read delivered exactly the probed bytes
+  // and that nothing trails them.
+  if (got != probed_size) {
+    throw ParseError(make_diag(
+        DiagCode::IoError, Stage::Io,
+        "file shrank while being read: " + path + " (expected " +
+            std::to_string(probed_size) + " bytes, got " +
+            std::to_string(got) + ")",
+        SourceLoc{path, 0}));
+  }
+  in.clear();  // reading exactly to EOF may have latched eofbit
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw ParseError(make_diag(
+        DiagCode::IoError, Stage::Io,
+        "file grew while being read: " + path + " (trailing bytes after the " +
+            std::to_string(probed_size) + "-byte size probe)",
+        SourceLoc{path, 0}));
   }
   return text;
 }

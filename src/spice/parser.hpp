@@ -11,6 +11,7 @@
 // throw on malformed input.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -52,6 +53,15 @@ struct ParseOptions {
 /// Reference and interned parser entry points.
 std::string read_netlist_text(const std::string& path,
                               const ParseLimits& limits = {});
+
+/// The read step of read_netlist_text, split out for testability: pulls
+/// exactly `probed_size` bytes (the pre-read tellg probe) from `in` and
+/// verifies the file still matches the probe -- a short read (file
+/// shrank; the buffer would carry a NUL-padded torn prefix) or trailing
+/// bytes (file grew; the buffer would carry a truncated prefix) throw
+/// ParseError with DiagCode::IoError naming `path`.
+std::string read_probed_text(std::istream& in, std::size_t probed_size,
+                             const std::string& path);
 
 /// Parses a complete netlist from text. Case-insensitive; the first line
 /// is treated as a title only if it does not look like a card or

@@ -42,6 +42,7 @@ const char* to_string(DiagCode c) {
     case DiagCode::Overloaded: return "overloaded";
     case DiagCode::IoError: return "io-error";
     case DiagCode::Skipped: return "skipped";
+    case DiagCode::WorkerFailed: return "worker-failed";
     case DiagCode::Internal: return "internal";
   }
   return "?";
@@ -69,7 +70,8 @@ const std::vector<DiagCode>& all_diag_codes() {
       DiagCode::NonFinite,       DiagCode::BudgetExhausted,
       DiagCode::Truncated,       DiagCode::DeadlineExceeded,
       DiagCode::Overloaded,      DiagCode::IoError,
-      DiagCode::Skipped,         DiagCode::Internal,
+      DiagCode::Skipped,         DiagCode::WorkerFailed,
+      DiagCode::Internal,
   };
   return codes;
 }

@@ -67,9 +67,10 @@ enum class DiagCode {
   DeadlineExceeded, ///< per-request wall-clock budget expired (or cancelled)
   Overloaded,       ///< admission control shed the request (retryable)
   // Everything else.
-  IoError,   ///< file missing/unreadable/unwritable
-  Skipped,   ///< batch task cancelled by fail-fast before it ran
-  Internal,  ///< unexpected exception escaping a pipeline stage
+  IoError,       ///< file missing/unreadable/unwritable
+  Skipped,       ///< batch task cancelled by fail-fast before it ran
+  WorkerFailed,  ///< shard worker process crashed or exited nonzero
+  Internal,      ///< unexpected exception escaping a pipeline stage
 };
 
 [[nodiscard]] const char* to_string(Stage s);

@@ -44,10 +44,18 @@
 
 namespace gana {
 
+/// Lock shards per cache. The single source of truth: ShardedCache's
+/// shard array, its index mask, and per_shard_capacity_for's capacity
+/// split all derive from this constant, so they cannot drift apart.
+/// Must be a power of two (the shard index is a mask, not a modulo).
+inline constexpr std::size_t kCacheShardCount = 16;
+static_assert((kCacheShardCount & (kCacheShardCount - 1)) == 0,
+              "shard index uses a power-of-two mask");
+
 template <typename V>
 class ShardedCache {
  public:
-  static constexpr std::size_t kShardCount = 16;
+  static constexpr std::size_t kShardCount = kCacheShardCount;
 
   struct Stats {
     std::uint64_t hits = 0;
@@ -148,13 +156,21 @@ class ShardedCache {
   std::size_t per_shard_capacity_ = 0;  ///< immutable after construction
 };
 
-/// Splits a whole-cache capacity across kShardCount shards, rounding up
-/// so a nonzero total never becomes an accidental zero (= unbounded) and
-/// the cache can always hold at least `total` entries overall.
-inline std::size_t per_shard_capacity_for(std::size_t total) {
+/// Splits a whole-cache capacity across kCacheShardCount shards,
+/// rounding up so a nonzero total never becomes an accidental zero
+/// (= unbounded) and the cache can always hold at least `total` entries
+/// overall: kCacheShardCount * per_shard_capacity_for(total) >= total
+/// for every total > 0 (pinned by the ShardedCache capacity unit test).
+inline constexpr std::size_t per_shard_capacity_for(std::size_t total) {
   if (total == 0) return 0;
-  constexpr std::size_t kShards = 16;
-  return (total + kShards - 1) / kShards;
+  return (total + kCacheShardCount - 1) / kCacheShardCount;
 }
+static_assert(per_shard_capacity_for(0) == 0, "0 stays unbounded");
+static_assert(kCacheShardCount * per_shard_capacity_for(1) >= 1 &&
+                  per_shard_capacity_for(1) > 0,
+              "a nonzero total never rounds down to unbounded");
+static_assert(kCacheShardCount * per_shard_capacity_for(kCacheShardCount + 1) >=
+                  kCacheShardCount + 1,
+              "summed shard capacity covers the requested total");
 
 }  // namespace gana

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Regression test for scripts/promote_bench_record.sh.
+#
+# The bug this pins: run_benches.sh once promoted a freshly written
+# BENCH_*.json BEFORE checking the bench's exit status, so a bench that
+# crashed (or failed its verification) after writing the file could
+# overwrite a good checked-in record. Promotion must refuse on nonzero
+# exit status first, then on identical:false, then on a
+# speedup_target_met regression.
+#
+#   promote_bench_record_test.sh <path-to-promote_bench_record.sh>
+set -u
+
+promote=${1:?usage: promote_bench_record_test.sh <promote_script>}
+promote=$(cd "$(dirname "$promote")" && pwd)/$(basename "$promote")
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+fails=0
+check() { # check <description> <expected_status> <actual_status>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1 (expected exit $2, got $3)" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+good='{"bench":"x","identical":true,"speedup_target_met":true}'
+bad_identical='{"bench":"x","identical":false,"speedup_target_met":true}'
+slow='{"bench":"x","identical":true,"speedup_target_met":false}'
+
+# 1. Clean record from a clean bench promotes.
+echo "$good" > r.json.tmp
+"$promote" 0 r.json.tmp r.json >/dev/null 2>&1
+check "clean record promotes" 0 $?
+[ -f r.json ] || { echo "FAIL: r.json missing after promote" >&2; fails=$((fails+1)); }
+
+# 2. THE BUG: nonzero bench exit must refuse even when the record body
+#    looks healthy, and must not clobber the existing good record.
+echo "$good" > r.json.tmp
+"$promote" 3 r.json.tmp r.json >/dev/null 2>&1
+check "nonzero bench status refuses" 1 $?
+grep -q '"identical":true' r.json \
+  || { echo "FAIL: good record clobbered by crashed bench" >&2; fails=$((fails+1)); }
+[ -f r.json.rejected.json ] \
+  || { echo "FAIL: rejected record not preserved" >&2; fails=$((fails+1)); }
+rm -f r.json.rejected.json
+
+# 3. identical:false refuses.
+echo "$bad_identical" > r.json.tmp
+"$promote" 0 r.json.tmp r.json >/dev/null 2>&1
+check "identical:false refuses" 1 $?
+grep -q '"identical":true' r.json \
+  || { echo "FAIL: good record clobbered by identical:false" >&2; fails=$((fails+1)); }
+rm -f r.json.rejected.json
+
+# 4. speedup regression against a passing record refuses.
+echo "$slow" > r.json.tmp
+"$promote" 0 r.json.tmp r.json >/dev/null 2>&1
+check "speedup regression refuses" 1 $?
+grep -q '"speedup_target_met":true' r.json \
+  || { echo "FAIL: passing record clobbered by regression" >&2; fails=$((fails+1)); }
+rm -f r.json.rejected.json
+
+# 5. speedup_target_met:false on a FRESH record is allowed (single-core
+#    machines legitimately record it).
+rm -f fresh.json
+echo "$slow" > fresh.json.tmp
+"$promote" 0 fresh.json.tmp fresh.json >/dev/null 2>&1
+check "fresh slow record promotes" 0 $?
+[ -f fresh.json ] || { echo "FAIL: fresh.json missing" >&2; fails=$((fails+1)); }
+
+# 6. Missing tmp file (bench died before writing) refuses.
+"$promote" 9 does_not_exist.tmp r.json >/dev/null 2>&1
+check "missing record refuses" 1 $?
+
+# 7. Usage error.
+"$promote" 0 only_two_args >/dev/null 2>&1
+check "usage error exits 2" 2 $?
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all promote_bench_record checks passed"

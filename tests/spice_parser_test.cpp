@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "spice/number.hpp"
 #include "spice/parser.hpp"
 #include "spice/writer.hpp"
@@ -455,6 +457,53 @@ TEST(Netlist, RailClassification) {
   EXPECT_TRUE(is_ground_net("vss"));
   EXPECT_FALSE(is_supply_net("vout"));
   EXPECT_FALSE(is_ground_net("vin"));
+}
+
+// read_netlist_text sizes its buffer from a pre-read tellg probe; a
+// file that changes size between probe and read must be diagnosed, not
+// parsed as a torn prefix. read_probed_text is the probe-vs-read
+// verification seam with the stream injectable.
+TEST(ReadProbedText, ExactSizeRoundTrips) {
+  std::istringstream in("m0 d g s b nmos\n");
+  EXPECT_EQ(read_probed_text(in, 16, "x.sp"), "m0 d g s b nmos\n");
+}
+
+TEST(ReadProbedText, ShrunkenFileIsIoError) {
+  // Probe said 32 bytes, only 10 arrive: without the check the buffer
+  // would be a NUL-padded torn prefix.
+  std::istringstream in("r1 a b 10k");
+  try {
+    (void)read_probed_text(in, 32, "shrunk.sp");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.diag().code, DiagCode::IoError);
+    EXPECT_EQ(e.diag().stage, Stage::Io);
+    EXPECT_NE(e.diag().message.find("shrank"), std::string::npos)
+        << e.diag().message;
+    EXPECT_NE(e.diag().message.find("shrunk.sp"), std::string::npos);
+  }
+}
+
+TEST(ReadProbedText, GrownFileIsIoError) {
+  // Probe said 5 bytes but more follow: without the trailing-bytes
+  // check the parse would silently see a truncated netlist.
+  std::istringstream in("r1 a b 10k\nc1 b 0 1p\n");
+  try {
+    (void)read_probed_text(in, 5, "grown.sp");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.diag().code, DiagCode::IoError);
+    EXPECT_NE(e.diag().message.find("grew"), std::string::npos)
+        << e.diag().message;
+    EXPECT_NE(e.diag().message.find("grown.sp"), std::string::npos);
+  }
+}
+
+TEST(ReadProbedText, ZeroProbeWithContentIsGrowth) {
+  std::istringstream in("x");
+  EXPECT_THROW((void)read_probed_text(in, 0, "z.sp"), ParseError);
+  std::istringstream empty("");
+  EXPECT_EQ(read_probed_text(empty, 0, "e.sp"), "");
 }
 
 }  // namespace

@@ -221,5 +221,17 @@ TEST(ShardedCache, PerShardCapacityHelperRoundsUp) {
   EXPECT_EQ(per_shard_capacity_for(1024), 64u);
 }
 
+TEST(ShardedCache, CapacityHelperDerivesFromTheCacheShardCount) {
+  // The helper and the cache must agree on one shard-count constant; a
+  // hardcoded local copy once drifted and silently shrank total
+  // capacity below the request.
+  EXPECT_EQ(ShardedCache<int>::kShardCount, kCacheShardCount);
+  for (std::size_t total = 1; total <= 4 * kCacheShardCount + 3; ++total) {
+    EXPECT_GE(ShardedCache<int>::kShardCount * per_shard_capacity_for(total),
+              total)
+        << "requested total capacity " << total << " not covered";
+  }
+}
+
 }  // namespace
 }  // namespace gana
