@@ -1,0 +1,164 @@
+// Incremental re-annotation bench: the interactive sizing loop.
+//
+// One engineer, one SC-filter design, a stream of one-device sizing
+// edits. Cold = what a stateless tool pays per edit (a fresh Annotator
+// run, no caches). Warm = an AnnotationSession carrying the previous
+// revision's artifacts: prepare is patched, probabilities are compared,
+// and the stored derived result is re-emitted when nothing downstream
+// changed.
+//
+// The "identical" guard is the engine's contract: every warm revision's
+// annotation JSON must be byte-identical to a cold annotate of the same
+// netlist. A false verdict means a reuse path leaked stale state into
+// results and the record must not be promoted -- run_benches.sh refuses
+// it (promote_bench_record.sh).
+//
+// Speedup target: 10x warm over cold per edit. GANA_BENCH_QUICK=1
+// shrinks the edit count for smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/export.hpp"
+#include "incremental/session.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace gana;
+
+namespace {
+
+/// One deterministic one-device sizing edit per revision: cycle through
+/// the devices, nudging the characteristic sizing each visit.
+spice::Netlist edited_revision(const spice::Netlist& base, std::size_t step) {
+  spice::Netlist out = base;
+  spice::Device& d = out.devices[step % out.devices.size()];
+  const double scale = 1.0 + 0.01 * static_cast<double>(step + 1);
+  if (spice::is_mos(d.type)) {
+    auto w = d.params.find("w");
+    if (w != d.params.end()) {
+      w->second *= scale;
+    } else {
+      d.value *= scale;
+    }
+  } else {
+    d.value *= scale;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_incremental.json";
+  bench::print_header(
+      "Incremental re-annotation: interactive sizing edits",
+      "SC filter, one-device edits, session warm path vs cold annotate");
+
+  Rng rng(42);
+  const auto circuit = datagen::generate_sc_filter({}, rng);
+  const std::size_t edits = bench::scaled(400, 40);
+  std::printf("circuit: %s (%zu devices), %zu one-device sizing edits\n\n",
+              circuit.name.c_str(), circuit.netlist.devices.size(), edits);
+
+  // Cold per-edit cost: a stateless annotator, rebuilt per revision so
+  // no cache carries over (exactly what a batch tool pays per call).
+  // The cold outputs double as the identity reference for the warm run.
+  std::vector<std::string> cold_json;
+  cold_json.reserve(edits);
+  double cold_seconds = 0.0;
+  for (std::size_t i = 0; i < edits; ++i) {
+    const spice::Netlist rev = edited_revision(circuit.netlist, i);
+    core::Annotator annotator(nullptr, circuit.class_names);
+    Timer t;
+    const auto r = annotator.try_annotate(rev, circuit.name);
+    cold_seconds += t.seconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "incremental bench: cold annotate failed: %s\n",
+                   r.diag().render().c_str());
+      return 1;
+    }
+    cold_json.push_back(core::annotation_to_json(r.value(),
+                                                 circuit.class_names));
+  }
+
+  // Warm per-edit cost: one session, primed on the base revision (the
+  // priming run is the cold annotate an interactive tool pays once at
+  // load; it is not part of the per-edit cost).
+  core::Annotator warm_annotator(nullptr, circuit.class_names);
+  incremental::AnnotationSession session(&warm_annotator);
+  const auto primed = session.reannotate(circuit.netlist, circuit.name);
+  if (!primed.ok()) {
+    std::fprintf(stderr, "incremental bench: priming failed: %s\n",
+                 primed.diag().render().c_str());
+    return 1;
+  }
+  double warm_seconds = 0.0;
+  bool identical = true;
+  std::size_t reused_results = 0;
+  std::size_t region_reuses = 0;
+  std::size_t region_recomputes = 0;
+  for (std::size_t i = 0; i < edits; ++i) {
+    const spice::Netlist rev = edited_revision(circuit.netlist, i);
+    Timer t;
+    const auto r = session.reannotate(rev, circuit.name);
+    warm_seconds += t.seconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "incremental bench: warm reannotate failed: %s\n",
+                   r.diag().render().c_str());
+      return 1;
+    }
+    const incremental::SessionStats& stats = session.last_stats();
+    if (stats.result_reused) ++reused_results;
+    region_reuses += stats.region_reuses;
+    region_recomputes += stats.region_recomputes;
+    const std::string warm =
+        core::annotation_to_json(r.value(), circuit.class_names);
+    if (warm != cold_json[i]) {
+      identical = false;
+      std::fprintf(stderr,
+                   "incremental bench: warm revision %zu DIVERGED from the "
+                   "cold annotate\n",
+                   i);
+    }
+  }
+
+  const double cold_ms = cold_seconds / static_cast<double>(edits) * 1e3;
+  const double warm_ms = warm_seconds / static_cast<double>(edits) * 1e3;
+  const double speedup = cold_ms / std::max(warm_ms, 1e-12);
+  const double target = 10.0;
+  const bool target_met = speedup >= target;
+
+  TextTable table({"Path", "ms/edit", "Edits/s", "Notes"});
+  table.add_row({"cold annotate", fmt(cold_ms, 3),
+                 fmt(1e3 / std::max(cold_ms, 1e-12), 0), "(ref)"});
+  table.add_row({"session warm", fmt(warm_ms, 3),
+                 fmt(1e3 / std::max(warm_ms, 1e-12), 0),
+                 fmt(speedup, 1) + "x, " + std::to_string(reused_results) +
+                     "/" + std::to_string(edits) + " re-emitted"});
+  std::printf("%s", table.str().c_str());
+  std::printf("\nwarm speedup: %.1fx (target %.0fx), outputs %s\n", speedup,
+              target, identical ? "byte-identical" : "DIVERGED");
+
+  std::ostringstream json;
+  json << "{\"bench\":\"incremental\",\"circuit\":\"" << circuit.name
+       << "\",\"devices\":" << circuit.netlist.devices.size()
+       << ",\"edits\":" << edits << ",\"cold_ms\":" << cold_ms
+       << ",\"warm_ms\":" << warm_ms << ",\"speedup\":" << speedup
+       << ",\"speedup_target\":" << target << ",\"speedup_target_met\":"
+       << (target_met ? "true" : "false")
+       << ",\"result_reused\":" << reused_results
+       << ",\"region_reuses\":" << region_reuses
+       << ",\"region_recomputes\":" << region_recomputes
+       << ",\"identical\":" << (identical ? "true" : "false") << "}";
+  std::ofstream f(out_path);
+  f << json.str() << "\n";
+  f.close();
+  std::printf("record written to %s\n", out_path.c_str());
+
+  return identical ? 0 : 1;
+}

@@ -5,8 +5,12 @@
 //   ./annotate_netlist circuit.sp [more.sp ...] [--domain ota|rf]
 //                      [--train] [--circuits 150] [--epochs 25]
 //                      [--jobs N] [--keep-going] [--svg out.svg]
+//                      [--session]
 //                      [--sample-cache] [--annotation-cache]
 //                      [--inference-cache] [--cache-capacity C]
+//                      [--prep-cache-capacity C]
+//                      [--annotation-cache-capacity C]
+//                      [--inference-cache-capacity C]
 //                      [--timeout-seconds S]
 //                      [--frontend interned|reference]
 //                      [--perf-json perf.json]
@@ -40,6 +44,23 @@
 // eviction (0, the default, keeps them unbounded). Eviction costs
 // recompute only; outputs stay bit-identical.
 //
+// --prep-cache-capacity / --annotation-cache-capacity /
+// --inference-cache-capacity: per-cache capacity overrides. Each falls
+// back to --cache-capacity when not given, so the shared knob keeps
+// working; a structurally diverse corpus can now e.g. bound the sample
+// prep cache while leaving the cheap inference cache unbounded.
+//
+// --session: treat the input files as successive *revisions* of one
+// evolving design and annotate them through an incremental
+// AnnotationSession (DESIGN.md §14): the front end is skipped for
+// value-only edits, primitive matching is re-run only for the regions an
+// edit dirtied, and an unchanged structure reuses the whole cached
+// annotation. All revisions are annotated under the session's design
+// name (the first file's path), and each output is bit-identical to a
+// cold run of that revision under that name. Revisions run sequentially
+// (--jobs parallelizes inside the GCN); each gets a "revision" line
+// with its reuse report.
+//
 // --timeout-seconds S: per-netlist wall-clock deadline. A circuit that
 // exceeds it fails with DiagCode::DeadlineExceeded, gets a [TIMEOUT]
 // summary line, and drives exit code 5; its siblings are unaffected
@@ -71,6 +92,7 @@
 #include "util/args.hpp"
 #include "util/perf.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -151,15 +173,20 @@ void print_result(const gana::core::AnnotateResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const gana::Args args(argc, argv);
+  const gana::Args args(argc, argv,
+                        {"train", "keep-going", "session", "sample-cache",
+                         "annotation-cache", "inference-cache"});
   if (args.positional().empty()) {
     std::printf(
         "usage: annotate_netlist <file.sp> [more.sp ...]\n"
         "                        [--domain ota|rf] [--train]\n"
         "                        [--circuits 150] [--epochs 25]\n"
-        "                        [--jobs N] [--keep-going]\n"
+        "                        [--jobs N] [--keep-going] [--session]\n"
         "                        [--sample-cache] [--annotation-cache]\n"
         "                        [--inference-cache] [--cache-capacity C]\n"
+        "                        [--prep-cache-capacity C]\n"
+        "                        [--annotation-cache-capacity C]\n"
+        "                        [--inference-cache-capacity C]\n"
         "                        [--timeout-seconds S]\n"
         "                        [--frontend interned|reference]\n"
         "                        [--kernel simd|unrolled|reference]\n"
@@ -249,28 +276,85 @@ int main(int argc, char** argv) {
   gana::core::Annotator annotator(model.get(), classes,
                                   gana::primitives::PrimitiveLibrary::standard(),
                                   prepare);
-  const std::size_t cache_capacity =
-      static_cast<std::size_t>(std::max(args.get_int("cache-capacity", 0), 0));
+  // Per-cache capacities, each falling back to the shared knob.
+  const int shared_capacity = std::max(args.get_int("cache-capacity", 0), 0);
+  const auto cache_capacity = [&](const char* flag) {
+    return static_cast<std::size_t>(
+        std::max(args.get_int(flag, shared_capacity), 0));
+  };
   if (args.has("sample-cache")) {
-    annotator.set_sample_cache(
-        std::make_shared<gana::gcn::SamplePrepCache>(cache_capacity));
+    annotator.set_sample_cache(std::make_shared<gana::gcn::SamplePrepCache>(
+        cache_capacity("prep-cache-capacity")));
   }
   if (args.has("annotation-cache")) {
     annotator.set_annotation_cache(
-        std::make_shared<gana::primitives::AnnotationCache>(cache_capacity));
+        std::make_shared<gana::primitives::AnnotationCache>(
+            cache_capacity("annotation-cache-capacity")));
   }
   if (args.has("inference-cache")) {
     // Attached after any --train / --load-model: set_inference_cache
     // captures the weights fingerprint at this point.
-    annotator.set_inference_cache(
-        std::make_shared<gana::gcn::InferenceCache>(cache_capacity));
+    annotator.set_inference_cache(std::make_shared<gana::gcn::InferenceCache>(
+        cache_capacity("inference-cache-capacity")));
   }
   gana::core::BatchOptions bopt;
   bopt.policy = keep_going ? gana::core::FailurePolicy::CollectAll
                            : gana::core::FailurePolicy::FailFast;
   bopt.timeout_seconds = args.get_double("timeout-seconds", 0.0);
   gana::core::BatchOutcome batch;
-  if (netlists.size() <= 1) {
+  if (args.has("session")) {
+    // Edit-sequence replay: each input is the next revision of one
+    // design, annotated incrementally. Sequential by construction
+    // (revision i+1 diffs against i), so --jobs goes inside the GCN and
+    // --timeout-seconds is ignored (deadlines would force cold runs).
+    gana::incremental::AnnotationSession session(&annotator);
+    // One evolving design: every revision keeps the session's design
+    // name so value-only edits can take the patched-prepare path (the
+    // session keys its previous-revision state on the name).
+    const std::string design_name =
+        netlist_names.empty() ? std::string() : netlist_names[0];
+    gana::set_compute_threads(jobs);
+    gana::Timer wall;
+    const gana::PerfSnapshot perf_before = gana::perf_snapshot();
+    batch.jobs = 1;
+    bool aborted = false;
+    for (std::size_t i = 0; i < netlists.size(); ++i) {
+      if (aborted) {
+        batch.outcomes.push_back(gana::make_diag(
+            gana::DiagCode::Skipped, gana::Stage::Batch,
+            "task " + std::to_string(i) +
+                " skipped: fail-fast after an earlier failure"));
+        continue;
+      }
+      auto outcome = session.reannotate(netlists[i], design_name);
+      if (outcome.ok()) {
+        const auto& st = session.last_stats();
+        std::printf(
+            "revision %zu: %s, devices +%zu/-%zu/~%zu, regions %zu "
+            "(%zu reused, %zu recomputed)%s%s\n",
+            i, st.full_prepare ? "full prepare" : "patched prepare",
+            st.devices_added, st.devices_removed, st.devices_changed,
+            st.regions, st.region_reuses, st.region_recomputes,
+            st.annotation_reused ? ", annotation reused" : "",
+            st.fallback_cold ? ", cold fallback" : "");
+      } else {
+        aborted = !keep_going;
+      }
+      batch.outcomes.push_back(std::move(outcome));
+    }
+    gana::set_compute_threads(1);
+    batch.timings.wall_seconds = wall.seconds();
+    batch.timings.apply_perf_delta(gana::perf_snapshot() - perf_before);
+    for (const auto& o : batch.outcomes) {
+      if (!o.ok()) continue;
+      batch.timings.prepare_seconds += o.value().cpu_seconds_prepare;
+      batch.timings.gcn_seconds += o.value().cpu_seconds_gcn;
+      batch.timings.post_seconds += o.value().cpu_seconds_post;
+      batch.timings.prepare_wall_seconds += o.value().seconds_prepare;
+      batch.timings.gcn_wall_seconds += o.value().seconds_gcn;
+      batch.timings.post_wall_seconds += o.value().seconds_post;
+    }
+  } else if (netlists.size() <= 1) {
     // One circuit: parallelism goes inside the pipeline (row-parallel
     // sparse products in the Chebyshev convolutions).
     gana::set_compute_threads(jobs);

@@ -41,7 +41,7 @@ constexpr int kExitTimeout = 5;
 }  // namespace
 
 int main(int argc, char** argv) {
-  const gana::Args args(argc, argv);
+  const gana::Args args(argc, argv, {"ping", "metrics", "shutdown"});
   const bool control_only =
       args.has("ping") || args.has("metrics") || args.has("shutdown");
   if (!args.has("socket") || (args.positional().empty() && !control_only)) {

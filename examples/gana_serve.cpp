@@ -1,18 +1,24 @@
 // Warm annotation daemon: loads the model and primitive library once,
-// then serves framed annotate/ping/metrics/shutdown requests over a
-// Unix-domain socket until SIGTERM/SIGINT (or a shutdown request)
-// drains it.
+// then serves framed annotate/reannotate/ping/metrics/shutdown requests
+// over a Unix-domain socket until SIGTERM/SIGINT (or a shutdown
+// request) drains it.
 //
 //   ./gana_serve --socket /tmp/gana.sock
 //                [--domain ota|rf] [--load-model m.ckpt]
-//                [--jobs N] [--max-inflight M]
+//                [--jobs N] [--max-inflight M] [--max-sessions K]
 //                [--timeout-seconds S] [--write-timeout-seconds S]
-//                [--cache-capacity C] [--seed N]
+//                [--cache-capacity C] [--prep-cache-capacity C]
+//                [--annotation-cache-capacity C]
+//                [--inference-cache-capacity C] [--seed N]
 //                [--fault-seed N] [--fault-alloc P] [--fault-error P]
 //                [--fault-delay P] [--fault-delay-seconds S]
 //
 // --max-inflight M: admission-control bound; request M+1 is answered
 // `Overloaded` immediately instead of queueing (default 2 * jobs).
+//
+// --max-sessions K: live reannotation sessions held at once (default
+// 8). Opening session K+1 sheds the oldest-created session FIFO; its
+// next reannotate silently restarts cold under the same id.
 //
 // --timeout-seconds S: default per-request wall-clock deadline (a
 // request's own timeout_seconds takes precedence; 0 = no deadline).
@@ -25,7 +31,10 @@
 // --cache-capacity C: bound each structural cache (sample prep, GCN
 // inference, VF2 annotation) to ~C entries with FIFO eviction; 0 keeps
 // them unbounded. Eviction costs recompute only -- responses stay
-// bit-identical.
+// bit-identical. --prep-cache-capacity / --annotation-cache-capacity /
+// --inference-cache-capacity override the shared value per cache (the
+// three caches hold entries of very different sizes, so a daemon tuned
+// for a memory budget sizes them independently).
 //
 // --fault-*: arm the deterministic fault injector (soak testing): every
 // pipeline stage entry of every request draws alloc-failure / stage-
@@ -38,6 +47,7 @@
 #include <csignal>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "gana.hpp"
@@ -64,9 +74,13 @@ int main(int argc, char** argv) {
         "usage: gana_serve --socket /path/to.sock\n"
         "                  [--domain ota|rf] [--load-model m.ckpt]\n"
         "                  [--jobs N] [--max-inflight M]\n"
+        "                  [--max-sessions K]\n"
         "                  [--timeout-seconds S]\n"
         "                  [--write-timeout-seconds S]\n"
-        "                  [--cache-capacity C] [--seed N]\n"
+        "                  [--cache-capacity C]\n"
+        "                  [--prep-cache-capacity C]\n"
+        "                  [--annotation-cache-capacity C]\n"
+        "                  [--inference-cache-capacity C] [--seed N]\n"
         "                  [--fault-seed N] [--fault-alloc P]\n"
         "                  [--fault-error P] [--fault-delay P]\n"
         "                  [--fault-delay-seconds S]\n");
@@ -96,8 +110,21 @@ int main(int argc, char** argv) {
   config.default_timeout_seconds = args.get_double("timeout-seconds", 0.0);
   config.write_timeout_seconds =
       args.get_double("write-timeout-seconds", config.write_timeout_seconds);
+  config.max_sessions =
+      static_cast<std::size_t>(std::max(args.get_int("max-sessions", 0), 0));
   config.cache_capacity =
       static_cast<std::size_t>(std::max(args.get_int("cache-capacity", 0), 0));
+  const auto cache_override = [&args](const char* flag) {
+    std::optional<std::size_t> capacity;
+    if (args.has(flag)) {
+      capacity = static_cast<std::size_t>(std::max(args.get_int(flag, 0), 0));
+    }
+    return capacity;
+  };
+  config.prep_cache_capacity = cache_override("prep-cache-capacity");
+  config.annotation_cache_capacity =
+      cache_override("annotation-cache-capacity");
+  config.inference_cache_capacity = cache_override("inference-cache-capacity");
   config.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<int>(gana::core::kDefaultSampleSeed)));
 

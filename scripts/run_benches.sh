@@ -40,7 +40,7 @@ done
 # or failed verification after writing its record never overwrites a
 # good one).
 status=0
-for b in gcn_inference primitive_matching frontend sharding; do
+for b in gcn_inference primitive_matching frontend sharding incremental; do
   echo "=== $b ==="
   record="BENCH_$b.json"
   tmp="$record.tmp"

@@ -72,7 +72,38 @@ BatchTimings& BatchTimings::operator+=(const BatchTimings& o) {
   intern_hits += o.intern_hits;
   intern_misses += o.intern_misses;
   frontend_allocs += o.frontend_allocs;
+  incr_regions += o.incr_regions;
+  incr_region_reuses += o.incr_region_reuses;
+  incr_region_recomputes += o.incr_region_recomputes;
+  incr_canon_fallbacks += o.incr_canon_fallbacks;
   return *this;
+}
+
+void BatchTimings::apply_perf_delta(const PerfSnapshot& perf) {
+  matrix_allocs = perf.matrix_allocs;
+  matrix_alloc_bytes = perf.matrix_alloc_bytes;
+  spmm_calls = perf.spmm_calls;
+  spmm_flops = perf.spmm_flops;
+  matmul_calls = perf.matmul_calls;
+  matmul_flops = perf.matmul_flops;
+  sample_cache_hits = perf.sample_cache_hits;
+  sample_cache_misses = perf.sample_cache_misses;
+  inference_cache_hits = perf.inference_cache_hits;
+  inference_cache_misses = perf.inference_cache_misses;
+  vf2_states = perf.vf2_states;
+  vf2_sig_rejections = perf.vf2_sig_rejections;
+  vf2_pattern_skips = perf.vf2_pattern_skips;
+  annotation_cache_hits = perf.annotation_cache_hits;
+  annotation_cache_misses = perf.annotation_cache_misses;
+  cache_evictions = perf.cache_evictions;
+  parse_bytes = perf.parse_bytes;
+  intern_hits = perf.intern_hits;
+  intern_misses = perf.intern_misses;
+  frontend_allocs = perf.frontend_allocs;
+  incr_regions = perf.incr_regions;
+  incr_region_reuses = perf.incr_region_reuses;
+  incr_region_recomputes = perf.incr_region_recomputes;
+  incr_canon_fallbacks = perf.incr_canon_fallbacks;
 }
 
 double BatchResult::mean_acc_gcn() const {
@@ -216,27 +247,7 @@ BatchOutcome BatchRunner::dispatch(std::size_t count, const Task& task) const {
     }
   }
   out.timings.wall_seconds = wall.seconds();
-  const PerfSnapshot perf = perf_snapshot() - perf_before;
-  out.timings.matrix_allocs = perf.matrix_allocs;
-  out.timings.matrix_alloc_bytes = perf.matrix_alloc_bytes;
-  out.timings.spmm_calls = perf.spmm_calls;
-  out.timings.spmm_flops = perf.spmm_flops;
-  out.timings.matmul_calls = perf.matmul_calls;
-  out.timings.matmul_flops = perf.matmul_flops;
-  out.timings.sample_cache_hits = perf.sample_cache_hits;
-  out.timings.sample_cache_misses = perf.sample_cache_misses;
-  out.timings.inference_cache_hits = perf.inference_cache_hits;
-  out.timings.inference_cache_misses = perf.inference_cache_misses;
-  out.timings.vf2_states = perf.vf2_states;
-  out.timings.vf2_sig_rejections = perf.vf2_sig_rejections;
-  out.timings.vf2_pattern_skips = perf.vf2_pattern_skips;
-  out.timings.annotation_cache_hits = perf.annotation_cache_hits;
-  out.timings.annotation_cache_misses = perf.annotation_cache_misses;
-  out.timings.cache_evictions = perf.cache_evictions;
-  out.timings.parse_bytes = perf.parse_bytes;
-  out.timings.intern_hits = perf.intern_hits;
-  out.timings.intern_misses = perf.intern_misses;
-  out.timings.frontend_allocs = perf.frontend_allocs;
+  out.timings.apply_perf_delta(perf_snapshot() - perf_before);
   for (const auto& o : out.outcomes) {
     if (!o.ok()) continue;
     out.timings.prepare_seconds += o.value().cpu_seconds_prepare;

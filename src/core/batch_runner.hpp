@@ -38,6 +38,7 @@
 
 namespace gana {
 class ThreadPool;
+struct PerfSnapshot;
 }
 
 namespace gana::core {
@@ -115,6 +116,15 @@ struct BatchTimings {
   std::uint64_t intern_hits = 0;       ///< SymbolTable lookups of known names
   std::uint64_t intern_misses = 0;     ///< SymbolTable first-time interns
   std::uint64_t frontend_allocs = 0;   ///< interned front-end heap allocations
+  std::uint64_t incr_regions = 0;      ///< regions seen by session runs
+  std::uint64_t incr_region_reuses = 0;      ///< regions served from cache
+  std::uint64_t incr_region_recomputes = 0;  ///< regions re-run (dirty cone)
+  std::uint64_t incr_canon_fallbacks = 0;    ///< canonical-order budget hits
+
+  /// Copies the perf-counter fields of a counter-window delta into this
+  /// record (timing fields are untouched). BatchRunner uses it for every
+  /// batch; session-mode drivers use it to report the same JSON schema.
+  void apply_perf_delta(const PerfSnapshot& delta);
 
   /// Field-wise accumulation, for callers that run a corpus as a
   /// sequence of batches (the shard worker's chunked streaming loop)

@@ -111,7 +111,11 @@ std::string batch_timings_to_json(const BatchTimings& t, std::size_t jobs,
       << ",\"parse_bytes\":" << t.parse_bytes
       << ",\"intern_hits\":" << t.intern_hits
       << ",\"intern_misses\":" << t.intern_misses
-      << ",\"frontend_allocs\":" << t.frontend_allocs << "}";
+      << ",\"frontend_allocs\":" << t.frontend_allocs
+      << ",\"incr_regions\":" << t.incr_regions
+      << ",\"incr_region_reuses\":" << t.incr_region_reuses
+      << ",\"incr_region_recomputes\":" << t.incr_region_recomputes
+      << ",\"incr_canon_fallbacks\":" << t.incr_canon_fallbacks << "}";
   return out.str();
 }
 

@@ -1,6 +1,7 @@
 #include "core/features.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace gana::core {
 namespace {
@@ -125,6 +126,24 @@ std::vector<int> vertex_labels(
     labels[v] = best;
   }
   return labels;
+}
+
+std::uint64_t features_fingerprint(const Matrix& features) {
+  constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+  auto fold = [](std::uint64_t h, std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (word >> (8 * i)) & 0xffu;
+      h *= kFnvPrime;
+    }
+    return h;
+  };
+  std::uint64_t h = fold(kFnvOffset, features.rows());
+  h = fold(h, features.cols());
+  for (double x : features.data()) {
+    h = fold(h, std::bit_cast<std::uint64_t>(x));
+  }
+  return h;
 }
 
 }  // namespace gana::core

@@ -8,6 +8,7 @@
 //     gate-drain ties -- the signature of mirror inputs).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -43,6 +44,13 @@ enum Feature : std::size_t {
 
 /// Builds the n x 18 feature matrix for a circuit graph.
 Matrix build_features(const graph::CircuitGraph& g);
+
+/// Order-sensitive fingerprint of a feature matrix: FNV-1a over the
+/// dimensions and the raw IEEE-754 bits of every entry. Folded into the
+/// GCN inference-cache key so two circuits that share a structural hash
+/// but differ in feature *values* (e.g. a sizing edit that crosses a
+/// value bucket) can never alias to one cached probability matrix.
+std::uint64_t features_fingerprint(const Matrix& features);
 
 /// Ground-truth class per vertex: elements take their device label; nets
 /// take the majority label of adjacent elements (ties break toward the

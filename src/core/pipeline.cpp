@@ -231,6 +231,75 @@ void require_finite(const Matrix& m, Stage stage, const std::string& name,
 
 }  // namespace
 
+Matrix Annotator::compute_probabilities(const PreparedCircuit& prepared,
+                                        std::uint64_t sample_seed,
+                                        Stage* stage) const {
+  const std::size_t n = prepared.graph.vertex_count();
+  if (model_ == nullptr) {
+    // No model: uniform probabilities over the first class only, so the
+    // graph-based stages can still be exercised in isolation.
+    const std::size_t k = std::max<std::size_t>(1, class_names_.size());
+    return Matrix(n, k, 1.0 / static_cast<double>(k));
+  }
+  mark(stage, Stage::Features);
+  // Seed the prep stream from the circuit's structure, not its batch
+  // slot: structurally identical circuits then get bit-identical
+  // spectral operators whether or not the SamplePrepCache is attached.
+  const int pool_levels = model_->config().required_pool_levels();
+  const std::uint64_t prep_seed = graph::hash_combine(
+      sample_seed, graph::structural_hash(prepared.graph));
+  const std::uint64_t sample_key = graph::hash_combine(
+      prep_seed, static_cast<std::uint64_t>(pool_levels));
+  Matrix features = build_features(prepared.graph);
+  // Inference memoization: the probabilities are a pure function of the
+  // sample bits and the model weights. The key folds the structural
+  // sample key, the weights fingerprint, and a fingerprint of the
+  // feature values -- the structural hash alone would alias two sizings
+  // of one topology whose values fall in different feature buckets.
+  std::shared_ptr<const Matrix> cached_probs;
+  std::uint64_t infer_key = 0;
+  if (inference_cache_ != nullptr) {
+    infer_key =
+        graph::hash_combine(graph::hash_combine(sample_key, model_fingerprint_),
+                            features_fingerprint(features));
+    cached_probs = inference_cache_->find(infer_key);
+  }
+  if (cached_probs != nullptr) {
+    mark(stage, Stage::Gcn);
+    return *cached_probs;
+  }
+  gcn::GraphSample sample;
+  if (sample_cache_ != nullptr) {
+    std::shared_ptr<const gcn::SamplePrep> prep = sample_cache_->find(sample_key);
+    if (prep == nullptr) {
+      Rng rng(prep_seed);
+      prep = sample_cache_->insert(
+          sample_key,
+          std::make_shared<gcn::SamplePrep>(gcn::make_sample_prep(
+              graph::adjacency(prepared.graph), pool_levels, rng)));
+    }
+    sample = gcn::sample_from_prep(*prep, std::move(features), prepared.labels,
+                                   prepared.name);
+  } else {
+    Rng rng(prep_seed);
+    sample = gcn::make_sample(graph::adjacency(prepared.graph),
+                              std::move(features), prepared.labels, pool_levels,
+                              rng, prepared.name);
+  }
+  require_finite(sample.features, Stage::Features, prepared.name,
+                 "feature value");
+  mark(stage, Stage::Gcn);
+  // One workspace per worker thread: steady-state inference reuses its
+  // buffers and performs zero heap allocations inside the model.
+  thread_local gcn::InferWorkspace ws;
+  Matrix probs = gcn::softmax(model_->infer(sample, ws));
+  require_finite(probs, Stage::Gcn, prepared.name, "class probability");
+  if (inference_cache_ != nullptr) {
+    inference_cache_->insert(infer_key, std::make_shared<Matrix>(probs));
+  }
+  return probs;
+}
+
 AnnotateResult Annotator::run(PreparedCircuit prepared,
                               double seconds_prepare,
                               double cpu_seconds_prepare,
@@ -248,66 +317,8 @@ AnnotateResult Annotator::run(PreparedCircuit prepared,
   if (oracle_probs != nullptr) {
     mark(stage, Stage::Gcn);
     r.probabilities = *oracle_probs;
-  } else if (model_ != nullptr) {
-    mark(stage, Stage::Features);
-    // Seed the prep stream from the circuit's structure, not its batch
-    // slot: structurally identical circuits then get bit-identical
-    // spectral operators whether or not the SamplePrepCache is attached.
-    const int pool_levels = model_->config().required_pool_levels();
-    const std::uint64_t prep_seed = graph::hash_combine(
-        sample_seed, graph::structural_hash(r.prepared.graph));
-    const std::uint64_t sample_key = graph::hash_combine(
-        prep_seed, static_cast<std::uint64_t>(pool_levels));
-    // Inference memoization: the probabilities are a pure function of
-    // the sample bits and the model weights, so a structure seen under
-    // the same weights fingerprint can reuse them without building the
-    // sample (or features) at all.
-    std::shared_ptr<const Matrix> cached_probs;
-    std::uint64_t infer_key = 0;
-    if (inference_cache_ != nullptr) {
-      infer_key = graph::hash_combine(sample_key, model_fingerprint_);
-      cached_probs = inference_cache_->find(infer_key);
-    }
-    if (cached_probs != nullptr) {
-      mark(stage, Stage::Gcn);
-      r.probabilities = *cached_probs;
-    } else {
-      gcn::GraphSample sample;
-      if (sample_cache_ != nullptr) {
-        std::shared_ptr<const gcn::SamplePrep> prep =
-            sample_cache_->find(sample_key);
-        if (prep == nullptr) {
-          Rng rng(prep_seed);
-          prep = sample_cache_->insert(
-              sample_key,
-              std::make_shared<gcn::SamplePrep>(gcn::make_sample_prep(
-                  graph::adjacency(r.prepared.graph), pool_levels, rng)));
-        }
-        sample = gcn::sample_from_prep(*prep, build_features(r.prepared.graph),
-                                       r.prepared.labels, r.prepared.name);
-      } else {
-        Rng rng(prep_seed);
-        sample = make_gcn_sample(r.prepared, pool_levels, rng);
-      }
-      require_finite(sample.features, Stage::Features, r.prepared.name,
-                     "feature value");
-      mark(stage, Stage::Gcn);
-      // One workspace per worker thread: steady-state inference reuses its
-      // buffers and performs zero heap allocations inside the model.
-      thread_local gcn::InferWorkspace ws;
-      r.probabilities = gcn::softmax(model_->infer(sample, ws));
-      require_finite(r.probabilities, Stage::Gcn, r.prepared.name,
-                     "class probability");
-      if (inference_cache_ != nullptr) {
-        inference_cache_->insert(infer_key,
-                                 std::make_shared<Matrix>(r.probabilities));
-      }
-    }
   } else {
-    // No model: uniform probabilities over the first class only, so the
-    // graph-based stages can still be exercised in isolation.
-    const std::size_t k = std::max<std::size_t>(1, class_names_.size());
-    r.probabilities = Matrix(n, k, 1.0 / static_cast<double>(k));
+    r.probabilities = compute_probabilities(r.prepared, sample_seed, stage);
   }
   r.gcn_class.assign(n, -1);
   for (std::size_t v = 0; v < n; ++v) {

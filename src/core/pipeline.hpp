@@ -200,8 +200,25 @@ class Annotator {
     return annotation_cache_;
   }
 
+  /// GCN class probabilities for a prepared circuit: features, (cached)
+  /// spectral prep, inference, softmax. Exactly the GCN stage of the
+  /// full pipeline -- annotate() calls this -- exposed so the
+  /// incremental session engine can reuse the stage (and its caches)
+  /// while replacing primitive extraction with region-level reuse.
+  /// Honors the attached sample and inference caches; with no model it
+  /// returns the uniform fallback distribution. The inference-cache key
+  /// folds in a fingerprint of the feature *values*, so circuits that
+  /// share a structure but differ in sizing buckets never alias.
+  [[nodiscard]] Matrix compute_probabilities(
+      const PreparedCircuit& prepared,
+      std::uint64_t sample_seed = kDefaultSampleSeed,
+      Stage* stage = nullptr) const;
+
   [[nodiscard]] const std::vector<std::string>& class_names() const {
     return class_names_;
+  }
+  [[nodiscard]] const PrepareOptions& prepare_options() const {
+    return prepare_;
   }
   [[nodiscard]] const primitives::PrimitiveLibrary& library() const {
     return library_;

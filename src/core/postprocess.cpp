@@ -57,6 +57,19 @@ PostprocessResult postprocess_stage1(
     const std::vector<std::string>& class_names,
     const primitives::PrimitiveLibrary& library,
     const primitives::AnnotateOptions& annotate_options) {
+  // --- Primitive extraction over the whole graph, under the VF2
+  // resource budget: pathological graphs yield a deterministic partial
+  // annotation flagged via `primitives_truncated` instead of hanging.
+  auto annotation =
+      primitives::annotate_primitives_guarded(g, library, annotate_options);
+  return postprocess_stage1_with_annotation(g, ccc, probs, class_names,
+                                            std::move(annotation));
+}
+
+PostprocessResult postprocess_stage1_with_annotation(
+    const CircuitGraph& g, const graph::CccResult& ccc, const Matrix& probs,
+    const std::vector<std::string>& class_names,
+    primitives::AnnotateOutcome annotation) {
   PostprocessResult result;
   const std::size_t k = probs.cols();
 
@@ -71,11 +84,6 @@ PostprocessResult postprocess_stage1(
         std::max_element(score.begin(), score.end()) - score.begin());
   }
 
-  // --- Primitive extraction over the whole graph, under the VF2
-  // resource budget: pathological graphs yield a deterministic partial
-  // annotation flagged via `primitives_truncated` instead of hanging.
-  auto annotation =
-      primitives::annotate_primitives_guarded(g, library, annotate_options);
   result.primitives = std::move(annotation.primitives);
   result.primitives_truncated = annotation.truncated;
   result.vf2_states = annotation.vf2_states;

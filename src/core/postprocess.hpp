@@ -65,6 +65,19 @@ PostprocessResult postprocess_stage1(
     const primitives::PrimitiveLibrary& library,
     const primitives::AnnotateOptions& annotate_options = {});
 
+/// Postprocessing I on a *precomputed* primitive annotation. The
+/// incremental session engine runs VF2 per region (splicing cached
+/// per-structure results for clean regions), merges the instances into
+/// whole-graph order, and hands the merged outcome here -- everything
+/// after extraction (CCC vote, stand-alone separation, LC/BPF rules,
+/// bias inheritance) is cheap and global. Bit-identical to
+/// postprocess_stage1 when `annotation` equals
+/// annotate_primitives_guarded(g, library, options).
+PostprocessResult postprocess_stage1_with_annotation(
+    const graph::CircuitGraph& g, const graph::CccResult& ccc,
+    const Matrix& probs, const std::vector<std::string>& class_names,
+    primitives::AnnotateOutcome annotation);
+
 /// Postprocessing II; updates `result.cluster_class` in place. No-op for
 /// class vocabularies without RF classes.
 void postprocess_stage2(const graph::CircuitGraph& g,

@@ -34,6 +34,7 @@
 #include "graph/builder.hpp"      // IWYU pragma: export
 #include "graph/ccc.hpp"          // IWYU pragma: export
 #include "graph/laplacian.hpp"    // IWYU pragma: export
+#include "incremental/session.hpp"  // IWYU pragma: export
 #include "isomorph/equivalence.hpp"  // IWYU pragma: export
 #include "isomorph/vf2.hpp"       // IWYU pragma: export
 #include "layout/placer.hpp"      // IWYU pragma: export

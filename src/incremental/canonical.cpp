@@ -1,0 +1,200 @@
+#include "incremental/canonical.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+namespace gana::incremental {
+
+using graph::CircuitGraph;
+using graph::Vertex;
+using graph::VertexKind;
+
+namespace {
+
+/// Structural attribute word of a vertex: what the whole-graph
+/// structural hash sees (kind plus device type or net role). Names,
+/// values, and hierarchy depth are invisible to matching, so they are
+/// invisible here too.
+std::uint64_t attr_word(const Vertex& v) {
+  std::uint64_t word = static_cast<std::uint64_t>(v.kind);
+  if (v.kind == VertexKind::Element) {
+    word |= static_cast<std::uint64_t>(v.dtype) << 8;
+  } else {
+    word |= static_cast<std::uint64_t>(v.role) << 8;
+  }
+  return word;
+}
+
+/// The induced subgraph in local coordinates.
+struct LocalGraph {
+  std::size_t n = 0;
+  std::vector<std::uint64_t> attr;
+  /// Per local vertex: (edge label, local neighbor), sorted.
+  std::vector<std::vector<std::pair<std::uint8_t, std::uint32_t>>> adj;
+};
+
+/// Splits color classes by refinement signatures until stable. Colors
+/// are dense ranks; refinement only ever splits classes, so stability is
+/// "class count unchanged".
+void refine(const LocalGraph& lg, std::vector<std::uint32_t>& color) {
+  const std::size_t n = lg.n;
+  std::vector<std::vector<std::uint64_t>> sig(n);
+  std::vector<std::size_t> idx(n);
+  for (;;) {
+    std::size_t old_classes = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      old_classes = std::max<std::size_t>(old_classes, color[v] + 1);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      sig[v].clear();
+      sig[v].push_back(color[v]);
+      for (auto [label, u] : lg.adj[v]) {
+        sig[v].push_back((static_cast<std::uint64_t>(label) << 32) | color[u]);
+      }
+      std::sort(sig[v].begin() + 1, sig[v].end());
+    }
+    for (std::size_t v = 0; v < n; ++v) idx[v] = v;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return sig[a] < sig[b]; });
+    std::uint32_t next = 0;
+    std::vector<std::uint32_t> fresh(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0 && sig[idx[i]] != sig[idx[i - 1]]) ++next;
+      fresh[idx[i]] = next;
+    }
+    color.swap(fresh);
+    if (static_cast<std::size_t>(next) + 1 == old_classes) return;
+  }
+}
+
+/// Certificate of a discrete coloring: vertex attributes in color order
+/// plus the sorted positional edge triples. Equal certificates imply
+/// identical ordered subgraphs.
+std::vector<std::uint64_t> encode(const LocalGraph& lg,
+                                  const std::vector<std::size_t>& order) {
+  std::vector<std::size_t> pos(lg.n);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  std::vector<std::uint64_t> cert;
+  cert.reserve(lg.n * 4);
+  for (std::size_t v : order) cert.push_back(lg.attr[v]);
+  std::vector<std::uint64_t> edges;
+  for (std::size_t v = 0; v < lg.n; ++v) {
+    for (auto [label, u] : lg.adj[v]) {
+      if (v > u) continue;  // each edge once (bipartite: v<->u, keep min side)
+      const std::uint64_t a = std::min(pos[v], pos[u]);
+      const std::uint64_t b = std::max(pos[v], pos[u]);
+      edges.push_back((a << 40) | (b << 16) | label);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  cert.push_back(edges.size());
+  cert.insert(cert.end(), edges.begin(), edges.end());
+  return cert;
+}
+
+struct Best {
+  std::vector<std::uint64_t> cert;
+  std::vector<std::size_t> order;
+  bool set = false;
+};
+
+/// Individualization-refinement search; returns false when the leaf
+/// budget is exhausted (the caller falls back).
+bool search(const LocalGraph& lg, std::vector<std::uint32_t> color,
+            std::size_t& leaves, std::size_t leaf_budget, Best& best) {
+  refine(lg, color);
+  // First non-singleton class, by color rank.
+  std::vector<std::size_t> class_size(lg.n, 0);
+  for (std::uint32_t c : color) ++class_size[c];
+  std::uint32_t target = 0;
+  bool discrete = true;
+  for (std::uint32_t c = 0; c < lg.n; ++c) {
+    if (class_size[c] > 1) {
+      target = c;
+      discrete = false;
+      break;
+    }
+  }
+  if (discrete) {
+    if (++leaves > leaf_budget) return false;
+    std::vector<std::size_t> order(lg.n);
+    std::vector<std::size_t> idx(lg.n);
+    for (std::size_t v = 0; v < lg.n; ++v) idx[v] = v;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return color[a] < color[b];
+    });
+    order = std::move(idx);
+    std::vector<std::uint64_t> cert = encode(lg, order);
+    if (!best.set || cert < best.cert) {
+      best.cert = std::move(cert);
+      best.order = std::move(order);
+      best.set = true;
+    }
+    return true;
+  }
+  for (std::size_t v = 0; v < lg.n; ++v) {
+    if (color[v] != target) continue;
+    std::vector<std::uint32_t> branched = color;
+    branched[v] = static_cast<std::uint32_t>(lg.n);  // unique: colors < n
+    if (!search(lg, std::move(branched), leaves, leaf_budget, best)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CanonicalOrder canonical_order(const CircuitGraph& g,
+                               const std::vector<std::size_t>& vertices,
+                               std::size_t leaf_budget) {
+  std::vector<std::size_t> sorted = vertices;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  CanonicalOrder out;
+  if (sorted.empty()) return out;
+
+  LocalGraph lg;
+  lg.n = sorted.size();
+  lg.attr.resize(lg.n);
+  lg.adj.resize(lg.n);
+  std::vector<std::size_t> position(g.vertex_count(), CircuitGraph::npos);
+  for (std::size_t i = 0; i < sorted.size(); ++i) position[sorted[i]] = i;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    lg.attr[i] = attr_word(g.vertex(sorted[i]));
+  }
+  for (const graph::Edge& e : g.edges()) {
+    const std::size_t ep = position[e.element];
+    const std::size_t np = position[e.net];
+    if (ep == CircuitGraph::npos || np == CircuitGraph::npos) continue;
+    lg.adj[ep].emplace_back(e.label, static_cast<std::uint32_t>(np));
+    lg.adj[np].emplace_back(e.label, static_cast<std::uint32_t>(ep));
+  }
+  for (auto& a : lg.adj) std::sort(a.begin(), a.end());
+
+  // Initial colors: rank of the attribute word.
+  std::vector<std::uint64_t> attrs = lg.attr;
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  std::vector<std::uint32_t> color(lg.n);
+  for (std::size_t v = 0; v < lg.n; ++v) {
+    color[v] = static_cast<std::uint32_t>(
+        std::lower_bound(attrs.begin(), attrs.end(), lg.attr[v]) -
+        attrs.begin());
+  }
+
+  std::size_t leaves = 0;
+  Best best;
+  if (!search(lg, std::move(color), leaves, leaf_budget, best) || !best.set) {
+    out.order = std::move(sorted);
+    out.fallback = true;
+    return out;
+  }
+  out.order.reserve(lg.n);
+  for (std::size_t local : best.order) out.order.push_back(sorted[local]);
+  return out;
+}
+
+}  // namespace gana::incremental

@@ -1,0 +1,52 @@
+// Canonical vertex ordering of an induced subgraph (DESIGN.md §14).
+//
+// The incremental session engine caches per-region VF2 match lists
+// keyed by the region's *structure*. Two edits that produce the same
+// region under different whole-graph vertex numbering (a pure
+// reordering of the netlist, say) must land on the same cache entry,
+// and the cached match maps -- expressed in region-local coordinates --
+// must mean the same thing in both. Both requirements reduce to one:
+// order the region's vertices by structure alone.
+//
+// The algorithm is textbook iterated color refinement with
+// individualization:
+//   * initial colors = (vertex kind, device type or net role);
+//   * refinement signature = (old color, sorted multiset of
+//     (edge label, neighbor color)) until the partition is stable;
+//   * while a non-singleton class remains, individualize each member of
+//     the first one in turn, recurse, and keep the lexicographically
+//     smallest certificate (vertex attributes in order + sorted
+//     positional edge triples).
+// The leaf budget bounds the individualization tree on adversarially
+// symmetric regions; exceeding it falls back to ascending whole-graph
+// id order (sound -- the cache key then simply tracks the input
+// numbering and reuse degrades, counted by incr_canon_fallbacks).
+// Correctness never depends on the order being canonical, only on
+// "equal key => identical ordered subgraph".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+
+namespace gana::incremental {
+
+struct CanonicalOrder {
+  /// Whole-graph vertex ids of the subgraph, in canonical sequence.
+  std::vector<std::size_t> order;
+  /// True when the leaf budget was exceeded and `order` is the sorted-id
+  /// fallback (still deterministic, just numbering-sensitive).
+  bool fallback = false;
+};
+
+/// Canonically orders the subgraph of `g` induced by `vertices`
+/// (duplicates ignored). Pure function of the induced structure: two
+/// vertex sets inducing isomorphic labeled subgraphs yield orders under
+/// which the subgraphs are identical, whatever the original numbering
+/// -- unless the search exceeds `leaf_budget` leaves.
+CanonicalOrder canonical_order(const graph::CircuitGraph& g,
+                               const std::vector<std::size_t>& vertices,
+                               std::size_t leaf_budget = 64);
+
+}  // namespace gana::incremental

@@ -1,0 +1,176 @@
+#include "incremental/region.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/structural_hash.hpp"
+#include "incremental/canonical.hpp"
+#include "util/perf.hpp"
+
+namespace gana::incremental {
+
+using graph::CircuitGraph;
+using graph::NetRole;
+using graph::Vertex;
+using graph::VertexKind;
+
+bool is_rail(const Vertex& v) {
+  return v.kind == VertexKind::Net &&
+         (v.role == NetRole::Supply || v.role == NetRole::Ground);
+}
+
+namespace {
+
+/// Minimal union-find over vertex ids.
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  std::size_t find(std::size_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+RegionPartition partition_regions(const CircuitGraph& g) {
+  const std::size_t n = g.vertex_count();
+  UnionFind uf(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const Vertex& vert = g.vertex(v);
+    if (vert.kind != VertexKind::Net || is_rail(vert)) continue;
+    // All elements on a signal net share a region.
+    std::size_t first = CircuitGraph::npos;
+    for (std::size_t eid : g.incident(v)) {
+      const std::size_t el = g.edge(eid).element;
+      if (first == CircuitGraph::npos) {
+        first = el;
+      } else {
+        uf.unite(first, el);
+      }
+    }
+  }
+  RegionPartition out;
+  out.region_of.assign(n, -1);
+  std::vector<int> root_region(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (g.vertex(v).kind != VertexKind::Element) continue;
+    const std::size_t root = uf.find(v);
+    if (root_region[root] < 0) {
+      root_region[root] = static_cast<int>(out.elements.size());
+      out.elements.emplace_back();
+    }
+    out.region_of[v] = root_region[root];
+    out.elements[static_cast<std::size_t>(root_region[root])].push_back(v);
+  }
+  return out;  // per-region lists are ascending by construction
+}
+
+bool pattern_region_safe(const primitives::PrimitiveSpec& spec) {
+  const CircuitGraph& pg = spec.graph;
+  const std::size_t n = pg.vertex_count();
+  if (pg.element_count() == 0) return false;
+  // (b) every strict-degree net must also be forbid-rail: the exact
+  // degree comparison is only region-stable on signal nets.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (pg.vertex(v).kind != VertexKind::Net) continue;
+    const bool strict = v < spec.strict_degree.size() && spec.strict_degree[v];
+    const bool no_rail = v < spec.forbid_rail.size() && spec.forbid_rail[v];
+    if (strict && !no_rail) return false;
+  }
+  // (a) elements connected through forbid-rail nets.
+  UnionFind uf(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (pg.vertex(v).kind != VertexKind::Net) continue;
+    if (!(v < spec.forbid_rail.size() && spec.forbid_rail[v])) continue;
+    std::size_t first = CircuitGraph::npos;
+    for (std::size_t eid : pg.incident(v)) {
+      const std::size_t el = pg.edge(eid).element;
+      if (first == CircuitGraph::npos) {
+        first = el;
+      } else {
+        uf.unite(first, el);
+      }
+    }
+  }
+  std::size_t root = CircuitGraph::npos;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (pg.vertex(v).kind != VertexKind::Element) continue;
+    const std::size_t r = uf.find(v);
+    if (root == CircuitGraph::npos) {
+      root = r;
+    } else if (r != root) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RegionSubgraph build_region_subgraph(const CircuitGraph& g,
+                                     const std::vector<std::size_t>& elements,
+                                     std::size_t canon_leaf_budget) {
+  // Vertex set: the region's elements plus every adjacent net.
+  std::vector<std::size_t> vset = elements;
+  for (std::size_t el : elements) {
+    for (std::size_t eid : g.incident(el)) {
+      vset.push_back(g.edge(eid).net);
+    }
+  }
+  std::sort(vset.begin(), vset.end());
+  vset.erase(std::unique(vset.begin(), vset.end()), vset.end());
+
+  CanonicalOrder co = canonical_order(g, vset, canon_leaf_budget);
+  if (co.fallback) perf::count_incremental_canon_fallback();
+
+  RegionSubgraph out;
+  out.canon_fallback = co.fallback;
+  out.key = graph::subgraph_structural_hash(g, co.order);
+  out.to_whole = co.order;
+
+  std::vector<std::size_t> position(g.vertex_count(), CircuitGraph::npos);
+  for (std::size_t i = 0; i < co.order.size(); ++i) {
+    position[co.order[i]] = i;
+  }
+  // Local vertices in canonical order. CircuitGraph numbers elements and
+  // nets in one id space by insertion, so inserting in canonical order
+  // reproduces the order the key hashed.
+  for (std::size_t v : co.order) {
+    Vertex copy = g.vertex(v);
+    if (copy.kind == VertexKind::Element) {
+      out.graph.add_element(std::move(copy));
+    } else {
+      out.graph.add_net(std::move(copy));
+    }
+  }
+  // Edges incident to region elements, inserted in sorted positional
+  // order so the local edge list (and thus budgeted VF2 enumeration) is
+  // a pure function of the key, not of whole-graph edge order.
+  std::vector<bool> in_region(g.vertex_count(), false);
+  for (std::size_t el : elements) in_region[el] = true;
+  struct Triple {
+    std::size_t element, net;
+    std::uint8_t label;
+  };
+  std::vector<Triple> triples;
+  for (const graph::Edge& e : g.edges()) {
+    if (!in_region[e.element]) continue;
+    triples.push_back({position[e.element], position[e.net], e.label});
+  }
+  std::sort(triples.begin(), triples.end(), [](const Triple& a, const Triple& b) {
+    if (a.element != b.element) return a.element < b.element;
+    if (a.net != b.net) return a.net < b.net;
+    return a.label < b.label;
+  });
+  for (const Triple& t : triples) {
+    out.graph.connect(t.element, t.net, t.label);
+  }
+  return out;
+}
+
+}  // namespace gana::incremental

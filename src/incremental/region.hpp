@@ -1,0 +1,76 @@
+// Region decomposition for incremental primitive matching (DESIGN.md §14).
+//
+// A *region* is a connected component of element vertices under
+// shared-non-rail-net adjacency: two devices are in one region iff a
+// chain of signal nets (anything but the supply/ground rails) links
+// them. Rails connect almost everything to almost everything, so they
+// are deliberately not edges of this relation -- they are instead
+// *included* in every adjacent region's subgraph, giving each region
+// the full local context VF2 needs.
+//
+// A library pattern is *region-safe* when matching it inside each
+// region subgraph provably enumerates exactly the whole-graph matches
+// whose elements lie in that region:
+//   (a) the pattern's elements are connected through forbid-rail nets,
+//       so every match's element set sits inside one region (a
+//       forbid-rail pattern net can only bind a signal net, and devices
+//       sharing a signal net share a region);
+//   (b) no strict-degree pattern net may bind a rail, so the exact
+//       degree check always lands on a signal net -- whose region-local
+//       degree equals its whole-graph degree (all its devices are in
+//       the region). The >= degree pruning on other nets is sound
+//       because a completed match forces region degree >= pattern
+//       degree at every bound net.
+// Patterns failing either test (rail-decorated mirrors, single-device
+// patterns with strict rail ports, ...) are matched against the whole
+// graph and cached under the whole-graph structural hash instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/circuit_graph.hpp"
+#include "primitives/library.hpp"
+
+namespace gana::incremental {
+
+struct RegionPartition {
+  /// Per region: sorted element vertex ids. Regions are numbered by
+  /// their smallest element id, so the partition is deterministic.
+  std::vector<std::vector<std::size_t>> elements;
+  /// Per vertex: region id for element vertices, -1 for nets.
+  std::vector<int> region_of;
+};
+
+/// True for supply/ground net vertices.
+[[nodiscard]] bool is_rail(const graph::Vertex& v);
+
+/// Partitions the elements of `g` into regions.
+RegionPartition partition_regions(const graph::CircuitGraph& g);
+
+/// The region-safety test described above.
+[[nodiscard]] bool pattern_region_safe(const primitives::PrimitiveSpec& spec);
+
+/// A region subgraph in canonical vertex order: the region's elements,
+/// every adjacent net (rails included), and every edge incident to a
+/// region element -- edges inserted in sorted positional order, so the
+/// graph is a pure function of `key`.
+struct RegionSubgraph {
+  graph::CircuitGraph graph;
+  /// Local vertex id -> whole-graph vertex id.
+  std::vector<std::size_t> to_whole;
+  /// Structure key: subgraph_structural_hash over the canonical order.
+  /// Equal keys imply identical local graphs (64-bit collisions
+  /// accepted, as everywhere else the structural hash is used).
+  std::uint64_t key = 0;
+  /// Canonical labeling hit its leaf budget (key degrades to the
+  /// numbering-sensitive fallback order).
+  bool canon_fallback = false;
+};
+
+RegionSubgraph build_region_subgraph(const graph::CircuitGraph& g,
+                                     const std::vector<std::size_t>& elements,
+                                     std::size_t canon_leaf_budget = 64);
+
+}  // namespace gana::incremental

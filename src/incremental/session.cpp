@@ -1,0 +1,572 @@
+#include "incremental/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <utility>
+
+#include "graph/ccc.hpp"
+#include "graph/structural_hash.hpp"
+#include "incremental/region.hpp"
+#include "isomorph/candidate_index.hpp"
+#include "primitives/annotator.hpp"
+#include "util/deadline.hpp"
+#include "util/perf.hpp"
+#include "util/timer.hpp"
+
+namespace gana::incremental {
+
+using core::AnnotateResult;
+using core::PreparedCircuit;
+using graph::CircuitGraph;
+using spice::Device;
+using spice::Netlist;
+
+namespace {
+
+/// Stage tracking + per-stage checkpoint, as in core/pipeline.cpp.
+inline void mark(Stage* stage, Stage s) {
+  if (stage != nullptr) *stage = s;
+  checkpoint(s);
+}
+
+/// Exception-to-Diag guard, mirroring Annotator::try_annotate so session
+/// failures are indistinguishable from cold-path failures.
+Result<AnnotateResult> guard(
+    const std::string& name,
+    const std::function<AnnotateResult(Stage*)>& body) {
+  Stage stage = Stage::Flatten;
+  try {
+    return body(&stage);
+  } catch (const DiagError& e) {
+    return e.diag();
+  } catch (const std::bad_alloc&) {
+    return make_diag(DiagCode::BudgetExhausted, stage,
+                     "out of memory annotating circuit " + name);
+  } catch (const std::exception& e) {
+    return make_diag(DiagCode::Internal, stage,
+                     std::string("unexpected error annotating circuit ") +
+                         name + ": " + e.what());
+  }
+}
+
+bool finite_device(const Device& d) {
+  if (!std::isfinite(d.value)) return false;
+  for (const auto& [key, val] : d.params) {
+    if (!std::isfinite(val)) return false;
+  }
+  return true;
+}
+
+/// Everything but the sizing: a device whose non-value fields moved (or
+/// whose multiplicity moved -- preprocessing folds "m") routes the
+/// revision through the full front end.
+bool same_except_sizing(const Device& a, const Device& b) {
+  if (a.name != b.name || a.type != b.type || a.model != b.model ||
+      a.pins != b.pins || a.hier_depth != b.hier_depth) {
+    return false;
+  }
+  const auto ma = a.params.find("m");
+  const auto mb = b.params.find("m");
+  if ((ma == a.params.end()) != (mb == b.params.end())) return false;
+  if (ma != a.params.end() && ma->second != mb->second) return false;
+  return true;
+}
+
+bool device_equal(const Device& a, const Device& b) {
+  return a.name == b.name && a.type == b.type && a.model == b.model &&
+         a.pins == b.pins && a.hier_depth == b.hier_depth &&
+         a.value == b.value && a.params == b.params;
+}
+
+bool instances_equal(const std::vector<spice::Instance>& a,
+                     const std::vector<spice::Instance>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].name != b[i].name || a[i].subckt != b[i].subckt ||
+        a[i].nets != b[i].nets) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool subckts_equal(const std::map<std::string, spice::SubcktDef>& a,
+                   const std::map<std::string, spice::SubcktDef>& b) {
+  if (a.size() != b.size()) return false;
+  auto ita = a.begin();
+  auto itb = b.begin();
+  for (; ita != a.end(); ++ita, ++itb) {
+    if (ita->first != itb->first) return false;
+    const spice::SubcktDef& sa = ita->second;
+    const spice::SubcktDef& sb = itb->second;
+    if (sa.name != sb.name || sa.ports != sb.ports) return false;
+    if (!instances_equal(sa.instances, sb.instances)) return false;
+    if (sa.devices.size() != sb.devices.size()) return false;
+    for (std::size_t i = 0; i < sa.devices.size(); ++i) {
+      if (!device_equal(sa.devices[i], sb.devices[i])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+AnnotationSession::AnnotationSession(const core::Annotator* annotator,
+                                     SessionOptions options)
+    : annotator_(annotator), options_(options) {
+  const primitives::PrimitiveLibrary& library = annotator_->library();
+  pattern_safe_.resize(library.size());
+  for (std::size_t li = 0; li < library.size(); ++li) {
+    pattern_safe_[li] = pattern_region_safe(library.spec(li));
+  }
+}
+
+Result<AnnotateResult> AnnotationSession::reannotate(const Netlist& netlist,
+                                                     const std::string& name) {
+  stats_ = SessionStats{};
+  Result<AnnotateResult> result = guard(name, [&](Stage* stage) {
+    Timer prepare_timer;
+    ThreadCpuTimer prepare_cpu;
+    PreparedCircuit prepared;
+    if (!try_patch_prepare(netlist, name, prepared)) {
+      stats_.full_prepare = true;
+      prepared =
+          core::prepare_netlist(netlist, annotator_->class_names(), name,
+                                annotator_->prepare_options(), stage);
+      diff_flat(prepared.flat);
+    }
+    // The patch path cannot move the structural hash (it rewrites only
+    // sizings), so the hash is recomputed only after a full prepare.
+    stats_.structure_changed =
+        stats_.full_prepare &&
+        (!has_prev_ ||
+         graph::structural_hash(prepared.graph) != prev_graph_hash_);
+    return run_incremental(std::move(prepared), prepare_timer.seconds(),
+                           prepare_cpu.seconds(), stage);
+  });
+  if (result.ok()) {
+    if (stats_.full_prepare) {
+      remember(netlist, result.value().prepared);
+    } else {
+      remember_patched(netlist);
+    }
+    if (!stats_.result_reused) store_derived(result.value());
+  }
+  return result;
+}
+
+bool AnnotationSession::try_patch_prepare(const Netlist& input,
+                                          const std::string& name,
+                                          PreparedCircuit& out) {
+  if (!has_prev_ || name != prev_prepared_.name) return false;
+  const Netlist& prev = prev_input_;
+  if (prev.title != input.title || prev.globals != input.globals ||
+      prev.port_labels != input.port_labels) {
+    return false;
+  }
+  if (!instances_equal(prev.instances, input.instances)) return false;
+  if (!subckts_equal(prev.subckts, input.subckts)) return false;
+  if (prev.devices.size() != input.devices.size()) return false;
+
+  std::vector<std::size_t> changed;
+  for (std::size_t i = 0; i < prev.devices.size(); ++i) {
+    const Device& da = prev.devices[i];
+    const Device& db = input.devices[i];
+    if (!same_except_sizing(da, db)) return false;
+    if (da.value != db.value || da.params != db.params) {
+      // A cold run validates values in the front end; non-finite edits
+      // must take the same path to fail the same way.
+      if (!finite_device(db)) return false;
+      changed.push_back(i);
+    }
+  }
+  // Every changed device must have survived preprocessing untouched:
+  // aliased devices (parallel/series merges, either side) carry derived
+  // values, and preprocessing decisions -- though value-independent --
+  // may have removed others entirely.
+  for (std::size_t i : changed) {
+    const std::string& dev = prev.devices[i].name;
+    if (prev_alias_names_.count(dev) != 0) return false;
+    if (prev_flat_index_.find(dev) == prev_flat_index_.end()) return false;
+  }
+
+  out = prev_prepared_;
+  for (std::size_t i : changed) {
+    const Device& nd = input.devices[i];
+    const std::size_t fi = prev_flat_index_.at(nd.name);
+    Device& fd = out.flat.devices[fi];
+    fd.value = nd.value;
+    fd.params = nd.params;
+    fd.src_line = nd.src_line;
+    // Mirror graph::build_graph's characteristic-value rule.
+    graph::Vertex& v = out.graph.vertex(prev_device_vertex_[fi]);
+    v.value = nd.value;
+    if (spice::is_mos(nd.type)) {
+      const auto w = nd.params.find("w");
+      if (w != nd.params.end()) v.value = w->second;
+    }
+  }
+  stats_.full_prepare = false;
+  stats_.devices_changed = changed.size();
+  patch_changed_ = std::move(changed);
+  return true;
+}
+
+void AnnotationSession::diff_flat(const Netlist& flat) {
+  if (!has_prev_) {
+    stats_.devices_added = flat.devices.size();
+    return;
+  }
+  std::size_t matched = 0;
+  for (const Device& d : flat.devices) {
+    const auto it = prev_flat_index_.find(d.name);
+    if (it == prev_flat_index_.end()) {
+      ++stats_.devices_added;
+      continue;
+    }
+    ++matched;
+    if (!device_equal(prev_prepared_.flat.devices[it->second], d)) {
+      ++stats_.devices_changed;
+    }
+  }
+  stats_.devices_removed = prev_prepared_.flat.devices.size() - matched;
+}
+
+primitives::AnnotateOutcome AnnotationSession::incremental_annotate(
+    const CircuitGraph& g) {
+  const primitives::PrimitiveLibrary& library = annotator_->library();
+  primitives::AnnotateOptions opt;
+  opt.match = options_.match;
+
+  // Wall-clock budgets make truncation machine-dependent; such sessions
+  // run every revision cold (same rule as AnnotationCache).
+  if (opt.match.max_seconds != 0.0) {
+    stats_.fallback_cold = true;
+    return primitives::annotate_primitives_guarded(g, library, opt);
+  }
+
+  primitives::AnnotateOutcome outcome;
+  const std::uint64_t whole_key =
+      primitives::annotation_cache_key(g, library, opt);
+  if (const auto it = whole_annotations_.find(whole_key);
+      it != whole_annotations_.end()) {
+    // Value or rename edit: the structure (and thus the whole accepted
+    // match set) is unchanged; only names need re-instantiation.
+    outcome.cache_hit = true;
+    outcome.truncated = it->second.ann->truncated;
+    stats_.annotation_reused = true;
+    stats_.regions = it->second.regions;
+    stats_.region_reuses = it->second.regions;
+    perf::count_incremental_regions(stats_.regions, stats_.region_reuses, 0);
+    primitives::instantiate_annotation(g, library, *it->second.ann,
+                                       outcome.primitives);
+    return outcome;
+  }
+
+  const RegionPartition part = partition_regions(g);
+  const std::size_t nregions = part.elements.size();
+  std::vector<RegionSubgraph> subs;
+  subs.reserve(nregions);
+  for (const auto& elems : part.elements) {
+    subs.push_back(build_region_subgraph(g, elems, options_.canon_leaf_budget));
+  }
+
+  const std::vector<std::size_t> order = library.priority_order();
+  const iso::CandidateIndex whole_index(g);
+  std::vector<primitives::PatternMatchList> lists(order.size());
+  std::vector<bool> region_fresh(nregions, false);
+  std::vector<std::unique_ptr<iso::CandidateIndex>> region_index(nregions);
+  bool truncated = false;
+
+  for (std::size_t i = 0; i < order.size() && !truncated; ++i) {
+    const std::size_t li = order[i];
+    const primitives::PrimitiveSpec& spec = library.spec(li);
+    if (!pattern_safe_[li]) {
+      // Whole-graph pattern: exactly the cold matching stage.
+      lists[i] =
+          primitives::match_library_pattern(spec, g, whole_index, opt.match);
+      truncated = lists[i].stats.truncated;
+      continue;
+    }
+    // Cold-equivalent counting filter (so patterns_skipped agrees).
+    if (!whole_index.profile().admits(iso::count_profile(spec.graph))) {
+      lists[i].skipped = true;
+      continue;
+    }
+    std::vector<iso::Match> merged;
+    for (std::size_t rid = 0; rid < nregions && !truncated; ++rid) {
+      const std::uint64_t key = graph::hash_combine(
+          subs[rid].key, static_cast<std::uint64_t>(li));
+      std::shared_ptr<const std::vector<iso::Match>> matches;
+      if (const auto it = region_matches_.find(key);
+          it != region_matches_.end()) {
+        matches = it->second;
+      } else {
+        region_fresh[rid] = true;
+        if (region_index[rid] == nullptr) {
+          region_index[rid] =
+              std::make_unique<iso::CandidateIndex>(subs[rid].graph);
+        }
+        auto computed = std::make_shared<std::vector<iso::Match>>();
+        if (region_index[rid]->profile().admits(
+                iso::count_profile(spec.graph))) {
+          // Dedup after translation: the cached record must contain
+          // every automorphic image so the lex-min representative can
+          // be chosen in whole-graph coordinates, as cold VF2 does.
+          iso::MatchOptions ropt = opt.match;
+          ropt.dedup_by_elements = false;
+          iso::MatchStats st;
+          *computed = iso::find_subgraph_matches(
+              spec.pattern(), subs[rid].graph, ropt, &st, region_index[rid].get());
+          lists[i].stats.states += st.states;
+          lists[i].stats.sig_rejections += st.sig_rejections;
+          truncated = truncated || st.truncated;
+        }
+        if (!truncated) region_matches_.emplace(key, computed);
+        matches = std::move(computed);
+      }
+      if (truncated) break;
+      for (const iso::Match& m : *matches) {
+        iso::Match whole;
+        whole.map.reserve(m.map.size());
+        for (std::size_t lv : m.map) {
+          whole.map.push_back(subs[rid].to_whole[lv]);
+        }
+        merged.push_back(std::move(whole));
+      }
+    }
+    if (truncated) break;
+    // Reproduce the cold list: lex-min map per element key (matches of
+    // one element set never span regions for a safe pattern), then the
+    // canonical (element key, map) acceptance order.
+    std::vector<std::vector<std::size_t>> keys(merged.size());
+    std::vector<std::size_t> idx(merged.size());
+    for (std::size_t k = 0; k < merged.size(); ++k) {
+      idx[k] = k;
+      keys[k] = merged[k].element_key(spec.graph);
+    }
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      if (keys[a] != keys[b]) return keys[a] < keys[b];
+      return merged[a].map < merged[b].map;
+    });
+    std::vector<iso::Match> sorted;
+    sorted.reserve(idx.size());
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      if (opt.match.dedup_by_elements && k > 0 &&
+          keys[idx[k]] == keys[idx[k - 1]]) {
+        continue;  // automorphic image; the lex-min map came first
+      }
+      sorted.push_back(std::move(merged[idx[k]]));
+    }
+    lists[i].matches = std::move(sorted);
+  }
+
+  if (truncated) {
+    // A budget fired under region decomposition. Cold truncation points
+    // are the pinned deterministic ones, so replay the whole sweep cold.
+    stats_.fallback_cold = true;
+    stats_.regions = nregions;
+    stats_.region_recomputes = nregions;
+    perf::count_incremental_regions(nregions, 0, nregions);
+    primitives::AnnotateOutcome cold;
+    primitives::AnnotateOptions cold_opt;
+    cold_opt.match = options_.match;
+    return primitives::annotate_primitives_guarded(g, library, cold_opt);
+  }
+
+  primitives::CachedAnnotation ann = primitives::accept_pattern_matches(
+      g, library, order, lists, opt, outcome);
+  stats_.regions = nregions;
+  for (const bool fresh : region_fresh) {
+    if (fresh) {
+      ++stats_.region_recomputes;
+    } else {
+      ++stats_.region_reuses;
+    }
+  }
+  perf::count_incremental_regions(stats_.regions, stats_.region_reuses,
+                                  stats_.region_recomputes);
+  auto stored = std::make_shared<const primitives::CachedAnnotation>(
+      std::move(ann));
+  if (!outcome.truncated) {
+    whole_annotations_[whole_key] = {stored, nregions};
+  }
+  primitives::instantiate_annotation(g, library, *stored, outcome.primitives);
+  return outcome;
+}
+
+AnnotateResult AnnotationSession::run_incremental(PreparedCircuit prepared,
+                                                  double seconds_prepare,
+                                                  double cpu_seconds_prepare,
+                                                  Stage* stage) {
+  AnnotateResult r;
+  r.prepared = std::move(prepared);
+  r.seconds_prepare = seconds_prepare;
+  r.cpu_seconds_prepare = cpu_seconds_prepare;
+
+  // --- GCN classification (shared with the cold pipeline, including
+  // its sample-prep and inference caches).
+  Timer gcn_timer;
+  ThreadCpuTimer gcn_cpu;
+  const std::size_t n = r.prepared.graph.vertex_count();
+  r.probabilities =
+      annotator_->compute_probabilities(r.prepared, options_.sample_seed, stage);
+
+  // Sizing-loop fast path: a value patch plus bit-identical
+  // probabilities means CCC, extraction, both postprocess stages, and
+  // the hierarchy all run on inputs equal to the previous revision's
+  // (structure and names are patch-path invariants; values are read by
+  // nothing downstream of the GCN). Re-emit the stored outputs. The
+  // stage marks still fire so fault-injection draws stay aligned with
+  // the recompute path.
+  if (!stats_.full_prepare && derived_.valid &&
+      r.probabilities.rows() == derived_.probabilities.rows() &&
+      r.probabilities.cols() == derived_.probabilities.cols() &&
+      !r.probabilities.empty() &&
+      std::memcmp(r.probabilities.data().data(),
+                  derived_.probabilities.data().data(),
+                  r.probabilities.size() * sizeof(double)) == 0) {
+    r.gcn_class = derived_.gcn_class;
+    r.seconds_gcn = gcn_timer.seconds();
+    r.cpu_seconds_gcn = gcn_cpu.seconds();
+    Timer reuse_timer;
+    ThreadCpuTimer reuse_cpu;
+    mark(stage, Stage::Primitives);
+    r.ccc = derived_.ccc;
+    r.post = derived_.post;
+    mark(stage, Stage::Postprocess);
+    r.post1_class = derived_.post1_class;
+    r.final_class = derived_.final_class;
+    mark(stage, Stage::Hierarchy);
+    r.hierarchy = derived_.hierarchy;
+    r.warnings = derived_.warnings;
+    r.seconds_post = reuse_timer.seconds();
+    r.cpu_seconds_post = reuse_cpu.seconds();
+    stats_.annotation_reused = true;
+    stats_.result_reused = true;
+    stats_.regions = derived_.regions;
+    stats_.region_reuses = derived_.regions;
+    perf::count_incremental_regions(stats_.regions, stats_.region_reuses, 0);
+    r.acc_gcn = core::accuracy(r.gcn_class, r.prepared.labels);
+    r.acc_post1 = core::accuracy(r.post1_class, r.prepared.labels);
+    r.acc_post2 = core::accuracy(r.final_class, r.prepared.labels);
+    return r;
+  }
+
+  r.gcn_class.assign(n, -1);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < r.probabilities.cols(); ++c) {
+      if (r.probabilities(v, c) > r.probabilities(v, best)) best = c;
+    }
+    r.gcn_class[v] = static_cast<int>(best);
+  }
+  r.seconds_gcn = gcn_timer.seconds();
+  r.cpu_seconds_gcn = gcn_cpu.seconds();
+
+  // --- Postprocessing I, with region-level primitive extraction.
+  Timer post_timer;
+  ThreadCpuTimer post_cpu;
+  mark(stage, Stage::Primitives);
+  r.ccc = graph::channel_connected_components(r.prepared.graph);
+  primitives::AnnotateOutcome outcome =
+      incremental_annotate(r.prepared.graph);
+  r.post = core::postprocess_stage1_with_annotation(
+      r.prepared.graph, r.ccc, r.probabilities, annotator_->class_names(),
+      std::move(outcome));
+  if (r.post.primitives_truncated) {
+    r.warnings.push_back(make_diag(
+        DiagCode::Truncated, Stage::Primitives,
+        "VF2 budget exhausted after " + std::to_string(r.post.vf2_states) +
+            " states; primitive annotation of circuit " + r.prepared.name +
+            " is partial"));
+  }
+  mark(stage, Stage::Postprocess);
+  r.post1_class =
+      core::vertex_classes(r.prepared.graph, r.ccc, r.post.cluster_class);
+
+  // --- Postprocessing II.
+  core::postprocess_stage2(r.prepared.graph, r.ccc,
+                           annotator_->class_names(), r.post);
+  r.final_class =
+      core::vertex_classes(r.prepared.graph, r.ccc, r.post.cluster_class);
+
+  // --- Hierarchy + constraints.
+  mark(stage, Stage::Hierarchy);
+  r.hierarchy = core::build_hierarchy(r.prepared.graph, r.ccc, r.post,
+                                      annotator_->class_names(),
+                                      r.prepared.name);
+  r.seconds_post = post_timer.seconds();
+  r.cpu_seconds_post = post_cpu.seconds();
+
+  r.acc_gcn = core::accuracy(r.gcn_class, r.prepared.labels);
+  r.acc_post1 = core::accuracy(r.post1_class, r.prepared.labels);
+  r.acc_post2 = core::accuracy(r.final_class, r.prepared.labels);
+  return r;
+}
+
+void AnnotationSession::remember(const Netlist& input,
+                                 const PreparedCircuit& prepared) {
+  prev_input_ = input;
+  prev_prepared_ = prepared;
+  prev_graph_hash_ = graph::structural_hash(prepared.graph);
+  prev_flat_index_.clear();
+  for (std::size_t i = 0; i < prepared.flat.devices.size(); ++i) {
+    prev_flat_index_.emplace(prepared.flat.devices[i].name, i);
+  }
+  prev_device_vertex_.assign(prepared.flat.devices.size(), CircuitGraph::npos);
+  const CircuitGraph& g = prepared.graph;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    const graph::Vertex& vert = g.vertex(v);
+    if (vert.kind == graph::VertexKind::Element &&
+        vert.device_index < prev_device_vertex_.size()) {
+      prev_device_vertex_[vert.device_index] = v;
+    }
+  }
+  prev_alias_names_.clear();
+  for (const auto& [removed, kept] : prepared.preprocess_report.alias) {
+    prev_alias_names_.emplace(removed, true);
+    if (!kept.empty()) prev_alias_names_.emplace(kept, true);
+  }
+  has_prev_ = true;
+}
+
+void AnnotationSession::remember_patched(const Netlist& input) {
+  // The patch path already proved names, topology, and the flattening
+  // inputs unchanged, so the graph hash, flat index, device-vertex map,
+  // and alias set all remain valid. Fold in only the edited sizings --
+  // the same rewrite try_patch_prepare applied to its output copy.
+  for (std::size_t i : patch_changed_) {
+    const Device& nd = input.devices[i];
+    prev_input_.devices[i] = nd;
+    const std::size_t fi = prev_flat_index_.at(nd.name);
+    Device& fd = prev_prepared_.flat.devices[fi];
+    fd.value = nd.value;
+    fd.params = nd.params;
+    fd.src_line = nd.src_line;
+    graph::Vertex& v = prev_prepared_.graph.vertex(prev_device_vertex_[fi]);
+    v.value = nd.value;
+    if (spice::is_mos(nd.type)) {
+      const auto w = nd.params.find("w");
+      if (w != nd.params.end()) v.value = w->second;
+    }
+  }
+}
+
+void AnnotationSession::store_derived(const core::AnnotateResult& r) {
+  derived_.valid = true;
+  derived_.probabilities = r.probabilities;
+  derived_.ccc = r.ccc;
+  derived_.gcn_class = r.gcn_class;
+  derived_.post1_class = r.post1_class;
+  derived_.final_class = r.final_class;
+  derived_.post = r.post;
+  derived_.hierarchy = r.hierarchy;
+  derived_.warnings = r.warnings;
+  derived_.regions = stats_.regions;
+}
+
+}  // namespace gana::incremental

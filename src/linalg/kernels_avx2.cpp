@@ -12,12 +12,24 @@
 // increasing k order, one rounded mul and one rounded add at a time,
 // and a(i,k) == 0.0 terms are skipped with exactly the reference's
 // comparison. Signed zeros and Inf/NaN therefore propagate identically
-// (pinned by tests/kernel_equivalence_test.cpp).
+// (pinned by tests/kernel_equivalence_test.cpp) -- with one carve-out:
+// when an accumulator that is already NaN absorbs a second, different
+// NaN (e.g. an Inf-Inf indefinite meeting a propagated input NaN), IEEE
+// leaves *which* NaN survives to the implementation, x86 picks the
+// first instruction operand, and the compiler is free to commute the
+// operands of a commutative + at will (it lowers these intrinsics to
+// plain vector +). NaN identity in multi-NaN chains is therefore a
+// codegen accident on both sides of the comparison, and the equivalence
+// tests compare NaNs as a class instead of by payload. The pipeline
+// itself never exercises this: require_finite rejects non-finite
+// features and probabilities on both sides of every matmul.
 #include "linalg/kernels.hpp"
 
 #if defined(GANA_SIMD_AVX2)
 
 #include <immintrin.h>
+
+#include <vector>
 
 namespace gana::linalg {
 
@@ -27,26 +39,44 @@ namespace gana::linalg {
 // each element's accumulation chain has ~4-cycle latency, so a kernel
 // with one running vector per element chain stalls on it; eight
 // *independent* chains (4 rows x 2 vectors) keep the multiply/add
-// ports busy instead, and each B row is loaded once per tile rather
-// than once per output row. The per-element arithmetic is untouched:
-// strictly increasing k, one rounded mul + one rounded add per term,
-// a(i,k) == 0.0 terms skipped per row exactly like the reference.
+// ports busy instead.
+//
+// The 8-wide column panels are processed j-outermost over a *packed*
+// copy of B[:, j..j+8): the panel's k*8 doubles are copied once into a
+// contiguous thread-local buffer and every row tile then streams it
+// sequentially. For the tall-thin shapes the ChebConv layers feed this
+// kernel (m of a few tens, k in the hundreds), the unpacked layout
+// re-walks all of B once per 4-row tile in n-strided 64-byte touches --
+// with m = 15 rows that is 4 strided sweeps per panel and most of each
+// cache line unused; the packed panel is 8 * k doubles that stay
+// resident across tiles. Packing is a pure data movement: the per-
+// element arithmetic is untouched (strictly increasing k, one rounded
+// mul + one rounded add per term, a(i,k) == 0.0 terms skipped per row
+// exactly like the reference), so bit-identity is preserved.
 void matmul_rows_avx2(const Matrix& a, const Matrix& b, Matrix& c) {
   const std::size_t m = a.rows();
   const std::size_t kk = a.cols();
   const std::size_t n = b.cols();
-  std::size_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const double* a0 = a.row_ptr(i + 0);
-    const double* a1 = a.row_ptr(i + 1);
-    const double* a2 = a.row_ptr(i + 2);
-    const double* a3 = a.row_ptr(i + 3);
-    double* c0 = c.row_ptr(i + 0);
-    double* c1 = c.row_ptr(i + 1);
-    double* c2 = c.row_ptr(i + 2);
-    double* c3 = c.row_ptr(i + 3);
-    std::size_t j = 0;
-    for (; j + 8 <= n; j += 8) {
+  thread_local std::vector<double> packed;
+  if (n >= 8 && packed.size() < kk * 8) packed.resize(kk * 8);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    double* p = packed.data();
+    for (std::size_t k = 0; k < kk; ++k) {
+      const double* bk = b.row_ptr(k) + j;
+      _mm256_storeu_pd(p + k * 8, _mm256_loadu_pd(bk));
+      _mm256_storeu_pd(p + k * 8 + 4, _mm256_loadu_pd(bk + 4));
+    }
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double* a0 = a.row_ptr(i + 0);
+      const double* a1 = a.row_ptr(i + 1);
+      const double* a2 = a.row_ptr(i + 2);
+      const double* a3 = a.row_ptr(i + 3);
+      double* c0 = c.row_ptr(i + 0);
+      double* c1 = c.row_ptr(i + 1);
+      double* c2 = c.row_ptr(i + 2);
+      double* c3 = c.row_ptr(i + 3);
       __m256d s00 = _mm256_loadu_pd(c0 + j);
       __m256d s01 = _mm256_loadu_pd(c0 + j + 4);
       __m256d s10 = _mm256_loadu_pd(c1 + j);
@@ -56,9 +86,8 @@ void matmul_rows_avx2(const Matrix& a, const Matrix& b, Matrix& c) {
       __m256d s30 = _mm256_loadu_pd(c3 + j);
       __m256d s31 = _mm256_loadu_pd(c3 + j + 4);
       for (std::size_t k = 0; k < kk; ++k) {
-        const double* bk = b.row_ptr(k);
-        const __m256d bv0 = _mm256_loadu_pd(bk + j);
-        const __m256d bv1 = _mm256_loadu_pd(bk + j + 4);
+        const __m256d bv0 = _mm256_loadu_pd(p + k * 8);
+        const __m256d bv1 = _mm256_loadu_pd(p + k * 8 + 4);
         if (a0[k] != 0.0) {
           const __m256d v = _mm256_set1_pd(a0[k]);
           s00 = _mm256_add_pd(s00, _mm256_mul_pd(v, bv0));
@@ -89,6 +118,36 @@ void matmul_rows_avx2(const Matrix& a, const Matrix& b, Matrix& c) {
       _mm256_storeu_pd(c3 + j, s30);
       _mm256_storeu_pd(c3 + j + 4, s31);
     }
+    for (; i < m; ++i) {
+      const double* ar = a.row_ptr(i);
+      double* cr = c.row_ptr(i);
+      __m256d s0 = _mm256_loadu_pd(cr + j);
+      __m256d s1 = _mm256_loadu_pd(cr + j + 4);
+      for (std::size_t k = 0; k < kk; ++k) {
+        if (ar[k] == 0.0) continue;
+        const __m256d v = _mm256_set1_pd(ar[k]);
+        s0 = _mm256_add_pd(s0, _mm256_mul_pd(v, _mm256_loadu_pd(p + k * 8)));
+        s1 = _mm256_add_pd(s1,
+                           _mm256_mul_pd(v, _mm256_loadu_pd(p + k * 8 + 4)));
+      }
+      _mm256_storeu_pd(cr + j, s0);
+      _mm256_storeu_pd(cr + j + 4, s1);
+    }
+  }
+  if (j >= n) return;
+  // Column tail (n % 8): row-tiled directly over B, as before packing.
+  const std::size_t jtail = j;
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* a0 = a.row_ptr(i + 0);
+    const double* a1 = a.row_ptr(i + 1);
+    const double* a2 = a.row_ptr(i + 2);
+    const double* a3 = a.row_ptr(i + 3);
+    double* c0 = c.row_ptr(i + 0);
+    double* c1 = c.row_ptr(i + 1);
+    double* c2 = c.row_ptr(i + 2);
+    double* c3 = c.row_ptr(i + 3);
+    j = jtail;
     for (; j + 4 <= n; j += 4) {
       __m256d s0 = _mm256_loadu_pd(c0 + j);
       __m256d s1 = _mm256_loadu_pd(c1 + j);
@@ -129,11 +188,11 @@ void matmul_rows_avx2(const Matrix& a, const Matrix& b, Matrix& c) {
       c3[j] = s3;
     }
   }
-  // Remainder rows (< 4): one-row variant of the same tiling.
+  // Remainder rows (< 4) of the column tail.
   for (; i < m; ++i) {
     const double* ar = a.row_ptr(i);
     double* cr = c.row_ptr(i);
-    std::size_t j = 0;
+    j = jtail;
     for (; j + 4 <= n; j += 4) {
       __m256d s = _mm256_loadu_pd(cr + j);
       for (std::size_t k = 0; k < kk; ++k) {

@@ -19,20 +19,11 @@ namespace gana::primitives {
 using graph::CircuitGraph;
 using graph::VertexKind;
 
-namespace {
-
-/// Matching-stage result for one library pattern. Produced read-only
-/// from (spec, g, index), so patterns can run on any thread.
-struct PatternMatches {
-  std::vector<iso::Match> matches;  ///< sorted by (element key, map)
-  iso::MatchStats stats;
-  bool skipped = false;  ///< cut by the counting filter
-};
-
-PatternMatches match_pattern(const PrimitiveSpec& spec, const CircuitGraph& g,
-                             const iso::CandidateIndex& index,
-                             const iso::MatchOptions& match_options) {
-  PatternMatches out;
+PatternMatchList match_library_pattern(const PrimitiveSpec& spec,
+                                       const CircuitGraph& g,
+                                       const iso::CandidateIndex& index,
+                                       const iso::MatchOptions& match_options) {
+  PatternMatchList out;
   if (!index.profile().admits(iso::count_profile(spec.graph))) {
     out.skipped = true;
     return out;
@@ -59,6 +50,8 @@ PatternMatches match_pattern(const PrimitiveSpec& spec, const CircuitGraph& g,
   return out;
 }
 
+namespace {
+
 /// Runs the matching stage for every pattern (in parallel when a pool is
 /// attached), then merges the per-pattern lists sequentially in library
 /// priority order with the same greedy acceptance the one-pattern-at-a-
@@ -70,12 +63,12 @@ CachedAnnotation compute_annotation(const CircuitGraph& g,
   const std::vector<std::size_t> order = library.priority_order();
   const iso::CandidateIndex index(g);
 
-  std::vector<PatternMatches> results(order.size());
+  std::vector<PatternMatchList> results(order.size());
   ThreadPool* pool = options.pool;
   const bool parallel = pool != nullptr && pool->size() > 1 &&
                         order.size() > 1 && !ThreadPool::inside_worker();
   if (parallel) {
-    std::vector<std::future<PatternMatches>> futures;
+    std::vector<std::future<PatternMatchList>> futures;
     futures.reserve(order.size());
     // Re-install the submitting thread's request context (deadline,
     // fault key) inside each pattern task: the per-1024-states deadline
@@ -87,7 +80,7 @@ CachedAnnotation compute_annotation(const CircuitGraph& g,
       const PrimitiveSpec& spec = library.spec(li);
       futures.push_back(pool->submit([&spec, &g, &index, &options, ctx] {
         ScopedRequestContext scope(ctx);
-        return match_pattern(spec, g, index, options.match);
+        return match_library_pattern(spec, g, index, options.match);
       }));
     }
     // Drain every future even if one throws: the tasks reference stack
@@ -104,10 +97,21 @@ CachedAnnotation compute_annotation(const CircuitGraph& g,
   } else {
     for (std::size_t i = 0; i < order.size(); ++i) {
       results[i] =
-          match_pattern(library.spec(order[i]), g, index, options.match);
+          match_library_pattern(library.spec(order[i]), g, index, options.match);
     }
   }
 
+  return accept_pattern_matches(g, library, order, results, options, outcome);
+}
+
+}  // namespace
+
+CachedAnnotation accept_pattern_matches(const CircuitGraph& g,
+                                        const PrimitiveLibrary& library,
+                                        const std::vector<std::size_t>& order,
+                                        const std::vector<PatternMatchList>& results,
+                                        const AnnotateOptions& options,
+                                        AnnotateOutcome& outcome) {
   std::set<std::size_t> filter(options.element_filter.begin(),
                                options.element_filter.end());
   auto in_scope = [&](std::size_t v) {
@@ -119,7 +123,7 @@ CachedAnnotation compute_annotation(const CircuitGraph& g,
   for (std::size_t i = 0; i < order.size(); ++i) {
     const std::size_t li = order[i];
     const PrimitiveSpec& spec = library.spec(li);
-    const PatternMatches& r = results[i];
+    const PatternMatchList& r = results[i];
     if (r.skipped) {
       ++outcome.patterns_skipped;
       continue;
@@ -168,12 +172,10 @@ CachedAnnotation compute_annotation(const CircuitGraph& g,
   return ann;
 }
 
-/// Expands binding-level records into full PrimitiveInstances against
-/// this circuit's names. Pure string assembly; this is all a cache hit
-/// pays for.
-void instantiate(const CircuitGraph& g, const PrimitiveLibrary& library,
-                 const CachedAnnotation& ann,
-                 std::vector<PrimitiveInstance>& out) {
+void instantiate_annotation(const CircuitGraph& g,
+                            const PrimitiveLibrary& library,
+                            const CachedAnnotation& ann,
+                            std::vector<PrimitiveInstance>& out) {
   out.reserve(ann.instances.size());
   for (const CachedInstance& ci : ann.instances) {
     const PrimitiveSpec& spec = library.spec(ci.library_index);
@@ -209,8 +211,6 @@ void instantiate(const CircuitGraph& g, const PrimitiveLibrary& library,
     out.push_back(std::move(inst));
   }
 }
-
-}  // namespace
 
 std::uint64_t annotation_cache_key(const CircuitGraph& g,
                                    const PrimitiveLibrary& library,
@@ -259,7 +259,7 @@ AnnotateOutcome annotate_primitives_guarded(const CircuitGraph& g,
     ann = cacheable ? options.cache->insert(key, std::move(fresh))
                     : std::move(fresh);
   }
-  instantiate(g, library, *ann, outcome.primitives);
+  instantiate_annotation(g, library, *ann, outcome.primitives);
   return outcome;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/circuit_graph.hpp"
+#include "isomorph/candidate_index.hpp"
 #include "isomorph/vf2.hpp"
 #include "primitives/annotation_cache.hpp"
 #include "primitives/constraint.hpp"
@@ -108,6 +109,47 @@ std::vector<PrimitiveInstance> annotate_primitives(
 std::vector<std::size_t> unclaimed_elements(
     const graph::CircuitGraph& g,
     const std::vector<PrimitiveInstance>& found);
+
+/// Matching-stage result for one library pattern. Produced read-only
+/// from (spec, g, index), so patterns can run on any thread.
+struct PatternMatchList {
+  std::vector<iso::Match> matches;  ///< sorted by (element key, map)
+  iso::MatchStats stats;
+  bool skipped = false;  ///< cut by the counting filter
+};
+
+/// Runs the matching stage for one library pattern against `g`:
+/// counting filter, VF2 enumeration, then the canonical
+/// (element-key, map) sort greedy acceptance relies on. Exposed for the
+/// incremental session engine, which substitutes per-region cached
+/// match lists for some patterns and must feed the shared acceptance
+/// pass lists with exactly this ordering.
+PatternMatchList match_library_pattern(const PrimitiveSpec& spec,
+                                       const graph::CircuitGraph& g,
+                                       const iso::CandidateIndex& index,
+                                       const iso::MatchOptions& match_options);
+
+/// Greedy acceptance over per-pattern match lists: walks `order`
+/// (library priority order, `lists` parallel to it) and accepts matches
+/// first-come within each list, skipping elements already claimed (or
+/// outside `options.element_filter`). Fills the work counters of
+/// `outcome` from the per-list stats. This is the sequencing that makes
+/// the sweep deterministic -- every matching strategy (sequential,
+/// pattern-parallel, per-region cached) funnels through it.
+CachedAnnotation accept_pattern_matches(const graph::CircuitGraph& g,
+                                        const PrimitiveLibrary& library,
+                                        const std::vector<std::size_t>& order,
+                                        const std::vector<PatternMatchList>& lists,
+                                        const AnnotateOptions& options,
+                                        AnnotateOutcome& outcome);
+
+/// Expands binding-level records into full PrimitiveInstances against
+/// this circuit's names. Pure string assembly; this is all a cache hit
+/// pays for.
+void instantiate_annotation(const graph::CircuitGraph& g,
+                            const PrimitiveLibrary& library,
+                            const CachedAnnotation& ann,
+                            std::vector<PrimitiveInstance>& out);
 
 /// The AnnotationCache key for annotating `g` against `library` under
 /// `options`: the circuit's structural hash folded with a library

@@ -200,6 +200,22 @@ Result<std::string> Client::annotate(const std::string& name,
   return std::move(result.value().payload);
 }
 
+Result<std::string> Client::reannotate(const std::string& session,
+                                       const std::string& name,
+                                       const std::string& netlist,
+                                       double timeout_seconds) {
+  Request r;
+  r.kind = RequestKind::Reannotate;
+  r.session = session;
+  r.name = name;
+  r.netlist = netlist;
+  r.timeout_seconds = timeout_seconds;
+  Result<Response> result = call(r);
+  if (!result.ok()) return result.diag();
+  if (!result.value().ok) return *result.value().diag;
+  return std::move(result.value().payload);
+}
+
 Result<std::string> Client::metrics() {
   Request r;
   r.kind = RequestKind::Metrics;

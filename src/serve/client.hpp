@@ -56,6 +56,14 @@ class Client {
   [[nodiscard]] Result<std::string> annotate(const std::string& name,
                                              const std::string& netlist,
                                              double timeout_seconds = 0.0);
+  /// Incremental variant: annotates `netlist` (always the full text) as
+  /// the next revision of the server-side session `session`, which
+  /// diffs it against the previous revision. The returned bytes equal
+  /// what annotate() would return for the same netlist.
+  [[nodiscard]] Result<std::string> reannotate(const std::string& session,
+                                               const std::string& name,
+                                               const std::string& netlist,
+                                               double timeout_seconds = 0.0);
   [[nodiscard]] Result<std::string> metrics();
   [[nodiscard]] bool ping();
   /// Asks the server to drain and exit; true if it acknowledged.

@@ -80,6 +80,7 @@ std::optional<std::string> FrameDecoder::next() {
 const char* to_string(RequestKind k) {
   switch (k) {
     case RequestKind::Annotate: return "annotate";
+    case RequestKind::Reannotate: return "reannotate";
     case RequestKind::Ping: return "ping";
     case RequestKind::Metrics: return "metrics";
     case RequestKind::Shutdown: return "shutdown";
@@ -88,8 +89,9 @@ const char* to_string(RequestKind k) {
 }
 
 std::optional<RequestKind> request_kind_from_string(std::string_view name) {
-  for (const RequestKind k : {RequestKind::Annotate, RequestKind::Ping,
-                              RequestKind::Metrics, RequestKind::Shutdown}) {
+  for (const RequestKind k :
+       {RequestKind::Annotate, RequestKind::Reannotate, RequestKind::Ping,
+        RequestKind::Metrics, RequestKind::Shutdown}) {
     if (name == to_string(k)) return k;
   }
   return std::nullopt;
@@ -149,7 +151,10 @@ std::string encode_request(const Request& r) {
   json::Value v{std::vector<json::Member>{}};
   v.set("id", json::Value(r.id));
   v.set("kind", json::Value(to_string(r.kind)));
-  if (r.kind == RequestKind::Annotate) {
+  if (r.kind == RequestKind::Annotate || r.kind == RequestKind::Reannotate) {
+    if (r.kind == RequestKind::Reannotate) {
+      v.set("session", json::Value(r.session));
+    }
     v.set("name", json::Value(r.name));
     v.set("netlist", json::Value(r.netlist));
     if (r.timeout_seconds > 0.0) {
@@ -193,15 +198,25 @@ Result<Request> decode_request(std::string_view payload) {
     return protocol_diag("unknown request kind \"" + kind->as_string() + "\"");
   }
   r.kind = *k;
-  if (r.kind == RequestKind::Annotate) {
+  if (r.kind == RequestKind::Annotate || r.kind == RequestKind::Reannotate) {
     const json::Value* netlist = doc->get("netlist");
     if (netlist == nullptr || !netlist->is_string()) {
-      return protocol_diag("annotate request needs a string \"netlist\"");
+      return protocol_diag(std::string(to_string(r.kind)) +
+                           " request needs a string \"netlist\"");
     }
     r.netlist = netlist->as_string();
     if (const json::Value* name = doc->get("name"); name != nullptr) {
       r.name = name->as_string();
     }
+  }
+  if (r.kind == RequestKind::Reannotate) {
+    const json::Value* session = doc->get("session");
+    if (session == nullptr || !session->is_string() ||
+        session->as_string().empty()) {
+      return protocol_diag(
+          "reannotate request needs a non-empty string \"session\"");
+    }
+    r.session = session->as_string();
   }
   // Validated for every kind: a control request smuggling a bogus
   // timeout is just as malformed as an annotate doing it.

@@ -20,8 +20,9 @@
 // Payload schema (all members optional unless noted; unknown members
 // are ignored for forward compatibility):
 //
-//   request  = {"id": u53 (required), "kind": "annotate" | "ping" |
-//               "metrics" | "shutdown",
+//   request  = {"id": u53 (required), "kind": "annotate" | "reannotate" |
+//               "ping" | "metrics" | "shutdown",
+//               "session": str  -- required for reannotate only
 //               "name": str, "netlist": str, "timeout_seconds": num}
 //   response = {"id": u53, "ok": bool,
 //               "payload": str   -- annotation/metrics JSON *as a string*
@@ -91,10 +92,14 @@ class FrameDecoder {
 };
 
 enum class RequestKind {
-  Annotate,  ///< run the full pipeline on an inline netlist
-  Ping,      ///< liveness probe; answered even under full load
-  Metrics,   ///< perf-counter snapshot (batch_timings_to_json format)
-  Shutdown,  ///< request a drain-and-exit (same path as SIGTERM)
+  Annotate,    ///< run the full pipeline on an inline netlist
+  Reannotate,  ///< annotate the next revision of a named session's design
+               ///< incrementally (the server diffs against the previous
+               ///< revision); output bytes equal an `annotate` of the
+               ///< same netlist
+  Ping,        ///< liveness probe; answered even under full load
+  Metrics,     ///< perf-counter snapshot (batch_timings_to_json format)
+  Shutdown,    ///< request a drain-and-exit (same path as SIGTERM)
 };
 
 [[nodiscard]] const char* to_string(RequestKind k);
@@ -105,8 +110,12 @@ struct Request {
   std::uint64_t id = 0;  ///< echoed verbatim in the response; also the
                          ///< fault-injection site key for this request
   RequestKind kind = RequestKind::Ping;
-  std::string name;     ///< circuit name (annotate); "" -> "<request>"
-  std::string netlist;  ///< SPICE text (annotate)
+  std::string session;  ///< session id (reannotate); names the evolving
+                        ///< design whose previous revision to diff against
+  std::string name;     ///< circuit name (annotate/reannotate);
+                        ///< "" -> "<request>"
+  std::string netlist;  ///< SPICE text (annotate/reannotate; always the
+                        ///< *full* netlist -- the server does the diffing)
   double timeout_seconds = 0.0;  ///< per-request deadline; 0 = server default
 };
 

@@ -17,6 +17,7 @@
 #include "core/export.hpp"
 #include "gcn/inference_cache.hpp"
 #include "gcn/sample_cache.hpp"
+#include "incremental/session.hpp"
 #include "primitives/annotation_cache.hpp"
 #include "spice/parser.hpp"
 #include "util/deadline.hpp"
@@ -52,6 +53,18 @@ struct Server::Connection {
   std::mutex write_mutex;
   std::atomic<bool> aborted{false};
   std::atomic<bool> counted_dropped{false};  ///< n_dropped_ charged once
+};
+
+/// One reannotation session. The mutex serializes reannotates of the
+/// same session id (each call mutates the session's baseline); the
+/// shared_ptr keeps a FIFO-shed session alive until its last in-flight
+/// request answers.
+struct Server::SessionEntry {
+  explicit SessionEntry(const core::Annotator* annotator,
+                        incremental::SessionOptions options)
+      : session(annotator, options) {}
+  std::mutex mutex;
+  incremental::AnnotationSession session;
 };
 
 void Server::send_all(Connection& conn, std::string_view data) {
@@ -114,14 +127,20 @@ Server::Server(core::Annotator& annotator, ServerConfig config)
                              1, std::thread::hardware_concurrency());
   resolved_max_inflight_ = config_.max_inflight != 0 ? config_.max_inflight
                                                      : 2 * resolved_jobs_;
+  resolved_max_sessions_ =
+      config_.max_sessions != 0 ? config_.max_sessions : 8;
   // Graceful degradation: long-lived servers see unbounded distinct
-  // structures; bounded caches trade recompute for bounded memory.
-  annotator_->set_sample_cache(
-      std::make_shared<gcn::SamplePrepCache>(config_.cache_capacity));
+  // structures; bounded caches trade recompute for bounded memory. Each
+  // cache takes its own capacity when configured, the shared value
+  // otherwise.
+  annotator_->set_sample_cache(std::make_shared<gcn::SamplePrepCache>(
+      config_.prep_cache_capacity.value_or(config_.cache_capacity)));
   annotator_->set_annotation_cache(
-      std::make_shared<primitives::AnnotationCache>(config_.cache_capacity));
-  annotator_->set_inference_cache(
-      std::make_shared<gcn::InferenceCache>(config_.cache_capacity));
+      std::make_shared<primitives::AnnotationCache>(
+          config_.annotation_cache_capacity.value_or(
+              config_.cache_capacity)));
+  annotator_->set_inference_cache(std::make_shared<gcn::InferenceCache>(
+      config_.inference_cache_capacity.value_or(config_.cache_capacity)));
 }
 
 Server::~Server() { stop(); }
@@ -322,7 +341,8 @@ void Server::handle_payload(const std::shared_ptr<Connection>& conn,
       return;
     }
     case RequestKind::Annotate:
-      break;
+    case RequestKind::Reannotate:
+      break;  // pipeline work: admission-controlled below
   }
 
   // Admission control. fetch_add-then-check keeps the fast path one
@@ -385,8 +405,20 @@ void Server::run_annotate(const std::shared_ptr<Connection>& conn,
       response.ok = false;
       response.diag = parsed.diag();
     } else {
-      Result<core::AnnotateResult> outcome =
-          annotator_->try_annotate(parsed.value(), name, config_.seed);
+      Result<core::AnnotateResult> outcome = make_diag(
+          DiagCode::Internal, Stage::Serve, "request was never run");
+      if (request.kind == RequestKind::Reannotate) {
+        // Same seed, same exporter as the cold path: a warm reannotate
+        // answers with exactly the bytes an annotate of this netlist
+        // would. Requests within one session serialize on its mutex
+        // (each call advances the session's baseline revision).
+        const std::shared_ptr<SessionEntry> entry =
+            checkout_session(request.session);
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        outcome = entry->session.reannotate(parsed.value(), name);
+      } else {
+        outcome = annotator_->try_annotate(parsed.value(), name, config_.seed);
+      }
       if (outcome.ok()) {
         response.ok = true;
         // Byte-for-byte the one-shot CLI's --json output: same function,
@@ -417,6 +449,29 @@ void Server::run_annotate(const std::shared_ptr<Connection>& conn,
     note_failure(*response.diag);
   }
   send_response(conn, response);
+}
+
+std::shared_ptr<Server::SessionEntry> Server::checkout_session(
+    const std::string& id) {
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  if (const auto it = sessions_.find(id); it != sessions_.end()) {
+    return it->second;
+  }
+  // Shed oldest-created first (FIFO, not LRU: eviction order is a pure
+  // function of creation order, never of request timing).
+  while (sessions_.size() >= resolved_max_sessions_ &&
+         !session_fifo_.empty()) {
+    sessions_.erase(session_fifo_.front());
+    session_fifo_.pop_front();
+    n_sessions_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  incremental::SessionOptions options;
+  options.sample_seed = config_.seed;
+  auto entry = std::make_shared<SessionEntry>(annotator_, options);
+  sessions_.emplace(id, entry);
+  session_fifo_.push_back(id);
+  n_sessions_created_.fetch_add(1, std::memory_order_relaxed);
+  return entry;
 }
 
 void Server::note_failure(const Diag& diag) {
@@ -459,9 +514,15 @@ ServerStats Server::stats() const {
   s.connections = n_connections_.load(std::memory_order_relaxed);
   s.dropped_connections = n_dropped_.load(std::memory_order_relaxed);
   s.accept_failures = n_accept_failures_.load(std::memory_order_relaxed);
+  s.sessions_created = n_sessions_created_.load(std::memory_order_relaxed);
+  s.sessions_shed = n_sessions_shed_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     s.open_connections = connections_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    s.active_sessions = sessions_.size();
   }
   return s;
 }
@@ -475,26 +536,7 @@ std::string Server::metrics_json() const {
   t.wall_seconds = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - started_at_)
                        .count();
-  t.matrix_allocs = perf.matrix_allocs;
-  t.matrix_alloc_bytes = perf.matrix_alloc_bytes;
-  t.spmm_calls = perf.spmm_calls;
-  t.spmm_flops = perf.spmm_flops;
-  t.matmul_calls = perf.matmul_calls;
-  t.matmul_flops = perf.matmul_flops;
-  t.sample_cache_hits = perf.sample_cache_hits;
-  t.sample_cache_misses = perf.sample_cache_misses;
-  t.inference_cache_hits = perf.inference_cache_hits;
-  t.inference_cache_misses = perf.inference_cache_misses;
-  t.vf2_states = perf.vf2_states;
-  t.vf2_sig_rejections = perf.vf2_sig_rejections;
-  t.vf2_pattern_skips = perf.vf2_pattern_skips;
-  t.annotation_cache_hits = perf.annotation_cache_hits;
-  t.annotation_cache_misses = perf.annotation_cache_misses;
-  t.cache_evictions = perf.cache_evictions;
-  t.parse_bytes = perf.parse_bytes;
-  t.intern_hits = perf.intern_hits;
-  t.intern_misses = perf.intern_misses;
-  t.frontend_allocs = perf.frontend_allocs;
+  t.apply_perf_delta(perf);
   const ServerStats s = stats();
   return core::batch_timings_to_json(t, resolved_jobs_, s.annotated_ok,
                                      s.annotated_ok + s.annotate_failed);

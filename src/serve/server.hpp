@@ -19,7 +19,19 @@
 //  3. *Deterministic outputs.* An admitted healthy request produces the
 //     exact bytes `annotate_netlist --json` would: same Annotator, same
 //     seed, same exporter. Deadlines and faults change *which* requests
-//     fail, never the bytes of the ones that succeed.
+//     fail, never the bytes of the ones that succeed. Reannotate
+//     requests route through a per-session incremental::AnnotationSession
+//     whose reuse paths carry the same bit-identity contract, so a warm
+//     reannotation answers with exactly an annotate's bytes.
+//
+// Reannotation sessions: a `reannotate` request names a session id and
+// carries the *full* netlist of the next revision; the server diffs it
+// against the session's previous revision and recomputes only the dirty
+// cone. Sessions are bounded at max_sessions and shed FIFO by creation
+// order; a shed id transparently restarts cold on its next request.
+// Requests within one session serialize on the session's mutex (they
+// mutate its baseline); distinct sessions run concurrently and share
+// the annotate admission-control budget.
 //
 // Threading model: one accept thread; one detached reader thread per
 // connection (cheap: blocked in read() almost always; the server tracks
@@ -43,11 +55,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -67,6 +82,18 @@ struct ServerConfig {
   double default_timeout_seconds = 0.0;  ///< per-request deadline when the
                                          ///< request names none; 0 = none
   std::size_t cache_capacity = 0;  ///< per structural cache (0 = unbounded)
+  /// Per-cache overrides of `cache_capacity`. Unset inherits the shared
+  /// value; an explicit 0 makes that one cache unbounded.
+  std::optional<std::size_t> prep_cache_capacity;
+  std::optional<std::size_t> annotation_cache_capacity;
+  std::optional<std::size_t> inference_cache_capacity;
+  /// Live reannotation sessions held at once; 0 derives a default (8).
+  /// Opening session max_sessions+1 sheds the *oldest-created* session
+  /// (FIFO) -- its cached artifacts are dropped and the next reannotate
+  /// under that id silently starts a fresh session (first revision runs
+  /// cold). Bounds the per-session baselines (previous netlist + graph +
+  /// match stores) a long-lived daemon can accumulate.
+  std::size_t max_sessions = 0;
   /// Wall-clock budget for writing one response to a connection. A peer
   /// that stops reading (hostile or hung) has its connection dropped
   /// once the budget expires, so a worker can never wedge in a write
@@ -91,6 +118,10 @@ struct ServerStats {
   std::uint64_t accept_failures = 0;  ///< accept() resource errors shed
                                       ///< (EMFILE and friends)
   std::uint64_t open_connections = 0;  ///< currently tracked connections
+  std::uint64_t sessions_created = 0;  ///< reannotation sessions opened
+  std::uint64_t sessions_shed = 0;     ///< sessions dropped FIFO at the
+                                       ///< max_sessions bound
+  std::uint64_t active_sessions = 0;   ///< sessions currently held
 };
 
 class Server {
@@ -132,12 +163,19 @@ class Server {
 
  private:
   struct Connection;
+  struct SessionEntry;
 
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> conn);
   void handle_payload(const std::shared_ptr<Connection>& conn,
                       const std::string& payload);
   void run_annotate(const std::shared_ptr<Connection>& conn, Request request);
+  /// Looks up (or creates) the reannotation session named by `id`,
+  /// shedding the oldest-created session first when the map is at
+  /// max_sessions. A shed session that is still answering an in-flight
+  /// request stays alive through that request's shared_ptr.
+  [[nodiscard]] std::shared_ptr<SessionEntry> checkout_session(
+      const std::string& id);
   void send_response(const std::shared_ptr<Connection>& conn,
                      const Response& response);
   /// Bounded write of `data` to the connection (write_timeout_seconds);
@@ -153,6 +191,7 @@ class Server {
   ServerConfig config_;
   std::size_t resolved_jobs_ = 1;
   std::size_t resolved_max_inflight_ = 2;
+  std::size_t resolved_max_sessions_ = 8;
 
   int listen_fd_ = -1;
   int shutdown_pipe_[2] = {-1, -1};  ///< [read, write]; write end is the
@@ -170,6 +209,14 @@ class Server {
 
   mutable std::mutex conn_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
+
+  // Reannotation sessions, keyed by client-chosen id. session_mutex_
+  // guards the map and the creation-order FIFO only; each entry carries
+  // its own mutex serializing reannotates of that design, so distinct
+  // sessions annotate concurrently.
+  mutable std::mutex session_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<SessionEntry>> sessions_;
+  std::deque<std::string> session_fifo_;  ///< creation order, oldest first
 
   // Reader threads are detached and tracked by count only: a finished
   // reader removes its connection entry and decrements, so a long-lived
@@ -189,6 +236,8 @@ class Server {
   std::atomic<std::uint64_t> n_connections_{0};
   std::atomic<std::uint64_t> n_dropped_{0};
   std::atomic<std::uint64_t> n_accept_failures_{0};
+  std::atomic<std::uint64_t> n_sessions_created_{0};
+  std::atomic<std::uint64_t> n_sessions_shed_{0};
 
   PerfSnapshot perf_at_start_;
   std::chrono::steady_clock::time_point started_at_;

@@ -6,7 +6,8 @@
 
 namespace gana {
 
-Args::Args(int argc, const char* const* argv) {
+Args::Args(int argc, const char* const* argv,
+           std::set<std::string> boolean_flags) {
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (starts_with(a, "--")) {
@@ -14,7 +15,8 @@ Args::Args(int argc, const char* const* argv) {
       auto eq = body.find('=');
       if (eq != std::string::npos) {
         flags_[body.substr(0, eq)] = body.substr(eq + 1);
-      } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      } else if (boolean_flags.count(body) == 0 && i + 1 < argc &&
+                 !starts_with(argv[i + 1], "--")) {
         flags_[body] = argv[++i];
       } else {
         flags_[body] = "true";

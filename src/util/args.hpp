@@ -2,6 +2,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -9,9 +10,15 @@ namespace gana {
 
 /// Parses `--key value`, `--key=value`, and bare `--flag` arguments.
 /// Positional (non-flag) arguments are collected in order.
+///
+/// A bare `--key` normally consumes the next non-`--` token as its
+/// value. Flags named in `boolean_flags` never do: `--session a.sp`
+/// keeps `a.sp` positional when "session" is declared boolean, so
+/// value-less switches can precede positional arguments.
 class Args {
  public:
-  Args(int argc, const char* const* argv);
+  Args(int argc, const char* const* argv,
+       std::set<std::string> boolean_flags = {});
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key,

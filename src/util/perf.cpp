@@ -23,6 +23,10 @@ std::atomic<std::uint64_t> parse_bytes{0};
 std::atomic<std::uint64_t> intern_hits{0};
 std::atomic<std::uint64_t> intern_misses{0};
 std::atomic<std::uint64_t> frontend_allocs{0};
+std::atomic<std::uint64_t> incr_regions{0};
+std::atomic<std::uint64_t> incr_region_reuses{0};
+std::atomic<std::uint64_t> incr_region_recomputes{0};
+std::atomic<std::uint64_t> incr_canon_fallbacks{0};
 }  // namespace perf::detail
 
 PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& since) const {
@@ -49,6 +53,11 @@ PerfSnapshot PerfSnapshot::operator-(const PerfSnapshot& since) const {
   d.intern_hits = intern_hits - since.intern_hits;
   d.intern_misses = intern_misses - since.intern_misses;
   d.frontend_allocs = frontend_allocs - since.frontend_allocs;
+  d.incr_regions = incr_regions - since.incr_regions;
+  d.incr_region_reuses = incr_region_reuses - since.incr_region_reuses;
+  d.incr_region_recomputes =
+      incr_region_recomputes - since.incr_region_recomputes;
+  d.incr_canon_fallbacks = incr_canon_fallbacks - since.incr_canon_fallbacks;
   return d;
 }
 
@@ -81,6 +90,13 @@ PerfSnapshot perf_snapshot() {
   s.intern_hits = d::intern_hits.load(std::memory_order_relaxed);
   s.intern_misses = d::intern_misses.load(std::memory_order_relaxed);
   s.frontend_allocs = d::frontend_allocs.load(std::memory_order_relaxed);
+  s.incr_regions = d::incr_regions.load(std::memory_order_relaxed);
+  s.incr_region_reuses =
+      d::incr_region_reuses.load(std::memory_order_relaxed);
+  s.incr_region_recomputes =
+      d::incr_region_recomputes.load(std::memory_order_relaxed);
+  s.incr_canon_fallbacks =
+      d::incr_canon_fallbacks.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -44,6 +44,12 @@ struct PerfSnapshot {
   std::uint64_t frontend_allocs = 0;   ///< interned front-end heap allocations
                                        ///< (arena chunks, table rehashes,
                                        ///< whole-file buffers)
+  std::uint64_t incr_regions = 0;      ///< regions seen by session runs
+  std::uint64_t incr_region_reuses = 0;     ///< regions fully served by the
+                                            ///< session's per-structure caches
+  std::uint64_t incr_region_recomputes = 0; ///< regions that ran GCN/VF2 fresh
+  std::uint64_t incr_canon_fallbacks = 0;   ///< regions whose canonical-order
+                                            ///< search hit the branch budget
 
   /// Counterwise difference (this - since).
   [[nodiscard]] PerfSnapshot operator-(const PerfSnapshot& since) const;
@@ -76,6 +82,10 @@ extern std::atomic<std::uint64_t> parse_bytes;
 extern std::atomic<std::uint64_t> intern_hits;
 extern std::atomic<std::uint64_t> intern_misses;
 extern std::atomic<std::uint64_t> frontend_allocs;
+extern std::atomic<std::uint64_t> incr_regions;
+extern std::atomic<std::uint64_t> incr_region_reuses;
+extern std::atomic<std::uint64_t> incr_region_recomputes;
+extern std::atomic<std::uint64_t> incr_canon_fallbacks;
 }  // namespace detail
 
 inline void count_matrix_alloc(std::size_t bytes) {
@@ -146,6 +156,23 @@ inline void count_intern(std::uint64_t hits, std::uint64_t misses) {
 
 inline void count_frontend_alloc(std::uint64_t n = 1) {
   detail::frontend_allocs.fetch_add(n, std::memory_order_relaxed);
+}
+
+/// Flushed once per session run with the run's region totals (never per
+/// region): how many regions the partition produced, how many were fully
+/// served from the session's per-structure caches, and how many re-ran
+/// GCN + VF2.
+inline void count_incremental_regions(std::uint64_t regions,
+                                      std::uint64_t reuses,
+                                      std::uint64_t recomputes) {
+  detail::incr_regions.fetch_add(regions, std::memory_order_relaxed);
+  detail::incr_region_reuses.fetch_add(reuses, std::memory_order_relaxed);
+  detail::incr_region_recomputes.fetch_add(recomputes,
+                                           std::memory_order_relaxed);
+}
+
+inline void count_incremental_canon_fallback() {
+  detail::incr_canon_fallbacks.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace perf

@@ -112,6 +112,21 @@ TEST(Protocol, RequestRoundTripsAllFields) {
   EXPECT_DOUBLE_EQ(back.value().timeout_seconds, r.timeout_seconds);
 }
 
+TEST(Protocol, ReannotateRequestRoundTripsSession) {
+  serve::Request r;
+  r.id = 42;
+  r.kind = serve::RequestKind::Reannotate;
+  r.session = "design/ota-v2";
+  r.name = "ota";
+  r.netlist = kTinyNetlist;
+  const auto back = serve::decode_request(serve::encode_request(r));
+  ASSERT_TRUE(back.ok()) << back.diag().message;
+  EXPECT_EQ(back.value().kind, serve::RequestKind::Reannotate);
+  EXPECT_EQ(back.value().session, r.session);
+  EXPECT_EQ(back.value().name, r.name);
+  EXPECT_EQ(back.value().netlist, r.netlist);
+}
+
 TEST(Protocol, ResponseRoundTripsPayloadAndDiag) {
   serve::Response ok;
   ok.id = 7;
@@ -140,6 +155,10 @@ TEST(Protocol, MalformedRequestsYieldStructuredDiags) {
            R"({"kind":"annotate"})",           // missing id
            R"({"id":1,"kind":"teleport"})",    // unknown kind
            R"({"id":1,"kind":"annotate"})",    // annotate without netlist
+           R"({"id":1,"kind":"reannotate","netlist":"x"})",  // no session
+           R"({"id":1,"kind":"reannotate","session":"",)"
+           R"("netlist":"x"})",                // empty session id
+           R"({"id":1,"kind":"reannotate","session":"s"})",  // no netlist
            R"({"id":-4,"kind":"ping"})",       // negative id
            R"({"id":1,"kind":"ping","timeout_seconds":-1})",
        }) {
@@ -227,6 +246,75 @@ TEST_F(ServeTest, AnnotationIsBitIdenticalToLocalPipeline) {
   const auto stats = server->stats();
   EXPECT_EQ(stats.annotated_ok, 2u);
   EXPECT_EQ(stats.annotate_failed, 0u);
+}
+
+TEST_F(ServeTest, ReannotationMatchesColdAnnotateBytes) {
+  serve::ServerConfig config;
+  config.jobs = 2;
+  auto server = start_server("reann", config);
+  auto client = make_client(*server);
+
+  // Revision 2 of the same design: a value-only edit (m1 resized).
+  const char* kEditedNetlist =
+      "test circuit\n"
+      "m1 out in vdd vdd pmos w=4u l=0.1u\n"
+      "m2 out in 0 0 nmos w=1u l=0.1u\n"
+      ".end\n";
+
+  // Revision 1 through the session must answer with exactly the bytes
+  // the plain annotate path produces for the same netlist.
+  const auto cold0 = client.annotate("tiny", kTinyNetlist);
+  ASSERT_TRUE(cold0.ok()) << cold0.diag().message;
+  const auto warm0 = client.reannotate("design", "tiny", kTinyNetlist);
+  ASSERT_TRUE(warm0.ok()) << warm0.diag().message;
+  EXPECT_EQ(warm0.value(), cold0.value());
+
+  // Revision 2 reuses the session's baseline server-side; the bytes
+  // must still equal a cold annotate of the edited netlist.
+  const auto cold1 = client.annotate("tiny", kEditedNetlist);
+  ASSERT_TRUE(cold1.ok()) << cold1.diag().message;
+  const auto warm1 = client.reannotate("design", "tiny", kEditedNetlist);
+  ASSERT_TRUE(warm1.ok()) << warm1.diag().message;
+  EXPECT_EQ(warm1.value(), cold1.value());
+
+  server->stop();
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.sessions_created, 1u);
+  EXPECT_EQ(stats.active_sessions, 1u);
+  EXPECT_EQ(stats.sessions_shed, 0u);
+  EXPECT_EQ(stats.annotated_ok, 4u);
+}
+
+TEST_F(ServeTest, SessionsAreShedFifoAtTheBound) {
+  serve::ServerConfig config;
+  config.jobs = 1;
+  config.max_sessions = 2;
+  auto server = start_server("sessfifo", config);
+  auto client = make_client(*server);
+
+  ASSERT_TRUE(client.reannotate("a", "tiny", kTinyNetlist).ok());
+  ASSERT_TRUE(client.reannotate("b", "tiny", kTinyNetlist).ok());
+  EXPECT_EQ(server->stats().active_sessions, 2u);
+  EXPECT_EQ(server->stats().sessions_shed, 0u);
+
+  // A third session sheds the oldest-created ("a"), not the map's limit.
+  ASSERT_TRUE(client.reannotate("c", "tiny", kTinyNetlist).ok());
+  EXPECT_EQ(server->stats().active_sessions, 2u);
+  EXPECT_EQ(server->stats().sessions_shed, 1u);
+
+  // A shed id transparently restarts cold -- recreating "a" sheds the
+  // now-oldest "b" and still answers correct bytes.
+  const auto cold = client.annotate("tiny", kTinyNetlist);
+  ASSERT_TRUE(cold.ok()) << cold.diag().message;
+  const auto again = client.reannotate("a", "tiny", kTinyNetlist);
+  ASSERT_TRUE(again.ok()) << again.diag().message;
+  EXPECT_EQ(again.value(), cold.value());
+
+  server->stop();
+  const auto stats = server->stats();
+  EXPECT_EQ(stats.sessions_created, 4u);
+  EXPECT_EQ(stats.sessions_shed, 2u);
+  EXPECT_EQ(stats.active_sessions, 2u);
 }
 
 TEST_F(ServeTest, BadNetlistComesBackAsStructuredDiag) {

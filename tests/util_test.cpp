@@ -164,6 +164,22 @@ TEST(Args, ParsesFlagsAndPositionals) {
   EXPECT_EQ(args.get_double("missing", 1.5), 1.5);
 }
 
+TEST(Args, DeclaredBooleanFlagsDoNotConsumePositionals) {
+  const char* argv[] = {"prog", "--session", "rev0.sp", "rev1.sp",
+                        "--jobs", "4"};
+  Args args(6, argv, {"session"});
+  EXPECT_EQ(args.get("session"), "true");
+  EXPECT_EQ(args.get_int("jobs", 1), 4);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "rev0.sp");
+  EXPECT_EQ(args.positional()[1], "rev1.sp");
+
+  // Undeclared bare flags keep the historical greedy-value behaviour.
+  Args greedy(6, argv);
+  EXPECT_EQ(greedy.get("session"), "rev0.sp");
+  ASSERT_EQ(greedy.positional().size(), 1u);
+}
+
 // Bounded ShardedCache: FIFO eviction per shard, counted, with lookups
 // for evicted keys turning into ordinary misses. Keys that are multiples
 // of 16 (below 2^32) all map to shard 0, so one shard's FIFO can be
