@@ -1,20 +1,32 @@
-// Corpus-scale sharding bench: process fan-out scaling curve.
+// Corpus-scale sharding bench: process fan-out scaling curve, before
+// and after the zero-copy artifact + work-stealing scheduler work.
 //
 // Generates the seeded 100k-circuit corpus (OTA/RF/SC mix; reused
-// across runs via the manifest provenance header), annotates it through
-// shard::run_sharded at 1/2/4/8 worker processes, and records the
-// scaling curve in BENCH_sharding.json.
+// across runs via the manifest provenance header) plus one GCN model
+// and the standard primitive library saved BOTH ways -- text
+// checkpoint / text library, and binary mmap artifacts -- then
+// annotates the corpus through shard::run_sharded at 1/2/4/8 worker
+// processes twice per fan-out:
 //
-// The "identical" guard is the tentpole contract: every fan-out's
-// merged JSONL output must be byte-identical to the in-process
-// --shards 1 baseline. A false verdict means process boundaries leaked
-// into results (seed derivation, cache state, or merge order) and the
-// record must not be promoted -- run_benches.sh refuses it.
+//   before -- PR 8 shape: static contiguous partition, workers parse
+//             the text checkpoint and text library at startup;
+//   after  -- work-stealing grants + binary artifacts mapped read-only,
+//             weights borrowed zero-copy out of the page cache.
 //
-// The speedup target scales with the machine: 1.5x when 2+ cores are
-// available, otherwise (single-core CI) the bar is only that fan-out
-// overhead stays bounded (>= 0.5x). GANA_BENCH_QUICK=1 shrinks the
-// corpus for smoke runs.
+// The "identical" guard is the tentpole contract: every run's merged
+// JSONL output (both schedulers, both artifact formats, every fan-out)
+// must be byte-identical to the in-process --shards 1 baseline. A
+// false verdict means process boundaries, the scheduler, or the
+// artifact decode leaked into results, and the record must not be
+// promoted -- run_benches.sh refuses it.
+//
+// Reported alongside the curves: summed worker startup seconds (model +
+// library load) at each fan-out, and startup_reduction_8 = before/after
+// summed startup at 8 workers -- the headline artifact win, expected
+// >= 5x. The speedup target scales with the machine: 1.5x when 2+
+// cores are available, otherwise (single-core CI) the bar is only that
+// fan-out overhead stays bounded (>= 0.5x). GANA_BENCH_QUICK=1 shrinks
+// the corpus for smoke runs.
 //
 // Worker binary resolution: GANA_SHARD_BIN (compile definition pointing
 // at the gana_shard target file).
@@ -29,6 +41,9 @@
 
 #include "bench_common.hpp"
 #include "datagen/corpus.hpp"
+#include "gcn/model.hpp"
+#include "gcn/serialize.hpp"
+#include "primitives/library_io.hpp"
 #include "shard/driver.hpp"
 #include "util/table.hpp"
 
@@ -62,13 +77,40 @@ bool files_identical(const std::string& a, const std::string& b) {
   }
 }
 
+struct Point {
+  std::size_t shards = 0;
+  double seconds = 0.0;
+  double startup_seconds = 0.0;  ///< summed across workers
+  std::size_t steal_requests = 0;
+  std::size_t chunks_served = 0;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  bool identical = true;
+};
+
+void emit_curve(std::ostringstream& json, const char* key,
+                const std::vector<Point>& curve) {
+  json << "\"" << key << "\":[";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (i != 0) json << ",";
+    json << "{\"shards\":" << curve[i].shards
+         << ",\"seconds\":" << curve[i].seconds
+         << ",\"startup_seconds\":" << curve[i].startup_seconds
+         << ",\"steal_requests\":" << curve[i].steal_requests
+         << ",\"chunks_served\":" << curve[i].chunks_served
+         << ",\"ok\":" << curve[i].ok << ",\"failed\":" << curve[i].failed
+         << "}";
+  }
+  json << "]";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_sharding.json";
   bench::print_header(
       "Corpus-scale sharded batch driver: process fan-out",
-      "100k-netlist corpus, 1/2/4/8 worker processes, deterministic merge");
+      "100k-netlist corpus, static/text vs stealing/mmap at 1/2/4/8 workers");
 
   const std::size_t count = bench::scaled(100000, 200);
   const std::uint64_t corpus_seed = 20260808;
@@ -88,96 +130,171 @@ int main(int argc, char** argv) {
   }
   const double gen_seconds = gen_timer.seconds();
   std::printf("corpus: %zu circuits under %s (%zu written, %zu reused, "
-              "%.1f s)\n\n",
+              "%.1f s)\n",
               count, copt.dir.c_str(), corpus.value().written,
               corpus.value().reused, gen_seconds);
 
-  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
-  struct Point {
-    std::size_t shards = 0;
-    double seconds = 0.0;
-    std::size_t ok = 0;
-    std::size_t failed = 0;
-    bool identical = true;
-  };
-  std::vector<Point> curve;
-  const std::string baseline_path = copt.dir + "/merged_1.jsonl";
+  // One model, saved both ways. The weights are what every worker
+  // loads at startup; the fingerprint ties the two formats together.
+  gcn::ModelConfig mcfg;
+  mcfg.conv_channels = {32, 32};
+  mcfg.cheb_k = 6;
+  mcfg.fc_hidden = 128;
+  mcfg.seed = corpus_seed;
+  gcn::GcnModel model(mcfg);
+  const std::string model_text = copt.dir + "/model.ckpt";
+  const std::string model_bin = copt.dir + "/model.bin";
+  gcn::save_model_file(model, model_text);
+  if (auto r = gcn::save_model_artifact(model, model_bin); !r.ok()) {
+    std::fprintf(stderr, "sharding bench: %s\n", r.diag().render().c_str());
+    return 1;
+  }
+  const auto lib = primitives::PrimitiveLibrary::standard();
+  const std::string lib_text = copt.dir + "/library.txt";
+  const std::string lib_bin = copt.dir + "/library.bin";
+  if (auto r = primitives::save_library_text_file(lib, lib_text); !r.ok()) {
+    std::fprintf(stderr, "sharding bench: %s\n", r.diag().render().c_str());
+    return 1;
+  }
+  if (auto r = primitives::save_library_artifact(lib, lib_bin); !r.ok()) {
+    std::fprintf(stderr, "sharding bench: %s\n", r.diag().render().c_str());
+    return 1;
+  }
+  std::printf("model: %zu parameters -> %s / %s\n\n",
+              model.parameter_count(), model_text.c_str(), model_bin.c_str());
 
-  for (const std::size_t shards : shard_counts) {
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  const std::string baseline_path = copt.dir + "/merged_baseline.jsonl";
+
+  const auto run_point = [&](std::size_t shards, shard::Scheduler scheduler,
+                             bool binary_artifacts, const std::string& tag,
+                             Point* out) -> bool {
     shard::ShardOptions sopt;
     sopt.shards = shards;
     sopt.keep_going = true;
+    sopt.scheduler = scheduler;
     sopt.worker_exe = GANA_SHARD_BIN;
+    sopt.pipeline.load_model = binary_artifacts ? model_bin : model_text;
+    sopt.pipeline.load_library = binary_artifacts ? lib_bin : lib_text;
 
-    const std::string merged_path =
-        copt.dir + "/merged_" + std::to_string(shards) + ".jsonl";
+    const std::string merged_path = copt.dir + "/merged_" + tag + ".jsonl";
+    const bool is_baseline = merged_path == baseline_path;
     std::ofstream merged(merged_path, std::ios::binary | std::ios::trunc);
     if (!merged) {
       std::fprintf(stderr, "sharding bench: cannot open %s\n",
                    merged_path.c_str());
-      return 1;
+      return false;
     }
     auto run = shard::run_sharded(corpus.value().manifest_path, sopt, merged);
     merged.close();
     if (!run.ok()) {
       std::fprintf(stderr, "sharding bench: %s\n",
                    run.diag().render().c_str());
+      return false;
+    }
+    out->shards = shards;
+    out->seconds = run.value().wall_seconds;
+    out->ok = run.value().ok;
+    out->failed = run.value().failed;
+    for (const auto& st : run.value().shards) {
+      out->startup_seconds += st.startup_seconds;
+      out->steal_requests += st.steal_requests;
+      out->chunks_served += st.chunks_served;
+    }
+    out->identical =
+        is_baseline || files_identical(baseline_path, merged_path);
+    std::printf("  %-14s shards=%zu: %.2f s (startup %.4f s, %zu ok, "
+                "%zu failed)%s\n",
+                tag.c_str(), shards, out->seconds, out->startup_seconds,
+                out->ok, out->failed,
+                out->identical ? "" : "  MERGED OUTPUT DIVERGED");
+    return true;
+  };
+
+  // Baseline: the in-process shards=1 run every other output must
+  // byte-match. Text artifacts (the round-trip tests pin text == mmap
+  // bitwise, so either format would do).
+  Point base_point;
+  if (!run_point(1, shard::Scheduler::Static, false, "baseline",
+                 &base_point)) {
+    return 1;
+  }
+
+  std::vector<Point> before, after;
+  for (const std::size_t shards : shard_counts) {
+    Point b;
+    if (!run_point(shards, shard::Scheduler::Static, false,
+                   "before_" + std::to_string(shards), &b)) {
       return 1;
     }
-    Point p;
-    p.shards = shards;
-    p.seconds = run.value().wall_seconds;
-    p.ok = run.value().ok;
-    p.failed = run.value().failed;
-    p.identical =
-        shards == 1 || files_identical(baseline_path, merged_path);
-    curve.push_back(p);
-    std::printf("  shards=%zu: %.2f s (%zu ok, %zu failed)%s\n", shards,
-                p.seconds, p.ok, p.failed,
-                p.identical ? "" : "  MERGED OUTPUT DIVERGED");
+    before.push_back(b);
+    Point a;
+    if (!run_point(shards, shard::Scheduler::Stealing, true,
+                   "after_" + std::to_string(shards), &a)) {
+      return 1;
+    }
+    after.push_back(a);
   }
   std::printf("\n");
 
-  const double base_s = std::max(curve.front().seconds, 1e-12);
-  bool all_identical = true;
-  bool any_failed = false;
-  double best_speedup = 0.0;
-  for (const Point& p : curve) {
-    all_identical = all_identical && p.identical;
-    any_failed = any_failed || p.failed != 0;
-    if (p.shards > 1) {
-      best_speedup = std::max(best_speedup, base_s / std::max(p.seconds, 1e-12));
+  bool all_identical = base_point.identical;
+  bool any_failed = base_point.failed != 0;
+  const auto best_of = [&](const std::vector<Point>& curve) {
+    const double base_s = std::max(curve.front().seconds, 1e-12);
+    double best = 0.0;
+    for (const Point& p : curve) {
+      all_identical = all_identical && p.identical;
+      any_failed = any_failed || p.failed != 0;
+      if (p.shards > 1) {
+        best = std::max(best, base_s / std::max(p.seconds, 1e-12));
+      }
     }
-  }
+    return best;
+  };
+  const double before_best = best_of(before);
+  const double after_best = best_of(after);
+
+  // The headline artifact win: summed worker startup (model + library
+  // load) at the widest fan-out, text parse vs mmap decode.
+  const double startup_before_8 = before.back().startup_seconds;
+  const double startup_after_8 = after.back().startup_seconds;
+  const double startup_reduction_8 =
+      startup_before_8 / std::max(startup_after_8, 1e-12);
 
   const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
   const double target = cores >= 2 ? 1.5 : 0.5;
-  const bool target_met = best_speedup >= target;
+  const bool target_met = after_best >= target && after_best >= before_best;
 
-  TextTable table({"Shards", "Seconds", "Netlists/s", "Speedup", "Identical"});
-  for (const Point& p : curve) {
-    table.add_row({std::to_string(p.shards), fmt(p.seconds, 2),
-                   fmt(static_cast<double>(count) / std::max(p.seconds, 1e-12),
-                       1),
-                   p.shards == 1 ? "(ref)" : fmt(base_s / p.seconds, 2),
-                   p.identical ? "yes" : "NO"});
+  TextTable table({"Shards", "Before s", "After s", "Before startup",
+                   "After startup", "Identical"});
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    table.add_row({std::to_string(shard_counts[i]), fmt(before[i].seconds, 2),
+                   fmt(after[i].seconds, 2),
+                   fmt(before[i].startup_seconds, 4),
+                   fmt(after[i].startup_seconds, 4),
+                   before[i].identical && after[i].identical ? "yes" : "NO"});
   }
   std::printf("%s", table.str().c_str());
-  std::printf("\nbest fan-out speedup: %.2fx (target %.1fx on %u core%s)\n",
-              best_speedup, target, cores, cores == 1 ? "" : "s");
+  std::printf("\nbest fan-out speedup: before %.2fx, after %.2fx "
+              "(target %.1fx on %u core%s)\n",
+              before_best, after_best, target, cores, cores == 1 ? "" : "s");
+  std::printf("summed 8-worker startup: %.4f s -> %.4f s (%.1fx reduction)\n",
+              startup_before_8, startup_after_8, startup_reduction_8);
 
   std::ostringstream json;
   json << "{\"bench\":\"sharding\",\"circuits\":" << count
        << ",\"corpus_seed\":" << corpus_seed
-       << ",\"corpus_gen_seconds\":" << gen_seconds << ",\"curve\":[";
-  for (std::size_t i = 0; i < curve.size(); ++i) {
-    if (i != 0) json << ",";
-    json << "{\"shards\":" << curve[i].shards << ",\"seconds\":"
-         << curve[i].seconds << ",\"ok\":" << curve[i].ok
-         << ",\"failed\":" << curve[i].failed << "}";
-  }
-  json << "],\"hardware_concurrency\":" << cores
-       << ",\"best_speedup\":" << best_speedup
+       << ",\"corpus_gen_seconds\":" << gen_seconds
+       << ",\"model_parameters\":" << model.parameter_count() << ",";
+  emit_curve(json, "before_curve", before);
+  json << ",";
+  emit_curve(json, "after_curve", after);
+  json << ",\"hardware_concurrency\":" << cores
+       << ",\"before_best_speedup\":" << before_best
+       << ",\"best_speedup\":" << after_best
+       << ",\"startup_before_8\":" << startup_before_8
+       << ",\"startup_after_8\":" << startup_after_8
+       << ",\"startup_reduction_8\":" << startup_reduction_8
        << ",\"speedup_target\":" << target
        << ",\"speedup_target_met\":" << (target_met ? "true" : "false")
        << ",\"identical\":"

@@ -89,6 +89,7 @@
 #include "gana.hpp"
 #include "gcn/serialize.hpp"
 #include "linalg/kernels.hpp"
+#include "primitives/library_io.hpp"
 #include "util/args.hpp"
 #include "util/perf.hpp"
 #include "util/thread_pool.hpp"
@@ -188,6 +189,7 @@ int main(int argc, char** argv) {
         "                        [--annotation-cache-capacity C]\n"
         "                        [--inference-cache-capacity C]\n"
         "                        [--timeout-seconds S]\n"
+        "                        [--load-library lib|standard]\n"
         "                        [--frontend interned|reference]\n"
         "                        [--kernel simd|unrolled|reference]\n"
         "                        [--perf-json perf.json]\n"
@@ -250,8 +252,14 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<gana::gcn::GcnModel> model;
   if (args.has("load-model")) {
-    model = std::make_unique<gana::gcn::GcnModel>(
-        gana::gcn::load_model_file(args.get("load-model")));
+    // Text checkpoint or binary artifact, sniffed by magic; the binary
+    // path maps the file and borrows the weights zero-copy.
+    auto loaded = gana::gcn::load_model_any(args.get("load-model"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.diag().render().c_str());
+      return kExitIo;
+    }
+    model = std::make_unique<gana::gcn::GcnModel>(loaded.take());
     std::printf("loaded model from %s (%zu parameters)\n",
                 args.get("load-model").c_str(), model->parameter_count());
   } else if (args.has("train")) {
@@ -273,8 +281,13 @@ int main(int argc, char** argv) {
   prepare.front_end = frontend == "reference"
                           ? gana::core::FrontEnd::Reference
                           : gana::core::FrontEnd::Interned;
-  gana::core::Annotator annotator(model.get(), classes,
-                                  gana::primitives::PrimitiveLibrary::standard(),
+  auto library =
+      gana::primitives::load_library_any(args.get("load-library", "standard"));
+  if (!library.ok()) {
+    std::fprintf(stderr, "error: %s\n", library.diag().render().c_str());
+    return kExitIo;
+  }
+  gana::core::Annotator annotator(model.get(), classes, library.take(),
                                   prepare);
   // Per-cache capacities, each falling back to the shared knob.
   const int shared_capacity = std::max(args.get_int("cache-capacity", 0), 0);

@@ -52,6 +52,7 @@
 
 #include "gana.hpp"
 #include "gcn/serialize.hpp"
+#include "primitives/library_io.hpp"
 #include "serve/server.hpp"
 #include "util/args.hpp"
 #include "util/fault_injection.hpp"
@@ -72,7 +73,8 @@ int main(int argc, char** argv) {
   if (!args.has("socket")) {
     std::printf(
         "usage: gana_serve --socket /path/to.sock\n"
-        "                  [--domain ota|rf] [--load-model m.ckpt]\n"
+        "                  [--domain ota|rf] [--load-model m.ckpt|m.bin]\n"
+        "                  [--load-library lib|standard]\n"
         "                  [--jobs N] [--max-inflight M]\n"
         "                  [--max-sessions K]\n"
         "                  [--timeout-seconds S]\n"
@@ -92,15 +94,28 @@ int main(int argc, char** argv) {
   // its parsed primitive library.
   std::unique_ptr<gana::gcn::GcnModel> model;
   if (args.has("load-model")) {
-    model = std::make_unique<gana::gcn::GcnModel>(
-        gana::gcn::load_model_file(args.get("load-model")));
+    // Text checkpoint or binary artifact, sniffed by magic; the binary
+    // path maps the file and borrows the weights zero-copy.
+    auto loaded = gana::gcn::load_model_any(args.get("load-model"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "gana-serve: %s\n",
+                   loaded.diag().render().c_str());
+      return 2;
+    }
+    model = std::make_unique<gana::gcn::GcnModel>(loaded.take());
     std::printf("loaded model from %s (%zu parameters)\n",
                 args.get("load-model").c_str(), model->parameter_count());
   }
   const std::vector<std::string> classes =
       domain == "rf" ? gana::datagen::rf_class_names()
                      : std::vector<std::string>{"ota", "bias"};
-  gana::core::Annotator annotator(model.get(), classes);
+  auto library =
+      gana::primitives::load_library_any(args.get("load-library", "standard"));
+  if (!library.ok()) {
+    std::fprintf(stderr, "gana-serve: %s\n", library.diag().render().c_str());
+    return 2;
+  }
+  gana::core::Annotator annotator(model.get(), classes, library.take());
 
   gana::serve::ServerConfig config;
   config.socket_path = args.get("socket");

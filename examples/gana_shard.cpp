@@ -13,8 +13,13 @@
 //       to stdout or --out. The merged bytes are identical for every
 //       --shards value; see src/shard/driver.hpp.
 //
-//   gana_shard --worker --manifest M --begin A --end B ...
+//   gana_shard --worker --manifest M [--steal | --begin A --end B] ...
 //       Internal: one shard's worker process, spawned by the driver.
+//
+//   gana_shard --pack-model ckpt.txt --out model.bin
+//   gana_shard --pack-library lib.txt|standard --out lib.bin
+//       Converts a text checkpoint / primitive-library file into the
+//       binary artifact format workers map zero-copy at startup.
 //
 // Exit codes follow annotate_netlist (0 ok, 1 usage, 2 io, 3 parse,
 // 4 annotate, 5 timeout) plus 6 when a worker process crashed, exited
@@ -25,6 +30,8 @@
 #include <iostream>
 
 #include "datagen/corpus.hpp"
+#include "gcn/serialize.hpp"
+#include "primitives/library_io.hpp"
 #include "shard/driver.hpp"
 #include "util/args.hpp"
 
@@ -46,10 +53,13 @@ void print_usage() {
       "             [--per-dir N] [--ota-fraction F] [--rf-fraction F]\n"
       "  gana_shard --manifest FILE [--out FILE] [--shards N] [--jobs N]\n"
       "             [--domain ota|rf] [--keep-going]\n"
+      "             [--scheduler stealing|static]\n"
       "             [--shard-timeout-seconds S] [--timeout-seconds S]\n"
       "             [--seed S] [--no-caches] [--cache-capacity N]\n"
-      "             [--load-model FILE] [--perf-json FILE]\n"
-      "             [--worker-exe FILE] [--quiet]\n");
+      "             [--load-model FILE] [--load-library FILE|standard]\n"
+      "             [--perf-json FILE] [--worker-exe FILE] [--quiet]\n"
+      "  gana_shard --pack-model FILE --out FILE\n"
+      "  gana_shard --pack-library FILE|standard --out FILE\n");
 }
 
 /// Exit code of the lowest-manifest-index failure.
@@ -110,6 +120,63 @@ int run_datagen(const gana::Args& args) {
   return kExitOk;
 }
 
+int run_pack_model(const gana::Args& args) {
+  const std::string in = args.get("pack-model");
+  const std::string out = args.get("out");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "gana-shard: --pack-model requires IN and --out\n");
+    print_usage();
+    return kExitUsage;
+  }
+  auto model = gana::gcn::load_model_any(in);
+  if (!model.ok()) {
+    std::fprintf(stderr, "gana-shard: %s\n", model.diag().render().c_str());
+    return model.diag().code == gana::DiagCode::IoError ? kExitIo : kExitParse;
+  }
+  auto saved = gana::gcn::save_model_artifact(model.value(), out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "gana-shard: %s\n", saved.diag().render().c_str());
+    return kExitIo;
+  }
+  if (!args.has("quiet")) {
+    std::fprintf(stderr, "gana-shard: packed model %s -> %s (fingerprint %llx)\n",
+                 in.c_str(), out.c_str(),
+                 static_cast<unsigned long long>(
+                     model.value().weights_fingerprint()));
+  }
+  return kExitOk;
+}
+
+int run_pack_library(const gana::Args& args) {
+  const std::string in = args.get("pack-library");
+  const std::string out = args.get("out");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr,
+                 "gana-shard: --pack-library requires IN and --out\n");
+    print_usage();
+    return kExitUsage;
+  }
+  auto lib = gana::primitives::load_library_any(in);
+  if (!lib.ok()) {
+    std::fprintf(stderr, "gana-shard: %s\n", lib.diag().render().c_str());
+    return lib.diag().code == gana::DiagCode::IoError ? kExitIo : kExitParse;
+  }
+  auto saved = gana::primitives::save_library_artifact(lib.value(), out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "gana-shard: %s\n", saved.diag().render().c_str());
+    return kExitIo;
+  }
+  if (!args.has("quiet")) {
+    std::fprintf(stderr,
+                 "gana-shard: packed library %s -> %s (%zu primitives, "
+                 "fingerprint %llx)\n",
+                 in.c_str(), out.c_str(), lib.value().size(),
+                 static_cast<unsigned long long>(
+                     gana::primitives::library_fingerprint(lib.value())));
+  }
+  return kExitOk;
+}
+
 int run_driver(const gana::Args& args) {
   const std::string manifest = args.get("manifest");
   if (manifest.empty()) {
@@ -141,6 +208,17 @@ int run_driver(const gana::Args& args) {
       static_cast<std::size_t>(std::max(args.get_int("cache-capacity", 0), 0));
   opt.pipeline.timeout_seconds = args.get_double("timeout-seconds", 0.0);
   opt.pipeline.load_model = args.get("load-model");
+  opt.pipeline.load_library = args.get("load-library");
+  const std::string scheduler = args.get("scheduler", "stealing");
+  if (scheduler == "static") {
+    opt.scheduler = gana::shard::Scheduler::Static;
+  } else if (scheduler == "stealing") {
+    opt.scheduler = gana::shard::Scheduler::Stealing;
+  } else {
+    std::fprintf(stderr, "gana-shard: unknown --scheduler %s\n",
+                 scheduler.c_str());
+    return kExitUsage;
+  }
 
   std::ofstream out_file;
   const std::string out_path = args.get("out");
@@ -170,12 +248,18 @@ int run_driver(const gana::Args& args) {
 
   const std::string perf_path = args.get("perf-json");
   if (!perf_path.empty()) {
+    // One object per shard: scheduler counters from the parent plus the
+    // worker's own batch-timings summary (null if it never arrived).
     std::ofstream perf(perf_path, std::ios::binary | std::ios::trunc);
     perf << "[";
     for (std::size_t s = 0; s < stats.shards.size(); ++s) {
       if (s != 0) perf << ",";
-      const std::string& p = stats.shards[s].perf_json;
-      perf << (p.empty() ? "null" : p);
+      const gana::shard::ShardStatus& st = stats.shards[s];
+      perf << "{\"shard\":" << s
+           << ",\"startup_seconds\":" << st.startup_seconds
+           << ",\"steal_requests\":" << st.steal_requests
+           << ",\"chunks_served\":" << st.chunks_served << ",\"perf\":"
+           << (st.perf_json.empty() ? "null" : st.perf_json) << "}";
     }
     perf << "]\n";
     perf.close();
@@ -209,5 +293,7 @@ int main(int argc, char** argv) {
   }
   if (args.has("worker")) return gana::shard::worker_main(args);
   if (args.has("datagen")) return run_datagen(args);
+  if (args.has("pack-model")) return run_pack_model(args);
+  if (args.has("pack-library")) return run_pack_library(args);
   return run_driver(args);
 }

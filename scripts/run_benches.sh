@@ -54,6 +54,11 @@ for b in gcn_inference primitive_matching frontend sharding incremental; do
           "$record")
     echo "$b jobs-scaling efficiency (cpu@1 / cpu@8): $eff"
   fi
+  if [ -f "$record" ] && grep -q '"startup_reduction_8"' "$record"; then
+    red=$(sed -n 's/.*"startup_reduction_8":\([-0-9.eE+]*\).*/\1/p' \
+          "$record")
+    echo "$b 8-worker startup reduction (text parse / mmap): ${red}x"
+  fi
   if [ "$bench_status" -ne 0 ]; then
     echo "$b exited with status $bench_status" >&2
   fi

@@ -330,7 +330,7 @@ Matrix Relu::forward(const Matrix& x, const GraphSample& /*sample*/,
                      bool /*training*/, Rng& /*rng*/) {
   Matrix y = x;
   mask_.assign(y.size(), false);
-  auto& d = y.data();
+  auto d = y.data();
   for (std::size_t i = 0; i < d.size(); ++i) {
     if (d[i] > 0.0) {
       mask_[i] = true;
@@ -351,7 +351,7 @@ void Relu::infer_into(const Matrix& x, const GraphSample& /*sample*/,
 
 Matrix Relu::backward(const Matrix& grad_out) {
   Matrix g = grad_out;
-  auto& d = g.data();
+  auto d = g.data();
   assert(d.size() == mask_.size());
   for (std::size_t i = 0; i < d.size(); ++i) {
     if (!mask_[i]) d[i] = 0.0;
@@ -365,7 +365,7 @@ Matrix Dropout::forward(const Matrix& x, const GraphSample& /*sample*/,
   scale_.assign(y.size(), 1.0);
   if (training && rate_ > 0.0) {
     const double keep = 1.0 - rate_;
-    auto& d = y.data();
+    auto d = y.data();
     for (std::size_t i = 0; i < d.size(); ++i) {
       if (rng.uniform() < rate_) {
         scale_[i] = 0.0;
@@ -386,7 +386,7 @@ void Dropout::infer_into(const Matrix& x, const GraphSample& /*sample*/,
 
 Matrix Dropout::backward(const Matrix& grad_out) {
   Matrix g = grad_out;
-  auto& d = g.data();
+  auto d = g.data();
   assert(d.size() == scale_.size());
   for (std::size_t i = 0; i < d.size(); ++i) d[i] *= scale_[i];
   return g;

@@ -89,10 +89,20 @@ class GcnModel {
   [[nodiscard]] const ModelConfig& config() const { return config_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  /// Ties external weight storage to the model's lifetime. The
+  /// zero-copy artifact loader points parameter matrices into a
+  /// memory-mapped file (`Matrix::borrow`); the mapping handed here
+  /// stays alive as long as the model does, so those borrows can never
+  /// dangle. Multiple calls accumulate.
+  void retain_storage(std::shared_ptr<const void> storage) {
+    retained_.push_back(std::move(storage));
+  }
+
  private:
   ModelConfig config_;
   Rng rng_;
   std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::shared_ptr<const void>> retained_;
 };
 
 }  // namespace gana::gcn

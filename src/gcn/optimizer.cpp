@@ -22,10 +22,10 @@ void Adam::step() {
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& p = params_[i]->data();
-    const auto& g = grads_[i]->data();
-    auto& m = m_[i].data();
-    auto& v = v_[i].data();
+    auto p = params_[i]->data();
+    const auto g = grads_[i]->data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
     assert(p.size() == g.size());
     for (std::size_t j = 0; j < p.size(); ++j) {
       // L2 weight decay folded into the gradient.

@@ -1,14 +1,42 @@
 #include "gcn/serialize.hpp"
 
+#include <cstring>
 #include <fstream>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/artifact.hpp"
 
 namespace gana::gcn {
 
 namespace {
+
 constexpr const char* kMagic = "gana-gcn-v1";
+
+Diag checkpoint_diag(DiagCode code, const std::string& name,
+                     std::string message) {
+  Diag d = make_diag(code, Stage::Io, std::move(message));
+  d.loc.file = name;
+  return d;
+}
+
+/// All parameter and buffer tensors in declaration order -- the single
+/// tensor ordering shared by the text format, the artifact "shapes" and
+/// "weights" sections, and weights_fingerprint(). GcnModel::params() is
+/// non-const by design (the optimizer mutates through it);
+/// serialization only reads.
+std::vector<Matrix*> all_tensors(const GcnModel& model) {
+  auto& mutable_model = const_cast<GcnModel&>(model);
+  auto tensors = mutable_model.params();
+  auto buffers = mutable_model.buffers();
+  tensors.insert(tensors.end(), buffers.begin(), buffers.end());
+  return tensors;
+}
+
 }  // namespace
 
 void save_model(const GcnModel& model, std::ostream& out) {
@@ -28,15 +56,10 @@ void save_model(const GcnModel& model, std::ostream& out) {
   out << "batch_norm " << (cfg.batch_norm ? 1 : 0) << "\n";
   out << "seed " << cfg.seed << "\n";
 
-  // GcnModel::params() is non-const by design (the optimizer mutates
-  // through it); serialization only reads.
-  auto& mutable_model = const_cast<GcnModel&>(model);
-  auto params = mutable_model.params();
-  auto buffers = mutable_model.buffers();
-  params.insert(params.end(), buffers.begin(), buffers.end());
-  out << "tensors " << params.size() << "\n";
+  const auto tensors = all_tensors(model);
+  out << "tensors " << tensors.size() << "\n";
   out << std::setprecision(17);
-  for (const Matrix* p : params) {
+  for (const Matrix* p : tensors) {
     out << p->rows() << " " << p->cols() << "\n";
     for (double v : p->data()) out << v << " ";
     out << "\n";
@@ -49,84 +72,285 @@ void save_model_file(const GcnModel& model, const std::string& path) {
   save_model(model, f);
 }
 
-GcnModel load_model(std::istream& in) {
+Result<GcnModel> load_model_result(std::istream& in,
+                                   const std::string& name) {
+  const auto fail = [&](DiagCode code, std::string message) {
+    return checkpoint_diag(code, name, std::move(message));
+  };
   std::string magic;
   in >> magic;
   if (magic != kMagic) {
-    throw std::runtime_error("not a gana-gcn checkpoint (bad magic)");
+    return fail(DiagCode::FormatError,
+                "not a gana-gcn checkpoint (bad magic)");
   }
+
+  // Config keys in any order, each at most once: duplicates are
+  // rejected instead of last-write-wins so a checkpoint has exactly one
+  // meaning (text -> binary packing relies on this).
   ModelConfig cfg;
-  std::string key;
-  // Fixed key order as written by save_model.
-  auto expect = [&](const char* want) {
-    in >> key;
-    if (key != want) {
-      throw std::runtime_error("checkpoint: expected key '" +
-                               std::string(want) + "', got '" + key + "'");
-    }
+  std::map<std::string, bool> seen;
+  const auto claim = [&](const std::string& key) {
+    if (seen[key]) return false;
+    seen[key] = true;
+    return true;
   };
-  expect("in_features");
-  in >> cfg.in_features;
-  expect("num_classes");
-  in >> cfg.num_classes;
-  expect("conv_channels");
-  cfg.conv_channels.clear();
-  // Channels run until the next key ("cheb_k").
-  while (in >> key && key != "cheb_k") {
-    cfg.conv_channels.push_back(std::stoul(key));
-  }
-  in >> cfg.cheb_k;
-  expect("fc_hidden");
-  in >> cfg.fc_hidden;
-  expect("use_pooling");
-  int flag = 0;
-  in >> flag;
-  cfg.use_pooling = flag != 0;
-  expect("pool_mode");
-  std::string mode;
-  in >> mode;
-  cfg.pool_mode =
-      mode == "max" ? GraclusPool::Mode::Max : GraclusPool::Mode::Mean;
-  expect("dropout");
-  in >> cfg.dropout;
-  expect("batch_norm");
-  in >> flag;
-  cfg.batch_norm = flag != 0;
-  expect("seed");
-  in >> cfg.seed;
-  expect("tensors");
+  std::string key;
+  bool have_tensors_header = false;
   std::size_t tensor_count = 0;
-  in >> tensor_count;
+  while (in >> key) {
+    if (key == "tensors") {
+      if (!(in >> tensor_count)) {
+        return fail(DiagCode::BadValue, "checkpoint: bad tensor count");
+      }
+      have_tensors_header = true;
+      break;
+    }
+    if (!claim(key)) {
+      return fail(DiagCode::DuplicateName,
+                  "checkpoint: duplicate key '" + key + "'");
+    }
+    bool value_ok = true;
+    if (key == "in_features") {
+      value_ok = static_cast<bool>(in >> cfg.in_features);
+    } else if (key == "num_classes") {
+      value_ok = static_cast<bool>(in >> cfg.num_classes);
+    } else if (key == "conv_channels") {
+      cfg.conv_channels.clear();
+      // Channels run until the next (non-numeric) key.
+      while (in >> std::ws && in.peek() >= '0' && in.peek() <= '9') {
+        std::size_t c = 0;
+        if (!(in >> c)) break;
+        cfg.conv_channels.push_back(c);
+      }
+    } else if (key == "cheb_k") {
+      value_ok = static_cast<bool>(in >> cfg.cheb_k);
+    } else if (key == "fc_hidden") {
+      value_ok = static_cast<bool>(in >> cfg.fc_hidden);
+    } else if (key == "use_pooling" || key == "batch_norm") {
+      int flag = 0;
+      value_ok = static_cast<bool>(in >> flag);
+      (key == "use_pooling" ? cfg.use_pooling : cfg.batch_norm) = flag != 0;
+    } else if (key == "pool_mode") {
+      std::string mode;
+      value_ok = static_cast<bool>(in >> mode);
+      cfg.pool_mode =
+          mode == "max" ? GraclusPool::Mode::Max : GraclusPool::Mode::Mean;
+    } else if (key == "conv_kind") {
+      std::string kind;
+      value_ok = static_cast<bool>(in >> kind);
+      cfg.conv_kind =
+          kind == "sage" ? ConvKind::SageMean : ConvKind::Chebyshev;
+    } else if (key == "dropout") {
+      value_ok = static_cast<bool>(in >> cfg.dropout);
+    } else if (key == "seed") {
+      value_ok = static_cast<bool>(in >> cfg.seed);
+    } else {
+      return fail(DiagCode::SyntaxError,
+                  "checkpoint: unknown key '" + key + "'");
+    }
+    if (!value_ok) {
+      return fail(DiagCode::BadValue,
+                  "checkpoint: bad value for key '" + key + "'");
+    }
+  }
+  if (!have_tensors_header) {
+    return fail(DiagCode::FormatError,
+                "checkpoint: missing 'tensors' section");
+  }
 
   GcnModel model(cfg);
-  auto params = model.params();
-  auto buffers = model.buffers();
-  params.insert(params.end(), buffers.begin(), buffers.end());
-  if (params.size() != tensor_count) {
-    throw std::runtime_error(
-        "checkpoint: tensor count mismatch (file " +
-        std::to_string(tensor_count) + ", model " +
-        std::to_string(params.size()) + ")");
+  const auto tensors = all_tensors(model);
+  if (tensors.size() != tensor_count) {
+    return fail(DiagCode::FormatError,
+                "checkpoint: tensor count mismatch (file " +
+                    std::to_string(tensor_count) + ", model " +
+                    std::to_string(tensors.size()) + ")");
   }
-  for (Matrix* p : params) {
+  for (Matrix* p : tensors) {
     std::size_t rows = 0, cols = 0;
-    in >> rows >> cols;
-    if (rows != p->rows() || cols != p->cols()) {
-      throw std::runtime_error("checkpoint: tensor shape mismatch");
+    if (!(in >> rows >> cols) || rows != p->rows() || cols != p->cols()) {
+      return fail(DiagCode::FormatError,
+                  "checkpoint: tensor shape mismatch");
     }
     for (double& v : p->data()) {
       if (!(in >> v)) {
-        throw std::runtime_error("checkpoint: truncated tensor data");
+        return fail(DiagCode::FormatError,
+                    "checkpoint: truncated tensor data");
       }
     }
   }
   return model;
 }
 
-GcnModel load_model_file(const std::string& path) {
+Result<GcnModel> load_model_file_result(const std::string& path) {
   std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot read " + path);
-  return load_model(f);
+  if (!f) {
+    return checkpoint_diag(DiagCode::IoError, path, "cannot read " + path);
+  }
+  return load_model_result(f, path);
+}
+
+GcnModel load_model(std::istream& in) {
+  auto loaded = load_model_result(in);
+  if (!loaded.ok()) throw DiagError(loaded.diag());
+  return loaded.take();
+}
+
+GcnModel load_model_file(const std::string& path) {
+  auto loaded = load_model_file_result(path);
+  if (!loaded.ok()) throw DiagError(loaded.diag());
+  return loaded.take();
+}
+
+// ---------------------------------------------------------------------------
+// Binary model artifact
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kConfigSection = "config";
+constexpr const char* kShapesSection = "shapes";
+constexpr const char* kWeightsSection = "weights";
+
+std::vector<std::uint8_t> encode_config(const ModelConfig& cfg) {
+  util::ByteWriter w;
+  w.u64(cfg.in_features);
+  w.u64(cfg.num_classes);
+  w.u8(cfg.conv_kind == ConvKind::SageMean ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(cfg.cheb_k));
+  w.u64(cfg.fc_hidden);
+  w.u8(cfg.use_pooling ? 1 : 0);
+  w.u8(cfg.pool_mode == GraclusPool::Mode::Max ? 0 : 1);
+  w.f64(cfg.dropout);
+  w.u8(cfg.batch_norm ? 1 : 0);
+  w.u64(cfg.seed);
+  w.u32(static_cast<std::uint32_t>(cfg.conv_channels.size()));
+  for (std::size_t c : cfg.conv_channels) w.u64(c);
+  return w.take();
+}
+
+Result<ModelConfig> decode_config(const util::ArtifactSection& section,
+                                  const std::string& name) {
+  util::ByteReader r(section);
+  ModelConfig cfg;
+  cfg.in_features = r.u64();
+  cfg.num_classes = r.u64();
+  cfg.conv_kind = r.u8() == 1 ? ConvKind::SageMean : ConvKind::Chebyshev;
+  cfg.cheb_k = static_cast<int>(r.u32());
+  cfg.fc_hidden = r.u64();
+  cfg.use_pooling = r.u8() != 0;
+  cfg.pool_mode =
+      r.u8() == 0 ? GraclusPool::Mode::Max : GraclusPool::Mode::Mean;
+  cfg.dropout = r.f64();
+  cfg.batch_norm = r.u8() != 0;
+  cfg.seed = r.u64();
+  const std::uint32_t channels = r.u32();
+  // Guard before resizing: a corrupt count must not drive allocation.
+  if (!r.ok() || r.remaining() != std::size_t{channels} * 8) {
+    return checkpoint_diag(DiagCode::FormatError, name,
+                           "model artifact: malformed config section");
+  }
+  cfg.conv_channels.clear();
+  for (std::uint32_t i = 0; i < channels; ++i) {
+    cfg.conv_channels.push_back(r.u64());
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Result<bool> save_model_artifact(const GcnModel& model,
+                                 const std::string& path) {
+  const auto tensors = all_tensors(model);
+
+  util::ByteWriter shapes;
+  shapes.u32(static_cast<std::uint32_t>(tensors.size()));
+  for (const Matrix* p : tensors) {
+    shapes.u64(p->rows());
+    shapes.u64(p->cols());
+  }
+
+  util::ByteWriter weights;
+  for (const Matrix* p : tensors) {
+    for (double v : static_cast<const Matrix*>(p)->data()) weights.f64(v);
+  }
+
+  util::ArtifactWriter writer;
+  writer.add_section(kConfigSection, encode_config(model.config()));
+  writer.add_section(kShapesSection, shapes.take());
+  writer.add_section(kWeightsSection, weights.take());
+  return writer.write(path, util::ArtifactKind::Model,
+                      model.weights_fingerprint());
+}
+
+Result<GcnModel> load_model_artifact(const std::string& path) {
+  auto opened = util::ArtifactReader::open(path, util::ArtifactKind::Model);
+  if (!opened.ok()) return opened.diag();
+  const util::ArtifactReader reader = opened.take();
+
+  auto config_section = reader.require(kConfigSection);
+  if (!config_section.ok()) return config_section.diag();
+  auto shapes_section = reader.require(kShapesSection);
+  if (!shapes_section.ok()) return shapes_section.diag();
+  auto weights_section = reader.require(kWeightsSection);
+  if (!weights_section.ok()) return weights_section.diag();
+
+  auto cfg = decode_config(config_section.value(), path);
+  if (!cfg.ok()) return cfg.diag();
+
+  GcnModel model(cfg.value());
+  const auto tensors = all_tensors(model);
+
+  util::ByteReader shapes(shapes_section.value());
+  const std::uint32_t tensor_count = shapes.u32();
+  if (!shapes.ok() || tensor_count != tensors.size()) {
+    return checkpoint_diag(
+        DiagCode::FormatError, path,
+        "model artifact: tensor count mismatch (file " +
+            std::to_string(tensor_count) + ", model " +
+            std::to_string(tensors.size()) + ")");
+  }
+  std::uint64_t total_doubles = 0;
+  for (const Matrix* p : tensors) {
+    const std::uint64_t rows = shapes.u64();
+    const std::uint64_t cols = shapes.u64();
+    if (!shapes.ok() || rows != p->rows() || cols != p->cols()) {
+      return checkpoint_diag(DiagCode::FormatError, path,
+                             "model artifact: tensor shape mismatch");
+    }
+    total_doubles += rows * cols;
+  }
+  const auto& weights = weights_section.value();
+  if (weights.size != total_doubles * sizeof(double)) {
+    return checkpoint_diag(DiagCode::FormatError, path,
+                           "model artifact: weights section size mismatch");
+  }
+
+  // Zero-copy: every tensor borrows its slice of the mapped weights
+  // section (64-byte aligned by the container format). The mapping is
+  // retained by the model, so the borrows outlive every use.
+  const double* cursor = reinterpret_cast<const double*>(weights.data);
+  for (Matrix* p : tensors) {
+    const std::size_t n = p->size();
+    *p = Matrix::borrow(cursor, p->rows(), p->cols());
+    cursor += n;
+  }
+  model.retain_storage(reader.mapping());
+
+  if (model.weights_fingerprint() != reader.fingerprint()) {
+    return checkpoint_diag(
+        DiagCode::FormatError, path,
+        "model artifact: weights fingerprint mismatch (header does not "
+        "match tensor contents)");
+  }
+  return model;
+}
+
+Result<GcnModel> load_model_any(const std::string& path) {
+  if (util::file_looks_like_artifact(path)) {
+    return load_model_artifact(path);
+  }
+  return load_model_file_result(path);
 }
 
 }  // namespace gana::gcn

@@ -9,11 +9,44 @@
 
 namespace gana {
 
+bool operator==(ConstSpan a, ConstSpan b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+Matrix Matrix::borrow(const double* data, std::size_t rows,
+                      std::size_t cols) {
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  if (rows * cols != 0) m.view_ = data;
+  return m;
+}
+
+void Matrix::materialize() {
+  const std::size_t n = rows_ * cols_;
+  if (n > data_.capacity()) {
+    perf::count_matrix_alloc(n * sizeof(double));
+  }
+  data_.assign(view_, view_ + n);
+  view_ = nullptr;
+}
+
 void Matrix::fill(double v) {
+  // Contents are discarded wholesale, so a borrow detaches without the
+  // materializing copy.
+  if (view_ != nullptr) {
+    view_ = nullptr;
+    if (size() > data_.capacity()) {
+      perf::count_matrix_alloc(size() * sizeof(double));
+    }
+    data_.assign(size(), v);
+    return;
+  }
   for (double& x : data_) x = v;
 }
 
 void Matrix::resize(std::size_t rows, std::size_t cols) {
+  view_ = nullptr;  // contents discarded; no need to materialize
   const std::size_t n = rows * cols;
   if (n > data_.capacity()) {
     perf::count_matrix_alloc(n * sizeof(double));
@@ -24,29 +57,36 @@ void Matrix::resize(std::size_t rows, std::size_t cols) {
 }
 
 void Matrix::copy_from(const Matrix& src) {
-  const std::size_t n = src.data_.size();
+  view_ = nullptr;  // contents discarded; no need to materialize
+  const std::size_t n = src.size();
   if (n > data_.capacity()) {
     perf::count_matrix_alloc(n * sizeof(double));
   }
   data_.resize(n);
-  std::copy(src.data_.begin(), src.data_.end(), data_.begin());
+  const double* s = src.ptr();
+  std::copy(s, s + n, data_.begin());
   rows_ = src.rows_;
   cols_ = src.cols_;
 }
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  ensure_owned();
+  const double* o = other.ptr();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  ensure_owned();
+  const double* o = other.ptr();
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o[i];
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
+  ensure_owned();
   for (double& x : data_) x *= s;
   return *this;
 }

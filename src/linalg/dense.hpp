@@ -13,6 +13,57 @@ namespace gana {
 
 class Rng;
 
+/// Read-only view of a matrix's elements. Mirrors the parts of the
+/// `const std::vector<double>&` surface the codebase uses (iteration,
+/// indexing, `.data()`, element-wise `==`), so `Matrix::data()` can hand
+/// out a view whether the matrix owns its storage or borrows it from a
+/// memory-mapped artifact.
+class ConstSpan {
+ public:
+  ConstSpan(const double* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] const double* begin() const { return data_; }
+  [[nodiscard]] const double* end() const { return data_ + size_; }
+  [[nodiscard]] const double* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  const double* data_;
+  std::size_t size_;
+};
+
+/// Mutable counterpart of ConstSpan, returned by the non-const
+/// `Matrix::data()` (which materializes owned storage first).
+class MutSpan {
+ public:
+  MutSpan(double* data, std::size_t size) : data_(data), size_(size) {}
+
+  operator ConstSpan() const { return {data_, size_}; }  // NOLINT
+
+  [[nodiscard]] double* begin() const { return data_; }
+  [[nodiscard]] double* end() const { return data_ + size_; }
+  [[nodiscard]] double* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  double& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  double* data_;
+  std::size_t size_;
+};
+
+/// Element-wise comparison with `std::vector<double>` semantics (double
+/// `==`, not approximate). The bitwise-identity tests compare spans of
+/// values produced by deterministic kernels, where element equality and
+/// bit equality coincide.
+[[nodiscard]] bool operator==(ConstSpan a, ConstSpan b);
+[[nodiscard]] inline bool operator!=(ConstSpan a, ConstSpan b) {
+  return !(a == b);
+}
+
 /// Dense row-major matrix of doubles.
 ///
 /// Invariant: data().size() == rows() * cols().
@@ -22,6 +73,16 @@ class Rng;
 /// counters. The inference fast path routes every buffer through
 /// `resize`/`copy_from` on reused workspace matrices, so steady-state
 /// inference performs (and reports) zero allocations.
+///
+/// Storage is normally owned, but a matrix can also *borrow* read-only
+/// element storage (`Matrix::borrow`) -- the zero-copy path for weight
+/// tensors inside a memory-mapped model artifact. A borrowed matrix is
+/// fully usable through the const API without copying; the first
+/// mutating access materializes an owned copy (copy-on-write), so the
+/// semantics never differ from an owned matrix. The borrowed pointer's
+/// storage must outlive every borrowing matrix (see
+/// `GcnModel::retain_storage`). Copying a borrowed matrix produces
+/// another borrow of the same storage.
 class Matrix {
  public:
   Matrix() = default;
@@ -32,24 +93,38 @@ class Matrix {
     }
   }
 
+  /// Non-owning rows x cols view over `data` (row-major, 8-byte
+  /// aligned, rows*cols doubles). No allocation, no copy.
+  [[nodiscard]] static Matrix borrow(const double* data, std::size_t rows,
+                                     std::size_t cols);
+
+  [[nodiscard]] bool borrowed() const { return view_ != nullptr; }
+
   [[nodiscard]] std::size_t rows() const { return rows_; }
   [[nodiscard]] std::size_t cols() const { return cols_; }
-  [[nodiscard]] std::size_t size() const { return data_.size(); }
-  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
 
   double& operator()(std::size_t r, std::size_t c) {
+    ensure_owned();
     return data_[r * cols_ + c];
   }
   double operator()(std::size_t r, std::size_t c) const {
-    return data_[r * cols_ + c];
+    return ptr()[r * cols_ + c];
   }
 
-  [[nodiscard]] const std::vector<double>& data() const { return data_; }
-  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] ConstSpan data() const { return {ptr(), size()}; }
+  [[nodiscard]] MutSpan data() {
+    ensure_owned();
+    return {data_.data(), data_.size()};
+  }
 
-  [[nodiscard]] double* row_ptr(std::size_t r) { return &data_[r * cols_]; }
-  [[nodiscard]] const double* row_ptr(std::size_t r) const {
+  [[nodiscard]] double* row_ptr(std::size_t r) {
+    ensure_owned();
     return &data_[r * cols_];
+  }
+  [[nodiscard]] const double* row_ptr(std::size_t r) const {
+    return ptr() + r * cols_;
   }
 
   void fill(double v);
@@ -75,9 +150,19 @@ class Matrix {
                       Rng& rng);
 
  private:
+  [[nodiscard]] const double* ptr() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
+  /// Copy-on-write: materializes owned storage before a mutable access.
+  void ensure_owned() {
+    if (view_ != nullptr) materialize();
+  }
+  void materialize();
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<double> data_;              ///< owned storage (view_ == null)
+  const double* view_ = nullptr;          ///< borrowed storage, else null
 };
 
 /// Dense-product kernel selection.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/builder.hpp"
+#include "graph/structural_hash.hpp"
 #include "spice/parser.hpp"
 
 namespace gana::constraints {
@@ -35,6 +36,15 @@ std::string to_string(const Constraint& c) {
 }  // namespace gana::constraints
 
 namespace gana::primitives {
+
+void PrimitiveLibrary::add_spec(std::unique_ptr<PrimitiveSpec> spec) {
+  if (find(spec->name) != nullptr) {
+    throw spice::NetlistError(make_diag(
+        DiagCode::DuplicateName, Stage::Validate,
+        "duplicate primitive '" + spec->name + "' in library"));
+  }
+  specs_.push_back(std::move(spec));
+}
 
 void PrimitiveLibrary::add(const std::string& name,
                            const std::string& display_name,
@@ -87,7 +97,7 @@ void PrimitiveLibrary::add(const std::string& name,
       spec->forbid_rail[v] = true;
     }
   }
-  specs_.push_back(std::move(spec));
+  add_spec(std::move(spec));
 }
 
 const PrimitiveSpec* PrimitiveLibrary::find(const std::string& name) const {
@@ -105,6 +115,27 @@ std::vector<std::size_t> PrimitiveLibrary::priority_order() const {
                      return specs_[a]->priority > specs_[b]->priority;
                    });
   return order;
+}
+
+std::uint64_t library_fingerprint(const PrimitiveLibrary& lib) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = graph::hash_combine(h, lib.size());
+  const auto fold_string = [&](const std::string& s) {
+    h = graph::hash_combine(h, s.size());
+    for (char c : s) {
+      h = graph::hash_combine(h, static_cast<std::uint64_t>(
+                                     static_cast<unsigned char>(c)));
+    }
+  };
+  for (std::size_t li : lib.priority_order()) {
+    const PrimitiveSpec& spec = lib.spec(li);
+    fold_string(spec.name);
+    fold_string(spec.display_name);
+    h = graph::hash_combine(h, graph::structural_hash(spec.graph));
+    h = graph::hash_combine(h, static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(spec.priority)));
+  }
+  return h;
 }
 
 PrimitiveLibrary PrimitiveLibrary::standard() {

@@ -67,13 +67,20 @@ class PrimitiveLibrary {
   PrimitiveLibrary() = default;
 
   /// Compiles a primitive from SPICE text containing exactly one .subckt
-  /// definition; throws spice::NetlistError on malformed input.
+  /// definition; throws spice::NetlistError on malformed input or a
+  /// duplicate primitive name (DiagCode::DuplicateName -- names are the
+  /// library's identity, so last-write-wins would be ambiguous).
   /// `non_rail_nets` lists pattern net names that must not bind to a
   /// supply/ground rail in the target.
   void add(const std::string& name, const std::string& display_name,
            const std::string& spice_text, int priority,
            std::vector<ConstraintTemplate> constraint_templates = {},
            std::vector<std::string> non_rail_nets = {});
+
+  /// Inserts an already-compiled spec (the parse-free path the binary
+  /// artifact loader uses). Throws spice::NetlistError on a duplicate
+  /// name, like add().
+  void add_spec(std::unique_ptr<PrimitiveSpec> spec);
 
   [[nodiscard]] std::size_t size() const { return specs_.size(); }
   [[nodiscard]] const PrimitiveSpec& spec(std::size_t i) const {
@@ -88,5 +95,12 @@ class PrimitiveLibrary {
   // unique_ptr keeps PrimitiveSpec addresses stable across add() calls.
   std::vector<std::unique_ptr<PrimitiveSpec>> specs_;
 };
+
+/// Content hash of a library: per-spec pattern structural hashes and
+/// priorities in priority order (the same folding annotation_cache_key
+/// applies), plus names and display names. Stamped into the library
+/// artifact header and re-derived on load, so a corrupt or regenerated
+/// library can never be mistaken for the one that was packed.
+[[nodiscard]] std::uint64_t library_fingerprint(const PrimitiveLibrary& lib);
 
 }  // namespace gana::primitives

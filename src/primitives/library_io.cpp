@@ -1,0 +1,443 @@
+#include "primitives/library_io.hpp"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "util/artifact.hpp"
+#include "util/strings.hpp"
+
+namespace gana::primitives {
+
+namespace {
+
+constexpr const char* kTextMagic = "gana-primlib-v1";
+constexpr const char* kSpecsSection = "specs";
+
+Diag library_diag(DiagCode code, const std::string& name, std::size_t line,
+                  std::string message) {
+  Diag d = make_diag(code, Stage::Io, std::move(message));
+  d.loc.file = name;
+  d.loc.line = line;
+  return d;
+}
+
+const std::vector<constraints::Kind>& all_constraint_kinds() {
+  using constraints::Kind;
+  static const std::vector<Kind> kinds = {
+      Kind::Symmetry,  Kind::Matching,      Kind::CommonCentroid,
+      Kind::Proximity, Kind::GuardRing,     Kind::MinWireLength,
+      Kind::SymmetricNets,
+  };
+  return kinds;
+}
+
+std::optional<constraints::Kind> kind_from_string(const std::string& name) {
+  for (constraints::Kind k : all_constraint_kinds()) {
+    if (name == constraints::to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+/// Net names flagged forbid_rail, recovered from the compiled graph --
+/// the inverse of the non_rail_nets argument to PrimitiveLibrary::add.
+std::vector<std::string> non_rail_nets_of(const PrimitiveSpec& spec) {
+  std::vector<std::string> nets;
+  for (std::size_t v = 0; v < spec.graph.vertex_count(); ++v) {
+    if (v < spec.forbid_rail.size() && spec.forbid_rail[v] &&
+        spec.graph.vertex(v).kind == graph::VertexKind::Net) {
+      nets.push_back(spec.graph.vertex(v).name);
+    }
+  }
+  return nets;
+}
+
+}  // namespace
+
+void save_library_text(const PrimitiveLibrary& lib, std::ostream& out) {
+  out << kTextMagic << "\n";
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    const PrimitiveSpec& spec = lib.spec(i);
+    out << "primitive " << spec.name << " " << spec.display_name << " "
+        << spec.priority << "\n";
+    const auto non_rail = non_rail_nets_of(spec);
+    if (!non_rail.empty()) {
+      out << "non-rail";
+      for (const auto& n : non_rail) out << " " << n;
+      out << "\n";
+    }
+    for (const auto& t : spec.constraint_templates) {
+      out << "constraint " << constraints::to_string(t.kind);
+      if (t.members_are_nets) out << " nets";
+      for (const auto& m : t.members) out << " " << m;
+      out << "\n";
+    }
+    out << "spice\n";
+    // The stored SPICE source, stripped of leading/trailing blank lines
+    // so save(load(x)) is byte-stable.
+    std::istringstream body(spec.spice);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(body, line);) {
+      lines.push_back(line);
+    }
+    std::size_t first = 0, last = lines.size();
+    while (first < last && trim(lines[first]).empty()) ++first;
+    while (last > first && trim(lines[last - 1]).empty()) --last;
+    for (std::size_t li = first; li < last; ++li) out << lines[li] << "\n";
+    out << "endspice\n";
+  }
+}
+
+Result<bool> save_library_text_file(const PrimitiveLibrary& lib,
+                                    const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    return library_diag(DiagCode::IoError, path, 0, "cannot write " + path);
+  }
+  save_library_text(lib, f);
+  return true;
+}
+
+Result<PrimitiveLibrary> load_library_text(std::istream& in,
+                                           const std::string& name) {
+  std::string line;
+  std::size_t lineno = 0;
+  const auto fail = [&](DiagCode code, std::string message) {
+    return library_diag(code, name, lineno, std::move(message));
+  };
+
+  if (!std::getline(in, line) || trim(line) != kTextMagic) {
+    lineno = 1;
+    return fail(DiagCode::FormatError,
+                "not a gana primitive library (bad magic)");
+  }
+  lineno = 1;
+
+  PrimitiveLibrary lib;
+  // Pending stanza fields, flushed by compile() at the next `primitive`
+  // header or EOF.
+  bool have_pending = false;
+  std::string p_name, p_display;
+  int p_priority = 0;
+  std::size_t p_line = 0;
+  std::vector<ConstraintTemplate> p_templates;
+  std::vector<std::string> p_non_rail;
+  std::string p_spice;
+  bool saw_spice = false;
+
+  const auto compile = [&]() -> std::optional<Diag> {
+    if (!have_pending) return std::nullopt;
+    if (!saw_spice) {
+      return library_diag(DiagCode::FormatError, name, p_line,
+                          "primitive '" + p_name + "' has no spice body");
+    }
+    try {
+      lib.add(p_name, p_display, p_spice, p_priority, std::move(p_templates),
+              std::move(p_non_rail));
+    } catch (const DiagError& e) {
+      Diag d = e.diag();
+      if (!d.loc.known()) {
+        d.loc.file = name;
+        d.loc.line = p_line;
+      }
+      return d;
+    }
+    have_pending = false;
+    saw_spice = false;
+    p_templates.clear();
+    p_non_rail.clear();
+    p_spice.clear();
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string trimmed{trim(line)};
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream tokens(trimmed);
+    std::string word;
+    tokens >> word;
+    if (word == "primitive") {
+      if (auto d = compile()) return *d;
+      have_pending = true;
+      p_line = lineno;
+      if (!(tokens >> p_name >> p_display >> p_priority)) {
+        return fail(DiagCode::SyntaxError,
+                    "expected: primitive <name> <display> <priority>");
+      }
+    } else if (word == "non-rail") {
+      if (!have_pending) {
+        return fail(DiagCode::SyntaxError,
+                    "'non-rail' outside a primitive stanza");
+      }
+      for (std::string net; tokens >> net;) p_non_rail.push_back(net);
+    } else if (word == "constraint") {
+      if (!have_pending) {
+        return fail(DiagCode::SyntaxError,
+                    "'constraint' outside a primitive stanza");
+      }
+      std::string kind_name;
+      if (!(tokens >> kind_name)) {
+        return fail(DiagCode::SyntaxError, "constraint without a kind");
+      }
+      const auto kind = kind_from_string(kind_name);
+      if (!kind) {
+        return fail(DiagCode::BadValue,
+                    "unknown constraint kind '" + kind_name + "'");
+      }
+      ConstraintTemplate t;
+      t.kind = *kind;
+      std::string member;
+      if (tokens >> member) {
+        if (member == "nets") {
+          t.members_are_nets = true;
+        } else {
+          t.members.push_back(member);
+        }
+        while (tokens >> member) t.members.push_back(member);
+      }
+      p_templates.push_back(std::move(t));
+    } else if (word == "spice") {
+      if (!have_pending) {
+        return fail(DiagCode::SyntaxError,
+                    "'spice' outside a primitive stanza");
+      }
+      bool terminated = false;
+      while (std::getline(in, line)) {
+        ++lineno;
+        if (trim(line) == "endspice") {
+          terminated = true;
+          break;
+        }
+        p_spice += line;
+        p_spice += "\n";
+      }
+      if (!terminated) {
+        return fail(DiagCode::FormatError,
+                    "unterminated spice body (missing 'endspice')");
+      }
+      saw_spice = true;
+    } else {
+      return fail(DiagCode::SyntaxError,
+                  "unknown library directive '" + word + "'");
+    }
+  }
+  if (auto d = compile()) return *d;
+  return lib;
+}
+
+Result<PrimitiveLibrary> load_library_text_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return library_diag(DiagCode::IoError, path, 0, "cannot read " + path);
+  }
+  return load_library_text(f, path);
+}
+
+// ---------------------------------------------------------------------------
+// Binary library artifact
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void encode_flags(util::ByteWriter& w, const std::vector<bool>& flags) {
+  w.u32(static_cast<std::uint32_t>(flags.size()));
+  for (bool f : flags) w.u8(f ? 1 : 0);
+}
+
+std::vector<bool> decode_flags(util::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (r.remaining() < n) return {};  // latched by the next read
+  std::vector<bool> flags(n);
+  for (std::uint32_t i = 0; i < n; ++i) flags[i] = r.u8() != 0;
+  return flags;
+}
+
+void encode_spec(util::ByteWriter& w, const PrimitiveSpec& spec) {
+  w.str(spec.name);
+  w.str(spec.display_name);
+  w.u32(static_cast<std::uint32_t>(spec.priority));
+  w.str(spec.spice);
+  w.u32(static_cast<std::uint32_t>(spec.constraint_templates.size()));
+  for (const auto& t : spec.constraint_templates) {
+    w.u8(static_cast<std::uint8_t>(t.kind));
+    w.u8(t.members_are_nets ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(t.members.size()));
+    for (const auto& m : t.members) w.str(m);
+  }
+  w.u32(static_cast<std::uint32_t>(spec.ports.size()));
+  for (const auto& p : spec.ports) w.str(p);
+  w.u32(static_cast<std::uint32_t>(spec.netlist.devices.size()));
+  for (const auto& d : spec.netlist.devices) {
+    w.str(d.name);
+    w.u8(static_cast<std::uint8_t>(d.type));
+    w.str(d.model);
+    w.u32(static_cast<std::uint32_t>(d.pins.size()));
+    for (const auto& pin : d.pins) w.str(pin);
+    w.f64(d.value);
+    w.u32(static_cast<std::uint32_t>(d.params.size()));
+    for (const auto& [key, value] : d.params) {
+      w.str(key);
+      w.f64(value);
+    }
+    w.u32(static_cast<std::uint32_t>(d.hier_depth));
+    w.u64(d.src_line);
+  }
+  encode_flags(w, spec.strict_degree);
+  encode_flags(w, spec.forbid_rail);
+}
+
+Result<std::unique_ptr<PrimitiveSpec>> decode_spec(util::ByteReader& r,
+                                                   const std::string& name) {
+  const auto fail = [&](std::string message) {
+    return library_diag(DiagCode::FormatError, name, 0, std::move(message));
+  };
+  auto spec = std::make_unique<PrimitiveSpec>();
+  spec->name = r.str();
+  spec->display_name = r.str();
+  spec->priority = static_cast<int>(r.u32());
+  spec->spice = r.str();
+  const std::uint32_t template_count = r.u32();
+  if (r.remaining() < template_count) {
+    return fail("library artifact: malformed constraint templates");
+  }
+  for (std::uint32_t i = 0; i < template_count; ++i) {
+    ConstraintTemplate t;
+    const std::uint8_t kind = r.u8();
+    if (kind >= all_constraint_kinds().size()) {
+      return fail("library artifact: bad constraint kind " +
+                  std::to_string(kind));
+    }
+    t.kind = static_cast<constraints::Kind>(kind);
+    t.members_are_nets = r.u8() != 0;
+    const std::uint32_t member_count = r.u32();
+    if (r.remaining() < member_count) {
+      return fail("library artifact: malformed constraint members");
+    }
+    for (std::uint32_t j = 0; j < member_count; ++j) {
+      t.members.push_back(r.str());
+    }
+    spec->constraint_templates.push_back(std::move(t));
+  }
+  const std::uint32_t port_count = r.u32();
+  if (r.remaining() < port_count) {
+    return fail("library artifact: malformed port list");
+  }
+  for (std::uint32_t i = 0; i < port_count; ++i) {
+    spec->ports.push_back(r.str());
+  }
+  const std::uint32_t device_count = r.u32();
+  if (r.remaining() < device_count) {
+    return fail("library artifact: malformed device list");
+  }
+  spec->netlist.title = spec->name;
+  for (std::uint32_t i = 0; i < device_count; ++i) {
+    spice::Device d;
+    d.name = r.str();
+    d.type = static_cast<spice::DeviceType>(r.u8());
+    if (static_cast<std::uint8_t>(d.type) >
+        static_cast<std::uint8_t>(spice::DeviceType::ISource)) {
+      return fail("library artifact: bad device type");
+    }
+    d.model = r.str();
+    const std::uint32_t pin_count = r.u32();
+    if (r.remaining() < pin_count) {
+      return fail("library artifact: malformed pin list");
+    }
+    for (std::uint32_t j = 0; j < pin_count; ++j) d.pins.push_back(r.str());
+    d.value = r.f64();
+    const std::uint32_t param_count = r.u32();
+    if (r.remaining() < param_count) {
+      return fail("library artifact: malformed device params");
+    }
+    for (std::uint32_t j = 0; j < param_count; ++j) {
+      const std::string key = r.str();
+      d.params[key] = r.f64();
+    }
+    d.hier_depth = static_cast<int>(r.u32());
+    d.src_line = r.u64();
+    spec->netlist.devices.push_back(std::move(d));
+  }
+  spec->strict_degree = decode_flags(r);
+  spec->forbid_rail = decode_flags(r);
+  if (!r.ok()) return fail("library artifact: truncated spec");
+
+  // Rebuild the compiled pattern graph deterministically from the
+  // stored device list -- no SPICE parsing on this path.
+  try {
+    spec->netlist.validate();
+    spec->graph = graph::build_graph(spec->netlist);
+  } catch (const DiagError& e) {
+    Diag d = e.diag();
+    if (!d.loc.known()) d.loc.file = name;
+    return d;
+  }
+  if (spec->strict_degree.size() != spec->graph.vertex_count() ||
+      spec->forbid_rail.size() != spec->graph.vertex_count()) {
+    return fail("library artifact: strictness flag count mismatch");
+  }
+  return spec;
+}
+
+}  // namespace
+
+Result<bool> save_library_artifact(const PrimitiveLibrary& lib,
+                                   const std::string& path) {
+  util::ByteWriter specs;
+  specs.u32(static_cast<std::uint32_t>(lib.size()));
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    encode_spec(specs, lib.spec(i));
+  }
+  util::ArtifactWriter writer;
+  writer.add_section(kSpecsSection, specs.take());
+  return writer.write(path, util::ArtifactKind::PrimitiveLibrary,
+                      library_fingerprint(lib));
+}
+
+Result<PrimitiveLibrary> load_library_artifact(const std::string& path) {
+  auto opened =
+      util::ArtifactReader::open(path, util::ArtifactKind::PrimitiveLibrary);
+  if (!opened.ok()) return opened.diag();
+  const util::ArtifactReader reader = opened.take();
+  auto specs_section = reader.require(kSpecsSection);
+  if (!specs_section.ok()) return specs_section.diag();
+
+  util::ByteReader r(specs_section.value());
+  const std::uint32_t spec_count = r.u32();
+  if (!r.ok() || r.remaining() < spec_count) {
+    return library_diag(DiagCode::FormatError, path, 0,
+                        "library artifact: malformed spec count");
+  }
+  PrimitiveLibrary lib;
+  for (std::uint32_t i = 0; i < spec_count; ++i) {
+    auto spec = decode_spec(r, path);
+    if (!spec.ok()) return spec.diag();
+    try {
+      lib.add_spec(spec.take());
+    } catch (const DiagError& e) {
+      Diag d = e.diag();
+      if (!d.loc.known()) d.loc.file = path;
+      return d;
+    }
+  }
+  if (library_fingerprint(lib) != reader.fingerprint()) {
+    return library_diag(
+        DiagCode::FormatError, path, 0,
+        "library artifact: fingerprint mismatch (header does not match "
+        "decoded specs)");
+  }
+  return lib;
+}
+
+Result<PrimitiveLibrary> load_library_any(const std::string& path) {
+  if (path == "standard") return PrimitiveLibrary::standard();
+  if (util::file_looks_like_artifact(path)) {
+    return load_library_artifact(path);
+  }
+  return load_library_text_file(path);
+}
+
+}  // namespace gana::primitives

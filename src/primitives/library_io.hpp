@@ -1,0 +1,59 @@
+// Primitive-library persistence: a text format for authoring and a
+// binary artifact for fast worker startup.
+//
+// The text format ("gana-primlib-v1") is the editable source of truth:
+// one `primitive` stanza per entry carrying the display name, priority,
+// non-rail nets, constraint templates, and the SPICE pattern body.
+// Loading it compiles every pattern through the same
+// `PrimitiveLibrary::add` path the built-in library uses; duplicate
+// pattern names are rejected with a structured DuplicateName Diag
+// instead of last-write-wins.
+//
+// The binary artifact (util/artifact container, kind PrimitiveLibrary)
+// stores the *compiled* form -- devices, ports, strictness flags --
+// decoded straight out of the mapping with no SPICE parsing, which is
+// what makes shard-worker startup cheap. The header fingerprint is
+// `library_fingerprint`, re-derived after load, so a mismatched or
+// corrupt library can never be served.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "primitives/library.hpp"
+#include "util/diag.hpp"
+
+namespace gana::primitives {
+
+/// Writes the editable text form. Non-rail nets are recovered from each
+/// spec's forbid_rail flags, so save(load(x)) is stable.
+void save_library_text(const PrimitiveLibrary& lib, std::ostream& out);
+[[nodiscard]] Result<bool> save_library_text_file(const PrimitiveLibrary& lib,
+                                                  const std::string& path);
+
+/// Parses the text form; `name` labels diagnostics. Malformed stanzas,
+/// bad SPICE bodies, and duplicate primitive names come back as
+/// structured Diags.
+[[nodiscard]] Result<PrimitiveLibrary> load_library_text(
+    std::istream& in, const std::string& name = "<stream>");
+[[nodiscard]] Result<PrimitiveLibrary> load_library_text_file(
+    const std::string& path);
+
+/// Writes the compiled binary artifact (`gana_shard --pack-library`).
+[[nodiscard]] Result<bool> save_library_artifact(const PrimitiveLibrary& lib,
+                                                 const std::string& path);
+
+/// Maps and decodes a binary artifact: no SPICE parsing, pattern graphs
+/// rebuilt deterministically from the stored device lists. Corrupt,
+/// truncated, or fingerprint-mismatched files are rejected with
+/// IoError/FormatError Diags.
+[[nodiscard]] Result<PrimitiveLibrary> load_library_artifact(
+    const std::string& path);
+
+/// Loads either format, sniffing the artifact magic. The string
+/// "standard" loads the built-in library (the `--load-library` default
+/// spelling in the CLIs).
+[[nodiscard]] Result<PrimitiveLibrary> load_library_any(
+    const std::string& path);
+
+}  // namespace gana::primitives

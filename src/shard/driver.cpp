@@ -18,6 +18,7 @@
 #include "core/export.hpp"
 #include "datagen/rf_gen.hpp"
 #include "gcn/serialize.hpp"
+#include "primitives/library_io.hpp"
 #include "serve/protocol.hpp"
 #include "spice/parser.hpp"
 #include "util/json.hpp"
@@ -32,6 +33,11 @@ namespace {
 /// pool amortizes dispatch, small enough that results stream back (and
 /// worker memory stays bounded) on a 100k-netlist shard.
 constexpr std::size_t kWorkerChunk = 256;
+
+/// Largest index range one steal grant hands out. Grants are
+/// remaining/(2*workers), so chunks decay toward 1 near the tail; the
+/// cap bounds how much work a crashing worker can take down with it.
+constexpr std::size_t kMaxStealChunk = 1024;
 
 /// Reserved "index" value of the worker's trailing summary frame.
 constexpr std::uint64_t kSummaryIndex = ~std::uint64_t{0} >> 11;  // 2^53-1
@@ -157,8 +163,33 @@ std::string encode_summary_payload(std::size_t shard, const SliceResult& r,
   v.set("shard", json::Value(static_cast<std::uint64_t>(shard)));
   v.set("ok", json::Value(static_cast<std::uint64_t>(r.ok)));
   v.set("failed", json::Value(static_cast<std::uint64_t>(r.failed)));
+  v.set("startup_seconds", json::Value(r.startup_seconds));
   v.set("perf", json::Value(core::batch_timings_to_json(r.timings, jobs, r.ok,
                                                         total)));
+  return json::dump(v);
+}
+
+// Steal-protocol frames. Worker -> parent "need-work" rides the result
+// pipe; parent -> worker "grant"/"done" comes back over the worker's
+// stdin. Strict request-response with one outstanding request per
+// worker, so neither side can fill a pipe while the other waits.
+std::string encode_need_work_payload() {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("kind", json::Value("need-work"));
+  return json::dump(v);
+}
+
+std::string encode_grant_payload(std::size_t begin, std::size_t end) {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("kind", json::Value("grant"));
+  v.set("begin", json::Value(static_cast<std::uint64_t>(begin)));
+  v.set("end", json::Value(static_cast<std::uint64_t>(end)));
+  return json::dump(v);
+}
+
+std::string encode_done_payload() {
+  json::Value v{std::vector<json::Member>{}};
+  v.set("kind", json::Value("done"));
   return json::dump(v);
 }
 
@@ -206,42 +237,65 @@ std::string record_line(std::size_t index, const ManifestEntry& entry,
   return json::dump(v) + "\n";
 }
 
-Result<SliceResult> annotate_slice(
-    const std::vector<ManifestEntry>& entries, ShardRange range,
-    const PipelineOptions& options,
-    const std::function<bool(std::size_t, const NetlistRecord&)>& emit) {
-  range.begin = std::min(range.begin, entries.size());
-  range.end = std::clamp(range.end, range.begin, entries.size());
-
+struct SliceRunner::Impl {
   std::unique_ptr<gcn::GcnModel> model;
+  std::unique_ptr<core::Annotator> annotator;
+  std::unique_ptr<core::BatchRunner> runner;
+};
+
+SliceRunner::~SliceRunner() = default;
+
+Result<bool> SliceRunner::init(const PipelineOptions& options) {
+  const double start = now_seconds();
+  auto impl = std::make_unique<Impl>();
   if (!options.load_model.empty()) {
-    try {
-      model = std::make_unique<gcn::GcnModel>(
-          gcn::load_model_file(options.load_model));
-    } catch (const DiagError& e) {
-      return e.diag();
-    } catch (const std::exception& e) {
-      return make_diag(DiagCode::IoError, Stage::Io,
-                       "cannot load model: " + std::string(e.what()),
-                       SourceLoc{options.load_model, 0});
-    }
+    auto model = gcn::load_model_any(options.load_model);
+    if (!model.ok()) return model.diag();
+    impl->model = std::make_unique<gcn::GcnModel>(model.take());
   }
-  core::Annotator annotator(model.get(), class_names_for(options.domain));
+  primitives::PrimitiveLibrary library;
+  if (options.load_library.empty() || options.load_library == "standard") {
+    library = primitives::PrimitiveLibrary::standard();
+  } else {
+    auto lib = primitives::load_library_any(options.load_library);
+    if (!lib.ok()) return lib.diag();
+    library = lib.take();
+  }
+  impl->annotator = std::make_unique<core::Annotator>(
+      impl->model.get(), class_names_for(options.domain), std::move(library));
   if (options.caches) {
     const std::size_t cap = options.cache_capacity;
-    annotator.set_sample_cache(std::make_shared<gcn::SamplePrepCache>(cap));
-    annotator.set_annotation_cache(
+    impl->annotator->set_sample_cache(
+        std::make_shared<gcn::SamplePrepCache>(cap));
+    impl->annotator->set_annotation_cache(
         std::make_shared<primitives::AnnotationCache>(cap));
     // After any model load: the inference cache captures the weights
     // fingerprint at attach time.
-    annotator.set_inference_cache(std::make_shared<gcn::InferenceCache>(cap));
+    impl->annotator->set_inference_cache(
+        std::make_shared<gcn::InferenceCache>(cap));
   }
   core::BatchOptions bopt;
   bopt.jobs = options.jobs;
   bopt.seed = options.seed;
   bopt.policy = core::FailurePolicy::CollectAll;
   bopt.timeout_seconds = options.timeout_seconds;
-  core::BatchRunner runner(annotator, bopt);
+  impl->runner = std::make_unique<core::BatchRunner>(*impl->annotator, bopt);
+  impl_ = std::move(impl);
+  startup_seconds_ = now_seconds() - start;
+  return true;
+}
+
+Result<SliceResult> SliceRunner::run(
+    const std::vector<ManifestEntry>& entries, ShardRange range,
+    const std::function<bool(std::size_t, const NetlistRecord&)>& emit) {
+  if (impl_ == nullptr) {
+    return make_diag(DiagCode::Internal, Stage::Batch,
+                     "SliceRunner::run before a successful init");
+  }
+  range.begin = std::min(range.begin, entries.size());
+  range.end = std::clamp(range.end, range.begin, entries.size());
+  core::Annotator& annotator = *impl_->annotator;
+  core::BatchRunner& runner = *impl_->runner;
 
   SliceResult slice;
   for (std::size_t chunk = range.begin; chunk < range.end;
@@ -297,6 +351,20 @@ Result<SliceResult> annotate_slice(
   return slice;
 }
 
+Result<SliceResult> annotate_slice(
+    const std::vector<ManifestEntry>& entries, ShardRange range,
+    const PipelineOptions& options,
+    const std::function<bool(std::size_t, const NetlistRecord&)>& emit) {
+  SliceRunner runner;
+  auto init = runner.init(options);
+  if (!init.ok()) return init.diag();
+  auto slice = runner.run(entries, range, emit);
+  if (!slice.ok()) return slice.diag();
+  SliceResult r = slice.take();
+  r.startup_seconds = runner.startup_seconds();
+  return r;
+}
+
 int worker_main(const Args& args) {
   const std::string manifest = args.get("manifest");
   if (manifest.empty()) {
@@ -329,11 +397,14 @@ int worker_main(const Args& args) {
       std::max(args.get_int("cache-capacity", 0), 0));
   pipeline.timeout_seconds = args.get_double("timeout-seconds", 0.0);
   pipeline.load_model = args.get("load-model");
+  pipeline.load_library = args.get("load-library");
+  const bool steal = args.has("steal");
 
   // Deterministic fault injection for the worker-failure tests: after
   // emitting N result frames, --crash-after dies exactly as a crashing
   // worker would and --stall-after hangs until the driver's per-shard
-  // deadline kills the process.
+  // deadline kills the process. Only result frames count, so the hooks
+  // fire mid-grant under the stealing scheduler too.
   const int crash_after = args.get_int("crash-after", -1);
   const int stall_after = args.get_int("stall-after", -1);
 
@@ -353,14 +424,87 @@ int worker_main(const Args& args) {
     return write_all(out_fd, frame->data(), frame->size());
   };
 
-  auto slice = annotate_slice(entries.value(), range, pipeline, emit);
-  if (!slice.ok()) {
+  SliceRunner runner;
+  auto init = runner.init(pipeline);
+  if (!init.ok()) {
     std::fprintf(stderr, "gana-shard worker: %s\n",
-                 slice.diag().render().c_str());
+                 init.diag().render().c_str());
     return 3;
   }
-  const auto summary = serve::encode_frame(encode_summary_payload(
-      shard_index, slice.value(), pipeline.jobs, range.size()));
+  SliceResult total;
+  total.startup_seconds = runner.startup_seconds();
+
+  if (steal) {
+    // Pull loop: request a range, run it, repeat until the parent says
+    // done (or closes our stdin, which means the same thing).
+    serve::FrameDecoder grants;
+    std::vector<char> gbuf(4096);
+    const auto next_grant = [&]() -> std::optional<std::string> {
+      for (;;) {
+        if (auto payload = grants.next()) return payload;
+        if (grants.error()) return std::nullopt;
+        const ssize_t n = ::read(STDIN_FILENO, gbuf.data(), gbuf.size());
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          return std::nullopt;
+        }
+        if (n == 0) return std::nullopt;
+        grants.feed(gbuf.data(), static_cast<std::size_t>(n));
+      }
+    };
+    for (;;) {
+      const auto request = serve::encode_frame(encode_need_work_payload());
+      if (!request.has_value() ||
+          !write_all(out_fd, request->data(), request->size())) {
+        std::fprintf(stderr,
+                     "gana-shard worker: cannot write need-work frame\n");
+        return 3;
+      }
+      const auto payload = next_grant();
+      if (!payload.has_value()) break;  // parent gone: nothing left to pull
+      std::string error;
+      const auto doc = json::parse(*payload, &error);
+      const json::Value* kind =
+          doc.has_value() ? doc->get("kind") : nullptr;
+      if (kind == nullptr) {
+        std::fprintf(stderr, "gana-shard worker: malformed grant frame\n");
+        return 3;
+      }
+      if (kind->as_string() == "done") break;
+      const auto begin = read_u53(*doc, "begin");
+      const auto end = read_u53(*doc, "end");
+      if (kind->as_string() != "grant" || !begin.has_value() ||
+          !end.has_value()) {
+        std::fprintf(stderr, "gana-shard worker: malformed grant frame\n");
+        return 3;
+      }
+      ShardRange granted{static_cast<std::size_t>(*begin),
+                         static_cast<std::size_t>(*end)};
+      auto slice = runner.run(entries.value(), granted, emit);
+      if (!slice.ok()) {
+        std::fprintf(stderr, "gana-shard worker: %s\n",
+                     slice.diag().render().c_str());
+        return 3;
+      }
+      total.ok += slice.value().ok;
+      total.failed += slice.value().failed;
+      total.timings += slice.value().timings;
+    }
+  } else {
+    auto slice = runner.run(entries.value(), range, emit);
+    if (!slice.ok()) {
+      std::fprintf(stderr, "gana-shard worker: %s\n",
+                   slice.diag().render().c_str());
+      return 3;
+    }
+    total.ok = slice.value().ok;
+    total.failed = slice.value().failed;
+    total.timings = slice.value().timings;
+  }
+
+  const std::size_t processed = steal ? total.ok + total.failed : range.size();
+  const auto summary = serve::encode_frame(
+      encode_summary_payload(shard_index, total, pipeline.jobs, processed));
   if (!summary.has_value() ||
       !write_all(out_fd, summary->data(), summary->size())) {
     std::fprintf(stderr, "gana-shard worker: cannot write summary frame\n");
@@ -374,11 +518,28 @@ namespace {
 /// Parent-side view of one live worker.
 struct Worker {
   ShardStatus status;
-  int pipe_fd = -1;
+  int pipe_fd = -1;   ///< read end of the worker's result stream
+  int stdin_fd = -1;  ///< write end of the grant channel (stealing only)
   serve::FrameDecoder decoder;
   bool eof = false;
   bool reaped = false;
   double deadline = 0.0;  ///< absolute now_seconds() deadline; 0 = none
+  /// Every range granted to this worker, in grant order. Post-loop,
+  /// granted slots without records become this worker's failure diags
+  /// -- a granted range is never re-granted, so no slot is ever
+  /// annotated twice (the Merger rejects duplicates as violations).
+  std::vector<ShardRange> granted;
+};
+
+/// Grant writes hit the stdin pipe of workers that may have just died;
+/// without this, the resulting SIGPIPE would kill the driver instead of
+/// surfacing as a write error we can turn into worker-failure records.
+struct SigpipeGuard {
+  void (*old_handler)(int);
+  SigpipeGuard() : old_handler(::signal(SIGPIPE, SIG_IGN)) {}
+  ~SigpipeGuard() { ::signal(SIGPIPE, old_handler); }
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
 };
 
 std::string worker_exe_path(const ShardOptions& options) {
@@ -389,17 +550,21 @@ std::string worker_exe_path(const ShardOptions& options) {
 std::vector<std::string> worker_argv(const ShardOptions& options,
                                      const std::string& manifest,
                                      const ShardRange& range,
-                                     std::size_t shard_index) {
+                                     std::size_t shard_index, bool steal) {
   const PipelineOptions& p = options.pipeline;
   std::vector<std::string> argv;
   argv.push_back(worker_exe_path(options));
   argv.push_back("--worker");
   argv.push_back("--manifest");
   argv.push_back(manifest);
-  argv.push_back("--begin");
-  argv.push_back(std::to_string(range.begin));
-  argv.push_back("--end");
-  argv.push_back(std::to_string(range.end));
+  if (steal) {
+    argv.push_back("--steal");
+  } else {
+    argv.push_back("--begin");
+    argv.push_back(std::to_string(range.begin));
+    argv.push_back("--end");
+    argv.push_back(std::to_string(range.end));
+  }
   argv.push_back("--shard");
   argv.push_back(std::to_string(shard_index));
   argv.push_back("--jobs");
@@ -421,15 +586,29 @@ std::vector<std::string> worker_argv(const ShardOptions& options,
     argv.push_back("--load-model");
     argv.push_back(p.load_model);
   }
+  if (!p.load_library.empty()) {
+    argv.push_back("--load-library");
+    argv.push_back(p.load_library);
+  }
   for (const std::string& a : options.extra_worker_args) argv.push_back(a);
   return argv;
 }
 
 /// fork/execs one worker with its stdout routed into a fresh pipe.
-/// Returns the read end, or a Diag.
-Result<int> spawn_worker(const std::vector<std::string>& argv, int* pid_out) {
+/// When `stdin_out` is non-null (stealing), a second pipe becomes the
+/// child's stdin and its write end lands in *stdin_out. Returns the
+/// result-pipe read end, or a Diag.
+Result<int> spawn_worker(const std::vector<std::string>& argv, int* pid_out,
+                         int* stdin_out) {
   int pfd[2];
   if (::pipe2(pfd, O_CLOEXEC) != 0) {
+    return make_diag(DiagCode::Internal, Stage::Batch,
+                     "pipe2 failed: " + std::string(strerror(errno)));
+  }
+  int sfd[2] = {-1, -1};
+  if (stdin_out != nullptr && ::pipe2(sfd, O_CLOEXEC) != 0) {
+    ::close(pfd[0]);
+    ::close(pfd[1]);
     return make_diag(DiagCode::Internal, Stage::Batch,
                      "pipe2 failed: " + std::string(strerror(errno)));
   }
@@ -437,14 +616,20 @@ Result<int> spawn_worker(const std::vector<std::string>& argv, int* pid_out) {
   if (pid < 0) {
     ::close(pfd[0]);
     ::close(pfd[1]);
+    if (stdin_out != nullptr) {
+      ::close(sfd[0]);
+      ::close(sfd[1]);
+    }
     return make_diag(DiagCode::Internal, Stage::Batch,
                      "fork failed: " + std::string(strerror(errno)));
   }
   if (pid == 0) {
     // Child: frames go to stdout; stderr stays shared for diagnostics.
-    // dup2 clears CLOEXEC on the stdout copy; both original pipe fds
-    // (and every sibling's read end) close across exec.
+    // dup2 clears CLOEXEC on the dup'd copies; the original pipe fds
+    // (and every sibling's ends, grant pipes included) close across
+    // exec, so a dead sibling cannot hold a grant channel open.
     ::dup2(pfd[1], STDOUT_FILENO);
+    if (stdin_out != nullptr) ::dup2(sfd[0], STDIN_FILENO);
     std::vector<char*> cargv;
     cargv.reserve(argv.size() + 1);
     for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
@@ -455,6 +640,10 @@ Result<int> spawn_worker(const std::vector<std::string>& argv, int* pid_out) {
     ::_exit(127);
   }
   ::close(pfd[1]);
+  if (stdin_out != nullptr) {
+    ::close(sfd[0]);
+    *stdin_out = sfd[1];
+  }
   *pid_out = static_cast<int>(pid);
   return pfd[0];
 }
@@ -526,22 +715,26 @@ Result<ShardRunStats> run_sharded(const std::string& manifest,
       auto slice =
           annotate_slice(entries, status.range, options.pipeline, emit);
       if (!slice.ok()) return slice.diag();
+      status.startup_seconds = slice.value().startup_seconds;
       status.perf_json = core::batch_timings_to_json(
           slice.value().timings, options.pipeline.jobs, slice.value().ok,
           status.range.size());
     }
     stats.shards.push_back(std::move(status));
   } else {
+    const bool stealing = options.scheduler == Scheduler::Stealing;
+    SigpipeGuard sigpipe_guard;
     std::vector<Worker> workers(partition.size());
     const double spawn_time = now_seconds();
     for (std::size_t s = 0; s < partition.size(); ++s) {
       Worker& w = workers[s];
-      w.status.range = partition[s];
+      if (!stealing) w.status.range = partition[s];
       if (options.shard_timeout_seconds > 0.0) {
         w.deadline = spawn_time + options.shard_timeout_seconds;
       }
-      auto fd = spawn_worker(worker_argv(options, manifest, partition[s], s),
-                             &w.status.pid);
+      auto fd = spawn_worker(
+          worker_argv(options, manifest, partition[s], s, stealing),
+          &w.status.pid, stealing ? &w.stdin_fd : nullptr);
       if (!fd.ok()) {
         // Abort cleanly: kill and reap what already started.
         for (Worker& prev : workers) {
@@ -549,6 +742,7 @@ Result<ShardRunStats> run_sharded(const std::string& manifest,
             ::kill(prev.status.pid, SIGKILL);
             ::waitpid(prev.status.pid, nullptr, 0);
             if (prev.pipe_fd >= 0) ::close(prev.pipe_fd);
+            if (prev.stdin_fd >= 0) ::close(prev.stdin_fd);
           }
         }
         return fd.diag();
@@ -562,6 +756,43 @@ Result<ShardRunStats> run_sharded(const std::string& manifest,
       }
     };
     bool fail_fast_triggered = false;
+
+    // Head of the undispatched-slot queue (stealing only). Slots are
+    // granted in manifest order, so [0, next_slot) is exactly the union
+    // of all granted ranges and [next_slot, size) was never handed out.
+    std::size_t next_slot = 0;
+    const auto serve_grant = [&](Worker& w) {
+      if (w.eof || w.stdin_fd < 0 || w.status.deadline_expired ||
+          w.status.killed_by_driver) {
+        return;
+      }
+      const bool grant = next_slot < entries.size() && !fail_fast_triggered;
+      std::size_t end = next_slot;
+      std::string payload;
+      if (grant) {
+        const std::size_t remaining = entries.size() - next_slot;
+        const std::size_t chunk = std::clamp<std::size_t>(
+            remaining / (2 * workers.size()), std::size_t{1}, kMaxStealChunk);
+        end = next_slot + std::min(chunk, remaining);
+        payload = encode_grant_payload(next_slot, end);
+      } else {
+        payload = encode_done_payload();
+      }
+      const auto frame = serve::encode_frame(payload);
+      // A failed write means the worker died with a request in flight;
+      // the slots were NOT consumed (next_slot is advanced only after a
+      // successful write), so a live worker picks them up instead.
+      if (!frame.has_value() ||
+          !write_all(w.stdin_fd, frame->data(), frame->size())) {
+        kill_worker(w);
+        return;
+      }
+      if (grant) {
+        w.granted.push_back(ShardRange{next_slot, end});
+        ++w.status.chunks_served;
+        next_slot = end;
+      }
+    };
 
     std::size_t live = workers.size();
     std::vector<char> buf(64 << 10);
@@ -612,6 +843,19 @@ Result<ShardRunStats> run_sharded(const std::string& manifest,
           while (auto payload = w.decoder.next()) {
             std::string error;
             const auto doc = json::parse(*payload, &error);
+            const json::Value* kind =
+                doc.has_value() ? doc->get("kind") : nullptr;
+            if (kind != nullptr && kind->as_string() == "need-work") {
+              if (!stealing) {
+                // A static worker has no business stealing: protocol
+                // violation, same treatment as a malformed frame.
+                kill_worker(w);
+                break;
+              }
+              ++w.status.steal_requests;
+              serve_grant(w);
+              continue;
+            }
             const auto index =
                 doc.has_value() ? read_u53(*doc, "index") : std::nullopt;
             if (!doc.has_value() || !index.has_value()) {
@@ -623,6 +867,8 @@ Result<ShardRunStats> run_sharded(const std::string& manifest,
             if (*index == kSummaryIndex) {
               const json::Value* perf = doc->get("perf");
               if (perf != nullptr) w.status.perf_json = perf->as_string();
+              const json::Value* st = doc->get("startup_seconds");
+              if (st != nullptr) w.status.startup_seconds = st->as_double();
               continue;
             }
             NetlistRecord rec;
@@ -658,6 +904,10 @@ Result<ShardRunStats> run_sharded(const std::string& manifest,
           w.eof = true;
           ::close(w.pipe_fd);
           w.pipe_fd = -1;
+          if (w.stdin_fd >= 0) {
+            ::close(w.stdin_fd);
+            w.stdin_fd = -1;
+          }
           int status = 0;
           while (::waitpid(w.status.pid, &status, 0) < 0 && errno == EINTR) {
           }
@@ -670,17 +920,41 @@ Result<ShardRunStats> run_sharded(const std::string& manifest,
 
     for (std::size_t s = 0; s < workers.size(); ++s) {
       Worker& w = workers[s];
-      // A worker that exited clean but skipped slots is still a worker
-      // failure for those slots.
-      for (std::size_t i = w.status.range.begin; i < w.status.range.end; ++i) {
-        if (merger.has_record(i)) continue;
-        NetlistRecord rec;
-        rec.ok = false;
-        rec.diag = missing_record_diag(w, s, entries[i],
-                                       options.shard_timeout_seconds);
-        merger.add(i, std::move(rec));
-      }
+      // A worker that exited (or was killed) with granted-but-unrecorded
+      // slots is a worker failure for exactly those slots. Static
+      // ownership is the partition range; stealing ownership is the
+      // grant history. Either way a slot belongs to at most one worker,
+      // so nothing is lost or double-reported.
+      const auto fail_missing = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (merger.has_record(i)) continue;
+          NetlistRecord rec;
+          rec.ok = false;
+          rec.diag = missing_record_diag(w, s, entries[i],
+                                         options.shard_timeout_seconds);
+          merger.add(i, std::move(rec));
+        }
+      };
+      fail_missing(w.status.range.begin, w.status.range.end);
+      for (const ShardRange& g : w.granted) fail_missing(g.begin, g.end);
       stats.shards.push_back(w.status);
+    }
+    // Stealing only: slots never granted because every worker died (or
+    // fail-fast cancelled the queue) still need records.
+    for (std::size_t i = next_slot; stealing && i < entries.size(); ++i) {
+      if (merger.has_record(i)) continue;
+      NetlistRecord rec;
+      rec.ok = false;
+      rec.diag =
+          fail_fast_triggered
+              ? make_diag(DiagCode::Skipped, Stage::Batch,
+                          "skipped: fail-fast after an earlier failure",
+                          SourceLoc{entries[i].name, 0})
+              : make_diag(DiagCode::WorkerFailed, Stage::Batch,
+                          "every shard worker exited before this netlist "
+                          "was granted",
+                          SourceLoc{entries[i].name, 0});
+      merger.add(i, std::move(rec));
     }
   }
 

@@ -74,7 +74,26 @@ struct PipelineOptions {
   bool caches = true;             ///< sample/annotation/inference caches
   std::size_t cache_capacity = 0; ///< per-cache entry bound (0 unbounded)
   double timeout_seconds = 0.0;   ///< per-netlist deadline (0 disables)
-  std::string load_model;         ///< optional model checkpoint path
+  /// Optional model path: text checkpoint or binary artifact (sniffed).
+  std::string load_model;
+  /// Optional primitive-library path (text or binary artifact, sniffed;
+  /// "" or "standard" = the built-in library).
+  std::string load_library;
+};
+
+/// How manifest slots are assigned to workers (fork mode only).
+enum class Scheduler {
+  /// PR 8 behavior: one contiguous shard_partition range per worker,
+  /// fixed up front. Predictable ownership, but a skewed corpus leaves
+  /// workers idle while the unlucky one drains its giant netlists.
+  Static,
+  /// Workers pull bounded index ranges from the parent on demand
+  /// ("need-work" -> "grant" frames over the worker's stdin). Chunk
+  /// size decays near the tail so stragglers stay balanced. Merged
+  /// output is byte-identical to Static at every worker count (results
+  /// are pure functions of the netlist, and the Merger emits manifest
+  /// order regardless of which worker ran what).
+  Stealing,
 };
 
 struct ShardOptions {
@@ -90,6 +109,10 @@ struct ShardOptions {
   /// false = fail fast: kill remaining workers after the first failed
   /// record; unprocessed slots come back DiagCode::Skipped.
   bool keep_going = false;
+  /// Slot assignment policy for fork mode. Stealing is the default;
+  /// Static keeps the PR 8 contiguous partition (bench baseline, and
+  /// the predictable-ownership failure-semantics tests).
+  Scheduler scheduler = Scheduler::Stealing;
   /// Binary to exec with --worker; "" uses /proc/self/exe. Test and
   /// bench drivers point this at the gana_shard binary.
   std::string worker_exe;
@@ -115,6 +138,8 @@ struct NetlistRecord {
 
 /// Post-mortem of one shard.
 struct ShardStatus {
+  /// Static scheduler: the contiguous slice this worker owned.
+  /// Stealing: {0,0} (ownership is the granted-chunk history instead).
   ShardRange range;
   int pid = -1;               ///< worker pid (-1 for the in-process path)
   int wait_status = 0;        ///< raw waitpid status (0 = clean exit)
@@ -122,6 +147,12 @@ struct ShardStatus {
   bool killed_by_driver = false;  ///< fail-fast kill (not a worker fault)
   std::size_t results = 0;    ///< per-netlist frames received
   std::string perf_json;      ///< worker batch_timings_to_json summary
+  /// Worker-reported artifact/model/library load time (seconds spent
+  /// before the first netlist), from the summary frame. The bench sums
+  /// this across workers to attribute fan-out loss to cold starts.
+  double startup_seconds = 0.0;
+  std::size_t steal_requests = 0;  ///< need-work frames (stealing only)
+  std::size_t chunks_served = 0;   ///< grants this worker received
 };
 
 struct ShardRunStats {
@@ -150,13 +181,50 @@ struct SliceResult {
   std::size_t ok = 0;
   std::size_t failed = 0;
   core::BatchTimings timings;  ///< summed over the slice's chunks
+  /// Model/library load + annotator construction time, paid once per
+  /// SliceRunner (== once per worker process).
+  double startup_seconds = 0.0;
 };
 
-/// The shared per-netlist machinery: parses and annotates
-/// entries[range) in chunks through one BatchRunner, invoking `emit`
-/// once per slot in slice order. Both the in-process path and the
-/// worker process run exactly this. `emit` returning false aborts the
-/// slice (broken output pipe).
+/// The shared per-netlist machinery behind every execution path: one
+/// warm Annotator (model, library, caches, BatchRunner) constructed
+/// once, then `run` parses and annotates any number of manifest ranges
+/// through it. The static worker runs one range; a stealing worker runs
+/// one range per grant; the in-process path runs the whole manifest.
+/// Splitting construction from execution is what lets the perf summary
+/// attribute startup (artifact load) separately from annotation work.
+class SliceRunner {
+ public:
+  SliceRunner() = default;
+  SliceRunner(const SliceRunner&) = delete;
+  SliceRunner& operator=(const SliceRunner&) = delete;
+  ~SliceRunner();
+
+  /// Loads the model/library and builds the annotator stack. Returns a
+  /// Diag on unloadable artifacts. Must be called (successfully) before
+  /// run(); the load time is reported by startup_seconds().
+  [[nodiscard]] Result<bool> init(const PipelineOptions& options);
+
+  [[nodiscard]] double startup_seconds() const { return startup_seconds_; }
+
+  /// Annotates entries[range) in chunks, invoking `emit` once per slot
+  /// in slice order. `emit` returning false aborts the slice (broken
+  /// output pipe). Reusable: each call is independent, sharing the warm
+  /// annotator and caches. The returned SliceResult covers this call
+  /// only (startup_seconds is 0; read it from startup_seconds()).
+  [[nodiscard]] Result<SliceResult> run(
+      const std::vector<ManifestEntry>& entries, ShardRange range,
+      const std::function<bool(std::size_t, const NetlistRecord&)>& emit);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  double startup_seconds_ = 0.0;
+};
+
+/// One-shot wrapper: init + run, returning the slice result with
+/// startup_seconds filled in. Kept as the simple entry point for the
+/// in-process path and existing callers.
 [[nodiscard]] Result<SliceResult> annotate_slice(
     const std::vector<ManifestEntry>& entries, ShardRange range,
     const PipelineOptions& options,

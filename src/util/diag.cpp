@@ -41,6 +41,7 @@ const char* to_string(DiagCode c) {
     case DiagCode::DeadlineExceeded: return "deadline-exceeded";
     case DiagCode::Overloaded: return "overloaded";
     case DiagCode::IoError: return "io-error";
+    case DiagCode::FormatError: return "format-error";
     case DiagCode::Skipped: return "skipped";
     case DiagCode::WorkerFailed: return "worker-failed";
     case DiagCode::Internal: return "internal";
@@ -70,8 +71,8 @@ const std::vector<DiagCode>& all_diag_codes() {
       DiagCode::NonFinite,       DiagCode::BudgetExhausted,
       DiagCode::Truncated,       DiagCode::DeadlineExceeded,
       DiagCode::Overloaded,      DiagCode::IoError,
-      DiagCode::Skipped,         DiagCode::WorkerFailed,
-      DiagCode::Internal,
+      DiagCode::FormatError,     DiagCode::Skipped,
+      DiagCode::WorkerFailed,    DiagCode::Internal,
   };
   return codes;
 }

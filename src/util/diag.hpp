@@ -68,6 +68,7 @@ enum class DiagCode {
   Overloaded,       ///< admission control shed the request (retryable)
   // Everything else.
   IoError,       ///< file missing/unreadable/unwritable
+  FormatError,   ///< binary artifact malformed (magic/version/checksum)
   Skipped,       ///< batch task cancelled by fail-fast before it ran
   WorkerFailed,  ///< shard worker process crashed or exited nonzero
   Internal,      ///< unexpected exception escaping a pipeline stage

@@ -1,0 +1,77 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace gana::util {
+
+namespace {
+
+Diag io_diag(const std::string& path, const std::string& what) {
+  Diag d = make_diag(DiagCode::IoError, Stage::Io,
+                     what + ": " + std::strerror(errno));
+  d.loc.file = path;
+  return d;
+}
+
+}  // namespace
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(other.data_), size_(other.size_), path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    this->~MmapFile();
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr && size_ != 0) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+  }
+}
+
+Result<MmapFile> MmapFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return io_diag(path, "cannot open");
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    Diag d = io_diag(path, "cannot stat");
+    ::close(fd);
+    return d;
+  }
+  MmapFile out;
+  out.path_ = path;
+  out.size_ = static_cast<std::size_t>(st.st_size);
+  if (out.size_ == 0) {
+    // mmap rejects zero-length mappings; an empty view is still valid
+    // input for the artifact layer (which rejects it as truncated).
+    ::close(fd);
+    return out;
+  }
+  void* mapped = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapped == MAP_FAILED) {
+    out.size_ = 0;
+    return io_diag(path, "cannot mmap");
+  }
+  out.data_ = static_cast<const std::uint8_t*>(mapped);
+  return out;
+}
+
+}  // namespace gana::util

@@ -18,8 +18,10 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "gcn/serialize.hpp"
 #include "serve/protocol.hpp"
 #include "spice/parser.hpp"
+#include "util/artifact.hpp"
 #include "util/rng.hpp"
 
 namespace gana {
@@ -411,6 +413,119 @@ TEST(FrameCorpus, MutatedFramesNeverCrashTheDecoder) {
     }
   }
   EXPECT_GE(total, 400u);
+}
+
+// --- Artifact corpus: binary model/library container seeds. -----------
+//
+// Same two-layer scheme as the SPICE and frame corpora: handcrafted
+// corruptions must fail with their documented structured diagnostic,
+// and deterministic byte-level mutants of a *valid* artifact must never
+// crash the mapped loader (ASan/UBSan runs include this suite).
+
+struct ArtifactSeed {
+  const char* file;
+  const char* message_piece;  ///< substring the FormatError must carry
+};
+
+constexpr ArtifactSeed kArtifactSeeds[] = {
+    {"zero_length.bin", "truncated"},
+    {"truncated_header.bin", "truncated"},
+    {"wrong_version.bin", "version"},
+    {"flipped_checksum.bin", "checksum"},
+    {"oversized_section_table.bin", "oversized"},
+};
+
+TEST(ArtifactCorpus, EverySeedIsARejectedFormatError) {
+  for (const auto& seed : kArtifactSeeds) {
+    SCOPED_TRACE(seed.file);
+    auto r = util::ArtifactReader::open(
+        std::string(GANA_FUZZ_CORPUS_DIR) + "/artifacts/" + seed.file,
+        util::ArtifactKind::Model);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.diag().code, DiagCode::FormatError) << r.diag().render();
+    EXPECT_NE(r.diag().message.find(seed.message_piece), std::string::npos)
+        << r.diag().message;
+  }
+}
+
+TEST(ArtifactCorpus, EveryArtifactSeedFileHasAnExpectation) {
+  std::set<std::string> expected;
+  for (const auto& seed : kArtifactSeeds) expected.insert(seed.file);
+  std::set<std::string> present;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::string(GANA_FUZZ_CORPUS_DIR) + "/artifacts")) {
+    if (entry.path().extension() == ".bin") {
+      present.insert(entry.path().filename().string());
+    }
+  }
+  EXPECT_EQ(present, expected)
+      << "tests/fuzz_corpus/artifacts/*.bin and kArtifactSeeds drifted "
+         "apart";
+}
+
+TEST(ArtifactCorpus, MutatedModelArtifactsNeverCrashTheLoader) {
+  gcn::ModelConfig cfg;
+  cfg.in_features = 4;
+  cfg.num_classes = 2;
+  cfg.conv_channels = {5};
+  cfg.cheb_k = 2;
+  cfg.fc_hidden = 6;
+  cfg.seed = 7;
+  const gcn::GcnModel model(cfg);
+  const std::string base_path =
+      testing::TempDir() + "gana_corpus_model_base.bin";
+  ASSERT_TRUE(gcn::save_model_artifact(model, base_path).ok());
+  std::string base;
+  {
+    std::ifstream in(base_path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    base = ss.str();
+  }
+  ASSERT_FALSE(base.empty());
+  // The unmutated base must load; mutants must load or diagnose, never
+  // crash or read out of bounds (the ASan/UBSan presets run this test).
+  ASSERT_TRUE(gcn::load_model_artifact(base_path).ok());
+
+  const std::string mutant_path =
+      testing::TempDir() + "gana_corpus_model_mutant.bin";
+  std::size_t rejected = 0;
+  for (std::size_t k = 0; k < 160; ++k) {
+    Rng rng(0xa47ull * 2654435761u + k);
+    std::string mutant = base;
+    switch (rng.range(0, 4)) {
+      case 0:  // flip one byte anywhere (header, table, or weights)
+        mutant[rng.index(mutant.size())] ^=
+            static_cast<char>(1 + rng.range(0, 254));
+        break;
+      case 1:  // truncate
+        mutant = mutant.substr(0, rng.index(mutant.size() + 1));
+        break;
+      case 2:  // append garbage
+        mutant += std::string(1 + rng.index(64), '\x5a');
+        break;
+      default: {  // zero a run of bytes
+        const std::size_t at = rng.index(mutant.size());
+        const std::size_t len =
+            std::min<std::size_t>(1 + rng.index(32), mutant.size() - at);
+        for (std::size_t i = 0; i < len; ++i) mutant[at + i] = 0;
+        break;
+      }
+    }
+    {
+      std::ofstream out(mutant_path, std::ios::binary | std::ios::trunc);
+      out << mutant;
+    }
+    auto r = gcn::load_model_artifact(mutant_path);
+    if (!r.ok()) {
+      ++rejected;
+      EXPECT_FALSE(r.diag().message.empty());
+      EXPECT_NE(r.diag().code, DiagCode::Internal) << r.diag().render();
+    }
+  }
+  // The container checksum makes almost every mutant a rejection; at
+  // minimum the fuzz loop must be exercising the failure paths at all.
+  EXPECT_GT(rejected, 100u);
 }
 
 TEST(CorpusFuzz, TruncationsOfValidFixtureNeverCrash) {

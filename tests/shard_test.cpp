@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "datagen/corpus.hpp"
+#include "primitives/library_io.hpp"
 #include "shard/driver.hpp"
 #include "shard/manifest.hpp"
 
@@ -220,7 +221,10 @@ TEST_F(ShardDriverTest, CrashedWorkerYieldsStructuredDiagsHealthyShardsClean) {
   // frames, so each shard ends with 2 missing slots. The emitted
   // records must still match the healthy baseline byte-for-byte and the
   // missing slots must surface as structured worker-failed diags.
+  // Static scheduler: the assertions below map slots to shards through
+  // shard_partition, which only holds for contiguous ownership.
   ShardOptions crashy = base_options(3);
+  crashy.scheduler = Scheduler::Static;
   crashy.extra_worker_args = {"--crash-after", "4"};
   ShardRunStats stats;
   const auto lines = lines_of(run_to_string(manifest(), crashy, &stats));
@@ -253,8 +257,10 @@ TEST_F(ShardDriverTest, SingleCrashedShardLeavesOthersByteIdentical) {
 
   // Workers die one slot before finishing (crash-after 5 of 6): every
   // record that WAS emitted must match the baseline bytes even though a
-  // sibling slot in the same shard failed.
+  // sibling slot in the same shard failed. Contiguous-ownership
+  // assertions need the static scheduler.
   ShardOptions crashy = base_options(3);
+  crashy.scheduler = Scheduler::Static;
   crashy.extra_worker_args = {"--crash-after", "5"};
   ShardRunStats stats;
   const auto lines = lines_of(run_to_string(manifest(), crashy, &stats));
@@ -271,6 +277,7 @@ TEST_F(ShardDriverTest, SingleCrashedShardLeavesOthersByteIdentical) {
 
 TEST_F(ShardDriverTest, StalledWorkerHitsDeadlineWithStructuredDiags) {
   ShardOptions opt = base_options(2);
+  opt.scheduler = Scheduler::Static;  // "3 per shard" needs fixed ranges
   opt.shard_timeout_seconds = 0.5;
   opt.extra_worker_args = {"--stall-after", "3"};
   ShardRunStats stats;
@@ -302,6 +309,7 @@ TEST_F(ShardDriverTest, FailFastMarksUnprocessedSlotsSkipped) {
     f << write_manifest(names);
   }
   ShardOptions opt = base_options(3);
+  opt.scheduler = Scheduler::Static;
   opt.keep_going = false;
   // Workers stall after emitting 4 frames; without the stall a tiny
   // shard can finish before the fail-fast kill lands and the test would
@@ -348,6 +356,152 @@ TEST_F(ShardDriverTest, KeepGoingIsolatesBadEntry) {
   EXPECT_NE(lines[5].find("\"io-error\""), std::string::npos) << lines[5];
   ASSERT_TRUE(stats.first_failure.has_value());
   EXPECT_EQ(*stats.first_failure_index, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// work-stealing scheduler
+
+/// Flat inverter chain of `stages` stages: a structurally valid netlist
+/// whose matching cost grows with the chain, used to front-load a few
+/// expensive slots into an otherwise tiny corpus.
+std::string chain_netlist(std::size_t stages) {
+  std::ostringstream s;
+  s << "* inverter chain x" << stages << "\n";
+  for (std::size_t i = 0; i < stages; ++i) {
+    s << "m" << (2 * i) << " n" << (i + 1) << " n" << i
+      << " vdd! vdd! pmos w=2u l=90n\n"
+      << "m" << (2 * i + 1) << " n" << (i + 1) << " n" << i
+      << " gnd! gnd! nmos w=1u l=90n\n";
+  }
+  s << ".end\n";
+  return s.str();
+}
+
+TEST_F(ShardDriverTest, StealingMatchesStaticOnSkewedCorpus) {
+  // A skewed corpus: three giant chains up front, then twelve small
+  // generated circuits. Under the static partition the first worker
+  // owns nearly all the work; stealing rebalances it -- but the merged
+  // bytes must not move at any worker count or scheduler.
+  const std::string skew_dir = dir() + "/skew";
+  fs::create_directories(skew_dir);
+  std::vector<std::string> names;
+  for (std::size_t g = 0; g < 3; ++g) {
+    const std::string name = "giant" + std::to_string(g) + ".sp";
+    std::ofstream f(skew_dir + "/" + name, std::ios::trunc);
+    f << chain_netlist(80 + 20 * g);
+    ASSERT_TRUE(f.good());
+    names.push_back(name);
+  }
+  datagen::CorpusOptions small;
+  small.seed = 41;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::string name = "small" + std::to_string(i) + ".sp";
+    std::ofstream f(skew_dir + "/" + name, std::ios::trunc);
+    f << datagen::corpus_netlist_text(small, i);
+    ASSERT_TRUE(f.good());
+    names.push_back(name);
+  }
+  const std::string skew_manifest = skew_dir + "/manifest.txt";
+  {
+    std::ofstream f(skew_manifest, std::ios::trunc);
+    f << write_manifest(names);
+    ASSERT_TRUE(f.good());
+  }
+
+  ShardOptions base = base_options(1);
+  base.scheduler = Scheduler::Static;
+  const std::string baseline = run_to_string(skew_manifest, base);
+  ASSERT_EQ(lines_of(baseline).size(), 15u);
+
+  for (std::size_t workers : {2ul, 3ul, 8ul}) {
+    for (const Scheduler sched : {Scheduler::Static, Scheduler::Stealing}) {
+      ShardOptions opt = base_options(workers);
+      opt.scheduler = sched;
+      ShardRunStats stats;
+      const std::string merged = run_to_string(skew_manifest, opt, &stats);
+      EXPECT_EQ(merged, baseline)
+          << "workers=" << workers << " scheduler="
+          << (sched == Scheduler::Static ? "static" : "stealing");
+      EXPECT_EQ(stats.ok + stats.failed, 15u);
+      if (sched == Scheduler::Stealing) {
+        // Every slot was handed out via grants, and each worker paid
+        // its startup (model/library load) exactly once.
+        std::size_t chunks = 0, steals = 0;
+        for (const auto& shard : stats.shards) {
+          chunks += shard.chunks_served;
+          steals += shard.steal_requests;
+          EXPECT_GE(shard.startup_seconds, 0.0);
+        }
+        EXPECT_GE(chunks, 2u) << "workers=" << workers;
+        EXPECT_GE(steals, chunks);
+      }
+    }
+  }
+}
+
+TEST_F(ShardDriverTest, CrashMidStealLosesNoSlotsUnderKeepGoing) {
+  const auto base_lines = lines_of(run_to_string(manifest(), base_options(1)));
+  ASSERT_EQ(base_lines.size(), 18u);
+
+  // Three stealing workers that each SIGKILL themselves after emitting
+  // two result frames: every granted-but-unrecorded slot must come back
+  // as a structured worker-failed diag, every never-granted tail slot
+  // likewise, and no slot may be lost or recorded twice. WHICH slots a
+  // worker was granted when it died depends on grant interleaving, but
+  // each worker emits exactly two records, so the totals are exact.
+  ShardOptions opt = base_options(3);
+  ASSERT_EQ(opt.scheduler, Scheduler::Stealing);  // stealing is default
+  opt.extra_worker_args = {"--crash-after", "2"};
+  ShardRunStats stats;
+  const auto lines = lines_of(run_to_string(manifest(), opt, &stats));
+  ASSERT_EQ(lines.size(), 18u);
+  EXPECT_EQ(stats.ok, 6u);
+  EXPECT_EQ(stats.failed, 12u);
+  std::size_t emitted = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    // Exactly one record per slot, in manifest order; each is either
+    // byte-identical to the healthy baseline or a structured failure.
+    EXPECT_NE(lines[i].find("{\"index\":" + std::to_string(i) + ","),
+              std::string::npos)
+        << lines[i];
+    if (lines[i] == base_lines[i]) {
+      ++emitted;
+    } else {
+      EXPECT_NE(lines[i].find("\"worker-failed\""), std::string::npos)
+          << "slot " << i << ": " << lines[i];
+    }
+  }
+  EXPECT_EQ(emitted, 6u);
+  ASSERT_TRUE(stats.first_failure.has_value());
+  EXPECT_EQ(stats.first_failure->code, DiagCode::WorkerFailed);
+  std::size_t chunks = 0, steals = 0;
+  for (const auto& shard : stats.shards) {
+    chunks += shard.chunks_served;
+    steals += shard.steal_requests;
+  }
+  EXPECT_GE(chunks, 3u);  // every worker won at least its first grant
+  EXPECT_GE(steals, chunks);
+}
+
+TEST_F(ShardDriverTest, BinaryLibraryArtifactMatchesBuiltin) {
+  const std::string baseline = run_to_string(manifest(), base_options(2));
+
+  // Pack the built-in library and point the workers at the artifact:
+  // the mmap-decoded compiled form must annotate byte-identically.
+  const std::string lib_bin = dir() + "/standard_lib.bin";
+  auto saved = primitives::save_library_artifact(
+      primitives::PrimitiveLibrary::standard(), lib_bin);
+  ASSERT_TRUE(saved.ok()) << saved.diag().render();
+
+  ShardOptions opt = base_options(2);
+  opt.pipeline.load_library = lib_bin;
+  ShardRunStats stats;
+  const std::string merged = run_to_string(manifest(), opt, &stats);
+  EXPECT_EQ(merged, baseline);
+  EXPECT_EQ(stats.ok, 18u);
+  for (const auto& shard : stats.shards) {
+    EXPECT_GE(shard.startup_seconds, 0.0);
+  }
 }
 
 // ---------------------------------------------------------------------------
